@@ -1,0 +1,53 @@
+#include "bench_common.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace mtscope::benchx {
+
+sim::SimConfig bench_config() {
+  const char* scale = std::getenv("MTSCOPE_BENCH_SCALE");
+  if (scale != nullptr && std::strcmp(scale, "small") == 0) {
+    sim::SimConfig config = sim::SimConfig::tiny(42);
+    config.ixps = sim::SimConfig::default_ixps();
+    return config;
+  }
+  return sim::SimConfig{};  // default: 3 general /8s + specials, 14 IXPs
+}
+
+const sim::Simulation& shared_simulation() {
+  static const sim::Simulation instance{bench_config()};
+  return instance;
+}
+
+pipeline::InferenceResult run_inference(const sim::Simulation& simulation,
+                                        const pipeline::VantageStats& stats,
+                                        std::uint64_t tolerance_pkts) {
+  static const routing::SpecialPurposeRegistry registry =
+      routing::SpecialPurposeRegistry::standard();
+  pipeline::PipelineConfig config;
+  config.volume_scale = simulation.config().volume_scale;
+  config.spoof_tolerance_pkts = tolerance_pkts;
+  const pipeline::InferenceEngine engine(config, simulation.plan().rib(), registry);
+  return engine.infer(stats);
+}
+
+void print_header(const std::string& experiment, const std::string& paper_summary) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper: %s\n", paper_summary.c_str());
+  std::printf("(absolute counts are scaled; compare shapes, orderings, ratios)\n");
+  std::printf("================================================================\n");
+}
+
+void print_comparison(const std::string& metric, const std::string& paper,
+                      const std::string& measured) {
+  std::printf("  %-46s paper: %-18s measured: %s\n", metric.c_str(), paper.c_str(),
+              measured.c_str());
+}
+
+std::vector<std::size_t> all_ixp_indices(const sim::Simulation& simulation) {
+  return pipeline::all_ixps(simulation);
+}
+
+}  // namespace mtscope::benchx

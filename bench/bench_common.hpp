@@ -1,0 +1,42 @@
+// Shared harness glue for the per-table / per-figure bench binaries.
+//
+// Every bench prints the paper's reported values next to our measured ones.
+// Absolute numbers differ by design (the substrate is a scaled simulation —
+// see DESIGN.md §2); the claim being reproduced is the *shape*: orderings,
+// ratios, crossovers.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "pipeline/collector.hpp"
+#include "pipeline/inference.hpp"
+#include "pipeline/spoof_tolerance.hpp"
+#include "sim/simulation.hpp"
+
+namespace mtscope::benchx {
+
+/// The bench-scale simulation configuration.  MTSCOPE_BENCH_SCALE=small in
+/// the environment shrinks the universe for quick iteration.
+[[nodiscard]] sim::SimConfig bench_config();
+
+/// One shared simulation per bench binary.
+[[nodiscard]] const sim::Simulation& shared_simulation();
+
+/// Run the pipeline with the simulation's volume scale and the given
+/// spoofing tolerance.
+[[nodiscard]] pipeline::InferenceResult run_inference(const sim::Simulation& simulation,
+                                                      const pipeline::VantageStats& stats,
+                                                      std::uint64_t tolerance_pkts = 0);
+
+/// Banner naming the experiment and the paper's headline numbers.
+void print_header(const std::string& experiment, const std::string& paper_summary);
+
+/// One "paper vs measured" comparison line.
+void print_comparison(const std::string& metric, const std::string& paper,
+                      const std::string& measured);
+
+/// ixp indices {0..n-1}.
+[[nodiscard]] std::vector<std::size_t> all_ixp_indices(const sim::Simulation& simulation);
+
+}  // namespace mtscope::benchx

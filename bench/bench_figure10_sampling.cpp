@@ -1,0 +1,108 @@
+// Figure 10: the effect of sub-sampling the flow data — number of inferred
+// prefixes (rises, then collapses) and false-positive share (monotonically
+// rising) as every k-th sampled packet is kept.
+#include "bench_common.hpp"
+#include <algorithm>
+#include <span>
+
+#include "flow/flow_table.hpp"
+#include "flow/sampler.hpp"
+#include "pipeline/evaluation.hpp"
+#include "pipeline/spoof_tolerance.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace mtscope;
+
+int main() {
+  benchx::print_header(
+      "Figure 10 — sub-sampling sweep (all sites, day 0)",
+      "inferred count first RISES (spoofing thins out) then collapses; zero inferences by "
+      "factor ~180; FP% rises monotonically with the factor");
+
+  // This experiment needs a densely sampled base dataset (the paper's
+  // factor sweep goes to 180 before inference dies); run a dedicated
+  // simulation with 10x the traffic scale at the two largest fabrics.
+  sim::SimConfig config = benchx::bench_config();
+  config.volume_scale *= 10.0;
+  config.general_slash8s = std::max(1, config.general_slash8s - 2);  // keep runtime in check
+  const sim::Simulation simulation(config);
+  const std::size_t all_arr[] = {simulation.ixp_index("CE1"), simulation.ixp_index("NA1")};
+  const std::span<const std::size_t> all(all_arr);
+
+  // Re-generate each vantage point's raw sampled packet stream once, then
+  // apply deterministic every-kth sub-sampling ("for a factor of 2, only
+  // consider every second packet"), re-running flow aggregation per factor.
+  const int kFactors[] = {1, 2, 3, 5, 10, 20, 50, 100, 180};
+
+  util::TextTable table({"Factor", "Packets", "Flows", "#Inferred", "FP share"});
+  std::vector<std::uint64_t> inferred_series;
+  std::vector<double> fp_series;
+
+  for (const int factor : kFactors) {
+    pipeline::VantageStats stats(simulation.plan().universe_mask());
+    std::uint64_t packets_kept = 0;
+    std::uint64_t flows_total = 0;
+    for (const std::size_t i : all) {
+      // Rebuild the day's packet stream deterministically.
+      sim::IxpDayData day = simulation.run_ixp_day(i, 0);
+      // Sub-sample at the *flow-record* granularity is wrong; the paper
+      // sub-samples packets.  Our flows are per-packet dominated (sampled
+      // SYNs), so thin flow records by keeping every k-th sampled packet
+      // across the record stream.
+      flow::DeterministicSampler sampler(static_cast<std::uint32_t>(factor));
+      std::vector<flow::FlowRecord> kept;
+      kept.reserve(day.flows.size() / factor + 1);
+      for (flow::FlowRecord& record : day.flows) {
+        std::uint64_t keep = 0;
+        for (std::uint64_t p = 0; p < record.packets; ++p) {
+          if (sampler.accept()) ++keep;
+        }
+        if (keep == 0) continue;
+        const double scale = static_cast<double>(keep) / static_cast<double>(record.packets);
+        record.bytes = static_cast<std::uint64_t>(static_cast<double>(record.bytes) * scale);
+        record.packets = keep;
+        record.sampling_rate *= static_cast<std::uint32_t>(factor);
+        packets_kept += keep;
+        kept.push_back(record);
+      }
+      flows_total += kept.size();
+      stats.add_flows(kept, simulation.ixps()[i].sampling_rate() * factor, 0);
+    }
+
+    const std::uint64_t tolerance =
+        pipeline::compute_spoof_tolerance(stats, simulation.plan().unrouted_slash8s());
+    const auto result = benchx::run_inference(simulation, stats, tolerance);
+    const auto eval = pipeline::evaluate_against_ground_truth(result.dark, simulation.plan());
+
+    inferred_series.push_back(result.dark.size());
+    fp_series.push_back(eval.false_positive_rate());
+    table.add_row({std::to_string(factor), util::with_commas(packets_kept),
+                   util::with_commas(flows_total), util::with_commas(result.dark.size()),
+                   util::percent(eval.false_positive_rate())});
+  }
+  std::printf("%s", table.render().c_str());
+
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < inferred_series.size(); ++i) {
+    if (inferred_series[i] > inferred_series[peak]) peak = i;
+  }
+  const bool rises_then_falls = peak > 0 && inferred_series.back() < inferred_series[peak];
+  benchx::print_comparison("inferred count rises, then collapses", "sweet spot then blind",
+                           rises_then_falls ? "matches (peak at factor " +
+                                                  std::to_string(kFactors[peak]) + ")"
+                                            : "check series");
+  benchx::print_comparison("near-blind at factor 180", "0 inferred",
+                           util::with_commas(inferred_series.back()));
+  // FP share is meaningful only while anything is inferred at all.
+  double first_fp = -1.0;
+  double last_fp = -1.0;
+  for (std::size_t i = 0; i < fp_series.size(); ++i) {
+    if (inferred_series[i] == 0) continue;
+    if (first_fp < 0) first_fp = fp_series[i];
+    last_fp = fp_series[i];
+  }
+  benchx::print_comparison("FP share rises with the factor", "monotone increase",
+                           last_fp > first_fp ? "matches" : "mismatch");
+  return 0;
+}

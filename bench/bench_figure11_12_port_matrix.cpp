@@ -1,0 +1,89 @@
+// Figures 11, 12 (and Appendix 18-20): destination-port activity toward the
+// inferred meta-telescope, split by world region and by network type — the
+// "bean plot" matrices.
+#include "analysis/ports.hpp"
+#include "bench_common.hpp"
+#include "pipeline/spoof_tolerance.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace mtscope;
+
+int main() {
+  benchx::print_header(
+      "Figures 11 & 12 (+18-20) — port activity by region and network type",
+      "23 dominates everywhere except OC/AF; 37215+52869 are AF-specific (Satori); 80 and "
+      "5038 are data-center-hot; 8080 the top web port");
+
+  const sim::Simulation& simulation = benchx::shared_simulation();
+  const auto pfx2as = simulation.plan().make_pfx2as();
+  const auto all = benchx::all_ixp_indices(simulation);
+  const int day0[] = {0};
+  const auto stats = pipeline::collect_stats(simulation, all, day0);
+  const std::uint64_t tolerance =
+      pipeline::compute_spoof_tolerance(stats, simulation.plan().unrouted_slash8s());
+  const auto result = benchx::run_inference(simulation, stats, tolerance);
+
+  analysis::PortActivity activity(simulation.plan().geodb(), simulation.plan().nettypes(),
+                                  pfx2as);
+  for (const std::size_t i : all) {
+    const auto data = simulation.run_ixp_day(i, 0);
+    activity.add_flows(data.flows, result.dark);
+  }
+
+  std::printf("--- Figure 11: top-16 ports x world region (within-region share) ---\n");
+  const auto region_ports = activity.joint_top_ports_by_region(16);
+  const auto region_ports16 =
+      std::vector<std::uint16_t>(region_ports.begin(),
+                                 region_ports.begin() + std::min<std::size_t>(16,
+                                                                              region_ports.size()));
+  std::printf("%s\n", activity.render_region_matrix(region_ports16).c_str());
+
+  std::printf("--- Figure 12: top-12 ports x network type ---\n");
+  const auto type_ports = activity.joint_top_ports_by_type(12);
+  const auto type_ports12 = std::vector<std::uint16_t>(
+      type_ports.begin(), type_ports.begin() + std::min<std::size_t>(12, type_ports.size()));
+  std::printf("%s\n", activity.render_type_matrix(type_ports12).c_str());
+
+  std::printf("--- Figure 18: region shares relative to ALL meta-telescope traffic ---\n");
+  for (const geo::Continent c : geo::kAllContinents) {
+    std::printf("  %-4s total share: %s\n", std::string(geo::continent_code(c)).c_str(),
+                util::percent(static_cast<double>(activity.total(c)) /
+                              std::max<std::uint64_t>(1, activity.grand_total()))
+                    .c_str());
+  }
+  std::printf("\n");
+
+  // Headline shape checks.
+  const auto share = [&](geo::Continent c, std::uint16_t port) {
+    return activity.share(c, port);
+  };
+  benchx::print_comparison(
+      "port 23 dominates in EU", "top port",
+      util::percent(share(geo::Continent::kEurope, 23)) + " of EU traffic");
+  benchx::print_comparison(
+      "37215 is AF-specific", "AF >> EU",
+      util::percent(share(geo::Continent::kAfrica, 37215)) + " vs " +
+          util::percent(share(geo::Continent::kEurope, 37215)) +
+          (share(geo::Continent::kAfrica, 37215) >
+                   4 * share(geo::Continent::kEurope, 37215)
+               ? " (matches)"
+               : " (mismatch)"));
+  benchx::print_comparison(
+      "52869 (Satori) appears mainly in AF", "AF-only in top lists",
+      util::percent(share(geo::Continent::kAfrica, 52869)) + " vs EU " +
+          util::percent(share(geo::Continent::kEurope, 52869)));
+  benchx::print_comparison(
+      "port 80 hotter in data centers than ISPs", "DC > ISP",
+      util::percent(activity.share(geo::NetType::kDataCenter, 80)) + " vs " +
+          util::percent(activity.share(geo::NetType::kIsp, 80)) +
+          (activity.share(geo::NetType::kDataCenter, 80) >
+                   activity.share(geo::NetType::kIsp, 80)
+               ? " (matches)"
+               : " (mismatch)"));
+  benchx::print_comparison(
+      "5038 hotter in data centers", "DC > ISP",
+      util::percent(activity.share(geo::NetType::kDataCenter, 5038)) + " vs " +
+          util::percent(activity.share(geo::NetType::kIsp, 5038)));
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 3: Hilbert map of the IPv4 space around an operational telescope —
+// inferred dark blocks should fall almost entirely inside the telescope's
+// marked boundary.
+#include <fstream>
+
+#include "analysis/hilbert_map.hpp"
+#include "bench_common.hpp"
+#include "pipeline/spoof_tolerance.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace mtscope;
+
+int main() {
+  benchx::print_header(
+      "Figure 3 — Hilbert curve around an operational telescope",
+      "inferred blocks fall within the telescope's gray box; only ~5 colored pixels outside");
+
+  const sim::Simulation& simulation = benchx::shared_simulation();
+  const auto all = benchx::all_ixp_indices(simulation);
+  const int week[] = {0, 1, 2, 3, 4, 5, 6};
+  const auto stats = pipeline::collect_stats(simulation, all, week);
+  const std::uint64_t tolerance =
+      pipeline::compute_spoof_tolerance(stats, simulation.plan().unrouted_slash8s());
+  const auto result = benchx::run_inference(simulation, stats, tolerance);
+
+  // Mark the TUS1 telescope's boundary; the plan places it in quarters
+  // 0, 1 and 3 of the telescope /8.
+  const std::uint8_t slash8 = simulation.plan().telescope_slash8();
+  const auto in_telescope = [&](net::Block24 block) {
+    const std::uint32_t i = block.index() & 0xffff;
+    const std::uint32_t quarter = i / 16384;
+    return quarter != 2;
+  };
+
+  const analysis::HilbertMap map(slash8, [&](net::Block24 block) {
+    const bool dark = result.dark.contains(block);
+    const bool marked = in_telescope(block);
+    if (dark && marked) return analysis::HilbertPixel::kDarkMarked;
+    if (dark) return analysis::HilbertPixel::kDark;
+    if (marked) return analysis::HilbertPixel::kMarked;
+    return analysis::HilbertPixel::kNoData;
+  });
+
+  std::printf("%s\n", map.render_ascii(64).c_str());
+  std::printf("legend: #/*/=/. = inferred dark density, + = telescope boundary (not inferred)\n\n");
+
+  {
+    std::ofstream pgm("figure3_hilbert.pgm", std::ios::binary);
+    map.write_pgm(pgm);
+    std::printf("wrote figure3_hilbert.pgm (256x256, 8-bit graymap)\n\n");
+  }
+
+  const std::uint64_t inside = map.count(analysis::HilbertPixel::kDarkMarked);
+  const std::uint64_t outside = map.count(analysis::HilbertPixel::kDark);
+  benchx::print_comparison("inferred pixels inside the telescope box",
+                           "almost all", util::with_commas(inside));
+  benchx::print_comparison("inferred pixels outside the box", "~5 (stray dark space)",
+                           util::with_commas(outside));
+  benchx::print_comparison("containment",
+                           ">99%", util::percent(static_cast<double>(inside) /
+                                                 std::max<std::uint64_t>(1, inside + outside)));
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 4 (and Appendix Figures 13-15): geographic distribution of the
+// meta-telescope, rendered as per-country tables (log-scale bars stand in
+// for the paper's choropleth shading) for CE1, NA1 and all sites.
+#include "analysis/world_map.hpp"
+#include "bench_common.hpp"
+#include "pipeline/spoof_tolerance.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace mtscope;
+
+int main() {
+  benchx::print_header(
+      "Figure 4 (+13-15) — world distribution of meta-telescope prefixes",
+      "US first, China second; ~200 countries covered; coverage gaps in central Africa");
+
+  const sim::Simulation& simulation = benchx::shared_simulation();
+  const auto pfx2as = simulation.plan().make_pfx2as();
+
+  const auto summarize = [&](std::span<const std::size_t> ixps) {
+    const int day0[] = {0};
+    const auto stats = pipeline::collect_stats(simulation, ixps, day0);
+    const std::uint64_t tolerance =
+        pipeline::compute_spoof_tolerance(stats, simulation.plan().unrouted_slash8s());
+    const auto result = benchx::run_inference(simulation, stats, tolerance);
+    return analysis::summarize_geography(result.dark, simulation.plan().geodb(), pfx2as);
+  };
+
+  const std::size_t ce1[] = {simulation.ixp_index("CE1")};
+  const std::size_t na1[] = {simulation.ixp_index("NA1")};
+  const auto all = benchx::all_ixp_indices(simulation);
+
+  std::printf("--- CE1 only (Figure 13) ---\n%s\n",
+              analysis::render_world_table(summarize(ce1), 12).c_str());
+  std::printf("--- NA1 only (Figure 14) ---\n%s\n",
+              analysis::render_world_table(summarize(na1), 12).c_str());
+
+  const auto all_summary = summarize(all);
+  std::printf("--- All sites (Figures 4, 15) ---\n%s\n",
+              analysis::render_world_table(all_summary, 20).c_str());
+
+  benchx::print_comparison("top country", "US",
+                           all_summary.by_country.empty() ? "-"
+                                                          : all_summary.by_country[0].country);
+  benchx::print_comparison(
+      "second country", "CN",
+      all_summary.by_country.size() > 1 ? all_summary.by_country[1].country : "-");
+  benchx::print_comparison("countries covered", "194",
+                           util::with_commas(all_summary.distinct_countries));
+  return 0;
+}

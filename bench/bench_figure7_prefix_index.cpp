@@ -1,0 +1,86 @@
+// Figure 7 (and Appendix Figures 16-17): the prefix index — per announced
+// /8../16 prefix, the share of /24s inferred dark; ECDFs per prefix size,
+// per network type and per continent.
+#include "analysis/prefix_index.hpp"
+#include "bench_common.hpp"
+#include "pipeline/spoof_tolerance.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace mtscope;
+
+int main() {
+  benchx::print_header(
+      "Figure 7 (+16, 17) — prefix index ECDFs",
+      "6.6% of /8s exceed 5% dark share; some /16s exceed 40%; data-center prefixes have "
+      "the least dark share; EU/AF least by continent");
+
+  const sim::Simulation& simulation = benchx::shared_simulation();
+  const auto all = benchx::all_ixp_indices(simulation);
+  const int day0[] = {0};
+  const auto stats = pipeline::collect_stats(simulation, all, day0);
+  const std::uint64_t tolerance =
+      pipeline::compute_spoof_tolerance(stats, simulation.plan().unrouted_slash8s());
+  const auto result = benchx::run_inference(simulation, stats, tolerance);
+
+  const auto entries = analysis::compute_prefix_index(simulation.plan().rib(), result.dark);
+  std::printf("announced /8../16 prefixes analysed: %zu\n\n", entries.size());
+
+  std::printf("--- Figure 7: ECDF of dark share by prefix size (x: 0..50%%) ---\n");
+  for (const auto& [length, ecdf] : analysis::index_ecdf_by_length(entries)) {
+    std::printf("  /%-2d (n=%5zu) |%s|\n", length, ecdf.size(),
+                ecdf.sparkline(0.0, 0.5).c_str());
+  }
+
+  std::printf("\n--- Figure 16: by network type of the origin AS ---\n");
+  const auto by_type = analysis::index_ecdf_by_type(entries, simulation.plan().nettypes());
+  for (const auto& [type, ecdf] : by_type) {
+    std::printf("  %-12s (n=%5zu) |%s|  share>10%%: %s\n",
+                std::string(geo::net_type_name(type)).c_str(), ecdf.size(),
+                ecdf.sparkline(0.0, 1.0).c_str(),
+                util::percent(1.0 - ecdf.fraction_at_most(0.10)).c_str());
+  }
+
+  std::printf("\n--- Figure 17: by continent ---\n");
+  const auto by_continent = analysis::index_ecdf_by_continent(entries, simulation.plan().geodb());
+  for (const auto& [continent, ecdf] : by_continent) {
+    std::printf("  %-4s (n=%5zu) |%s|  share>10%%: %s\n",
+                std::string(geo::continent_code(continent)).c_str(), ecdf.size(),
+                ecdf.sparkline(0.0, 1.0).c_str(),
+                util::percent(1.0 - ecdf.fraction_at_most(0.10)).c_str());
+  }
+  std::printf("\n");
+
+  // Headline comparisons.
+  std::size_t big16 = 0;
+  std::size_t n16 = 0;
+  for (const auto& e : entries) {
+    if (e.prefix.length() == 16) {
+      ++n16;
+      if (e.index() > 0.40) ++big16;
+    }
+  }
+  benchx::print_comparison("some /16s have >40% dark share", "a few",
+                           util::with_commas(big16) + " of " + util::with_commas(n16));
+
+  const auto dc = by_type.find(geo::NetType::kDataCenter);
+  const auto isp = by_type.find(geo::NetType::kIsp);
+  if (dc != by_type.end() && isp != by_type.end() && !dc->second.empty() &&
+      !isp->second.empty()) {
+    benchx::print_comparison(
+        "data centers have less dark share than ISPs (mean index)", "DC < ISP",
+        util::percent(dc->second.mean()) + " vs " + util::percent(isp->second.mean()) +
+            (dc->second.mean() < isp->second.mean() ? " (matches)" : " (mismatch)"));
+  }
+
+  const auto eu = by_continent.find(geo::Continent::kEurope);
+  const auto na = by_continent.find(geo::Continent::kNorthAmerica);
+  if (eu != by_continent.end() && na != by_continent.end() && !eu->second.empty() &&
+      !na->second.empty()) {
+    benchx::print_comparison(
+        "EU has less dark share than NA (IPv4 scarcity)", "EU < NA",
+        util::percent(eu->second.mean()) + " vs " + util::percent(na->second.mean()) +
+            (eu->second.mean() < na->second.mean() ? " (matches)" : " (mismatch)"));
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Figure 9: the effect of spoofing — inferred prefixes over cumulative days
+// with and without the unrouted-space spoofing tolerance, for CE1, NA1 and
+// all sites.  Also sweeps the tolerance percentile (ablation).
+#include "bench_common.hpp"
+#include "pipeline/spoof_tolerance.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace mtscope;
+
+int main() {
+  benchx::print_header(
+      "Figure 9 — spoofing vs cumulative observation window",
+      "All sites: 350k (1d) collapses to 4k (7d) without tolerance; with tolerance "
+      "~800k -> ~400k (halves instead of vanishing); NA1 least affected");
+
+  const sim::Simulation& simulation = benchx::shared_simulation();
+  const std::size_t ce1 = simulation.ixp_index("CE1");
+  const std::size_t na1 = simulation.ixp_index("NA1");
+  const auto all = benchx::all_ixp_indices(simulation);
+
+  struct Series {
+    std::string name;
+    std::vector<std::size_t> ixps;
+    pipeline::VantageStats stats;
+    std::vector<std::uint64_t> strict;
+    std::vector<std::uint64_t> tolerant;
+    std::vector<std::uint64_t> tolerance_values;
+  };
+  std::vector<Series> series;
+  series.push_back({"CE1", {ce1}, pipeline::VantageStats(simulation.plan().universe_mask()),
+                    {}, {}, {}});
+  series.push_back({"NA1", {na1}, pipeline::VantageStats(simulation.plan().universe_mask()),
+                    {}, {}, {}});
+  series.push_back({"All", all, pipeline::VantageStats(simulation.plan().universe_mask()),
+                    {}, {}, {}});
+
+  for (int day = 0; day < 7; ++day) {
+    for (Series& s : series) {
+      for (const std::size_t i : s.ixps) {
+        const auto data = simulation.run_ixp_day(i, day);
+        s.stats.add_flows(data.flows, simulation.ixps()[i].sampling_rate(), day);
+      }
+      const std::uint64_t tolerance =
+          pipeline::compute_spoof_tolerance(s.stats, simulation.plan().unrouted_slash8s());
+      s.tolerance_values.push_back(tolerance);
+      s.strict.push_back(benchx::run_inference(simulation, s.stats, 0).dark.size());
+      s.tolerant.push_back(
+          benchx::run_inference(simulation, s.stats, tolerance).dark.size());
+    }
+  }
+
+  util::TextTable table({"Window", "CE1 strict", "CE1 +tol", "NA1 strict", "NA1 +tol",
+                         "All strict", "All +tol", "tol(All)"});
+  for (int day = 0; day < 7; ++day) {
+    table.add_row({"d0-d" + std::to_string(day), util::with_commas(series[0].strict[day]),
+                   util::with_commas(series[0].tolerant[day]),
+                   util::with_commas(series[1].strict[day]),
+                   util::with_commas(series[1].tolerant[day]),
+                   util::with_commas(series[2].strict[day]),
+                   util::with_commas(series[2].tolerant[day]),
+                   std::to_string(series[2].tolerance_values[day])});
+  }
+  std::printf("%s", table.render().c_str());
+
+  const auto& all_series = series[2];
+  const double strict_collapse = static_cast<double>(all_series.strict[6]) /
+                                 std::max<std::uint64_t>(1, all_series.strict[0]);
+  const double tolerant_ratio = static_cast<double>(all_series.tolerant[6]) /
+                                std::max<std::uint64_t>(1, all_series.tolerant[0]);
+  benchx::print_comparison("All strict: 7d / 1d survival", "4k/350k = 1.1%",
+                           util::percent(strict_collapse));
+  benchx::print_comparison("All +tolerance: 7d / 1d survival", "~400k/800k = 50%",
+                           util::percent(tolerant_ratio));
+  benchx::print_comparison("tolerance recovers day-1 inference",
+                           "800k vs 350k (2.3x)",
+                           util::fixed(static_cast<double>(all_series.tolerant[0]) /
+                                           std::max<std::uint64_t>(1, all_series.strict[0]), 2) +
+                               "x");
+  benchx::print_comparison("7-day tolerance grows to a few packets", "up to 4/day",
+                           std::to_string(all_series.tolerance_values[6]) + " (total)");
+
+  // Ablation: tolerance percentile sweep on the all-sites week.
+  std::printf("\n--- ablation: tolerance percentile (All, 7d) ---\n");
+  for (const double pct : {0.999, 0.9999, 0.99999}) {
+    pipeline::SpoofToleranceConfig config;
+    config.percentile = pct;
+    const std::uint64_t tol = pipeline::compute_spoof_tolerance(
+        all_series.stats, simulation.plan().unrouted_slash8s(), config);
+    const auto dark = benchx::run_inference(simulation, all_series.stats, tol).dark.size();
+    std::printf("  percentile %.5f -> tolerance %llu pkts -> %s dark\n", pct,
+                static_cast<unsigned long long>(tol), util::with_commas(dark).c_str());
+  }
+  return 0;
+}

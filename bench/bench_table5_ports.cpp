@@ -1,0 +1,86 @@
+// Table 5: top-10 TCP destination ports at each operational telescope, from
+// raw captured packets, plus the cross-check against ports seen toward
+// inferred meta-telescope prefixes at the IXPs (§4.3's "perfect overlap").
+#include <algorithm>
+#include <set>
+
+#include "analysis/ports.hpp"
+#include "bench_common.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace mtscope;
+
+int main() {
+  benchx::print_header(
+      "Table 5 — top-10 TCP ports per telescope (week)",
+      "23/22/80/443/8080 shared across sites; 6379 top-5 at TUS1+TEU2 but absent from "
+      "TEU1's list; TEU1 misses 23/445 (ingress-blocked)");
+
+  const sim::Simulation& simulation = benchx::shared_simulation();
+
+  std::vector<std::vector<std::pair<std::uint16_t, std::uint64_t>>> tops;
+  for (std::size_t t = 0; t < 3; ++t) {
+    analysis::PortCounter counter;
+    for (int day = 0; day < 7; ++day) {
+      counter.add_packets(simulation.run_telescope_day(t, day).packets);
+    }
+    tops.push_back(counter.top(10));
+  }
+
+  util::TextTable table({"Rank", "TUS1", "TEU1", "TEU2"});
+  for (std::size_t r = 0; r < 10; ++r) {
+    std::vector<std::string> row = {"#" + std::to_string(r + 1)};
+    for (std::size_t t = 0; t < 3; ++t) {
+      row.push_back(r < tops[t].size() ? std::to_string(tops[t][r].first) : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.render().c_str());
+
+  const auto contains = [](const auto& top, std::uint16_t port) {
+    return std::any_of(top.begin(), top.end(),
+                       [&](const auto& entry) { return entry.first == port; });
+  };
+
+  // Shared ports across all three sites.
+  std::set<std::uint16_t> shared;
+  for (const auto& [port, count] : tops[0]) {
+    if (contains(tops[1], port) && contains(tops[2], port)) shared.insert(port);
+  }
+  std::string shared_text;
+  for (const std::uint16_t p : shared) shared_text += std::to_string(p) + " ";
+
+  benchx::print_comparison("ports in every site's top-10", "22, 80, 443 (and more)",
+                           shared_text);
+  benchx::print_comparison("TEU1 top-10 misses blocked port 23", "absent",
+                           contains(tops[1], 23) ? "PRESENT (mismatch)" : "absent (matches)");
+  benchx::print_comparison("TEU1 top-10 misses blocked port 445", "absent",
+                           contains(tops[1], 445) ? "PRESENT (mismatch)" : "absent (matches)");
+  benchx::print_comparison("port 23 tops TUS1 and TEU2", "rank #1-2",
+                           (tops[0][0].first == 23 && tops[2][0].first == 23)
+                               ? "rank #1 at both (matches)"
+                               : "check table");
+
+  // Cross-check: ports toward inferred dark space at the IXPs.
+  const auto ixps = benchx::all_ixp_indices(simulation);
+  const int day0[] = {0};
+  const auto stats = pipeline::collect_stats(simulation, ixps, day0);
+  const auto result = benchx::run_inference(simulation, stats);
+  analysis::PortCounter meta_counter;
+  for (const std::size_t i : ixps) {
+    const auto data = simulation.run_ixp_day(i, 0);
+    for (const auto& flow : data.flows) {
+      if (flow.key.proto == net::IpProto::kTcp &&
+          result.dark.contains(net::Block24::containing(flow.key.dst))) {
+        meta_counter.add(flow.key.dst_port, flow.packets);
+      }
+    }
+  }
+  const auto meta_top = meta_counter.top(5);
+  std::string meta_text;
+  for (const auto& [port, count] : meta_top) meta_text += std::to_string(port) + " ";
+  benchx::print_comparison("meta-telescope top ports overlap telescopes'",
+                           "22 23 80 443 8080", meta_text);
+  return 0;
+}

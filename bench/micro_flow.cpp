@@ -1,0 +1,81 @@
+// Micro-benchmarks for the exporter path: flow-table aggregation throughput
+// and wire-codec costs.
+#include <benchmark/benchmark.h>
+
+#include "flow/flow_table.hpp"
+#include "net/headers.hpp"
+#include "net/hilbert.hpp"
+#include "util/rng.hpp"
+
+using namespace mtscope;
+
+namespace {
+
+std::vector<flow::PacketMeta> make_packets(std::size_t count, std::size_t distinct_tuples) {
+  util::Rng rng(31);
+  std::vector<flow::PacketMeta> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    flow::PacketMeta p;
+    p.timestamp_us = i * 100;
+    const std::uint64_t tuple = rng.uniform(distinct_tuples);
+    p.src = net::Ipv4Addr(static_cast<std::uint32_t>(0x0a000000 + tuple));
+    p.dst = net::Ipv4Addr(static_cast<std::uint32_t>(0x3c000000 + tuple * 7));
+    p.src_port = static_cast<std::uint16_t>(1024 + (tuple & 0xfff));
+    p.dst_port = 23;
+    p.ip_length = 40;
+    p.tcp_flags = net::TcpFlags::kSyn;
+    out.push_back(p);
+  }
+  return out;
+}
+
+void BM_FlowTableAdd(benchmark::State& state) {
+  const auto packets = make_packets(100'000, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    flow::FlowTable table;
+    for (const auto& p : packets) table.add(p);
+    table.flush();
+    benchmark::DoNotOptimize(table.flows_exported());
+  }
+  state.SetItemsProcessed(state.iterations() * packets.size());
+}
+BENCHMARK(BM_FlowTableAdd)->Arg(1000)->Arg(100'000);  // heavy-aggregation vs one-per-flow
+
+void BM_PacketSynthesize(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::synthesize_packet(
+        net::Ipv4Addr(static_cast<std::uint32_t>(rng.next())),
+        net::Ipv4Addr(static_cast<std::uint32_t>(rng.next())), net::IpProto::kTcp, 1234, 23,
+        net::TcpFlags::kSyn, 40));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketSynthesize);
+
+void BM_PacketParse(benchmark::State& state) {
+  const auto wire = net::synthesize_packet(net::Ipv4Addr(0x01020304), net::Ipv4Addr(0x05060708),
+                                           net::IpProto::kTcp, 1234, 23, net::TcpFlags::kSyn,
+                                           48);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::parse_packet(wire));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_PacketParse);
+
+void BM_HilbertD2XY(benchmark::State& state) {
+  std::uint64_t d = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::hilbert_d2xy(8, d));
+    d = (d + 9973) & 0xffff;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HilbertD2XY);
+
+}  // namespace
+
+BENCHMARK_MAIN();

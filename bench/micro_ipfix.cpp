@@ -1,0 +1,59 @@
+// Micro-benchmarks for the IPFIX wire codec.
+#include <benchmark/benchmark.h>
+
+#include "flow/ipfix.hpp"
+#include "util/rng.hpp"
+
+using namespace mtscope;
+
+namespace {
+
+std::vector<flow::FlowRecord> make_records(std::size_t count) {
+  util::Rng rng(17);
+  std::vector<flow::FlowRecord> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    flow::FlowRecord r;
+    r.key.src = net::Ipv4Addr(static_cast<std::uint32_t>(rng.next()));
+    r.key.dst = net::Ipv4Addr(static_cast<std::uint32_t>(rng.next()));
+    r.key.src_port = static_cast<std::uint16_t>(rng.uniform(65536));
+    r.key.dst_port = 23;
+    r.key.proto = net::IpProto::kTcp;
+    r.packets = 1 + rng.uniform(5);
+    r.bytes = r.packets * 40;
+    r.first_us = i;
+    r.last_us = i + 1;
+    r.sampling_rate = 100;
+    out.push_back(r);
+  }
+  return out;
+}
+
+void BM_IpfixEncode(benchmark::State& state) {
+  const auto records = make_records(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    flow::IpfixEncoder encoder;
+    benchmark::DoNotOptimize(encoder.encode(records, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IpfixEncode)->Arg(100)->Arg(10'000);
+
+void BM_IpfixRoundTrip(benchmark::State& state) {
+  const auto records = make_records(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    flow::IpfixEncoder encoder;
+    flow::IpfixDecoder decoder;
+    for (const auto& message : encoder.encode(records, 0)) {
+      auto fed = decoder.feed(message);
+      benchmark::DoNotOptimize(fed.ok());
+    }
+    benchmark::DoNotOptimize(decoder.drain());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IpfixRoundTrip)->Arg(100)->Arg(10'000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

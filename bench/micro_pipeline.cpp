@@ -1,0 +1,80 @@
+// Micro-benchmarks for the inference pipeline itself: stats ingestion and
+// the per-block classification pass.
+#include <benchmark/benchmark.h>
+
+#include "pipeline/inference.hpp"
+#include "routing/special_purpose.hpp"
+#include "util/rng.hpp"
+
+using namespace mtscope;
+
+namespace {
+
+std::vector<flow::FlowRecord> make_flows(std::size_t count) {
+  util::Rng rng(23);
+  std::vector<flow::FlowRecord> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    flow::FlowRecord r;
+    r.key.src = net::Ipv4Addr(0x0a000000 + static_cast<std::uint32_t>(rng.uniform(1u << 16)));
+    // Destinations spread over a /8 so the stats map holds ~65k blocks.
+    r.key.dst = net::Ipv4Addr((60u << 24) + static_cast<std::uint32_t>(rng.uniform(1u << 24)));
+    r.key.dst_port = 23;
+    r.key.proto = rng.chance(0.9) ? net::IpProto::kTcp : net::IpProto::kUdp;
+    r.packets = 1 + rng.uniform(3);
+    r.bytes = r.packets * (rng.chance(0.8) ? 40 : 1400);
+    r.sampling_rate = 100;
+    out.push_back(r);
+  }
+  return out;
+}
+
+void BM_VantageStatsIngest(benchmark::State& state) {
+  const auto flows = make_flows(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    pipeline::VantageStats stats;
+    stats.add_flows(flows, 100, 0);
+    benchmark::DoNotOptimize(stats.blocks().size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_VantageStatsIngest)->Arg(10'000)->Arg(500'000);
+
+void BM_InferenceClassify(benchmark::State& state) {
+  const auto flows = make_flows(static_cast<std::size_t>(state.range(0)));
+  pipeline::VantageStats stats;
+  stats.add_flows(flows, 100, 0);
+
+  routing::Rib rib;
+  rib.announce(*net::Prefix::parse("60.0.0.0/8"), net::AsNumber(1));
+  const auto registry = routing::SpecialPurposeRegistry::standard();
+  pipeline::PipelineConfig config;
+  const pipeline::InferenceEngine engine(config, rib, registry);
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.infer(stats));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stats.blocks().size()));
+}
+BENCHMARK(BM_InferenceClassify)->Arg(10'000)->Arg(500'000);
+
+void BM_StatsMerge(benchmark::State& state) {
+  const auto flows_a = make_flows(100'000);
+  const auto flows_b = make_flows(100'000);
+  pipeline::VantageStats a;
+  a.add_flows(flows_a, 100, 0);
+  pipeline::VantageStats b;
+  b.add_flows(flows_b, 100, 1);
+  for (auto _ : state) {
+    pipeline::VantageStats merged = a;
+    merged.merge(b);
+    benchmark::DoNotOptimize(merged.day_count());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatsMerge);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// Ablation micro-benchmarks: longest-prefix-match structures and /24-set
+// representations (DESIGN.md §5).
+#include <benchmark/benchmark.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "trie/block24_set.hpp"
+#include "trie/prefix_trie.hpp"
+#include "util/rng.hpp"
+
+using namespace mtscope;
+
+namespace {
+
+std::vector<std::pair<net::Prefix, std::uint32_t>> make_prefixes(std::size_t count) {
+  util::Rng rng(99);
+  std::vector<std::pair<net::Prefix, std::uint32_t>> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const int len = 8 + static_cast<int>(rng.uniform(17));  // /8../24
+    out.emplace_back(
+        net::Prefix::canonical(net::Ipv4Addr(static_cast<std::uint32_t>(rng.next())), len),
+        static_cast<std::uint32_t>(i));
+  }
+  return out;
+}
+
+void BM_TrieLongestMatch(benchmark::State& state) {
+  const auto prefixes = make_prefixes(static_cast<std::size_t>(state.range(0)));
+  trie::PrefixTrie<std::uint32_t> trie;
+  for (const auto& [prefix, value] : prefixes) trie.insert(prefix, value);
+  util::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trie.longest_match(net::Ipv4Addr(static_cast<std::uint32_t>(rng.next()))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrieLongestMatch)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// Baseline: linear scan over the prefix list (what the trie replaces).
+void BM_LinearLongestMatch(benchmark::State& state) {
+  const auto prefixes = make_prefixes(static_cast<std::size_t>(state.range(0)));
+  util::Rng rng(7);
+  for (auto _ : state) {
+    const net::Ipv4Addr addr(static_cast<std::uint32_t>(rng.next()));
+    const std::pair<net::Prefix, std::uint32_t>* best = nullptr;
+    for (const auto& entry : prefixes) {
+      if (entry.first.contains(addr) &&
+          (best == nullptr || entry.first.length() > best->first.length())) {
+        best = &entry;
+      }
+    }
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LinearLongestMatch)->Arg(1000)->Arg(10000);
+
+void BM_TrieInsert(benchmark::State& state) {
+  const auto prefixes = make_prefixes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    trie::PrefixTrie<std::uint32_t> trie;
+    for (const auto& [prefix, value] : prefixes) trie.insert(prefix, value);
+    benchmark::DoNotOptimize(trie.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TrieInsert)->Arg(1000)->Arg(10000);
+
+void BM_Block24SetMembership(benchmark::State& state) {
+  trie::Block24Set set;
+  util::Rng rng(5);
+  for (int i = 0; i < 300'000; ++i) {
+    set.insert(net::Block24(static_cast<std::uint32_t>(rng.uniform(1u << 24))));
+  }
+  util::Rng probe(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        set.contains(net::Block24(static_cast<std::uint32_t>(probe.uniform(1u << 24)))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Block24SetMembership);
+
+// Baseline: unordered_set of block indices.
+void BM_HashSetMembership(benchmark::State& state) {
+  std::unordered_set<std::uint32_t> set;
+  util::Rng rng(5);
+  for (int i = 0; i < 300'000; ++i) {
+    set.insert(static_cast<std::uint32_t>(rng.uniform(1u << 24)));
+  }
+  util::Rng probe(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        set.contains(static_cast<std::uint32_t>(probe.uniform(1u << 24))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashSetMembership);
+
+void BM_Block24SetCountInRange(benchmark::State& state) {
+  trie::Block24Set set;
+  util::Rng rng(5);
+  for (int i = 0; i < 300'000; ++i) {
+    set.insert(net::Block24(static_cast<std::uint32_t>(rng.uniform(1u << 24))));
+  }
+  util::Rng probe(8);
+  for (auto _ : state) {
+    const auto lo = static_cast<std::uint32_t>(probe.uniform(1u << 24));
+    benchmark::DoNotOptimize(set.count_in_range(lo, lo + 65535));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Block24SetCountInRange);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// ixp_operator — "operating a meta-telescope in your spare time".
+//
+// The workflow §9 proposes for an IXP operator: every day, feed the fabric's
+// sampled flow data through the pipeline, maintain a spoofing tolerance from
+// unrouted space, track which prefixes are *stable* members of the
+// meta-telescope, and surface an opt-in customer report: which member
+// networks sent traffic into inferred-dark space today (likely compromised
+// or scanning hosts).
+#include <cstdio>
+#include <map>
+
+#include "pipeline/inference.hpp"
+#include "pipeline/spoof_tolerance.hpp"
+#include "sim/simulation.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace mtscope;
+
+int main() {
+  sim::Simulation simulation(sim::SimConfig::tiny(99));
+  const std::size_t ixp_index = simulation.ixp_index("CE1");
+  const sim::Ixp& ixp = simulation.ixps()[ixp_index];
+  const auto& plan = simulation.plan();
+  const routing::SpecialPurposeRegistry registry = routing::SpecialPurposeRegistry::standard();
+
+  std::printf("operating a meta-telescope at %s (%s, sampling 1:%u)\n\n",
+              ixp.spec().code.c_str(), ixp.spec().region.c_str(), ixp.sampling_rate());
+
+  pipeline::VantageStats cumulative(plan.universe_mask());
+  trie::Block24Set stable;  // prefixes inferred on every day so far
+  bool first_day = true;
+
+  util::TextTable log({"Day", "Flows", "Tolerance", "#Dark today", "#Stable", "Alerts"});
+
+  for (int day = 0; day < 7; ++day) {
+    // Today's data, decoded from the fabric's IPFIX stream.
+    const sim::IxpDayData data = simulation.run_ixp_day(ixp_index, day);
+    pipeline::VantageStats today(plan.universe_mask());
+    today.add_flows(data.flows, ixp.sampling_rate(), day);
+    cumulative.add_flows(data.flows, ixp.sampling_rate(), day);
+
+    // Daily spoofing tolerance from the two known-unrouted /8s (§7.2).
+    const std::uint64_t tolerance =
+        pipeline::compute_spoof_tolerance(today, plan.unrouted_slash8s());
+
+    pipeline::PipelineConfig config;
+    config.volume_scale = simulation.config().volume_scale;
+    config.spoof_tolerance_pkts = tolerance;
+    const pipeline::InferenceEngine engine(config, plan.rib(), registry);
+    const auto result = engine.infer(today);
+
+    // Stability: the intersection of every daily inference (§7.1's advice
+    // for operators who want prefixes they can rely on).
+    if (first_day) {
+      stable = result.dark;
+      first_day = false;
+    } else {
+      stable &= result.dark;
+    }
+
+    // Customer alerting: member-network sources that touched inferred dark
+    // space today.  (The "meta-telescope information as a service" of §9.)
+    std::map<std::uint32_t, std::uint64_t> alerts_per_as;
+    for (const auto& flow : data.flows) {
+      if (!result.dark.contains(net::Block24::containing(flow.key.dst))) continue;
+      const auto as_index = plan.as_of(net::Block24::containing(flow.key.src));
+      if (!as_index) continue;
+      if (!ixp.is_member(*as_index)) continue;
+      alerts_per_as[plan.ases()[*as_index].asn.value()] += flow.packets;
+    }
+
+    log.add_row({std::to_string(day), util::with_commas(data.flows.size()),
+                 std::to_string(tolerance), util::with_commas(result.dark.size()),
+                 util::with_commas(stable.size()), std::to_string(alerts_per_as.size())});
+
+    if (day == 6 && !alerts_per_as.empty()) {
+      std::printf("day 6 opt-in customer report (members whose hosts probed dark space):\n");
+      std::size_t shown = 0;
+      for (const auto& [asn, packets] : alerts_per_as) {
+        if (shown++ >= 5) break;
+        const auto* org = [&]() -> const sim::AsInfo* {
+          for (const auto& info : plan.ases()) {
+            if (info.asn.value() == asn) return &info;
+          }
+          return nullptr;
+        }();
+        std::printf("  AS%u (%s): %s sampled packets into meta-telescope space\n", asn,
+                    org != nullptr ? org->org_name.c_str() : "?",
+                    util::with_commas(packets).c_str());
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("%s\n", log.render().c_str());
+  std::printf("after a week: %s prefixes inferred on EVERY day at this fabric alone\n",
+              util::with_commas(stable.size()).c_str());
+  std::printf("(daily intersection is very conservative under 1:%u sampling — most\n"
+              " operators will prefer cumulative windows, cf. Table 4's 7-day runs)\n",
+              ixp.sampling_rate());
+  std::printf("(re-run inference daily: routing and allocations change under you — §7.1)\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// scan_campaign_analysis — the §8 use case: once a meta-telescope exists,
+// its traffic answers measurement questions no single telescope can, e.g.
+// "which ports are being hunted, and WHERE?"  This example detects the
+// Satori-style campaign the simulator hides in African address space.
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/ports.hpp"
+#include "pipeline/collector.hpp"
+#include "pipeline/inference.hpp"
+#include "pipeline/spoof_tolerance.hpp"
+#include "sim/simulation.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace mtscope;
+
+int main() {
+  // Full-scale universe: regional campaigns need enough per-region dark
+  // space to be statistically visible (takes ~15s to simulate a fleet-day).
+  sim::Simulation simulation(sim::SimConfig{});
+  const auto& plan = simulation.plan();
+
+  // Build the meta-telescope from one day of data at all vantage points.
+  const auto ixps = pipeline::all_ixps(simulation);
+  const int days[] = {0};
+  const auto stats = pipeline::collect_stats(simulation, ixps, days);
+  const std::uint64_t tolerance =
+      pipeline::compute_spoof_tolerance(stats, plan.unrouted_slash8s());
+
+  const routing::SpecialPurposeRegistry registry = routing::SpecialPurposeRegistry::standard();
+  pipeline::PipelineConfig config;
+  config.volume_scale = simulation.config().volume_scale;
+  config.spoof_tolerance_pkts = tolerance;
+  const pipeline::InferenceEngine engine(config, plan.rib(), registry);
+  const auto result = engine.infer(stats);
+  std::printf("meta-telescope: %s dark /24s across the simulated Internet\n\n",
+              util::with_commas(result.dark.size()).c_str());
+
+  // Feed the same flows back through the regional port-activity analysis.
+  const auto pfx2as = plan.make_pfx2as();
+  analysis::PortActivity activity(plan.geodb(), plan.nettypes(), pfx2as);
+  for (const std::size_t i : ixps) {
+    activity.add_flows(simulation.run_ixp_day(i, 0).flows, result.dark);
+  }
+
+  // Campaign detector: a port whose within-region share is a large multiple
+  // of its global share is a regionally targeted campaign.
+  std::printf("regionally targeted ports (share in region >> global share):\n");
+  struct Finding {
+    geo::Continent region;
+    std::uint16_t port;
+    double lift;
+    double regional_share;
+  };
+  std::vector<Finding> findings;
+  for (const std::uint16_t port : activity.joint_top_ports_by_region(16)) {
+    const double global =
+        static_cast<double>([&] {
+          std::uint64_t sum = 0;
+          for (const geo::Continent c : geo::kAllContinents) sum += activity.count(c, port);
+          return sum;
+        }()) /
+        std::max<std::uint64_t>(1, activity.grand_total());
+    if (global <= 0.0) continue;
+    for (const geo::Continent c : geo::kAllContinents) {
+      if (activity.total(c) < 200) continue;  // too little data to judge
+      const double regional = activity.share(c, port);
+      const double lift = regional / global;
+      if (lift > 2.5 && regional > 0.01) {
+        findings.push_back({c, port, lift, regional});
+      }
+    }
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) { return a.lift > b.lift; });
+  for (const Finding& f : findings) {
+    std::printf("  port %-6u in %-3s: %s of regional traffic (%.1fx its global share)\n",
+                f.port, std::string(geo::continent_code(f.region)).c_str(),
+                util::percent(f.regional_share).c_str(), f.lift);
+  }
+
+  const bool satori = std::any_of(findings.begin(), findings.end(), [](const Finding& f) {
+    return f.region == geo::Continent::kAfrica && (f.port == 37215 || f.port == 52869);
+  });
+  std::printf("\n%s\n", satori
+                            ? "=> Satori-style campaign detected: ports 37215/52869 hammering "
+                              "African space (matches §8.1)"
+                            : "=> no strong regional campaign found on 37215/52869 (check "
+                              "volumes)");
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "analysis/hilbert_map.hpp"
+
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+#include "net/hilbert.hpp"
+
+namespace mtscope::analysis {
+
+namespace {
+constexpr int kOrder = 8;       // 2^8 x 2^8 grid = 65,536 /24s of a /8
+constexpr std::uint32_t kSide = 256;
+}  // namespace
+
+HilbertMap::HilbertMap(std::uint8_t slash8,
+                       const std::function<HilbertPixel(net::Block24)>& classify)
+    : slash8_(slash8), pixels_(kSide * kSide, HilbertPixel::kNoData) {
+  const std::uint32_t first = std::uint32_t{slash8} << 16;
+  for (std::uint32_t i = 0; i < kSide * kSide; ++i) {
+    const HilbertPixel p = classify(net::Block24(first + i));
+    const net::HilbertPoint point = net::hilbert_d2xy(kOrder, i);
+    pixels_[point.y * kSide + point.x] = p;
+    ++counts_[static_cast<std::size_t>(p)];
+  }
+}
+
+HilbertPixel HilbertMap::at(std::uint32_t x, std::uint32_t y) const {
+  if (x >= kSide || y >= kSide) throw std::out_of_range("HilbertMap::at: out of grid");
+  return pixels_[y * kSide + x];
+}
+
+std::string HilbertMap::render_ascii(std::uint32_t width) const {
+  if (width == 0 || width > kSide) throw std::invalid_argument("HilbertMap: bad ascii width");
+  const std::uint32_t cell = kSide / width;
+  const std::uint32_t rows = kSide / cell;
+  std::string out;
+  out.reserve((width + 1) * rows);
+
+  for (std::uint32_t cy = 0; cy < rows; ++cy) {
+    for (std::uint32_t cx = 0; cx < width; ++cx) {
+      std::uint32_t dark = 0;
+      std::uint32_t marked = 0;
+      std::uint32_t total = 0;
+      for (std::uint32_t y = cy * cell; y < (cy + 1) * cell; ++y) {
+        for (std::uint32_t x = cx * cell; x < (cx + 1) * cell; ++x) {
+          const HilbertPixel p = pixels_[y * kSide + x];
+          ++total;
+          if (p == HilbertPixel::kDark || p == HilbertPixel::kDarkMarked) ++dark;
+          if (p == HilbertPixel::kMarked || p == HilbertPixel::kDarkMarked) ++marked;
+        }
+      }
+      const double density = static_cast<double>(dark) / static_cast<double>(total);
+      char glyph = ' ';
+      if (density > 0.75) glyph = '#';
+      else if (density > 0.5) glyph = '*';
+      else if (density > 0.25) glyph = '=';
+      else if (density > 0.05) glyph = '.';
+      if (glyph == ' ' && marked > 0) glyph = '+';  // telescope boundary, not inferred
+      out.push_back(glyph);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void HilbertMap::write_pgm(std::ostream& out) const {
+  out << "P5\n" << kSide << ' ' << kSide << "\n255\n";
+  std::vector<unsigned char> row(kSide);
+  for (std::uint32_t y = 0; y < kSide; ++y) {
+    for (std::uint32_t x = 0; x < kSide; ++x) {
+      switch (pixels_[y * kSide + x]) {
+        case HilbertPixel::kDark: row[x] = 0; break;
+        case HilbertPixel::kDarkMarked: row[x] = 32; break;
+        case HilbertPixel::kMarked: row[x] = 160; break;
+        case HilbertPixel::kNoData: row[x] = 255; break;
+      }
+    }
+    out.write(reinterpret_cast<const char*>(row.data()), row.size());
+  }
+}
+
+}  // namespace mtscope::analysis

@@ -1,0 +1,55 @@
+// Hilbert-map rendering of a /8 (Figures 3, 5, 6): each of the 65,536 /24s
+// maps to a pixel of a 256x256 grid along an order-8 Hilbert curve, so
+// numerically adjacent blocks stay spatially adjacent.
+//
+// Two outputs: a downscaled ASCII rendering for terminals/bench logs, and a
+// binary PGM (portable graymap) for real image tooling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "net/ipv4.hpp"
+
+namespace mtscope::analysis {
+
+/// Pixel classification for one /24.
+enum class HilbertPixel : std::uint8_t {
+  kNoData,    // nothing observed / not inferred
+  kDark,      // inferred meta-telescope prefix
+  kMarked,    // highlighted region boundary (e.g. a known telescope)
+  kDarkMarked // inferred AND inside the highlighted region
+};
+
+class HilbertMap {
+ public:
+  /// Build the map for the /8 with the given first octet.  `classify` is
+  /// called once per /24 of that /8.
+  HilbertMap(std::uint8_t slash8, const std::function<HilbertPixel(net::Block24)>& classify);
+
+  [[nodiscard]] std::uint8_t slash8() const noexcept { return slash8_; }
+  [[nodiscard]] HilbertPixel at(std::uint32_t x, std::uint32_t y) const;
+
+  /// Count of /24s in each class.
+  [[nodiscard]] std::uint64_t count(HilbertPixel p) const noexcept {
+    return counts_[static_cast<std::size_t>(p)];
+  }
+
+  /// ASCII art: the 256x256 grid aggregated into `width`-character rows
+  /// (each character covers a square of pixels; the glyph reflects the
+  /// dark-pixel density, '#'-heavy = dense dark space, '+' = marked).
+  [[nodiscard]] std::string render_ascii(std::uint32_t width = 64) const;
+
+  /// Binary PGM, 256x256, 8-bit: dark=0, dark+marked=32, marked=160,
+  /// no-data=255.
+  void write_pgm(std::ostream& out) const;
+
+ private:
+  std::uint8_t slash8_;
+  std::vector<HilbertPixel> pixels_;  // 256*256, row-major
+  std::uint64_t counts_[4] = {0, 0, 0, 0};
+};
+
+}  // namespace mtscope::analysis

@@ -1,0 +1,187 @@
+#include "analysis/ports.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/table.hpp"
+
+namespace mtscope::analysis {
+
+void PortCounter::add_packets(std::span<const flow::PacketMeta> packets) {
+  for (const flow::PacketMeta& p : packets) {
+    if (p.proto == net::IpProto::kTcp) add(p.dst_port);
+  }
+}
+
+std::vector<std::pair<std::uint16_t, std::uint64_t>> PortCounter::top(std::size_t k) const {
+  std::vector<std::pair<std::uint16_t, std::uint64_t>> out(counts_.begin(), counts_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::uint64_t PortCounter::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& [port, count] : counts_) sum += count;
+  return sum;
+}
+
+std::uint64_t PortCounter::count_of(std::uint16_t port) const {
+  const auto it = counts_.find(port);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+PortActivity::PortActivity(const geo::GeoDb& geodb, const geo::NetTypeDb& nettypes,
+                           const routing::PrefixToAs& pfx2as)
+    : geodb_(geodb), nettypes_(nettypes), pfx2as_(pfx2as) {}
+
+void PortActivity::add_flows(std::span<const flow::FlowRecord> flows,
+                             const trie::Block24Set& dark) {
+  for (const flow::FlowRecord& r : flows) {
+    if (r.key.proto != net::IpProto::kTcp) continue;
+    const net::Block24 block = net::Block24::containing(r.key.dst);
+    if (!dark.contains(block)) continue;
+
+    const auto region = static_cast<std::size_t>(geodb_.continent_of(block));
+    by_region_[r.key.dst_port][region] += r.packets;
+    region_totals_[region] += r.packets;
+    grand_total_ += r.packets;
+
+    const auto asn = pfx2as_.resolve(block);
+    if (asn) {
+      if (const auto type = nettypes_.resolve(*asn)) {
+        const auto t = static_cast<std::size_t>(*type);
+        by_type_[r.key.dst_port][t] += r.packets;
+        type_totals_[t] += r.packets;
+      }
+    }
+  }
+}
+
+namespace {
+
+template <std::size_t N>
+std::vector<std::uint16_t> joint_top(
+    const std::unordered_map<std::uint16_t, std::array<std::uint64_t, N>>& table,
+    std::size_t k) {
+  // Per-group top-k, then union, ordered by total popularity descending.
+  std::vector<std::uint16_t> joined;
+  for (std::size_t group = 0; group < N; ++group) {
+    std::vector<std::pair<std::uint16_t, std::uint64_t>> ranked;
+    for (const auto& [port, counts] : table) {
+      if (counts[group] > 0) ranked.emplace_back(port, counts[group]);
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    for (std::size_t i = 0; i < std::min(k, ranked.size()); ++i) {
+      if (std::find(joined.begin(), joined.end(), ranked[i].first) == joined.end()) {
+        joined.push_back(ranked[i].first);
+      }
+    }
+  }
+  std::sort(joined.begin(), joined.end(), [&](std::uint16_t a, std::uint16_t b) {
+    std::uint64_t ta = 0;
+    std::uint64_t tb = 0;
+    if (const auto it = table.find(a); it != table.end()) {
+      for (std::uint64_t c : it->second) ta += c;
+    }
+    if (const auto it = table.find(b); it != table.end()) {
+      for (std::uint64_t c : it->second) tb += c;
+    }
+    if (ta != tb) return ta > tb;
+    return a < b;
+  });
+  return joined;
+}
+
+}  // namespace
+
+std::vector<std::uint16_t> PortActivity::joint_top_ports_by_region(std::size_t k) const {
+  return joint_top(by_region_, k);
+}
+
+std::vector<std::uint16_t> PortActivity::joint_top_ports_by_type(std::size_t k) const {
+  return joint_top(by_type_, k);
+}
+
+std::uint64_t PortActivity::count(geo::Continent region, std::uint16_t port) const {
+  const auto it = by_region_.find(port);
+  return it == by_region_.end() ? 0 : it->second[static_cast<std::size_t>(region)];
+}
+
+std::uint64_t PortActivity::count(geo::NetType type, std::uint16_t port) const {
+  const auto it = by_type_.find(port);
+  return it == by_type_.end() ? 0 : it->second[static_cast<std::size_t>(type)];
+}
+
+double PortActivity::share(geo::Continent region, std::uint16_t port) const {
+  const std::uint64_t denom = total(region);
+  return denom == 0 ? 0.0
+                    : static_cast<double>(count(region, port)) / static_cast<double>(denom);
+}
+
+double PortActivity::share(geo::NetType type, std::uint16_t port) const {
+  const std::uint64_t denom = total(type);
+  return denom == 0 ? 0.0 : static_cast<double>(count(type, port)) / static_cast<double>(denom);
+}
+
+double PortActivity::global_share(geo::Continent region, std::uint16_t port) const {
+  return grand_total_ == 0
+             ? 0.0
+             : static_cast<double>(count(region, port)) / static_cast<double>(grand_total_);
+}
+
+std::uint64_t PortActivity::total(geo::Continent region) const {
+  return region_totals_[static_cast<std::size_t>(region)];
+}
+
+std::uint64_t PortActivity::total(geo::NetType type) const {
+  return type_totals_[static_cast<std::size_t>(type)];
+}
+
+namespace {
+
+std::string bean(double share) {
+  // 0..20 character bar on a sqrt scale so small-but-present activity shows.
+  const auto width = static_cast<std::size_t>(std::round(20.0 * std::sqrt(share)));
+  return std::string(width, '#');
+}
+
+}  // namespace
+
+std::string PortActivity::render_region_matrix(std::span<const std::uint16_t> ports) const {
+  std::vector<std::string> headers = {"Port"};
+  for (geo::Continent c : geo::kAllContinents) headers.emplace_back(geo::continent_code(c));
+  util::TextTable table(std::move(headers));
+  for (std::size_t col = 1; col <= geo::kAllContinents.size(); ++col) {
+    table.set_alignment(col, util::Align::kLeft);
+  }
+  for (const std::uint16_t port : ports) {
+    std::vector<std::string> row = {std::to_string(port)};
+    for (geo::Continent c : geo::kAllContinents) row.push_back(bean(share(c, port)));
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+std::string PortActivity::render_type_matrix(std::span<const std::uint16_t> ports) const {
+  std::vector<std::string> headers = {"Port"};
+  for (geo::NetType t : geo::kAllNetTypes) headers.emplace_back(geo::net_type_name(t));
+  util::TextTable table(std::move(headers));
+  for (std::size_t col = 1; col <= geo::kAllNetTypes.size(); ++col) {
+    table.set_alignment(col, util::Align::kLeft);
+  }
+  for (const std::uint16_t port : ports) {
+    std::vector<std::string> row = {std::to_string(port)};
+    for (geo::NetType t : geo::kAllNetTypes) row.push_back(bean(share(t, port)));
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+}  // namespace mtscope::analysis

@@ -1,0 +1,91 @@
+// Port-popularity analyses.
+//
+// Two consumers:
+//  * operational telescopes (Table 5): rank destination TCP ports from raw
+//    captured packets;
+//  * the meta-telescope (§8, Figures 11/12/18-20): rank ports from IXP
+//    flows destined to inferred dark blocks, split by world region and by
+//    network type — the "bean plot" data.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "flow/packet.hpp"
+#include "flow/record.hpp"
+#include "geo/geodb.hpp"
+#include "geo/nettype.hpp"
+#include "routing/as_maps.hpp"
+#include "trie/block24_set.hpp"
+
+namespace mtscope::analysis {
+
+/// Simple exact TCP destination-port counter.
+class PortCounter {
+ public:
+  void add(std::uint16_t port, std::uint64_t packets = 1) { counts_[port] += packets; }
+
+  /// Count TCP packets from a raw capture.
+  void add_packets(std::span<const flow::PacketMeta> packets);
+
+  [[nodiscard]] std::vector<std::pair<std::uint16_t, std::uint64_t>> top(std::size_t k) const;
+  [[nodiscard]] std::uint64_t total() const noexcept;
+  [[nodiscard]] std::uint64_t count_of(std::uint16_t port) const;
+
+ private:
+  std::unordered_map<std::uint16_t, std::uint64_t> counts_;
+};
+
+/// Port activity toward inferred meta-telescope prefixes, bucketed by the
+/// destination's world region and network type.
+class PortActivity {
+ public:
+  PortActivity(const geo::GeoDb& geodb, const geo::NetTypeDb& nettypes,
+               const routing::PrefixToAs& pfx2as);
+
+  /// Ingest flows; only TCP flows destined to `dark` blocks count.
+  void add_flows(std::span<const flow::FlowRecord> flows, const trie::Block24Set& dark);
+
+  /// Union of each region's top-k ports, ordered by global popularity
+  /// (paper: "we first compile the list of top-targeted ports for each
+  /// region, then join these lists").
+  [[nodiscard]] std::vector<std::uint16_t> joint_top_ports_by_region(std::size_t k) const;
+  [[nodiscard]] std::vector<std::uint16_t> joint_top_ports_by_type(std::size_t k) const;
+
+  /// Packets to `port` within one region / type.
+  [[nodiscard]] std::uint64_t count(geo::Continent region, std::uint16_t port) const;
+  [[nodiscard]] std::uint64_t count(geo::NetType type, std::uint16_t port) const;
+
+  /// Share of the region's (type's) total activity on this port.
+  [[nodiscard]] double share(geo::Continent region, std::uint16_t port) const;
+  [[nodiscard]] double share(geo::NetType type, std::uint16_t port) const;
+
+  /// Share relative to ALL meta-telescope traffic (Figure 18's variant).
+  [[nodiscard]] double global_share(geo::Continent region, std::uint16_t port) const;
+
+  [[nodiscard]] std::uint64_t total(geo::Continent region) const;
+  [[nodiscard]] std::uint64_t total(geo::NetType type) const;
+  [[nodiscard]] std::uint64_t grand_total() const noexcept { return grand_total_; }
+
+  /// ASCII "bean plot": a matrix of ports x groups where cell width encodes
+  /// the within-group share.
+  [[nodiscard]] std::string render_region_matrix(std::span<const std::uint16_t> ports) const;
+  [[nodiscard]] std::string render_type_matrix(std::span<const std::uint16_t> ports) const;
+
+ private:
+  const geo::GeoDb& geodb_;
+  const geo::NetTypeDb& nettypes_;
+  const routing::PrefixToAs& pfx2as_;
+
+  std::unordered_map<std::uint16_t, std::array<std::uint64_t, 7>> by_region_;
+  std::unordered_map<std::uint16_t, std::array<std::uint64_t, 4>> by_type_;
+  std::array<std::uint64_t, 7> region_totals_{};
+  std::array<std::uint64_t, 4> type_totals_{};
+  std::uint64_t grand_total_ = 0;
+};
+
+}  // namespace mtscope::analysis

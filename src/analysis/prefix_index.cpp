@@ -1,0 +1,49 @@
+#include "analysis/prefix_index.hpp"
+
+namespace mtscope::analysis {
+
+std::vector<PrefixIndexEntry> compute_prefix_index(const routing::Rib& rib,
+                                                   const trie::Block24Set& dark, int min_len,
+                                                   int max_len) {
+  std::vector<PrefixIndexEntry> out;
+  for (const auto& [prefix, origin] : rib.announcements_up_to(max_len)) {
+    if (prefix.length() < min_len) continue;
+    PrefixIndexEntry entry;
+    entry.prefix = prefix;
+    entry.origin = origin;
+    entry.total_24s = prefix.block24_count();
+    const std::uint32_t first = prefix.base().value() >> 8;
+    entry.dark_24s =
+        dark.count_in_range(first, first + static_cast<std::uint32_t>(entry.total_24s) - 1);
+    out.push_back(entry);
+  }
+  return out;
+}
+
+std::map<int, telemetry::Ecdf> index_ecdf_by_length(
+    const std::vector<PrefixIndexEntry>& entries) {
+  std::map<int, telemetry::Ecdf> out;
+  for (const PrefixIndexEntry& e : entries) out[e.prefix.length()].add(e.index());
+  return out;
+}
+
+std::map<geo::NetType, telemetry::Ecdf> index_ecdf_by_type(
+    const std::vector<PrefixIndexEntry>& entries, const geo::NetTypeDb& nettypes) {
+  std::map<geo::NetType, telemetry::Ecdf> out;
+  for (const PrefixIndexEntry& e : entries) {
+    const auto type = nettypes.resolve(e.origin);
+    if (type) out[*type].add(e.index());
+  }
+  return out;
+}
+
+std::map<geo::Continent, telemetry::Ecdf> index_ecdf_by_continent(
+    const std::vector<PrefixIndexEntry>& entries, const geo::GeoDb& geodb) {
+  std::map<geo::Continent, telemetry::Ecdf> out;
+  for (const PrefixIndexEntry& e : entries) {
+    out[geodb.continent_of(e.prefix.base())].add(e.index());
+  }
+  return out;
+}
+
+}  // namespace mtscope::analysis

@@ -1,0 +1,50 @@
+// Prefix index (paper §6.4): for each large announced prefix, the share of
+// its /24s inferred as meta-telescope prefixes; summarised as ECDFs per
+// covering-prefix size (Figure 7), per network type (Figure 16) and per
+// continent (Figure 17).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "geo/geodb.hpp"
+#include "geo/nettype.hpp"
+#include "net/prefix.hpp"
+#include "routing/as_maps.hpp"
+#include "routing/rib.hpp"
+#include "telemetry/ecdf.hpp"
+#include "trie/block24_set.hpp"
+
+namespace mtscope::analysis {
+
+struct PrefixIndexEntry {
+  net::Prefix prefix;
+  net::AsNumber origin;
+  std::uint64_t total_24s = 0;
+  std::uint64_t dark_24s = 0;
+
+  [[nodiscard]] double index() const noexcept {
+    return total_24s == 0 ? 0.0
+                          : static_cast<double>(dark_24s) / static_cast<double>(total_24s);
+  }
+};
+
+/// Compute the prefix index for every announcement whose length lies in
+/// [min_len, max_len] (paper: /8 .. /16).
+[[nodiscard]] std::vector<PrefixIndexEntry> compute_prefix_index(
+    const routing::Rib& rib, const trie::Block24Set& dark, int min_len = 8, int max_len = 16);
+
+/// Figure 7: one ECDF of index values per prefix length.
+[[nodiscard]] std::map<int, telemetry::Ecdf> index_ecdf_by_length(
+    const std::vector<PrefixIndexEntry>& entries);
+
+/// Figure 16: one ECDF per network type of the origin AS.
+[[nodiscard]] std::map<geo::NetType, telemetry::Ecdf> index_ecdf_by_type(
+    const std::vector<PrefixIndexEntry>& entries, const geo::NetTypeDb& nettypes);
+
+/// Figure 17: one ECDF per continent of the prefix's geolocation.
+[[nodiscard]] std::map<geo::Continent, telemetry::Ecdf> index_ecdf_by_continent(
+    const std::vector<PrefixIndexEntry>& entries, const geo::GeoDb& geodb);
+
+}  // namespace mtscope::analysis

@@ -1,0 +1,65 @@
+#include "analysis/world_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace mtscope::analysis {
+
+GeoSummary summarize_geography(const trie::Block24Set& blocks, const geo::GeoDb& geodb,
+                               const routing::PrefixToAs& pfx2as) {
+  GeoSummary out;
+  std::unordered_map<std::string, std::uint64_t> country_counts;
+  std::unordered_set<std::uint32_t> ases;
+
+  blocks.for_each([&](net::Block24 block) {
+    ++out.total_blocks;
+    const auto country = geodb.country_of(block);
+    const std::string code = country.value_or("??");
+    ++country_counts[code];
+    ++out.by_continent[country ? geo::continent_of_country(*country)
+                               : geo::Continent::kInternational];
+    if (const auto asn = pfx2as.resolve(block)) ases.insert(asn->value());
+  });
+
+  out.by_country.reserve(country_counts.size());
+  for (auto& [country, count] : country_counts) {
+    out.by_country.push_back(CountryCount{country, count});
+  }
+  std::sort(out.by_country.begin(), out.by_country.end(),
+            [](const CountryCount& a, const CountryCount& b) {
+              if (a.blocks != b.blocks) return a.blocks > b.blocks;
+              return a.country < b.country;
+            });
+  out.distinct_countries = out.by_country.size();
+  out.distinct_ases = ases.size();
+  return out;
+}
+
+std::string render_world_table(const GeoSummary& summary, std::size_t top_n) {
+  util::TextTable table({"Country", "#/24 blocks", "log-scale"});
+  table.set_alignment(2, util::Align::kLeft);
+  const std::size_t limit = std::min(top_n, summary.by_country.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    const CountryCount& cc = summary.by_country[i];
+    const auto bar_len = static_cast<std::size_t>(
+        std::max(1.0, 4.0 * std::log10(static_cast<double>(cc.blocks) + 1.0)));
+    table.add_row({cc.country, util::with_commas(cc.blocks), std::string(bar_len, '#')});
+  }
+  std::string out = table.render();
+  out += "continents: ";
+  bool first = true;
+  for (const auto& [continent, count] : summary.by_continent) {
+    if (!first) out += ", ";
+    first = false;
+    out += std::string(geo::continent_code(continent)) + "=" + util::with_commas(count);
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace mtscope::analysis

@@ -1,0 +1,38 @@
+// Geographic aggregation of an inferred meta-telescope set (Figure 4 and
+// Appendix A's world maps, rendered as tables; Table 6's per-IXP country and
+// AS counts).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "geo/geodb.hpp"
+#include "routing/as_maps.hpp"
+#include "trie/block24_set.hpp"
+
+namespace mtscope::analysis {
+
+struct CountryCount {
+  std::string country;  // ISO alpha-2; "??" when unmapped
+  std::uint64_t blocks = 0;
+};
+
+struct GeoSummary {
+  std::vector<CountryCount> by_country;          // descending by count
+  std::map<geo::Continent, std::uint64_t> by_continent;
+  std::uint64_t distinct_countries = 0;
+  std::uint64_t distinct_ases = 0;
+  std::uint64_t total_blocks = 0;
+};
+
+/// Aggregate an inferred block set by country / continent / origin AS.
+[[nodiscard]] GeoSummary summarize_geography(const trie::Block24Set& blocks,
+                                             const geo::GeoDb& geodb,
+                                             const routing::PrefixToAs& pfx2as);
+
+/// Text rendering of the "world map": top countries with log-scale bars.
+[[nodiscard]] std::string render_world_table(const GeoSummary& summary, std::size_t top_n = 20);
+
+}  // namespace mtscope::analysis

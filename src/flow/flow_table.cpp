@@ -1,0 +1,95 @@
+#include "flow/flow_table.hpp"
+
+#include <algorithm>
+
+namespace mtscope::flow {
+
+FlowTable::FlowTable(FlowTableConfig config) : config_(config) {
+  if (config_.sampling_rate == 0) {
+    throw std::invalid_argument("FlowTable: sampling_rate must be >= 1");
+  }
+  if (config_.max_entries == 0) {
+    throw std::invalid_argument("FlowTable: max_entries must be >= 1");
+  }
+}
+
+void FlowTable::add(const PacketMeta& packet) {
+  ++packets_seen_;
+
+  // Periodic expiry scan: amortised by only scanning once per idle timeout's
+  // worth of simulated time rather than on every packet.
+  if (packet.timestamp_us >= last_expiry_scan_us_ + config_.idle_timeout_us) {
+    expire(packet.timestamp_us);
+    last_expiry_scan_us_ = packet.timestamp_us;
+  }
+
+  const FlowKey key{packet.src, packet.dst, packet.src_port, packet.dst_port, packet.proto};
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    if (table_.size() >= config_.max_entries) {
+      // Emergency eviction: export the oldest entry found in a bounded probe
+      // (full scans would be O(n) per packet under overload).
+      auto victim = table_.begin();
+      std::size_t probes = 0;
+      for (auto scan = table_.begin(); scan != table_.end() && probes < 16; ++scan, ++probes) {
+        if (scan->second.last_us < victim->second.last_us) victim = scan;
+      }
+      export_flow(victim->second);
+      table_.erase(victim);
+    }
+    FlowRecord fresh;
+    fresh.key = key;
+    fresh.first_us = packet.timestamp_us;
+    fresh.last_us = packet.timestamp_us;
+    fresh.packets = 1;
+    fresh.bytes = packet.ip_length;
+    fresh.tcp_flags_or = packet.tcp_flags;
+    fresh.sampling_rate = config_.sampling_rate;
+    table_.emplace(key, fresh);
+    return;
+  }
+
+  FlowRecord& flow = it->second;
+  // Active timeout: export the accumulated record and restart the flow.
+  if (packet.timestamp_us >= flow.first_us + config_.active_timeout_us) {
+    export_flow(flow);
+    flow.first_us = packet.timestamp_us;
+    flow.packets = 0;
+    flow.bytes = 0;
+    flow.tcp_flags_or = 0;
+  }
+  flow.last_us = std::max(flow.last_us, packet.timestamp_us);
+  flow.packets += 1;
+  flow.bytes += packet.ip_length;
+  flow.tcp_flags_or |= packet.tcp_flags;
+}
+
+void FlowTable::expire(std::uint64_t now_us) {
+  for (auto it = table_.begin(); it != table_.end();) {
+    if (now_us >= it->second.last_us + config_.idle_timeout_us) {
+      export_flow(it->second);
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FlowTable::export_flow(const FlowRecord& flow) {
+  if (flow.packets == 0) return;  // nothing accumulated since last active-timeout export
+  exported_.push_back(flow);
+  ++flows_exported_;
+}
+
+std::vector<FlowRecord> FlowTable::drain_exported() {
+  std::vector<FlowRecord> out;
+  out.swap(exported_);
+  return out;
+}
+
+void FlowTable::flush() {
+  for (const auto& [key, flow] : table_) export_flow(flow);
+  table_.clear();
+}
+
+}  // namespace mtscope::flow

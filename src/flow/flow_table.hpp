@@ -1,0 +1,53 @@
+// 5-tuple flow aggregation with active/idle timeouts — the exporter-side
+// cache that turns sampled packets into IPFIX flow records.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "flow/packet.hpp"
+#include "flow/record.hpp"
+
+namespace mtscope::flow {
+
+struct FlowTableConfig {
+  std::uint64_t idle_timeout_us = 15ull * 1'000'000;    // expire after quiet period
+  std::uint64_t active_timeout_us = 300ull * 1'000'000; // force-export long flows
+  std::uint32_t sampling_rate = 1;                      // recorded into exported flows
+  std::size_t max_entries = 1u << 20;                   // hard cap; evicts oldest on overflow
+};
+
+/// Aggregates packets into flows.  Call `add` with monotonically
+/// non-decreasing timestamps; expired flows accumulate in the export queue
+/// retrievable via `drain_exported`.  `flush` force-exports everything.
+class FlowTable {
+ public:
+  explicit FlowTable(FlowTableConfig config = {});
+
+  /// Account one (sampled) packet.
+  void add(const PacketMeta& packet);
+
+  /// Take all flows exported so far (expired or evicted).
+  [[nodiscard]] std::vector<FlowRecord> drain_exported();
+
+  /// Force-export all active flows (end of measurement interval).
+  void flush();
+
+  [[nodiscard]] std::size_t active_flows() const noexcept { return table_.size(); }
+  [[nodiscard]] std::uint64_t packets_seen() const noexcept { return packets_seen_; }
+  [[nodiscard]] std::uint64_t flows_exported() const noexcept { return flows_exported_; }
+
+ private:
+  void expire(std::uint64_t now_us);
+  void export_flow(const FlowRecord& flow);
+
+  FlowTableConfig config_;
+  std::unordered_map<FlowKey, FlowRecord> table_;
+  std::vector<FlowRecord> exported_;
+  std::uint64_t last_expiry_scan_us_ = 0;
+  std::uint64_t packets_seen_ = 0;
+  std::uint64_t flows_exported_ = 0;
+};
+
+}  // namespace mtscope::flow

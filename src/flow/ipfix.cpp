@@ -1,0 +1,299 @@
+#include "flow/ipfix.hpp"
+
+#include <unordered_map>
+
+namespace mtscope::flow {
+
+namespace {
+
+constexpr std::uint16_t kVersion = 10;
+constexpr std::size_t kMessageHeaderSize = 16;
+constexpr std::size_t kSetHeaderSize = 4;
+constexpr std::uint16_t kTemplateSetId = 2;
+
+// Our template: fixed field order; total record size 42 bytes.
+struct FieldSpec {
+  std::uint16_t element_id;
+  std::uint16_t length;
+};
+constexpr FieldSpec kTemplateFields[] = {
+    {InformationElement::kSourceIPv4Address, 4},
+    {InformationElement::kDestinationIPv4Address, 4},
+    {InformationElement::kSourceTransportPort, 2},
+    {InformationElement::kDestinationTransportPort, 2},
+    {InformationElement::kProtocolIdentifier, 1},
+    {InformationElement::kTcpControlBits, 1},
+    {InformationElement::kPacketDeltaCount, 8},
+    {InformationElement::kOctetDeltaCount, 8},
+    {InformationElement::kFlowStartMicroseconds, 8},
+    {InformationElement::kFlowEndMicroseconds, 8},
+    {InformationElement::kSamplingPacketInterval, 4},
+};
+constexpr std::size_t kFieldCount = std::size(kTemplateFields);
+constexpr std::size_t kRecordSize = 4 + 4 + 2 + 2 + 1 + 1 + 8 + 8 + 8 + 8 + 4;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, static_cast<std::uint16_t>(v & 0xffff));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, static_cast<std::uint32_t>(v & 0xffffffff));
+}
+
+[[nodiscard]] std::uint16_t get_u16(std::span<const std::uint8_t> b, std::size_t at) {
+  return static_cast<std::uint16_t>((std::uint16_t{b[at]} << 8) | b[at + 1]);
+}
+
+[[nodiscard]] std::uint32_t get_u32(std::span<const std::uint8_t> b, std::size_t at) {
+  return (std::uint32_t{get_u16(b, at)} << 16) | get_u16(b, at + 2);
+}
+
+/// Append the template set for our record layout.
+void append_template_set(std::vector<std::uint8_t>& out, std::uint16_t template_id) {
+  put_u16(out, kTemplateSetId);
+  put_u16(out, static_cast<std::uint16_t>(kSetHeaderSize + 4 + 4 * kFieldCount));
+  put_u16(out, template_id);
+  put_u16(out, static_cast<std::uint16_t>(kFieldCount));
+  for (const FieldSpec& f : kTemplateFields) {
+    put_u16(out, f.element_id);
+    put_u16(out, f.length);
+  }
+}
+
+void append_record(std::vector<std::uint8_t>& out, const FlowRecord& r) {
+  put_u32(out, r.key.src.value());
+  put_u32(out, r.key.dst.value());
+  put_u16(out, r.key.src_port);
+  put_u16(out, r.key.dst_port);
+  out.push_back(static_cast<std::uint8_t>(r.key.proto));
+  out.push_back(r.tcp_flags_or);
+  put_u64(out, r.packets);
+  put_u64(out, r.bytes);
+  put_u64(out, r.first_us);
+  put_u64(out, r.last_us);
+  put_u32(out, r.sampling_rate);
+}
+
+}  // namespace
+
+IpfixEncoder::IpfixEncoder(IpfixEncoderConfig config) : config_(config) {
+  if (config_.template_id < 256) {
+    throw std::invalid_argument("IpfixEncoder: template ids below 256 are reserved");
+  }
+  const std::size_t min_size =
+      kMessageHeaderSize + kSetHeaderSize + 4 + 4 * kFieldCount + kSetHeaderSize + kRecordSize;
+  if (config_.max_message_bytes < min_size || config_.max_message_bytes > 65535) {
+    throw std::invalid_argument("IpfixEncoder: max_message_bytes out of range");
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> IpfixEncoder::encode(std::span<const FlowRecord> records,
+                                                            std::uint32_t export_time_s) {
+  std::vector<std::vector<std::uint8_t>> messages;
+  std::size_t index = 0;
+  bool template_sent = false;
+
+  while (index < records.size() || messages.empty()) {
+    std::vector<std::uint8_t> msg;
+    // Message header placeholder; length patched at the end.
+    put_u16(msg, kVersion);
+    put_u16(msg, 0);
+    put_u32(msg, export_time_s);
+    put_u32(msg, sequence_);
+    put_u32(msg, config_.observation_domain);
+
+    if (config_.template_in_every_message || !template_sent) {
+      append_template_set(msg, config_.template_id);
+      template_sent = true;
+    }
+
+    if (index < records.size()) {
+      const std::size_t data_set_start = msg.size();
+      put_u16(msg, config_.template_id);
+      put_u16(msg, 0);  // set length patched below
+      std::size_t count_in_set = 0;
+      while (index < records.size() &&
+             msg.size() + kRecordSize <= config_.max_message_bytes) {
+        append_record(msg, records[index]);
+        ++index;
+        ++count_in_set;
+      }
+      const auto set_len = static_cast<std::uint16_t>(msg.size() - data_set_start);
+      msg[data_set_start + 2] = static_cast<std::uint8_t>(set_len >> 8);
+      msg[data_set_start + 3] = static_cast<std::uint8_t>(set_len & 0xff);
+      sequence_ += static_cast<std::uint32_t>(count_in_set);
+    }
+
+    const auto msg_len = static_cast<std::uint16_t>(msg.size());
+    msg[2] = static_cast<std::uint8_t>(msg_len >> 8);
+    msg[3] = static_cast<std::uint8_t>(msg_len & 0xff);
+    messages.push_back(std::move(msg));
+
+    if (records.empty()) break;  // template-only heartbeat message
+  }
+  return messages;
+}
+
+util::Result<std::size_t> IpfixDecoder::feed(std::span<const std::uint8_t> message) {
+  if (message.size() < kMessageHeaderSize) {
+    return util::make_error("ipfix.truncated", "message shorter than header");
+  }
+  const std::uint16_t version = get_u16(message, 0);
+  if (version != kVersion) {
+    return util::make_error("ipfix.version", "unsupported IPFIX version");
+  }
+  const std::uint16_t declared_length = get_u16(message, 2);
+  if (declared_length < kMessageHeaderSize || declared_length > message.size()) {
+    return util::make_error("ipfix.length", "declared message length invalid");
+  }
+  const std::uint32_t domain = get_u32(message, 12);
+
+  std::size_t decoded_here = 0;
+  std::size_t offset = kMessageHeaderSize;
+  while (offset < declared_length) {
+    if (offset + kSetHeaderSize > declared_length) {
+      return util::make_error("ipfix.set", "set header cut short");
+    }
+    const std::uint16_t set_id = get_u16(message, offset);
+    const std::uint16_t set_length = get_u16(message, offset + 2);
+    if (set_length < kSetHeaderSize || offset + set_length > declared_length) {
+      return util::make_error("ipfix.set", "set length invalid");
+    }
+    const auto body = message.subspan(offset + kSetHeaderSize, set_length - kSetHeaderSize);
+
+    if (set_id == kTemplateSetId) {
+      auto result = decode_template_set(domain, body);
+      if (!result.ok()) return result.error();
+    } else if (set_id >= 256) {
+      auto result = decode_data_set(domain, set_id, body);
+      if (!result.ok()) return result.error();
+      decoded_here += result.value();
+    } else {
+      // Options templates (3) and reserved ids: skip per RFC 7011 §8.
+      ++sets_skipped_;
+    }
+    offset += set_length;
+  }
+  ++messages_;
+  records_ += decoded_here;
+  return decoded_here;
+}
+
+util::Result<std::size_t> IpfixDecoder::decode_template_set(std::uint32_t domain,
+                                                            std::span<const std::uint8_t> body) {
+  std::size_t offset = 0;
+  std::size_t parsed = 0;
+  // A template set may hold several template records; trailing bytes smaller
+  // than a minimal record are padding.
+  while (offset + 4 <= body.size()) {
+    const std::uint16_t template_id = get_u16(body, offset);
+    const std::uint16_t field_count = get_u16(body, offset + 2);
+    if (template_id < 256) {
+      return util::make_error("ipfix.template", "template id below 256");
+    }
+    offset += 4;
+    if (offset + std::size_t{field_count} * 4 > body.size()) {
+      return util::make_error("ipfix.template", "template record cut short");
+    }
+    std::vector<TemplateField> fields;
+    fields.reserve(field_count);
+    for (std::uint16_t f = 0; f < field_count; ++f) {
+      TemplateField field;
+      field.element_id = get_u16(body, offset);
+      field.length = get_u16(body, offset + 2);
+      if (field.element_id & 0x8000u) {
+        return util::make_error("ipfix.template", "enterprise elements not supported");
+      }
+      if (field.length == 0 || field.length == 0xffff) {
+        return util::make_error("ipfix.template", "variable-length fields not supported");
+      }
+      fields.push_back(field);
+      offset += 4;
+    }
+    templates_[TemplateKey{domain, template_id}] = std::move(fields);
+    ++parsed;
+  }
+  return parsed;
+}
+
+util::Result<std::size_t> IpfixDecoder::decode_data_set(std::uint32_t domain,
+                                                        std::uint16_t set_id,
+                                                        std::span<const std::uint8_t> body) {
+  const auto it = templates_.find(TemplateKey{domain, set_id});
+  if (it == templates_.end()) {
+    return util::make_error("ipfix.data", "data set references unknown template");
+  }
+  const auto& fields = it->second;
+  std::size_t record_size = 0;
+  for (const TemplateField& f : fields) record_size += f.length;
+  if (record_size == 0) return util::make_error("ipfix.data", "zero-size record");
+
+  std::size_t decoded = 0;
+  std::size_t offset = 0;
+  while (offset + record_size <= body.size()) {
+    FlowRecord r;
+    for (const TemplateField& f : fields) {
+      // Read the field value as a big-endian unsigned integer.
+      std::uint64_t value = 0;
+      if (f.length > 8) return util::make_error("ipfix.data", "field longer than 8 bytes");
+      for (std::uint16_t b = 0; b < f.length; ++b) value = (value << 8) | body[offset + b];
+      switch (f.element_id) {
+        case InformationElement::kSourceIPv4Address:
+          r.key.src = net::Ipv4Addr(static_cast<std::uint32_t>(value));
+          break;
+        case InformationElement::kDestinationIPv4Address:
+          r.key.dst = net::Ipv4Addr(static_cast<std::uint32_t>(value));
+          break;
+        case InformationElement::kSourceTransportPort:
+          r.key.src_port = static_cast<std::uint16_t>(value);
+          break;
+        case InformationElement::kDestinationTransportPort:
+          r.key.dst_port = static_cast<std::uint16_t>(value);
+          break;
+        case InformationElement::kProtocolIdentifier:
+          r.key.proto = static_cast<net::IpProto>(value);
+          break;
+        case InformationElement::kTcpControlBits:
+          r.tcp_flags_or = static_cast<std::uint8_t>(value);
+          break;
+        case InformationElement::kPacketDeltaCount:
+          r.packets = value;
+          break;
+        case InformationElement::kOctetDeltaCount:
+          r.bytes = value;
+          break;
+        case InformationElement::kFlowStartMicroseconds:
+          r.first_us = value;
+          break;
+        case InformationElement::kFlowEndMicroseconds:
+          r.last_us = value;
+          break;
+        case InformationElement::kSamplingPacketInterval:
+          r.sampling_rate = static_cast<std::uint32_t>(value);
+          break;
+        default:
+          break;  // tolerate extra elements from richer exporters
+      }
+      offset += f.length;
+    }
+    decoded_.push_back(r);
+    ++decoded;
+  }
+  // Remaining bytes < record_size are padding; RFC 7011 permits this.
+  return decoded;
+}
+
+std::vector<FlowRecord> IpfixDecoder::drain() {
+  std::vector<FlowRecord> out;
+  out.swap(decoded_);
+  return out;
+}
+
+}  // namespace mtscope::flow

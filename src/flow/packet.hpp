@@ -1,0 +1,47 @@
+// Header-level packet metadata — the unit of traffic in the simulator.
+//
+// Vantage points never see payloads (the paper's IXP data is header-only
+// IPFIX); PacketMeta carries exactly the fields the flow pipeline needs.
+// Telescope observers can materialise full wire bytes from it via
+// net::synthesize_packet when a pcap is wanted.
+#pragma once
+
+#include <cstdint>
+
+#include "net/headers.hpp"
+#include "net/ipv4.hpp"
+
+namespace mtscope::flow {
+
+struct PacketMeta {
+  std::uint64_t timestamp_us = 0;
+  net::Ipv4Addr src;
+  net::Ipv4Addr dst;
+  net::IpProto proto = net::IpProto::kTcp;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t ip_length = 40;  // total IP packet length in bytes
+  std::uint8_t tcp_flags = 0;
+
+  friend bool operator==(const PacketMeta&, const PacketMeta&) = default;
+};
+
+/// A 40-byte TCP SYN — the signature packet of Internet background
+/// radiation (>=93% of telescope TCP traffic in the paper).
+[[nodiscard]] inline PacketMeta make_syn(std::uint64_t ts_us, net::Ipv4Addr src,
+                                         net::Ipv4Addr dst, std::uint16_t src_port,
+                                         std::uint16_t dst_port,
+                                         std::uint16_t ip_length = 40) {
+  PacketMeta p;
+  p.timestamp_us = ts_us;
+  p.src = src;
+  p.dst = dst;
+  p.proto = net::IpProto::kTcp;
+  p.src_port = src_port;
+  p.dst_port = dst_port;
+  p.ip_length = ip_length;
+  p.tcp_flags = net::TcpFlags::kSyn;
+  return p;
+}
+
+}  // namespace mtscope::flow

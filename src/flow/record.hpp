@@ -1,0 +1,69 @@
+// Flow records — what IPFIX exports and what the inference pipeline eats.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+#include "net/headers.hpp"
+#include "net/ipv4.hpp"
+
+namespace mtscope::flow {
+
+/// 5-tuple flow key.
+struct FlowKey {
+  net::Ipv4Addr src;
+  net::Ipv4Addr dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  net::IpProto proto = net::IpProto::kTcp;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+};
+
+/// An exported (aggregated, possibly sampled) flow.
+///
+/// `sampling_rate` records the 1-in-N packet sampling the exporter applied;
+/// `packets`/`bytes` are *sampled* counts (multiply by sampling_rate for the
+/// volume estimate), matching IPFIX semantics at real IXPs.
+struct FlowRecord {
+  FlowKey key;
+  std::uint64_t first_us = 0;
+  std::uint64_t last_us = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint8_t tcp_flags_or = 0;  // OR of all observed flag bytes
+  std::uint32_t sampling_rate = 1;
+
+  /// Estimated true packet count given the sampling rate.
+  [[nodiscard]] std::uint64_t estimated_packets() const noexcept {
+    return packets * sampling_rate;
+  }
+
+  /// Average IP packet size over the sampled packets of this flow.
+  [[nodiscard]] double average_packet_size() const noexcept {
+    return packets == 0 ? 0.0 : static_cast<double>(bytes) / static_cast<double>(packets);
+  }
+
+  friend bool operator==(const FlowRecord&, const FlowRecord&) = default;
+};
+
+}  // namespace mtscope::flow
+
+template <>
+struct std::hash<mtscope::flow::FlowKey> {
+  std::size_t operator()(const mtscope::flow::FlowKey& key) const noexcept {
+    // FNV-ish mix over the tuple fields; quality matters because the flow
+    // table hashes millions of keys per simulated day.
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto feed = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    };
+    feed(key.src.value());
+    feed(key.dst.value());
+    feed((std::uint64_t{key.src_port} << 32) | key.dst_port);
+    feed(static_cast<std::uint64_t>(key.proto));
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+};

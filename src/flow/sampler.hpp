@@ -1,0 +1,55 @@
+// Packet samplers modelling the 1-in-N sampling IXP flow exporters apply.
+//
+// Two strategies:
+//  * DeterministicSampler — count-based systematic sampling (every Nth
+//    packet), the common router implementation and what §7.3's sub-sampling
+//    experiment does ("for a factor of 2, consider every second packet").
+//  * ProbabilisticSampler — i.i.d. acceptance with probability 1/N.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace mtscope::flow {
+
+class DeterministicSampler {
+ public:
+  explicit DeterministicSampler(std::uint32_t rate, std::uint32_t phase = 0)
+      : rate_(rate), counter_(phase % (rate == 0 ? 1 : rate)) {
+    if (rate == 0) throw std::invalid_argument("DeterministicSampler: rate must be >= 1");
+  }
+
+  /// Returns true if this packet is sampled.
+  bool accept() noexcept {
+    if (++counter_ >= rate_) {
+      counter_ = 0;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::uint32_t rate() const noexcept { return rate_; }
+
+ private:
+  std::uint32_t rate_;
+  std::uint32_t counter_;
+};
+
+class ProbabilisticSampler {
+ public:
+  ProbabilisticSampler(std::uint32_t rate, util::Rng rng) : rate_(rate), rng_(rng) {
+    if (rate == 0) throw std::invalid_argument("ProbabilisticSampler: rate must be >= 1");
+  }
+
+  bool accept() noexcept { return rate_ == 1 || rng_.uniform(rate_) == 0; }
+
+  [[nodiscard]] std::uint32_t rate() const noexcept { return rate_; }
+
+ private:
+  std::uint32_t rate_;
+  util::Rng rng_;
+};
+
+}  // namespace mtscope::flow

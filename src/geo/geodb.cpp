@@ -1,0 +1,127 @@
+#include "geo/geodb.hpp"
+
+#include <istream>
+#include <ostream>
+#include <unordered_map>
+
+#include "util/strings.hpp"
+
+namespace mtscope::geo {
+
+std::string_view continent_code(Continent c) noexcept {
+  switch (c) {
+    case Continent::kNorthAmerica: return "NA";
+    case Continent::kSouthAmerica: return "SA";
+    case Continent::kEurope: return "EU";
+    case Continent::kAfrica: return "AF";
+    case Continent::kAsia: return "AS";
+    case Continent::kOceania: return "OC";
+    case Continent::kInternational: return "INT";
+  }
+  return "INT";
+}
+
+std::string_view continent_name(Continent c) noexcept {
+  switch (c) {
+    case Continent::kNorthAmerica: return "North America";
+    case Continent::kSouthAmerica: return "South America";
+    case Continent::kEurope: return "Europe";
+    case Continent::kAfrica: return "Africa";
+    case Continent::kAsia: return "Asia";
+    case Continent::kOceania: return "Oceania";
+    case Continent::kInternational: return "International";
+  }
+  return "International";
+}
+
+Continent continent_of_country(std::string_view iso_country) noexcept {
+  // ISO 3166 alpha-2 -> continent, covering the codes the simulator and the
+  // common real-world datasets emit.
+  static const std::unordered_map<std::string_view, Continent> kTable = {
+      // North America (incl. Central America & Caribbean per UN M49 "Americas" split).
+      {"US", Continent::kNorthAmerica}, {"CA", Continent::kNorthAmerica},
+      {"MX", Continent::kNorthAmerica}, {"GT", Continent::kNorthAmerica},
+      {"CU", Continent::kNorthAmerica}, {"PA", Continent::kNorthAmerica},
+      {"CR", Continent::kNorthAmerica}, {"DO", Continent::kNorthAmerica},
+      {"HN", Continent::kNorthAmerica}, {"JM", Continent::kNorthAmerica},
+      // South America.
+      {"BR", Continent::kSouthAmerica}, {"AR", Continent::kSouthAmerica},
+      {"CL", Continent::kSouthAmerica}, {"CO", Continent::kSouthAmerica},
+      {"PE", Continent::kSouthAmerica}, {"VE", Continent::kSouthAmerica},
+      {"EC", Continent::kSouthAmerica}, {"UY", Continent::kSouthAmerica},
+      {"BO", Continent::kSouthAmerica}, {"PY", Continent::kSouthAmerica},
+      // Europe.
+      {"DE", Continent::kEurope}, {"FR", Continent::kEurope}, {"GB", Continent::kEurope},
+      {"NL", Continent::kEurope}, {"IT", Continent::kEurope}, {"ES", Continent::kEurope},
+      {"PL", Continent::kEurope}, {"SE", Continent::kEurope}, {"CH", Continent::kEurope},
+      {"AT", Continent::kEurope}, {"BE", Continent::kEurope}, {"CZ", Continent::kEurope},
+      {"PT", Continent::kEurope}, {"GR", Continent::kEurope}, {"RO", Continent::kEurope},
+      {"UA", Continent::kEurope}, {"RU", Continent::kEurope}, {"NO", Continent::kEurope},
+      {"FI", Continent::kEurope}, {"DK", Continent::kEurope}, {"IE", Continent::kEurope},
+      {"HU", Continent::kEurope}, {"BG", Continent::kEurope}, {"RS", Continent::kEurope},
+      // Africa.
+      {"ZA", Continent::kAfrica}, {"NG", Continent::kAfrica}, {"EG", Continent::kAfrica},
+      {"KE", Continent::kAfrica}, {"MA", Continent::kAfrica}, {"GH", Continent::kAfrica},
+      {"TN", Continent::kAfrica}, {"DZ", Continent::kAfrica}, {"ET", Continent::kAfrica},
+      {"TZ", Continent::kAfrica}, {"UG", Continent::kAfrica}, {"SN", Continent::kAfrica},
+      // Asia.
+      {"CN", Continent::kAsia}, {"JP", Continent::kAsia}, {"IN", Continent::kAsia},
+      {"KR", Continent::kAsia}, {"SG", Continent::kAsia}, {"HK", Continent::kAsia},
+      {"TW", Continent::kAsia}, {"TH", Continent::kAsia}, {"VN", Continent::kAsia},
+      {"ID", Continent::kAsia}, {"MY", Continent::kAsia}, {"PH", Continent::kAsia},
+      {"TR", Continent::kAsia}, {"IL", Continent::kAsia}, {"SA", Continent::kAsia},
+      {"AE", Continent::kAsia}, {"PK", Continent::kAsia}, {"BD", Continent::kAsia},
+      {"IR", Continent::kAsia}, {"KZ", Continent::kAsia}, {"KP", Continent::kAsia},
+      // Oceania.
+      {"AU", Continent::kOceania}, {"NZ", Continent::kOceania}, {"FJ", Continent::kOceania},
+      {"PG", Continent::kOceania}, {"NC", Continent::kOceania},
+  };
+  const auto it = kTable.find(iso_country);
+  return it == kTable.end() ? Continent::kInternational : it->second;
+}
+
+void GeoDb::add(const net::Prefix& prefix, std::string iso_country) {
+  trie_.insert(prefix, std::move(iso_country));
+}
+
+std::optional<std::string> GeoDb::country_of(net::Ipv4Addr addr) const {
+  const auto match = trie_.longest_match(addr);
+  if (!match) return std::nullopt;
+  return *match->second;
+}
+
+Continent GeoDb::continent_of(net::Ipv4Addr addr) const {
+  const auto country = country_of(addr);
+  if (!country) return Continent::kInternational;
+  return continent_of_country(*country);
+}
+
+void GeoDb::save(std::ostream& out) const {
+  trie_.walk([&](const net::Prefix& p, const std::string& country) {
+    out << p.to_string() << ',' << country << '\n';
+  });
+}
+
+util::Result<GeoDb> GeoDb::load(std::istream& in) {
+  GeoDb out;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto fields = util::split(trimmed, ',');
+    if (fields.size() != 2) {
+      return util::make_error("geodb.fields",
+                              "line " + std::to_string(line_no) + ": expected prefix,country");
+    }
+    const auto prefix = net::Prefix::parse(util::trim(fields[0]));
+    if (!prefix) {
+      return util::make_error("geodb.parse", "line " + std::to_string(line_no) + ": bad prefix");
+    }
+    out.add(*prefix, std::string(util::trim(fields[1])));
+  }
+  return out;
+}
+
+}  // namespace mtscope::geo

@@ -1,0 +1,66 @@
+// Country-level IP geolocation (MaxMind GeoLite2 analogue) and the
+// country -> continent mapping used by the regional analyses.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+#include "trie/prefix_trie.hpp"
+#include "util/result.hpp"
+
+namespace mtscope::geo {
+
+/// World regions as the paper groups them (Figure 11 et al.).
+enum class Continent : std::uint8_t {
+  kNorthAmerica,
+  kSouthAmerica,
+  kEurope,
+  kAfrica,
+  kAsia,
+  kOceania,
+  kInternational,  // prefixes that map to no single region
+};
+
+inline constexpr std::array<Continent, 7> kAllContinents = {
+    Continent::kNorthAmerica, Continent::kSouthAmerica, Continent::kEurope,
+    Continent::kAfrica,       Continent::kAsia,         Continent::kOceania,
+    Continent::kInternational};
+
+[[nodiscard]] std::string_view continent_code(Continent c) noexcept;
+[[nodiscard]] std::string_view continent_name(Continent c) noexcept;
+
+/// Continent of an ISO 3166 alpha-2 country code; kInternational if unknown.
+[[nodiscard]] Continent continent_of_country(std::string_view iso_country) noexcept;
+
+/// Country-level geolocation database with longest-prefix-match semantics.
+class GeoDb {
+ public:
+  void add(const net::Prefix& prefix, std::string iso_country);
+
+  /// ISO country of the most specific entry covering `addr`.
+  [[nodiscard]] std::optional<std::string> country_of(net::Ipv4Addr addr) const;
+  [[nodiscard]] std::optional<std::string> country_of(net::Block24 block) const {
+    return country_of(block.first_address());
+  }
+
+  [[nodiscard]] Continent continent_of(net::Ipv4Addr addr) const;
+  [[nodiscard]] Continent continent_of(net::Block24 block) const {
+    return continent_of(block.first_address());
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return trie_.size(); }
+
+  /// CSV format: "prefix,country" per line.
+  void save(std::ostream& out) const;
+  [[nodiscard]] static util::Result<GeoDb> load(std::istream& in);
+
+ private:
+  trie::PrefixTrie<std::string> trie_;
+};
+
+}  // namespace mtscope::geo

@@ -1,0 +1,64 @@
+#include "geo/nettype.hpp"
+
+#include <istream>
+#include <map>
+#include <ostream>
+
+#include "util/strings.hpp"
+
+namespace mtscope::geo {
+
+std::string_view net_type_name(NetType t) noexcept {
+  switch (t) {
+    case NetType::kIsp: return "ISP";
+    case NetType::kEnterprise: return "Enterprise";
+    case NetType::kEducation: return "Education";
+    case NetType::kDataCenter: return "Data Center";
+  }
+  return "ISP";
+}
+
+std::optional<NetType> parse_net_type(std::string_view text) noexcept {
+  const std::string lowered = util::to_lower(util::trim(text));
+  if (lowered == "isp") return NetType::kIsp;
+  if (lowered == "enterprise") return NetType::kEnterprise;
+  if (lowered == "education") return NetType::kEducation;
+  if (lowered == "data center" || lowered == "datacenter" || lowered == "data_center") {
+    return NetType::kDataCenter;
+  }
+  return std::nullopt;
+}
+
+void NetTypeDb::save(std::ostream& out) const {
+  std::map<std::uint32_t, NetType> ordered;
+  for (const auto& [asn, type] : by_asn_) ordered[asn.value()] = type;
+  for (const auto& [asn, type] : ordered) {
+    out << asn << ',' << net_type_name(type) << '\n';
+  }
+}
+
+util::Result<NetTypeDb> NetTypeDb::load(std::istream& in) {
+  NetTypeDb out;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto fields = util::split(trimmed, ',');
+    if (fields.size() != 2) {
+      return util::make_error("nettype.fields",
+                              "line " + std::to_string(line_no) + ": expected asn,type");
+    }
+    const auto asn = util::parse_uint<std::uint32_t>(util::trim(fields[0]));
+    const auto type = parse_net_type(fields[1]);
+    if (!asn || !type) {
+      return util::make_error("nettype.parse",
+                              "line " + std::to_string(line_no) + ": malformed entry");
+    }
+    out.add(net::AsNumber(*asn), *type);
+  }
+  return out;
+}
+
+}  // namespace mtscope::geo

@@ -1,0 +1,52 @@
+// AS business-type classification (IPinfo "IP to Company" analogue).
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+
+#include "net/ipv4.hpp"
+#include "util/result.hpp"
+
+namespace mtscope::geo {
+
+/// Network classes the paper analyses (Table 7, Figure 12).
+enum class NetType : std::uint8_t {
+  kIsp,
+  kEnterprise,
+  kEducation,
+  kDataCenter,
+};
+
+inline constexpr std::array<NetType, 4> kAllNetTypes = {
+    NetType::kIsp, NetType::kEnterprise, NetType::kEducation, NetType::kDataCenter};
+
+[[nodiscard]] std::string_view net_type_name(NetType t) noexcept;
+
+/// Parse "ISP" / "Enterprise" / "Education" / "Data Center" (case-insensitive).
+[[nodiscard]] std::optional<NetType> parse_net_type(std::string_view text) noexcept;
+
+/// AS -> network-type database.
+class NetTypeDb {
+ public:
+  void add(net::AsNumber asn, NetType type) { by_asn_[asn] = type; }
+
+  [[nodiscard]] std::optional<NetType> resolve(net::AsNumber asn) const {
+    const auto it = by_asn_.find(asn);
+    if (it == by_asn_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return by_asn_.size(); }
+
+  /// CSV format: "asn,type" per line.
+  void save(std::ostream& out) const;
+  [[nodiscard]] static util::Result<NetTypeDb> load(std::istream& in);
+
+ private:
+  std::unordered_map<net::AsNumber, NetType> by_asn_;
+};
+
+}  // namespace mtscope::geo

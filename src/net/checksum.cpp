@@ -1,0 +1,40 @@
+#include "net/checksum.hpp"
+
+namespace mtscope::net {
+
+void ChecksumAccumulator::update(std::span<const std::uint8_t> bytes) noexcept {
+  std::size_t i = 0;
+  if (odd_ && !bytes.empty()) {
+    // Complete the dangling high byte from the previous chunk.
+    sum_ += bytes[0];
+    odd_ = false;
+    i = 1;
+  }
+  for (; i + 1 < bytes.size(); i += 2) {
+    sum_ += (static_cast<std::uint32_t>(bytes[i]) << 8) | bytes[i + 1];
+  }
+  if (i < bytes.size()) {
+    sum_ += static_cast<std::uint32_t>(bytes[i]) << 8;
+    odd_ = true;
+  }
+}
+
+void ChecksumAccumulator::update_word(std::uint16_t word) noexcept {
+  const std::uint8_t bytes[2] = {static_cast<std::uint8_t>(word >> 8),
+                                 static_cast<std::uint8_t>(word & 0xff)};
+  update(bytes);
+}
+
+std::uint16_t ChecksumAccumulator::finish() const noexcept {
+  std::uint64_t folded = sum_;
+  while (folded >> 16) folded = (folded & 0xffff) + (folded >> 16);
+  return static_cast<std::uint16_t>(~folded & 0xffff);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes) noexcept {
+  ChecksumAccumulator acc;
+  acc.update(bytes);
+  return acc.finish();
+}
+
+}  // namespace mtscope::net

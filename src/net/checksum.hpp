@@ -1,0 +1,31 @@
+// RFC 1071 Internet checksum.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace mtscope::net {
+
+/// One's-complement sum accumulator, foldable into the 16-bit checksum.
+/// Usable incrementally (header + pseudo-header + payload).
+class ChecksumAccumulator {
+ public:
+  /// Feed bytes; an odd-length chunk may only be the final chunk.
+  void update(std::span<const std::uint8_t> bytes) noexcept;
+
+  /// Feed a single 16-bit word (host order).
+  void update_word(std::uint16_t word) noexcept;
+
+  /// Final folded, complemented checksum in host order.
+  [[nodiscard]] std::uint16_t finish() const noexcept;
+
+ private:
+  std::uint64_t sum_ = 0;
+  bool odd_ = false;  // true if the previous update ended mid-word
+};
+
+/// Convenience: checksum of a single contiguous buffer.
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes) noexcept;
+
+}  // namespace mtscope::net

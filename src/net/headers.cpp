@@ -1,0 +1,304 @@
+#include "net/headers.hpp"
+
+#include <stdexcept>
+
+#include "net/checksum.hpp"
+
+namespace mtscope::net {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+[[nodiscard]] std::uint16_t get_u16(std::span<const std::uint8_t> b, std::size_t at) {
+  return static_cast<std::uint16_t>((std::uint16_t{b[at]} << 8) | b[at + 1]);
+}
+
+[[nodiscard]] std::uint32_t get_u32(std::span<const std::uint8_t> b, std::size_t at) {
+  return (std::uint32_t{b[at]} << 24) | (std::uint32_t{b[at + 1]} << 16) |
+         (std::uint32_t{b[at + 2]} << 8) | std::uint32_t{b[at + 3]};
+}
+
+/// TCP/UDP pseudo-header contribution to the transport checksum.
+void feed_pseudo_header(ChecksumAccumulator& acc, Ipv4Addr src, Ipv4Addr dst, IpProto proto,
+                        std::uint16_t transport_length) {
+  acc.update_word(static_cast<std::uint16_t>(src.value() >> 16));
+  acc.update_word(static_cast<std::uint16_t>(src.value() & 0xffff));
+  acc.update_word(static_cast<std::uint16_t>(dst.value() >> 16));
+  acc.update_word(static_cast<std::uint16_t>(dst.value() & 0xffff));
+  acc.update_word(static_cast<std::uint16_t>(proto));
+  acc.update_word(transport_length);
+}
+
+}  // namespace
+
+void Ipv4Header::serialize(std::vector<std::uint8_t>& out) const {
+  if (ihl < 5 || ihl > 15) throw std::invalid_argument("Ipv4Header: ihl out of range");
+  const std::size_t start = out.size();
+  out.push_back(static_cast<std::uint8_t>((4u << 4) | ihl));
+  out.push_back(dscp_ecn);
+  put_u16(out, total_length);
+  put_u16(out, identification);
+  put_u16(out, flags_fragment);
+  out.push_back(ttl);
+  out.push_back(static_cast<std::uint8_t>(protocol));
+  put_u16(out, 0);  // checksum placeholder
+  put_u32(out, src.value());
+  put_u32(out, dst.value());
+  // Zero-fill any option space implied by ihl > 5.
+  out.resize(start + std::size_t{ihl} * 4, 0);
+  const std::uint16_t sum = internet_checksum(
+      std::span<const std::uint8_t>(out.data() + start, std::size_t{ihl} * 4));
+  out[start + 10] = static_cast<std::uint8_t>(sum >> 8);
+  out[start + 11] = static_cast<std::uint8_t>(sum & 0xff);
+}
+
+util::Result<Ipv4Header> Ipv4Header::parse(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kMinSize) {
+    return util::make_error("ipv4.truncated", "buffer shorter than 20 bytes");
+  }
+  const std::uint8_t version = bytes[0] >> 4;
+  if (version != 4) return util::make_error("ipv4.version", "not an IPv4 packet");
+  Ipv4Header h;
+  h.ihl = bytes[0] & 0x0f;
+  if (h.ihl < 5) return util::make_error("ipv4.ihl", "ihl below minimum");
+  const std::size_t header_len = std::size_t{h.ihl} * 4;
+  if (bytes.size() < header_len) {
+    return util::make_error("ipv4.truncated", "buffer shorter than ihl indicates");
+  }
+  h.dscp_ecn = bytes[1];
+  h.total_length = get_u16(bytes, 2);
+  if (h.total_length < header_len) {
+    return util::make_error("ipv4.length", "total_length smaller than header");
+  }
+  h.identification = get_u16(bytes, 4);
+  h.flags_fragment = get_u16(bytes, 6);
+  h.ttl = bytes[8];
+  h.protocol = static_cast<IpProto>(bytes[9]);
+  h.checksum = get_u16(bytes, 10);
+  h.src = Ipv4Addr(get_u32(bytes, 12));
+  h.dst = Ipv4Addr(get_u32(bytes, 16));
+  if (internet_checksum(bytes.first(header_len)) != 0) {
+    return util::make_error("ipv4.checksum", "header checksum mismatch");
+  }
+  return h;
+}
+
+void TcpHeader::serialize(std::vector<std::uint8_t>& out, Ipv4Addr src, Ipv4Addr dst,
+                          std::span<const std::uint8_t> payload) const {
+  if (data_offset < 5 || data_offset > 15) {
+    throw std::invalid_argument("TcpHeader: data_offset out of range");
+  }
+  const std::size_t start = out.size();
+  const std::size_t header_len = std::size_t{data_offset} * 4;
+  put_u16(out, src_port);
+  put_u16(out, dst_port);
+  put_u32(out, seq);
+  put_u32(out, ack);
+  out.push_back(static_cast<std::uint8_t>(data_offset << 4));
+  out.push_back(flags);
+  put_u16(out, window);
+  put_u16(out, 0);  // checksum placeholder
+  put_u16(out, urgent);
+  out.resize(start + header_len, 0);  // zero option bytes
+  out.insert(out.end(), payload.begin(), payload.end());
+
+  ChecksumAccumulator acc;
+  const auto transport_len = static_cast<std::uint16_t>(header_len + payload.size());
+  feed_pseudo_header(acc, src, dst, IpProto::kTcp, transport_len);
+  acc.update(std::span<const std::uint8_t>(out.data() + start, transport_len));
+  const std::uint16_t sum = acc.finish();
+  out[start + 16] = static_cast<std::uint8_t>(sum >> 8);
+  out[start + 17] = static_cast<std::uint8_t>(sum & 0xff);
+}
+
+util::Result<TcpHeader> TcpHeader::parse(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kMinSize) {
+    return util::make_error("tcp.truncated", "buffer shorter than 20 bytes");
+  }
+  TcpHeader h;
+  h.src_port = get_u16(bytes, 0);
+  h.dst_port = get_u16(bytes, 2);
+  h.seq = get_u32(bytes, 4);
+  h.ack = get_u32(bytes, 8);
+  h.data_offset = bytes[12] >> 4;
+  if (h.data_offset < 5) return util::make_error("tcp.offset", "data offset below minimum");
+  if (bytes.size() < std::size_t{h.data_offset} * 4) {
+    return util::make_error("tcp.truncated", "buffer shorter than data offset indicates");
+  }
+  h.flags = bytes[13];
+  h.window = get_u16(bytes, 14);
+  h.checksum = get_u16(bytes, 16);
+  h.urgent = get_u16(bytes, 18);
+  return h;
+}
+
+void UdpHeader::serialize(std::vector<std::uint8_t>& out, Ipv4Addr src, Ipv4Addr dst,
+                          std::span<const std::uint8_t> payload) const {
+  const std::size_t start = out.size();
+  const auto total = static_cast<std::uint16_t>(kSize + payload.size());
+  put_u16(out, src_port);
+  put_u16(out, dst_port);
+  put_u16(out, total);
+  put_u16(out, 0);  // checksum placeholder
+  out.insert(out.end(), payload.begin(), payload.end());
+
+  ChecksumAccumulator acc;
+  feed_pseudo_header(acc, src, dst, IpProto::kUdp, total);
+  acc.update(std::span<const std::uint8_t>(out.data() + start, total));
+  std::uint16_t sum = acc.finish();
+  if (sum == 0) sum = 0xffff;  // RFC 768: transmitted zero means "no checksum"
+  out[start + 6] = static_cast<std::uint8_t>(sum >> 8);
+  out[start + 7] = static_cast<std::uint8_t>(sum & 0xff);
+}
+
+util::Result<UdpHeader> UdpHeader::parse(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kSize) return util::make_error("udp.truncated", "buffer shorter than 8 bytes");
+  UdpHeader h;
+  h.src_port = get_u16(bytes, 0);
+  h.dst_port = get_u16(bytes, 2);
+  h.length = get_u16(bytes, 4);
+  if (h.length < kSize) return util::make_error("udp.length", "length below header size");
+  h.checksum = get_u16(bytes, 6);
+  return h;
+}
+
+void IcmpHeader::serialize(std::vector<std::uint8_t>& out,
+                           std::span<const std::uint8_t> payload) const {
+  const std::size_t start = out.size();
+  out.push_back(type);
+  out.push_back(code);
+  put_u16(out, 0);  // checksum placeholder
+  put_u32(out, rest);
+  out.insert(out.end(), payload.begin(), payload.end());
+  const std::uint16_t sum = internet_checksum(
+      std::span<const std::uint8_t>(out.data() + start, kSize + payload.size()));
+  out[start + 2] = static_cast<std::uint8_t>(sum >> 8);
+  out[start + 3] = static_cast<std::uint8_t>(sum & 0xff);
+}
+
+util::Result<IcmpHeader> IcmpHeader::parse(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kSize) {
+    return util::make_error("icmp.truncated", "buffer shorter than 8 bytes");
+  }
+  IcmpHeader h;
+  h.type = bytes[0];
+  h.code = bytes[1];
+  h.checksum = get_u16(bytes, 2);
+  h.rest = get_u32(bytes, 4);
+  return h;
+}
+
+util::Result<ParsedPacket> parse_packet(std::span<const std::uint8_t> bytes) {
+  auto ip = Ipv4Header::parse(bytes);
+  if (!ip.ok()) return ip.error();
+  ParsedPacket out;
+  out.ip = ip.value();
+  const std::size_t ip_header_len = std::size_t{out.ip.ihl} * 4;
+  const auto rest = bytes.subspan(ip_header_len);
+  switch (out.ip.protocol) {
+    case IpProto::kTcp: {
+      auto tcp = TcpHeader::parse(rest);
+      if (!tcp.ok()) return tcp.error();
+      out.src_port = tcp.value().src_port;
+      out.dst_port = tcp.value().dst_port;
+      out.tcp_flags = tcp.value().flags;
+      break;
+    }
+    case IpProto::kUdp: {
+      auto udp = UdpHeader::parse(rest);
+      if (!udp.ok()) return udp.error();
+      out.src_port = udp.value().src_port;
+      out.dst_port = udp.value().dst_port;
+      break;
+    }
+    case IpProto::kIcmp: {
+      auto icmp = IcmpHeader::parse(rest);
+      if (!icmp.ok()) return icmp.error();
+      break;
+    }
+    default:
+      return util::make_error("ip.protocol", "unsupported transport protocol");
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> synthesize_packet(Ipv4Addr src, Ipv4Addr dst, IpProto proto,
+                                            std::uint16_t src_port, std::uint16_t dst_port,
+                                            std::uint8_t tcp_flags,
+                                            std::uint16_t ip_total_length) {
+  std::vector<std::uint8_t> out;
+  out.reserve(ip_total_length);
+
+  std::size_t transport_header = 0;
+  std::uint8_t tcp_offset_words = 5;
+  switch (proto) {
+    case IpProto::kTcp: {
+      // Model TCP options via the data offset: a 48-byte SYN (paper's second
+      // most common size) is 20 IP + 28 TCP, i.e. data_offset 7.
+      const std::size_t budget =
+          ip_total_length > Ipv4Header::kMinSize ? ip_total_length - Ipv4Header::kMinSize : 0;
+      if (budget >= TcpHeader::kMinSize) {
+        const std::size_t option_space = std::min<std::size_t>(budget - TcpHeader::kMinSize, 40);
+        tcp_offset_words = static_cast<std::uint8_t>(5 + option_space / 4);
+      }
+      transport_header = std::size_t{tcp_offset_words} * 4;
+      break;
+    }
+    case IpProto::kUdp:
+      transport_header = UdpHeader::kSize;
+      break;
+    case IpProto::kIcmp:
+      transport_header = IcmpHeader::kSize;
+      break;
+  }
+
+  const std::size_t min_total = Ipv4Header::kMinSize + transport_header;
+  const std::size_t total = std::max<std::size_t>(ip_total_length, min_total);
+  const std::size_t payload_len = total - min_total;
+  const std::vector<std::uint8_t> payload(payload_len, 0);
+
+  Ipv4Header ip;
+  ip.total_length = static_cast<std::uint16_t>(total);
+  ip.protocol = proto;
+  ip.src = src;
+  ip.dst = dst;
+  ip.serialize(out);
+
+  switch (proto) {
+    case IpProto::kTcp: {
+      TcpHeader tcp;
+      tcp.src_port = src_port;
+      tcp.dst_port = dst_port;
+      tcp.flags = tcp_flags;
+      tcp.data_offset = tcp_offset_words;
+      tcp.serialize(out, src, dst, payload);
+      break;
+    }
+    case IpProto::kUdp: {
+      UdpHeader udp;
+      udp.src_port = src_port;
+      udp.dst_port = dst_port;
+      udp.serialize(out, src, dst, payload);
+      break;
+    }
+    case IpProto::kIcmp: {
+      IcmpHeader icmp;
+      icmp.serialize(out, payload);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace mtscope::net

@@ -1,0 +1,129 @@
+// IPv4 / TCP / UDP / ICMP header structs with wire (de)serialisation.
+//
+// The telescope observers store raw packets (pcap) and the port-statistics
+// analyses parse them back, exactly as the paper extracts port statistics
+// from raw telescope PCAPs.  Every decode path bounds-checks and reports
+// failure through Result<> — wire input is never trusted.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "util/result.hpp"
+
+namespace mtscope::net {
+
+/// IP protocol numbers used throughout the project.
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+/// TCP flag bits (subset we model).
+struct TcpFlags {
+  static constexpr std::uint8_t kFin = 0x01;
+  static constexpr std::uint8_t kSyn = 0x02;
+  static constexpr std::uint8_t kRst = 0x04;
+  static constexpr std::uint8_t kPsh = 0x08;
+  static constexpr std::uint8_t kAck = 0x10;
+};
+
+/// IPv4 header (no options beyond what ihl expresses; we emit ihl=5).
+struct Ipv4Header {
+  static constexpr std::size_t kMinSize = 20;
+
+  std::uint8_t ihl = 5;             // header length in 32-bit words
+  std::uint8_t dscp_ecn = 0;
+  std::uint16_t total_length = 0;   // entire IP packet length in bytes
+  std::uint16_t identification = 0;
+  std::uint16_t flags_fragment = 0x4000;  // DF set, no fragmentation
+  std::uint8_t ttl = 64;
+  IpProto protocol = IpProto::kTcp;
+  std::uint16_t checksum = 0;       // filled in by serialise
+  Ipv4Addr src;
+  Ipv4Addr dst;
+
+  /// Append the 20-byte header to `out`, computing the checksum.
+  void serialize(std::vector<std::uint8_t>& out) const;
+
+  /// Parse from the start of `bytes`.  Validates version, ihl, length and
+  /// checksum.
+  [[nodiscard]] static util::Result<Ipv4Header> parse(std::span<const std::uint8_t> bytes);
+};
+
+/// TCP header (options expressed only through data_offset; emitted payloads
+/// in this project are header-only, matching IBR's SYN-dominated profile).
+struct TcpHeader {
+  static constexpr std::size_t kMinSize = 20;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t data_offset = 5;  // in 32-bit words
+  std::uint8_t flags = 0;
+  std::uint16_t window = 65535;
+  std::uint16_t checksum = 0;
+  std::uint16_t urgent = 0;
+
+  /// Append `data_offset * 4` bytes; option bytes beyond 20 are zero-padded
+  /// (an MSS option in real SYNs — the paper's 48-byte step — is modelled as
+  /// 8 option bytes).  Checksum covers the pseudo header for src/dst.
+  void serialize(std::vector<std::uint8_t>& out, Ipv4Addr src, Ipv4Addr dst,
+                 std::span<const std::uint8_t> payload = {}) const;
+
+  [[nodiscard]] static util::Result<TcpHeader> parse(std::span<const std::uint8_t> bytes);
+};
+
+/// UDP header.
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 8;  // header + payload
+  std::uint16_t checksum = 0;
+
+  void serialize(std::vector<std::uint8_t>& out, Ipv4Addr src, Ipv4Addr dst,
+                 std::span<const std::uint8_t> payload = {}) const;
+
+  [[nodiscard]] static util::Result<UdpHeader> parse(std::span<const std::uint8_t> bytes);
+};
+
+/// ICMP header (echo / unreachable style, 8 bytes).
+struct IcmpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint8_t type = 8;
+  std::uint8_t code = 0;
+  std::uint16_t checksum = 0;
+  std::uint32_t rest = 0;
+
+  void serialize(std::vector<std::uint8_t>& out,
+                 std::span<const std::uint8_t> payload = {}) const;
+
+  [[nodiscard]] static util::Result<IcmpHeader> parse(std::span<const std::uint8_t> bytes);
+};
+
+/// A fully parsed packet (IP header + transport header view).
+struct ParsedPacket {
+  Ipv4Header ip;
+  // Only the fields meaningful for the parsed protocol are set.
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t tcp_flags = 0;
+};
+
+/// Parse an IPv4 packet with a TCP/UDP/ICMP payload.
+[[nodiscard]] util::Result<ParsedPacket> parse_packet(std::span<const std::uint8_t> bytes);
+
+/// Synthesize a full wire packet.  `ip_total_length` must be at least the
+/// header sizes implied by the arguments; the payload is zero-filled.
+[[nodiscard]] std::vector<std::uint8_t> synthesize_packet(
+    Ipv4Addr src, Ipv4Addr dst, IpProto proto, std::uint16_t src_port, std::uint16_t dst_port,
+    std::uint8_t tcp_flags, std::uint16_t ip_total_length);
+
+}  // namespace mtscope::net

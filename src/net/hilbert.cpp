@@ -1,0 +1,53 @@
+#include "net/hilbert.hpp"
+
+namespace mtscope::net {
+
+namespace {
+
+/// Rotate/flip a quadrant appropriately (classic Hilbert construction).
+void rotate(std::uint32_t n, std::uint32_t& x, std::uint32_t& y, std::uint32_t rx,
+            std::uint32_t ry) noexcept {
+  if (ry == 0) {
+    if (rx == 1) {
+      x = n - 1 - x;
+      y = n - 1 - y;
+    }
+    std::uint32_t t = x;
+    x = y;
+    y = t;
+  }
+}
+
+}  // namespace
+
+HilbertPoint hilbert_d2xy(int order, std::uint64_t d) noexcept {
+  const std::uint32_t n = 1u << order;
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+  std::uint64_t t = d;
+  for (std::uint32_t s = 1; s < n; s <<= 1) {
+    const auto rx = static_cast<std::uint32_t>(1 & (t / 2));
+    const auto ry = static_cast<std::uint32_t>(1 & (t ^ rx));
+    rotate(s, x, y, rx, ry);
+    x += s * rx;
+    y += s * ry;
+    t /= 4;
+  }
+  return {x, y};
+}
+
+std::uint64_t hilbert_xy2d(int order, HilbertPoint p) noexcept {
+  const std::uint32_t n = 1u << order;
+  std::uint64_t d = 0;
+  std::uint32_t x = p.x;
+  std::uint32_t y = p.y;
+  for (std::uint32_t s = n / 2; s > 0; s /= 2) {
+    const std::uint32_t rx = (x & s) > 0 ? 1 : 0;
+    const std::uint32_t ry = (y & s) > 0 ? 1 : 0;
+    d += std::uint64_t{s} * s * ((3 * rx) ^ ry);
+    rotate(s, x, y, rx, ry);
+  }
+  return d;
+}
+
+}  // namespace mtscope::net

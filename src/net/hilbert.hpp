@@ -1,0 +1,28 @@
+// Hilbert curve index <-> (x, y) mapping.
+//
+// The paper visualises /8 address blocks as 256x256 Hilbert maps where each
+// pixel is one /24 (Figures 3, 5, 6).  A Hilbert order-8 curve maps the
+// 2^16 /24s of a /8 to pixels so that numerically adjacent blocks stay
+// spatially adjacent.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace mtscope::net {
+
+/// Point on the Hilbert grid.
+struct HilbertPoint {
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+  friend bool operator==(const HilbertPoint&, const HilbertPoint&) = default;
+};
+
+/// Convert distance-along-curve `d` to (x, y) for a curve of the given
+/// `order` (grid side = 2^order).  d must be < 4^order.
+[[nodiscard]] HilbertPoint hilbert_d2xy(int order, std::uint64_t d) noexcept;
+
+/// Convert (x, y) back to distance.  Coordinates must be < 2^order.
+[[nodiscard]] std::uint64_t hilbert_xy2d(int order, HilbertPoint p) noexcept;
+
+}  // namespace mtscope::net

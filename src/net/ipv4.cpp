@@ -1,0 +1,42 @@
+#include "net/ipv4.hpp"
+
+#include <charconv>
+
+namespace mtscope::net {
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) noexcept {
+  std::uint32_t value = 0;
+  const char* cursor = text.data();
+  const char* const end = cursor + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    if (octet != 0) {
+      if (cursor == end || *cursor != '.') return std::nullopt;
+      ++cursor;
+    }
+    unsigned parsed = 0;
+    auto [ptr, ec] = std::from_chars(cursor, end, parsed);
+    if (ec != std::errc{} || ptr == cursor || parsed > 255) return std::nullopt;
+    // Reject over-long octets like "0001" (max 3 digits).
+    if (ptr - cursor > 3) return std::nullopt;
+    value = (value << 8) | parsed;
+    cursor = ptr;
+  }
+  if (cursor != end) return std::nullopt;
+  return Ipv4Addr(value);
+}
+
+std::string Ipv4Addr::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i != 0) out.push_back('.');
+    out += std::to_string(octet(i));
+  }
+  return out;
+}
+
+std::string Block24::to_string() const {
+  return first_address().to_string() + "/24";
+}
+
+}  // namespace mtscope::net

@@ -1,0 +1,124 @@
+// IPv4 address and /24-block primitives.
+//
+// Ipv4Addr is a strong type over the host-order 32-bit address value;
+// Block24 identifies one of the 2^24 possible /24 blocks.  Both are value
+// types with total ordering so they can key maps and sort ranges.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mtscope::net {
+
+/// An IPv4 address held in host byte order.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() noexcept = default;
+  constexpr explicit Ipv4Addr(std::uint32_t host_order_value) noexcept
+      : value_(host_order_value) {}
+
+  /// Build from dotted octets, e.g. Ipv4Addr::from_octets(192, 0, 2, 1).
+  [[nodiscard]] static constexpr Ipv4Addr from_octets(std::uint8_t a, std::uint8_t b,
+                                                      std::uint8_t c, std::uint8_t d) noexcept {
+    return Ipv4Addr((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                    (std::uint32_t{c} << 8) | std::uint32_t{d});
+  }
+
+  /// Parse dotted-quad text.  Rejects leading zeros ambiguity is allowed
+  /// ("010" parses as 10), but octets > 255, missing octets and trailing
+  /// garbage are rejected.
+  [[nodiscard]] static std::optional<Ipv4Addr> parse(std::string_view text) noexcept;
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+
+  [[nodiscard]] constexpr std::uint8_t octet(int index) const noexcept {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - index)));
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Addr&) const noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// Identifier of a /24 block: the top 24 bits of the address space.
+/// Value range is [0, 2^24).
+class Block24 {
+ public:
+  static constexpr std::uint32_t kUniverseSize = 1u << 24;
+
+  constexpr Block24() noexcept = default;
+  constexpr explicit Block24(std::uint32_t index) noexcept : index_(index & 0x00ffffffu) {}
+
+  [[nodiscard]] static constexpr Block24 containing(Ipv4Addr addr) noexcept {
+    return Block24(addr.value() >> 8);
+  }
+
+  [[nodiscard]] constexpr std::uint32_t index() const noexcept { return index_; }
+
+  /// First address of the block (the .0 address).
+  [[nodiscard]] constexpr Ipv4Addr first_address() const noexcept {
+    return Ipv4Addr(index_ << 8);
+  }
+
+  /// Last address of the block (the .255 address).
+  [[nodiscard]] constexpr Ipv4Addr last_address() const noexcept {
+    return Ipv4Addr((index_ << 8) | 0xffu);
+  }
+
+  [[nodiscard]] constexpr bool contains(Ipv4Addr addr) const noexcept {
+    return (addr.value() >> 8) == index_;
+  }
+
+  /// Renders as "a.b.c.0/24".
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr auto operator<=>(const Block24&) const noexcept = default;
+
+ private:
+  std::uint32_t index_ = 0;
+};
+
+/// Autonomous-system number (strong type; 32-bit ASNs supported).
+class AsNumber {
+ public:
+  constexpr AsNumber() noexcept = default;
+  constexpr explicit AsNumber(std::uint32_t value) noexcept : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] std::string to_string() const { return "AS" + std::to_string(value_); }
+
+  constexpr auto operator<=>(const AsNumber&) const noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace mtscope::net
+
+template <>
+struct std::hash<mtscope::net::Ipv4Addr> {
+  std::size_t operator()(const mtscope::net::Ipv4Addr& addr) const noexcept {
+    return std::hash<std::uint32_t>{}(addr.value());
+  }
+};
+
+template <>
+struct std::hash<mtscope::net::Block24> {
+  std::size_t operator()(const mtscope::net::Block24& block) const noexcept {
+    return std::hash<std::uint32_t>{}(block.index());
+  }
+};
+
+template <>
+struct std::hash<mtscope::net::AsNumber> {
+  std::size_t operator()(const mtscope::net::AsNumber& asn) const noexcept {
+    return std::hash<std::uint32_t>{}(asn.value());
+  }
+};

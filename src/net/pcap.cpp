@@ -1,0 +1,99 @@
+#include "net/pcap.hpp"
+
+#include <istream>
+#include <ostream>
+
+namespace mtscope::net {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0xa1b2c3d4;  // classic pcap, microseconds
+constexpr std::uint32_t kLinkTypeRaw = 101;
+
+void put_u32le(std::ostream& out, std::uint32_t v) {
+  const char bytes[4] = {
+      static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff),
+      static_cast<char>((v >> 16) & 0xff), static_cast<char>((v >> 24) & 0xff)};
+  out.write(bytes, 4);
+}
+
+void put_u16le(std::ostream& out, std::uint16_t v) {
+  const char bytes[2] = {static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff)};
+  out.write(bytes, 2);
+}
+
+[[nodiscard]] bool get_u32le(std::istream& in, std::uint32_t& v) {
+  unsigned char bytes[4];
+  if (!in.read(reinterpret_cast<char*>(bytes), 4)) return false;
+  v = std::uint32_t{bytes[0]} | (std::uint32_t{bytes[1]} << 8) | (std::uint32_t{bytes[2]} << 16) |
+      (std::uint32_t{bytes[3]} << 24);
+  return true;
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(std::ostream& out, std::uint32_t snaplen)
+    : out_(out), snaplen_(snaplen) {
+  put_u32le(out_, kMagic);
+  put_u16le(out_, 2);   // version major
+  put_u16le(out_, 4);   // version minor
+  put_u32le(out_, 0);   // thiszone
+  put_u32le(out_, 0);   // sigfigs
+  put_u32le(out_, snaplen_);
+  put_u32le(out_, kLinkTypeRaw);
+}
+
+void PcapWriter::write(std::uint64_t timestamp_us, std::span<const std::uint8_t> packet) {
+  const auto captured = static_cast<std::uint32_t>(
+      packet.size() > snaplen_ ? snaplen_ : packet.size());
+  put_u32le(out_, static_cast<std::uint32_t>(timestamp_us / 1'000'000));
+  put_u32le(out_, static_cast<std::uint32_t>(timestamp_us % 1'000'000));
+  put_u32le(out_, captured);
+  put_u32le(out_, static_cast<std::uint32_t>(packet.size()));
+  out_.write(reinterpret_cast<const char*>(packet.data()), captured);
+  ++packets_;
+}
+
+util::Result<std::vector<CapturedPacket>> read_pcap(std::istream& in) {
+  std::uint32_t magic = 0;
+  if (!get_u32le(in, magic)) return util::make_error("pcap.truncated", "missing global header");
+  if (magic != kMagic) {
+    return util::make_error("pcap.magic", "unsupported pcap magic (expect LE microsecond pcap)");
+  }
+  // Skip version (2+2), thiszone (4) and sigfigs (4), then read snaplen +
+  // linktype.
+  in.ignore(12);
+  std::uint32_t snaplen = 0;
+  std::uint32_t linktype = 0;
+  if (!get_u32le(in, snaplen) || !get_u32le(in, linktype)) {
+    return util::make_error("pcap.truncated", "global header too short");
+  }
+  if (linktype != kLinkTypeRaw) {
+    return util::make_error("pcap.linktype", "expected LINKTYPE_RAW (101)");
+  }
+
+  std::vector<CapturedPacket> packets;
+  for (;;) {
+    std::uint32_t sec = 0;
+    if (!get_u32le(in, sec)) break;  // clean EOF
+    std::uint32_t usec = 0;
+    std::uint32_t incl_len = 0;
+    std::uint32_t orig_len = 0;
+    if (!get_u32le(in, usec) || !get_u32le(in, incl_len) || !get_u32le(in, orig_len)) {
+      return util::make_error("pcap.truncated", "packet header cut short");
+    }
+    if (incl_len > snaplen) {
+      return util::make_error("pcap.record", "captured length exceeds snaplen");
+    }
+    CapturedPacket p;
+    p.timestamp_us = std::uint64_t{sec} * 1'000'000 + usec;
+    p.data.resize(incl_len);
+    if (!in.read(reinterpret_cast<char*>(p.data.data()), incl_len)) {
+      return util::make_error("pcap.truncated", "packet body cut short");
+    }
+    packets.push_back(std::move(p));
+  }
+  return packets;
+}
+
+}  // namespace mtscope::net

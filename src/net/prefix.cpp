@@ -1,0 +1,79 @@
+#include "net/prefix.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace mtscope::net {
+
+Prefix::Prefix(Ipv4Addr base, int length) : base_(base), length_(length) {
+  if (length < 0 || length > 32) {
+    throw std::invalid_argument("Prefix: length must be in [0, 32], got " +
+                                std::to_string(length));
+  }
+  if ((base.value() & ~mask_for(length)) != 0) {
+    throw std::invalid_argument("Prefix: host bits set in " + base.to_string() + "/" +
+                                std::to_string(length));
+  }
+}
+
+Prefix Prefix::canonical(Ipv4Addr addr, int length) {
+  if (length < 0 || length > 32) {
+    throw std::invalid_argument("Prefix::canonical: length must be in [0, 32]");
+  }
+  return Prefix(Ipv4Addr(addr.value() & mask_for(length)), length);
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) noexcept {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Addr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  const std::string_view len_text = text.substr(slash + 1);
+  unsigned length = 0;
+  const char* first = len_text.data();
+  const char* last = first + len_text.size();
+  auto [ptr, ec] = std::from_chars(first, last, length);
+  if (ec != std::errc{} || ptr != last || length > 32) return std::nullopt;
+  if ((addr->value() & ~mask_for(static_cast<int>(length))) != 0) return std::nullopt;
+  return Prefix(*addr, static_cast<int>(length));
+}
+
+Prefix Prefix::from_block24(Block24 block) noexcept {
+  return Prefix(block.first_address(), 24);
+}
+
+std::optional<Prefix> Prefix::parent() const noexcept {
+  if (length_ == 0) return std::nullopt;
+  return canonical(base_, length_ - 1);
+}
+
+std::pair<Prefix, Prefix> Prefix::children() const {
+  if (length_ >= 32) throw std::logic_error("Prefix::children: cannot split a /32");
+  const int child_len = length_ + 1;
+  const Prefix low(base_, child_len);
+  const Prefix high(Ipv4Addr(base_.value() | (1u << (32 - child_len))), child_len);
+  return {low, high};
+}
+
+Block24 Prefix::first_block24() const {
+  if (length_ > 24) throw std::logic_error("Prefix::first_block24: prefix longer than /24");
+  return Block24::containing(base_);
+}
+
+std::vector<Block24> Prefix::blocks24() const {
+  if (length_ > 24) throw std::logic_error("Prefix::blocks24: prefix longer than /24");
+  const std::uint64_t count = block24_count();
+  std::vector<Block24> out;
+  out.reserve(count);
+  const std::uint32_t first = base_.value() >> 8;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out.emplace_back(first + static_cast<std::uint32_t>(i));
+  }
+  return out;
+}
+
+std::string Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace mtscope::net

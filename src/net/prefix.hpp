@@ -1,0 +1,107 @@
+// CIDR prefix type with containment / subdivision algebra.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace mtscope::net {
+
+/// An IPv4 CIDR prefix, always stored in canonical form (host bits zero).
+class Prefix {
+ public:
+  /// Default: 0.0.0.0/0 (the whole address space).
+  constexpr Prefix() noexcept = default;
+
+  /// Construct from base address and length.  Throws std::invalid_argument
+  /// if length > 32 or the address has non-zero host bits.
+  Prefix(Ipv4Addr base, int length);
+
+  /// Construct, silently canonicalising (masking off host bits).
+  [[nodiscard]] static Prefix canonical(Ipv4Addr addr, int length);
+
+  /// Parse "a.b.c.d/len".
+  [[nodiscard]] static std::optional<Prefix> parse(std::string_view text) noexcept;
+
+  /// The /24 `block` as a prefix.
+  [[nodiscard]] static Prefix from_block24(Block24 block) noexcept;
+
+  [[nodiscard]] constexpr Ipv4Addr base() const noexcept { return base_; }
+  [[nodiscard]] constexpr int length() const noexcept { return length_; }
+
+  /// Network mask for this prefix length.
+  [[nodiscard]] constexpr std::uint32_t mask() const noexcept { return mask_for(length_); }
+
+  [[nodiscard]] static constexpr std::uint32_t mask_for(int length) noexcept {
+    return length == 0 ? 0u : (~0u << (32 - length));
+  }
+
+  /// Number of addresses covered (as 64-bit; /0 covers 2^32).
+  [[nodiscard]] constexpr std::uint64_t address_count() const noexcept {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  /// Number of /24 blocks covered; 0 for prefixes longer than /24.
+  [[nodiscard]] constexpr std::uint64_t block24_count() const noexcept {
+    return length_ <= 24 ? (std::uint64_t{1} << (24 - length_)) : 0;
+  }
+
+  [[nodiscard]] constexpr bool contains(Ipv4Addr addr) const noexcept {
+    return (addr.value() & mask()) == base_.value();
+  }
+
+  [[nodiscard]] constexpr bool contains(Block24 block) const noexcept {
+    return length_ <= 24 && contains(block.first_address());
+  }
+
+  /// True if `other` is fully inside (or equal to) this prefix.
+  [[nodiscard]] constexpr bool contains(const Prefix& other) const noexcept {
+    return other.length_ >= length_ && contains(other.base_);
+  }
+
+  [[nodiscard]] constexpr bool overlaps(const Prefix& other) const noexcept {
+    return contains(other) || other.contains(*this);
+  }
+
+  /// Parent prefix one bit shorter; nullopt at /0.
+  [[nodiscard]] std::optional<Prefix> parent() const noexcept;
+
+  /// The two children one bit longer; throws at /32.
+  [[nodiscard]] std::pair<Prefix, Prefix> children() const;
+
+  /// First /24 inside this prefix; only valid for length <= 24.
+  [[nodiscard]] Block24 first_block24() const;
+
+  /// Enumerate all /24 blocks inside this prefix (length <= 24 required).
+  [[nodiscard]] std::vector<Block24> blocks24() const;
+
+  /// Value of the bit at `position` (0 = most significant) of the base.
+  [[nodiscard]] constexpr bool bit(int position) const noexcept {
+    return (base_.value() >> (31 - position)) & 1u;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr auto operator<=>(const Prefix&) const noexcept = default;
+
+ private:
+  Ipv4Addr base_{};
+  int length_ = 0;
+};
+
+}  // namespace mtscope::net
+
+template <>
+struct std::hash<mtscope::net::Prefix> {
+  std::size_t operator()(const mtscope::net::Prefix& prefix) const noexcept {
+    const std::uint64_t packed =
+        (std::uint64_t{prefix.base().value()} << 8) | static_cast<std::uint64_t>(prefix.length());
+    return std::hash<std::uint64_t>{}(packed);
+  }
+};

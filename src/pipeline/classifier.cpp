@@ -1,0 +1,98 @@
+#include "pipeline/classifier.hpp"
+
+namespace mtscope::pipeline {
+
+std::string_view size_feature_name(SizeFeature f) noexcept {
+  return f == SizeFeature::kMedian ? "median" : "average";
+}
+
+double ClassifierOutcome::fpr() const noexcept {
+  const std::uint64_t negatives = false_positive + true_negative;
+  return negatives == 0 ? 0.0
+                        : static_cast<double>(false_positive) / static_cast<double>(negatives);
+}
+
+double ClassifierOutcome::fnr() const noexcept {
+  const std::uint64_t positives = false_negative + true_positive;
+  return positives == 0 ? 0.0
+                        : static_cast<double>(false_negative) / static_cast<double>(positives);
+}
+
+double ClassifierOutcome::f1() const noexcept {
+  const double denom = static_cast<double>(2 * true_positive + false_positive + false_negative);
+  return denom == 0.0 ? 0.0 : 2.0 * static_cast<double>(true_positive) / denom;
+}
+
+namespace {
+
+enum class Label { kDark, kActive, kExcluded };
+
+Label label_of(const sim::IspBlockObservation& obs, const LabelConfig& config) {
+  if (obs.inbound.counters().rx_packets == 0) return Label::kExcluded;
+  if (obs.tx_packets_week == 0) return Label::kDark;
+  const double floor =
+      static_cast<double>(config.active_min_tx_packets) * config.volume_scale;
+  if (static_cast<double>(obs.tx_packets_week) >= floor) return Label::kActive;
+  return Label::kExcluded;
+}
+
+}  // namespace
+
+LabelSummary summarize_labels(std::span<const sim::IspBlockObservation> data,
+                              const LabelConfig& config) {
+  LabelSummary out;
+  for (const auto& obs : data) {
+    ++out.total;
+    switch (label_of(obs, config)) {
+      case Label::kDark: ++out.labelled_dark; break;
+      case Label::kActive: ++out.labelled_active; break;
+      case Label::kExcluded: ++out.excluded; break;
+    }
+  }
+  return out;
+}
+
+ClassifierOutcome evaluate_classifier(std::span<const sim::IspBlockObservation> data,
+                                      SizeFeature feature, double threshold,
+                                      const LabelConfig& config) {
+  ClassifierOutcome out;
+  out.feature = feature;
+  out.threshold = threshold;
+  for (const auto& obs : data) {
+    const Label label = label_of(obs, config);
+    if (label == Label::kExcluded) continue;
+
+    double value = 0.0;
+    if (feature == SizeFeature::kMedian) {
+      value = obs.inbound.median_tcp_packet_size();
+    } else {
+      value = obs.inbound.avg_tcp_packet_size();
+    }
+    // No inbound TCP at all -> cannot look dark under either rule.
+    const bool classified_dark = obs.inbound.counters().rx_tcp_packets > 0 && value <= threshold;
+
+    if (classified_dark) {
+      if (label == Label::kDark) ++out.true_positive;
+      else ++out.false_positive;
+    } else {
+      if (label == Label::kDark) ++out.false_negative;
+      else ++out.true_negative;
+    }
+  }
+  return out;
+}
+
+std::vector<ClassifierOutcome> sweep_classifier(std::span<const sim::IspBlockObservation> data,
+                                                std::span<const double> thresholds,
+                                                const LabelConfig& config) {
+  std::vector<ClassifierOutcome> out;
+  out.reserve(thresholds.size() * 2);
+  for (const SizeFeature feature : {SizeFeature::kMedian, SizeFeature::kAverage}) {
+    for (const double threshold : thresholds) {
+      out.push_back(evaluate_classifier(data, feature, threshold, config));
+    }
+  }
+  return out;
+}
+
+}  // namespace mtscope::pipeline

@@ -1,0 +1,68 @@
+// Packet-size classifier tuning (paper §4.1, Table 3).
+//
+// Given labelled per-/24 observations from a production network that hosts
+// both dark and active space, sweep the "median/average inbound TCP packet
+// size <= N bytes" rule and report the confusion matrix + F1 per threshold.
+// "Dark" is the positive class, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/generators.hpp"
+
+namespace mtscope::pipeline {
+
+enum class SizeFeature : std::uint8_t { kMedian, kAverage };
+
+[[nodiscard]] std::string_view size_feature_name(SizeFeature f) noexcept;
+
+/// Label derivation thresholds, mirroring §4.1: a block is labelled ACTIVE
+/// only with >= `active_min_tx_packets` weekly outbound packets (filters
+/// spoofed contamination); labelled DARK only with zero outbound packets.
+/// Blocks in between are excluded from evaluation.
+struct LabelConfig {
+  std::uint64_t active_min_tx_packets = 10'000'000;  // paper: 10M/week
+  double volume_scale = 1.0;                          // rescales the threshold
+};
+
+struct ClassifierOutcome {
+  SizeFeature feature = SizeFeature::kAverage;
+  double threshold = 44.0;
+  std::uint64_t true_positive = 0;   // classified dark, is dark
+  std::uint64_t false_positive = 0;  // classified dark, is active
+  std::uint64_t true_negative = 0;   // classified active, is active
+  std::uint64_t false_negative = 0;  // classified active, is dark
+
+  [[nodiscard]] double fpr() const noexcept;  // FP / (FP + TN)
+  [[nodiscard]] double fnr() const noexcept;  // FN / (FN + TP)
+  [[nodiscard]] double tpr() const noexcept { return 1.0 - fnr(); }
+  [[nodiscard]] double tnr() const noexcept { return 1.0 - fpr(); }
+  [[nodiscard]] double f1() const noexcept;
+};
+
+/// Counts of how the labelling partitioned the observations (the paper's
+/// 26,079 -> 18,151 dark / 5,835 active / rest excluded narrative).
+struct LabelSummary {
+  std::uint64_t total = 0;
+  std::uint64_t labelled_dark = 0;
+  std::uint64_t labelled_active = 0;
+  std::uint64_t excluded = 0;  // some outbound, below the active floor
+};
+
+[[nodiscard]] LabelSummary summarize_labels(std::span<const sim::IspBlockObservation> data,
+                                            const LabelConfig& config);
+
+/// Evaluate one (feature, threshold) rule over labelled data.
+[[nodiscard]] ClassifierOutcome evaluate_classifier(
+    std::span<const sim::IspBlockObservation> data, SizeFeature feature, double threshold,
+    const LabelConfig& config);
+
+/// Full Table 3 sweep: both features at each threshold.
+[[nodiscard]] std::vector<ClassifierOutcome> sweep_classifier(
+    std::span<const sim::IspBlockObservation> data, std::span<const double> thresholds,
+    const LabelConfig& config);
+
+}  // namespace mtscope::pipeline

@@ -1,0 +1,24 @@
+#include "pipeline/collector.hpp"
+
+namespace mtscope::pipeline {
+
+VantageStats collect_stats(const sim::Simulation& simulation,
+                           std::span<const std::size_t> ixp_indices,
+                           std::span<const int> days) {
+  VantageStats stats(simulation.plan().universe_mask());
+  for (const int day : days) {
+    for (const std::size_t ixp : ixp_indices) {
+      const sim::IxpDayData data = simulation.run_ixp_day(ixp, day);
+      stats.add_flows(data.flows, simulation.ixps()[ixp].sampling_rate(), day);
+    }
+  }
+  return stats;
+}
+
+std::vector<std::size_t> all_ixps(const sim::Simulation& simulation) {
+  std::vector<std::size_t> out(simulation.ixps().size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = i;
+  return out;
+}
+
+}  // namespace mtscope::pipeline

@@ -1,0 +1,22 @@
+// Convenience glue: run simulated IXP-days through the export path and
+// accumulate the decoded flows into VantageStats — the "collector" role of
+// a meta-telescope deployment.
+#pragma once
+
+#include <span>
+
+#include "pipeline/vantage_stats.hpp"
+#include "sim/simulation.hpp"
+
+namespace mtscope::pipeline {
+
+/// Collect merged stats over a set of vantage points and days.  Applies the
+/// plan's universe mask to bound source-side memory.
+[[nodiscard]] VantageStats collect_stats(const sim::Simulation& simulation,
+                                         std::span<const std::size_t> ixp_indices,
+                                         std::span<const int> days);
+
+/// All vantage points of the simulation.
+[[nodiscard]] std::vector<std::size_t> all_ixps(const sim::Simulation& simulation);
+
+}  // namespace mtscope::pipeline

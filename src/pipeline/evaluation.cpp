@@ -1,0 +1,42 @@
+#include "pipeline/evaluation.hpp"
+
+namespace mtscope::pipeline {
+
+GroundTruthEval evaluate_against_ground_truth(const trie::Block24Set& inferred,
+                                              const sim::AddressPlan& plan) {
+  GroundTruthEval out;
+  inferred.for_each([&](net::Block24 block) {
+    ++out.inferred;
+    switch (plan.role(block)) {
+      case sim::BlockRole::kDark:
+      case sim::BlockRole::kTelescope:
+        ++out.truly_dark;
+        break;
+      case sim::BlockRole::kActive:
+      case sim::BlockRole::kQuietActive:
+      case sim::BlockRole::kAsymAck:
+        ++out.truly_active;
+        break;
+      case sim::BlockRole::kUnallocated:
+        ++out.unallocated;
+        break;
+    }
+  });
+  return out;
+}
+
+TelescopeCoverage evaluate_telescope_coverage(
+    const trie::Block24Set& inferred, const sim::TelescopeInfo& telescope,
+    const std::function<bool(net::Block24)>& dark_on_window) {
+  TelescopeCoverage out;
+  out.code = telescope.spec.code;
+  out.size = telescope.blocks.size();
+  for (const net::Block24 block : telescope.blocks) {
+    const bool dark = !dark_on_window || dark_on_window(block);
+    if (dark) ++out.actually_dark;
+    if (inferred.contains(block)) ++out.inferred;
+  }
+  return out;
+}
+
+}  // namespace mtscope::pipeline

@@ -1,0 +1,50 @@
+// Evaluation against simulation ground truth (paper §4.3): false-positive
+// accounting and operational-telescope coverage (Table 4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/address_plan.hpp"
+#include "trie/block24_set.hpp"
+
+namespace mtscope::pipeline {
+
+struct GroundTruthEval {
+  std::uint64_t inferred = 0;
+  std::uint64_t truly_dark = 0;    // inferred & ground-truth dark
+  std::uint64_t truly_active = 0;  // inferred & ground-truth active (FP)
+  std::uint64_t unallocated = 0;   // inferred but outside any allocation
+
+  [[nodiscard]] double false_positive_rate() const noexcept {
+    return inferred == 0 ? 0.0
+                         : static_cast<double>(truly_active) / static_cast<double>(inferred);
+  }
+};
+
+/// Compare an inferred meta-telescope set against the plan's ground truth.
+[[nodiscard]] GroundTruthEval evaluate_against_ground_truth(const trie::Block24Set& inferred,
+                                                            const sim::AddressPlan& plan);
+
+struct TelescopeCoverage {
+  std::string code;
+  std::uint64_t size = 0;           // total /24s
+  std::uint64_t actually_dark = 0;  // /24s dark during the window (TEU1 leases out some)
+  std::uint64_t inferred = 0;       // /24s recovered by the pipeline
+
+  [[nodiscard]] double coverage_of_dark() const noexcept {
+    return actually_dark == 0
+               ? 0.0
+               : static_cast<double>(inferred) / static_cast<double>(actually_dark);
+  }
+};
+
+/// How much of one operational telescope the meta-telescope recovered.
+/// `dark_on_window(block)` reports whether the block was genuinely dark
+/// during the evaluation window (handles TEU1's daily leasing).
+[[nodiscard]] TelescopeCoverage evaluate_telescope_coverage(
+    const trie::Block24Set& inferred, const sim::TelescopeInfo& telescope,
+    const std::function<bool(net::Block24)>& dark_on_window);
+
+}  // namespace mtscope::pipeline

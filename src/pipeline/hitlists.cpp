@@ -1,0 +1,65 @@
+#include "pipeline/hitlists.hpp"
+
+#include "geo/nettype.hpp"
+#include "util/rng.hpp"
+
+namespace mtscope::pipeline {
+
+std::vector<HitListSpec> default_hitlist_specs() {
+  return {
+      // Censys scans everything on many ports daily: broad coverage.
+      {"censys", 0.80, /*isp_only=*/false, 0.002},
+      // NDT speed tests are user-initiated from eyeball networks.
+      {"ndt", 0.30, /*isp_only=*/true, 0.001},
+      // ISI's ICMP history: wide but ping-responsive hosts only, and the
+      // snapshot is weeks old (more stale entries).
+      {"isi", 0.55, /*isp_only=*/false, 0.006},
+  };
+}
+
+HitList HitList::generate(const sim::AddressPlan& plan, const HitListSpec& spec,
+                          std::uint64_t seed) {
+  trie::Block24Set listed;
+  util::Rng base(util::mix64(seed, std::hash<std::string>{}(spec.name)));
+
+  plan.active_blocks().for_each([&](net::Block24 block) {
+    if (spec.isp_only) {
+      const auto as_index = plan.as_of(block);
+      if (!as_index) return;
+      if (plan.as_at(*as_index).type != geo::NetType::kIsp) return;
+    }
+    // Quiet blocks answer probes less often — they are also the blocks the
+    // pipeline most needs external evidence for, which is why the paper
+    // calls these datasets a lower bound.
+    double coverage = spec.coverage;
+    if (plan.role(block) == sim::BlockRole::kQuietActive) coverage *= 0.55;
+    if (plan.role(block) == sim::BlockRole::kAsymAck) coverage *= 0.85;
+
+    util::Rng rng = base.fork(block.index());
+    if (rng.chance(coverage)) listed.insert(block);
+  });
+
+  plan.dark_blocks().for_each([&](net::Block24 block) {
+    util::Rng rng = base.fork(0x57a1e000000ull | block.index());
+    if (rng.chance(spec.stale_rate)) listed.insert(block);
+  });
+
+  return HitList(spec.name, std::move(listed));
+}
+
+trie::Block24Set hitlist_union(const std::vector<HitList>& lists) {
+  trie::Block24Set out;
+  for (const HitList& list : lists) out |= list.blocks();
+  return out;
+}
+
+trie::Block24Set apply_hitlist_correction(const trie::Block24Set& inferred,
+                                          const trie::Block24Set& active_union,
+                                          std::uint64_t* removed) {
+  trie::Block24Set scrubbed = inferred;
+  scrubbed -= active_union;
+  if (removed != nullptr) *removed = inferred.size() - scrubbed.size();
+  return scrubbed;
+}
+
+}  // namespace mtscope::pipeline

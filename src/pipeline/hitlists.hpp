@@ -1,0 +1,62 @@
+// Activity hit lists (paper §3.3, §4.3): external datasets that confirm
+// liveness of /24s (Censys scans, NDT speed tests, ISI ICMP history).
+//
+// Used to (a) lower-bound the pipeline's false positives and (b) scrub the
+// inferred set ("we can apply such active-network ground-truth data to
+// further filter our inferences").  Generated here from simulation ground
+// truth with each dataset's real-world bias: partial coverage, a
+// network-type skew (NDT sees eyeballs), and a sprinkle of stale entries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/address_plan.hpp"
+#include "trie/block24_set.hpp"
+
+namespace mtscope::pipeline {
+
+struct HitListSpec {
+  std::string name;
+  /// Probability that a truly active /24 appears in the list.
+  double coverage = 0.8;
+  /// Restrict to ISP-type networks (NDT's eyeball bias); empty = all types.
+  bool isp_only = false;
+  /// Probability that a truly dark /24 appears anyway (stale history).
+  double stale_rate = 0.003;
+};
+
+/// The paper's three datasets with their approximate characters.
+[[nodiscard]] std::vector<HitListSpec> default_hitlist_specs();
+
+class HitList {
+ public:
+  HitList(std::string name, trie::Block24Set listed)
+      : name_(std::move(name)), listed_(std::move(listed)) {}
+
+  /// Generate one list from ground truth.
+  [[nodiscard]] static HitList generate(const sim::AddressPlan& plan, const HitListSpec& spec,
+                                        std::uint64_t seed);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const trie::Block24Set& blocks() const noexcept { return listed_; }
+  [[nodiscard]] bool contains(net::Block24 block) const noexcept {
+    return listed_.contains(block);
+  }
+
+ private:
+  std::string name_;
+  trie::Block24Set listed_;
+};
+
+/// Union of several hit lists.
+[[nodiscard]] trie::Block24Set hitlist_union(const std::vector<HitList>& lists);
+
+/// §4.3's final correction: remove hit-listed blocks from the inferred set.
+/// Returns the scrubbed set; `removed` (optional) receives the cut count.
+[[nodiscard]] trie::Block24Set apply_hitlist_correction(const trie::Block24Set& inferred,
+                                                        const trie::Block24Set& active_union,
+                                                        std::uint64_t* removed = nullptr);
+
+}  // namespace mtscope::pipeline

@@ -1,0 +1,85 @@
+#include "pipeline/inference.hpp"
+
+#include <stdexcept>
+
+namespace mtscope::pipeline {
+
+InferenceEngine::InferenceEngine(PipelineConfig config, const routing::Rib& rib,
+                                 const routing::SpecialPurposeRegistry& registry)
+    : config_(config), rib_(rib), registry_(registry) {
+  if (config_.avg_size_threshold <= 0.0) {
+    throw std::invalid_argument("InferenceEngine: avg_size_threshold must be positive");
+  }
+  if (config_.volume_scale <= 0.0) {
+    throw std::invalid_argument("InferenceEngine: volume_scale must be positive");
+  }
+}
+
+InferenceResult InferenceEngine::infer(const VantageStats& stats) const {
+  InferenceResult result;
+  const double days = static_cast<double>(stats.day_count());
+  const double volume_cap =
+      config_.max_rx_pkts_per_day * config_.volume_scale * days;
+
+  for (const auto& [block, obs] : stats.blocks()) {
+    if (obs.rx_packets == 0) continue;  // source-only blocks: not candidates
+    ++result.funnel.seen;
+
+    // Does the spoofing tolerance forgive this block's outbound activity?
+    const bool originates = obs.tx_packets > config_.spoof_tolerance_pkts;
+
+    // Per-address survival through steps 1-3.
+    bool any_tcp = false;        // step 1
+    bool any_size_ok = false;    // step 2
+    bool any_clean = false;      // step 3
+    bool any_liveness = false;   // for classification (step 7)
+    for (const IpRxStats& ip : obs.rx_ips) {
+      if (ip.packets == 0) continue;
+      const bool tcp = ip.tcp_packets > 0;
+      const bool size_ok = tcp && ip.avg_tcp_size() <= config_.avg_size_threshold;
+      const bool sent = originates && obs.host_sent(ip.host);
+      any_tcp |= tcp;
+      any_size_ok |= size_ok;
+      any_clean |= size_ok && !sent;
+      // Liveness evidence for step 7: an address only disqualifies the
+      // block from "dark" when its traffic genuinely looks like a used
+      // host.  A single 48-byte SYN (a SYN carrying an MSS option) or a
+      // stray UDP probe is IBR-consistent; repeated over-threshold TCP, or
+      // any full-size data packet, is not.  Without this distinction,
+      // sampling noise would demote every *well-observed* dark block to
+      // "unclean" — exactly the blocks the meta-telescope most wants.
+      const bool liveness =
+          tcp && ip.avg_tcp_size() > config_.avg_size_threshold &&
+          ((ip.tcp_packets >= 2 && ip.avg_tcp_size() > config_.liveness_syn_ceiling) ||
+           ip.avg_tcp_size() > config_.liveness_data_floor);
+      any_liveness |= liveness;
+    }
+
+    if (!any_tcp) continue;
+    ++result.funnel.after_tcp;
+    if (!any_size_ok) continue;
+    ++result.funnel.after_size;
+    if (!any_clean) continue;
+    ++result.funnel.after_source;
+
+    // Steps 4-6 are properties of the whole /24.
+    if (registry_.is_reserved(block)) continue;
+    ++result.funnel.after_reserved;
+    if (!rib_.is_routed(block)) continue;
+    ++result.funnel.after_routed;
+    if (static_cast<double>(obs.rx_est_packets) > volume_cap) continue;
+    ++result.funnel.after_volume;
+
+    // Step 7: classify.
+    if (originates) {
+      ++result.gray;
+    } else if (any_liveness) {
+      ++result.unclean;
+    } else {
+      result.dark.insert(block);
+    }
+  }
+  return result;
+}
+
+}  // namespace mtscope::pipeline

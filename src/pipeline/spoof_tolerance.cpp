@@ -1,0 +1,41 @@
+#include "pipeline/spoof_tolerance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace mtscope::pipeline {
+
+std::uint64_t compute_spoof_tolerance(const VantageStats& stats,
+                                      std::span<const std::uint8_t> unrouted_slash8s,
+                                      SpoofToleranceConfig config) {
+  if (unrouted_slash8s.empty()) return 0;
+
+  // Collect per-/24 outbound sample counts.  Only blocks present in the
+  // stats map can be non-zero; the remaining blocks of each /8 contribute
+  // zeros, which we account for arithmetically instead of materialising.
+  std::vector<std::uint64_t> nonzero;
+  std::uint64_t population = 0;
+  for (const std::uint8_t base : unrouted_slash8s) {
+    population += 65536;
+    const std::uint32_t first = std::uint32_t{base} << 16;
+    for (std::uint32_t i = 0; i < 65536; ++i) {
+      const BlockObservation* obs = stats.find(net::Block24(first + i));
+      if (obs != nullptr && obs->tx_packets > 0) nonzero.push_back(obs->tx_packets);
+    }
+  }
+  if (nonzero.empty()) return 0;
+
+  std::sort(nonzero.begin(), nonzero.end());
+
+  // Rank of the requested percentile within the full population (zeros
+  // included).  If the rank falls inside the zero mass, the tolerance is 0.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(config.percentile * static_cast<double>(population)));
+  const std::uint64_t zeros = population - nonzero.size();
+  if (rank <= zeros) return 0;
+  const std::uint64_t index = rank - zeros - 1;
+  return nonzero[std::min<std::uint64_t>(index, nonzero.size() - 1)];
+}
+
+}  // namespace mtscope::pipeline

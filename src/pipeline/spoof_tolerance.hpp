@@ -1,0 +1,29 @@
+// Spoofing tolerance (paper §7.2): how many sampled "outbound" packets a
+// /24 may show before we believe it actually originates traffic.
+//
+// Key idea: unrouted address space cannot legitimately send packets, so any
+// source activity observed "from" it is spoofed by definition.  The 99.99th
+// percentile of per-/24 source packet counts inside known-unrouted /8s is
+// the per-dataset baseline for how hard spoofing hits an innocent block.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "pipeline/vantage_stats.hpp"
+
+namespace mtscope::pipeline {
+
+struct SpoofToleranceConfig {
+  double percentile = 0.9999;
+};
+
+/// Compute the tolerance from the given unrouted /8 first-octets.  All
+/// 65,536 /24s of each /8 enter the distribution (including the silent
+/// majority with zero packets), exactly as the paper's percentile is taken
+/// over the whole unrouted block population.
+[[nodiscard]] std::uint64_t compute_spoof_tolerance(
+    const VantageStats& stats, std::span<const std::uint8_t> unrouted_slash8s,
+    SpoofToleranceConfig config = {});
+
+}  // namespace mtscope::pipeline

@@ -1,0 +1,65 @@
+#include "pipeline/vantage_stats.hpp"
+
+namespace mtscope::pipeline {
+
+IpRxStats& BlockObservation::rx_ip(std::uint8_t host) {
+  for (IpRxStats& ip : rx_ips) {
+    if (ip.host == host) return ip;
+  }
+  rx_ips.push_back(IpRxStats{host, 0, 0, 0});
+  return rx_ips.back();
+}
+
+void BlockObservation::merge(const BlockObservation& other) {
+  for (const IpRxStats& theirs : other.rx_ips) {
+    IpRxStats& mine = rx_ip(theirs.host);
+    mine.packets += theirs.packets;
+    mine.tcp_packets += theirs.tcp_packets;
+    mine.tcp_bytes += theirs.tcp_bytes;
+  }
+  rx_packets += other.rx_packets;
+  rx_tcp_packets += other.rx_tcp_packets;
+  rx_tcp_bytes += other.rx_tcp_bytes;
+  rx_est_packets += other.rx_est_packets;
+  tx_packets += other.tx_packets;
+  for (int w = 0; w < 4; ++w) tx_host_bits[w] |= other.tx_host_bits[w];
+}
+
+void VantageStats::add_flows(std::span<const flow::FlowRecord> flows,
+                             std::uint32_t sampling_rate, int day) {
+  days_.insert(day);
+  for (const flow::FlowRecord& r : flows) {
+    ++flows_;
+
+    // Destination side.
+    BlockObservation& dst = blocks_[net::Block24::containing(r.key.dst)];
+    dst.rx_packets += r.packets;
+    dst.rx_est_packets += r.packets * sampling_rate;
+    IpRxStats& ip = dst.rx_ip(static_cast<std::uint8_t>(r.key.dst.value() & 0xff));
+    ip.packets += static_cast<std::uint32_t>(r.packets);
+    if (r.key.proto == net::IpProto::kTcp) {
+      dst.rx_tcp_packets += r.packets;
+      dst.rx_tcp_bytes += r.bytes;
+      ip.tcp_packets += static_cast<std::uint32_t>(r.packets);
+      ip.tcp_bytes += r.bytes;
+    }
+
+    // Source side (subject to the optional universe mask).
+    const net::Block24 src_block = net::Block24::containing(r.key.src);
+    if (source_mask_ == nullptr || source_mask_->contains(src_block)) {
+      BlockObservation& src = blocks_[src_block];
+      src.tx_packets += r.packets;
+      src.mark_host_sent(static_cast<std::uint8_t>(r.key.src.value() & 0xff));
+    }
+  }
+}
+
+void VantageStats::merge(const VantageStats& other) {
+  for (const auto& [block, obs] : other.blocks_) {
+    blocks_[block].merge(obs);
+  }
+  days_.insert(other.days_.begin(), other.days_.end());
+  flows_ += other.flows_;
+}
+
+}  // namespace mtscope::pipeline

@@ -1,0 +1,114 @@
+// VantageStats: the per-/24, per-IP measurement state the inference
+// pipeline reads.
+//
+// The paper's classification step is per-IP ("for a block of IP addresses
+// to be a meta-telescope prefix, ALL IPv4 addresses have to survive the
+// filter steps"), so destination-side statistics are tracked per host
+// address inside each /24 — cheap, because sampled IXP data touches only a
+// handful of addresses per block.  Source-side activity is a 256-bit bitmap
+// plus a packet counter per block (a /24 has at most 256 distinct sources).
+//
+// Instances merge, which is how multi-day and multi-vantage-point inference
+// works (§6.1, §7.1): merge the stats, run the same pipeline.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "flow/record.hpp"
+#include "net/ipv4.hpp"
+#include "trie/block24_set.hpp"
+
+namespace mtscope::pipeline {
+
+/// Destination-side counters for one host address within a block.
+struct IpRxStats {
+  std::uint8_t host = 0;         // last octet
+  std::uint32_t packets = 0;     // sampled
+  std::uint32_t tcp_packets = 0;
+  std::uint64_t tcp_bytes = 0;
+
+  [[nodiscard]] double avg_tcp_size() const noexcept {
+    return tcp_packets == 0 ? 0.0
+                            : static_cast<double>(tcp_bytes) / static_cast<double>(tcp_packets);
+  }
+};
+
+/// All measurement state for one /24.
+struct BlockObservation {
+  std::vector<IpRxStats> rx_ips;      // sorted insertion not required; small
+  std::uint64_t rx_packets = 0;       // sampled
+  std::uint64_t rx_tcp_packets = 0;
+  std::uint64_t rx_tcp_bytes = 0;
+  std::uint64_t rx_est_packets = 0;   // sampled x sampling_rate (volume estimate)
+  std::uint64_t tx_packets = 0;       // sampled
+  std::uint64_t tx_host_bits[4] = {0, 0, 0, 0};  // which host bytes sent
+
+  [[nodiscard]] bool host_sent(std::uint8_t host) const noexcept {
+    return (tx_host_bits[host >> 6] >> (host & 63)) & 1;
+  }
+
+  void mark_host_sent(std::uint8_t host) noexcept {
+    tx_host_bits[host >> 6] |= std::uint64_t{1} << (host & 63);
+  }
+
+  [[nodiscard]] double avg_tcp_size() const noexcept {
+    return rx_tcp_packets == 0 ? 0.0
+                               : static_cast<double>(rx_tcp_bytes) /
+                                     static_cast<double>(rx_tcp_packets);
+  }
+
+  [[nodiscard]] IpRxStats& rx_ip(std::uint8_t host);
+
+  void merge(const BlockObservation& other);
+};
+
+class VantageStats {
+ public:
+  VantageStats() = default;
+
+  /// With a source mask, source-side accounting is kept only for blocks in
+  /// the mask.  Spoofed packets scatter sources across the whole 32-bit
+  /// space; without a mask every one of them would allocate a tracking
+  /// entry for a block the pipeline can never classify (it has no inbound
+  /// traffic).  Pass the measurement universe to bound memory.
+  explicit VantageStats(std::shared_ptr<const trie::Block24Set> source_mask)
+      : source_mask_(std::move(source_mask)) {}
+
+  /// Ingest one dataset: decoded flow records from one vantage point for
+  /// one logical day.  `sampling_rate` scales the volume estimates; `day`
+  /// feeds the distinct-day count used for per-day volume averaging.
+  void add_flows(std::span<const flow::FlowRecord> flows, std::uint32_t sampling_rate, int day);
+
+  /// Merge another stats object (other vantage points / other days).
+  void merge(const VantageStats& other);
+
+  [[nodiscard]] const std::unordered_map<net::Block24, BlockObservation>& blocks()
+      const noexcept {
+    return blocks_;
+  }
+
+  [[nodiscard]] const BlockObservation* find(net::Block24 block) const {
+    const auto it = blocks_.find(block);
+    return it == blocks_.end() ? nullptr : &it->second;
+  }
+
+  /// Number of distinct logical days covered.
+  [[nodiscard]] int day_count() const noexcept {
+    return static_cast<int>(days_.empty() ? 1 : days_.size());
+  }
+
+  [[nodiscard]] std::uint64_t flows_ingested() const noexcept { return flows_; }
+
+ private:
+  std::unordered_map<net::Block24, BlockObservation> blocks_;
+  std::shared_ptr<const trie::Block24Set> source_mask_;
+  std::set<int> days_;
+  std::uint64_t flows_ = 0;
+};
+
+}  // namespace mtscope::pipeline

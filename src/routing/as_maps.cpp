@@ -1,0 +1,93 @@
+#include "routing/as_maps.hpp"
+
+#include <istream>
+#include <map>
+#include <ostream>
+
+#include "util/strings.hpp"
+
+namespace mtscope::routing {
+
+void PrefixToAs::add(const net::Prefix& prefix, net::AsNumber asn) {
+  trie_.insert(prefix, asn);
+}
+
+std::optional<net::AsNumber> PrefixToAs::resolve(net::Ipv4Addr addr) const {
+  const auto match = trie_.longest_match(addr);
+  if (!match) return std::nullopt;
+  return *match->second;
+}
+
+void PrefixToAs::save(std::ostream& out) const {
+  trie_.walk([&](const net::Prefix& p, const net::AsNumber& asn) {
+    out << p.base().to_string() << '\t' << p.length() << '\t' << asn.value() << '\n';
+  });
+}
+
+util::Result<PrefixToAs> PrefixToAs::load(std::istream& in) {
+  PrefixToAs out;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto fields = util::split_ws(trimmed);
+    if (fields.size() != 3) {
+      return util::make_error("pfx2as.fields",
+                              "line " + std::to_string(line_no) + ": expected 3 fields");
+    }
+    const auto addr = net::Ipv4Addr::parse(fields[0]);
+    const auto length = util::parse_uint<unsigned>(fields[1]);
+    const auto asn = util::parse_uint<std::uint32_t>(fields[2]);
+    if (!addr || !length || *length > 32 || !asn) {
+      return util::make_error("pfx2as.parse",
+                              "line " + std::to_string(line_no) + ": malformed entry");
+    }
+    out.add(net::Prefix::canonical(*addr, static_cast<int>(*length)), net::AsNumber(*asn));
+  }
+  return out;
+}
+
+void AsToOrg::add(net::AsNumber asn, Organization org) {
+  by_asn_[asn] = std::move(org);
+}
+
+const Organization* AsToOrg::resolve(net::AsNumber asn) const {
+  const auto it = by_asn_.find(asn);
+  return it == by_asn_.end() ? nullptr : &it->second;
+}
+
+void AsToOrg::save(std::ostream& out) const {
+  // Deterministic output order for reproducible fixtures.
+  std::map<std::uint32_t, const Organization*> ordered;
+  for (const auto& [asn, org] : by_asn_) ordered[asn.value()] = &org;
+  for (const auto& [asn, org] : ordered) {
+    out << asn << '|' << org->org_id << '|' << org->name << '|' << org->country << '\n';
+  }
+}
+
+util::Result<AsToOrg> AsToOrg::load(std::istream& in) {
+  AsToOrg out;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto fields = util::split(trimmed, '|');
+    if (fields.size() != 4) {
+      return util::make_error("as2org.fields",
+                              "line " + std::to_string(line_no) + ": expected 4 fields");
+    }
+    const auto asn = util::parse_uint<std::uint32_t>(fields[0]);
+    if (!asn) {
+      return util::make_error("as2org.parse", "line " + std::to_string(line_no) + ": bad ASN");
+    }
+    out.add(net::AsNumber(*asn),
+            Organization{std::string(fields[1]), std::string(fields[2]), std::string(fields[3])});
+  }
+  return out;
+}
+
+}  // namespace mtscope::routing

@@ -1,0 +1,65 @@
+// Prefix-to-AS and AS-to-organisation mapping datasets.
+//
+// Mirrors CAIDA's pfx2as and as2org products, including their text formats,
+// so the analysis code paths (Table 6, Table 7) resolve AS and organisation
+// exactly the way the paper does.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+#include "trie/prefix_trie.hpp"
+#include "util/result.hpp"
+
+namespace mtscope::routing {
+
+/// CAIDA pfx2as-style dataset: longest-prefix match from address to origin AS.
+class PrefixToAs {
+ public:
+  void add(const net::Prefix& prefix, net::AsNumber asn);
+
+  [[nodiscard]] std::optional<net::AsNumber> resolve(net::Ipv4Addr addr) const;
+  [[nodiscard]] std::optional<net::AsNumber> resolve(net::Block24 block) const {
+    return resolve(block.first_address());
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return trie_.size(); }
+
+  /// CAIDA text format: "<base> <length> <asn>" per line, tab-separated.
+  void save(std::ostream& out) const;
+  [[nodiscard]] static util::Result<PrefixToAs> load(std::istream& in);
+
+ private:
+  trie::PrefixTrie<net::AsNumber> trie_;
+};
+
+/// Organisation record in the as2org dataset.
+struct Organization {
+  std::string org_id;
+  std::string name;
+  std::string country;  // ISO 3166 alpha-2
+};
+
+/// CAIDA as2org-style dataset: ASN -> organisation.
+class AsToOrg {
+ public:
+  void add(net::AsNumber asn, Organization org);
+
+  [[nodiscard]] const Organization* resolve(net::AsNumber asn) const;
+  [[nodiscard]] std::size_t size() const noexcept { return by_asn_.size(); }
+
+  /// Pipe-separated format: "asn|org_id|name|country" per line.
+  void save(std::ostream& out) const;
+  [[nodiscard]] static util::Result<AsToOrg> load(std::istream& in);
+
+ private:
+  std::unordered_map<net::AsNumber, Organization> by_asn_;
+};
+
+}  // namespace mtscope::routing

@@ -1,0 +1,75 @@
+#include "routing/rib.hpp"
+
+#include <unordered_map>
+
+namespace mtscope::routing {
+
+bool Rib::announce(const net::Prefix& prefix, net::AsNumber origin) {
+  return trie_.insert(prefix, Route{origin});
+}
+
+bool Rib::withdraw(const net::Prefix& prefix) { return trie_.erase(prefix); }
+
+std::optional<std::pair<net::Prefix, Route>> Rib::lookup(net::Ipv4Addr addr) const {
+  const auto match = trie_.longest_match(addr);
+  if (!match) return std::nullopt;
+  return std::make_pair(match->first, *match->second);
+}
+
+bool Rib::is_routed(net::Block24 block) const {
+  // A /24 is routed when some announcement covers the whole block.  All
+  // covering prefixes of the first address are candidates.
+  for (const auto& [prefix, route] : trie_.matches(block.first_address())) {
+    (void)route;
+    if (prefix.contains(block)) return true;
+  }
+  return false;
+}
+
+bool Rib::is_routed(net::Ipv4Addr addr) const { return trie_.covers(addr); }
+
+std::optional<net::AsNumber> Rib::origin_of(net::Ipv4Addr addr) const {
+  const auto match = lookup(addr);
+  if (!match) return std::nullopt;
+  return match->second.origin;
+}
+
+std::vector<std::pair<net::Prefix, net::AsNumber>> Rib::announcements() const {
+  std::vector<std::pair<net::Prefix, net::AsNumber>> out;
+  out.reserve(trie_.size());
+  trie_.walk([&](const net::Prefix& p, const Route& r) { out.emplace_back(p, r.origin); });
+  return out;
+}
+
+std::vector<std::pair<net::Prefix, net::AsNumber>> Rib::announcements_up_to(
+    int max_length) const {
+  std::vector<std::pair<net::Prefix, net::AsNumber>> out;
+  trie_.walk([&](const net::Prefix& p, const Route& r) {
+    if (p.length() <= max_length) out.emplace_back(p, r.origin);
+  });
+  return out;
+}
+
+void Rib::merge(const Rib& other) {
+  other.trie_.walk([&](const net::Prefix& p, const Route& r) {
+    if (trie_.find(p) == nullptr) trie_.insert(p, r);
+  });
+}
+
+void RouteViews::add_dump(int day, const Rib& dump) {
+  DayEntry& entry = days_[day];
+  entry.merged.merge(dump);
+  ++entry.dumps;
+}
+
+const Rib& RouteViews::daily_rib(int day) const {
+  const auto it = days_.find(day);
+  return it == days_.end() ? empty_ : it->second.merged;
+}
+
+std::size_t RouteViews::dump_count(int day) const {
+  const auto it = days_.find(day);
+  return it == days_.end() ? 0 : it->second.dumps;
+}
+
+}  // namespace mtscope::routing

@@ -1,0 +1,85 @@
+// BGP Routing Information Base.
+//
+// Stores announced prefixes with their origin AS.  Filter step 5 of the
+// pipeline ("Globally Routed") asks whether a /24 is covered by any
+// announcement; the analysis section asks for the covering announcement of
+// a block (for prefix-index computation) and the origin AS.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+#include "trie/prefix_trie.hpp"
+
+namespace mtscope::routing {
+
+/// One BGP route (origin-AS attribute only; path details are out of scope).
+struct Route {
+  net::AsNumber origin;
+};
+
+class Rib {
+ public:
+  /// Announce `prefix` from `origin`.  Re-announcing overwrites the origin
+  /// (as a RIB would after an implicit withdraw).  Returns true if new.
+  bool announce(const net::Prefix& prefix, net::AsNumber origin);
+
+  /// Withdraw an announcement.  Returns true if it existed.
+  bool withdraw(const net::Prefix& prefix);
+
+  /// Longest-prefix match.
+  [[nodiscard]] std::optional<std::pair<net::Prefix, Route>> lookup(net::Ipv4Addr addr) const;
+
+  /// True if `block` is entirely inside some announced prefix.
+  [[nodiscard]] bool is_routed(net::Block24 block) const;
+
+  /// True if `addr` is inside any announced prefix.
+  [[nodiscard]] bool is_routed(net::Ipv4Addr addr) const;
+
+  /// Origin AS of the most specific announcement covering `addr`.
+  [[nodiscard]] std::optional<net::AsNumber> origin_of(net::Ipv4Addr addr) const;
+
+  /// All announced prefixes (with origins), in address order.
+  [[nodiscard]] std::vector<std::pair<net::Prefix, net::AsNumber>> announcements() const;
+
+  /// All announcements with a given maximum length (e.g. the /8../16
+  /// covering prefixes used for Figure 7's prefix index).
+  [[nodiscard]] std::vector<std::pair<net::Prefix, net::AsNumber>> announcements_up_to(
+      int max_length) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return trie_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return trie_.empty(); }
+
+  /// Merge another RIB into this one (used by RouteViews to union the 12
+  /// per-day dumps).  Existing origins win on conflict, matching "first
+  /// dump of the day wins" semantics.
+  void merge(const Rib& other);
+
+ private:
+  trie::PrefixTrie<Route> trie_;
+};
+
+/// Route Views-style collector: a day is the union of several RIB dumps.
+class RouteViews {
+ public:
+  /// Add one RIB dump for logical day `day`.
+  void add_dump(int day, const Rib& dump);
+
+  /// The merged RIB for a day; empty RIB if no dumps were added.
+  [[nodiscard]] const Rib& daily_rib(int day) const;
+
+  [[nodiscard]] std::size_t dump_count(int day) const;
+
+ private:
+  struct DayEntry {
+    Rib merged;
+    std::size_t dumps = 0;
+  };
+  std::unordered_map<int, DayEntry> days_;
+  Rib empty_;
+};
+
+}  // namespace mtscope::routing

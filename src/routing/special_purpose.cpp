@@ -1,0 +1,61 @@
+#include "routing/special_purpose.hpp"
+
+namespace mtscope::routing {
+
+namespace {
+
+net::Prefix p(std::string_view text) {
+  auto parsed = net::Prefix::parse(text);
+  if (!parsed) throw std::logic_error("bad builtin prefix");
+  return *parsed;
+}
+
+}  // namespace
+
+SpecialPurposeRegistry SpecialPurposeRegistry::standard() {
+  SpecialPurposeRegistry reg;
+  // IANA IPv4 Special-Purpose Address Registry (RFC 6890 and successors).
+  reg.add({p("0.0.0.0/8"), "This host on this network", "RFC1122", false});
+  reg.add({p("10.0.0.0/8"), "Private-Use", "RFC1918", false});
+  reg.add({p("100.64.0.0/10"), "Shared Address Space", "RFC6598", false});
+  reg.add({p("127.0.0.0/8"), "Loopback", "RFC1122", false});
+  reg.add({p("169.254.0.0/16"), "Link Local", "RFC3927", false});
+  reg.add({p("172.16.0.0/12"), "Private-Use", "RFC1918", false});
+  reg.add({p("192.0.0.0/24"), "IETF Protocol Assignments", "RFC6890", false});
+  reg.add({p("192.0.2.0/24"), "Documentation (TEST-NET-1)", "RFC5737", false});
+  reg.add({p("192.88.99.0/24"), "6to4 Relay Anycast", "RFC3068", true});
+  reg.add({p("192.168.0.0/16"), "Private-Use", "RFC1918", false});
+  reg.add({p("198.18.0.0/15"), "Benchmarking", "RFC2544", false});
+  reg.add({p("198.51.100.0/24"), "Documentation (TEST-NET-2)", "RFC5737", false});
+  reg.add({p("203.0.113.0/24"), "Documentation (TEST-NET-3)", "RFC5737", false});
+  reg.add({p("224.0.0.0/4"), "Multicast", "RFC5771", false});
+  reg.add({p("240.0.0.0/4"), "Reserved", "RFC1112", false});
+  reg.add({p("255.255.255.255/32"), "Limited Broadcast", "RFC919", false});
+  return reg;
+}
+
+void SpecialPurposeRegistry::add(SpecialPurposeEntry entry) {
+  index_.insert(entry.prefix, entries_.size());
+  entries_.push_back(std::move(entry));
+}
+
+bool SpecialPurposeRegistry::is_reserved(net::Ipv4Addr addr) const {
+  const SpecialPurposeEntry* entry = lookup(addr);
+  return entry != nullptr && !entry->globally_reachable;
+}
+
+bool SpecialPurposeRegistry::is_reserved(net::Block24 block) const {
+  // A /24 either lies entirely inside one registry prefix (all registry
+  // entries are /8.. /16 style, i.e. <= /24, except the /32 broadcast) or
+  // contains one.  Checking both block endpoints covers the <= /24 case;
+  // the lone /32 entry (255.255.255.255) is inside 240.0.0.0/4 anyway.
+  return is_reserved(block.first_address()) || is_reserved(block.last_address());
+}
+
+const SpecialPurposeEntry* SpecialPurposeRegistry::lookup(net::Ipv4Addr addr) const {
+  const auto match = index_.longest_match(addr);
+  if (!match) return nullptr;
+  return &entries_[*match->second];
+}
+
+}  // namespace mtscope::routing

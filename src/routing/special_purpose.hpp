@@ -1,0 +1,58 @@
+// RFC 6890 special-purpose IPv4 address registry.
+//
+// Filter step 4 of the pipeline removes /24s inside private, multicast,
+// loopback and otherwise reserved space: telescope prefixes must be publicly
+// reachable.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+#include "trie/prefix_trie.hpp"
+
+namespace mtscope::routing {
+
+/// One registry entry.
+struct SpecialPurposeEntry {
+  net::Prefix prefix;
+  std::string name;        // e.g. "Private-Use"
+  std::string rfc;         // defining document
+  bool globally_reachable; // RFC 6890 "Global" attribute
+};
+
+/// Registry of special-purpose blocks with prefix-trie lookups.
+class SpecialPurposeRegistry {
+ public:
+  /// Registry preloaded with the RFC 6890 / IANA special-purpose table.
+  [[nodiscard]] static SpecialPurposeRegistry standard();
+
+  /// Empty registry for custom test topologies.
+  SpecialPurposeRegistry() = default;
+
+  void add(SpecialPurposeEntry entry);
+
+  /// True if the address is inside any special-purpose block that is not
+  /// globally reachable.
+  [[nodiscard]] bool is_reserved(net::Ipv4Addr addr) const;
+
+  /// True if any part of the /24 is inside reserved space (conservative:
+  /// a partially reserved block is unusable as a telescope prefix).
+  [[nodiscard]] bool is_reserved(net::Block24 block) const;
+
+  /// The entry covering `addr`, if any (most specific wins).
+  [[nodiscard]] const SpecialPurposeEntry* lookup(net::Ipv4Addr addr) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] const std::vector<SpecialPurposeEntry>& entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::vector<SpecialPurposeEntry> entries_;
+  trie::PrefixTrie<std::size_t> index_;  // prefix -> index into entries_
+};
+
+}  // namespace mtscope::routing

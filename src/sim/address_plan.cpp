@@ -1,0 +1,550 @@
+#include "sim/address_plan.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace mtscope::sim {
+
+namespace {
+
+// /8 first-octet pools, chosen clear of RFC 6890 space.
+constexpr std::array<std::uint8_t, 14> kGeneralSlash8Pool = {24, 34,  45,  57,  63,  77,  89,
+                                                             96, 101, 113, 134, 147, 155, 163};
+constexpr std::uint8_t kLegacySlash8 = 52;
+constexpr std::uint8_t kTelescopeSlash8 = 44;
+constexpr std::array<std::uint8_t, 2> kUnroutedSlash8s = {37, 102};
+
+struct CountryWeight {
+  const char* code;
+  double weight;
+};
+
+const std::vector<CountryWeight>& countries_of(geo::Continent c) {
+  static const std::vector<CountryWeight> na = {
+      {"US", 0.74}, {"CA", 0.12}, {"MX", 0.08}, {"PA", 0.02}, {"CR", 0.02}, {"DO", 0.02}};
+  static const std::vector<CountryWeight> sa = {
+      {"BR", 0.45}, {"AR", 0.20}, {"CL", 0.12}, {"CO", 0.12}, {"PE", 0.06}, {"UY", 0.05}};
+  static const std::vector<CountryWeight> eu = {
+      {"DE", 0.18}, {"GB", 0.14}, {"FR", 0.12}, {"NL", 0.10}, {"IT", 0.08}, {"ES", 0.07},
+      {"PL", 0.07}, {"SE", 0.06}, {"CH", 0.05}, {"RU", 0.05}, {"UA", 0.04}, {"RO", 0.04}};
+  static const std::vector<CountryWeight> af = {
+      {"ZA", 0.30}, {"NG", 0.20}, {"EG", 0.16}, {"KE", 0.12}, {"MA", 0.09},
+      {"GH", 0.07}, {"TN", 0.06}};
+  static const std::vector<CountryWeight> as = {
+      {"CN", 0.50}, {"JP", 0.11}, {"IN", 0.09}, {"KR", 0.07}, {"SG", 0.05}, {"HK", 0.04},
+      {"TW", 0.04}, {"TH", 0.03}, {"VN", 0.03}, {"ID", 0.02}, {"TR", 0.02}};
+  static const std::vector<CountryWeight> oc = {
+      {"AU", 0.62}, {"NZ", 0.28}, {"FJ", 0.05}, {"PG", 0.05}};
+  static const std::vector<CountryWeight> intl = {{"US", 1.0}};
+  switch (c) {
+    case geo::Continent::kNorthAmerica: return na;
+    case geo::Continent::kSouthAmerica: return sa;
+    case geo::Continent::kEurope: return eu;
+    case geo::Continent::kAfrica: return af;
+    case geo::Continent::kAsia: return as;
+    case geo::Continent::kOceania: return oc;
+    case geo::Continent::kInternational: return intl;
+  }
+  return intl;
+}
+
+geo::Continent pick_continent(util::Rng& rng) {
+  // Allocation shares loosely follow real RIR history: North America heavy
+  // (legacy space), Asia second — this drives the paper's "most prefixes in
+  // the USA, China second" finding.
+  static constexpr std::array<std::pair<geo::Continent, double>, 6> kWeights = {{
+      {geo::Continent::kNorthAmerica, 0.33},
+      {geo::Continent::kAsia, 0.27},
+      {geo::Continent::kEurope, 0.19},
+      {geo::Continent::kOceania, 0.08},
+      {geo::Continent::kAfrica, 0.07},
+      {geo::Continent::kSouthAmerica, 0.06},
+  }};
+  double total = 0.0;
+  for (const auto& [c, w] : kWeights) total += w;
+  double target = rng.uniform01() * total;
+  for (const auto& [c, w] : kWeights) {
+    target -= w;
+    if (target <= 0.0) return c;
+  }
+  return geo::Continent::kNorthAmerica;
+}
+
+geo::NetType pick_net_type(util::Rng& rng) {
+  const double u = rng.uniform01();
+  if (u < 0.45) return geo::NetType::kIsp;
+  if (u < 0.70) return geo::NetType::kEnterprise;
+  if (u < 0.85) return geo::NetType::kEducation;
+  return geo::NetType::kDataCenter;
+}
+
+/// Base probability that an allocated /24 hosts something, by network type.
+double active_probability(geo::NetType type, geo::Continent continent) {
+  double p = 0.68;
+  switch (type) {
+    case geo::NetType::kIsp: p = 0.68; break;
+    case geo::NetType::kEnterprise: p = 0.72; break;
+    case geo::NetType::kEducation: p = 0.55; break;
+    // Data centers emerged under IPv4 scarcity -> little dark space
+    // (paper, Figure 16's observation).
+    case geo::NetType::kDataCenter: p = 0.92; break;
+  }
+  switch (continent) {
+    case geo::Continent::kNorthAmerica: p *= 0.82; break;  // legacy abundance
+    case geo::Continent::kEurope: p = std::min(0.97, p * 1.10); break;  // scarcity
+    case geo::Continent::kAfrica: p = std::min(0.97, p * 1.06); break;
+    case geo::Continent::kAsia: p *= 0.92; break;  // big sparsely-used legacy blocks
+    default: break;
+  }
+  return p;
+}
+
+}  // namespace
+
+AddressPlan::AddressPlan(const SimConfig& config) : config_(config) {
+  if (config.general_slash8s < 1 ||
+      config.general_slash8s > static_cast<int>(kGeneralSlash8Pool.size())) {
+    throw std::invalid_argument("AddressPlan: general_slash8s out of range [1, 14]");
+  }
+  util::Rng rng(util::mix64(config.seed, 0x0add7e55u));
+
+  // Universe layout: N general /8s + legacy /8 + telescope /8; two unrouted
+  // /8s participate in the universe but have no layout (kUnallocated).
+  for (int i = 0; i < config.general_slash8s; ++i) slash8s_.push_back(kGeneralSlash8Pool[i]);
+  slash8s_.push_back(kLegacySlash8);
+  slash8s_.push_back(kTelescopeSlash8);
+  legacy_slash8_ = kLegacySlash8;
+  telescope_slash8_ = kTelescopeSlash8;
+  for (std::uint8_t base : kUnroutedSlash8s) {
+    slash8s_.push_back(base);
+    unrouted_slash8s_.push_back(base);
+  }
+
+  layouts_.reserve(static_cast<std::size_t>(config.general_slash8s) + 2);
+  for (int i = 0; i < config.general_slash8s; ++i) {
+    Slash8Layout layout;
+    layout.base = kGeneralSlash8Pool[i];
+    layout.as_index.assign(65536, kNoAs);
+    layout.roles.assign(65536, BlockRole::kUnallocated);
+    layouts_.push_back(std::move(layout));
+  }
+  {
+    Slash8Layout legacy;
+    legacy.base = kLegacySlash8;
+    legacy.as_index.assign(65536, kNoAs);
+    legacy.roles.assign(65536, BlockRole::kUnallocated);
+    layouts_.push_back(std::move(legacy));
+  }
+  {
+    Slash8Layout telescope;
+    telescope.base = kTelescopeSlash8;
+    telescope.as_index.assign(65536, kNoAs);
+    telescope.roles.assign(65536, BlockRole::kUnallocated);
+    layouts_.push_back(std::move(telescope));
+  }
+
+  // The first general /8 hosts the TEU1/TEU2 telescopes at its head; the
+  // rest of it and all other general /8s are carved into ordinary ASes.
+  for (int i = 0; i < config.general_slash8s; ++i) {
+    util::Rng fork = rng.fork(0x100 + static_cast<std::uint64_t>(i));
+    if (i == 0) {
+      Slash8Layout& layout = layouts_[0];
+      // TEU1's host: an EU eyeball ISP with a /15 (512 blocks).
+      teu1_as_ = make_as(fork, geo::Continent::kEurope, /*force=*/true);
+      ases_[teu1_as_].type = geo::NetType::kIsp;
+      nettypes_.add(ases_[teu1_as_].asn, geo::NetType::kIsp);
+      assign_range(layout, 0, 512, teu1_as_, fork);
+      // Carve TEU1 out of the host's space (offset 64, spec size).
+      const TelescopeSpec& teu1_spec = config_.telescopes.at(1);
+      TelescopeInfo teu1;
+      teu1.spec = teu1_spec;
+      teu1.as_index = teu1_as_;
+      for (std::uint32_t b = 64; b < 64 + teu1_spec.size_24s && b < 512; ++b) {
+        layout.roles[b] = BlockRole::kTelescope;
+        const net::Block24 block((std::uint32_t{layout.base} << 16) | b);
+        teu1.blocks.push_back(block);
+        dark_.insert(block);
+        active_.erase(block);
+      }
+      // Greedy prefix cover of the telescope's (possibly non-power-of-two)
+      // block range.
+      {
+        std::uint32_t at = 64;
+        std::uint32_t remaining = std::min<std::uint32_t>(teu1_spec.size_24s, 512 - 64);
+        while (remaining > 0) {
+          std::uint32_t size = 1;
+          while (size * 2 <= remaining && at % (size * 2) == 0) size *= 2;
+          int len = 24;
+          for (std::uint32_t s = size; s > 1; s >>= 1) --len;
+          teu1.prefixes.push_back(net::Prefix::canonical(
+              net::Ipv4Addr((std::uint32_t{layout.base} << 24) | (at << 8)), len));
+          at += size;
+          remaining -= size;
+        }
+      }
+      telescopes_.push_back(std::move(teu1));
+
+      // TEU2: its own small AS, directly announced at many IXPs.
+      const TelescopeSpec& teu2_spec = config_.telescopes.at(2);
+      teu2_as_ = make_as(fork, geo::Continent::kEurope, /*force=*/true);
+      ases_[teu2_as_].type = geo::NetType::kEducation;
+      nettypes_.add(ases_[teu2_as_].asn, geo::NetType::kEducation);
+      TelescopeInfo teu2;
+      teu2.spec = teu2_spec;
+      teu2.as_index = teu2_as_;
+      const std::uint32_t teu2_start = 512;
+      for (std::uint32_t b = teu2_start; b < teu2_start + teu2_spec.size_24s; ++b) {
+        layout.as_index[b] = static_cast<std::uint32_t>(teu2_as_);
+        layout.roles[b] = BlockRole::kTelescope;
+        const net::Block24 block((std::uint32_t{layout.base} << 16) | b);
+        teu2.blocks.push_back(block);
+        dark_.insert(block);
+        allocated_.insert(block);
+      }
+      int len = 24;
+      for (std::uint32_t s = teu2_spec.size_24s; s > 1; s >>= 1) --len;
+      const net::Prefix teu2_prefix = net::Prefix::canonical(
+          net::Ipv4Addr((std::uint32_t{layout.base} << 24) | (teu2_start << 8)), len);
+      teu2.prefixes.push_back(teu2_prefix);
+      ases_[teu2_as_].allocated.push_back(teu2_prefix);
+      ases_[teu2_as_].announced.push_back(teu2_prefix);
+      rib_.announce(teu2_prefix, ases_[teu2_as_].asn);
+      geodb_.add(teu2_prefix, ases_[teu2_as_].country);
+      telescopes_.push_back(std::move(teu2));
+
+      carve_range(layout, teu2_start + teu2_spec.size_24s, 65536, fork, std::nullopt);
+    } else {
+      carve_general_slash8(layouts_[i], fork);
+    }
+  }
+
+  {
+    util::Rng fork = rng.fork(0x200);
+    build_legacy_slash8(layouts_[layouts_.size() - 2], fork);
+  }
+  {
+    util::Rng fork = rng.fork(0x201);
+    build_telescope_slash8(layouts_.back(), fork);
+  }
+
+  // Order telescopes TUS1, TEU1, TEU2 (build order appended TUS1 last).
+  std::sort(telescopes_.begin(), telescopes_.end(),
+            [](const TelescopeInfo& a, const TelescopeInfo& b) {
+              return a.spec.code < b.spec.code;  // TEU1 < TEU2 < TUS1
+            });
+  std::rotate(telescopes_.begin(), telescopes_.end() - 1, telescopes_.end());  // TUS1 first
+
+  finalize_datasets();
+}
+
+std::size_t AddressPlan::make_as(util::Rng& rng, geo::Continent continent_hint,
+                                 bool force_continent) {
+  AsInfo info;
+  info.asn = net::AsNumber(static_cast<std::uint32_t>(1000 + ases_.size()));
+  info.continent = force_continent ? continent_hint : pick_continent(rng);
+  const auto& countries = countries_of(info.continent);
+  std::vector<double> weights;
+  weights.reserve(countries.size());
+  for (const auto& cw : countries) weights.push_back(cw.weight);
+  info.country = countries[rng.weighted_pick(weights)].code;
+  info.type = pick_net_type(rng);
+  info.legacy = rng.chance(config_.legacy_as_fraction);
+  info.org_name = info.country + std::string("-") +
+                  std::string(geo::net_type_name(info.type)) + "-" +
+                  std::to_string(info.asn.value());
+  nettypes_.add(info.asn, info.type);
+  ases_.push_back(std::move(info));
+  return ases_.size() - 1;
+}
+
+void AddressPlan::assign_range(Slash8Layout& layout, std::uint32_t start, std::uint32_t count,
+                               std::size_t as_index, util::Rng& rng) {
+  AsInfo& as_info = ases_[as_index];
+  const double p_active = as_info.legacy ? 0.04 : active_probability(as_info.type,
+                                                                     as_info.continent);
+
+  // Activity assigned via a two-state Markov chain so dark space clusters
+  // into contiguous runs, as real allocations do (matters for the Hilbert
+  // maps and the prefix-index ECDF).
+  bool active = rng.chance(p_active);
+  constexpr double kSwitchOut = 0.12;  // chance of leaving the current run
+  for (std::uint32_t b = start; b < start + count && b < 65536; ++b) {
+    if (rng.chance(kSwitchOut)) active = rng.chance(p_active);
+
+    BlockRole role;
+    if (active) {
+      if (rng.chance(config_.asym_ack_fraction)) {
+        role = BlockRole::kAsymAck;
+      } else if (rng.chance(config_.quiet_active_fraction)) {
+        role = BlockRole::kQuietActive;
+      } else {
+        role = BlockRole::kActive;
+      }
+    } else {
+      role = BlockRole::kDark;
+    }
+    layout.as_index[b] = static_cast<std::uint32_t>(as_index);
+    layout.roles[b] = role;
+
+    const net::Block24 block((std::uint32_t{layout.base} << 16) | b);
+    allocated_.insert(block);
+    if (role == BlockRole::kDark) {
+      dark_.insert(block);
+    } else {
+      active_.insert(block);
+    }
+  }
+
+  // Record the covering prefix (aligned power-of-two carving guarantees one
+  // exists when callers pass aligned ranges; odd ranges get /24 pieces).
+  std::uint32_t at = start;
+  std::uint32_t remaining = count;
+  while (remaining > 0) {
+    std::uint32_t size = 1;
+    while (size * 2 <= remaining && at % (size * 2) == 0) size *= 2;
+    int len = 24;
+    for (std::uint32_t s = size; s > 1; s >>= 1) --len;
+    const net::Prefix prefix = net::Prefix::canonical(
+        net::Ipv4Addr((std::uint32_t{layout.base} << 24) | (at << 8)), len);
+    as_info.allocated.push_back(prefix);
+    geodb_.add(prefix, as_info.country);
+
+    // Announcement policy: exact prefix (70%), split into two more-specifics
+    // (25%), or left unannounced (5% — dark space invisible to BGP).
+    const double u = rng.uniform01();
+    if (u < 0.70 || len >= 24) {
+      as_info.announced.push_back(prefix);
+      rib_.announce(prefix, as_info.asn);
+    } else if (u < 0.95) {
+      const auto [low, high] = prefix.children();
+      as_info.announced.push_back(low);
+      as_info.announced.push_back(high);
+      rib_.announce(low, as_info.asn);
+      rib_.announce(high, as_info.asn);
+    }
+    at += size;
+    remaining -= size;
+  }
+}
+
+void AddressPlan::carve_general_slash8(Slash8Layout& layout, util::Rng& rng) {
+  carve_range(layout, 0, 65536, rng, std::nullopt);
+}
+
+void AddressPlan::carve_range(Slash8Layout& layout, std::uint32_t start, std::uint32_t end,
+                              util::Rng& rng, std::optional<geo::Continent> continent_bias) {
+  std::uint32_t cursor = start;
+  while (cursor < end) {
+    // Allocation sizes: geometric over /22.. /14 (4 to 1024 /24s), skewed
+    // small the way RIR delegations are.
+    int k = 2;
+    while (k < 10 && rng.chance(0.55)) ++k;
+    std::uint32_t size = 1u << k;
+    // Align the cursor to the allocation size.
+    std::uint32_t aligned = (cursor + size - 1) & ~(size - 1);
+    while (aligned + size > end && size > 4) {
+      size >>= 1;
+      aligned = (cursor + size - 1) & ~(size - 1);
+    }
+    if (aligned + size > end) break;
+
+    const bool force = continent_bias.has_value();
+    const std::size_t as_index =
+        make_as(rng, continent_bias.value_or(geo::Continent::kNorthAmerica), force);
+    assign_range(layout, aligned, size, as_index, rng);
+    cursor = aligned + size;
+  }
+}
+
+void AddressPlan::build_legacy_slash8(Slash8Layout& layout, util::Rng& rng) {
+  // Right /9 (blocks 32768..65535): one giant unused legacy enterprise
+  // allocation, announced as a /9 — Figure 5's right half.
+  legacy9_as_ = make_as(rng, geo::Continent::kNorthAmerica, /*force=*/true);
+  AsInfo& l9 = ases_[legacy9_as_];
+  l9.type = geo::NetType::kEnterprise;
+  l9.legacy = true;
+  l9.country = "US";
+  nettypes_.add(l9.asn, l9.type);
+  const net::Prefix right_half = net::Prefix::canonical(
+      net::Ipv4Addr((std::uint32_t{layout.base} << 24) | (32768u << 8)), 9);
+  l9.allocated.push_back(right_half);
+  l9.announced.push_back(right_half);
+  rib_.announce(right_half, l9.asn);
+  geodb_.add(right_half, l9.country);
+  for (std::uint32_t b = 32768; b < 65536; ++b) {
+    layout.as_index[b] = static_cast<std::uint32_t>(legacy9_as_);
+    layout.roles[b] = BlockRole::kDark;
+    const net::Block24 block((std::uint32_t{layout.base} << 16) | b);
+    allocated_.insert(block);
+    dark_.insert(block);
+  }
+
+  // First /10 (blocks 0..16383): allocated but NEVER announced — invisible
+  // to BGP, removed by pipeline step 5.
+  {
+    const std::size_t lu = make_as(rng, geo::Continent::kNorthAmerica, /*force=*/true);
+    AsInfo& info = ases_[lu];
+    info.type = geo::NetType::kEnterprise;
+    info.legacy = true;
+    info.country = "US";
+    nettypes_.add(info.asn, info.type);
+    const net::Prefix unannounced = net::Prefix::canonical(
+        net::Ipv4Addr(std::uint32_t{layout.base} << 24), 10);
+    info.allocated.push_back(unannounced);
+    geodb_.add(unannounced, info.country);
+    for (std::uint32_t b = 0; b < 16384; ++b) {
+      layout.as_index[b] = static_cast<std::uint32_t>(lu);
+      layout.roles[b] = BlockRole::kDark;
+      const net::Block24 block((std::uint32_t{layout.base} << 16) | b);
+      allocated_.insert(block);
+      dark_.insert(block);
+    }
+  }
+
+  // Second /10 (16384..32767): a dark /14 at 20480 (Figure 5's left-half
+  // feature) and ordinary carving around it.
+  legacy14_as_ = make_as(rng, geo::Continent::kNorthAmerica, /*force=*/true);
+  AsInfo& l14 = ases_[legacy14_as_];
+  l14.type = geo::NetType::kEducation;
+  l14.legacy = true;
+  l14.country = "US";
+  nettypes_.add(l14.asn, l14.type);
+  const net::Prefix dark14 = net::Prefix::canonical(
+      net::Ipv4Addr((std::uint32_t{layout.base} << 24) | (20480u << 8)), 14);
+  l14.allocated.push_back(dark14);
+  l14.announced.push_back(dark14);
+  rib_.announce(dark14, l14.asn);
+  geodb_.add(dark14, l14.country);
+  for (std::uint32_t b = 20480; b < 21504; ++b) {
+    layout.as_index[b] = static_cast<std::uint32_t>(legacy14_as_);
+    layout.roles[b] = BlockRole::kDark;
+    const net::Block24 block((std::uint32_t{layout.base} << 16) | b);
+    allocated_.insert(block);
+    dark_.insert(block);
+  }
+  carve_range(layout, 16384, 20480, rng, std::nullopt);
+  carve_range(layout, 21504, 32768, rng, std::nullopt);
+}
+
+void AddressPlan::build_telescope_slash8(Slash8Layout& layout, util::Rng& rng) {
+  // The TUS1 host: a North-American ISP that peers only at the NA IXPs.
+  const std::size_t isp_as = make_as(rng, geo::Continent::kNorthAmerica, /*force=*/true);
+  AsInfo& isp_info = ases_[isp_as];
+  isp_info.type = geo::NetType::kIsp;
+  isp_info.country = "US";
+  nettypes_.add(isp_info.asn, isp_info.type);
+  isp_.as_index = isp_as;
+
+  // TUS1 occupies quarters 0, 1 and 3 of the /8 (Figure 6's telescope
+  // covering three quadrants of the Hilbert map).
+  TelescopeInfo tus1;
+  tus1.spec = config_.telescopes.at(0);
+  tus1.as_index = isp_as;
+  const auto add_quarter = [&](std::uint32_t q) {
+    const std::uint32_t start = q * 16384;
+    const net::Prefix quarter = net::Prefix::canonical(
+        net::Ipv4Addr((std::uint32_t{layout.base} << 24) | (start << 8)), 10);
+    tus1.prefixes.push_back(quarter);
+    isp_info.allocated.push_back(quarter);
+    isp_info.announced.push_back(quarter);
+    rib_.announce(quarter, isp_info.asn);
+    geodb_.add(quarter, isp_info.country);
+    for (std::uint32_t b = start; b < start + 16384; ++b) {
+      layout.as_index[b] = static_cast<std::uint32_t>(isp_as);
+      layout.roles[b] = BlockRole::kTelescope;
+      const net::Block24 block((std::uint32_t{layout.base} << 16) | b);
+      allocated_.insert(block);
+      dark_.insert(block);
+      tus1.blocks.push_back(block);
+    }
+  };
+  add_quarter(0);
+  add_quarter(1);
+  add_quarter(3);
+  telescopes_.push_back(std::move(tus1));
+
+  // Quarter 2 (32768..49151): the ISP's own production /13 (2048 blocks)
+  // plus ordinary NA-biased allocations — this mixed space is the labelled
+  // dataset behind Table 3.
+  assign_range(layout, 32768, 2048, isp_as, rng);
+  for (std::uint32_t b = 32768; b < 32768 + 2048; ++b) {
+    isp_.blocks.emplace_back((std::uint32_t{layout.base} << 16) | b);
+  }
+  carve_range(layout, 32768 + 2048, 49152, rng, geo::Continent::kNorthAmerica);
+}
+
+void AddressPlan::finalize_datasets() {
+  // geodb/nettypes are filled during construction; build the O(1) first
+  // octet -> layout lookup used by the hot role()/as_of() queries.
+  layout_lookup_.fill(nullptr);
+  for (const Slash8Layout& layout : layouts_) layout_lookup_[layout.base] = &layout;
+}
+
+const AddressPlan::Slash8Layout* AddressPlan::layout_of(net::Block24 block) const noexcept {
+  return layout_lookup_[block.index() >> 16];
+}
+
+BlockRole AddressPlan::role(net::Block24 block) const noexcept {
+  const Slash8Layout* layout = layout_of(block);
+  if (layout == nullptr) return BlockRole::kUnallocated;
+  return layout->roles[block.index() & 0xffff];
+}
+
+std::optional<std::size_t> AddressPlan::as_of(net::Block24 block) const noexcept {
+  const Slash8Layout* layout = layout_of(block);
+  if (layout == nullptr) return std::nullopt;
+  const std::uint32_t index = layout->as_index[block.index() & 0xffff];
+  if (index == kNoAs) return std::nullopt;
+  return index;
+}
+
+routing::RouteViews AddressPlan::make_route_views(int day, int dumps) const {
+  routing::RouteViews views;
+  const auto announcements = rib_.announcements();
+  for (int d = 0; d < dumps; ++d) {
+    util::Rng rng(util::mix64(config_.seed, util::mix64(0x5200 + day, d)));
+    routing::Rib dump;
+    for (const auto& [prefix, asn] : announcements) {
+      // Route flaps: each dump misses ~0.5% of routes; the 12-dump union
+      // recovers nearly all of them, as the paper's merge does.
+      if (!rng.chance(0.005)) dump.announce(prefix, asn);
+    }
+    views.add_dump(day, dump);
+  }
+  return views;
+}
+
+std::shared_ptr<const trie::Block24Set> AddressPlan::universe_mask() const {
+  auto mask = std::make_shared<trie::Block24Set>();
+  for (const std::uint8_t base : slash8s_) {
+    const std::uint32_t first = std::uint32_t{base} << 16;
+    for (std::uint32_t i = 0; i < 65536; ++i) mask->insert(net::Block24(first + i));
+  }
+  return mask;
+}
+
+routing::PrefixToAs AddressPlan::make_pfx2as() const {
+  routing::PrefixToAs out;
+  for (const auto& [prefix, asn] : rib_.announcements()) out.add(prefix, asn);
+  return out;
+}
+
+routing::AsToOrg AddressPlan::make_as2org() const {
+  routing::AsToOrg out;
+  for (const AsInfo& info : ases_) {
+    out.add(info.asn, routing::Organization{"ORG-" + std::to_string(info.asn.value()),
+                                            info.org_name, info.country});
+  }
+  return out;
+}
+
+std::vector<net::Block24> AddressPlan::blocks_of(std::size_t as_index) const {
+  std::vector<net::Block24> out;
+  for (const net::Prefix& prefix : ases_.at(as_index).allocated) {
+    for (const net::Block24 block : prefix.blocks24()) out.push_back(block);
+  }
+  return out;
+}
+
+}  // namespace mtscope::sim

@@ -1,0 +1,187 @@
+// The simulated Internet's address allocation plan and ground truth.
+//
+// AddressPlan carves a configurable number of /8s into autonomous systems
+// with realistic size, country, and business-type distributions; decides
+// which /24s are actually used; places the operational telescopes; and
+// derives every auxiliary dataset the paper buys or licenses (BGP RIB,
+// pfx2as, as2org, geolocation, network types).
+//
+// Special structures reproduced from the paper's figures:
+//  * a "legacy /8" whose right /9 is one giant unused allocation and whose
+//    left half holds a dark /14 plus an unannounced /10 (Figure 5);
+//  * a "telescope /8" three quarters of which belong to the TUS1 telescope
+//    (Figure 6), announced by an ISP that peers only in North America;
+//  * two fully unrouted /8s used to baseline spoofing (§7.2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/geodb.hpp"
+#include "geo/nettype.hpp"
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+#include "routing/as_maps.hpp"
+#include "routing/rib.hpp"
+#include "sim/config.hpp"
+#include "trie/block24_set.hpp"
+#include "util/rng.hpp"
+
+namespace mtscope::sim {
+
+/// Ground-truth role of a /24 block.
+enum class BlockRole : std::uint8_t {
+  kUnallocated,  // not part of any allocation (or in an unrouted /8)
+  kDark,         // allocated + announced, hosts nothing
+  kActive,       // normal production block
+  kQuietActive,  // active but barely sends (false-positive fuel, §4.3)
+  kAsymAck,      // active; outbound path invisible at IXPs (filter 6's prey)
+  kTelescope,    // part of an operational telescope (dark by construction)
+};
+
+/// One simulated autonomous system.
+struct AsInfo {
+  net::AsNumber asn;
+  std::string org_name;
+  std::string country;             // ISO alpha-2
+  geo::Continent continent;
+  geo::NetType type;
+  bool legacy = false;             // mostly-unused legacy allocation
+  std::vector<net::Prefix> allocated;   // address space owned
+  std::vector<net::Prefix> announced;   // what is actually in BGP
+};
+
+/// One operational telescope instance.
+struct TelescopeInfo {
+  TelescopeSpec spec;
+  std::size_t as_index = 0;              // owning / announcing AS
+  std::vector<net::Prefix> prefixes;     // covering prefixes (contiguous)
+  std::vector<net::Block24> blocks;      // all member /24s
+};
+
+/// The ISP that hosts the TUS1 telescope and whose labelled NetFlow tunes
+/// the classifier (Table 3).
+struct IspInfo {
+  std::size_t as_index = 0;
+  std::vector<net::Block24> blocks;  // the ISP's own (non-telescope) space
+};
+
+class AddressPlan {
+ public:
+  explicit AddressPlan(const SimConfig& config);
+
+  [[nodiscard]] const std::vector<AsInfo>& ases() const noexcept { return ases_; }
+  [[nodiscard]] const AsInfo& as_at(std::size_t index) const { return ases_.at(index); }
+
+  /// Ground-truth role of a block (kUnallocated if outside the universe).
+  [[nodiscard]] BlockRole role(net::Block24 block) const noexcept;
+
+  /// Index into ases() of the block's owner; nullopt if unallocated.
+  [[nodiscard]] std::optional<std::size_t> as_of(net::Block24 block) const noexcept;
+
+  /// The announced BGP table (ground truth; RouteViews snapshots derive
+  /// from it with per-dump flap noise).
+  [[nodiscard]] const routing::Rib& rib() const noexcept { return rib_; }
+
+  /// One day's worth of Route Views dumps (12, as the paper merges),
+  /// each missing a small random subset of routes (route flaps).
+  [[nodiscard]] routing::RouteViews make_route_views(int day, int dumps = 12) const;
+
+  /// Auxiliary datasets derived from the plan.
+  [[nodiscard]] const geo::GeoDb& geodb() const noexcept { return geodb_; }
+  [[nodiscard]] const geo::NetTypeDb& nettypes() const noexcept { return nettypes_; }
+  [[nodiscard]] routing::PrefixToAs make_pfx2as() const;
+  [[nodiscard]] routing::AsToOrg make_as2org() const;
+
+  /// Ground-truth block sets.
+  [[nodiscard]] const trie::Block24Set& dark_blocks() const noexcept { return dark_; }
+  [[nodiscard]] const trie::Block24Set& active_blocks() const noexcept { return active_; }
+  [[nodiscard]] const trie::Block24Set& allocated_blocks() const noexcept { return allocated_; }
+
+  /// All allocated blocks of one AS.
+  [[nodiscard]] std::vector<net::Block24> blocks_of(std::size_t as_index) const;
+
+  [[nodiscard]] const std::vector<TelescopeInfo>& telescopes() const noexcept {
+    return telescopes_;
+  }
+  [[nodiscard]] const IspInfo& isp() const noexcept { return isp_; }
+
+  /// The two allocated-but-never-announced /8s (spoofing baseline).
+  [[nodiscard]] const std::vector<std::uint8_t>& unrouted_slash8s() const noexcept {
+    return unrouted_slash8s_;
+  }
+
+  /// First octets of all /8s in the universe (routed and unrouted).
+  [[nodiscard]] const std::vector<std::uint8_t>& slash8s() const noexcept { return slash8s_; }
+
+  /// Every /24 inside the universe's /8s (including the unrouted pair) —
+  /// the recommended source mask for pipeline::VantageStats.
+  [[nodiscard]] std::shared_ptr<const trie::Block24Set> universe_mask() const;
+
+  /// The legacy /8's first octet (Figure 5's Hilbert map subject).
+  [[nodiscard]] std::uint8_t legacy_slash8() const noexcept { return legacy_slash8_; }
+
+  /// The telescope /8's first octet (Figure 6's Hilbert map subject).
+  [[nodiscard]] std::uint8_t telescope_slash8() const noexcept { return telescope_slash8_; }
+
+  /// Indices of the ASes whose members-of-IXP assignment must be special:
+  /// the TUS1-hosting ISP (NA-only peering), the legacy /9 org (CE1 only),
+  /// the legacy /14 org (NA1 only), and the TEU2 org (10 IXPs).
+  [[nodiscard]] std::size_t teu2_as_index() const noexcept { return teu2_as_; }
+  [[nodiscard]] std::size_t teu1_as_index() const noexcept { return teu1_as_; }
+  [[nodiscard]] std::size_t legacy9_as_index() const noexcept { return legacy9_as_; }
+  [[nodiscard]] std::size_t legacy14_as_index() const noexcept { return legacy14_as_; }
+
+ private:
+  struct Slash8Layout {
+    std::uint8_t base = 0;
+    std::vector<std::uint32_t> as_index;  // per /24, kNoAs if none
+    std::vector<BlockRole> roles;         // per /24
+  };
+  static constexpr std::uint32_t kNoAs = 0xffffffffu;
+
+  /// Create an AS and return its index.
+  std::size_t make_as(util::Rng& rng, geo::Continent continent_hint, bool force_continent);
+
+  /// Carve `blocks` /24s starting at `start_index` inside layout for a new
+  /// or existing AS; marks roles.
+  void assign_range(Slash8Layout& layout, std::uint32_t start, std::uint32_t count,
+                    std::size_t as_index, util::Rng& rng);
+
+  void carve_general_slash8(Slash8Layout& layout, util::Rng& rng);
+  void carve_range(Slash8Layout& layout, std::uint32_t start, std::uint32_t end, util::Rng& rng,
+                   std::optional<geo::Continent> continent_bias);
+  void build_legacy_slash8(Slash8Layout& layout, util::Rng& rng);
+  void build_telescope_slash8(Slash8Layout& layout, util::Rng& rng);
+  void finalize_datasets();
+
+  [[nodiscard]] const Slash8Layout* layout_of(net::Block24 block) const noexcept;
+
+  SimConfig config_;
+  std::vector<AsInfo> ases_;
+  std::vector<Slash8Layout> layouts_;
+  std::array<const Slash8Layout*, 256> layout_lookup_{};
+  std::vector<std::uint8_t> slash8s_;
+  std::vector<std::uint8_t> unrouted_slash8s_;
+  std::uint8_t legacy_slash8_ = 0;
+  std::uint8_t telescope_slash8_ = 0;
+  std::size_t teu2_as_ = 0;
+  std::size_t teu1_as_ = 0;
+  std::size_t legacy9_as_ = 0;
+  std::size_t legacy14_as_ = 0;
+
+  routing::Rib rib_;
+  geo::GeoDb geodb_;
+  geo::NetTypeDb nettypes_;
+  trie::Block24Set dark_;
+  trie::Block24Set active_;
+  trie::Block24Set allocated_;
+  std::vector<TelescopeInfo> telescopes_;
+  IspInfo isp_;
+};
+
+}  // namespace mtscope::sim

@@ -1,0 +1,68 @@
+#include "sim/config.hpp"
+
+namespace mtscope::sim {
+
+std::vector<IxpSpec> SimConfig::default_ixps() {
+  // Member counts and relative sizes follow Table 1; sampling rates are
+  // typical sFlow/IPFIX deployments (large fabrics sample more sparsely).
+  return {
+      {"CE1", "Central Europe", 1000, 1.00, 100},
+      {"CE2", "Central Europe", 250, 0.35, 70},
+      {"CE3", "Central Europe", 200, 0.30, 70},
+      {"CE4", "Central Europe", 200, 0.28, 70},
+      {"NA1", "North America", 250, 0.90, 100},
+      {"NA2", "North America", 125, 0.40, 70},
+      {"NA3", "North America", 20, 0.08, 40},
+      {"NA4", "North America", 20, 0.12, 40},
+      {"SE1", "South Europe", 200, 0.45, 70},
+      {"SE2", "South Europe", 10, 0.30, 70},
+      {"SE3", "South Europe", 40, 0.15, 40},
+      {"SE4", "South Europe", 40, 0.38, 70},
+      {"SE5", "South Europe", 20, 0.10, 40},
+      {"SE6", "South Europe", 30, 0.09, 40},
+  };
+}
+
+std::vector<TelescopeSpec> SimConfig::default_telescopes() {
+  TelescopeSpec tus1;
+  tus1.code = "TUS1";
+  tus1.location = "North America";
+  tus1.size_24s = 0;  // derived: occupies three quarters of the telescope /8
+  tus1.capture_window_24s = 24;
+
+  TelescopeSpec teu1;
+  teu1.code = "TEU1";
+  teu1.location = "Central Europe";
+  teu1.size_24s = 192;
+  teu1.blocked_ports = {23, 445};
+  teu1.dynamic_active_fraction = 0.65;
+  teu1.capture_window_24s = 16;
+
+  TelescopeSpec teu2;
+  teu2.code = "TEU2";
+  teu2.location = "Central Europe";
+  teu2.size_24s = 8;
+  teu2.announced_at_many_ixps = true;
+  teu2.capture_window_24s = 8;
+
+  return {tus1, teu1, teu2};
+}
+
+SimConfig SimConfig::tiny(std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.seed = seed;
+  cfg.general_slash8s = 1;
+  cfg.volume_scale = 1e-3;
+  cfg.ixps = {
+      {"CE1", "Central Europe", 200, 1.0, 100},
+      {"NA1", "North America", 100, 0.9, 100},
+  };
+  auto telescopes = default_telescopes();
+  telescopes[1].size_24s = 32;
+  telescopes[1].capture_window_24s = 8;
+  telescopes[0].capture_window_24s = 8;
+  cfg.telescopes = telescopes;
+  return cfg;
+}
+
+}  // namespace mtscope::sim

@@ -1,0 +1,113 @@
+// Simulation configuration: universe scale, traffic intensities and the
+// vantage-point / telescope fleet.
+//
+// All traffic rates are expressed in PAPER UNITS (real packets per day) and
+// then multiplied by `volume_scale` when generating, so the paper's
+// thresholds (44-byte average, 1.7M packets/day) keep their meaning: the
+// inference pipeline divides its volume thresholds by the same scale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace mtscope::sim {
+
+/// Per-component traffic intensities, in real packets/day per target /24
+/// (destination-side) unless noted.  Defaults are calibrated so that a dark
+/// /24 receives ~2M packets/day of IBR, the figure the paper reports for
+/// its operational telescopes (Table 2).
+struct TrafficProfile {
+  // --- Internet background radiation (destined to every routed /24) ---
+  double random_scan_pkts_per_day = 700'000;   // ZMap-style uniform scanning
+  double botnet_scan_pkts_per_day = 1'150'000; // Mirai/Satori-style, port+region biased
+  double backscatter_pkts_per_day = 120'000;   // DDoS victim SYN-ACK/RST reflections
+  double misconfig_pkts_per_day = 60'000;      // stale configs, byte-order bugs (mostly UDP)
+
+  // --- Production traffic (active /24s only) ---
+  double production_rx_pkts_per_day = 30'000'000;  // inbound to active blocks
+  double production_tx_pkts_per_day = 25'000'000;  // outbound from active blocks
+  double quiet_active_rx_pkts_per_day = 300'000;   // "quiet" active blocks: low duty cycle
+  double quiet_active_tx_pkts_per_day = 2'000;     // almost never send (false-positive fuel)
+
+  // --- CDN asymmetric-return-path blocks (active, but outbound invisible) ---
+  double asym_ack_rx_pkts_per_day = 250'000'000;     // pure 40-byte ACK streams
+
+  // --- Spoofed-source traffic ---
+  // Two components, as real packets/day across the Internet.  The "routed"
+  // component models spoofers who bias sources into announced space (evades
+  // bogon filters); the "uniform" component spreads sources across the
+  // whole 32-bit space and is what the unrouted-/8 tolerance baseline
+  // measures (§7.2).  The ratio of the two controls how well the tolerance
+  // tracks the damage: the paper's tolerance works precisely because
+  // unrouted space is hit at a comparable per-/24 rate to routed space.
+  double spoofed_routed_pkts_per_day = 3.8e11;
+  double spoofed_uniform_pkts_per_day = 4.7e12;
+
+  // Weekend attenuation of production traffic (drives Figure 8's weekend
+  // bump in inferred prefixes).  Days 0..6 map to Mon..Sun.
+  double weekend_production_factor = 0.45;
+
+  // Share of 40-byte vs 48-byte TCP SYNs in scanning traffic (paper: >=93%
+  // of telescope TCP packets are 40 bytes; a step at 48 bytes).
+  double syn40_share = 0.94;
+};
+
+/// One IXP vantage point, mirroring Table 1's fleet.
+struct IxpSpec {
+  std::string code;          // "CE1" ... "SE6"
+  std::string region;        // "Central Europe", "North America", "South Europe"
+  int member_count = 100;    // drives membership sampling
+  double visibility_boost = 1.0;  // bigger IXPs see a larger traffic share
+  std::uint32_t sampling_rate = 10'000;  // 1-in-N packet sampling
+};
+
+/// One operational telescope, mirroring Table 2.
+struct TelescopeSpec {
+  std::string code;           // "TUS1", "TEU1", "TEU2"
+  std::string location;       // "North America" / "Central Europe"
+  std::uint32_t size_24s = 64;           // scaled-down block count
+  std::vector<std::uint16_t> blocked_ports;  // TEU1 blocks 23 and 445 at ingress
+  double dynamic_active_fraction = 0.0;  // TEU1: share of blocks leased out per day
+  bool announced_at_many_ixps = false;   // TEU2: direct peering at 10 IXPs
+  std::uint32_t capture_window_24s = 32; // how many /24s get full packet capture
+};
+
+struct SimConfig {
+  std::uint64_t seed = 42;
+
+  /// Number of general-purpose /8s carved into ASes (plus the legacy /8,
+  /// the telescope /8 and two unrouted /8s that are always present).
+  int general_slash8s = 3;
+
+  /// Traffic scale factor applied to every rate in TrafficProfile.  The
+  /// pipeline must be told the same factor so its absolute thresholds
+  /// (1.7M pkts/day) can be rescaled.
+  double volume_scale = 1e-3;
+
+  TrafficProfile traffic;
+
+  /// Fraction of active blocks that are "quiet" (receive scans, barely
+  /// send) and fraction that sit behind asymmetric return paths.
+  double quiet_active_fraction = 0.10;
+  double asym_ack_fraction = 0.02;
+
+  /// Probability that an AS is a mostly-unused legacy allocation.
+  double legacy_as_fraction = 0.08;
+
+  /// The IXP fleet; defaults to the paper's 14 sites.
+  std::vector<IxpSpec> ixps = default_ixps();
+
+  /// The telescope fleet; defaults to scaled TUS1/TEU1/TEU2.
+  std::vector<TelescopeSpec> telescopes = default_telescopes();
+
+  [[nodiscard]] static std::vector<IxpSpec> default_ixps();
+  [[nodiscard]] static std::vector<TelescopeSpec> default_telescopes();
+
+  /// A tiny configuration for unit tests: one general /8, modest traffic.
+  [[nodiscard]] static SimConfig tiny(std::uint64_t seed = 7);
+};
+
+}  // namespace mtscope::sim

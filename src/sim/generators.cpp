@@ -1,0 +1,559 @@
+#include "sim/generators.hpp"
+
+#include <algorithm>
+
+namespace mtscope::sim {
+
+namespace {
+
+/// Service ports production and backscatter traffic gravitates to.
+constexpr std::uint16_t kServicePorts[] = {443, 80, 53, 22, 993, 3306, 8443};
+
+std::uint16_t random_service_port(util::Rng& rng) {
+  return kServicePorts[rng.uniform(std::size(kServicePorts))];
+}
+
+std::uint16_t random_ephemeral_port(util::Rng& rng) {
+  return static_cast<std::uint16_t>(49152 + rng.uniform(16384));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// IxpTrafficGenerator
+
+IxpTrafficGenerator::IxpTrafficGenerator(const AddressPlan& plan, const SimConfig& config)
+    : plan_(plan), config_(config), traits_(config.seed) {
+  plan_.allocated_blocks().for_each([&](net::Block24 block) {
+    if (plan_.rib().is_routed(block)) {
+      routed_.insert(block);
+      routed_list_.push_back(block);
+    }
+  });
+  active_list_ = plan_.active_blocks().to_vector();
+  for (const std::uint8_t slash8 : plan_.slash8s()) {
+    const std::uint32_t first = std::uint32_t{slash8} << 16;
+    for (std::uint32_t i = 0; i < 65536; ++i) universe_list_.emplace_back(first + i);
+  }
+}
+
+std::uint64_t IxpTrafficGenerator::ts(util::Rng& rng, int day) const {
+  return static_cast<std::uint64_t>(day) * kDayUs + rng.uniform(kDayUs);
+}
+
+net::Ipv4Addr IxpTrafficGenerator::random_active_ip(util::Rng& rng) const {
+  if (active_list_.empty()) return net::Ipv4Addr(rng.uniform(0x100000000ull));
+  const net::Block24 block = active_list_[rng.uniform(active_list_.size())];
+  return net::Ipv4Addr((block.index() << 8) | static_cast<std::uint32_t>(rng.uniform(254) + 1));
+}
+
+net::Ipv4Addr IxpTrafficGenerator::random_routed_ip(util::Rng& rng) const {
+  if (routed_list_.empty()) return net::Ipv4Addr(rng.uniform(0x100000000ull));
+  const net::Block24 block = routed_list_[rng.uniform(routed_list_.size())];
+  return net::Ipv4Addr((block.index() << 8) | static_cast<std::uint32_t>(rng.uniform(254) + 1));
+}
+
+std::vector<flow::PacketMeta> IxpTrafficGenerator::generate_day(const Ixp& ixp, int day) const {
+  std::vector<flow::PacketMeta> out;
+  out.reserve(1u << 20);
+
+  util::Rng day_rng(util::mix64(config_.seed, util::mix64(0x1990 + ixp.index(), day)));
+
+  for (std::size_t a = 0; a < plan_.ases().size(); ++a) {
+    if (ixp.visibility(a) <= 0.0) continue;
+    util::Rng as_rng = day_rng.fork(a);
+    for (const net::Prefix& prefix : plan_.ases()[a].allocated) {
+      const std::uint32_t first = prefix.base().value() >> 8;
+      const std::uint64_t count = prefix.block24_count();
+      for (std::uint64_t i = 0; i < count; ++i) {
+        emit_block_traffic(ixp, day, a, net::Block24(first + static_cast<std::uint32_t>(i)),
+                           as_rng, out);
+      }
+    }
+  }
+
+  {
+    util::Rng spoof_rng = day_rng.fork(0xdead);
+    emit_spoofed(ixp, day, spoof_rng, out);
+  }
+  {
+    util::Rng bogon_rng = day_rng.fork(0xb060);
+    emit_bogon_noise(ixp, day, bogon_rng, out);
+  }
+  return out;
+}
+
+void IxpTrafficGenerator::emit_block_traffic(const Ixp& ixp, int day, std::size_t as_index,
+                                             net::Block24 block, util::Rng& rng,
+                                             std::vector<flow::PacketMeta>& out) const {
+  const AsInfo& as_info = plan_.ases()[as_index];
+  const double vis = ixp.visibility(as_index);
+  const double scale = config_.volume_scale;
+  const double inv_r = 1.0 / ixp.sampling_rate();
+  const TrafficProfile& tp = config_.traffic;
+
+  BlockRole role = plan_.role(block);
+  if (role == BlockRole::kUnallocated) return;
+
+  // TEU1's dynamically allocated blocks behave like active eyeball space on
+  // lease days.
+  const bool is_teu1 = as_index == plan_.teu1_as_index() && role == BlockRole::kTelescope;
+  if (is_teu1) {
+    const double lease = config_.telescopes.at(1).dynamic_active_fraction;
+    if (traits_.leased_today(block, day, lease)) role = BlockRole::kActive;
+  }
+
+  const bool routed = routed_.contains(block);
+  const auto dst_ip = [&] {
+    return net::Ipv4Addr((block.index() << 8) | static_cast<std::uint32_t>(rng.uniform(254) + 1));
+  };
+
+  if (routed) {
+    // --- Scanning (random + botnet), the core of IBR ---
+    // TEU2 draws ~20% more background radiation than the average block
+    // (Table 2: 2.29M vs 1.91M packets/day per /24).
+    const double ibr_boost = (as_index == plan_.teu2_as_index()) ? 1.35 : 1.0;
+    const double scan_rate = (tp.random_scan_pkts_per_day + tp.botnet_scan_pkts_per_day) *
+                             ibr_boost * DayFactors::scan(day) * scale * vis * inv_r;
+    const std::uint64_t scans = rng.poisson(scan_rate);
+    if (scans > 0) {
+      // Aggregate SYN mix (>=93% are 40B, Table 2); the ISP generator keeps
+      // per-block heterogeneity for Table 3's classifier sweep.
+      const double share40 = tp.syn40_share;
+      for (std::uint64_t i = 0; i < scans; ++i) {
+        flow::PacketMeta p = flow::make_syn(
+            ts(rng, day), random_active_ip(rng), dst_ip(), random_ephemeral_port(rng),
+            ports_.scan_port(rng, as_info.continent, as_info.type), draw_scan_size(rng, share40));
+        out.push_back(p);
+      }
+    }
+
+    // --- Backscatter: victims answering spoofed SYNs ---
+    const std::uint64_t scatter = rng.poisson(tp.backscatter_pkts_per_day *
+                                              DayFactors::spoof(day) * scale * vis * inv_r);
+    for (std::uint64_t i = 0; i < scatter; ++i) {
+      flow::PacketMeta p;
+      p.timestamp_us = ts(rng, day);
+      p.src = random_active_ip(rng);
+      p.dst = dst_ip();
+      p.proto = net::IpProto::kTcp;
+      p.src_port = random_service_port(rng);
+      p.dst_port = random_ephemeral_port(rng);
+      p.ip_length = rng.chance(0.8) ? 40 : 44;
+      p.tcp_flags = rng.chance(0.6) ? (net::TcpFlags::kSyn | net::TcpFlags::kAck)
+                                    : net::TcpFlags::kRst;
+      out.push_back(p);
+    }
+
+    // --- Misconfiguration noise (mostly UDP, odd sizes) ---
+    const std::uint64_t noise =
+        rng.poisson(tp.misconfig_pkts_per_day * scale * vis * inv_r);
+    for (std::uint64_t i = 0; i < noise; ++i) {
+      flow::PacketMeta p;
+      p.timestamp_us = ts(rng, day);
+      p.src = random_active_ip(rng);
+      p.dst = dst_ip();
+      p.proto = net::IpProto::kUdp;
+      p.src_port = random_ephemeral_port(rng);
+      p.dst_port = rng.chance(0.5) ? 53 : random_service_port(rng);
+      p.ip_length = static_cast<std::uint16_t>(80 + rng.uniform(400));
+      out.push_back(p);
+    }
+  }
+
+  // --- Role-dependent production traffic ---
+  const double prod_factor = DayFactors::production(day);
+  switch (role) {
+    case BlockRole::kActive: {
+      const std::uint64_t rx =
+          rng.poisson(tp.production_rx_pkts_per_day * prod_factor * scale * vis * inv_r);
+      for (std::uint64_t i = 0; i < rx; ++i) {
+        flow::PacketMeta p;
+        p.timestamp_us = ts(rng, day);
+        p.src = random_active_ip(rng);
+        p.dst = dst_ip();
+        p.proto = net::IpProto::kTcp;
+        p.src_port = random_service_port(rng);
+        p.dst_port = random_ephemeral_port(rng);
+        p.ip_length = draw_production_size(rng);
+        p.tcp_flags = net::TcpFlags::kAck | (rng.chance(0.3) ? net::TcpFlags::kPsh : 0);
+        out.push_back(p);
+      }
+      const std::uint64_t tx =
+          rng.poisson(tp.production_tx_pkts_per_day * prod_factor * scale * vis * inv_r);
+      for (std::uint64_t i = 0; i < tx; ++i) {
+        flow::PacketMeta p;
+        p.timestamp_us = ts(rng, day);
+        p.src = dst_ip();  // an address inside this block
+        p.dst = random_active_ip(rng);
+        p.proto = net::IpProto::kTcp;
+        p.src_port = random_ephemeral_port(rng);
+        p.dst_port = random_service_port(rng);
+        p.ip_length = draw_production_size(rng);
+        p.tcp_flags = net::TcpFlags::kAck;
+        out.push_back(p);
+      }
+      break;
+    }
+    case BlockRole::kQuietActive: {
+      const std::uint64_t rx =
+          rng.poisson(tp.quiet_active_rx_pkts_per_day * prod_factor * scale * vis * inv_r);
+      for (std::uint64_t i = 0; i < rx; ++i) {
+        flow::PacketMeta p;
+        p.timestamp_us = ts(rng, day);
+        p.src = random_active_ip(rng);
+        p.dst = dst_ip();
+        p.proto = net::IpProto::kTcp;
+        p.src_port = random_service_port(rng);
+        p.dst_port = random_ephemeral_port(rng);
+        p.ip_length = draw_production_size(rng);
+        p.tcp_flags = net::TcpFlags::kAck;
+        out.push_back(p);
+      }
+      const std::uint64_t tx =
+          rng.poisson(tp.quiet_active_tx_pkts_per_day * prod_factor * scale * vis * inv_r);
+      for (std::uint64_t i = 0; i < tx; ++i) {
+        flow::PacketMeta p;
+        p.timestamp_us = ts(rng, day);
+        p.src = dst_ip();
+        p.dst = random_active_ip(rng);
+        p.proto = net::IpProto::kTcp;
+        p.src_port = random_ephemeral_port(rng);
+        p.dst_port = random_service_port(rng);
+        p.ip_length = draw_production_size(rng);
+        p.tcp_flags = net::TcpFlags::kAck;
+        out.push_back(p);
+      }
+      break;
+    }
+    case BlockRole::kAsymAck: {
+      // The CDN pure-ACK return path: high-volume 40-byte ACK streams with
+      // no visible outbound leg — exactly what pipeline step 6 exists for.
+      const std::uint64_t rx =
+          rng.poisson(tp.asym_ack_rx_pkts_per_day * prod_factor * scale * vis * inv_r);
+      for (std::uint64_t i = 0; i < rx; ++i) {
+        flow::PacketMeta p;
+        p.timestamp_us = ts(rng, day);
+        p.src = random_active_ip(rng);
+        p.dst = dst_ip();
+        p.proto = net::IpProto::kTcp;
+        p.src_port = random_ephemeral_port(rng);
+        p.dst_port = 443;
+        p.ip_length = 40;
+        p.tcp_flags = net::TcpFlags::kAck;
+        out.push_back(p);
+      }
+      break;
+    }
+    case BlockRole::kDark:
+    case BlockRole::kTelescope:
+    case BlockRole::kUnallocated:
+      break;
+  }
+}
+
+void IxpTrafficGenerator::emit_spoofed(const Ixp& ixp, int day, util::Rng& rng,
+                                       std::vector<flow::PacketMeta>& out) const {
+  const TrafficProfile& tp = config_.traffic;
+  const double base = config_.volume_scale * DayFactors::spoof(day) * ixp.spoof_share() /
+                      ixp.sampling_rate();
+  // Two spoofing populations (see TrafficProfile): routed-biased sources and
+  // sources uniform over the whole 32-bit space.  Uniform sources outside
+  // the simulated universe would be dropped by the pipeline's universe mask
+  // anyway, so we draw them over the universe at a rate thinned by
+  // universe/2^32 — identical per-/24 hit rate, far fewer wasted packets.
+  const double universe_fraction =
+      static_cast<double>(universe_list_.size()) / 16'777'216.0;
+  const double routed_rate = tp.spoofed_routed_pkts_per_day * base;
+  const double uniform_rate = tp.spoofed_uniform_pkts_per_day * base * universe_fraction;
+
+  const auto emit = [&](net::Ipv4Addr src) {
+    flow::PacketMeta p;
+    p.timestamp_us = ts(rng, day);
+    p.src = src;
+    p.dst = random_active_ip(rng);  // DDoS victims live in used space
+    p.proto = net::IpProto::kTcp;
+    p.src_port = random_ephemeral_port(rng);
+    p.dst_port = random_service_port(rng);
+    p.ip_length = rng.chance(0.7) ? 40 : static_cast<std::uint16_t>(44 + rng.uniform(1200));
+    p.tcp_flags = net::TcpFlags::kSyn;
+    out.push_back(p);
+  };
+
+  const std::uint64_t routed_count = rng.poisson(routed_rate);
+  for (std::uint64_t i = 0; i < routed_count; ++i) emit(random_routed_ip(rng));
+  const std::uint64_t uniform_count = rng.poisson(uniform_rate);
+  for (std::uint64_t i = 0; i < uniform_count; ++i) {
+    const net::Block24 block = universe_list_[rng.uniform(universe_list_.size())];
+    emit(net::Ipv4Addr((block.index() << 8) | static_cast<std::uint32_t>(rng.uniform(254) + 1)));
+  }
+}
+
+void IxpTrafficGenerator::emit_bogon_noise(const Ixp& ixp, int day, util::Rng& rng,
+                                           std::vector<flow::PacketMeta>& out) const {
+  // A trickle of traffic destined to private / reserved space leaks across
+  // most fabrics (funnel step 4's prey).  ~30 sampled packets/day at a big
+  // IXP, spread over RFC 1918 and TEST-NET destinations.
+  static constexpr std::uint32_t kBogonBases[] = {
+      0x0a000000u,  // 10.0.0.0/8
+      0xc0a80000u,  // 192.168.0.0/16
+      0xac100000u,  // 172.16.0.0/12
+      0xc0000200u,  // 192.0.2.0/24
+  };
+  const std::uint64_t count = rng.poisson(30.0 * ixp.spec().visibility_boost);
+  (void)day;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint32_t base = kBogonBases[rng.uniform(std::size(kBogonBases))];
+    flow::PacketMeta p;
+    p.timestamp_us = ts(rng, day);
+    p.src = random_active_ip(rng);
+    p.dst = net::Ipv4Addr(base | static_cast<std::uint32_t>(rng.uniform(65536)));
+    p.proto = net::IpProto::kTcp;
+    p.src_port = random_ephemeral_port(rng);
+    p.dst_port = 23;
+    p.ip_length = 40;
+    p.tcp_flags = net::TcpFlags::kSyn;
+    out.push_back(p);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TelescopeTrafficGenerator
+
+TelescopeTrafficGenerator::TelescopeTrafficGenerator(const AddressPlan& plan,
+                                                     const SimConfig& config)
+    : plan_(plan), config_(config), traits_(config.seed) {
+  active_list_ = plan_.active_blocks().to_vector();
+}
+
+net::Ipv4Addr TelescopeTrafficGenerator::random_active_ip(util::Rng& rng) const {
+  if (active_list_.empty()) return net::Ipv4Addr(static_cast<std::uint32_t>(rng.next()));
+  const net::Block24 block = active_list_[rng.uniform(active_list_.size())];
+  return net::Ipv4Addr((block.index() << 8) | static_cast<std::uint32_t>(rng.uniform(254) + 1));
+}
+
+std::vector<flow::PacketMeta> TelescopeTrafficGenerator::generate_day(
+    const TelescopeInfo& telescope, int day) const {
+  std::vector<flow::PacketMeta> out;
+  const TrafficProfile& tp = config_.traffic;
+  const double scale = config_.volume_scale;
+  const bool is_teu2 = telescope.spec.code == "TEU2";
+  const double ibr_boost = is_teu2 ? 1.35 : 1.0;
+
+  const std::size_t window =
+      std::min<std::size_t>(telescope.spec.capture_window_24s, telescope.blocks.size());
+
+  util::Rng day_rng(util::mix64(config_.seed,
+                                util::mix64(0x7e1e5c0 + day, telescope.spec.code.size() +
+                                                                 telescope.blocks.size())));
+
+  const std::size_t as_index = telescope.as_index;
+  const AsInfo& as_info = plan_.ases()[as_index];
+
+  for (std::size_t w = 0; w < window; ++w) {
+    const net::Block24 block = telescope.blocks[w];
+    util::Rng rng = day_rng.fork(block.index());
+
+    // Skip dynamically leased blocks: the provider reassigns them to users
+    // and the telescope stops capturing them for the day.
+    if (telescope.spec.dynamic_active_fraction > 0.0 &&
+        traits_.leased_today(block, day, telescope.spec.dynamic_active_fraction)) {
+      continue;
+    }
+
+    const double share40 = tp.syn40_share;
+    const auto dst_ip = [&] {
+      return net::Ipv4Addr((block.index() << 8) |
+                           static_cast<std::uint32_t>(rng.uniform(254) + 1));
+    };
+
+    const auto blocked = [&](std::uint16_t port) {
+      return std::find(telescope.spec.blocked_ports.begin(), telescope.spec.blocked_ports.end(),
+                       port) != telescope.spec.blocked_ports.end();
+    };
+
+    // Scanning.
+    const std::uint64_t scans =
+        rng.poisson((tp.random_scan_pkts_per_day + tp.botnet_scan_pkts_per_day) * ibr_boost *
+                    DayFactors::scan(day) * scale);
+    for (std::uint64_t i = 0; i < scans; ++i) {
+      const std::uint16_t port = ports_.scan_port(rng, as_info.continent, as_info.type);
+      if (blocked(port)) continue;
+      out.push_back(flow::make_syn(static_cast<std::uint64_t>(day) * kDayUs +
+                                       rng.uniform(kDayUs),
+                                   random_active_ip(rng), dst_ip(), random_ephemeral_port(rng),
+                                   port, draw_scan_size(rng, share40)));
+    }
+
+    // Backscatter.
+    const std::uint64_t scatter = rng.poisson(tp.backscatter_pkts_per_day * ibr_boost *
+                                              DayFactors::spoof(day) * scale);
+    for (std::uint64_t i = 0; i < scatter; ++i) {
+      flow::PacketMeta p;
+      p.timestamp_us = static_cast<std::uint64_t>(day) * kDayUs + rng.uniform(kDayUs);
+      p.src = random_active_ip(rng);
+      p.dst = dst_ip();
+      p.proto = net::IpProto::kTcp;
+      p.src_port = random_service_port(rng);
+      p.dst_port = random_ephemeral_port(rng);
+      p.ip_length = rng.chance(0.8) ? 40 : 44;
+      p.tcp_flags = rng.chance(0.6) ? (net::TcpFlags::kSyn | net::TcpFlags::kAck)
+                                    : net::TcpFlags::kRst;
+      out.push_back(p);
+    }
+
+    // Misconfiguration (UDP) — TEU2 receives proportionally more UDP
+    // (Table 2: 79.5% TCP vs ~94% at TUS1).
+    const double udp_boost = is_teu2 ? 6.0 : 1.0;
+    const std::uint64_t noise =
+        rng.poisson(tp.misconfig_pkts_per_day * udp_boost * scale);
+    for (std::uint64_t i = 0; i < noise; ++i) {
+      flow::PacketMeta p;
+      p.timestamp_us = static_cast<std::uint64_t>(day) * kDayUs + rng.uniform(kDayUs);
+      p.src = random_active_ip(rng);
+      p.dst = dst_ip();
+      p.proto = net::IpProto::kUdp;
+      p.src_port = random_ephemeral_port(rng);
+      p.dst_port = rng.chance(0.5) ? 53 : 1900;
+      p.ip_length = static_cast<std::uint16_t>(80 + rng.uniform(400));
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// IspTrafficGenerator
+
+IspTrafficGenerator::IspTrafficGenerator(const AddressPlan& plan, const SimConfig& config)
+    : plan_(plan), config_(config), traits_(config.seed) {}
+
+std::vector<IspBlockObservation> IspTrafficGenerator::generate_week(
+    std::size_t isp_sample, std::size_t telescope_sample) const {
+  const TrafficProfile& tp = config_.traffic;
+  const double scale = config_.volume_scale;
+
+  std::vector<net::Block24> blocks;
+  const auto& isp_blocks = plan_.isp().blocks;
+  for (std::size_t i = 0; i < std::min(isp_sample, isp_blocks.size()); ++i) {
+    blocks.push_back(isp_blocks[i]);
+  }
+  const auto& tus1 = plan_.telescopes().at(0).blocks;
+  for (std::size_t i = 0; i < std::min(telescope_sample, tus1.size()); ++i) {
+    blocks.push_back(tus1[i]);
+  }
+
+  std::vector<IspBlockObservation> out;
+  out.reserve(blocks.size());
+
+  for (const net::Block24 block : blocks) {
+    util::Rng rng(util::mix64(config_.seed, 0x15b00000ull | block.index()));
+    IspBlockObservation obs;
+    obs.block = block;
+    obs.role = plan_.role(block);
+
+    const auto add_bucket = [&](std::uint16_t size, std::uint64_t packets,
+                                net::IpProto proto = net::IpProto::kTcp) {
+      if (packets == 0) return;
+      flow::FlowRecord r;
+      r.key.src = net::Ipv4Addr(0x01010101u);
+      r.key.dst = block.first_address();
+      r.key.proto = proto;
+      r.packets = packets;
+      r.bytes = std::uint64_t{size} * packets;
+      obs.inbound.add_flow(r);
+    };
+
+    for (int day = 0; day < 7; ++day) {
+      // Every routed block receives the IBR mix.
+      const double scan_rate = (tp.random_scan_pkts_per_day + tp.botnet_scan_pkts_per_day) *
+                               DayFactors::scan(day) * scale;
+      const std::uint64_t scans = rng.poisson(scan_rate);
+      const double share40 = traits_.syn40_share(block);
+      std::uint64_t n40 = 0;
+      std::uint64_t n48 = 0;
+      std::uint64_t n56 = 0;
+      for (std::uint64_t i = 0; i < scans; ++i) {
+        const std::uint16_t size = draw_scan_size(rng, share40);
+        if (size == 40) ++n40;
+        else if (size == 48) ++n48;
+        else ++n56;
+      }
+      add_bucket(40, n40);
+      add_bucket(48, n48);
+      add_bucket(56, n56);
+
+      const std::uint64_t scatter =
+          rng.poisson(tp.backscatter_pkts_per_day * DayFactors::spoof(day) * scale);
+      add_bucket(40, scatter * 8 / 10);
+      add_bucket(44, scatter - scatter * 8 / 10);
+
+      add_bucket(200, rng.poisson(tp.misconfig_pkts_per_day * scale), net::IpProto::kUdp);
+
+      const double prod_factor = DayFactors::production(day);
+      switch (obs.role) {
+        case BlockRole::kActive: {
+          const std::uint64_t rx =
+              rng.poisson(tp.production_rx_pkts_per_day * prod_factor * scale);
+          // Table 3's texture: most active blocks receive large packets, a
+          // 7.5% slice is ACK-heavy (median 40), a 15% slice is small-packet
+          // traffic (median 42..46).
+          switch (traits_.isp_active_size_class(block)) {
+            case 1:  // ack-heavy
+              add_bucket(40, rx * 6 / 10);
+              add_bucket(1400, rx - rx * 6 / 10);
+              break;
+            case 2: {  // smallish: median at 42..46, deterministic per block
+              const std::uint16_t med =
+                  static_cast<std::uint16_t>(42 + (util::mix64(config_.seed, block.index()) % 5));
+              add_bucket(med, rx * 55 / 100);
+              add_bucket(1400, rx - rx * 55 / 100);
+              break;
+            }
+            default:
+              add_bucket(1400, rx * 55 / 100);
+              add_bucket(600, rx * 20 / 100);
+              add_bucket(200, rx * 15 / 100);
+              add_bucket(90, rx - rx * 55 / 100 - rx * 20 / 100 - rx * 15 / 100);
+          }
+          obs.tx_packets_week +=
+              rng.poisson(tp.production_tx_pkts_per_day * prod_factor * scale);
+          break;
+        }
+        case BlockRole::kQuietActive: {
+          const std::uint64_t rx =
+              rng.poisson(tp.quiet_active_rx_pkts_per_day * prod_factor * scale);
+          add_bucket(1400, rx / 2);
+          add_bucket(200, rx - rx / 2);
+          obs.tx_packets_week +=
+              rng.poisson(tp.quiet_active_tx_pkts_per_day * prod_factor * scale);
+          break;
+        }
+        case BlockRole::kAsymAck: {
+          const std::uint64_t rx =
+              rng.poisson(tp.asym_ack_rx_pkts_per_day * prod_factor * scale);
+          add_bucket(40, rx);
+          // Border NetFlow sees the outbound leg even when IXPs do not.
+          obs.tx_packets_week += rx / 3;
+          break;
+        }
+        case BlockRole::kDark:
+        case BlockRole::kTelescope: {
+          // ~5% of dark blocks are contaminated by a few spoofed packets
+          // per week, landing them in the excluded middle class exactly as
+          // the paper's >=10M-packet constraint intends.
+          if ((util::mix64(config_.seed ^ 0x5b00f, block.index()) % 100) < 5) {
+            obs.tx_packets_week += 1 + rng.uniform(3);
+          }
+          break;
+        }
+        case BlockRole::kUnallocated:
+          break;
+      }
+    }
+    out.push_back(std::move(obs));
+  }
+  return out;
+}
+
+}  // namespace mtscope::sim

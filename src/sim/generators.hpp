@@ -1,0 +1,103 @@
+// Traffic generators: IXP-side sampled packets, telescope-side full
+// captures, and ISP-side NetFlow.
+//
+// The IXP generator produces the *sampled* packet stream directly: for each
+// (block, traffic component) it draws Poisson(rate x visibility x day-factor
+// / sampling-rate).  This is statistically identical to generating the full
+// stream and sampling 1-in-N, at a millionth of the cost, and it is the only
+// way to simulate paper-scale volumes (~10^12 packets/day) on one machine.
+// The sampled stream then flows through the genuine exporter path: 5-tuple
+// flow table -> IPFIX encode -> IPFIX decode -> inference, so the pipeline
+// consumes exactly what a real collector would hand it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/packet.hpp"
+#include "sim/address_plan.hpp"
+#include "sim/traffic_model.hpp"
+#include "sim/vantage.hpp"
+#include "telemetry/block_stats.hpp"
+#include "trie/block24_set.hpp"
+
+namespace mtscope::sim {
+
+/// Microseconds in a simulated day.
+inline constexpr std::uint64_t kDayUs = 86'400ull * 1'000'000;
+
+class IxpTrafficGenerator {
+ public:
+  IxpTrafficGenerator(const AddressPlan& plan, const SimConfig& config);
+
+  /// All sampled packets crossing `ixp` on `day` (unsorted).
+  [[nodiscard]] std::vector<flow::PacketMeta> generate_day(const Ixp& ixp, int day) const;
+
+ private:
+  void emit_block_traffic(const Ixp& ixp, int day, std::size_t as_index, net::Block24 block,
+                          util::Rng& rng, std::vector<flow::PacketMeta>& out) const;
+  void emit_spoofed(const Ixp& ixp, int day, util::Rng& rng,
+                    std::vector<flow::PacketMeta>& out) const;
+  void emit_bogon_noise(const Ixp& ixp, int day, util::Rng& rng,
+                        std::vector<flow::PacketMeta>& out) const;
+
+  [[nodiscard]] net::Ipv4Addr random_active_ip(util::Rng& rng) const;
+  [[nodiscard]] net::Ipv4Addr random_routed_ip(util::Rng& rng) const;
+  [[nodiscard]] std::uint64_t ts(util::Rng& rng, int day) const;
+
+  const AddressPlan& plan_;
+  SimConfig config_;
+  PortModel ports_;
+  BlockTraits traits_;
+  trie::Block24Set routed_;                 // blocks covered by a BGP announcement
+  std::vector<net::Block24> active_list_;   // for source/victim sampling
+  std::vector<net::Block24> routed_list_;   // for routed-biased spoof sources
+  std::vector<net::Block24> universe_list_; // for uniform spoof sources
+};
+
+/// Full (unsampled) packet capture at an operational telescope's capture
+/// window.  TEU1's ingress port blocking and daily dynamic allocation are
+/// honoured here.
+class TelescopeTrafficGenerator {
+ public:
+  TelescopeTrafficGenerator(const AddressPlan& plan, const SimConfig& config);
+
+  [[nodiscard]] std::vector<flow::PacketMeta> generate_day(const TelescopeInfo& telescope,
+                                                           int day) const;
+
+ private:
+  [[nodiscard]] net::Ipv4Addr random_active_ip(util::Rng& rng) const;
+
+  const AddressPlan& plan_;
+  SimConfig config_;
+  PortModel ports_;
+  BlockTraits traits_;
+  std::vector<net::Block24> active_list_;
+};
+
+/// One labelled observation from the ISP's border NetFlow (Table 3's
+/// tuning dataset).
+struct IspBlockObservation {
+  net::Block24 block;
+  BlockRole role = BlockRole::kDark;
+  telemetry::DetailedBlockStats inbound;
+  std::uint64_t tx_packets_week = 0;
+};
+
+class IspTrafficGenerator {
+ public:
+  IspTrafficGenerator(const AddressPlan& plan, const SimConfig& config);
+
+  /// Synthesize a week of border flow records for a sample of the ISP's
+  /// own blocks plus a window of TUS1 telescope blocks, aggregated into
+  /// per-block inbound statistics and weekly source counts.
+  [[nodiscard]] std::vector<IspBlockObservation> generate_week(
+      std::size_t isp_sample = 448, std::size_t telescope_sample = 64) const;
+
+ private:
+  const AddressPlan& plan_;
+  SimConfig config_;
+  BlockTraits traits_;
+};
+
+}  // namespace mtscope::sim

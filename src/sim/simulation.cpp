@@ -1,0 +1,134 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "flow/flow_table.hpp"
+#include "flow/ipfix.hpp"
+
+namespace mtscope::sim {
+
+Simulation::Simulation(SimConfig config) : config_(std::move(config)) {
+  plan_ = std::make_unique<AddressPlan>(config_);
+  ixps_.reserve(config_.ixps.size());
+  for (std::size_t i = 0; i < config_.ixps.size(); ++i) {
+    ixps_.emplace_back(config_.ixps[i], i, *plan_, config_.seed);
+  }
+  wire_special_visibility();
+  ixp_gen_ = std::make_unique<IxpTrafficGenerator>(*plan_, config_);
+  telescope_gen_ = std::make_unique<TelescopeTrafficGenerator>(*plan_, config_);
+  isp_gen_ = std::make_unique<IspTrafficGenerator>(*plan_, config_);
+}
+
+void Simulation::wire_special_visibility() {
+  const auto set_everywhere = [&](std::size_t as_index, double value) {
+    for (Ixp& ixp : ixps_) ixp.set_visibility(as_index, value);
+  };
+  const auto set_at = [&](std::size_t as_index, const std::string& code, double value) {
+    for (Ixp& ixp : ixps_) {
+      if (ixp.spec().code == code) ixp.set_visibility(as_index, value);
+    }
+  };
+
+  // TUS1's hosting ISP peers only in North America; its address space is
+  // invisible at the European fabrics (Table 4: CE1 infers none of TUS1).
+  const std::size_t isp = plan_->isp().as_index;
+  set_everywhere(isp, 0.0);
+  set_at(isp, "NA1", 0.008);
+  set_at(isp, "NA2", 0.003);
+  set_at(isp, "NA3", 0.0005);
+  set_at(isp, "NA4", 0.0005);
+
+  // TEU1's host: a European eyeball ISP reachable mostly via CE fabrics.
+  const std::size_t teu1 = plan_->teu1_as_index();
+  set_everywhere(teu1, 0.0);
+  set_at(teu1, "CE1", 0.007);
+  set_at(teu1, "CE2", 0.003);
+
+  // TEU2 peers directly at (up to) ten IXPs and is therefore unusually well
+  // observed — the reason the volume filter eats it (§4.3).
+  const std::size_t teu2 = plan_->teu2_as_index();
+  set_everywhere(teu2, 0.0);
+  const std::size_t teu2_sites = std::min<std::size_t>(10, ixps_.size());
+  for (std::size_t i = 0; i < teu2_sites; ++i) {
+    ixps_[i].set_visibility(teu2, 0.48 / static_cast<double>(teu2_sites));
+  }
+
+  // Figure 5's legacy orgs: the /9 is routed via Central Europe only, the
+  // /14 via North America only — different vantage points see different
+  // halves of the same /8.
+  set_everywhere(plan_->legacy9_as_index(), 0.0);
+  set_at(plan_->legacy9_as_index(), "CE1", 0.015);
+  set_everywhere(plan_->legacy14_as_index(), 0.0);
+  set_at(plan_->legacy14_as_index(), "NA1", 0.02);
+}
+
+std::size_t Simulation::ixp_index(const std::string& code) const {
+  for (std::size_t i = 0; i < ixps_.size(); ++i) {
+    if (ixps_[i].spec().code == code) return i;
+  }
+  throw std::invalid_argument("Simulation::ixp_index: unknown IXP code " + code);
+}
+
+IxpDayData Simulation::run_ixp_day(std::size_t ixp_index, int day) const {
+  const Ixp& ixp = ixps_.at(ixp_index);
+
+  std::vector<flow::PacketMeta> packets = ixp_gen_->generate_day(ixp, day);
+  std::sort(packets.begin(), packets.end(),
+            [](const flow::PacketMeta& a, const flow::PacketMeta& b) {
+              return a.timestamp_us < b.timestamp_us;
+            });
+
+  IxpDayData out;
+  out.ixp_index = ixp_index;
+  out.day = day;
+  out.sampled_packets = packets.size();
+
+  flow::FlowTableConfig table_config;
+  table_config.sampling_rate = ixp.sampling_rate();
+  flow::FlowTable table(table_config);
+  for (const flow::PacketMeta& p : packets) {
+    out.sampled_bytes += p.ip_length;
+    table.add(p);
+  }
+  table.flush();
+  const std::vector<flow::FlowRecord> raw_flows = table.drain_exported();
+
+  // Real export path: IPFIX encode at the exporter, decode at the
+  // collector.  The inference pipeline sees only decoded records.
+  flow::IpfixEncoderConfig enc_config;
+  enc_config.observation_domain = static_cast<std::uint32_t>(ixp_index);
+  enc_config.max_message_bytes = 8000;
+  flow::IpfixEncoder encoder(enc_config);
+  flow::IpfixDecoder decoder;
+  const auto messages =
+      encoder.encode(raw_flows, static_cast<std::uint32_t>(day * 86'400));
+  for (const auto& message : messages) {
+    out.ipfix_bytes += message.size();
+    auto result = decoder.feed(message);
+    if (!result.ok()) {
+      throw std::runtime_error("Simulation: IPFIX round-trip failed: " +
+                               result.error().to_string());
+    }
+  }
+  out.ipfix_messages = messages.size();
+  out.flows = decoder.drain();
+  return out;
+}
+
+TelescopeDayData Simulation::run_telescope_day(std::size_t telescope_index, int day) const {
+  const TelescopeInfo& telescope = plan_->telescopes().at(telescope_index);
+  TelescopeDayData out;
+  out.telescope_index = telescope_index;
+  out.day = day;
+  out.captured_blocks =
+      std::min<std::size_t>(telescope.spec.capture_window_24s, telescope.blocks.size());
+  out.packets = telescope_gen_->generate_day(telescope, day);
+  return out;
+}
+
+std::vector<IspBlockObservation> Simulation::run_isp_week() const {
+  return isp_gen_->generate_week();
+}
+
+}  // namespace mtscope::sim

@@ -1,0 +1,72 @@
+// Simulation: one object that owns the universe (AddressPlan), the vantage
+// points (Ixp fleet with special-case visibility wiring), and the traffic
+// generators, and runs logical days through the genuine export path:
+//
+//   sampled packets -> time sort -> FlowTable -> IPFIX encode -> IPFIX
+//   decode -> FlowRecords (what the inference pipeline consumes)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "flow/record.hpp"
+#include "sim/address_plan.hpp"
+#include "sim/config.hpp"
+#include "sim/generators.hpp"
+#include "sim/vantage.hpp"
+
+namespace mtscope::sim {
+
+/// One vantage point's decoded flow data for one day, plus exporter
+/// statistics (Table 1's "sampled flows" column).
+struct IxpDayData {
+  std::size_t ixp_index = 0;
+  int day = 0;
+  std::vector<flow::FlowRecord> flows;
+  std::uint64_t sampled_packets = 0;
+  std::uint64_t sampled_bytes = 0;
+  std::uint64_t ipfix_messages = 0;
+  std::uint64_t ipfix_bytes = 0;
+};
+
+/// One telescope-day of raw captured packets (full, unsampled).
+struct TelescopeDayData {
+  std::size_t telescope_index = 0;
+  int day = 0;
+  std::vector<flow::PacketMeta> packets;
+  std::size_t captured_blocks = 0;  // capture window size
+};
+
+class Simulation {
+ public:
+  explicit Simulation(SimConfig config);
+
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const AddressPlan& plan() const noexcept { return *plan_; }
+  [[nodiscard]] const std::vector<Ixp>& ixps() const noexcept { return ixps_; }
+
+  /// Index of the IXP with the given code ("CE1"...); throws if unknown.
+  [[nodiscard]] std::size_t ixp_index(const std::string& code) const;
+
+  /// Run one IXP-day through the full exporter/collector path.
+  [[nodiscard]] IxpDayData run_ixp_day(std::size_t ixp_index, int day) const;
+
+  /// Capture one telescope-day (unsampled, capture window only).
+  [[nodiscard]] TelescopeDayData run_telescope_day(std::size_t telescope_index, int day) const;
+
+  /// One week of the TUS1-hosting ISP's labelled border NetFlow (Table 3).
+  [[nodiscard]] std::vector<IspBlockObservation> run_isp_week() const;
+
+ private:
+  void wire_special_visibility();
+
+  SimConfig config_;
+  std::unique_ptr<AddressPlan> plan_;
+  std::vector<Ixp> ixps_;
+  std::unique_ptr<IxpTrafficGenerator> ixp_gen_;
+  std::unique_ptr<TelescopeTrafficGenerator> telescope_gen_;
+  std::unique_ptr<IspTrafficGenerator> isp_gen_;
+};
+
+}  // namespace mtscope::sim

@@ -1,0 +1,175 @@
+#include "sim/traffic_model.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace mtscope::sim {
+
+namespace {
+
+struct PortWeight {
+  std::uint16_t port;
+  double weight;
+};
+
+// Global scan-port popularity (descending).  Mirai's telnet obsession puts
+// 23 on top everywhere (Figure 11: "port 23 dominates in all regions except
+// OC and AF").
+constexpr std::array<PortWeight, 22> kBasePorts = {{
+    {23, 100}, {8080, 62}, {22, 58}, {80, 52}, {3389, 46}, {443, 44},
+    {8443, 30}, {5555, 26}, {2222, 24}, {445, 22}, {6379, 18}, {3306, 13},
+    {37215, 12}, {5038, 11}, {7001, 9}, {25565, 8}, {6001, 8}, {60023, 7},
+    {52869, 6}, {81, 6}, {8090, 6}, {2375, 5},
+}};
+
+double continent_multiplier(geo::Continent c, std::uint16_t port) {
+  using geo::Continent;
+  switch (c) {
+    case Continent::kAfrica:
+      // Satori (Mirai variant) scans 37215 + 52869 aggressively toward AF;
+      // 3306 also AF-popular (§8.1, §8.2).
+      if (port == 37215) return 9.0;
+      if (port == 52869) return 10.0;
+      if (port == 3306) return 3.0;
+      if (port == 23) return 0.6;
+      break;
+    case Continent::kOceania:
+      if (port == 6001) return 6.0;
+      if (port == 23) return 0.55;
+      break;
+    case Continent::kNorthAmerica:
+      if (port == 7001) return 3.0;
+      if (port == 3306) return 2.0;
+      if (port == 6379) return 1.6;
+      break;
+    case Continent::kEurope:
+      if (port == 23) return 1.35;
+      break;
+    case Continent::kAsia:
+      if (port == 5555) return 1.8;  // ADB debug bridge, Android-dense region
+      break;
+    default:
+      break;
+  }
+  return 1.0;
+}
+
+double type_multiplier(geo::NetType t, std::uint16_t port) {
+  using geo::NetType;
+  switch (t) {
+    case NetType::kDataCenter:
+      // "Scanners are trying to find unprotected Web servers within data
+      // centers"; 5038 also data-center-hot (§8.2).
+      if (port == 80) return 2.6;
+      if (port == 5038) return 4.0;
+      if (port == 6379) return 2.0;
+      if (port == 2375) return 3.0;
+      break;
+    case NetType::kEducation:
+      if (port == 80) return 2.0;
+      if (port == 443) return 1.5;
+      break;
+    case NetType::kIsp:
+      if (port == 23) return 1.8;
+      if (port == 5555) return 1.5;
+      if (port == 3389) return 1.4;
+      break;
+    case NetType::kEnterprise:
+      if (port == 3389) return 2.0;
+      if (port == 445) return 1.6;
+      break;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+PortModel::PortModel() {
+  ports_.reserve(kBasePorts.size());
+  for (const PortWeight& pw : kBasePorts) ports_.push_back(pw.port);
+
+  cumulative_.resize(geo::kAllContinents.size() * geo::kAllNetTypes.size());
+  for (geo::Continent c : geo::kAllContinents) {
+    for (geo::NetType t : geo::kAllNetTypes) {
+      std::vector<double>& table = cumulative_[table_index(c, t)];
+      table.reserve(kBasePorts.size());
+      double running = 0.0;
+      for (const PortWeight& pw : kBasePorts) {
+        running += pw.weight * continent_multiplier(c, pw.port) * type_multiplier(t, pw.port);
+        table.push_back(running);
+      }
+    }
+  }
+}
+
+std::uint16_t PortModel::scan_port(util::Rng& rng, geo::Continent continent,
+                                   geo::NetType type) const {
+  const std::vector<double>& table = cumulative_[table_index(continent, type)];
+  const double target = rng.uniform01() * table.back();
+  const auto it = std::lower_bound(table.begin(), table.end(), target);
+  return ports_[static_cast<std::size_t>(it - table.begin())];
+}
+
+double BlockTraits::syn40_share(net::Block24 block) const noexcept {
+  // Two independent uniforms -> one normal draw via Box-Muller, all
+  // deterministic in (seed, block).
+  const std::uint64_t h1 = util::mix64(seed_, 0x51a0000ull | block.index());
+  const std::uint64_t h2 = util::mix64(seed_ ^ 0x9e3779b97f4a7c15ULL, block.index());
+  const double u1 = (static_cast<double>(h1 >> 11) + 0.5) * 0x1.0p-53;
+  const double u2 = static_cast<double>(h2 >> 11) * 0x1.0p-53;
+  const double n = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * 3.14159265358979323846 * u2);
+  return std::clamp(0.785 + 0.096 * n, 0.30, 0.99);
+}
+
+int BlockTraits::isp_active_size_class(net::Block24 block) const noexcept {
+  const std::uint64_t h = util::mix64(seed_ ^ 0x15bc1a55ull, block.index());
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  if (u < 0.075) return 1;  // ack-heavy: median 40 (Table 3's 7% median-FPR)
+  if (u < 0.225) return 2;  // smallish: median 42..46 (the jump to 22.6%)
+  return 0;
+}
+
+bool BlockTraits::leased_today(net::Block24 block, int day,
+                               double lease_fraction) const noexcept {
+  // Dynamic pools are sticky: the same blocks are handed to subscribers day
+  // after day (the paper's TEU1 kept a stable unused core of 265 of 768
+  // /24s), with a little daily churn at the edge.
+  const std::uint64_t pool_hash = util::mix64(seed_ ^ 0x7e01ull, block.index());
+  const bool in_pool =
+      static_cast<double>(pool_hash >> 11) * 0x1.0p-53 < lease_fraction;
+  const std::uint64_t churn_hash =
+      util::mix64(seed_ ^ 0xc452ull, util::mix64(block.index(), day));
+  const bool churn = static_cast<double>(churn_hash >> 11) * 0x1.0p-53 < 0.05;
+  return in_pool != churn;
+}
+
+double DayFactors::scan(int day) noexcept {
+  static constexpr double kFactors[7] = {1.45, 1.00, 1.05, 0.95, 1.00, 1.10, 1.15};
+  return kFactors[((day % 7) + 7) % 7];
+}
+
+double DayFactors::production(int day) noexcept {
+  static constexpr double kFactors[7] = {1.00, 1.02, 1.00, 0.98, 0.95, 0.45, 0.40};
+  return kFactors[((day % 7) + 7) % 7];
+}
+
+double DayFactors::spoof(int day) noexcept {
+  static constexpr double kFactors[7] = {1.30, 1.10, 1.00, 1.00, 1.10, 0.60, 0.55};
+  return kFactors[((day % 7) + 7) % 7];
+}
+
+std::uint16_t draw_scan_size(util::Rng& rng, double share40) noexcept {
+  if (rng.uniform01() < share40) return 40;
+  return rng.uniform01() < 0.8 ? 48 : 56;
+}
+
+std::uint16_t draw_production_size(util::Rng& rng) noexcept {
+  const double u = rng.uniform01();
+  if (u < 0.55) return 1400;
+  if (u < 0.75) return 600;
+  if (u < 0.90) return 200;
+  return 90;
+}
+
+}  // namespace mtscope::sim

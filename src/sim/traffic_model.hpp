@@ -1,0 +1,94 @@
+// Statistical ingredients of the synthetic traffic: scan-port popularity by
+// region and network type, per-block packet-size traits, and day-of-week
+// modulation.
+//
+// The numbers here are reverse-engineered from the paper's observations:
+//  * Table 5's per-telescope top-ports and Figures 11/12/18-20's regional /
+//    network-type skews (port 37215+52869 hot in Africa = Satori, 6001 in
+//    Oceania, 7001+3306 in North America, 80/5038 hot in data centers...);
+//  * §4.1's packet-size profile: >=93% of telescope TCP packets are 40
+//    bytes with a step at 48 (SYN + one option);
+//  * Table 3's classifier sweep, which requires cross-block heterogeneity
+//    in the 40-byte share (else every threshold >= 41 would be perfect).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/geodb.hpp"
+#include "geo/nettype.hpp"
+#include "net/ipv4.hpp"
+#include "util/rng.hpp"
+
+namespace mtscope::sim {
+
+/// Scan-destination-port model: weighted draw conditioned on the target's
+/// continent and network type.
+class PortModel {
+ public:
+  PortModel();
+
+  /// Draw a scan destination port for a target in (continent, type).
+  [[nodiscard]] std::uint16_t scan_port(util::Rng& rng, geo::Continent continent,
+                                        geo::NetType type) const;
+
+  /// The global base port list, most popular first (used by analyses to
+  /// cross-check inferred rankings).
+  [[nodiscard]] const std::vector<std::uint16_t>& base_ports() const noexcept { return ports_; }
+
+ private:
+  // One cumulative-weight table per (continent, type) pair.
+  std::vector<std::uint16_t> ports_;
+  std::vector<std::vector<double>> cumulative_;  // [continent*4+type][port index]
+
+  [[nodiscard]] std::size_t table_index(geo::Continent c, geo::NetType t) const noexcept {
+    return static_cast<std::size_t>(c) * geo::kAllNetTypes.size() + static_cast<std::size_t>(t);
+  }
+};
+
+/// Per-/24 stable random traits, derived by hashing the block id with the
+/// simulation seed, so every generator (IXP-side, telescope-side, ISP-side)
+/// sees the same block behave the same way.
+class BlockTraits {
+ public:
+  explicit BlockTraits(std::uint64_t seed) : seed_(seed) {}
+
+  /// Share of 40-byte packets in TCP scan traffic toward this block.
+  /// ~Normal(0.785, 0.096) clamped — calibrated against Table 3 (see
+  /// DESIGN.md); the aggregate across blocks stays >= 93% 40-byte because
+  /// volume-weighting favours high-p blocks... and because scanning sources
+  /// are shared; aggregates land near the paper's figure.
+  [[nodiscard]] double syn40_share(net::Block24 block) const noexcept;
+
+  /// ISP active-block inbound size class (Table 3's false-positive texture):
+  /// 0 = normal (large packets), 1 = ack-heavy (median 40), 2 = smallish
+  /// (median 42..46).
+  [[nodiscard]] int isp_active_size_class(net::Block24 block) const noexcept;
+
+  /// TEU1 dynamic allocation: is this telescope block leased out (active)
+  /// on `day`?
+  [[nodiscard]] bool leased_today(net::Block24 block, int day,
+                                  double lease_fraction) const noexcept;
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Day-of-week modulation (day 0 = Monday of the measurement week).
+/// Separate curves per traffic family; see DESIGN.md §"figure 8".
+struct DayFactors {
+  /// Scanning: a campaign surge on day 0, mild weekend uptick.
+  [[nodiscard]] static double scan(int day) noexcept;
+  /// Production: strong weekend dip (enterprises/universities idle).
+  [[nodiscard]] static double production(int day) noexcept;
+  /// Spoofed DDoS: weekday-heavy.
+  [[nodiscard]] static double spoof(int day) noexcept;
+};
+
+/// Draw a TCP scan packet size honouring the block's 40-byte share.
+[[nodiscard]] std::uint16_t draw_scan_size(util::Rng& rng, double share40) noexcept;
+
+/// Draw a production data-packet size (mean ~900 bytes).
+[[nodiscard]] std::uint16_t draw_production_size(util::Rng& rng) noexcept;
+
+}  // namespace mtscope::sim

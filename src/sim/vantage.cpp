@@ -1,0 +1,53 @@
+#include "sim/vantage.hpp"
+
+#include <algorithm>
+
+namespace mtscope::sim {
+
+geo::Continent ixp_region_continent(const std::string& region) noexcept {
+  if (region == "North America") return geo::Continent::kNorthAmerica;
+  if (region == "South America") return geo::Continent::kSouthAmerica;
+  // "Central Europe" / "South Europe" and anything unrecognised default to
+  // Europe, matching the paper's fleet.
+  return geo::Continent::kEurope;
+}
+
+Ixp::Ixp(IxpSpec spec, std::size_t index, const AddressPlan& plan, std::uint64_t seed)
+    : spec_(std::move(spec)), index_(index), continent_(ixp_region_continent(spec_.region)) {
+  const std::size_t as_count = plan.ases().size();
+  visibility_.assign(as_count, 0.0);
+  member_.assign(as_count, false);
+
+  util::Rng rng(util::mix64(seed, 0x1c90000ull + index_));
+
+  // Membership probability: proportional to the IXP's member count, skewed
+  // strongly toward same-region networks ("keep local data local"), with a
+  // remote-peering tail.
+  const double base = std::min(0.9, static_cast<double>(spec_.member_count) /
+                                        std::max<std::size_t>(1, as_count));
+  // Transit coverage: big fabrics carry traffic for many non-member
+  // networks via member transit providers.
+  const double transit_share = std::min(0.6, 0.5 * spec_.visibility_boost);
+
+  for (std::size_t a = 0; a < as_count; ++a) {
+    const AsInfo& info = plan.ases()[a];
+    const bool same_region = info.continent == continent_;
+    const double p_member = std::min(0.9, base * (same_region ? 2.2 : 0.45));
+    if (rng.chance(p_member)) {
+      member_[a] = true;
+      ++member_total_;
+      visibility_[a] = rng.uniform01() * 0.035 + 0.005;  // U(0.005, 0.04)
+    } else if (rng.chance(transit_share * (same_region ? 1.0 : 0.55))) {
+      visibility_[a] = rng.uniform01() * 0.018 + 0.002;  // U(0.002, 0.02)
+    } else if (rng.chance(0.2)) {
+      visibility_[a] = rng.uniform01() * 0.002;          // distant echo
+    }
+    visibility_[a] *= spec_.visibility_boost;
+  }
+
+  // Quadratic in fabric size: big IXPs attract disproportionally more of
+  // the DDoS paths whose spoofed packets poison the source filter.
+  spoof_share_ = 0.01 * spec_.visibility_boost * spec_.visibility_boost;
+}
+
+}  // namespace mtscope::sim

@@ -1,0 +1,63 @@
+// IXP vantage points: membership, per-AS traffic visibility and sampling.
+//
+// An IXP never sees all traffic toward a network: only the share that
+// happens to be routed across its fabric (the paper's "Routing" and
+// "Locality" limitations).  We model that share as a per-(IXP, AS)
+// visibility factor in [0, 1]: member networks exchange a few percent of
+// their total traffic over any one fabric; networks reachable via a member
+// transit provider contribute less; everything else is (near) invisible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/geodb.hpp"
+#include "sim/address_plan.hpp"
+#include "sim/config.hpp"
+#include "util/rng.hpp"
+
+namespace mtscope::sim {
+
+class Ixp {
+ public:
+  /// Build membership and default visibility for every AS in the plan.
+  Ixp(IxpSpec spec, std::size_t index, const AddressPlan& plan, std::uint64_t seed);
+
+  [[nodiscard]] const IxpSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+  [[nodiscard]] geo::Continent continent() const noexcept { return continent_; }
+
+  /// Share of traffic toward AS `as_index` that crosses this IXP.
+  [[nodiscard]] double visibility(std::size_t as_index) const {
+    return visibility_.at(as_index);
+  }
+
+  /// Override (used for the special ASes: telescope hosts, legacy orgs).
+  void set_visibility(std::size_t as_index, double value) {
+    visibility_.at(as_index) = value;
+  }
+
+  [[nodiscard]] bool is_member(std::size_t as_index) const { return member_.at(as_index); }
+  [[nodiscard]] std::size_t member_count() const noexcept { return member_total_; }
+
+  /// Share of global spoofed-DDoS traffic whose victims are reached via
+  /// this fabric (scales the spoofed packets this IXP samples).
+  [[nodiscard]] double spoof_share() const noexcept { return spoof_share_; }
+
+  [[nodiscard]] std::uint32_t sampling_rate() const noexcept { return spec_.sampling_rate; }
+
+ private:
+  IxpSpec spec_;
+  std::size_t index_;
+  geo::Continent continent_;
+  std::vector<double> visibility_;
+  std::vector<bool> member_;
+  std::size_t member_total_ = 0;
+  double spoof_share_ = 0.0;
+};
+
+/// Region string of an IxpSpec -> continent.
+[[nodiscard]] geo::Continent ixp_region_continent(const std::string& region) noexcept;
+
+}  // namespace mtscope::sim

@@ -1,0 +1,63 @@
+#include "telemetry/block_stats.hpp"
+
+#include <cmath>
+
+namespace mtscope::telemetry {
+
+void BlockStatsMap::add_flow(const flow::FlowRecord& record) {
+  ++flows_;
+  packets_ += record.packets;
+
+  BlockCounters& dst = map_[net::Block24::containing(record.key.dst)];
+  dst.rx_packets += record.packets;
+  dst.rx_bytes += record.bytes;
+  switch (record.key.proto) {
+    case net::IpProto::kTcp:
+      dst.rx_tcp_packets += record.packets;
+      dst.rx_tcp_bytes += record.bytes;
+      break;
+    case net::IpProto::kUdp:
+      dst.rx_udp_packets += record.packets;
+      break;
+    default:
+      break;
+  }
+
+  BlockCounters& src = map_[net::Block24::containing(record.key.src)];
+  src.tx_packets += record.packets;
+}
+
+void BlockStatsMap::merge(const BlockStatsMap& other) {
+  for (const auto& [block, counters] : other.map_) {
+    BlockCounters& mine = map_[block];
+    mine.rx_packets += counters.rx_packets;
+    mine.rx_bytes += counters.rx_bytes;
+    mine.rx_tcp_packets += counters.rx_tcp_packets;
+    mine.rx_tcp_bytes += counters.rx_tcp_bytes;
+    mine.rx_udp_packets += counters.rx_udp_packets;
+    mine.tx_packets += counters.tx_packets;
+  }
+  flows_ += other.flows_;
+  packets_ += other.packets_;
+}
+
+void DetailedBlockStats::add_flow(const flow::FlowRecord& record) {
+  counters_.rx_packets += record.packets;
+  counters_.rx_bytes += record.bytes;
+  if (record.key.proto == net::IpProto::kTcp) {
+    counters_.rx_tcp_packets += record.packets;
+    counters_.rx_tcp_bytes += record.bytes;
+    // Flow records carry aggregate bytes; attribute the flow's mean size to
+    // each of its packets.  Synthetic flows are constant-size, so this is
+    // exact for our data and a standard approximation for real IPFIX.
+    if (record.packets > 0) {
+      const auto size = static_cast<std::uint32_t>(
+          std::llround(static_cast<double>(record.bytes) / static_cast<double>(record.packets)));
+      sizes_.add(size, record.packets);
+    }
+  } else if (record.key.proto == net::IpProto::kUdp) {
+    counters_.rx_udp_packets += record.packets;
+  }
+}
+
+}  // namespace mtscope::telemetry

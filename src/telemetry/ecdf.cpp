@@ -1,0 +1,84 @@
+#include "telemetry/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace mtscope::telemetry {
+
+Ecdf::Ecdf(std::vector<double> samples) : samples_(std::move(samples)), sorted_(false) {}
+
+void Ecdf::add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+}
+
+void Ecdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Ecdf::fraction_at_most(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  if (samples_.empty()) throw std::logic_error("Ecdf::quantile on empty ECDF");
+  ensure_sorted();
+  if (q <= 0.0) return samples_.front();
+  if (q >= 1.0) return samples_.back();
+  const auto rank = static_cast<std::size_t>(std::ceil(q * static_cast<double>(samples_.size()))) - 1;
+  return samples_[std::min(rank, samples_.size() - 1)];
+}
+
+double Ecdf::min() const {
+  if (samples_.empty()) throw std::logic_error("Ecdf::min on empty ECDF");
+  ensure_sorted();
+  return samples_.front();
+}
+
+double Ecdf::max() const {
+  if (samples_.empty()) throw std::logic_error("Ecdf::max on empty ECDF");
+  ensure_sorted();
+  return samples_.back();
+}
+
+double Ecdf::mean() const {
+  if (samples_.empty()) throw std::logic_error("Ecdf::mean on empty ECDF");
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> Ecdf::sample_curve(double lo, double hi,
+                                                          std::size_t points) const {
+  if (points < 2) throw std::invalid_argument("Ecdf::sample_curve: need at least 2 points");
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(x, fraction_at_most(x));
+  }
+  return out;
+}
+
+std::string Ecdf::sparkline(double lo, double hi, std::size_t width) const {
+  static constexpr char kLevels[] = " .:-=+*#%@";
+  const std::size_t levels = sizeof(kLevels) - 2;  // exclude NUL, index max
+  std::string out;
+  out.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(width - 1);
+    const double f = fraction_at_most(x);
+    const auto level = static_cast<std::size_t>(f * static_cast<double>(levels));
+    out.push_back(kLevels[std::min(level, levels)]);
+  }
+  return out;
+}
+
+}  // namespace mtscope::telemetry

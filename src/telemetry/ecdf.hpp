@@ -1,0 +1,45 @@
+// Empirical cumulative distribution function over double-valued samples —
+// the representation behind Figures 7, 16 and 17.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mtscope::telemetry {
+
+class Ecdf {
+ public:
+  Ecdf() = default;
+  explicit Ecdf(std::vector<double> samples);
+
+  void add(double sample);
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  /// Fraction of samples <= x.  0 for an empty ECDF.
+  [[nodiscard]] double fraction_at_most(double x) const;
+
+  /// Smallest sample s such that fraction_at_most(s) >= q.  Throws on empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+
+  /// Evaluate at evenly spaced x positions in [lo, hi] — a plottable series.
+  [[nodiscard]] std::vector<std::pair<double, double>> sample_curve(double lo, double hi,
+                                                                    std::size_t points) const;
+
+  /// ASCII sparkline of the curve over [lo, hi] (for bench harness output).
+  [[nodiscard]] std::string sparkline(double lo, double hi, std::size_t width = 60) const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace mtscope::telemetry

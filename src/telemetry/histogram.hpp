@@ -1,0 +1,91 @@
+// Fixed-bin histogram for bounded integer observations (packet sizes).
+//
+// IP packet sizes live in [20, 65535] but in practice [40, 1500]; an exact
+// per-byte-bin histogram gives exact means and medians, which matters
+// because the paper's classifier thresholds (40/42/44/46 bytes) sit right
+// on top of each other.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace mtscope::telemetry {
+
+class Histogram {
+ public:
+  /// Bins cover [min_value, max_value] inclusive, one bin per integer.
+  Histogram(std::uint32_t min_value, std::uint32_t max_value)
+      : min_(min_value), max_(max_value) {
+    if (min_value > max_value) throw std::invalid_argument("Histogram: min > max");
+    bins_.assign(max_value - min_value + 1, 0);
+  }
+
+  /// Record `count` observations of `value`; clamped into range.
+  void add(std::uint32_t value, std::uint64_t count = 1) noexcept {
+    if (value < min_) value = min_;
+    if (value > max_) value = max_;
+    bins_[value - min_] += count;
+    total_ += count;
+    sum_ += static_cast<std::uint64_t>(value) * count;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] bool empty() const noexcept { return total_ == 0; }
+
+  [[nodiscard]] double mean() const noexcept {
+    return total_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(total_);
+  }
+
+  /// Value at quantile q in [0, 1]: the smallest value v such that at least
+  /// ceil(q * total) observations are <= v.  Throws on empty.
+  [[nodiscard]] std::uint32_t quantile(double q) const {
+    if (total_ == 0) throw std::logic_error("Histogram::quantile on empty histogram");
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+      seen += bins_[i];
+      if (seen > rank) return min_ + static_cast<std::uint32_t>(i);
+    }
+    return max_;
+  }
+
+  [[nodiscard]] std::uint32_t median() const { return quantile(0.5); }
+
+  /// Count of observations with value <= v.
+  [[nodiscard]] std::uint64_t count_at_most(std::uint32_t v) const noexcept {
+    if (v < min_) return 0;
+    if (v > max_) v = max_;
+    std::uint64_t out = 0;
+    for (std::uint32_t i = 0; i <= v - min_; ++i) out += bins_[i];
+    return out;
+  }
+
+  [[nodiscard]] std::uint64_t count_of(std::uint32_t value) const noexcept {
+    if (value < min_ || value > max_) return 0;
+    return bins_[value - min_];
+  }
+
+  void merge(const Histogram& other) {
+    if (other.min_ != min_ || other.max_ != max_) {
+      throw std::invalid_argument("Histogram::merge: incompatible ranges");
+    }
+    for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+  }
+
+ private:
+  std::uint32_t min_;
+  std::uint32_t max_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+/// Histogram sized for IP packet lengths.
+[[nodiscard]] inline Histogram make_packet_size_histogram() { return Histogram(20, 1500); }
+
+}  // namespace mtscope::telemetry

@@ -1,0 +1,78 @@
+// Space-Saving heavy-hitter sketch (Metwally, Agrawal, El Abbadi 2005).
+//
+// Port-popularity analyses need "top-k destination ports" over streams with
+// arbitrarily many distinct keys; Space-Saving bounds memory to the monitor
+// capacity while guaranteeing no true heavy hitter is evicted once its count
+// exceeds the minimum monitored count.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace mtscope::telemetry {
+
+template <typename Key>
+class SpaceSaving {
+ public:
+  struct Entry {
+    Key key{};
+    std::uint64_t count = 0;
+    std::uint64_t overestimate = 0;  // error bound: count may exceed truth by this
+  };
+
+  explicit SpaceSaving(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("SpaceSaving: capacity must be >= 1");
+  }
+
+  void add(const Key& key, std::uint64_t weight = 1) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      entries_[it->second].count += weight;
+      return;
+    }
+    if (entries_.size() < capacity_) {
+      index_[key] = entries_.size();
+      entries_.push_back(Entry{key, weight, 0});
+      return;
+    }
+    // Replace the minimum-count monitored key.
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].count < entries_[victim].count) victim = i;
+    }
+    index_.erase(entries_[victim].key);
+    const std::uint64_t floor = entries_[victim].count;
+    entries_[victim] = Entry{key, floor + weight, floor};
+    index_[key] = victim;
+  }
+
+  /// Top `k` entries by estimated count, descending; ties broken by key for
+  /// determinism.
+  [[nodiscard]] std::vector<Entry> top(std::size_t k) const {
+    std::vector<Entry> sorted = entries_;
+    std::sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
+      if (a.count != b.count) return a.count > b.count;
+      return a.key < b.key;
+    });
+    if (sorted.size() > k) sorted.resize(k);
+    return sorted;
+  }
+
+  [[nodiscard]] std::uint64_t estimate(const Key& key) const {
+    const auto it = index_.find(key);
+    return it == index_.end() ? 0 : entries_[it->second].count;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<Entry> entries_;
+  std::unordered_map<Key, std::size_t> index_;
+};
+
+}  // namespace mtscope::telemetry

@@ -1,0 +1,37 @@
+#include "trie/block24_set.hpp"
+
+#include <bit>
+
+namespace mtscope::trie {
+
+std::size_t Block24Set::count_in_range(std::uint32_t first, std::uint32_t last) const noexcept {
+  if (first > last || first >= net::Block24::kUniverseSize) return 0;
+  if (last >= net::Block24::kUniverseSize) last = net::Block24::kUniverseSize - 1;
+
+  const std::size_t first_word = first >> 6;
+  const std::size_t last_word = last >> 6;
+  std::size_t total = 0;
+
+  if (first_word == last_word) {
+    std::uint64_t word = words_[first_word];
+    word >>= (first & 63);
+    const unsigned width = last - first + 1;
+    if (width < 64) word &= (std::uint64_t{1} << width) - 1;
+    return static_cast<std::size_t>(std::popcount(word));
+  }
+
+  // Head word: mask off bits below `first`.
+  total += static_cast<std::size_t>(std::popcount(words_[first_word] >> (first & 63)));
+  // Full middle words.
+  for (std::size_t w = first_word + 1; w < last_word; ++w) {
+    total += static_cast<std::size_t>(std::popcount(words_[w]));
+  }
+  // Tail word: keep bits up to and including `last`.
+  const unsigned tail_bits = (last & 63) + 1;
+  std::uint64_t tail = words_[last_word];
+  if (tail_bits < 64) tail &= (std::uint64_t{1} << tail_bits) - 1;
+  total += static_cast<std::size_t>(std::popcount(tail));
+  return total;
+}
+
+}  // namespace mtscope::trie

@@ -1,0 +1,223 @@
+// Binary radix trie keyed by IPv4 CIDR prefixes.
+//
+// Backbone of the routing substrate: the RIB, the prefix-to-AS mapping and
+// the geolocation database are all PrefixTrie instances.  Supports exact
+// insert/lookup/erase, longest-prefix match, covering-prefix enumeration and
+// pre-order traversal.  Nodes are held in a contiguous arena (indices, not
+// pointers) for cache-friendliness and trivial move semantics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "net/prefix.hpp"
+
+namespace mtscope::trie {
+
+template <typename T>
+class PrefixTrie {
+ public:
+  PrefixTrie() { nodes_.push_back(Node{}); }
+
+  /// Insert or overwrite the value at `prefix`.  Returns true if the prefix
+  /// was newly inserted, false if an existing value was replaced.
+  bool insert(const net::Prefix& prefix, T value) {
+    const std::uint32_t node = descend_create(prefix);
+    Node& n = nodes_[node];
+    const bool fresh = !n.value.has_value();
+    n.value = std::move(value);
+    if (fresh) ++size_;
+    return fresh;
+  }
+
+  /// Exact-match lookup.
+  [[nodiscard]] const T* find(const net::Prefix& prefix) const {
+    const std::uint32_t node = descend(prefix);
+    if (node == kInvalid) return nullptr;
+    const Node& n = nodes_[node];
+    return n.value.has_value() ? &*n.value : nullptr;
+  }
+
+  [[nodiscard]] T* find(const net::Prefix& prefix) {
+    return const_cast<T*>(static_cast<const PrefixTrie*>(this)->find(prefix));
+  }
+
+  /// Remove the value at `prefix`.  Returns true if a value was present.
+  /// (Structural nodes are retained; the arena never shrinks.)
+  bool erase(const net::Prefix& prefix) {
+    const std::uint32_t node = descend(prefix);
+    if (node == kInvalid || !nodes_[node].value.has_value()) return false;
+    nodes_[node].value.reset();
+    --size_;
+    return true;
+  }
+
+  /// Longest-prefix match for an address: the most specific stored prefix
+  /// containing `addr`, together with its value.
+  [[nodiscard]] std::optional<std::pair<net::Prefix, const T*>> longest_match(
+      net::Ipv4Addr addr) const {
+    std::uint32_t node = 0;
+    std::optional<std::pair<net::Prefix, const T*>> best;
+    int depth = 0;
+    const std::uint32_t bits = addr.value();
+    for (;;) {
+      const Node& n = nodes_[node];
+      if (n.value.has_value()) {
+        best = {net::Prefix::canonical(addr, depth), &*n.value};
+      }
+      if (depth == 32) break;
+      const int bit = (bits >> (31 - depth)) & 1;
+      const std::uint32_t child = n.children[bit];
+      if (child == kInvalid) break;
+      node = child;
+      ++depth;
+    }
+    return best;
+  }
+
+  /// All stored prefixes that cover `addr`, least specific first.
+  [[nodiscard]] std::vector<std::pair<net::Prefix, const T*>> matches(net::Ipv4Addr addr) const {
+    std::vector<std::pair<net::Prefix, const T*>> out;
+    std::uint32_t node = 0;
+    int depth = 0;
+    const std::uint32_t bits = addr.value();
+    for (;;) {
+      const Node& n = nodes_[node];
+      if (n.value.has_value()) out.emplace_back(net::Prefix::canonical(addr, depth), &*n.value);
+      if (depth == 32) break;
+      const int bit = (bits >> (31 - depth)) & 1;
+      const std::uint32_t child = n.children[bit];
+      if (child == kInvalid) break;
+      node = child;
+      ++depth;
+    }
+    return out;
+  }
+
+  /// True if any stored prefix covers `addr`.
+  [[nodiscard]] bool covers(net::Ipv4Addr addr) const { return longest_match(addr).has_value(); }
+
+  /// Pre-order visit of every (prefix, value) pair.
+  void walk(const std::function<void(const net::Prefix&, const T&)>& visit) const {
+    walk_node(0, net::Prefix{}, visit);
+  }
+
+  /// All stored prefixes contained within `within` (including an exact hit).
+  [[nodiscard]] std::vector<std::pair<net::Prefix, T>> covered_by(const net::Prefix& within) const {
+    std::vector<std::pair<net::Prefix, T>> out;
+    // Descend to the node for `within` (following the path as far as it
+    // exists), then collect the whole subtree.
+    std::uint32_t node = 0;
+    for (int depth = 0; depth < within.length(); ++depth) {
+      const std::uint32_t child = nodes_[node].children[within.bit(depth) ? 1 : 0];
+      if (child == kInvalid) return out;
+      node = child;
+    }
+    collect(node, within, out);
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+ private:
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+  struct Node {
+    std::uint32_t children[2] = {kInvalid, kInvalid};
+    std::optional<T> value;
+  };
+
+  /// Walk to the node for `prefix`, creating nodes as needed.
+  std::uint32_t descend_create(const net::Prefix& prefix) {
+    std::uint32_t node = 0;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = prefix.bit(depth) ? 1 : 0;
+      std::uint32_t child = nodes_[node].children[bit];
+      if (child == kInvalid) {
+        child = static_cast<std::uint32_t>(nodes_.size());
+        nodes_.push_back(Node{});
+        nodes_[node].children[bit] = child;
+      }
+      node = child;
+    }
+    return node;
+  }
+
+  /// Walk to the node for `prefix`; kInvalid if the path does not exist.
+  [[nodiscard]] std::uint32_t descend(const net::Prefix& prefix) const {
+    std::uint32_t node = 0;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const std::uint32_t child = nodes_[node].children[prefix.bit(depth) ? 1 : 0];
+      if (child == kInvalid) return kInvalid;
+      node = child;
+    }
+    return node;
+  }
+
+  void walk_node(std::uint32_t node, const net::Prefix& at,
+                 const std::function<void(const net::Prefix&, const T&)>& visit) const {
+    const Node& n = nodes_[node];
+    if (n.value.has_value()) visit(at, *n.value);
+    if (at.length() == 32) return;
+    const auto [low, high] = at.children();
+    if (n.children[0] != kInvalid) walk_node(n.children[0], low, visit);
+    if (n.children[1] != kInvalid) walk_node(n.children[1], high, visit);
+  }
+
+  void collect(std::uint32_t node, const net::Prefix& at,
+               std::vector<std::pair<net::Prefix, T>>& out) const {
+    const Node& n = nodes_[node];
+    if (n.value.has_value()) out.emplace_back(at, *n.value);
+    if (at.length() == 32) return;
+    const auto [low, high] = at.children();
+    if (n.children[0] != kInvalid) collect(n.children[0], low, out);
+    if (n.children[1] != kInvalid) collect(n.children[1], high, out);
+  }
+
+  std::vector<Node> nodes_;
+  std::size_t size_ = 0;
+};
+
+/// A set of prefixes: PrefixTrie with unit payload plus set-flavoured API.
+class PrefixSet {
+ public:
+  bool insert(const net::Prefix& prefix) { return trie_.insert(prefix, Unit{}); }
+  bool erase(const net::Prefix& prefix) { return trie_.erase(prefix); }
+  [[nodiscard]] bool contains(const net::Prefix& prefix) const {
+    return trie_.find(prefix) != nullptr;
+  }
+  /// True if any member prefix covers the address.
+  [[nodiscard]] bool covers(net::Ipv4Addr addr) const { return trie_.covers(addr); }
+  /// True if any member prefix covers the whole /24.
+  [[nodiscard]] bool covers(net::Block24 block) const {
+    for (const auto& [prefix, unused] : trie_.matches(block.first_address())) {
+      (void)unused;
+      if (prefix.contains(block)) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return trie_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return trie_.empty(); }
+
+  void walk(const std::function<void(const net::Prefix&)>& visit) const {
+    trie_.walk([&](const net::Prefix& p, const Unit&) { visit(p); });
+  }
+
+  [[nodiscard]] std::vector<net::Prefix> to_vector() const {
+    std::vector<net::Prefix> out;
+    out.reserve(size());
+    walk([&](const net::Prefix& p) { out.push_back(p); });
+    return out;
+  }
+
+ private:
+  struct Unit {};
+  PrefixTrie<Unit> trie_;
+};
+
+}  // namespace mtscope::trie

@@ -1,0 +1,35 @@
+// Minimal CSV reader/writer for dataset import/export (hit lists, report
+// dumps).  Handles quoting per RFC 4180 on output; the reader supports
+// quoted fields with embedded separators and doubled quotes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace mtscope::util {
+
+/// Parse one CSV line into fields.  Returns an error on unterminated quotes.
+[[nodiscard]] Result<std::vector<std::string>> parse_csv_line(std::string_view line);
+
+/// Escape a single field for CSV output.
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+/// Streaming CSV writer.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Read a whole CSV document (no header interpretation).
+[[nodiscard]] Result<std::vector<std::vector<std::string>>> read_csv(std::istream& in);
+
+}  // namespace mtscope::util

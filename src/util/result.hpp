@@ -1,0 +1,73 @@
+// Lightweight Result<T> for *expected* failures (wire decoding, text
+// parsing).  API-contract violations still throw; see DESIGN.md §7.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mtscope::util {
+
+/// Error payload: a short machine-stable code plus a human message.
+struct Error {
+  std::string code;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const { return code + ": " + message; }
+};
+
+/// Result<T>: either a value or an Error.  Deliberately minimal — just what
+/// the codecs and parsers need, with an ergonomic `value_or_throw`.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}             // NOLINT(google-explicit-constructor)
+  Result(Error error) : storage_(std::move(error)) {}         // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const noexcept { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    check();
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T& value() & {
+    check();
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    check();
+    return std::get<T>(std::move(storage_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    if (ok()) throw std::logic_error("Result::error called on success value");
+    return std::get<Error>(storage_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+  /// Unwrap, converting an error into a std::runtime_error.
+  [[nodiscard]] T value_or_throw() && {
+    if (!ok()) throw std::runtime_error(error().to_string());
+    return std::get<T>(std::move(storage_));
+  }
+
+ private:
+  void check() const {
+    if (!ok()) throw std::logic_error("Result::value called on error: " + error().to_string());
+  }
+
+  std::variant<T, Error> storage_;
+};
+
+/// Convenience factory.
+inline Error make_error(std::string code, std::string message) {
+  return Error{std::move(code), std::move(message)};
+}
+
+}  // namespace mtscope::util

@@ -1,0 +1,38 @@
+#include "util/rng.hpp"
+
+#include <numeric>
+
+namespace mtscope::util {
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("Rng::zipf: n must be > 0");
+  if (!(s >= 0.0)) throw std::invalid_argument("Rng::zipf: s must be >= 0");
+  // Inverse-CDF over the (small) support.  n is bounded by the number of
+  // distinct ports / prefixes a generator cares about, so O(n) is fine; the
+  // harmonic normaliser is cached per (n, s) by callers that loop.
+  double norm = 0.0;
+  for (std::size_t r = 0; r < n; ++r) norm += 1.0 / std::pow(static_cast<double>(r + 1), s);
+  double target = uniform01() * norm;
+  for (std::size_t r = 0; r < n; ++r) {
+    target -= 1.0 / std::pow(static_cast<double>(r + 1), s);
+    if (target <= 0.0) return r;
+  }
+  return n - 1;
+}
+
+std::size_t Rng::weighted_pick(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("Rng::weighted_pick: negative weight");
+    total += w;
+  }
+  if (!(total > 0.0)) throw std::invalid_argument("Rng::weighted_pick: all weights zero");
+  double target = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace mtscope::util

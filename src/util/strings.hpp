@@ -1,0 +1,51 @@
+// Small string utilities shared by the text-format loaders and report
+// writers.  Kept allocation-conscious: splitting returns string_views into
+// the caller's buffer.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mtscope::util {
+
+/// Split `text` on `sep`, returning views into `text`.  Adjacent separators
+/// yield empty fields (CSV semantics).
+[[nodiscard]] std::vector<std::string_view> split(std::string_view text, char sep);
+
+/// Split on arbitrary whitespace runs; never yields empty fields.
+[[nodiscard]] std::vector<std::string_view> split_ws(std::string_view text);
+
+/// Strip leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+/// Parse an unsigned integer; rejects trailing garbage, signs and empties.
+template <typename UInt>
+[[nodiscard]] std::optional<UInt> parse_uint(std::string_view text) noexcept {
+  if (text.empty()) return std::nullopt;
+  UInt value{};
+  const char* first = text.data();
+  const char* last = first + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return value;
+}
+
+/// Parse a double; rejects trailing garbage and empties.
+[[nodiscard]] std::optional<double> parse_double(std::string_view text) noexcept;
+
+/// Join with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Format a count with thousands separators, e.g. 1234567 -> "1,234,567".
+[[nodiscard]] std::string with_commas(std::uint64_t value);
+
+/// Lower-case an ASCII string.
+[[nodiscard]] std::string to_lower(std::string_view text);
+
+}  // namespace mtscope::util

@@ -1,0 +1,84 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mtscope::util {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("TextTable: at least one column required");
+  alignment_.assign(headers_.size(), Align::kRight);
+  alignment_[0] = Align::kLeft;
+}
+
+void TextTable::set_alignment(std::size_t column, Align align) {
+  if (column >= alignment_.size()) throw std::out_of_range("TextTable::set_alignment: bad column");
+  alignment_[column] = align;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable::add_row: cell count does not match header count");
+  }
+  rows_.push_back(Row{std::move(cells), pending_separator_});
+  pending_separator_ = false;
+}
+
+void TextTable::add_separator() { pending_separator_ = true; }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto hline = [&] {
+    std::string line = "+";
+    for (std::size_t w : widths) {
+      line.append(w + 2, '-');
+      line.push_back('+');
+    }
+    line.push_back('\n');
+    return line;
+  }();
+
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = widths[c] - cells[c].size();
+      line.push_back(' ');
+      if (alignment_[c] == Align::kRight) line.append(pad, ' ');
+      line.append(cells[c]);
+      if (alignment_[c] == Align::kLeft) line.append(pad, ' ');
+      line.append(" |");
+    }
+    line.push_back('\n');
+    return line;
+  };
+
+  std::string out = hline;
+  out += emit_row(headers_);
+  out += hline;
+  for (const Row& row : rows_) {
+    if (row.separator_before) out += hline;
+    out += emit_row(row.cells);
+  }
+  out += hline;
+  return out;
+}
+
+std::string fixed(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+  return buffer;
+}
+
+std::string percent(double ratio, int precision) {
+  return fixed(ratio * 100.0, precision) + "%";
+}
+
+}  // namespace mtscope::util

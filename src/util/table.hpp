@@ -1,0 +1,55 @@
+// Plain-text table renderer used by every bench harness to print
+// paper-style tables with aligned columns.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mtscope::util {
+
+/// Column alignment for TextTable.
+enum class Align { kLeft, kRight };
+
+/// A simple monospace table: set headers, add rows, render.
+///
+///   TextTable t({"IXP", "#Members", "Region"});
+///   t.add_row({"CE1", "1,000+", "Central Europe"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Override per-column alignment (default: first column left, rest right).
+  void set_alignment(std::size_t column, Align align);
+
+  /// Add a data row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Insert a horizontal separator before the next added row.
+  void add_separator();
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render with unicode-free ASCII borders.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> alignment_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+/// Format a double with fixed precision (no locale surprises).
+[[nodiscard]] std::string fixed(double value, int precision);
+
+/// Format a ratio as a percentage string with the given precision.
+[[nodiscard]] std::string percent(double ratio, int precision = 2);
+
+}  // namespace mtscope::util

@@ -1,0 +1,203 @@
+#include "sim/address_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace mtscope::sim {
+namespace {
+
+class AddressPlanTest : public ::testing::Test {
+ protected:
+  static const AddressPlan& plan() {
+    static const AddressPlan instance{SimConfig::tiny(7)};
+    return instance;
+  }
+};
+
+TEST_F(AddressPlanTest, DeterministicForSameSeed) {
+  const AddressPlan again(SimConfig::tiny(7));
+  EXPECT_EQ(again.ases().size(), plan().ases().size());
+  EXPECT_EQ(again.allocated_blocks().size(), plan().allocated_blocks().size());
+  EXPECT_EQ(again.dark_blocks().size(), plan().dark_blocks().size());
+  EXPECT_EQ(again.rib().size(), plan().rib().size());
+  for (std::size_t i = 0; i < 50 && i < plan().ases().size(); ++i) {
+    EXPECT_EQ(again.ases()[i].country, plan().ases()[i].country);
+    EXPECT_EQ(again.ases()[i].type, plan().ases()[i].type);
+  }
+}
+
+TEST_F(AddressPlanTest, DifferentSeedsDiffer) {
+  const AddressPlan other(SimConfig::tiny(8));
+  EXPECT_NE(other.dark_blocks().size(), plan().dark_blocks().size());
+}
+
+TEST_F(AddressPlanTest, DarkAndActivePartitionAllocated) {
+  const auto& dark = plan().dark_blocks();
+  const auto& active = plan().active_blocks();
+  EXPECT_EQ((dark & active).size(), 0u);
+  EXPECT_EQ((dark | active), plan().allocated_blocks());
+}
+
+TEST_F(AddressPlanTest, RolesConsistentWithSets) {
+  std::size_t checked = 0;
+  plan().dark_blocks().for_each([&](net::Block24 block) {
+    if (++checked > 2000) return;
+    const BlockRole role = plan().role(block);
+    EXPECT_TRUE(role == BlockRole::kDark || role == BlockRole::kTelescope);
+  });
+  checked = 0;
+  plan().active_blocks().for_each([&](net::Block24 block) {
+    if (++checked > 2000) return;
+    const BlockRole role = plan().role(block);
+    EXPECT_TRUE(role == BlockRole::kActive || role == BlockRole::kQuietActive ||
+                role == BlockRole::kAsymAck);
+  });
+}
+
+TEST_F(AddressPlanTest, UnallocatedOutsideUniverse) {
+  EXPECT_EQ(plan().role(net::Block24(0x010101)), BlockRole::kUnallocated);
+  EXPECT_FALSE(plan().as_of(net::Block24(0x010101)));
+}
+
+TEST_F(AddressPlanTest, TelescopesPlacedAndDark) {
+  const auto& telescopes = plan().telescopes();
+  ASSERT_EQ(telescopes.size(), 3u);
+  EXPECT_EQ(telescopes[0].spec.code, "TUS1");
+  EXPECT_EQ(telescopes[1].spec.code, "TEU1");
+  EXPECT_EQ(telescopes[2].spec.code, "TEU2");
+
+  // TUS1 covers three quarters of the telescope /8.
+  EXPECT_EQ(telescopes[0].blocks.size(), 3u * 16384u);
+  EXPECT_EQ(telescopes[1].blocks.size(), 32u);  // tiny config shrinks TEU1
+  EXPECT_EQ(telescopes[2].blocks.size(), 8u);
+
+  for (const auto& telescope : telescopes) {
+    for (const net::Block24 block : telescope.blocks) {
+      EXPECT_EQ(plan().role(block), BlockRole::kTelescope) << telescope.spec.code;
+      EXPECT_TRUE(plan().dark_blocks().contains(block));
+    }
+    // Announced: covering prefixes are in the RIB.
+    for (const net::Prefix& prefix : telescope.prefixes) {
+      EXPECT_TRUE(plan().rib().is_routed(prefix.base())) << prefix.to_string();
+    }
+  }
+}
+
+TEST_F(AddressPlanTest, TelescopePrefixesCoverBlocksExactly) {
+  for (const auto& telescope : plan().telescopes()) {
+    std::uint64_t covered = 0;
+    for (const net::Prefix& prefix : telescope.prefixes) covered += prefix.block24_count();
+    EXPECT_EQ(covered, telescope.blocks.size()) << telescope.spec.code;
+  }
+}
+
+TEST_F(AddressPlanTest, UnroutedSlash8sAreTrulyUnrouted) {
+  ASSERT_EQ(plan().unrouted_slash8s().size(), 2u);
+  for (const std::uint8_t base : plan().unrouted_slash8s()) {
+    for (std::uint32_t i = 0; i < 65536; i += 977) {
+      const net::Block24 block((std::uint32_t{base} << 16) | i);
+      EXPECT_FALSE(plan().rib().is_routed(block));
+      EXPECT_EQ(plan().role(block), BlockRole::kUnallocated);
+    }
+  }
+}
+
+TEST_F(AddressPlanTest, LegacySlash8Structure) {
+  const std::uint32_t base = std::uint32_t{plan().legacy_slash8()} << 16;
+  // Right /9: all dark and routed.
+  for (std::uint32_t i = 32768; i < 65536; i += 1111) {
+    const net::Block24 block(base | i);
+    EXPECT_EQ(plan().role(block), BlockRole::kDark);
+    EXPECT_TRUE(plan().rib().is_routed(block));
+  }
+  // First /10: allocated dark but NOT routed.
+  for (std::uint32_t i = 0; i < 16384; i += 1111) {
+    const net::Block24 block(base | i);
+    EXPECT_EQ(plan().role(block), BlockRole::kDark);
+    EXPECT_FALSE(plan().rib().is_routed(block));
+  }
+  // The /14 at 20480: dark and routed.
+  EXPECT_EQ(plan().role(net::Block24(base | 20480)), BlockRole::kDark);
+  EXPECT_TRUE(plan().rib().is_routed(net::Block24(base | 20490)));
+}
+
+TEST_F(AddressPlanTest, AuxiliaryDatasetsCoverAllocatedSpace) {
+  const auto pfx2as = plan().make_pfx2as();
+  const auto as2org = plan().make_as2org();
+  EXPECT_EQ(as2org.size(), plan().ases().size());
+
+  std::size_t checked = 0;
+  std::size_t geo_hits = 0;
+  std::size_t as_hits = 0;
+  plan().allocated_blocks().for_each([&](net::Block24 block) {
+    if (++checked > 3000) return;
+    if (plan().geodb().country_of(block)) ++geo_hits;
+    if (plan().rib().is_routed(block)) {
+      const auto asn = pfx2as.resolve(block);
+      if (asn) {
+        ++as_hits;
+        EXPECT_NE(as2org.resolve(*asn), nullptr);
+      }
+    }
+  });
+  EXPECT_EQ(geo_hits, std::min<std::size_t>(checked, 3000));  // geodb covers allocations
+  EXPECT_GT(as_hits, 0u);
+}
+
+TEST_F(AddressPlanTest, GeoCountryMatchesOwningAs) {
+  std::size_t checked = 0;
+  plan().allocated_blocks().for_each([&](net::Block24 block) {
+    if (++checked > 1000) return;
+    const auto as_index = plan().as_of(block);
+    ASSERT_TRUE(as_index);
+    const auto country = plan().geodb().country_of(block);
+    ASSERT_TRUE(country);
+    EXPECT_EQ(*country, plan().as_at(*as_index).country);
+  });
+}
+
+TEST_F(AddressPlanTest, RouteViewsUnionApproximatesRib) {
+  const auto views = plan().make_route_views(0);
+  EXPECT_EQ(views.dump_count(0), 12u);
+  const auto& merged = views.daily_rib(0);
+  // Each dump drops ~0.5%; the union of 12 should recover essentially all.
+  EXPECT_GE(merged.size(), plan().rib().size() * 999 / 1000);
+  EXPECT_LE(merged.size(), plan().rib().size());
+}
+
+TEST_F(AddressPlanTest, UniverseMaskCoversAllocatedAndUnrouted) {
+  const auto mask = plan().universe_mask();
+  EXPECT_EQ(mask->size(), plan().slash8s().size() * 65536u);
+  std::size_t checked = 0;
+  plan().allocated_blocks().for_each([&](net::Block24 block) {
+    if (++checked > 500) return;
+    EXPECT_TRUE(mask->contains(block));
+  });
+  const net::Block24 unrouted(std::uint32_t{plan().unrouted_slash8s()[0]} << 16);
+  EXPECT_TRUE(mask->contains(unrouted));
+  EXPECT_FALSE(mask->contains(net::Block24(0x010000)));
+}
+
+TEST_F(AddressPlanTest, CountryWeightsShowUsDominance) {
+  std::map<std::string, int> countries;
+  for (const AsInfo& info : plan().ases()) ++countries[info.country];
+  EXPECT_GT(countries["US"], 0);
+  // US should be the plurality country given NA weighting.
+  for (const auto& [country, count] : countries) {
+    if (country != "US") {
+      EXPECT_GE(countries["US"], count) << country;
+    }
+  }
+}
+
+TEST(AddressPlanConfig, RejectsBadSlash8Count) {
+  SimConfig config = SimConfig::tiny();
+  config.general_slash8s = 0;
+  EXPECT_THROW(AddressPlan{config}, std::invalid_argument);
+  config.general_slash8s = 99;
+  EXPECT_THROW(AddressPlan{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtscope::sim

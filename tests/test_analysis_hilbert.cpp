@@ -1,0 +1,83 @@
+#include "analysis/hilbert_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mtscope::analysis {
+namespace {
+
+TEST(HilbertMap, CountsClassifiedPixels) {
+  const HilbertMap map(44, [](net::Block24 block) {
+    const std::uint32_t i = block.index() & 0xffff;
+    if (i < 16384) return HilbertPixel::kDark;
+    if (i < 32768) return HilbertPixel::kMarked;
+    if (i < 49152) return HilbertPixel::kDarkMarked;
+    return HilbertPixel::kNoData;
+  });
+  EXPECT_EQ(map.count(HilbertPixel::kDark), 16384u);
+  EXPECT_EQ(map.count(HilbertPixel::kMarked), 16384u);
+  EXPECT_EQ(map.count(HilbertPixel::kDarkMarked), 16384u);
+  EXPECT_EQ(map.count(HilbertPixel::kNoData), 16384u);
+}
+
+TEST(HilbertMap, FirstQuarterFillsOneQuadrant) {
+  // The first /10 of the /8 occupies exactly one 128x128 quadrant.
+  const HilbertMap map(44, [](net::Block24 block) {
+    return (block.index() & 0xffff) < 16384 ? HilbertPixel::kDark : HilbertPixel::kNoData;
+  });
+  std::uint32_t dark_in_q = 0;
+  for (std::uint32_t y = 0; y < 128; ++y) {
+    for (std::uint32_t x = 0; x < 128; ++x) {
+      if (map.at(x, y) == HilbertPixel::kDark) ++dark_in_q;
+    }
+  }
+  EXPECT_EQ(dark_in_q, 16384u);
+}
+
+TEST(HilbertMap, AtBoundsChecked) {
+  const HilbertMap map(44, [](net::Block24) { return HilbertPixel::kNoData; });
+  EXPECT_THROW((void)map.at(256, 0), std::out_of_range);
+  EXPECT_THROW((void)map.at(0, 256), std::out_of_range);
+}
+
+TEST(HilbertMap, AsciiRendering) {
+  const HilbertMap map(44, [](net::Block24 block) {
+    return (block.index() & 0xffff) < 32768 ? HilbertPixel::kDark : HilbertPixel::kNoData;
+  });
+  const std::string art = map.render_ascii(64);
+  // 64 columns + newline, 64 rows.
+  EXPECT_EQ(art.size(), 65u * 64u);
+  EXPECT_NE(art.find('#'), std::string::npos);  // dense dark region present
+  EXPECT_NE(art.find(' '), std::string::npos);  // empty region present
+  EXPECT_THROW((void)map.render_ascii(0), std::invalid_argument);
+  EXPECT_THROW((void)map.render_ascii(512), std::invalid_argument);
+}
+
+TEST(HilbertMap, MarkedRegionRenders) {
+  const HilbertMap map(44, [](net::Block24 block) {
+    return (block.index() & 0xffff) < 16384 ? HilbertPixel::kMarked : HilbertPixel::kNoData;
+  });
+  const std::string art = map.render_ascii(32);
+  EXPECT_NE(art.find('+'), std::string::npos);
+}
+
+TEST(HilbertMap, PgmOutput) {
+  const HilbertMap map(44, [](net::Block24 block) {
+    return (block.index() & 0xffff) == 0 ? HilbertPixel::kDark : HilbertPixel::kNoData;
+  });
+  std::stringstream out;
+  map.write_pgm(out);
+  const std::string data = out.str();
+  EXPECT_TRUE(data.starts_with("P5\n256 256\n255\n"));
+  EXPECT_EQ(data.size(), std::string("P5\n256 256\n255\n").size() + 256 * 256);
+  // Exactly one black pixel (value 0).
+  std::size_t zeros = 0;
+  for (std::size_t i = 15; i < data.size(); ++i) {
+    if (data[i] == '\0') ++zeros;
+  }
+  EXPECT_EQ(zeros, 1u);
+}
+
+}  // namespace
+}  // namespace mtscope::analysis

@@ -1,0 +1,91 @@
+#include "routing/as_maps.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mtscope::routing {
+namespace {
+
+using net::AsNumber;
+using net::Ipv4Addr;
+using net::Prefix;
+
+TEST(PrefixToAs, ResolveLongestMatch) {
+  PrefixToAs map;
+  map.add(*Prefix::parse("10.0.0.0/8"), AsNumber(100));
+  map.add(*Prefix::parse("10.2.0.0/16"), AsNumber(200));
+  EXPECT_EQ(map.resolve(Ipv4Addr::from_octets(10, 2, 3, 4)).value(), AsNumber(200));
+  EXPECT_EQ(map.resolve(Ipv4Addr::from_octets(10, 9, 0, 0)).value(), AsNumber(100));
+  EXPECT_FALSE(map.resolve(Ipv4Addr::from_octets(11, 0, 0, 0)));
+  EXPECT_EQ(map.resolve(net::Block24::containing(Ipv4Addr::from_octets(10, 2, 3, 0))).value(),
+            AsNumber(200));
+}
+
+TEST(PrefixToAs, SaveLoadRoundTrip) {
+  PrefixToAs map;
+  map.add(*Prefix::parse("10.0.0.0/8"), AsNumber(100));
+  map.add(*Prefix::parse("198.51.100.0/24"), AsNumber(64500));
+
+  std::stringstream buffer;
+  map.save(buffer);
+  auto loaded = PrefixToAs::load(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().to_string();
+  EXPECT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value().resolve(Ipv4Addr::from_octets(198, 51, 100, 7)).value(),
+            AsNumber(64500));
+}
+
+TEST(PrefixToAs, LoadRejectsMalformed) {
+  std::stringstream bad_fields("10.0.0.0 8\n");
+  EXPECT_FALSE(PrefixToAs::load(bad_fields).ok());
+  std::stringstream bad_len("10.0.0.0 33 100\n");
+  EXPECT_FALSE(PrefixToAs::load(bad_len).ok());
+  std::stringstream bad_addr("10.0.0 8 100\n");
+  EXPECT_FALSE(PrefixToAs::load(bad_addr).ok());
+}
+
+TEST(PrefixToAs, LoadSkipsCommentsAndBlanks) {
+  std::stringstream in("# caida-style comment\n\n10.0.0.0\t8\t77\n");
+  auto loaded = PrefixToAs::load(in);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 1u);
+}
+
+TEST(AsToOrg, ResolveAndRoundTrip) {
+  AsToOrg map;
+  map.add(AsNumber(100), {"ORG-1", "Example Net", "DE"});
+  map.add(AsNumber(200), {"ORG-2", "Other Org", "US"});
+
+  const Organization* org = map.resolve(AsNumber(100));
+  ASSERT_NE(org, nullptr);
+  EXPECT_EQ(org->name, "Example Net");
+  EXPECT_EQ(map.resolve(AsNumber(999)), nullptr);
+
+  std::stringstream buffer;
+  map.save(buffer);
+  auto loaded = AsToOrg::load(buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value().resolve(AsNumber(200))->country, "US");
+}
+
+TEST(AsToOrg, SaveIsSortedByAsn) {
+  AsToOrg map;
+  map.add(AsNumber(300), {"c", "C", "FR"});
+  map.add(AsNumber(100), {"a", "A", "DE"});
+  std::stringstream buffer;
+  map.save(buffer);
+  const std::string text = buffer.str();
+  EXPECT_LT(text.find("100|"), text.find("300|"));
+}
+
+TEST(AsToOrg, LoadRejectsMalformed) {
+  std::stringstream bad("not-a-number|x|y|z\n");
+  EXPECT_FALSE(AsToOrg::load(bad).ok());
+  std::stringstream missing("100|x|y\n");
+  EXPECT_FALSE(AsToOrg::load(missing).ok());
+}
+
+}  // namespace
+}  // namespace mtscope::routing

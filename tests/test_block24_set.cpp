@@ -1,0 +1,129 @@
+#include "trie/block24_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace mtscope::trie {
+namespace {
+
+using net::Block24;
+
+TEST(Block24Set, InsertEraseContains) {
+  Block24Set set;
+  EXPECT_TRUE(set.empty());
+  set.insert(Block24(100));
+  set.insert(Block24(100));  // idempotent
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.contains(Block24(100)));
+  EXPECT_FALSE(set.contains(Block24(101)));
+  set.erase(Block24(100));
+  set.erase(Block24(100));  // idempotent
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(Block24Set, BoundaryIndices) {
+  Block24Set set;
+  set.insert(Block24(0));
+  set.insert(Block24(Block24::kUniverseSize - 1));
+  set.insert(Block24(63));
+  set.insert(Block24(64));  // word boundary
+  EXPECT_EQ(set.size(), 4u);
+  EXPECT_TRUE(set.contains(Block24(0)));
+  EXPECT_TRUE(set.contains(Block24(Block24::kUniverseSize - 1)));
+}
+
+TEST(Block24Set, SetOperations) {
+  Block24Set a;
+  Block24Set b;
+  a.insert(Block24(1));
+  a.insert(Block24(2));
+  b.insert(Block24(2));
+  b.insert(Block24(3));
+
+  const Block24Set u = a | b;
+  EXPECT_EQ(u.size(), 3u);
+  const Block24Set i = a & b;
+  EXPECT_EQ(i.size(), 1u);
+  EXPECT_TRUE(i.contains(Block24(2)));
+  const Block24Set d = a - b;
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_TRUE(d.contains(Block24(1)));
+}
+
+TEST(Block24Set, EqualityAndClear) {
+  Block24Set a;
+  Block24Set b;
+  a.insert(Block24(9));
+  b.insert(Block24(9));
+  EXPECT_EQ(a, b);
+  a.clear();
+  EXPECT_TRUE(a.empty());
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Block24Set, ForEachAscending) {
+  Block24Set set;
+  set.insert(Block24(500));
+  set.insert(Block24(3));
+  set.insert(Block24(70000));
+  std::vector<std::uint32_t> order;
+  set.for_each([&](Block24 b) { order.push_back(b.index()); });
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{3, 500, 70000}));
+  EXPECT_EQ(set.to_vector().size(), 3u);
+}
+
+class CountInRange : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CountInRange, AgreesWithBruteForce) {
+  util::Rng rng(GetParam());
+  Block24Set set;
+  std::set<std::uint32_t> reference;
+  for (int i = 0; i < 3000; ++i) {
+    const auto idx = static_cast<std::uint32_t>(rng.uniform(1u << 18));
+    set.insert(Block24(idx));
+    reference.insert(idx);
+  }
+  EXPECT_EQ(set.size(), reference.size());
+
+  for (int i = 0; i < 200; ++i) {
+    std::uint32_t lo = static_cast<std::uint32_t>(rng.uniform(1u << 18));
+    std::uint32_t hi = static_cast<std::uint32_t>(rng.uniform(1u << 18));
+    if (lo > hi) std::swap(lo, hi);
+    std::size_t brute = 0;
+    for (auto it = reference.lower_bound(lo); it != reference.end() && *it <= hi; ++it) ++brute;
+    EXPECT_EQ(set.count_in_range(lo, hi), brute) << lo << ".." << hi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CountInRange, ::testing::Values(11, 22, 33));
+
+TEST(Block24Set, CountInRangeEdgeCases) {
+  Block24Set set;
+  set.insert(Block24(10));
+  set.insert(Block24(20));
+  EXPECT_EQ(set.count_in_range(10, 10), 1u);  // single-element range
+  EXPECT_EQ(set.count_in_range(11, 19), 0u);
+  EXPECT_EQ(set.count_in_range(20, 5), 0u);   // inverted range
+  EXPECT_EQ(set.count_in_range(0, Block24::kUniverseSize + 5), 2u);  // clamped
+  EXPECT_EQ(set.count_in_range(Block24::kUniverseSize, Block24::kUniverseSize), 0u);
+}
+
+TEST(Block24Set, UnionRecountsCorrectly) {
+  Block24Set a;
+  Block24Set b;
+  for (std::uint32_t i = 0; i < 1000; i += 2) a.insert(Block24(i));
+  for (std::uint32_t i = 0; i < 1000; i += 3) b.insert(Block24(i));
+  const std::size_t expected = [] {
+    std::set<std::uint32_t> s;
+    for (std::uint32_t i = 0; i < 1000; i += 2) s.insert(i);
+    for (std::uint32_t i = 0; i < 1000; i += 3) s.insert(i);
+    return s.size();
+  }();
+  EXPECT_EQ((a | b).size(), expected);
+}
+
+}  // namespace
+}  // namespace mtscope::trie

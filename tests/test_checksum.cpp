@@ -1,0 +1,80 @@
+#include "net/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mtscope::net {
+namespace {
+
+// Classic RFC 1071 worked example: checksum of 00 01 f2 03 f4 f5 f6 f7.
+TEST(Checksum, Rfc1071Vector) {
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  // One's complement sum = 0xddf2; checksum = ~0xddf2 = 0x220d.
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, EmptyBufferIsAllOnes) {
+  EXPECT_EQ(internet_checksum({}), 0xffff);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const std::uint8_t data[] = {0xab};
+  // Word = 0xab00; sum = 0xab00; checksum = ~0xab00 = 0x54ff.
+  EXPECT_EQ(internet_checksum(data), 0x54ff);
+}
+
+TEST(Checksum, VerificationYieldsZero) {
+  // A buffer with its own checksum embedded sums to zero.
+  std::vector<std::uint8_t> header = {0x45, 0x00, 0x00, 0x28, 0x00, 0x00, 0x40, 0x00,
+                                      0x40, 0x06, 0x00, 0x00, 0x0a, 0x00, 0x00, 0x01,
+                                      0x0a, 0x00, 0x00, 0x02};
+  const std::uint16_t sum = internet_checksum(header);
+  header[10] = static_cast<std::uint8_t>(sum >> 8);
+  header[11] = static_cast<std::uint8_t>(sum & 0xff);
+  EXPECT_EQ(internet_checksum(header), 0);
+}
+
+TEST(Checksum, IncrementalMatchesOneShot) {
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 101; ++i) data.push_back(static_cast<std::uint8_t>(i * 37));
+
+  ChecksumAccumulator whole;
+  whole.update(data);
+
+  ChecksumAccumulator chunked;
+  chunked.update(std::span<const std::uint8_t>(data.data(), 50));
+  chunked.update(std::span<const std::uint8_t>(data.data() + 50, 51));
+  // NOTE: 50 is even so no mid-word straddle here.
+  EXPECT_EQ(whole.finish(), chunked.finish());
+}
+
+TEST(Checksum, IncrementalOddBoundary) {
+  std::vector<std::uint8_t> data = {1, 2, 3, 4, 5, 6};
+  ChecksumAccumulator whole;
+  whole.update(data);
+
+  ChecksumAccumulator chunked;
+  chunked.update(std::span<const std::uint8_t>(data.data(), 3));   // odd split
+  chunked.update(std::span<const std::uint8_t>(data.data() + 3, 3));
+  EXPECT_EQ(whole.finish(), chunked.finish());
+}
+
+TEST(Checksum, UpdateWord) {
+  ChecksumAccumulator a;
+  a.update_word(0x1234);
+  a.update_word(0x5678);
+  const std::uint8_t raw[] = {0x12, 0x34, 0x56, 0x78};
+  EXPECT_EQ(a.finish(), internet_checksum(raw));
+}
+
+TEST(Checksum, CarryFolding) {
+  // Many 0xffff words force repeated carry folds.
+  std::vector<std::uint8_t> data(1 << 16, 0xff);
+  const std::uint16_t sum = internet_checksum(data);
+  // Sum of N 0xffff words folds back to 0xffff; complement = 0.
+  EXPECT_EQ(sum, 0);
+}
+
+}  // namespace
+}  // namespace mtscope::net

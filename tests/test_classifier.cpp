@@ -1,0 +1,140 @@
+#include "pipeline/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mtscope::pipeline {
+namespace {
+
+sim::IspBlockObservation make_obs(std::uint32_t block_index, sim::BlockRole role,
+                                  std::uint16_t size, std::uint64_t rx_packets,
+                                  std::uint64_t tx_week) {
+  sim::IspBlockObservation obs;
+  obs.block = net::Block24(block_index);
+  obs.role = role;
+  obs.tx_packets_week = tx_week;
+  if (rx_packets > 0) {
+    flow::FlowRecord r;
+    r.key.dst = obs.block.first_address();
+    r.key.proto = net::IpProto::kTcp;
+    r.packets = rx_packets;
+    r.bytes = std::uint64_t{size} * rx_packets;
+    obs.inbound.add_flow(r);
+  }
+  return obs;
+}
+
+TEST(Classifier, ConfusionMatrixCounts) {
+  std::vector<sim::IspBlockObservation> data = {
+      make_obs(1, sim::BlockRole::kDark, 40, 100, 0),        // dark, small -> TP
+      make_obs(2, sim::BlockRole::kDark, 60, 100, 0),        // dark, big   -> FN
+      make_obs(3, sim::BlockRole::kActive, 40, 100, 50'000), // active, small -> FP
+      make_obs(4, sim::BlockRole::kActive, 900, 100, 50'000),// active, big -> TN
+      make_obs(5, sim::BlockRole::kActive, 900, 100, 5),     // excluded (middle class)
+  };
+  LabelConfig labels;
+  labels.active_min_tx_packets = 10'000;
+  const auto outcome = evaluate_classifier(data, SizeFeature::kAverage, 44.0, labels);
+  EXPECT_EQ(outcome.true_positive, 1u);
+  EXPECT_EQ(outcome.false_negative, 1u);
+  EXPECT_EQ(outcome.false_positive, 1u);
+  EXPECT_EQ(outcome.true_negative, 1u);
+  EXPECT_DOUBLE_EQ(outcome.fpr(), 0.5);
+  EXPECT_DOUBLE_EQ(outcome.fnr(), 0.5);
+  EXPECT_DOUBLE_EQ(outcome.tpr(), 0.5);
+  EXPECT_DOUBLE_EQ(outcome.f1(), 2.0 * 1 / (2.0 * 1 + 1 + 1));
+}
+
+TEST(Classifier, MedianVsAverageDiffer) {
+  // 60% packets at 40 bytes, 40% at 1400: median 40, average 584.
+  sim::IspBlockObservation obs = make_obs(1, sim::BlockRole::kActive, 40, 60, 50'000);
+  flow::FlowRecord big;
+  big.key.dst = obs.block.first_address();
+  big.key.proto = net::IpProto::kTcp;
+  big.packets = 40;
+  big.bytes = 1400ull * 40;
+  obs.inbound.add_flow(big);
+
+  std::vector<sim::IspBlockObservation> data = {obs};
+  LabelConfig labels;
+  labels.active_min_tx_packets = 10'000;
+  const auto median = evaluate_classifier(data, SizeFeature::kMedian, 44.0, labels);
+  const auto average = evaluate_classifier(data, SizeFeature::kAverage, 44.0, labels);
+  EXPECT_EQ(median.false_positive, 1u);   // median 40 <= 44: classified dark
+  EXPECT_EQ(average.true_negative, 1u);   // average 584 > 44: classified active
+}
+
+TEST(Classifier, NoTcpNeverClassifiedDark) {
+  sim::IspBlockObservation obs;
+  obs.block = net::Block24(1);
+  obs.role = sim::BlockRole::kDark;
+  flow::FlowRecord udp;
+  udp.key.dst = obs.block.first_address();
+  udp.key.proto = net::IpProto::kUdp;
+  udp.packets = 10;
+  udp.bytes = 400;
+  obs.inbound.add_flow(udp);
+
+  std::vector<sim::IspBlockObservation> data = {obs};
+  const auto outcome = evaluate_classifier(data, SizeFeature::kAverage, 44.0, LabelConfig{});
+  EXPECT_EQ(outcome.false_negative, 1u);
+}
+
+TEST(Classifier, VolumeScaleRescalesActiveFloor) {
+  std::vector<sim::IspBlockObservation> data = {
+      make_obs(1, sim::BlockRole::kActive, 900, 100, 15'000),
+  };
+  LabelConfig paper_scale;  // floor 10M: 15k tx is "excluded"
+  auto summary = summarize_labels(data, paper_scale);
+  EXPECT_EQ(summary.excluded, 1u);
+
+  LabelConfig scaled;
+  scaled.volume_scale = 1e-3;  // floor 10k: 15k tx is "active"
+  summary = summarize_labels(data, scaled);
+  EXPECT_EQ(summary.labelled_active, 1u);
+}
+
+TEST(Classifier, LabelSummaryPartition) {
+  std::vector<sim::IspBlockObservation> data = {
+      make_obs(1, sim::BlockRole::kDark, 40, 10, 0),
+      make_obs(2, sim::BlockRole::kActive, 900, 10, 20'000'000),
+      make_obs(3, sim::BlockRole::kActive, 900, 10, 3),
+      make_obs(4, sim::BlockRole::kDark, 40, 0, 0),  // no inbound: excluded
+  };
+  const auto summary = summarize_labels(data, LabelConfig{});
+  EXPECT_EQ(summary.total, 4u);
+  EXPECT_EQ(summary.labelled_dark, 1u);
+  EXPECT_EQ(summary.labelled_active, 1u);
+  EXPECT_EQ(summary.excluded, 2u);
+}
+
+TEST(Classifier, SweepCoversBothFeatures) {
+  std::vector<sim::IspBlockObservation> data = {
+      make_obs(1, sim::BlockRole::kDark, 40, 10, 0),
+      make_obs(2, sim::BlockRole::kActive, 900, 10, 20'000'000),
+  };
+  const double thresholds[] = {40.0, 42.0, 44.0, 46.0};
+  const auto outcomes = sweep_classifier(data, thresholds, LabelConfig{});
+  ASSERT_EQ(outcomes.size(), 8u);
+  EXPECT_EQ(outcomes[0].feature, SizeFeature::kMedian);
+  EXPECT_EQ(outcomes[4].feature, SizeFeature::kAverage);
+  // All thresholds correctly separate this trivially separable data.
+  for (const auto& o : outcomes) {
+    EXPECT_DOUBLE_EQ(o.f1(), 1.0) << size_feature_name(o.feature) << " " << o.threshold;
+  }
+}
+
+TEST(Classifier, EmptyDataYieldsZeroRates) {
+  const auto outcome =
+      evaluate_classifier({}, SizeFeature::kAverage, 44.0, LabelConfig{});
+  EXPECT_DOUBLE_EQ(outcome.fpr(), 0.0);
+  EXPECT_DOUBLE_EQ(outcome.fnr(), 0.0);
+  EXPECT_DOUBLE_EQ(outcome.f1(), 0.0);
+}
+
+TEST(Classifier, FeatureNames) {
+  EXPECT_EQ(size_feature_name(SizeFeature::kMedian), "median");
+  EXPECT_EQ(size_feature_name(SizeFeature::kAverage), "average");
+}
+
+}  // namespace
+}  // namespace mtscope::pipeline

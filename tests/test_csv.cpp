@@ -1,0 +1,69 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mtscope::util {
+namespace {
+
+TEST(CsvParse, Plain) {
+  auto r = parse_csv_line("a,b,c");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvParse, QuotedWithComma) {
+  auto r = parse_csv_line(R"(x,"a,b",y)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[1], "a,b");
+}
+
+TEST(CsvParse, EscapedQuote) {
+  auto r = parse_csv_line(R"("say ""hi""")");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0], "say \"hi\"");
+}
+
+TEST(CsvParse, UnterminatedQuoteFails) {
+  auto r = parse_csv_line(R"("oops)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "csv.unterminated_quote");
+}
+
+TEST(CsvParse, EmptyLineIsOneEmptyField) {
+  auto r = parse_csv_line("");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), std::vector<std::string>{""});
+}
+
+TEST(CsvEscape, OnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("q\"q"), "\"q\"\"q\"");
+}
+
+TEST(CsvRoundTrip, WriterThenReader) {
+  std::stringstream buffer;
+  CsvWriter writer(buffer);
+  writer.write_row({"ip", "count"});
+  writer.write_row({"192.0.2.1", "1,000"});
+  writer.write_row({"note", "line with \"quotes\""});
+
+  auto rows = read_csv(buffer);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 3u);
+  EXPECT_EQ(rows.value()[1][1], "1,000");
+  EXPECT_EQ(rows.value()[2][1], "line with \"quotes\"");
+}
+
+TEST(CsvRead, SkipsBlankAndHandlesCrLf) {
+  std::stringstream buffer("a,b\r\n\r\nc,d\n");
+  auto rows = read_csv(buffer);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[0][1], "b");
+}
+
+}  // namespace
+}  // namespace mtscope::util

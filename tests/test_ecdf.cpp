@@ -1,0 +1,74 @@
+#include "telemetry/ecdf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mtscope::telemetry {
+namespace {
+
+TEST(Ecdf, FractionAtMost) {
+  Ecdf e({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(e.fraction_at_most(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.fraction_at_most(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.fraction_at_most(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e.fraction_at_most(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.fraction_at_most(99.0), 1.0);
+}
+
+TEST(Ecdf, EmptyBehaviour) {
+  Ecdf e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_DOUBLE_EQ(e.fraction_at_most(1.0), 0.0);
+  EXPECT_THROW((void)e.quantile(0.5), std::logic_error);
+  EXPECT_THROW((void)e.min(), std::logic_error);
+  EXPECT_THROW((void)e.mean(), std::logic_error);
+}
+
+TEST(Ecdf, AddKeepsWorking) {
+  Ecdf e;
+  e.add(5.0);
+  e.add(1.0);
+  e.add(3.0);
+  EXPECT_EQ(e.size(), 3u);
+  EXPECT_DOUBLE_EQ(e.min(), 1.0);
+  EXPECT_DOUBLE_EQ(e.max(), 5.0);
+  EXPECT_DOUBLE_EQ(e.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(e.fraction_at_most(3.0), 2.0 / 3.0);
+}
+
+TEST(Ecdf, QuantileInverse) {
+  Ecdf e({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_DOUBLE_EQ(e.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(e.quantile(1.0), 50.0);
+}
+
+TEST(Ecdf, QuantileFractionConsistency) {
+  Ecdf e({1, 2, 2, 3, 5, 8, 13, 21});
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_GE(e.fraction_at_most(e.quantile(q)), q);
+  }
+}
+
+TEST(Ecdf, SampleCurveMonotone) {
+  Ecdf e({1.0, 5.0, 9.0});
+  const auto curve = e.sample_curve(0.0, 10.0, 11);
+  ASSERT_EQ(curve.size(), 11u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.front().second, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+  EXPECT_THROW((void)e.sample_curve(0, 1, 1), std::invalid_argument);
+}
+
+TEST(Ecdf, SparklineShape) {
+  Ecdf e({0.5});
+  const std::string line = e.sparkline(0.0, 1.0, 20);
+  EXPECT_EQ(line.size(), 20u);
+  EXPECT_EQ(line.front(), ' ');   // below the sample: fraction 0
+  EXPECT_EQ(line.back(), '@');    // above: fraction 1
+}
+
+}  // namespace
+}  // namespace mtscope::telemetry

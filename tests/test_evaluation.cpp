@@ -1,0 +1,83 @@
+#include "pipeline/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mtscope::pipeline {
+namespace {
+
+class EvaluationTest : public ::testing::Test {
+ protected:
+  static const sim::AddressPlan& plan() {
+    static const sim::AddressPlan instance{sim::SimConfig::tiny(17)};
+    return instance;
+  }
+};
+
+TEST_F(EvaluationTest, GroundTruthCategorisation) {
+  trie::Block24Set inferred;
+  // Pick one known-dark, one known-active and one unallocated block.
+  net::Block24 dark_block;
+  plan().dark_blocks().for_each([&](net::Block24 b) {
+    if (dark_block.index() == 0) dark_block = b;
+  });
+  net::Block24 active_block;
+  plan().active_blocks().for_each([&](net::Block24 b) {
+    if (active_block.index() == 0) active_block = b;
+  });
+  const net::Block24 unallocated(0x010203);
+
+  inferred.insert(dark_block);
+  inferred.insert(active_block);
+  inferred.insert(unallocated);
+
+  const GroundTruthEval eval = evaluate_against_ground_truth(inferred, plan());
+  EXPECT_EQ(eval.inferred, 3u);
+  EXPECT_EQ(eval.truly_dark, 1u);
+  EXPECT_EQ(eval.truly_active, 1u);
+  EXPECT_EQ(eval.unallocated, 1u);
+  EXPECT_NEAR(eval.false_positive_rate(), 1.0 / 3.0, 1e-9);
+}
+
+TEST_F(EvaluationTest, EmptyInferredSet) {
+  const GroundTruthEval eval = evaluate_against_ground_truth(trie::Block24Set{}, plan());
+  EXPECT_EQ(eval.inferred, 0u);
+  EXPECT_DOUBLE_EQ(eval.false_positive_rate(), 0.0);
+}
+
+TEST_F(EvaluationTest, TelescopeCoverageCounts) {
+  const auto& teu2 = plan().telescopes()[2];
+  trie::Block24Set inferred;
+  inferred.insert(teu2.blocks[0]);
+  inferred.insert(teu2.blocks[1]);
+
+  const TelescopeCoverage coverage =
+      evaluate_telescope_coverage(inferred, teu2, [](net::Block24) { return true; });
+  EXPECT_EQ(coverage.code, "TEU2");
+  EXPECT_EQ(coverage.size, 8u);
+  EXPECT_EQ(coverage.actually_dark, 8u);
+  EXPECT_EQ(coverage.inferred, 2u);
+  EXPECT_DOUBLE_EQ(coverage.coverage_of_dark(), 0.25);
+}
+
+TEST_F(EvaluationTest, TelescopeCoverageWithLeasePredicate) {
+  const auto& teu1 = plan().telescopes()[1];
+  trie::Block24Set inferred;  // nothing inferred
+
+  // Mark half the blocks as leased (not dark) through the predicate.
+  const TelescopeCoverage coverage = evaluate_telescope_coverage(
+      inferred, teu1, [&](net::Block24 b) { return (b.index() % 2) == 0; });
+  EXPECT_EQ(coverage.actually_dark, teu1.blocks.size() / 2);
+  EXPECT_EQ(coverage.inferred, 0u);
+  EXPECT_DOUBLE_EQ(coverage.coverage_of_dark(), 0.0);
+}
+
+TEST_F(EvaluationTest, CoverageHandlesEmptyDarkSet) {
+  const auto& teu2 = plan().telescopes()[2];
+  const TelescopeCoverage coverage = evaluate_telescope_coverage(
+      trie::Block24Set{}, teu2, [](net::Block24) { return false; });
+  EXPECT_EQ(coverage.actually_dark, 0u);
+  EXPECT_DOUBLE_EQ(coverage.coverage_of_dark(), 0.0);
+}
+
+}  // namespace
+}  // namespace mtscope::pipeline

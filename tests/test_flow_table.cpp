@@ -1,0 +1,132 @@
+#include "flow/flow_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mtscope::flow {
+namespace {
+
+PacketMeta packet(std::uint64_t ts, std::uint32_t src, std::uint32_t dst, std::uint16_t sport,
+                  std::uint16_t dport, std::uint16_t len = 40,
+                  std::uint8_t flags = net::TcpFlags::kSyn) {
+  PacketMeta p;
+  p.timestamp_us = ts;
+  p.src = net::Ipv4Addr(src);
+  p.dst = net::Ipv4Addr(dst);
+  p.src_port = sport;
+  p.dst_port = dport;
+  p.ip_length = len;
+  p.tcp_flags = flags;
+  return p;
+}
+
+TEST(FlowTable, AggregatesSameTuple) {
+  FlowTable table;
+  table.add(packet(1000, 1, 2, 10, 80, 40, net::TcpFlags::kSyn));
+  table.add(packet(2000, 1, 2, 10, 80, 60, net::TcpFlags::kAck));
+  table.flush();
+  const auto flows = table.drain_exported();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].packets, 2u);
+  EXPECT_EQ(flows[0].bytes, 100u);
+  EXPECT_EQ(flows[0].first_us, 1000u);
+  EXPECT_EQ(flows[0].last_us, 2000u);
+  EXPECT_EQ(flows[0].tcp_flags_or, net::TcpFlags::kSyn | net::TcpFlags::kAck);
+}
+
+TEST(FlowTable, DistinctTuplesSeparate) {
+  FlowTable table;
+  table.add(packet(1, 1, 2, 10, 80));
+  table.add(packet(2, 1, 2, 10, 443));   // different dst port
+  table.add(packet(3, 1, 3, 10, 80));    // different dst ip
+  table.add(packet(4, 1, 2, 11, 80));    // different src port
+  table.flush();
+  EXPECT_EQ(table.drain_exported().size(), 4u);
+}
+
+TEST(FlowTable, IdleTimeoutExports) {
+  FlowTableConfig config;
+  config.idle_timeout_us = 1'000'000;
+  FlowTable table(config);
+  table.add(packet(0, 1, 2, 10, 80));
+  // Nothing exported yet.
+  EXPECT_TRUE(table.drain_exported().empty());
+  // A much later packet triggers the expiry scan.
+  table.add(packet(5'000'000, 9, 9, 1, 1));
+  const auto flows = table.drain_exported();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].key.src, net::Ipv4Addr(1));
+  EXPECT_EQ(table.active_flows(), 1u);  // the new flow is still live
+}
+
+TEST(FlowTable, ActiveTimeoutSplitsLongFlow) {
+  FlowTableConfig config;
+  config.active_timeout_us = 10'000'000;
+  config.idle_timeout_us = 100'000'000;  // effectively off
+  FlowTable table(config);
+  table.add(packet(0, 1, 2, 10, 80));
+  table.add(packet(5'000'000, 1, 2, 10, 80));
+  table.add(packet(15'000'000, 1, 2, 10, 80));  // crosses the active timeout
+  table.flush();
+  const auto flows = table.drain_exported();
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_EQ(flows[0].packets + flows[1].packets, 3u);
+}
+
+TEST(FlowTable, MaxEntriesEvicts) {
+  FlowTableConfig config;
+  config.max_entries = 4;
+  FlowTable table(config);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    table.add(packet(i, i + 1, 2, 10, 80));
+  }
+  EXPECT_LE(table.active_flows(), 4u);
+  table.flush();
+  // Every packet is accounted for exactly once across all exports.
+  std::uint64_t total = 0;
+  for (const auto& flow : table.drain_exported()) total += flow.packets;
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(table.packets_seen(), 10u);
+}
+
+TEST(FlowTable, SamplingRateRecorded) {
+  FlowTableConfig config;
+  config.sampling_rate = 1000;
+  FlowTable table(config);
+  table.add(packet(0, 1, 2, 10, 80));
+  table.flush();
+  const auto flows = table.drain_exported();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].sampling_rate, 1000u);
+  EXPECT_EQ(flows[0].estimated_packets(), 1000u);
+}
+
+TEST(FlowTable, AveragePacketSize) {
+  FlowTable table;
+  table.add(packet(0, 1, 2, 10, 80, 40));
+  table.add(packet(1, 1, 2, 10, 80, 48));
+  table.flush();
+  const auto flows = table.drain_exported();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_DOUBLE_EQ(flows[0].average_packet_size(), 44.0);
+}
+
+TEST(FlowTable, RejectsBadConfig) {
+  FlowTableConfig zero_rate;
+  zero_rate.sampling_rate = 0;
+  EXPECT_THROW(FlowTable{zero_rate}, std::invalid_argument);
+  FlowTableConfig zero_entries;
+  zero_entries.max_entries = 0;
+  EXPECT_THROW(FlowTable{zero_entries}, std::invalid_argument);
+}
+
+TEST(FlowTable, FlushTwiceIsSafe) {
+  FlowTable table;
+  table.add(packet(0, 1, 2, 10, 80));
+  table.flush();
+  table.flush();
+  EXPECT_EQ(table.drain_exported().size(), 1u);
+  EXPECT_TRUE(table.drain_exported().empty());
+}
+
+}  // namespace
+}  // namespace mtscope::flow

@@ -1,0 +1,153 @@
+#include "sim/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/simulation.hpp"
+
+namespace mtscope::sim {
+namespace {
+
+class GeneratorsTest : public ::testing::Test {
+ protected:
+  static const Simulation& simulation() {
+    static const Simulation instance{SimConfig::tiny(11)};
+    return instance;
+  }
+};
+
+TEST_F(GeneratorsTest, TimestampsWithinDayWindow) {
+  const auto day = simulation().run_ixp_day(0, 2);
+  for (const auto& flow : day.flows) {
+    EXPECT_GE(flow.first_us, 2ull * kDayUs);
+    EXPECT_LT(flow.last_us, 3ull * kDayUs);
+    EXPECT_LE(flow.first_us, flow.last_us);
+  }
+}
+
+TEST_F(GeneratorsTest, ScanPacketsUseExpectedSizes) {
+  // Telescope capture contains only IBR; every TCP packet must be one of
+  // the scan/backscatter sizes.
+  const auto capture = simulation().run_telescope_day(0, 0);
+  ASSERT_FALSE(capture.packets.empty());
+  for (const auto& p : capture.packets) {
+    if (p.proto == net::IpProto::kTcp) {
+      EXPECT_TRUE(p.ip_length == 40 || p.ip_length == 44 || p.ip_length == 48 ||
+                  p.ip_length == 56)
+          << p.ip_length;
+    }
+  }
+}
+
+TEST_F(GeneratorsTest, TelescopeCaptureIsSynDominated) {
+  const auto capture = simulation().run_telescope_day(0, 0);
+  std::uint64_t tcp = 0;
+  std::uint64_t tcp40 = 0;
+  for (const auto& p : capture.packets) {
+    if (p.proto == net::IpProto::kTcp) {
+      ++tcp;
+      if (p.ip_length == 40) ++tcp40;
+    }
+  }
+  ASSERT_GT(tcp, 1000u);
+  // Paper: >= 93% of telescope TCP packets are 40 bytes.  Allow slack for
+  // backscatter mixing.
+  EXPECT_GT(static_cast<double>(tcp40) / static_cast<double>(tcp), 0.70);
+}
+
+TEST_F(GeneratorsTest, Teu1BlockedPortsAbsent) {
+  // Telescope index 1 = TEU1, which blocks 23 and 445 at its ingress.
+  const auto capture = simulation().run_telescope_day(1, 0);
+  for (const auto& p : capture.packets) {
+    if (p.proto == net::IpProto::kTcp) {
+      EXPECT_NE(p.dst_port, 23);
+      EXPECT_NE(p.dst_port, 445);
+    }
+  }
+}
+
+TEST_F(GeneratorsTest, Tus1SeesBlockedPorts) {
+  const auto capture = simulation().run_telescope_day(0, 0);
+  std::uint64_t port23 = 0;
+  for (const auto& p : capture.packets) {
+    if (p.proto == net::IpProto::kTcp && p.dst_port == 23) ++port23;
+  }
+  EXPECT_GT(port23, 0u);
+}
+
+TEST_F(GeneratorsTest, Teu2ReceivesMoreUdp) {
+  const auto tus1 = simulation().run_telescope_day(0, 0);
+  const auto teu2 = simulation().run_telescope_day(2, 0);
+  const auto udp_share = [](const std::vector<flow::PacketMeta>& packets) {
+    std::uint64_t udp = 0;
+    for (const auto& p : packets) {
+      if (p.proto == net::IpProto::kUdp) ++udp;
+    }
+    return static_cast<double>(udp) / static_cast<double>(packets.size());
+  };
+  EXPECT_GT(udp_share(teu2.packets), 2.0 * udp_share(tus1.packets));
+}
+
+TEST_F(GeneratorsTest, CaptureTargetsStayInsideTelescope) {
+  const auto& telescope = simulation().plan().telescopes()[0];
+  trie::Block24Set members;
+  for (const net::Block24 block : telescope.blocks) members.insert(block);
+  const auto capture = simulation().run_telescope_day(0, 0);
+  for (const auto& p : capture.packets) {
+    EXPECT_TRUE(members.contains(net::Block24::containing(p.dst)));
+  }
+}
+
+TEST_F(GeneratorsTest, IspWeekLabelsArePlausible) {
+  const auto observations = simulation().run_isp_week();
+  ASSERT_FALSE(observations.empty());
+
+  std::size_t dark_with_zero_tx = 0;
+  std::size_t dark_total = 0;
+  std::size_t active_total = 0;
+  std::size_t active_high_tx = 0;
+  for (const auto& obs : observations) {
+    EXPECT_GT(obs.inbound.counters().rx_packets, 0u) << "every block receives IBR";
+    if (obs.role == BlockRole::kDark || obs.role == BlockRole::kTelescope) {
+      ++dark_total;
+      if (obs.tx_packets_week == 0) ++dark_with_zero_tx;
+    } else if (obs.role == BlockRole::kActive) {
+      ++active_total;
+      if (obs.tx_packets_week > 10'000) ++active_high_tx;
+    }
+  }
+  ASSERT_GT(dark_total, 0u);
+  ASSERT_GT(active_total, 0u);
+  // ~5% spoof contamination: most dark blocks never send.
+  EXPECT_GT(static_cast<double>(dark_with_zero_tx) / dark_total, 0.85);
+  // Active blocks send far above the scaled 10M/week threshold.
+  EXPECT_GT(static_cast<double>(active_high_tx) / active_total, 0.95);
+}
+
+TEST_F(GeneratorsTest, IspDarkBlocksLookLikeIbr) {
+  const auto observations = simulation().run_isp_week();
+  for (const auto& obs : observations) {
+    if (obs.role == BlockRole::kTelescope) {
+      EXPECT_LE(obs.inbound.avg_tcp_packet_size(), 50.0);
+      EXPECT_DOUBLE_EQ(obs.inbound.median_tcp_packet_size(), 40.0);
+    }
+  }
+}
+
+TEST_F(GeneratorsTest, DeterministicAcrossRuns) {
+  const auto a = simulation().run_ixp_day(1, 4);
+  const auto b = simulation().run_ixp_day(1, 4);
+  EXPECT_EQ(a.sampled_packets, b.sampled_packets);
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) EXPECT_EQ(a.flows[i], b.flows[i]);
+}
+
+TEST_F(GeneratorsTest, DifferentDaysDiffer) {
+  const auto a = simulation().run_ixp_day(0, 0);
+  const auto b = simulation().run_ixp_day(0, 1);
+  EXPECT_NE(a.sampled_packets, b.sampled_packets);
+}
+
+}  // namespace
+}  // namespace mtscope::sim

@@ -1,0 +1,68 @@
+#include "net/hilbert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace mtscope::net {
+namespace {
+
+class HilbertOrder : public ::testing::TestWithParam<int> {};
+
+TEST_P(HilbertOrder, BijectionOverFullCurve) {
+  const int order = GetParam();
+  const std::uint64_t cells = 1ull << (2 * order);
+  const std::uint32_t side = 1u << order;
+  for (std::uint64_t d = 0; d < cells; ++d) {
+    const HilbertPoint p = hilbert_d2xy(order, d);
+    EXPECT_LT(p.x, side);
+    EXPECT_LT(p.y, side);
+    EXPECT_EQ(hilbert_xy2d(order, p), d);
+  }
+}
+
+TEST_P(HilbertOrder, ConsecutiveCellsAreGridNeighbours) {
+  const int order = GetParam();
+  const std::uint64_t cells = 1ull << (2 * order);
+  HilbertPoint prev = hilbert_d2xy(order, 0);
+  for (std::uint64_t d = 1; d < cells; ++d) {
+    const HilbertPoint p = hilbert_d2xy(order, d);
+    const int dx = std::abs(static_cast<int>(p.x) - static_cast<int>(prev.x));
+    const int dy = std::abs(static_cast<int>(p.y) - static_cast<int>(prev.y));
+    EXPECT_EQ(dx + dy, 1) << "discontinuity at d=" << d;
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallOrders, HilbertOrder, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Hilbert, Order8BijectionSpotChecks) {
+  // Order 8 is the map size used for /8 visualisations; full sweep of
+  // 65,536 cells plus inverse.
+  for (std::uint64_t d = 0; d < 65536; ++d) {
+    EXPECT_EQ(hilbert_xy2d(8, hilbert_d2xy(8, d)), d);
+  }
+}
+
+TEST(Hilbert, OriginIsDistanceZero) {
+  const HilbertPoint p = hilbert_d2xy(4, 0);
+  EXPECT_EQ(p.x, 0u);
+  EXPECT_EQ(p.y, 0u);
+  EXPECT_EQ(hilbert_xy2d(4, HilbertPoint{0, 0}), 0u);
+}
+
+TEST(Hilbert, FirstQuarterStaysInOneQuadrant) {
+  // Locality: the first quarter of the curve fills exactly one quadrant —
+  // this is what makes /10 blocks show up as solid quadrants in the maps.
+  const int order = 6;
+  const std::uint32_t half = 1u << (order - 1);
+  const std::uint64_t quarter = 1ull << (2 * order - 2);
+  for (std::uint64_t d = 0; d < quarter; ++d) {
+    const HilbertPoint p = hilbert_d2xy(order, d);
+    EXPECT_LT(p.x, half);
+    EXPECT_LT(p.y, half);
+  }
+}
+
+}  // namespace
+}  // namespace mtscope::net

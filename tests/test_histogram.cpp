@@ -1,0 +1,110 @@
+#include "telemetry/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mtscope::telemetry {
+namespace {
+
+TEST(Histogram, MeanAndMedianExact) {
+  Histogram h(0, 100);
+  h.add(10);
+  h.add(20);
+  h.add(30);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  EXPECT_EQ(h.median(), 20u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(0, 100);
+  h.add(40, 93);
+  h.add(48, 7);
+  EXPECT_NEAR(h.mean(), (40.0 * 93 + 48.0 * 7) / 100.0, 1e-9);
+  EXPECT_EQ(h.median(), 40u);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(20, 1500);
+  h.add(5);      // below min
+  h.add(90000);  // above max
+  EXPECT_EQ(h.count_of(20), 1u);
+  EXPECT_EQ(h.count_of(1500), 1u);
+}
+
+TEST(Histogram, QuantilesAgainstSortedVector) {
+  Histogram h(0, 1000);
+  util::Rng rng(42);
+  std::vector<std::uint32_t> values;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = static_cast<std::uint32_t>(rng.uniform(1001));
+    values.push_back(v);
+    h.add(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.9, 0.999, 1.0}) {
+    const auto rank = static_cast<std::size_t>(q * (values.size() - 1));
+    EXPECT_EQ(h.quantile(q), values[rank]) << "q=" << q;
+  }
+}
+
+TEST(Histogram, CountAtMost) {
+  Histogram h(0, 10);
+  h.add(3);
+  h.add(5);
+  h.add(5);
+  h.add(9);
+  EXPECT_EQ(h.count_at_most(2), 0u);
+  EXPECT_EQ(h.count_at_most(3), 1u);
+  EXPECT_EQ(h.count_at_most(5), 3u);
+  EXPECT_EQ(h.count_at_most(100), 4u);
+}
+
+TEST(Histogram, EmptyBehaviour) {
+  Histogram h(0, 10);
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_THROW((void)h.quantile(0.5), std::logic_error);
+}
+
+TEST(Histogram, MergeSumsEverything) {
+  Histogram a(0, 100);
+  Histogram b(0, 100);
+  a.add(10, 5);
+  b.add(20, 5);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 10u);
+  EXPECT_DOUBLE_EQ(a.mean(), 15.0);
+
+  Histogram incompatible(0, 50);
+  EXPECT_THROW(a.merge(incompatible), std::invalid_argument);
+}
+
+TEST(Histogram, InvalidRangeRejected) {
+  EXPECT_THROW(Histogram(10, 5), std::invalid_argument);
+}
+
+TEST(Histogram, PacketSizeFactory) {
+  Histogram h = make_packet_size_histogram();
+  h.add(40);
+  h.add(1500);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.median(), 40u);
+}
+
+TEST(Histogram, MedianBoundaryBetweenTwoValues) {
+  Histogram h(0, 100);
+  h.add(40, 50);
+  h.add(48, 50);
+  // Even split: rank 49 (0-indexed, q*(n-1)=49.5 floored) lands in the 40s.
+  EXPECT_EQ(h.median(), 40u);
+  h.add(48);  // tip the balance
+  EXPECT_EQ(h.median(), 48u);
+}
+
+}  // namespace
+}  // namespace mtscope::telemetry

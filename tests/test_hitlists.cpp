@@ -1,0 +1,107 @@
+#include "pipeline/hitlists.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mtscope::pipeline {
+namespace {
+
+class HitListTest : public ::testing::Test {
+ protected:
+  static const sim::AddressPlan& plan() {
+    static const sim::AddressPlan instance{sim::SimConfig::tiny(13)};
+    return instance;
+  }
+};
+
+TEST_F(HitListTest, CoverageApproximatelyHonoured) {
+  HitListSpec spec{"test", 0.8, false, 0.0};
+  const HitList list = HitList::generate(plan(), spec, 1);
+  std::size_t active_listed = 0;
+  plan().active_blocks().for_each([&](net::Block24 block) {
+    if (list.contains(block)) ++active_listed;
+  });
+  const double rate = static_cast<double>(active_listed) /
+                      static_cast<double>(plan().active_blocks().size());
+  // Quiet/asym blocks get reduced coverage, so the overall rate sits a bit
+  // below the nominal 0.8.
+  EXPECT_GT(rate, 0.70);
+  EXPECT_LT(rate, 0.82);
+}
+
+TEST_F(HitListTest, StaleEntriesTouchDarkSpace) {
+  HitListSpec spec{"stale", 0.0, false, 0.01};
+  const HitList list = HitList::generate(plan(), spec, 2);
+  std::size_t dark_listed = 0;
+  plan().dark_blocks().for_each([&](net::Block24 block) {
+    if (list.contains(block)) ++dark_listed;
+  });
+  const double rate =
+      static_cast<double>(dark_listed) / static_cast<double>(plan().dark_blocks().size());
+  EXPECT_NEAR(rate, 0.01, 0.004);
+}
+
+TEST_F(HitListTest, IspOnlyRestrictsTypes) {
+  HitListSpec spec{"ndt", 1.0, true, 0.0};
+  const HitList list = HitList::generate(plan(), spec, 3);
+  EXPECT_GT(list.blocks().size(), 0u);
+  list.blocks().for_each([&](net::Block24 block) {
+    const auto as_index = plan().as_of(block);
+    ASSERT_TRUE(as_index);
+    EXPECT_EQ(plan().as_at(*as_index).type, geo::NetType::kIsp);
+  });
+}
+
+TEST_F(HitListTest, DeterministicPerSeed) {
+  HitListSpec spec{"censys", 0.5, false, 0.001};
+  const HitList a = HitList::generate(plan(), spec, 7);
+  const HitList b = HitList::generate(plan(), spec, 7);
+  EXPECT_EQ(a.blocks(), b.blocks());
+  const HitList c = HitList::generate(plan(), spec, 8);
+  EXPECT_NE(c.blocks().size(), 0u);
+  EXPECT_FALSE(a.blocks() == c.blocks());
+}
+
+TEST_F(HitListTest, UnionCombines) {
+  const HitList a("a", [] {
+    trie::Block24Set s;
+    s.insert(net::Block24(1));
+    return s;
+  }());
+  const HitList b("b", [] {
+    trie::Block24Set s;
+    s.insert(net::Block24(2));
+    return s;
+  }());
+  const auto u = hitlist_union({a, b});
+  EXPECT_EQ(u.size(), 2u);
+}
+
+TEST_F(HitListTest, CorrectionRemovesListedBlocks) {
+  trie::Block24Set inferred;
+  inferred.insert(net::Block24(1));
+  inferred.insert(net::Block24(2));
+  inferred.insert(net::Block24(3));
+  trie::Block24Set active;
+  active.insert(net::Block24(2));
+  active.insert(net::Block24(9));  // not inferred: no effect
+
+  std::uint64_t removed = 0;
+  const auto scrubbed = apply_hitlist_correction(inferred, active, &removed);
+  EXPECT_EQ(removed, 1u);
+  EXPECT_EQ(scrubbed.size(), 2u);
+  EXPECT_FALSE(scrubbed.contains(net::Block24(2)));
+  EXPECT_TRUE(scrubbed.contains(net::Block24(1)));
+}
+
+TEST(HitListSpecs, DefaultsMatchPaperDatasets) {
+  const auto specs = default_hitlist_specs();
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].name, "censys");
+  EXPECT_EQ(specs[1].name, "ndt");
+  EXPECT_TRUE(specs[1].isp_only);
+  EXPECT_EQ(specs[2].name, "isi");
+  EXPECT_GT(specs[0].coverage, specs[1].coverage);
+}
+
+}  // namespace
+}  // namespace mtscope::pipeline

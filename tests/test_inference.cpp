@@ -1,0 +1,315 @@
+// Unit tests for the seven-step pipeline over hand-built fixtures: each
+// filter step gets a block engineered to fail exactly that step.
+#include "pipeline/inference.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mtscope::pipeline {
+namespace {
+
+using net::AsNumber;
+using net::Ipv4Addr;
+using net::Prefix;
+
+flow::FlowRecord record(std::uint32_t src, std::uint32_t dst, net::IpProto proto,
+                        std::uint64_t packets, std::uint64_t bytes) {
+  flow::FlowRecord r;
+  r.key.src = net::Ipv4Addr(src);
+  r.key.dst = net::Ipv4Addr(dst);
+  r.key.proto = proto;
+  r.packets = packets;
+  r.bytes = bytes;
+  return r;
+}
+
+class InferenceFixture : public ::testing::Test {
+ protected:
+  InferenceFixture() : registry_(routing::SpecialPurposeRegistry::standard()) {
+    rib_.announce(*Prefix::parse("60.0.0.0/8"), AsNumber(1));
+  }
+
+  InferenceEngine engine(PipelineConfig config = {}) const {
+    return InferenceEngine(config, rib_, registry_);
+  }
+
+  routing::Rib rib_;
+  routing::SpecialPurposeRegistry registry_;
+};
+
+// 60.x.y.z helper (inside the announced /8).
+constexpr std::uint32_t addr(std::uint8_t b, std::uint8_t c, std::uint8_t d) {
+  return (60u << 24) | (std::uint32_t{b} << 16) | (std::uint32_t{c} << 8) | d;
+}
+
+TEST_F(InferenceFixture, CleanDarkBlockIsInferred) {
+  VantageStats stats;
+  stats.add_flows(std::vector<flow::FlowRecord>{
+                      record(addr(9, 9, 9), addr(1, 1, 5), net::IpProto::kTcp, 3, 120)},
+                  100, 0);
+  const auto result = engine().infer(stats);
+  EXPECT_EQ(result.funnel.seen, 1u);  // only the dst block received traffic
+  EXPECT_TRUE(result.dark.contains(net::Block24(addr(1, 1, 0) >> 8)));
+  EXPECT_EQ(result.dark.size(), 1u);
+  EXPECT_EQ(result.gray, 0u);
+}
+
+TEST_F(InferenceFixture, Step1NoTcpFails) {
+  VantageStats stats;
+  stats.add_flows(std::vector<flow::FlowRecord>{
+                      record(addr(9, 9, 9), addr(1, 2, 5), net::IpProto::kUdp, 3, 120)},
+                  100, 0);
+  const auto result = engine().infer(stats);
+  EXPECT_EQ(result.funnel.seen, 1u);
+  EXPECT_EQ(result.funnel.after_tcp, 0u);
+  EXPECT_EQ(result.dark.size(), 0u);
+}
+
+TEST_F(InferenceFixture, Step2LargePacketsFail) {
+  VantageStats stats;
+  stats.add_flows(std::vector<flow::FlowRecord>{
+                      record(addr(9, 9, 9), addr(1, 3, 5), net::IpProto::kTcp, 2, 2800)},
+                  100, 0);
+  const auto result = engine().infer(stats);
+  EXPECT_EQ(result.funnel.after_tcp, 1u);
+  EXPECT_EQ(result.funnel.after_size, 0u);
+  EXPECT_EQ(result.dark.size(), 0u);
+}
+
+TEST_F(InferenceFixture, Step2ThresholdIsInclusive) {
+  VantageStats stats;
+  stats.add_flows(std::vector<flow::FlowRecord>{
+                      record(addr(9, 9, 9), addr(1, 4, 5), net::IpProto::kTcp, 1, 44)},
+                  100, 0);
+  EXPECT_EQ(engine().infer(stats).dark.size(), 1u);  // exactly 44 passes
+
+  VantageStats stats45;
+  stats45.add_flows(std::vector<flow::FlowRecord>{
+                        record(addr(9, 9, 9), addr(1, 4, 5), net::IpProto::kTcp, 1, 45)},
+                    100, 0);
+  EXPECT_EQ(engine().infer(stats45).dark.size(), 0u);
+}
+
+TEST_F(InferenceFixture, Step3SourceSeenBecomesGray) {
+  VantageStats stats;
+  stats.add_flows(
+      std::vector<flow::FlowRecord>{
+          record(addr(9, 9, 9), addr(1, 5, 5), net::IpProto::kTcp, 1, 40),   // inbound scan
+          record(addr(1, 5, 200), addr(9, 9, 9), net::IpProto::kTcp, 2, 96)  // block sends
+      },
+      100, 0);
+  const auto result = engine().infer(stats);
+  EXPECT_EQ(result.dark.size(), 0u);
+  EXPECT_EQ(result.gray, 1u);
+  // The block still flows down the funnel: the receiving IP (.5) is clean.
+  EXPECT_EQ(result.funnel.after_source, 1u);
+}
+
+TEST_F(InferenceFixture, Step3ToleranceForgivesSpoof) {
+  VantageStats stats;
+  stats.add_flows(
+      std::vector<flow::FlowRecord>{
+          record(addr(9, 9, 9), addr(1, 6, 5), net::IpProto::kTcp, 1, 40),
+          // One spoofed packet "from" the block toward unrouted space.
+          record(addr(1, 6, 200), 0x08080808, net::IpProto::kTcp, 1, 40)
+      },
+      100, 0);
+  PipelineConfig config;
+  config.spoof_tolerance_pkts = 1;
+  const auto result = engine(config).infer(stats);
+  EXPECT_EQ(result.dark.size(), 1u);
+  EXPECT_EQ(result.gray, 0u);
+}
+
+TEST_F(InferenceFixture, Step3SameIpSendsAndReceives) {
+  // The receiving IP itself is the sender: with no other clean IP the block
+  // leaves the funnel at step 3.
+  VantageStats stats;
+  stats.add_flows(
+      std::vector<flow::FlowRecord>{
+          record(addr(9, 9, 9), addr(1, 7, 5), net::IpProto::kTcp, 1, 40),
+          record(addr(1, 7, 5), 0x08080808, net::IpProto::kTcp, 5, 250),
+      },
+      100, 0);
+  const auto result = engine().infer(stats);
+  EXPECT_EQ(result.funnel.after_size, 1u);
+  EXPECT_EQ(result.funnel.after_source, 0u);
+  EXPECT_EQ(result.dark.size(), 0u);
+}
+
+TEST_F(InferenceFixture, Step4ReservedSpaceFails) {
+  VantageStats stats;
+  // 10.0.0.0/8 is RFC 1918 space.
+  stats.add_flows(std::vector<flow::FlowRecord>{
+                      record(addr(9, 9, 9), 0x0a000105, net::IpProto::kTcp, 1, 40)},
+                  100, 0);
+  const auto result = engine().infer(stats);
+  EXPECT_EQ(result.funnel.after_source, 1u);
+  EXPECT_EQ(result.funnel.after_reserved, 0u);
+}
+
+TEST_F(InferenceFixture, Step5UnroutedFails) {
+  VantageStats stats;
+  // 61.x is not announced in this fixture's RIB.
+  stats.add_flows(std::vector<flow::FlowRecord>{
+                      record(addr(9, 9, 9), 0x3d010105, net::IpProto::kTcp, 1, 40)},
+                  100, 0);
+  const auto result = engine().infer(stats);
+  EXPECT_EQ(result.funnel.after_reserved, 1u);
+  EXPECT_EQ(result.funnel.after_routed, 0u);
+}
+
+TEST_F(InferenceFixture, Step6VolumeFails) {
+  VantageStats stats;
+  // 20,000 sampled packets at rate 100 = 2M estimated > 1.7M cap.
+  stats.add_flows(std::vector<flow::FlowRecord>{
+                      record(addr(9, 9, 9), addr(1, 8, 5), net::IpProto::kTcp, 20'000, 800'000)},
+                  100, 0);
+  const auto result = engine().infer(stats);
+  EXPECT_EQ(result.funnel.after_routed, 1u);
+  EXPECT_EQ(result.funnel.after_volume, 0u);
+}
+
+TEST_F(InferenceFixture, Step6VolumeAveragesOverDays) {
+  // Same 2M total over two days = 1M/day: passes.
+  VantageStats stats;
+  stats.add_flows(std::vector<flow::FlowRecord>{
+                      record(addr(9, 9, 9), addr(1, 8, 5), net::IpProto::kTcp, 10'000, 400'000)},
+                  100, 0);
+  stats.add_flows(std::vector<flow::FlowRecord>{
+                      record(addr(9, 9, 9), addr(1, 8, 5), net::IpProto::kTcp, 10'000, 400'000)},
+                  100, 1);
+  const auto result = engine().infer(stats);
+  EXPECT_EQ(result.funnel.after_volume, 1u);
+  EXPECT_EQ(result.dark.size(), 1u);
+}
+
+TEST_F(InferenceFixture, Step6VolumeScaleRescalesCap) {
+  VantageStats stats;
+  // 30 sampled x rate 100 = 3,000 estimated; at volume_scale 1e-3 the cap
+  // is 1,700 -> fails.
+  stats.add_flows(std::vector<flow::FlowRecord>{
+                      record(addr(9, 9, 9), addr(1, 9, 5), net::IpProto::kTcp, 30, 1200)},
+                  100, 0);
+  PipelineConfig config;
+  config.volume_scale = 1e-3;
+  const auto result = engine(config).infer(stats);
+  EXPECT_EQ(result.funnel.after_volume, 0u);
+}
+
+TEST_F(InferenceFixture, Step7UncleanMixedIps) {
+  VantageStats stats;
+  stats.add_flows(
+      std::vector<flow::FlowRecord>{
+          record(addr(9, 9, 9), addr(1, 10, 5), net::IpProto::kTcp, 1, 40),    // clean IP
+          record(addr(9, 9, 9), addr(1, 10, 6), net::IpProto::kTcp, 1, 1400),  // big-packet IP
+      },
+      100, 0);
+  const auto result = engine().infer(stats);
+  EXPECT_EQ(result.dark.size(), 0u);
+  EXPECT_EQ(result.unclean, 1u);
+  EXPECT_EQ(result.gray, 0u);
+}
+
+TEST_F(InferenceFixture, Step7UdpOnlyIpIsIbrConsistent) {
+  // A stray UDP probe at another address is normal IBR, not liveness
+  // evidence: the block stays dark.
+  VantageStats stats;
+  stats.add_flows(
+      std::vector<flow::FlowRecord>{
+          record(addr(9, 9, 9), addr(1, 11, 5), net::IpProto::kTcp, 1, 40),
+          record(addr(9, 9, 9), addr(1, 11, 6), net::IpProto::kUdp, 1, 200),
+      },
+      100, 0);
+  const auto result = engine().infer(stats);
+  EXPECT_EQ(result.unclean, 0u);
+  EXPECT_EQ(result.dark.size(), 1u);
+}
+
+TEST_F(InferenceFixture, Step7SingleSynWithOptionsIsTolerated) {
+  // One 48-byte SYN (MSS option) at a second address is IBR-consistent.
+  VantageStats stats;
+  stats.add_flows(
+      std::vector<flow::FlowRecord>{
+          record(addr(9, 9, 9), addr(1, 13, 5), net::IpProto::kTcp, 1, 40),
+          record(addr(9, 9, 9), addr(1, 13, 6), net::IpProto::kTcp, 1, 48),
+      },
+      100, 0);
+  const auto result = engine().infer(stats);
+  EXPECT_EQ(result.dark.size(), 1u);
+  EXPECT_EQ(result.unclean, 0u);
+}
+
+TEST_F(InferenceFixture, Step7RepeatedBigPacketsAreLiveness) {
+  // Two TCP packets averaging above the option-SYN ceiling (48B) demote the
+  // block to unclean.
+  VantageStats stats;
+  stats.add_flows(
+      std::vector<flow::FlowRecord>{
+          record(addr(9, 9, 9), addr(1, 14, 5), net::IpProto::kTcp, 1, 40),
+          record(addr(9, 9, 9), addr(1, 14, 6), net::IpProto::kTcp, 2, 120),
+      },
+      100, 0);
+  const auto result = engine().infer(stats);
+  EXPECT_EQ(result.unclean, 1u);
+  EXPECT_EQ(result.dark.size(), 0u);
+}
+
+TEST_F(InferenceFixture, Step7RepeatedOptionSynsStayDark) {
+  // Two 48-byte SYNs at one address are still IBR-consistent.
+  VantageStats stats;
+  stats.add_flows(
+      std::vector<flow::FlowRecord>{
+          record(addr(9, 9, 9), addr(1, 15, 5), net::IpProto::kTcp, 1, 40),
+          record(addr(9, 9, 9), addr(1, 15, 6), net::IpProto::kTcp, 2, 96),
+      },
+      100, 0);
+  const auto result = engine().infer(stats);
+  EXPECT_EQ(result.dark.size(), 1u);
+  EXPECT_EQ(result.unclean, 0u);
+}
+
+TEST_F(InferenceFixture, FunnelIsMonotone) {
+  // Throw a pile of mixed traffic at the engine; every funnel stage count
+  // must be <= the previous stage.
+  VantageStats stats;
+  std::vector<flow::FlowRecord> flows;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    flows.push_back(record(addr(9, 9, static_cast<std::uint8_t>(i)),
+                           addr(static_cast<std::uint8_t>(i % 8), static_cast<std::uint8_t>(i), 5),
+                           i % 3 == 0 ? net::IpProto::kUdp : net::IpProto::kTcp, 1 + i % 5,
+                           40 * (1 + i % 5) + (i % 7) * 100));
+  }
+  stats.add_flows(flows, 100, 0);
+  const auto result = engine().infer(stats);
+  const FunnelCounts& f = result.funnel;
+  EXPECT_GE(f.seen, f.after_tcp);
+  EXPECT_GE(f.after_tcp, f.after_size);
+  EXPECT_GE(f.after_size, f.after_source);
+  EXPECT_GE(f.after_source, f.after_reserved);
+  EXPECT_GE(f.after_reserved, f.after_routed);
+  EXPECT_GE(f.after_routed, f.after_volume);
+  EXPECT_EQ(result.dark.size() + result.unclean + result.gray, f.after_volume);
+}
+
+TEST_F(InferenceFixture, SourceOnlyBlocksAreNotCandidates) {
+  VantageStats stats;
+  stats.add_flows(std::vector<flow::FlowRecord>{
+                      record(addr(1, 12, 5), addr(9, 9, 9), net::IpProto::kTcp, 1, 40)},
+                  100, 0);
+  const auto result = engine().infer(stats);
+  // 60.9.9.0/24 received; 60.1.12.0/24 only sent.
+  EXPECT_EQ(result.funnel.seen, 1u);
+  EXPECT_FALSE(result.dark.contains(net::Block24(addr(1, 12, 0) >> 8)));
+}
+
+TEST_F(InferenceFixture, ConfigValidation) {
+  PipelineConfig bad_size;
+  bad_size.avg_size_threshold = 0.0;
+  EXPECT_THROW(engine(bad_size), std::invalid_argument);
+  PipelineConfig bad_scale;
+  bad_scale.volume_scale = 0.0;
+  EXPECT_THROW(engine(bad_scale), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtscope::pipeline

@@ -1,0 +1,128 @@
+// End-to-end integration: simulated traffic -> export path -> inference ->
+// evaluation, exercising the same composition the bench harnesses use.
+#include <gtest/gtest.h>
+
+#include "pipeline/collector.hpp"
+#include "pipeline/evaluation.hpp"
+#include "pipeline/hitlists.hpp"
+#include "pipeline/inference.hpp"
+#include "pipeline/spoof_tolerance.hpp"
+#include "sim/simulation.hpp"
+
+namespace mtscope {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static const sim::Simulation& simulation() {
+    static const sim::Simulation instance{sim::SimConfig::tiny(21)};
+    return instance;
+  }
+
+  static const pipeline::VantageStats& day0_stats() {
+    static const pipeline::VantageStats stats = [] {
+      const std::size_t ixps[] = {0, 1};
+      const int days[] = {0};
+      return pipeline::collect_stats(simulation(), ixps, days);
+    }();
+    return stats;
+  }
+
+  static pipeline::InferenceEngine make_engine(std::uint64_t tolerance = 0) {
+    pipeline::PipelineConfig config;
+    config.volume_scale = simulation().config().volume_scale;
+    config.spoof_tolerance_pkts = tolerance;
+    static const routing::SpecialPurposeRegistry registry =
+        routing::SpecialPurposeRegistry::standard();
+    return pipeline::InferenceEngine(config, simulation().plan().rib(), registry);
+  }
+};
+
+TEST_F(IntegrationTest, InfersSubstantialDarkSpace) {
+  const auto result = make_engine().infer(day0_stats());
+  EXPECT_GT(result.dark.size(), 1000u);
+  EXPECT_GT(result.gray, result.unclean);  // most classified blocks are used space
+  EXPECT_GT(result.funnel.seen, result.funnel.after_volume);
+}
+
+TEST_F(IntegrationTest, FalsePositiveRateIsLow) {
+  const auto result = make_engine().infer(day0_stats());
+  const auto eval =
+      pipeline::evaluate_against_ground_truth(result.dark, simulation().plan());
+  EXPECT_EQ(eval.inferred, result.dark.size());
+  EXPECT_EQ(eval.unallocated, 0u);  // routed filter guarantees allocation
+  // The paper found 13.9% before hit-list correction; the conservative
+  // pipeline should stay well under one-in-four here.
+  EXPECT_LT(eval.false_positive_rate(), 0.25);
+  EXPECT_GT(eval.truly_dark, 0u);
+}
+
+TEST_F(IntegrationTest, HitListCorrectionReducesFalsePositives) {
+  const auto result = make_engine().infer(day0_stats());
+  std::vector<pipeline::HitList> lists;
+  for (const auto& spec : pipeline::default_hitlist_specs()) {
+    lists.push_back(pipeline::HitList::generate(simulation().plan(), spec,
+                                                simulation().config().seed));
+  }
+  const auto active_union = pipeline::hitlist_union(lists);
+
+  std::uint64_t removed = 0;
+  const auto corrected =
+      pipeline::apply_hitlist_correction(result.dark, active_union, &removed);
+
+  const auto before = pipeline::evaluate_against_ground_truth(result.dark, simulation().plan());
+  const auto after = pipeline::evaluate_against_ground_truth(corrected, simulation().plan());
+  EXPECT_LT(after.false_positive_rate(), before.false_positive_rate());
+  EXPECT_EQ(corrected.size() + removed, result.dark.size());
+}
+
+TEST_F(IntegrationTest, ToleranceRecoversSpoofedBlocks) {
+  const auto strict = make_engine(0).infer(day0_stats());
+  const std::uint64_t tolerance = pipeline::compute_spoof_tolerance(
+      day0_stats(), simulation().plan().unrouted_slash8s());
+  const auto tolerant = make_engine(tolerance + 1).infer(day0_stats());
+  EXPECT_GT(tolerant.dark.size(), strict.dark.size());
+}
+
+TEST_F(IntegrationTest, MultiDayIncreasesTelescopeCoverage) {
+  const std::size_t ixps[] = {1};  // NA1 sees TUS1
+  const int day0[] = {0};
+  const auto stats_1day = pipeline::collect_stats(simulation(), ixps, day0);
+  const int days3[] = {0, 1, 2};
+  const auto stats_3day = pipeline::collect_stats(simulation(), ixps, days3);
+
+  const auto engine = make_engine(2);
+  const auto& tus1 = simulation().plan().telescopes()[0];
+  const auto cover_1 = pipeline::evaluate_telescope_coverage(
+      engine.infer(stats_1day).dark, tus1, nullptr);
+  const auto cover_3 = pipeline::evaluate_telescope_coverage(
+      engine.infer(stats_3day).dark, tus1, nullptr);
+  EXPECT_GT(cover_3.inferred, cover_1.inferred);
+}
+
+TEST_F(IntegrationTest, Tus1InvisibleAtEuropeanVantage) {
+  const std::size_t ixps[] = {0};  // CE1
+  const int days[] = {0};
+  const auto stats = pipeline::collect_stats(simulation(), ixps, days);
+  const auto result = make_engine().infer(stats);
+  const auto coverage = pipeline::evaluate_telescope_coverage(
+      result.dark, simulation().plan().telescopes()[0], nullptr);
+  EXPECT_EQ(coverage.inferred, 0u);
+}
+
+TEST_F(IntegrationTest, UnannouncedSpaceNeverInferred) {
+  const auto result = make_engine().infer(day0_stats());
+  const std::uint32_t legacy = std::uint32_t{simulation().plan().legacy_slash8()} << 16;
+  // The first /10 of the legacy /8 is allocated but unannounced.
+  EXPECT_EQ(result.dark.count_in_range(legacy, legacy + 16383), 0u);
+}
+
+TEST_F(IntegrationTest, ReservedSpaceNeverInferred) {
+  const auto result = make_engine().infer(day0_stats());
+  result.dark.for_each([&](net::Block24 block) {
+    EXPECT_FALSE(routing::SpecialPurposeRegistry::standard().is_reserved(block));
+  });
+}
+
+}  // namespace
+}  // namespace mtscope

@@ -1,0 +1,173 @@
+#include "flow/ipfix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mtscope::flow {
+namespace {
+
+FlowRecord sample_record(std::uint32_t i) {
+  FlowRecord r;
+  r.key.src = net::Ipv4Addr(0x0a000000u + i);
+  r.key.dst = net::Ipv4Addr(0xc6336400u + i);
+  r.key.src_port = static_cast<std::uint16_t>(1000 + i);
+  r.key.dst_port = static_cast<std::uint16_t>(i % 3 == 0 ? 23 : 443);
+  r.key.proto = i % 4 == 0 ? net::IpProto::kUdp : net::IpProto::kTcp;
+  r.first_us = 1'000'000ull * i;
+  r.last_us = r.first_us + 999;
+  r.packets = i + 1;
+  r.bytes = (i + 1) * 40ull;
+  r.tcp_flags_or = static_cast<std::uint8_t>(i & 0x3f);
+  r.sampling_rate = 1000;
+  return r;
+}
+
+class IpfixRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(IpfixRoundTrip, ExactRecovery) {
+  std::vector<FlowRecord> records;
+  for (std::size_t i = 0; i < GetParam(); ++i) records.push_back(sample_record(i));
+
+  IpfixEncoder encoder;
+  IpfixDecoder decoder;
+  const auto messages = encoder.encode(records, 12345);
+  EXPECT_FALSE(messages.empty());
+  for (const auto& m : messages) {
+    auto fed = decoder.feed(m);
+    ASSERT_TRUE(fed.ok()) << fed.error().to_string();
+  }
+  const auto decoded = decoder.drain();
+  ASSERT_EQ(decoded.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(decoded[i], records[i]) << "record " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, IpfixRoundTrip, ::testing::Values(0, 1, 2, 33, 500, 5000));
+
+TEST(Ipfix, MessagesRespectSizeCap) {
+  std::vector<FlowRecord> records;
+  for (std::size_t i = 0; i < 1000; ++i) records.push_back(sample_record(i));
+  IpfixEncoderConfig config;
+  config.max_message_bytes = 600;
+  IpfixEncoder encoder(config);
+  const auto messages = encoder.encode(records, 0);
+  EXPECT_GT(messages.size(), 10u);
+  for (const auto& m : messages) EXPECT_LE(m.size(), 600u);
+}
+
+TEST(Ipfix, SequenceAdvancesByDataRecordCount) {
+  IpfixEncoder encoder;
+  std::vector<FlowRecord> records = {sample_record(0), sample_record(1), sample_record(2)};
+  (void)encoder.encode(records, 0);
+  EXPECT_EQ(encoder.sequence(), 3u);
+  (void)encoder.encode(records, 0);
+  EXPECT_EQ(encoder.sequence(), 6u);
+}
+
+TEST(Ipfix, TemplateOnlyOnceStillDecodes) {
+  IpfixEncoderConfig config;
+  config.template_in_every_message = false;
+  config.max_message_bytes = 600;
+  IpfixEncoder encoder(config);
+  std::vector<FlowRecord> records;
+  for (std::size_t i = 0; i < 200; ++i) records.push_back(sample_record(i));
+  const auto messages = encoder.encode(records, 0);
+  ASSERT_GT(messages.size(), 1u);
+
+  IpfixDecoder decoder;
+  for (const auto& m : messages) ASSERT_TRUE(decoder.feed(m).ok());
+  EXPECT_EQ(decoder.drain().size(), 200u);
+}
+
+TEST(Ipfix, DataBeforeTemplateFails) {
+  // Hand-crafted message: a data set referencing template 256 that the
+  // decoder has never seen.
+  std::vector<std::uint8_t> message = {
+      0x00, 0x0a,              // version 10
+      0x00, 0x18,              // length 24
+      0, 0, 0, 0,              // export time
+      0, 0, 0, 0,              // sequence
+      0, 0, 0, 0,              // domain
+      0x01, 0x00, 0x00, 0x08,  // set id 256, length 8
+      0xde, 0xad, 0xbe, 0xef,  // 4 bytes of "data"
+  };
+  IpfixDecoder decoder;
+  auto fed = decoder.feed(message);
+  ASSERT_FALSE(fed.ok());
+  EXPECT_EQ(fed.error().code, "ipfix.data");
+}
+
+TEST(Ipfix, SeparateObservationDomainsKeepSeparateTemplates) {
+  IpfixEncoderConfig a_config;
+  a_config.observation_domain = 1;
+  IpfixEncoderConfig b_config;
+  b_config.observation_domain = 2;
+  IpfixEncoder a(a_config);
+  IpfixEncoder b(b_config);
+  std::vector<FlowRecord> records = {sample_record(7)};
+
+  IpfixDecoder decoder;
+  for (const auto& m : a.encode(records, 0)) ASSERT_TRUE(decoder.feed(m).ok());
+  for (const auto& m : b.encode(records, 0)) ASSERT_TRUE(decoder.feed(m).ok());
+  EXPECT_EQ(decoder.drain().size(), 2u);
+}
+
+TEST(Ipfix, RejectsGarbage) {
+  IpfixDecoder decoder;
+  const std::vector<std::uint8_t> junk = {0, 1, 2, 3};
+  EXPECT_FALSE(decoder.feed(junk).ok());
+
+  std::vector<std::uint8_t> bad_version(16, 0);
+  bad_version[1] = 9;   // version 9 (NetFlow), not IPFIX
+  bad_version[3] = 16;  // length
+  EXPECT_EQ(decoder.feed(bad_version).error().code, "ipfix.version");
+}
+
+TEST(Ipfix, RejectsLyingLengthFields) {
+  IpfixEncoder encoder;
+  std::vector<FlowRecord> records = {sample_record(0)};
+  auto messages = encoder.encode(records, 0);
+  ASSERT_EQ(messages.size(), 1u);
+  auto& m = messages[0];
+
+  // Declared message length beyond the buffer.
+  auto truncated = m;
+  truncated.resize(truncated.size() - 4);
+  EXPECT_FALSE(IpfixDecoder().feed(truncated).ok());
+
+  // Corrupt a set length to spill past the message end.
+  auto corrupt = m;
+  corrupt[18] = 0xff;  // first set's length high byte
+  EXPECT_FALSE(IpfixDecoder().feed(corrupt).ok());
+}
+
+TEST(Ipfix, SkipsUnknownLowSetIds) {
+  // Craft a message with an options-template set (id 3), which we skip.
+  std::vector<std::uint8_t> message = {
+      0x00, 0x0a,              // version 10
+      0x00, 0x14,              // length 20
+      0, 0, 0, 0,              // export time
+      0, 0, 0, 0,              // sequence
+      0, 0, 0, 0,              // domain
+      0x00, 0x03, 0x00, 0x04,  // set id 3, length 4 (empty body)
+  };
+  IpfixDecoder decoder;
+  auto fed = decoder.feed(message);
+  ASSERT_TRUE(fed.ok());
+  EXPECT_EQ(decoder.sets_skipped(), 1u);
+}
+
+TEST(Ipfix, EncoderValidatesConfig) {
+  IpfixEncoderConfig bad_template;
+  bad_template.template_id = 100;
+  EXPECT_THROW(IpfixEncoder{bad_template}, std::invalid_argument);
+
+  IpfixEncoderConfig too_small;
+  too_small.max_message_bytes = 40;
+  EXPECT_THROW(IpfixEncoder{too_small}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtscope::flow

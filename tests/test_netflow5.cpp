@@ -1,0 +1,111 @@
+#include "flow/netflow5.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mtscope::flow {
+namespace {
+
+FlowRecord sample_record(std::uint32_t i) {
+  FlowRecord r;
+  r.key.src = net::Ipv4Addr(0x0a000000u + i);
+  r.key.dst = net::Ipv4Addr(0x2c000000u + i);
+  r.key.src_port = static_cast<std::uint16_t>(1024 + i);
+  r.key.dst_port = 23;
+  r.key.proto = net::IpProto::kTcp;
+  r.packets = 1 + i;
+  r.bytes = (1 + i) * 40ull;
+  r.first_us = 1'000'000ull + i * 1000;
+  r.last_us = r.first_us + 5000;
+  r.tcp_flags_or = 0x02;
+  return r;
+}
+
+class NetflowRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NetflowRoundTrip, KeyFieldsSurvive) {
+  std::vector<FlowRecord> records;
+  for (std::size_t i = 0; i < GetParam(); ++i) records.push_back(sample_record(i));
+
+  NetflowV5Config config;
+  config.sampling_interval = 100;
+  NetflowV5Encoder encoder(config);
+  // Timestamps round-trip exactly when unix_secs*1000 == uptime_ms (the
+  // sysuptime epoch then coincides with the unix epoch).
+  const auto datagrams = encoder.encode(records, /*unix_secs=*/10, /*uptime_ms=*/10'000);
+
+  NetflowV5Decoder decoder;
+  for (const auto& d : datagrams) {
+    auto fed = decoder.feed(d);
+    ASSERT_TRUE(fed.ok()) << fed.error().to_string();
+  }
+  const auto decoded = decoder.drain();
+  ASSERT_EQ(decoded.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(decoded[i].key, records[i].key) << i;
+    EXPECT_EQ(decoded[i].packets, records[i].packets);
+    EXPECT_EQ(decoded[i].bytes, records[i].bytes);
+    EXPECT_EQ(decoded[i].tcp_flags_or, records[i].tcp_flags_or);
+    EXPECT_EQ(decoded[i].sampling_rate, 100u);
+    // Millisecond-resolution timestamps survive exactly (ours are whole ms).
+    EXPECT_EQ(decoded[i].first_us, records[i].first_us);
+    EXPECT_EQ(decoded[i].last_us, records[i].last_us);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, NetflowRoundTrip, ::testing::Values(0, 1, 29, 30, 31, 100));
+
+TEST(NetflowV5, ThirtyRecordsPerDatagram) {
+  std::vector<FlowRecord> records;
+  for (std::size_t i = 0; i < 61; ++i) records.push_back(sample_record(i));
+  NetflowV5Encoder encoder;
+  const auto datagrams = encoder.encode(records, 0, 1'000'000);
+  ASSERT_EQ(datagrams.size(), 3u);  // 30 + 30 + 1
+  EXPECT_EQ(datagrams[0].size(), 24u + 30 * 48u);
+  EXPECT_EQ(datagrams[2].size(), 24u + 1 * 48u);
+  EXPECT_EQ(encoder.flow_sequence(), 61u);
+}
+
+TEST(NetflowV5, RejectsGarbage) {
+  NetflowV5Decoder decoder;
+  const std::vector<std::uint8_t> tiny = {0, 5, 0, 1};
+  EXPECT_EQ(decoder.feed(tiny).error().code, "netflow5.truncated");
+
+  std::vector<std::uint8_t> wrong_version(24, 0);
+  wrong_version[1] = 9;
+  EXPECT_EQ(decoder.feed(wrong_version).error().code, "netflow5.version");
+
+  std::vector<std::uint8_t> bad_count(24, 0);
+  bad_count[1] = 5;
+  bad_count[3] = 31;  // > 30 records
+  EXPECT_EQ(decoder.feed(bad_count).error().code, "netflow5.count");
+
+  std::vector<std::uint8_t> short_body(24 + 10, 0);
+  short_body[1] = 5;
+  short_body[3] = 1;
+  EXPECT_EQ(decoder.feed(short_body).error().code, "netflow5.truncated");
+}
+
+TEST(NetflowV5, ConfigValidation) {
+  NetflowV5Config zero;
+  zero.sampling_interval = 0;
+  EXPECT_THROW(NetflowV5Encoder{zero}, std::invalid_argument);
+  NetflowV5Config wide;
+  wide.sampling_interval = 0x4000;
+  EXPECT_THROW(NetflowV5Encoder{wide}, std::invalid_argument);
+}
+
+TEST(NetflowV5, SamplingDefaultsToOneWhenZeroOnWire) {
+  // A datagram whose sampling field is zero must not divide by zero.
+  NetflowV5Encoder encoder;  // interval 1, mode bits set
+  std::vector<FlowRecord> records = {sample_record(0)};
+  auto datagrams = encoder.encode(records, 0, 10'000);
+  auto& d = datagrams[0];
+  d[22] = 0;  // clear the sampling field entirely
+  d[23] = 0;
+  NetflowV5Decoder decoder;
+  ASSERT_TRUE(decoder.feed(d).ok());
+  EXPECT_EQ(decoder.drain()[0].sampling_rate, 1u);
+}
+
+}  // namespace
+}  // namespace mtscope::flow

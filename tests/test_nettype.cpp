@@ -1,0 +1,61 @@
+#include "geo/nettype.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mtscope::geo {
+namespace {
+
+TEST(NetType, ParseVariants) {
+  EXPECT_EQ(parse_net_type("ISP").value(), NetType::kIsp);
+  EXPECT_EQ(parse_net_type("isp").value(), NetType::kIsp);
+  EXPECT_EQ(parse_net_type("Enterprise").value(), NetType::kEnterprise);
+  EXPECT_EQ(parse_net_type("Education").value(), NetType::kEducation);
+  EXPECT_EQ(parse_net_type("Data Center").value(), NetType::kDataCenter);
+  EXPECT_EQ(parse_net_type("datacenter").value(), NetType::kDataCenter);
+  EXPECT_EQ(parse_net_type("data_center").value(), NetType::kDataCenter);
+  EXPECT_EQ(parse_net_type("  ISP  ").value(), NetType::kIsp);
+  EXPECT_FALSE(parse_net_type("hosting"));
+  EXPECT_FALSE(parse_net_type(""));
+}
+
+TEST(NetType, NamesRoundTrip) {
+  for (NetType t : kAllNetTypes) {
+    EXPECT_EQ(parse_net_type(net_type_name(t)).value(), t);
+  }
+}
+
+TEST(NetTypeDb, AddResolve) {
+  NetTypeDb db;
+  db.add(net::AsNumber(100), NetType::kEducation);
+  EXPECT_EQ(db.resolve(net::AsNumber(100)).value(), NetType::kEducation);
+  EXPECT_FALSE(db.resolve(net::AsNumber(999)));
+  db.add(net::AsNumber(100), NetType::kIsp);  // overwrite
+  EXPECT_EQ(db.resolve(net::AsNumber(100)).value(), NetType::kIsp);
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(NetTypeDb, SaveLoadRoundTrip) {
+  NetTypeDb db;
+  db.add(net::AsNumber(1), NetType::kIsp);
+  db.add(net::AsNumber(2), NetType::kDataCenter);
+  std::stringstream buffer;
+  db.save(buffer);
+  auto loaded = NetTypeDb::load(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().to_string();
+  EXPECT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value().resolve(net::AsNumber(2)).value(), NetType::kDataCenter);
+}
+
+TEST(NetTypeDb, LoadRejectsMalformed) {
+  std::stringstream bad_type("100,hosting\n");
+  EXPECT_FALSE(NetTypeDb::load(bad_type).ok());
+  std::stringstream bad_asn("x,ISP\n");
+  EXPECT_FALSE(NetTypeDb::load(bad_asn).ok());
+  std::stringstream missing("100\n");
+  EXPECT_FALSE(NetTypeDb::load(missing).ok());
+}
+
+}  // namespace
+}  // namespace mtscope::geo

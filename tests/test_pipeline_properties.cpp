@@ -1,0 +1,153 @@
+// Property tests over the pipeline's algebra: merge order must not matter,
+// inference must be deterministic and monotone in its inputs, and the flow
+// path must conserve packets.
+#include <gtest/gtest.h>
+
+#include "pipeline/collector.hpp"
+#include "pipeline/inference.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace mtscope {
+namespace {
+
+std::vector<flow::FlowRecord> random_flows(std::uint64_t seed, std::size_t count) {
+  util::Rng rng(seed);
+  std::vector<flow::FlowRecord> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    flow::FlowRecord r;
+    r.key.src = net::Ipv4Addr((60u << 24) | static_cast<std::uint32_t>(rng.uniform(1u << 20)));
+    r.key.dst = net::Ipv4Addr((60u << 24) | static_cast<std::uint32_t>(rng.uniform(1u << 20)));
+    r.key.src_port = static_cast<std::uint16_t>(rng.uniform(65536));
+    r.key.dst_port = static_cast<std::uint16_t>(rng.uniform(65536));
+    r.key.proto = rng.chance(0.85) ? net::IpProto::kTcp : net::IpProto::kUdp;
+    r.packets = 1 + rng.uniform(4);
+    r.bytes = r.packets * (rng.chance(0.8) ? 40 : 1400);
+    r.sampling_rate = 100;
+    out.push_back(r);
+  }
+  return out;
+}
+
+pipeline::InferenceResult infer(const pipeline::VantageStats& stats,
+                                std::uint64_t tolerance = 0) {
+  static routing::Rib rib = [] {
+    routing::Rib r;
+    r.announce(*net::Prefix::parse("60.0.0.0/8"), net::AsNumber(1));
+    return r;
+  }();
+  static const routing::SpecialPurposeRegistry registry =
+      routing::SpecialPurposeRegistry::standard();
+  pipeline::PipelineConfig config;
+  config.spoof_tolerance_pkts = tolerance;
+  return pipeline::InferenceEngine(config, rib, registry).infer(stats);
+}
+
+class PipelineProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineProperties, MergeIsOrderIndependent) {
+  const auto flows_a = random_flows(GetParam(), 4000);
+  const auto flows_b = random_flows(GetParam() ^ 0xabcd, 4000);
+
+  pipeline::VantageStats ab;
+  ab.add_flows(flows_a, 100, 0);
+  ab.add_flows(flows_b, 100, 1);
+
+  pipeline::VantageStats a;
+  a.add_flows(flows_a, 100, 0);
+  pipeline::VantageStats b;
+  b.add_flows(flows_b, 100, 1);
+  b.merge(a);  // reversed merge direction
+
+  const auto result_ab = infer(ab);
+  const auto result_ba = infer(b);
+  EXPECT_EQ(result_ab.dark, result_ba.dark);
+  EXPECT_EQ(result_ab.unclean, result_ba.unclean);
+  EXPECT_EQ(result_ab.gray, result_ba.gray);
+  EXPECT_EQ(result_ab.funnel.seen, result_ba.funnel.seen);
+}
+
+TEST_P(PipelineProperties, InferenceIsDeterministic) {
+  pipeline::VantageStats stats;
+  stats.add_flows(random_flows(GetParam(), 5000), 100, 0);
+  const auto first = infer(stats);
+  const auto second = infer(stats);
+  EXPECT_EQ(first.dark, second.dark);
+  EXPECT_EQ(first.gray, second.gray);
+}
+
+TEST_P(PipelineProperties, ToleranceIsMonotone) {
+  // Raising the spoofing tolerance can only grow the dark set.
+  pipeline::VantageStats stats;
+  stats.add_flows(random_flows(GetParam(), 6000), 100, 0);
+  std::size_t previous = 0;
+  for (const std::uint64_t tolerance : {0, 1, 2, 5, 100}) {
+    const auto result = infer(stats, tolerance);
+    EXPECT_GE(result.dark.size(), previous) << "tolerance " << tolerance;
+    previous = result.dark.size();
+  }
+}
+
+TEST_P(PipelineProperties, ThresholdIsMonotone) {
+  // Relaxing the size threshold can only let more blocks down the funnel.
+  pipeline::VantageStats stats;
+  stats.add_flows(random_flows(GetParam(), 6000), 100, 0);
+  static routing::Rib rib = [] {
+    routing::Rib r;
+    r.announce(*net::Prefix::parse("60.0.0.0/8"), net::AsNumber(1));
+    return r;
+  }();
+  static const routing::SpecialPurposeRegistry registry =
+      routing::SpecialPurposeRegistry::standard();
+  std::uint64_t previous = 0;
+  for (const double threshold : {40.0, 44.0, 48.0, 1500.0}) {
+    pipeline::PipelineConfig config;
+    config.avg_size_threshold = threshold;
+    const auto result = pipeline::InferenceEngine(config, rib, registry).infer(stats);
+    EXPECT_GE(result.funnel.after_size, previous) << "threshold " << threshold;
+    previous = result.funnel.after_size;
+  }
+}
+
+TEST_P(PipelineProperties, ClassificationPartitionsFunnelSurvivors) {
+  pipeline::VantageStats stats;
+  stats.add_flows(random_flows(GetParam(), 8000), 100, 0);
+  const auto result = infer(stats, 1);
+  EXPECT_EQ(result.dark.size() + result.unclean + result.gray, result.funnel.after_volume);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperties, ::testing::Values(11, 23, 47, 91));
+
+TEST(FlowPathConservation, SimulatedDayConservesPackets) {
+  // Packets generated == sum of packets in decoded IPFIX flows, across the
+  // whole sort -> FlowTable -> encode -> decode path.
+  const sim::Simulation simulation{sim::SimConfig::tiny(77)};
+  for (int day = 0; day < 3; ++day) {
+    const auto data = simulation.run_ixp_day(0, day);
+    std::uint64_t decoded_packets = 0;
+    for (const auto& flow : data.flows) decoded_packets += flow.packets;
+    EXPECT_EQ(decoded_packets, data.sampled_packets) << "day " << day;
+  }
+}
+
+TEST(FlowPathConservation, CollectorMatchesManualAccumulation) {
+  const sim::Simulation simulation{sim::SimConfig::tiny(78)};
+  const std::size_t ixps[] = {0, 1};
+  const int days[] = {0, 1};
+  const auto collected = pipeline::collect_stats(simulation, ixps, days);
+
+  pipeline::VantageStats manual(simulation.plan().universe_mask());
+  for (const int day : days) {
+    for (const std::size_t i : ixps) {
+      const auto data = simulation.run_ixp_day(i, day);
+      manual.add_flows(data.flows, simulation.ixps()[i].sampling_rate(), day);
+    }
+  }
+  EXPECT_EQ(collected.blocks().size(), manual.blocks().size());
+  EXPECT_EQ(collected.flows_ingested(), manual.flows_ingested());
+  EXPECT_EQ(collected.day_count(), manual.day_count());
+}
+
+}  // namespace
+}  // namespace mtscope

@@ -1,0 +1,135 @@
+#include "analysis/ports.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mtscope::analysis {
+namespace {
+
+using net::AsNumber;
+using net::Block24;
+using net::Prefix;
+
+TEST(PortCounter, TopOrderingAndTotals) {
+  PortCounter counter;
+  counter.add(23, 100);
+  counter.add(80, 50);
+  counter.add(443, 50);
+  counter.add(22, 1);
+  const auto top = counter.top(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, 23);
+  EXPECT_EQ(top[1].first, 80);   // ties broken by port number
+  EXPECT_EQ(top[2].first, 443);
+  EXPECT_EQ(counter.total(), 201u);
+  EXPECT_EQ(counter.count_of(22), 1u);
+  EXPECT_EQ(counter.count_of(9999), 0u);
+}
+
+TEST(PortCounter, AddPacketsCountsOnlyTcp) {
+  PortCounter counter;
+  flow::PacketMeta tcp;
+  tcp.proto = net::IpProto::kTcp;
+  tcp.dst_port = 23;
+  flow::PacketMeta udp;
+  udp.proto = net::IpProto::kUdp;
+  udp.dst_port = 53;
+  counter.add_packets(std::vector<flow::PacketMeta>{tcp, tcp, udp});
+  EXPECT_EQ(counter.count_of(23), 2u);
+  EXPECT_EQ(counter.count_of(53), 0u);
+}
+
+class PortActivityTest : public ::testing::Test {
+ protected:
+  PortActivityTest() {
+    geodb_.add(*Prefix::parse("60.0.0.0/9"), "US");    // NA
+    geodb_.add(*Prefix::parse("60.128.0.0/9"), "ZA");  // AF
+    pfx2as_.add(*Prefix::parse("60.0.0.0/9"), AsNumber(1));
+    pfx2as_.add(*Prefix::parse("60.128.0.0/9"), AsNumber(2));
+    nettypes_.add(AsNumber(1), geo::NetType::kDataCenter);
+    nettypes_.add(AsNumber(2), geo::NetType::kIsp);
+    dark_.insert(Block24(60u << 16 | 1));           // US, DC
+    dark_.insert(Block24(60u << 16 | 0x8000 | 1));  // ZA, ISP
+  }
+
+  static flow::FlowRecord flow_to(std::uint32_t dst, std::uint16_t port, std::uint64_t packets,
+                                  net::IpProto proto = net::IpProto::kTcp) {
+    flow::FlowRecord r;
+    r.key.src = net::Ipv4Addr(0x01010101);
+    r.key.dst = net::Ipv4Addr(dst);
+    r.key.dst_port = port;
+    r.key.proto = proto;
+    r.packets = packets;
+    r.bytes = packets * 40;
+    return r;
+  }
+
+  geo::GeoDb geodb_;
+  geo::NetTypeDb nettypes_;
+  routing::PrefixToAs pfx2as_;
+  trie::Block24Set dark_;
+};
+
+TEST_F(PortActivityTest, CountsByRegionAndType) {
+  PortActivity activity(geodb_, nettypes_, pfx2as_);
+  const std::uint32_t us_dark = (60u << 24) | (1u << 8) | 5;
+  const std::uint32_t za_dark = (60u << 24) | (0x8001u << 8) | 5;
+  activity.add_flows(std::vector<flow::FlowRecord>{
+                         flow_to(us_dark, 23, 10),
+                         flow_to(za_dark, 37215, 20),
+                         flow_to(us_dark, 53, 5, net::IpProto::kUdp),  // non-TCP ignored
+                     },
+                     dark_);
+
+  EXPECT_EQ(activity.count(geo::Continent::kNorthAmerica, 23), 10u);
+  EXPECT_EQ(activity.count(geo::Continent::kAfrica, 37215), 20u);
+  EXPECT_EQ(activity.count(geo::Continent::kNorthAmerica, 37215), 0u);
+  EXPECT_EQ(activity.count(geo::NetType::kDataCenter, 23), 10u);
+  EXPECT_EQ(activity.count(geo::NetType::kIsp, 37215), 20u);
+  EXPECT_EQ(activity.grand_total(), 30u);
+  EXPECT_DOUBLE_EQ(activity.share(geo::Continent::kNorthAmerica, 23), 1.0);
+  EXPECT_DOUBLE_EQ(activity.global_share(geo::Continent::kAfrica, 37215), 20.0 / 30.0);
+}
+
+TEST_F(PortActivityTest, NonDarkDestinationsIgnored) {
+  PortActivity activity(geodb_, nettypes_, pfx2as_);
+  const std::uint32_t not_dark = (60u << 24) | (7u << 8) | 5;
+  activity.add_flows(std::vector<flow::FlowRecord>{flow_to(not_dark, 23, 10)}, dark_);
+  EXPECT_EQ(activity.grand_total(), 0u);
+}
+
+TEST_F(PortActivityTest, JointTopPortsUnionsRegions) {
+  PortActivity activity(geodb_, nettypes_, pfx2as_);
+  const std::uint32_t us_dark = (60u << 24) | (1u << 8) | 5;
+  const std::uint32_t za_dark = (60u << 24) | (0x8001u << 8) | 5;
+  activity.add_flows(std::vector<flow::FlowRecord>{
+                         flow_to(us_dark, 23, 100),
+                         flow_to(us_dark, 80, 50),
+                         flow_to(za_dark, 37215, 60),
+                         flow_to(za_dark, 23, 10),
+                     },
+                     dark_);
+
+  // Top-1 per region: NA -> 23, AF -> 37215; union ordered by global count.
+  const auto joint = activity.joint_top_ports_by_region(1);
+  ASSERT_EQ(joint.size(), 2u);
+  EXPECT_EQ(joint[0], 23);
+  EXPECT_EQ(joint[1], 37215);
+
+  const auto by_type = activity.joint_top_ports_by_type(2);
+  EXPECT_GE(by_type.size(), 2u);
+}
+
+TEST_F(PortActivityTest, MatrixRendering) {
+  PortActivity activity(geodb_, nettypes_, pfx2as_);
+  const std::uint32_t us_dark = (60u << 24) | (1u << 8) | 5;
+  activity.add_flows(std::vector<flow::FlowRecord>{flow_to(us_dark, 23, 100)}, dark_);
+  const std::uint16_t ports[] = {23};
+  const std::string region_matrix = activity.render_region_matrix(ports);
+  EXPECT_NE(region_matrix.find("23"), std::string::npos);
+  EXPECT_NE(region_matrix.find("####"), std::string::npos);  // full share bar
+  const std::string type_matrix = activity.render_type_matrix(ports);
+  EXPECT_NE(type_matrix.find("Data Center"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mtscope::analysis

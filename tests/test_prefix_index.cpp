@@ -1,0 +1,92 @@
+#include "analysis/prefix_index.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mtscope::analysis {
+namespace {
+
+using net::AsNumber;
+using net::Block24;
+using net::Prefix;
+
+TEST(PrefixIndex, ComputesDarkShares) {
+  routing::Rib rib;
+  rib.announce(*Prefix::parse("60.0.0.0/8"), AsNumber(1));
+  rib.announce(*Prefix::parse("61.0.0.0/16"), AsNumber(2));
+  rib.announce(*Prefix::parse("61.1.0.0/24"), AsNumber(3));  // longer than /16: excluded
+
+  trie::Block24Set dark;
+  // 10% of the /8's blocks dark.
+  for (std::uint32_t i = 0; i < 6554; ++i) dark.insert(Block24((60u << 16) + i));
+  // All of the /16 dark.
+  for (std::uint32_t i = 0; i < 256; ++i) dark.insert(Block24((61u << 16) + i));
+
+  const auto entries = compute_prefix_index(rib, dark, 8, 16);
+  ASSERT_EQ(entries.size(), 2u);
+
+  for (const auto& entry : entries) {
+    if (entry.prefix.length() == 8) {
+      EXPECT_EQ(entry.total_24s, 65536u);
+      EXPECT_EQ(entry.dark_24s, 6554u);
+      EXPECT_NEAR(entry.index(), 0.1, 0.001);
+      EXPECT_EQ(entry.origin, AsNumber(1));
+    } else {
+      EXPECT_EQ(entry.prefix.length(), 16);
+      EXPECT_DOUBLE_EQ(entry.index(), 1.0);
+    }
+  }
+}
+
+TEST(PrefixIndex, LengthBoundsRespected) {
+  routing::Rib rib;
+  rib.announce(*Prefix::parse("60.0.0.0/8"), AsNumber(1));
+  rib.announce(*Prefix::parse("61.0.0.0/20"), AsNumber(2));
+  const auto entries = compute_prefix_index(rib, trie::Block24Set{}, 9, 16);
+  EXPECT_TRUE(entries.empty());
+}
+
+TEST(PrefixIndex, EcdfGroupings) {
+  routing::Rib rib;
+  rib.announce(*Prefix::parse("60.0.0.0/16"), AsNumber(1));
+  rib.announce(*Prefix::parse("60.1.0.0/16"), AsNumber(2));
+  rib.announce(*Prefix::parse("61.0.0.0/12"), AsNumber(3));
+
+  trie::Block24Set dark;
+  for (std::uint32_t i = 0; i < 128; ++i) dark.insert(Block24((60u << 16) + i));  // 50% of first /16
+
+  const auto entries = compute_prefix_index(rib, dark, 8, 16);
+  ASSERT_EQ(entries.size(), 3u);
+
+  const auto by_length = index_ecdf_by_length(entries);
+  ASSERT_EQ(by_length.count(16), 1u);
+  ASSERT_EQ(by_length.count(12), 1u);
+  EXPECT_EQ(by_length.at(16).size(), 2u);
+  EXPECT_DOUBLE_EQ(by_length.at(16).max(), 0.5);
+  EXPECT_DOUBLE_EQ(by_length.at(12).max(), 0.0);
+
+  geo::NetTypeDb nettypes;
+  nettypes.add(AsNumber(1), geo::NetType::kIsp);
+  nettypes.add(AsNumber(2), geo::NetType::kIsp);
+  nettypes.add(AsNumber(3), geo::NetType::kDataCenter);
+  const auto by_type = index_ecdf_by_type(entries, nettypes);
+  EXPECT_EQ(by_type.at(geo::NetType::kIsp).size(), 2u);
+  EXPECT_EQ(by_type.at(geo::NetType::kDataCenter).size(), 1u);
+
+  geo::GeoDb geodb;
+  geodb.add(*Prefix::parse("60.0.0.0/8"), "US");
+  geodb.add(*Prefix::parse("61.0.0.0/8"), "DE");
+  const auto by_continent = index_ecdf_by_continent(entries, geodb);
+  EXPECT_EQ(by_continent.at(geo::Continent::kNorthAmerica).size(), 2u);
+  EXPECT_EQ(by_continent.at(geo::Continent::kEurope).size(), 1u);
+}
+
+TEST(PrefixIndex, UnknownTypeSkipped) {
+  routing::Rib rib;
+  rib.announce(*Prefix::parse("60.0.0.0/16"), AsNumber(1));
+  const auto entries = compute_prefix_index(rib, trie::Block24Set{}, 8, 16);
+  const auto by_type = index_ecdf_by_type(entries, geo::NetTypeDb{});
+  EXPECT_TRUE(by_type.empty());
+}
+
+}  // namespace
+}  // namespace mtscope::analysis

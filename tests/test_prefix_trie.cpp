@@ -1,0 +1,175 @@
+#include "trie/prefix_trie.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mtscope::trie {
+namespace {
+
+using net::Ipv4Addr;
+using net::Prefix;
+
+Prefix p(const char* text) { return *Prefix::parse(text); }
+
+TEST(PrefixTrie, InsertFindErase) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.empty());
+  EXPECT_TRUE(trie.insert(p("10.0.0.0/8"), 1));
+  EXPECT_FALSE(trie.insert(p("10.0.0.0/8"), 2));  // overwrite
+  EXPECT_EQ(trie.size(), 1u);
+  ASSERT_NE(trie.find(p("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(*trie.find(p("10.0.0.0/8")), 2);
+  EXPECT_EQ(trie.find(p("10.0.0.0/9")), nullptr);
+  EXPECT_TRUE(trie.erase(p("10.0.0.0/8")));
+  EXPECT_FALSE(trie.erase(p("10.0.0.0/8")));
+  EXPECT_TRUE(trie.empty());
+}
+
+TEST(PrefixTrie, RootPrefixStoresDefaultRoute) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix(), 42);
+  const auto match = trie.longest_match(Ipv4Addr(0x12345678));
+  ASSERT_TRUE(match);
+  EXPECT_EQ(match->first.length(), 0);
+  EXPECT_EQ(*match->second, 42);
+}
+
+TEST(PrefixTrie, LongestMatchPrefersSpecific) {
+  PrefixTrie<int> trie;
+  trie.insert(p("10.0.0.0/8"), 8);
+  trie.insert(p("10.1.0.0/16"), 16);
+  trie.insert(p("10.1.2.0/24"), 24);
+
+  auto m = trie.longest_match(Ipv4Addr::from_octets(10, 1, 2, 3));
+  ASSERT_TRUE(m);
+  EXPECT_EQ(*m->second, 24);
+
+  m = trie.longest_match(Ipv4Addr::from_octets(10, 1, 9, 9));
+  ASSERT_TRUE(m);
+  EXPECT_EQ(*m->second, 16);
+
+  m = trie.longest_match(Ipv4Addr::from_octets(10, 200, 0, 1));
+  ASSERT_TRUE(m);
+  EXPECT_EQ(*m->second, 8);
+
+  EXPECT_FALSE(trie.longest_match(Ipv4Addr::from_octets(11, 0, 0, 1)));
+}
+
+TEST(PrefixTrie, MatchesReturnsAllCoversLeastSpecificFirst) {
+  PrefixTrie<int> trie;
+  trie.insert(p("10.0.0.0/8"), 8);
+  trie.insert(p("10.1.0.0/16"), 16);
+  const auto all = trie.matches(Ipv4Addr::from_octets(10, 1, 0, 1));
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].first.length(), 8);
+  EXPECT_EQ(all[1].first.length(), 16);
+}
+
+TEST(PrefixTrie, WalkVisitsEverythingInOrder) {
+  PrefixTrie<int> trie;
+  trie.insert(p("10.0.0.0/8"), 1);
+  trie.insert(p("10.128.0.0/9"), 2);
+  trie.insert(p("192.168.0.0/16"), 3);
+
+  std::vector<Prefix> seen;
+  trie.walk([&](const Prefix& prefix, const int&) { seen.push_back(prefix); });
+  ASSERT_EQ(seen.size(), 3u);
+  // Pre-order: parent before child, lexicographic by bit path.
+  EXPECT_EQ(seen[0], p("10.0.0.0/8"));
+  EXPECT_EQ(seen[1], p("10.128.0.0/9"));
+  EXPECT_EQ(seen[2], p("192.168.0.0/16"));
+}
+
+TEST(PrefixTrie, CoveredBy) {
+  PrefixTrie<int> trie;
+  trie.insert(p("10.0.0.0/8"), 1);
+  trie.insert(p("10.64.0.0/16"), 2);
+  trie.insert(p("10.64.1.0/24"), 3);
+  trie.insert(p("11.0.0.0/8"), 4);
+
+  const auto covered = trie.covered_by(p("10.64.0.0/16"));
+  ASSERT_EQ(covered.size(), 2u);
+  EXPECT_EQ(covered[0].second, 2);
+  EXPECT_EQ(covered[1].second, 3);
+
+  EXPECT_TRUE(trie.covered_by(p("172.16.0.0/12")).empty());
+}
+
+// Property test: longest_match agrees with a brute-force scan over random
+// prefix sets, across several seeds.
+class TrieVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieVsBruteForce, LongestMatchAgrees) {
+  util::Rng rng(GetParam());
+  PrefixTrie<std::uint32_t> trie;
+  std::vector<std::pair<Prefix, std::uint32_t>> reference;
+
+  for (int i = 0; i < 500; ++i) {
+    const int len = static_cast<int>(rng.uniform(25));  // 0..24
+    const Prefix prefix =
+        Prefix::canonical(Ipv4Addr(static_cast<std::uint32_t>(rng.next())), len);
+    const auto value = static_cast<std::uint32_t>(i);
+    const auto existing = std::find_if(reference.begin(), reference.end(),
+                                       [&](const auto& e) { return e.first == prefix; });
+    if (existing == reference.end()) {
+      reference.emplace_back(prefix, value);
+    } else {
+      existing->second = value;
+    }
+    trie.insert(prefix, value);
+  }
+  EXPECT_EQ(trie.size(), reference.size());
+
+  for (int i = 0; i < 2000; ++i) {
+    const Ipv4Addr addr(static_cast<std::uint32_t>(rng.next()));
+    std::optional<std::pair<Prefix, std::uint32_t>> best;
+    for (const auto& [prefix, value] : reference) {
+      if (prefix.contains(addr) && (!best || prefix.length() > best->first.length())) {
+        best = {prefix, value};
+      }
+    }
+    const auto got = trie.longest_match(addr);
+    ASSERT_EQ(got.has_value(), best.has_value());
+    if (best) {
+      EXPECT_EQ(got->first, best->first);
+      EXPECT_EQ(*got->second, best->second);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieVsBruteForce, ::testing::Values(1, 2, 3, 17, 99));
+
+TEST(PrefixSet, BasicMembership) {
+  PrefixSet set;
+  EXPECT_TRUE(set.insert(p("10.0.0.0/8")));
+  EXPECT_FALSE(set.insert(p("10.0.0.0/8")));
+  EXPECT_TRUE(set.contains(p("10.0.0.0/8")));
+  EXPECT_FALSE(set.contains(p("10.0.0.0/9")));
+  EXPECT_TRUE(set.covers(Ipv4Addr::from_octets(10, 9, 9, 9)));
+  EXPECT_FALSE(set.covers(Ipv4Addr::from_octets(11, 0, 0, 0)));
+}
+
+TEST(PrefixSet, CoversBlockRequiresFullCoverage) {
+  PrefixSet set;
+  set.insert(p("10.0.0.0/25"));  // half a /24
+  EXPECT_FALSE(set.covers(net::Block24::containing(Ipv4Addr::from_octets(10, 0, 0, 0))));
+  set.insert(p("10.0.0.0/16"));
+  EXPECT_TRUE(set.covers(net::Block24::containing(Ipv4Addr::from_octets(10, 0, 0, 0))));
+}
+
+TEST(PrefixSet, ToVector) {
+  PrefixSet set;
+  set.insert(p("10.0.0.0/8"));
+  set.insert(p("192.168.0.0/16"));
+  const auto v = set.to_vector();
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], p("10.0.0.0/8"));
+}
+
+}  // namespace
+}  // namespace mtscope::trie

@@ -1,0 +1,60 @@
+#include "util/result.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mtscope::util {
+namespace {
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(make_error("e.code", "boom"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "e.code");
+  EXPECT_EQ(r.error().message, "boom");
+  EXPECT_EQ(r.error().to_string(), "e.code: boom");
+}
+
+TEST(Result, ValueOnErrorThrows) {
+  Result<int> r(make_error("e", "m"));
+  EXPECT_THROW((void)r.value(), std::logic_error);
+}
+
+TEST(Result, ErrorOnValueThrows) {
+  Result<int> r(7);
+  EXPECT_THROW((void)r.error(), std::logic_error);
+}
+
+TEST(Result, ValueOr) {
+  Result<int> good(3);
+  Result<int> bad(make_error("e", "m"));
+  EXPECT_EQ(good.value_or(9), 3);
+  EXPECT_EQ(bad.value_or(9), 9);
+}
+
+TEST(Result, ValueOrThrowConvertsError) {
+  Result<int> bad(make_error("e", "m"));
+  EXPECT_THROW((void)std::move(bad).value_or_throw(), std::runtime_error);
+  Result<int> good(5);
+  EXPECT_EQ(std::move(good).value_or_throw(), 5);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  const std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(Result, MutableValueAccess) {
+  Result<std::string> r(std::string("a"));
+  r.value() += "b";
+  EXPECT_EQ(r.value(), "ab");
+}
+
+}  // namespace
+}  // namespace mtscope::util

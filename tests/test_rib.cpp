@@ -1,0 +1,91 @@
+#include "routing/rib.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mtscope::routing {
+namespace {
+
+using net::AsNumber;
+using net::Block24;
+using net::Ipv4Addr;
+using net::Prefix;
+
+Prefix p(const char* text) { return *Prefix::parse(text); }
+
+TEST(Rib, AnnounceLookupWithdraw) {
+  Rib rib;
+  EXPECT_TRUE(rib.announce(p("10.0.0.0/8"), AsNumber(100)));
+  EXPECT_FALSE(rib.announce(p("10.0.0.0/8"), AsNumber(200)));  // implicit replace
+  EXPECT_EQ(rib.size(), 1u);
+
+  const auto match = rib.lookup(Ipv4Addr::from_octets(10, 5, 5, 5));
+  ASSERT_TRUE(match);
+  EXPECT_EQ(match->second.origin, AsNumber(200));
+
+  EXPECT_TRUE(rib.withdraw(p("10.0.0.0/8")));
+  EXPECT_FALSE(rib.withdraw(p("10.0.0.0/8")));
+  EXPECT_FALSE(rib.lookup(Ipv4Addr::from_octets(10, 5, 5, 5)));
+}
+
+TEST(Rib, LongestMatchWins) {
+  Rib rib;
+  rib.announce(p("10.0.0.0/8"), AsNumber(8));
+  rib.announce(p("10.64.0.0/10"), AsNumber(10));
+  EXPECT_EQ(rib.origin_of(Ipv4Addr::from_octets(10, 64, 0, 1)).value(), AsNumber(10));
+  EXPECT_EQ(rib.origin_of(Ipv4Addr::from_octets(10, 0, 0, 1)).value(), AsNumber(8));
+  EXPECT_FALSE(rib.origin_of(Ipv4Addr::from_octets(11, 0, 0, 1)));
+}
+
+TEST(Rib, IsRoutedBlockNeedsFullCoverage) {
+  Rib rib;
+  rib.announce(p("10.0.0.0/25"), AsNumber(1));  // covers only half the /24
+  const Block24 block = Block24::containing(Ipv4Addr::from_octets(10, 0, 0, 0));
+  EXPECT_FALSE(rib.is_routed(block));
+  EXPECT_TRUE(rib.is_routed(Ipv4Addr::from_octets(10, 0, 0, 1)));
+
+  rib.announce(p("10.0.0.0/24"), AsNumber(2));
+  EXPECT_TRUE(rib.is_routed(block));
+}
+
+TEST(Rib, AnnouncementsEnumeration) {
+  Rib rib;
+  rib.announce(p("10.0.0.0/8"), AsNumber(1));
+  rib.announce(p("172.16.0.0/12"), AsNumber(2));
+  rib.announce(p("192.168.5.0/24"), AsNumber(3));
+  EXPECT_EQ(rib.announcements().size(), 3u);
+  EXPECT_EQ(rib.announcements_up_to(16).size(), 2u);
+  EXPECT_EQ(rib.announcements_up_to(8).size(), 1u);
+}
+
+TEST(Rib, MergeExistingWins) {
+  Rib a;
+  a.announce(p("10.0.0.0/8"), AsNumber(1));
+  Rib b;
+  b.announce(p("10.0.0.0/8"), AsNumber(99));
+  b.announce(p("11.0.0.0/8"), AsNumber(2));
+  a.merge(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.origin_of(Ipv4Addr::from_octets(10, 0, 0, 1)).value(), AsNumber(1));
+  EXPECT_EQ(a.origin_of(Ipv4Addr::from_octets(11, 0, 0, 1)).value(), AsNumber(2));
+}
+
+TEST(RouteViews, DumpsUnionPerDay) {
+  RouteViews views;
+  Rib dump1;
+  dump1.announce(p("10.0.0.0/8"), AsNumber(1));
+  Rib dump2;
+  dump2.announce(p("11.0.0.0/8"), AsNumber(2));
+  views.add_dump(0, dump1);
+  views.add_dump(0, dump2);
+  views.add_dump(1, dump1);
+
+  EXPECT_EQ(views.dump_count(0), 2u);
+  EXPECT_EQ(views.dump_count(1), 1u);
+  EXPECT_EQ(views.daily_rib(0).size(), 2u);
+  EXPECT_EQ(views.daily_rib(1).size(), 1u);
+  EXPECT_TRUE(views.daily_rib(2).empty());
+  EXPECT_EQ(views.dump_count(5), 0u);
+}
+
+}  // namespace
+}  // namespace mtscope::routing

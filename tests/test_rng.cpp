@@ -1,0 +1,193 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace mtscope::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkIsIndependentOfParentConsumption) {
+  Rng parent(99);
+  Rng fork_before = parent.fork(7);
+  const std::uint64_t expected = Rng(99).fork(7).next();
+  EXPECT_EQ(fork_before.next(), expected);
+}
+
+TEST(Rng, ForksWithDifferentIdsDiffer) {
+  Rng parent(99);
+  EXPECT_NE(parent.fork(1).next(), parent.fork(2).next());
+}
+
+TEST(Rng, UniformZeroBoundThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(0), std::invalid_argument);
+}
+
+class RngUniformBounds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngUniformBounds, StaysInRange) {
+  Rng rng(GetParam() * 7919 + 13);
+  const std::uint64_t bound = GetParam();
+  for (int i = 0; i < 2000; ++i) EXPECT_LT(rng.uniform(bound), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngUniformBounds,
+                         ::testing::Values(1, 2, 3, 7, 100, 1'000'000, 1ull << 40));
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng rng(5);
+  std::vector<int> buckets(10, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++buckets[rng.uniform(10)];
+  for (int count : buckets) {
+    EXPECT_NEAR(count, n / 10, n / 100);  // within 10% relative
+  }
+}
+
+TEST(Rng, UniformInInclusive) {
+  Rng rng(6);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t v = rng.uniform_in(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01Range) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+class RngPoissonMean : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngPoissonMean, MatchesMeanAndVariance) {
+  const double mean = GetParam();
+  Rng rng(static_cast<std::uint64_t>(mean * 1000) + 3);
+  const int n = 20'000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = static_cast<double>(rng.poisson(mean));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double sample_mean = sum / n;
+  const double sample_var = sum_sq / n - sample_mean * sample_mean;
+  EXPECT_NEAR(sample_mean, mean, std::max(0.05, mean * 0.05));
+  EXPECT_NEAR(sample_var, mean, std::max(0.2, mean * 0.15));  // Poisson: var == mean
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, RngPoissonMean,
+                         ::testing::Values(0.1, 0.5, 1.0, 5.0, 29.0, 50.0, 1000.0));
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, PoissonNegativeThrows) {
+  Rng rng(9);
+  EXPECT_THROW(rng.poisson(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(10);
+  double sum = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, ParetoAboveScale) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, ZipfFavoursLowRanks) {
+  Rng rng(12);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50'000; ++i) ++counts[rng.zipf(10, 1.0)];
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+}
+
+TEST(Rng, ZipfZeroSkewIsUniform) {
+  Rng rng(13);
+  std::vector<int> counts(5, 0);
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) ++counts[rng.zipf(5, 0.0)];
+  for (int c : counts) EXPECT_NEAR(c, n / 5, n / 40);
+}
+
+TEST(Rng, WeightedPickRespectsWeights) {
+  Rng rng(14);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40'000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_pick(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(Rng, WeightedPickRejectsBadInput) {
+  Rng rng(15);
+  const std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted_pick(zeros), std::invalid_argument);
+  const std::vector<double> negative = {1.0, -0.5};
+  EXPECT_THROW(rng.weighted_pick(negative), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(16);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(SplitMix, MixIsDeterministicAndSpread) {
+  EXPECT_EQ(mix64(1, 2), mix64(1, 2));
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+  EXPECT_NE(mix64(0, 0), 0u);
+}
+
+}  // namespace
+}  // namespace mtscope::util

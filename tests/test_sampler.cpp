@@ -1,0 +1,65 @@
+#include "flow/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mtscope::flow {
+namespace {
+
+TEST(DeterministicSampler, EveryNth) {
+  DeterministicSampler s(4);
+  int accepted = 0;
+  std::vector<int> hits;
+  for (int i = 0; i < 16; ++i) {
+    if (s.accept()) {
+      ++accepted;
+      hits.push_back(i);
+    }
+  }
+  EXPECT_EQ(accepted, 4);
+  // Strictly periodic: gaps of exactly 4.
+  for (std::size_t i = 1; i < hits.size(); ++i) EXPECT_EQ(hits[i] - hits[i - 1], 4);
+}
+
+TEST(DeterministicSampler, RateOneAcceptsAll) {
+  DeterministicSampler s(1);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(s.accept());
+}
+
+TEST(DeterministicSampler, PhaseShiftsFirstAccept) {
+  DeterministicSampler a(4, 0);
+  DeterministicSampler b(4, 2);
+  int first_a = -1;
+  int first_b = -1;
+  for (int i = 0; i < 8; ++i) {
+    if (a.accept() && first_a < 0) first_a = i;
+    if (b.accept() && first_b < 0) first_b = i;
+  }
+  EXPECT_NE(first_a, first_b);
+}
+
+TEST(DeterministicSampler, ZeroRateRejected) {
+  EXPECT_THROW(DeterministicSampler(0), std::invalid_argument);
+}
+
+class ProbabilisticRate : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ProbabilisticRate, LongRunFrequencyMatches) {
+  const std::uint32_t rate = GetParam();
+  ProbabilisticSampler s(rate, util::Rng(rate * 977));
+  const int n = 200'000;
+  int accepted = 0;
+  for (int i = 0; i < n; ++i) {
+    if (s.accept()) ++accepted;
+  }
+  const double expected = static_cast<double>(n) / rate;
+  EXPECT_NEAR(accepted, expected, 5.0 * std::sqrt(expected) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ProbabilisticRate, ::testing::Values(1, 2, 10, 100, 1000));
+
+TEST(ProbabilisticSampler, ZeroRateRejected) {
+  EXPECT_THROW(ProbabilisticSampler(0, util::Rng(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtscope::flow

@@ -1,0 +1,110 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mtscope::sim {
+namespace {
+
+class SimulationTest : public ::testing::Test {
+ protected:
+  static const Simulation& simulation() {
+    static const Simulation instance{SimConfig::tiny(5)};
+    return instance;
+  }
+};
+
+TEST_F(SimulationTest, IxpIndexLookup) {
+  EXPECT_EQ(simulation().ixp_index("CE1"), 0u);
+  EXPECT_EQ(simulation().ixp_index("NA1"), 1u);
+  EXPECT_THROW((void)simulation().ixp_index("XX9"), std::invalid_argument);
+}
+
+TEST_F(SimulationTest, SpecialVisibilityWiring) {
+  const auto& plan = simulation().plan();
+  const std::size_t ce1 = simulation().ixp_index("CE1");
+  const std::size_t na1 = simulation().ixp_index("NA1");
+
+  // TUS1's ISP is invisible in Europe, visible in North America.
+  EXPECT_DOUBLE_EQ(simulation().ixps()[ce1].visibility(plan.isp().as_index), 0.0);
+  EXPECT_GT(simulation().ixps()[na1].visibility(plan.isp().as_index), 0.0);
+
+  // TEU1's host is CE-only.
+  EXPECT_GT(simulation().ixps()[ce1].visibility(plan.teu1_as_index()), 0.0);
+  EXPECT_DOUBLE_EQ(simulation().ixps()[na1].visibility(plan.teu1_as_index()), 0.0);
+
+  // The legacy /9 is CE1-only; the legacy /14 is NA1-only (Figure 5).
+  EXPECT_GT(simulation().ixps()[ce1].visibility(plan.legacy9_as_index()), 0.0);
+  EXPECT_DOUBLE_EQ(simulation().ixps()[na1].visibility(plan.legacy9_as_index()), 0.0);
+  EXPECT_DOUBLE_EQ(simulation().ixps()[ce1].visibility(plan.legacy14_as_index()), 0.0);
+  EXPECT_GT(simulation().ixps()[na1].visibility(plan.legacy14_as_index()), 0.0);
+
+  // TEU2 is unusually well observed.
+  double teu2_total = 0.0;
+  for (const Ixp& ixp : simulation().ixps()) teu2_total += ixp.visibility(plan.teu2_as_index());
+  EXPECT_NEAR(teu2_total, 0.48, 1e-9);
+}
+
+TEST_F(SimulationTest, IxpDayDataConsistency) {
+  const auto day = simulation().run_ixp_day(0, 0);
+  EXPECT_EQ(day.ixp_index, 0u);
+  EXPECT_EQ(day.day, 0);
+  EXPECT_GT(day.sampled_packets, 0u);
+  EXPECT_GT(day.ipfix_messages, 0u);
+  EXPECT_GT(day.ipfix_bytes, day.ipfix_messages * 16);  // at least header-sized
+
+  // Conservation: decoded flow packets equal sampled packets.
+  std::uint64_t flow_packets = 0;
+  std::uint64_t flow_bytes = 0;
+  for (const auto& flow : day.flows) {
+    flow_packets += flow.packets;
+    flow_bytes += flow.bytes;
+    EXPECT_EQ(flow.sampling_rate, simulation().ixps()[0].sampling_rate());
+  }
+  EXPECT_EQ(flow_packets, day.sampled_packets);
+  EXPECT_EQ(flow_bytes, day.sampled_bytes);
+}
+
+TEST_F(SimulationTest, TelescopeDayRespectsWindow) {
+  const auto capture = simulation().run_telescope_day(2, 0);  // TEU2
+  EXPECT_EQ(capture.captured_blocks, 8u);
+  EXPECT_GT(capture.packets.size(), 0u);
+}
+
+TEST_F(SimulationTest, IspWeekBlocksComeFromIspAndTus1) {
+  const auto observations = simulation().run_isp_week();
+  const auto& plan = simulation().plan();
+  std::size_t telescope_blocks = 0;
+  for (const auto& obs : observations) {
+    const auto as_index = plan.as_of(obs.block);
+    ASSERT_TRUE(as_index);
+    EXPECT_EQ(*as_index, plan.isp().as_index);
+    if (obs.role == BlockRole::kTelescope) ++telescope_blocks;
+  }
+  EXPECT_GT(telescope_blocks, 0u);
+}
+
+TEST(SimulationConfig, DefaultFleetMatchesPaper) {
+  const auto ixps = SimConfig::default_ixps();
+  ASSERT_EQ(ixps.size(), 14u);
+  EXPECT_EQ(ixps[0].code, "CE1");
+  EXPECT_EQ(ixps[13].code, "SE6");
+  int ce = 0;
+  int na = 0;
+  int se = 0;
+  for (const auto& spec : ixps) {
+    if (spec.code.starts_with("CE")) ++ce;
+    if (spec.code.starts_with("NA")) ++na;
+    if (spec.code.starts_with("SE")) ++se;
+  }
+  EXPECT_EQ(ce, 4);
+  EXPECT_EQ(na, 4);
+  EXPECT_EQ(se, 6);
+
+  const auto telescopes = SimConfig::default_telescopes();
+  ASSERT_EQ(telescopes.size(), 3u);
+  EXPECT_EQ(telescopes[1].blocked_ports.size(), 2u);
+  EXPECT_TRUE(telescopes[2].announced_at_many_ixps);
+}
+
+}  // namespace
+}  // namespace mtscope::sim

@@ -1,0 +1,88 @@
+#include "pipeline/spoof_tolerance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mtscope::pipeline {
+namespace {
+
+flow::FlowRecord tx_record(std::uint32_t src, std::uint64_t packets) {
+  flow::FlowRecord r;
+  r.key.src = net::Ipv4Addr(src);
+  r.key.dst = net::Ipv4Addr(0x08080808);
+  r.key.proto = net::IpProto::kTcp;
+  r.packets = packets;
+  r.bytes = packets * 40;
+  return r;
+}
+
+TEST(SpoofTolerance, ZeroWhenNoSpoofing) {
+  VantageStats stats;
+  const std::uint8_t slash8s[] = {37, 102};
+  EXPECT_EQ(compute_spoof_tolerance(stats, slash8s), 0u);
+}
+
+TEST(SpoofTolerance, ZeroWhenNoUnroutedGiven) {
+  VantageStats stats;
+  stats.add_flows(std::vector<flow::FlowRecord>{tx_record(37u << 24, 100)}, 1, 0);
+  EXPECT_EQ(compute_spoof_tolerance(stats, {}), 0u);
+}
+
+TEST(SpoofTolerance, RankInsideZeroMassIsZero) {
+  // A single hit among 131,072 blocks: the 99.99th percentile is still 0...
+  // only with a far smaller percentile would it become nonzero.
+  VantageStats stats;
+  stats.add_flows(std::vector<flow::FlowRecord>{tx_record((37u << 24) | 0x100, 5)}, 1, 0);
+  const std::uint8_t slash8s[] = {37, 102};
+  SpoofToleranceConfig config;
+  config.percentile = 0.5;
+  EXPECT_EQ(compute_spoof_tolerance(stats, slash8s, config), 0u);
+}
+
+TEST(SpoofTolerance, PercentilePicksTail) {
+  VantageStats stats;
+  std::vector<flow::FlowRecord> flows;
+  // Hit 1% of blocks in 37/8 once and a handful of blocks heavily.
+  for (std::uint32_t i = 0; i < 655; ++i) {
+    flows.push_back(tx_record((37u << 24) | (i * 100u << 8) | 1, 1));
+  }
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    flows.push_back(tx_record((37u << 24) | ((60000u + i) << 8) | 1, 50));
+  }
+  stats.add_flows(flows, 1, 0);
+
+  const std::uint8_t slash8s[] = {37, 102};
+  // 99.99th percentile over 131,072 blocks: rank 131,059 -> zeros cover
+  // 130,412 -> lands in the single-packet mass.
+  EXPECT_EQ(compute_spoof_tolerance(stats, slash8s), 1u);
+
+  // 99.999th percentile: rank 131,071 -> lands among the heavy five.
+  SpoofToleranceConfig config;
+  config.percentile = 0.99999;
+  EXPECT_EQ(compute_spoof_tolerance(stats, slash8s, config), 50u);
+}
+
+TEST(SpoofTolerance, OnlyCountsGivenSlash8s) {
+  VantageStats stats;
+  std::vector<flow::FlowRecord> flows;
+  for (std::uint32_t i = 0; i < 60000; ++i) {
+    flows.push_back(tx_record((99u << 24) | (i << 8) | 1, 9));  // 99/8: not ours
+  }
+  stats.add_flows(flows, 1, 0);
+  const std::uint8_t slash8s[] = {37};
+  EXPECT_EQ(compute_spoof_tolerance(stats, slash8s), 0u);
+}
+
+TEST(SpoofTolerance, HeavySpoofingRaisesTolerance) {
+  VantageStats stats;
+  std::vector<flow::FlowRecord> flows;
+  // Hit half the blocks of 37/8 with 3 packets each.
+  for (std::uint32_t i = 0; i < 65536; i += 2) {
+    flows.push_back(tx_record((37u << 24) | (i << 8) | 1, 3));
+  }
+  stats.add_flows(flows, 1, 0);
+  const std::uint8_t slash8s[] = {37};
+  EXPECT_EQ(compute_spoof_tolerance(stats, slash8s), 3u);
+}
+
+}  // namespace
+}  // namespace mtscope::pipeline

@@ -1,0 +1,99 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mtscope::util {
+namespace {
+
+TEST(Split, BasicFields) {
+  const auto fields = split("a,b,c", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Split, EmptyFieldsPreserved) {
+  const auto fields = split(",x,,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "");
+  EXPECT_EQ(fields[1], "x");
+  EXPECT_EQ(fields[2], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(Split, SingleFieldNoSeparator) {
+  const auto fields = split("abc", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "abc");
+}
+
+TEST(SplitWs, CollapsesRuns) {
+  const auto fields = split_ws("  a \t b\n\nc  ");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitWs, EmptyAndBlank) {
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws(" \t\n").empty());
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StartsWith, Cases) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_TRUE(starts_with("foo", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+TEST(ParseUint, Valid) {
+  EXPECT_EQ(parse_uint<std::uint32_t>("0").value(), 0u);
+  EXPECT_EQ(parse_uint<std::uint32_t>("4294967295").value(), 4294967295u);
+  EXPECT_EQ(parse_uint<std::uint16_t>("65535").value(), 65535u);
+}
+
+TEST(ParseUint, Invalid) {
+  EXPECT_FALSE(parse_uint<std::uint32_t>(""));
+  EXPECT_FALSE(parse_uint<std::uint32_t>("-1"));
+  EXPECT_FALSE(parse_uint<std::uint32_t>("12x"));
+  EXPECT_FALSE(parse_uint<std::uint32_t>("4294967296"));  // overflow
+  EXPECT_FALSE(parse_uint<std::uint16_t>("65536"));
+}
+
+TEST(ParseDouble, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(parse_double("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(parse_double("-2").value(), -2.0);
+  EXPECT_FALSE(parse_double(""));
+  EXPECT_FALSE(parse_double("1.2.3"));
+  EXPECT_FALSE(parse_double("abc"));
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(WithCommas, Grouping) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(1000000000ull), "1,000,000,000");
+}
+
+TEST(ToLower, Ascii) {
+  EXPECT_EQ(to_lower("AbC"), "abc");
+  EXPECT_EQ(to_lower("Data Center"), "data center");
+}
+
+}  // namespace
+}  // namespace mtscope::util

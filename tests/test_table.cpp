@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mtscope::util {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"Name", "Count"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| Name  |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha |"), std::string::npos);
+  EXPECT_NE(out.find("| 12345 |"), std::string::npos);  // right-aligned numbers
+}
+
+TEST(TextTable, RowCellCountValidated) {
+  TextTable t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(TextTable, EmptyHeadersRejected) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, SeparatorInsertsLine) {
+  TextTable t({"X"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // header line + top/bottom + separator = 4 horizontal rules
+  std::size_t rules = 0;
+  for (std::size_t pos = out.find("+-"); pos != std::string::npos; pos = out.find("+-", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TextTable, AlignmentOverride) {
+  TextTable t({"L", "R"});
+  t.set_alignment(1, Align::kLeft);
+  t.add_row({"x", "y"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| x | y |"), std::string::npos);
+}
+
+TEST(TextTable, SetAlignmentBadColumnThrows) {
+  TextTable t({"A"});
+  EXPECT_THROW(t.set_alignment(5, Align::kLeft), std::out_of_range);
+}
+
+TEST(Fixed, Precision) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+}
+
+TEST(Percent, Formats) {
+  EXPECT_EQ(percent(0.1234), "12.34%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace mtscope::util

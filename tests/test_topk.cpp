@@ -1,0 +1,81 @@
+#include "telemetry/topk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mtscope::telemetry {
+namespace {
+
+TEST(SpaceSaving, ExactUnderCapacity) {
+  SpaceSaving<int> sketch(10);
+  sketch.add(1, 5);
+  sketch.add(2, 3);
+  sketch.add(1, 2);
+  EXPECT_EQ(sketch.estimate(1), 7u);
+  EXPECT_EQ(sketch.estimate(2), 3u);
+  EXPECT_EQ(sketch.estimate(99), 0u);
+  const auto top = sketch.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, 1);
+  EXPECT_EQ(top[0].overestimate, 0u);
+}
+
+TEST(SpaceSaving, TopTruncatesAndOrders) {
+  SpaceSaving<int> sketch(10);
+  for (int i = 0; i < 8; ++i) sketch.add(i, static_cast<std::uint64_t>(i + 1));
+  const auto top = sketch.top(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key, 7);
+  EXPECT_EQ(top[1].key, 6);
+  EXPECT_EQ(top[2].key, 5);
+}
+
+TEST(SpaceSaving, EvictionKeepsHeavyHitters) {
+  // One dominant key among a stream of one-off keys must survive.
+  SpaceSaving<int> sketch(8);
+  util::Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    sketch.add(-1, 5);                                    // heavy
+    sketch.add(static_cast<int>(rng.uniform(100'000)));   // noise
+  }
+  const auto top = sketch.top(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].key, -1);
+  // Estimate >= true count (Space-Saving never underestimates monitored keys).
+  EXPECT_GE(top[0].count, 50'000u);
+}
+
+TEST(SpaceSaving, OverestimateBoundedByMinCount) {
+  SpaceSaving<int> sketch(2);
+  sketch.add(1, 10);
+  sketch.add(2, 20);
+  sketch.add(3, 1);  // evicts key 1 (min count 10), inherits its count
+  EXPECT_EQ(sketch.estimate(3), 11u);
+  const auto top = sketch.top(2);
+  const auto entry3 = top[1];
+  EXPECT_EQ(entry3.key, 3);
+  EXPECT_EQ(entry3.overestimate, 10u);
+}
+
+TEST(SpaceSaving, CapacityRespected) {
+  SpaceSaving<int> sketch(4);
+  for (int i = 0; i < 100; ++i) sketch.add(i);
+  EXPECT_EQ(sketch.size(), 4u);
+  EXPECT_EQ(sketch.capacity(), 4u);
+}
+
+TEST(SpaceSaving, ZeroCapacityRejected) {
+  EXPECT_THROW(SpaceSaving<int>(0), std::invalid_argument);
+}
+
+TEST(SpaceSaving, DeterministicTieBreak) {
+  SpaceSaving<int> sketch(4);
+  sketch.add(5, 2);
+  sketch.add(3, 2);
+  const auto top = sketch.top(2);
+  EXPECT_EQ(top[0].key, 3);  // equal counts -> smaller key first
+}
+
+}  // namespace
+}  // namespace mtscope::telemetry

@@ -1,0 +1,168 @@
+#include "sim/traffic_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace mtscope::sim {
+namespace {
+
+TEST(PortModel, DrawsOnlyKnownPorts) {
+  PortModel model;
+  util::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint16_t port =
+        model.scan_port(rng, geo::Continent::kEurope, geo::NetType::kIsp);
+    const auto& ports = model.base_ports();
+    EXPECT_NE(std::find(ports.begin(), ports.end(), port), ports.end());
+  }
+}
+
+std::map<std::uint16_t, int> sample_ports(const PortModel& model, geo::Continent c,
+                                          geo::NetType t, int n = 50'000) {
+  util::Rng rng(static_cast<std::uint64_t>(c) * 100 + static_cast<std::uint64_t>(t));
+  std::map<std::uint16_t, int> counts;
+  for (int i = 0; i < n; ++i) ++counts[model.scan_port(rng, c, t)];
+  return counts;
+}
+
+TEST(PortModel, Port23DominatesInEurope) {
+  PortModel model;
+  const auto counts = sample_ports(model, geo::Continent::kEurope, geo::NetType::kIsp);
+  for (const auto& [port, count] : counts) {
+    if (port != 23) {
+      EXPECT_GE(counts.at(23), count) << port;
+    }
+  }
+}
+
+TEST(PortModel, SatoriPortsHotInAfrica) {
+  PortModel model;
+  const auto af = sample_ports(model, geo::Continent::kAfrica, geo::NetType::kIsp);
+  const auto eu = sample_ports(model, geo::Continent::kEurope, geo::NetType::kIsp);
+  // Ports 37215 and 52869 must be strongly over-represented in AF.
+  EXPECT_GT(af.at(37215), 4 * eu.at(37215));
+  EXPECT_GT(af.at(52869), 4 * eu.at(52869));
+}
+
+TEST(PortModel, Port6001HotInOceania) {
+  PortModel model;
+  const auto oc = sample_ports(model, geo::Continent::kOceania, geo::NetType::kIsp);
+  const auto eu = sample_ports(model, geo::Continent::kEurope, geo::NetType::kIsp);
+  EXPECT_GT(oc.at(6001), 3 * eu.at(6001));
+}
+
+TEST(PortModel, Port80HotterInDataCenters) {
+  PortModel model;
+  const auto dc = sample_ports(model, geo::Continent::kNorthAmerica, geo::NetType::kDataCenter);
+  const auto isp = sample_ports(model, geo::Continent::kNorthAmerica, geo::NetType::kIsp);
+  const double dc_share = static_cast<double>(dc.at(80)) / 50'000;
+  const double isp_share = static_cast<double>(isp.at(80)) / 50'000;
+  EXPECT_GT(dc_share, 1.5 * isp_share);
+}
+
+TEST(BlockTraits, Syn40ShareDistribution) {
+  BlockTraits traits(42);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    const double p = traits.syn40_share(net::Block24(static_cast<std::uint32_t>(i)));
+    EXPECT_GE(p, 0.30);
+    EXPECT_LE(p, 0.99);
+    sum += p;
+    sum_sq += p * p;
+  }
+  const double mean = sum / n;
+  const double sd = std::sqrt(sum_sq / n - mean * mean);
+  EXPECT_NEAR(mean, 0.785, 0.01);
+  EXPECT_NEAR(sd, 0.096, 0.015);
+}
+
+TEST(BlockTraits, DeterministicPerSeedAndBlock) {
+  BlockTraits a(1);
+  BlockTraits b(1);
+  BlockTraits c(2);
+  const net::Block24 block(12345);
+  EXPECT_DOUBLE_EQ(a.syn40_share(block), b.syn40_share(block));
+  EXPECT_NE(a.syn40_share(block), c.syn40_share(block));
+  EXPECT_EQ(a.isp_active_size_class(block), b.isp_active_size_class(block));
+}
+
+TEST(BlockTraits, IspSizeClassProportions) {
+  BlockTraits traits(7);
+  int counts[3] = {0, 0, 0};
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[traits.isp_active_size_class(net::Block24(static_cast<std::uint32_t>(i)))];
+  }
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.075, 0.01);  // ack-heavy
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.15, 0.01);   // smallish
+}
+
+TEST(BlockTraits, LeaseFractionApproximatelyHonoured) {
+  BlockTraits traits(9);
+  const double fraction = 0.65;
+  int leased = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    if (traits.leased_today(net::Block24(static_cast<std::uint32_t>(i)), 3, fraction)) ++leased;
+  }
+  // Pool fraction plus ~5% symmetric churn keeps the daily rate close.
+  EXPECT_NEAR(static_cast<double>(leased) / n, fraction * 0.95 + (1 - fraction) * 0.05, 0.02);
+}
+
+TEST(BlockTraits, LeasePoolIsStickyWithChurn) {
+  BlockTraits traits(9);
+  // Across many blocks: day-to-day flips exist (churn) but are rare.
+  int flips = 0;
+  int comparisons = 0;
+  for (std::uint32_t b = 0; b < 2000; ++b) {
+    const bool day0 = traits.leased_today(net::Block24(b), 0, 0.65);
+    for (int day = 1; day < 7; ++day) {
+      ++comparisons;
+      if (traits.leased_today(net::Block24(b), day, 0.65) != day0) ++flips;
+    }
+  }
+  const double flip_rate = static_cast<double>(flips) / comparisons;
+  EXPECT_GT(flip_rate, 0.02);   // churn exists
+  EXPECT_LT(flip_rate, 0.20);   // but the pool is sticky
+}
+
+TEST(DayFactors, ShapesMatchDesign) {
+  // Production dips hard on the weekend (days 5, 6).
+  EXPECT_LT(DayFactors::production(5), 0.6);
+  EXPECT_LT(DayFactors::production(6), 0.6);
+  EXPECT_GT(DayFactors::production(2), 0.9);
+  // Scanning surges on the report day and never collapses.
+  EXPECT_GT(DayFactors::scan(0), DayFactors::scan(3));
+  for (int d = 0; d < 7; ++d) EXPECT_GT(DayFactors::scan(d), 0.9);
+  // Spoofed DDoS is weekday-heavy.
+  EXPECT_GT(DayFactors::spoof(0), DayFactors::spoof(6));
+  // Periodic beyond the week.
+  EXPECT_DOUBLE_EQ(DayFactors::scan(7), DayFactors::scan(0));
+  EXPECT_DOUBLE_EQ(DayFactors::production(-1), DayFactors::production(6));
+}
+
+TEST(DrawScanSize, OnlyExpectedSizes) {
+  util::Rng rng(5);
+  int n40 = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint16_t size = draw_scan_size(rng, 0.9);
+    EXPECT_TRUE(size == 40 || size == 48 || size == 56) << size;
+    if (size == 40) ++n40;
+  }
+  EXPECT_NEAR(static_cast<double>(n40) / n, 0.9, 0.01);
+}
+
+TEST(DrawProductionSize, LargeOnAverage) {
+  util::Rng rng(6);
+  double sum = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) sum += draw_production_size(rng);
+  EXPECT_GT(sum / n, 500.0);  // far above the 44-byte dark threshold
+}
+
+}  // namespace
+}  // namespace mtscope::sim

@@ -1,0 +1,86 @@
+#include "sim/vantage.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mtscope::sim {
+namespace {
+
+class VantageTest : public ::testing::Test {
+ protected:
+  static const AddressPlan& plan() {
+    static const AddressPlan instance{SimConfig::tiny(3)};
+    return instance;
+  }
+};
+
+TEST_F(VantageTest, VisibilityWithinBounds) {
+  const Ixp ixp(SimConfig::tiny().ixps[0], 0, plan(), 3);
+  for (std::size_t a = 0; a < plan().ases().size(); ++a) {
+    EXPECT_GE(ixp.visibility(a), 0.0);
+    EXPECT_LE(ixp.visibility(a), 0.05);
+  }
+}
+
+TEST_F(VantageTest, DeterministicConstruction) {
+  const Ixp a(SimConfig::tiny().ixps[0], 0, plan(), 3);
+  const Ixp b(SimConfig::tiny().ixps[0], 0, plan(), 3);
+  for (std::size_t i = 0; i < plan().ases().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.visibility(i), b.visibility(i));
+    EXPECT_EQ(a.is_member(i), b.is_member(i));
+  }
+  EXPECT_EQ(a.member_count(), b.member_count());
+}
+
+TEST_F(VantageTest, MembersHaveVisibility) {
+  const Ixp ixp(SimConfig::tiny().ixps[0], 0, plan(), 3);
+  EXPECT_GT(ixp.member_count(), 0u);
+  for (std::size_t a = 0; a < plan().ases().size(); ++a) {
+    if (ixp.is_member(a)) {
+      EXPECT_GT(ixp.visibility(a), 0.0);
+    }
+  }
+}
+
+TEST_F(VantageTest, SameRegionMembershipBias) {
+  const Ixp ce(SimConfig::tiny().ixps[0], 0, plan(), 3);  // Central Europe
+  std::size_t eu_members = 0;
+  std::size_t eu_total = 0;
+  std::size_t other_members = 0;
+  std::size_t other_total = 0;
+  for (std::size_t a = 0; a < plan().ases().size(); ++a) {
+    const bool eu = plan().ases()[a].continent == geo::Continent::kEurope;
+    (eu ? eu_total : other_total) += 1;
+    if (ce.is_member(a)) (eu ? eu_members : other_members) += 1;
+  }
+  ASSERT_GT(eu_total, 0u);
+  ASSERT_GT(other_total, 0u);
+  const double eu_rate = static_cast<double>(eu_members) / eu_total;
+  const double other_rate = static_cast<double>(other_members) / other_total;
+  EXPECT_GT(eu_rate, other_rate * 1.5);
+}
+
+TEST_F(VantageTest, SetVisibilityOverrides) {
+  Ixp ixp(SimConfig::tiny().ixps[0], 0, plan(), 3);
+  ixp.set_visibility(0, 0.77);
+  EXPECT_DOUBLE_EQ(ixp.visibility(0), 0.77);
+}
+
+TEST_F(VantageTest, SpoofShareScalesWithBoost) {
+  IxpSpec big = SimConfig::tiny().ixps[0];
+  big.visibility_boost = 1.0;
+  IxpSpec small = big;
+  small.visibility_boost = 0.1;
+  const Ixp ixp_big(big, 0, plan(), 3);
+  const Ixp ixp_small(small, 1, plan(), 3);
+  EXPECT_GT(ixp_big.spoof_share(), 50 * ixp_small.spoof_share());
+}
+
+TEST(IxpRegion, ContinentMapping) {
+  EXPECT_EQ(ixp_region_continent("North America"), geo::Continent::kNorthAmerica);
+  EXPECT_EQ(ixp_region_continent("Central Europe"), geo::Continent::kEurope);
+  EXPECT_EQ(ixp_region_continent("South Europe"), geo::Continent::kEurope);
+  EXPECT_EQ(ixp_region_continent("South America"), geo::Continent::kSouthAmerica);
+}
+
+}  // namespace
+}  // namespace mtscope::sim

@@ -1,0 +1,126 @@
+#include "pipeline/vantage_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mtscope::pipeline {
+namespace {
+
+flow::FlowRecord record(std::uint32_t src, std::uint32_t dst, net::IpProto proto,
+                        std::uint64_t packets, std::uint64_t bytes) {
+  flow::FlowRecord r;
+  r.key.src = net::Ipv4Addr(src);
+  r.key.dst = net::Ipv4Addr(dst);
+  r.key.proto = proto;
+  r.packets = packets;
+  r.bytes = bytes;
+  return r;
+}
+
+TEST(VantageStats, PerIpAccounting) {
+  VantageStats stats;
+  const std::vector<flow::FlowRecord> flows = {
+      record(0x01010101, 0x0a000105, net::IpProto::kTcp, 2, 80),
+      record(0x01010101, 0x0a000105, net::IpProto::kTcp, 1, 48),
+      record(0x01010101, 0x0a000107, net::IpProto::kUdp, 3, 300),
+  };
+  stats.add_flows(flows, 100, 0);
+
+  const BlockObservation* obs = stats.find(net::Block24(0x0a0001));
+  ASSERT_NE(obs, nullptr);
+  EXPECT_EQ(obs->rx_packets, 6u);
+  EXPECT_EQ(obs->rx_tcp_packets, 3u);
+  EXPECT_EQ(obs->rx_tcp_bytes, 128u);
+  EXPECT_EQ(obs->rx_est_packets, 600u);
+  ASSERT_EQ(obs->rx_ips.size(), 2u);
+
+  // Host .5 got both TCP flows.
+  bool found5 = false;
+  for (const IpRxStats& ip : obs->rx_ips) {
+    if (ip.host == 5) {
+      found5 = true;
+      EXPECT_EQ(ip.tcp_packets, 3u);
+      EXPECT_NEAR(ip.avg_tcp_size(), 128.0 / 3.0, 1e-9);
+    }
+    if (ip.host == 7) {
+      EXPECT_EQ(ip.tcp_packets, 0u);
+      EXPECT_EQ(ip.packets, 3u);
+    }
+  }
+  EXPECT_TRUE(found5);
+
+  // Source side: block of 1.1.1.1 marked as sender.
+  const BlockObservation* src = stats.find(net::Block24(0x010101));
+  ASSERT_NE(src, nullptr);
+  EXPECT_EQ(src->tx_packets, 6u);
+  EXPECT_TRUE(src->host_sent(1));
+  EXPECT_FALSE(src->host_sent(2));
+}
+
+TEST(VantageStats, SourceMaskFiltersForeignSources) {
+  auto mask = std::make_shared<trie::Block24Set>();
+  mask->insert(net::Block24(0x0a0001));  // only the destination block
+  VantageStats stats(mask);
+  const std::vector<flow::FlowRecord> flows = {
+      record(0x01010101, 0x0a000105, net::IpProto::kTcp, 1, 40),
+  };
+  stats.add_flows(flows, 1, 0);
+  EXPECT_NE(stats.find(net::Block24(0x0a0001)), nullptr);
+  EXPECT_EQ(stats.find(net::Block24(0x010101)), nullptr);  // masked out
+}
+
+TEST(VantageStats, DayCounting) {
+  VantageStats stats;
+  EXPECT_EQ(stats.day_count(), 1);  // empty -> avoid division by zero
+  stats.add_flows({}, 1, 3);
+  stats.add_flows({}, 1, 3);
+  stats.add_flows({}, 1, 5);
+  EXPECT_EQ(stats.day_count(), 2);
+}
+
+TEST(VantageStats, MergeCombines) {
+  VantageStats a;
+  VantageStats b;
+  const std::vector<flow::FlowRecord> fa = {
+      record(0x01010101, 0x0a000105, net::IpProto::kTcp, 1, 40)};
+  const std::vector<flow::FlowRecord> fb = {
+      record(0x02020202, 0x0a000105, net::IpProto::kTcp, 2, 96),
+      record(0x0a000109, 0x03030303, net::IpProto::kTcp, 1, 40)};  // block sends
+  a.add_flows(fa, 10, 0);
+  b.add_flows(fb, 10, 1);
+  a.merge(b);
+
+  EXPECT_EQ(a.day_count(), 2);
+  EXPECT_EQ(a.flows_ingested(), 3u);
+  const BlockObservation* obs = a.find(net::Block24(0x0a0001));
+  ASSERT_NE(obs, nullptr);
+  EXPECT_EQ(obs->rx_packets, 3u);
+  EXPECT_EQ(obs->rx_ips.size(), 1u);  // same host .5 merged
+  EXPECT_EQ(obs->rx_ips[0].tcp_packets, 3u);
+  EXPECT_EQ(obs->tx_packets, 1u);
+  EXPECT_TRUE(obs->host_sent(9));
+}
+
+TEST(BlockObservationStruct, HostBitmap) {
+  BlockObservation obs;
+  EXPECT_FALSE(obs.host_sent(0));
+  obs.mark_host_sent(0);
+  obs.mark_host_sent(63);
+  obs.mark_host_sent(64);
+  obs.mark_host_sent(255);
+  EXPECT_TRUE(obs.host_sent(0));
+  EXPECT_TRUE(obs.host_sent(63));
+  EXPECT_TRUE(obs.host_sent(64));
+  EXPECT_TRUE(obs.host_sent(255));
+  EXPECT_FALSE(obs.host_sent(128));
+}
+
+TEST(BlockObservationStruct, AvgTcpSize) {
+  BlockObservation obs;
+  EXPECT_DOUBLE_EQ(obs.avg_tcp_size(), 0.0);
+  obs.rx_tcp_packets = 4;
+  obs.rx_tcp_bytes = 180;
+  EXPECT_DOUBLE_EQ(obs.avg_tcp_size(), 45.0);
+}
+
+}  // namespace
+}  // namespace mtscope::pipeline

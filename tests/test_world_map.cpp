@@ -1,0 +1,68 @@
+#include "analysis/world_map.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mtscope::analysis {
+namespace {
+
+class WorldMapTest : public ::testing::Test {
+ protected:
+  WorldMapTest() {
+    geodb_.add(*net::Prefix::parse("60.0.0.0/9"), "US");
+    geodb_.add(*net::Prefix::parse("60.128.0.0/9"), "CN");
+    pfx2as_.add(*net::Prefix::parse("60.0.0.0/9"), net::AsNumber(100));
+    pfx2as_.add(*net::Prefix::parse("60.128.0.0/9"), net::AsNumber(200));
+  }
+
+  geo::GeoDb geodb_;
+  routing::PrefixToAs pfx2as_;
+};
+
+TEST_F(WorldMapTest, AggregatesByCountryAndAs) {
+  trie::Block24Set blocks;
+  blocks.insert(net::Block24(60u << 16 | 1));          // US
+  blocks.insert(net::Block24(60u << 16 | 2));          // US
+  blocks.insert(net::Block24(60u << 16 | 0x8000 | 1)); // CN
+  blocks.insert(net::Block24(99u << 16 | 1));          // unmapped
+
+  const GeoSummary summary = summarize_geography(blocks, geodb_, pfx2as_);
+  EXPECT_EQ(summary.total_blocks, 4u);
+  EXPECT_EQ(summary.distinct_countries, 3u);  // US, CN, "??"
+  EXPECT_EQ(summary.distinct_ases, 2u);
+  ASSERT_FALSE(summary.by_country.empty());
+  EXPECT_EQ(summary.by_country[0].country, "US");
+  EXPECT_EQ(summary.by_country[0].blocks, 2u);
+  EXPECT_EQ(summary.by_continent.at(geo::Continent::kNorthAmerica), 2u);
+  EXPECT_EQ(summary.by_continent.at(geo::Continent::kAsia), 1u);
+  EXPECT_EQ(summary.by_continent.at(geo::Continent::kInternational), 1u);
+}
+
+TEST_F(WorldMapTest, EmptySet) {
+  const GeoSummary summary = summarize_geography(trie::Block24Set{}, geodb_, pfx2as_);
+  EXPECT_EQ(summary.total_blocks, 0u);
+  EXPECT_TRUE(summary.by_country.empty());
+  EXPECT_EQ(summary.distinct_ases, 0u);
+}
+
+TEST_F(WorldMapTest, RenderContainsBarsAndContinents) {
+  trie::Block24Set blocks;
+  for (std::uint32_t i = 0; i < 100; ++i) blocks.insert(net::Block24(60u << 16 | i));
+  const GeoSummary summary = summarize_geography(blocks, geodb_, pfx2as_);
+  const std::string text = render_world_table(summary, 5);
+  EXPECT_NE(text.find("US"), std::string::npos);
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_NE(text.find("NA=100"), std::string::npos);
+}
+
+TEST_F(WorldMapTest, TopNLimitsRows) {
+  trie::Block24Set blocks;
+  blocks.insert(net::Block24(60u << 16 | 1));
+  blocks.insert(net::Block24(60u << 16 | 2));
+  blocks.insert(net::Block24(60u << 16 | 0x8000 | 1));
+  const GeoSummary summary = summarize_geography(blocks, geodb_, pfx2as_);
+  const std::string one_row = render_world_table(summary, 1);
+  EXPECT_EQ(one_row.find("CN"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mtscope::analysis

@@ -1,0 +1,316 @@
+// mtscope — command-line front end.
+//
+//   mtscope infer    [--seed N] [--scale tiny|full] [--days K] [--ixps A,B]
+//                    [--no-tolerance] [--csv FILE] [--hilbert OCTET FILE.pgm]
+//   mtscope capture  [--seed N] [--telescope TUS1|TEU1|TEU2] [--day D] --pcap FILE
+//   mtscope datasets [--seed N] [--scale tiny|full] --out-dir DIR
+//   mtscope ports    [--seed N] [--scale tiny|full] [--top K]
+//
+// `infer` runs the full pipeline over simulated vantage-point data and
+// emits the meta-telescope prefix list; on a real deployment the same code
+// path starts from an IPFIX/NetFlow collector instead of the simulator.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/hilbert_map.hpp"
+#include "analysis/ports.hpp"
+#include "analysis/world_map.hpp"
+#include "net/pcap.hpp"
+#include "pipeline/collector.hpp"
+#include "pipeline/evaluation.hpp"
+#include "pipeline/inference.hpp"
+#include "pipeline/spoof_tolerance.hpp"
+#include "sim/simulation.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace mtscope;
+
+namespace {
+
+struct Options {
+  std::string command;
+  std::uint64_t seed = 42;
+  bool tiny = false;
+  int days = 1;
+  std::string ixps;             // comma-separated codes; empty = all
+  bool tolerance = true;
+  std::string csv_path;
+  int hilbert_octet = -1;
+  std::string hilbert_path;
+  std::string telescope = "TUS1";
+  int day = 0;
+  std::string pcap_path;
+  std::string out_dir;
+  std::size_t top = 10;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: mtscope <infer|capture|datasets|ports> [options]\n"
+               "  common:  --seed N        simulation seed (default 42)\n"
+               "           --scale tiny|full\n"
+               "  infer:   --days K --ixps CE1,NA1 --no-tolerance --csv FILE\n"
+               "           --hilbert OCTET FILE.pgm\n"
+               "  capture: --telescope TUS1|TEU1|TEU2 --day D --pcap FILE\n"
+               "  datasets: --out-dir DIR\n"
+               "  ports:   --top K\n");
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  if (argc < 2) return false;
+  opt.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--scale") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.tiny = std::strcmp(v, "tiny") == 0;
+    } else if (arg == "--days") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.days = std::atoi(v);
+    } else if (arg == "--ixps") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.ixps = v;
+    } else if (arg == "--no-tolerance") {
+      opt.tolerance = false;
+    } else if (arg == "--csv") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.csv_path = v;
+    } else if (arg == "--hilbert") {
+      const char* octet = next();
+      const char* path = next();
+      if (octet == nullptr || path == nullptr) return false;
+      opt.hilbert_octet = std::atoi(octet);
+      opt.hilbert_path = path;
+    } else if (arg == "--telescope") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.telescope = v;
+    } else if (arg == "--day") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.day = std::atoi(v);
+    } else if (arg == "--pcap") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.pcap_path = v;
+    } else if (arg == "--out-dir") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.out_dir = v;
+    } else if (arg == "--top") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.top = static_cast<std::size_t>(std::atoi(v));
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+sim::Simulation make_simulation(const Options& opt) {
+  if (opt.tiny) return sim::Simulation(sim::SimConfig::tiny(opt.seed));
+  sim::SimConfig config;
+  config.seed = opt.seed;
+  return sim::Simulation(config);
+}
+
+std::vector<std::size_t> select_ixps(const sim::Simulation& simulation, const Options& opt) {
+  if (opt.ixps.empty()) return pipeline::all_ixps(simulation);
+  std::vector<std::size_t> out;
+  for (const auto code : util::split(opt.ixps, ',')) {
+    out.push_back(simulation.ixp_index(std::string(util::trim(code))));
+  }
+  return out;
+}
+
+int cmd_infer(const Options& opt) {
+  const sim::Simulation simulation = make_simulation(opt);
+  const auto ixps = select_ixps(simulation, opt);
+  std::vector<int> days;
+  for (int d = 0; d < std::max(1, opt.days); ++d) days.push_back(d);
+
+  std::fprintf(stderr, "collecting %zu vantage point(s) x %zu day(s)...\n", ixps.size(),
+               days.size());
+  const auto stats = pipeline::collect_stats(simulation, ixps, days);
+
+  std::uint64_t tolerance = 0;
+  if (opt.tolerance) {
+    tolerance =
+        pipeline::compute_spoof_tolerance(stats, simulation.plan().unrouted_slash8s());
+  }
+  const auto registry = routing::SpecialPurposeRegistry::standard();
+  pipeline::PipelineConfig config;
+  config.volume_scale = simulation.config().volume_scale;
+  config.spoof_tolerance_pkts = tolerance;
+  const pipeline::InferenceEngine engine(config, simulation.plan().rib(), registry);
+  const auto result = engine.infer(stats);
+  const auto eval = pipeline::evaluate_against_ground_truth(result.dark, simulation.plan());
+
+  std::printf("seen=%s dark=%s unclean=%s gray=%s tolerance=%llu fp-rate=%s\n",
+              util::with_commas(result.funnel.seen).c_str(),
+              util::with_commas(result.dark.size()).c_str(),
+              util::with_commas(result.unclean).c_str(),
+              util::with_commas(result.gray).c_str(),
+              static_cast<unsigned long long>(tolerance),
+              util::percent(eval.false_positive_rate()).c_str());
+
+  if (!opt.csv_path.empty()) {
+    std::ofstream out(opt.csv_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", opt.csv_path.c_str());
+      return 1;
+    }
+    util::CsvWriter writer(out);
+    writer.write_row({"prefix", "origin_asn", "country"});
+    const auto pfx2as = simulation.plan().make_pfx2as();
+    result.dark.for_each([&](net::Block24 block) {
+      const auto asn = pfx2as.resolve(block);
+      const auto country = simulation.plan().geodb().country_of(block);
+      writer.write_row({block.to_string(), asn ? std::to_string(asn->value()) : "",
+                        country.value_or("")});
+    });
+    std::fprintf(stderr, "wrote %s\n", opt.csv_path.c_str());
+  }
+
+  if (opt.hilbert_octet >= 0 && opt.hilbert_octet <= 255 && !opt.hilbert_path.empty()) {
+    const analysis::HilbertMap map(
+        static_cast<std::uint8_t>(opt.hilbert_octet), [&](net::Block24 block) {
+          return result.dark.contains(block) ? analysis::HilbertPixel::kDark
+                                             : analysis::HilbertPixel::kNoData;
+        });
+    std::ofstream out(opt.hilbert_path, std::ios::binary);
+    map.write_pgm(out);
+    std::fprintf(stderr, "wrote %s\n", opt.hilbert_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_capture(const Options& opt) {
+  if (opt.pcap_path.empty()) {
+    std::fprintf(stderr, "capture requires --pcap FILE\n");
+    return 1;
+  }
+  const sim::Simulation simulation = make_simulation(opt);
+  const auto& telescopes = simulation.plan().telescopes();
+  std::size_t index = telescopes.size();
+  for (std::size_t t = 0; t < telescopes.size(); ++t) {
+    if (telescopes[t].spec.code == opt.telescope) index = t;
+  }
+  if (index == telescopes.size()) {
+    std::fprintf(stderr, "unknown telescope %s\n", opt.telescope.c_str());
+    return 1;
+  }
+  const auto capture = simulation.run_telescope_day(index, opt.day);
+
+  std::ofstream out(opt.pcap_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", opt.pcap_path.c_str());
+    return 1;
+  }
+  net::PcapWriter writer(out);
+  for (const auto& p : capture.packets) {
+    writer.write(p.timestamp_us,
+                 net::synthesize_packet(p.src, p.dst, p.proto, p.src_port, p.dst_port,
+                                        p.tcp_flags, p.ip_length));
+  }
+  std::printf("captured %llu packets from %s day %d into %s\n",
+              static_cast<unsigned long long>(writer.packets_written()),
+              opt.telescope.c_str(), opt.day, opt.pcap_path.c_str());
+  return 0;
+}
+
+int cmd_datasets(const Options& opt) {
+  if (opt.out_dir.empty()) {
+    std::fprintf(stderr, "datasets requires --out-dir DIR (must exist)\n");
+    return 1;
+  }
+  const sim::Simulation simulation = make_simulation(opt);
+  const auto& plan = simulation.plan();
+
+  const auto write = [&](const std::string& name, const auto& saver) {
+    const std::string path = opt.out_dir + "/" + name;
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return false;
+    }
+    saver(out);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  };
+
+  bool ok = true;
+  ok &= write("pfx2as.txt", [&](std::ostream& o) { plan.make_pfx2as().save(o); });
+  ok &= write("as2org.txt", [&](std::ostream& o) { plan.make_as2org().save(o); });
+  ok &= write("geodb.csv", [&](std::ostream& o) { plan.geodb().save(o); });
+  ok &= write("nettypes.csv", [&](std::ostream& o) { plan.nettypes().save(o); });
+  return ok ? 0 : 1;
+}
+
+int cmd_ports(const Options& opt) {
+  const sim::Simulation simulation = make_simulation(opt);
+  const auto ixps = pipeline::all_ixps(simulation);
+  const int days[] = {0};
+  const auto stats = pipeline::collect_stats(simulation, ixps, days);
+  const std::uint64_t tolerance =
+      pipeline::compute_spoof_tolerance(stats, simulation.plan().unrouted_slash8s());
+  const auto registry = routing::SpecialPurposeRegistry::standard();
+  pipeline::PipelineConfig config;
+  config.volume_scale = simulation.config().volume_scale;
+  config.spoof_tolerance_pkts = tolerance;
+  const pipeline::InferenceEngine engine(config, simulation.plan().rib(), registry);
+  const auto result = engine.infer(stats);
+
+  analysis::PortCounter counter;
+  for (const std::size_t i : ixps) {
+    for (const auto& flow : simulation.run_ixp_day(i, 0).flows) {
+      if (flow.key.proto == net::IpProto::kTcp &&
+          result.dark.contains(net::Block24::containing(flow.key.dst))) {
+        counter.add(flow.key.dst_port, flow.packets);
+      }
+    }
+  }
+  util::TextTable table({"Rank", "Port", "Sampled packets", "Share"});
+  const auto top = counter.top(opt.top);
+  const std::uint64_t total = counter.total();
+  for (std::size_t r = 0; r < top.size(); ++r) {
+    table.add_row({"#" + std::to_string(r + 1), std::to_string(top[r].first),
+                   util::with_commas(top[r].second),
+                   util::percent(static_cast<double>(top[r].second) /
+                                 std::max<std::uint64_t>(1, total))});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    usage();
+    return 2;
+  }
+  if (opt.command == "infer") return cmd_infer(opt);
+  if (opt.command == "capture") return cmd_capture(opt);
+  if (opt.command == "datasets") return cmd_datasets(opt);
+  if (opt.command == "ports") return cmd_ports(opt);
+  usage();
+  return 2;
+}
