@@ -1,0 +1,126 @@
+// Serial vs sharded-parallel collect+infer throughput on a simulated
+// multi-IXP week (the paper's deployment shape: 14 vantage points x 7
+// days).  Verifies bit-identical output while timing, prints a comparison
+// table, and writes BENCH_parallel.json so later PRs can track the
+// speedup trajectory.
+//
+// MTSCOPE_BENCH_SCALE=small shrinks the workload (2 days) for quick
+// iteration, matching the convention of the other bench binaries.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "pipeline/collector.hpp"
+#include "pipeline/inference.hpp"
+#include "pipeline/parallel.hpp"
+#include "routing/special_purpose.hpp"
+#include "sim/simulation.hpp"
+
+using namespace mtscope;
+
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Measurement {
+  unsigned threads = 1;
+  unsigned shards = 1;
+  double collect_ms = 0.0;
+  double infer_ms = 0.0;
+
+  [[nodiscard]] double total_ms() const { return collect_ms + infer_ms; }
+};
+
+bool identical(const pipeline::InferenceResult& a, const pipeline::InferenceResult& b) {
+  return a.funnel == b.funnel && a.unclean == b.unclean && a.gray == b.gray &&
+         a.dark == b.dark;
+}
+
+}  // namespace
+
+int main() {
+  // The paper's deployment shape at test-universe scale: the full 14-IXP
+  // fleet over one week of the tiny universe.
+  sim::SimConfig config = sim::SimConfig::tiny(42);
+  config.ixps = sim::SimConfig::default_ixps();
+  const char* scale = std::getenv("MTSCOPE_BENCH_SCALE");
+  const int day_count = (scale != nullptr && std::strcmp(scale, "small") == 0) ? 2 : 7;
+
+  const sim::Simulation simulation(config);
+  const auto ixps = pipeline::all_ixps(simulation);
+  std::vector<int> days;
+  for (int d = 0; d < day_count; ++d) days.push_back(d);
+
+  const auto registry = routing::SpecialPurposeRegistry::standard();
+  pipeline::PipelineConfig pipeline_config;
+  pipeline_config.volume_scale = simulation.config().volume_scale;
+  const pipeline::InferenceEngine engine(pipeline_config, simulation.plan().rib(),
+                                         registry);
+
+  std::printf("== micro_parallel: %zu IXPs x %d days, serial vs sharded parallel ==\n",
+              ixps.size(), day_count);
+
+  // Serial baseline.
+  Measurement serial;
+  double t0 = now_ms();
+  const auto serial_stats = pipeline::collect_stats(simulation, ixps, days);
+  serial.collect_ms = now_ms() - t0;
+  t0 = now_ms();
+  const auto serial_result = engine.infer(serial_stats);
+  serial.infer_ms = now_ms() - t0;
+  std::printf("  serial              collect %9.1f ms  infer %7.1f ms  (dark=%llu blocks=%zu)\n",
+              serial.collect_ms, serial.infer_ms,
+              static_cast<unsigned long long>(serial_result.dark.size()),
+              serial_stats.blocks().size());
+
+  std::vector<Measurement> parallel;
+  bool all_identical = true;
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    Measurement m;
+    m.threads = threads;
+    m.shards = 16;
+    const pipeline::CollectOptions options{m.threads, m.shards};
+    t0 = now_ms();
+    const auto stats = pipeline::collect_stats(simulation, ixps, days, options);
+    m.collect_ms = now_ms() - t0;
+    t0 = now_ms();
+    const auto result = pipeline::parallel_infer(engine, stats, threads);
+    m.infer_ms = now_ms() - t0;
+
+    const bool ok = identical(result, serial_result);
+    all_identical &= ok;
+    std::printf("  %u threads/%2u shards collect %9.1f ms  infer %7.1f ms  speedup %5.2fx  %s\n",
+                m.threads, m.shards, m.collect_ms, m.infer_ms,
+                serial.total_ms() / m.total_ms(), ok ? "bit-identical" : "MISMATCH");
+    parallel.push_back(m);
+  }
+
+  std::ofstream json("BENCH_parallel.json");
+  json << "{\n"
+       << "  \"workload\": {\"ixps\": " << ixps.size() << ", \"days\": " << day_count
+       << ", \"blocks\": " << serial_stats.blocks().size()
+       << ", \"flows\": " << serial_stats.flows_ingested() << "},\n"
+       << "  \"serial\": {\"collect_ms\": " << serial.collect_ms
+       << ", \"infer_ms\": " << serial.infer_ms << "},\n"
+       << "  \"parallel\": [\n";
+  for (std::size_t i = 0; i < parallel.size(); ++i) {
+    const Measurement& m = parallel[i];
+    json << "    {\"threads\": " << m.threads << ", \"shards\": " << m.shards
+         << ", \"collect_ms\": " << m.collect_ms << ", \"infer_ms\": " << m.infer_ms
+         << ", \"speedup\": " << serial.total_ms() / m.total_ms() << "}"
+         << (i + 1 < parallel.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n"
+       << "  \"bit_identical\": " << (all_identical ? "true" : "false") << "\n"
+       << "}\n";
+  std::printf("  wrote BENCH_parallel.json\n");
+
+  return all_identical ? 0 : 1;
+}

@@ -1,5 +1,7 @@
 #include "pipeline/collector.hpp"
 
+#include "pipeline/parallel.hpp"
+
 namespace mtscope::pipeline {
 
 VantageStats collect_stats(const sim::Simulation& simulation,
@@ -13,6 +15,12 @@ VantageStats collect_stats(const sim::Simulation& simulation,
     }
   }
   return stats;
+}
+
+VantageStats collect_stats(const sim::Simulation& simulation,
+                           std::span<const std::size_t> ixp_indices,
+                           std::span<const int> days, const CollectOptions& options) {
+  return ParallelCollector(simulation, options).collect(ixp_indices, days);
 }
 
 std::vector<std::size_t> all_ixps(const sim::Simulation& simulation) {

@@ -10,11 +10,21 @@
 
 namespace mtscope::pipeline {
 
+struct CollectOptions;  // pipeline/parallel.hpp
+
 /// Collect merged stats over a set of vantage points and days.  Applies the
 /// plan's universe mask to bound source-side memory.
 [[nodiscard]] VantageStats collect_stats(const sim::Simulation& simulation,
                                          std::span<const std::size_t> ixp_indices,
                                          std::span<const int> days);
+
+/// Same collection through the sharded parallel engine (bit-identical
+/// output; see pipeline/parallel.hpp).  threads=1, shards=1 is the serial
+/// path above.
+[[nodiscard]] VantageStats collect_stats(const sim::Simulation& simulation,
+                                         std::span<const std::size_t> ixp_indices,
+                                         std::span<const int> days,
+                                         const CollectOptions& options);
 
 /// All vantage points of the simulation.
 [[nodiscard]] std::vector<std::size_t> all_ixps(const sim::Simulation& simulation);

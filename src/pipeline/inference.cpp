@@ -1,8 +1,26 @@
 #include "pipeline/inference.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace mtscope::pipeline {
+
+void FunnelCounts::merge(const FunnelCounts& other) noexcept {
+  seen += other.seen;
+  after_tcp += other.after_tcp;
+  after_size += other.after_size;
+  after_source += other.after_source;
+  after_reserved += other.after_reserved;
+  after_routed += other.after_routed;
+  after_volume += other.after_volume;
+}
+
+void InferenceResult::merge(const InferenceResult& other) {
+  dark |= other.dark;
+  unclean += other.unclean;
+  gray += other.gray;
+  funnel.merge(other.funnel);
+}
 
 InferenceEngine::InferenceEngine(PipelineConfig config, const routing::Rib& rib,
                                  const routing::SpecialPurposeRegistry& registry)
@@ -15,69 +33,76 @@ InferenceEngine::InferenceEngine(PipelineConfig config, const routing::Rib& rib,
   }
 }
 
+double InferenceEngine::volume_cap_for(const VantageStats& stats) const noexcept {
+  const double days = static_cast<double>(std::max(1, stats.day_count()));
+  return config_.max_rx_pkts_per_day * config_.volume_scale * days;
+}
+
+void InferenceEngine::classify_block(net::Block24 block, const BlockObservation& obs,
+                                     double volume_cap, InferenceResult& out) const {
+  if (obs.rx_packets == 0) return;  // source-only blocks: not candidates
+  ++out.funnel.seen;
+
+  // Does the spoofing tolerance forgive this block's outbound activity?
+  const bool originates = obs.tx_packets > config_.spoof_tolerance_pkts;
+
+  // Per-address survival through steps 1-3.
+  bool any_tcp = false;        // step 1
+  bool any_size_ok = false;    // step 2
+  bool any_clean = false;      // step 3
+  bool any_liveness = false;   // for classification (step 7)
+  for (const IpRxStats& ip : obs.rx_ips) {
+    if (ip.packets == 0) continue;
+    const bool tcp = ip.tcp_packets > 0;
+    const bool size_ok = tcp && ip.avg_tcp_size() <= config_.avg_size_threshold;
+    const bool sent = originates && obs.host_sent(ip.host);
+    any_tcp |= tcp;
+    any_size_ok |= size_ok;
+    any_clean |= size_ok && !sent;
+    // Liveness evidence for step 7: an address only disqualifies the
+    // block from "dark" when its traffic genuinely looks like a used
+    // host.  A single 48-byte SYN (a SYN carrying an MSS option) or a
+    // stray UDP probe is IBR-consistent; repeated over-threshold TCP, or
+    // any full-size data packet, is not.  Without this distinction,
+    // sampling noise would demote every *well-observed* dark block to
+    // "unclean" — exactly the blocks the meta-telescope most wants.
+    const bool liveness =
+        tcp && ip.avg_tcp_size() > config_.avg_size_threshold &&
+        ((ip.tcp_packets >= 2 && ip.avg_tcp_size() > config_.liveness_syn_ceiling) ||
+         ip.avg_tcp_size() > config_.liveness_data_floor);
+    any_liveness |= liveness;
+  }
+
+  if (!any_tcp) return;
+  ++out.funnel.after_tcp;
+  if (!any_size_ok) return;
+  ++out.funnel.after_size;
+  if (!any_clean) return;
+  ++out.funnel.after_source;
+
+  // Steps 4-6 are properties of the whole /24.
+  if (registry_.is_reserved(block)) return;
+  ++out.funnel.after_reserved;
+  if (!rib_.is_routed(block)) return;
+  ++out.funnel.after_routed;
+  if (static_cast<double>(obs.rx_est_packets) > volume_cap) return;
+  ++out.funnel.after_volume;
+
+  // Step 7: classify.
+  if (originates) {
+    ++out.gray;
+  } else if (any_liveness) {
+    ++out.unclean;
+  } else {
+    out.dark.insert(block);
+  }
+}
+
 InferenceResult InferenceEngine::infer(const VantageStats& stats) const {
   InferenceResult result;
-  const double days = static_cast<double>(stats.day_count());
-  const double volume_cap =
-      config_.max_rx_pkts_per_day * config_.volume_scale * days;
-
+  const double volume_cap = volume_cap_for(stats);
   for (const auto& [block, obs] : stats.blocks()) {
-    if (obs.rx_packets == 0) continue;  // source-only blocks: not candidates
-    ++result.funnel.seen;
-
-    // Does the spoofing tolerance forgive this block's outbound activity?
-    const bool originates = obs.tx_packets > config_.spoof_tolerance_pkts;
-
-    // Per-address survival through steps 1-3.
-    bool any_tcp = false;        // step 1
-    bool any_size_ok = false;    // step 2
-    bool any_clean = false;      // step 3
-    bool any_liveness = false;   // for classification (step 7)
-    for (const IpRxStats& ip : obs.rx_ips) {
-      if (ip.packets == 0) continue;
-      const bool tcp = ip.tcp_packets > 0;
-      const bool size_ok = tcp && ip.avg_tcp_size() <= config_.avg_size_threshold;
-      const bool sent = originates && obs.host_sent(ip.host);
-      any_tcp |= tcp;
-      any_size_ok |= size_ok;
-      any_clean |= size_ok && !sent;
-      // Liveness evidence for step 7: an address only disqualifies the
-      // block from "dark" when its traffic genuinely looks like a used
-      // host.  A single 48-byte SYN (a SYN carrying an MSS option) or a
-      // stray UDP probe is IBR-consistent; repeated over-threshold TCP, or
-      // any full-size data packet, is not.  Without this distinction,
-      // sampling noise would demote every *well-observed* dark block to
-      // "unclean" — exactly the blocks the meta-telescope most wants.
-      const bool liveness =
-          tcp && ip.avg_tcp_size() > config_.avg_size_threshold &&
-          ((ip.tcp_packets >= 2 && ip.avg_tcp_size() > config_.liveness_syn_ceiling) ||
-           ip.avg_tcp_size() > config_.liveness_data_floor);
-      any_liveness |= liveness;
-    }
-
-    if (!any_tcp) continue;
-    ++result.funnel.after_tcp;
-    if (!any_size_ok) continue;
-    ++result.funnel.after_size;
-    if (!any_clean) continue;
-    ++result.funnel.after_source;
-
-    // Steps 4-6 are properties of the whole /24.
-    if (registry_.is_reserved(block)) continue;
-    ++result.funnel.after_reserved;
-    if (!rib_.is_routed(block)) continue;
-    ++result.funnel.after_routed;
-    if (static_cast<double>(obs.rx_est_packets) > volume_cap) continue;
-    ++result.funnel.after_volume;
-
-    // Step 7: classify.
-    if (originates) {
-      ++result.gray;
-    } else if (any_liveness) {
-      ++result.unclean;
-    } else {
-      result.dark.insert(block);
-    }
+    classify_block(block, obs, volume_cap, result);
   }
   return result;
 }

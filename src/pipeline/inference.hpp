@@ -65,6 +65,11 @@ struct FunnelCounts {
   std::uint64_t after_reserved = 0;  // step 4
   std::uint64_t after_routed = 0;    // step 5
   std::uint64_t after_volume = 0;    // step 6
+
+  /// Element-wise sum — the reduction step of the parallel engine.
+  void merge(const FunnelCounts& other) noexcept;
+
+  friend bool operator==(const FunnelCounts&, const FunnelCounts&) noexcept = default;
 };
 
 /// Final classification (step 7).
@@ -75,6 +80,11 @@ struct InferenceResult {
   FunnelCounts funnel;
 
   [[nodiscard]] std::uint64_t dark_count() const noexcept { return dark.size(); }
+
+  /// Fold in a partial result computed over a disjoint block range: counts
+  /// add, the dark set unions.  Commutative, so any reduction order yields
+  /// the same result.
+  void merge(const InferenceResult& other);
 };
 
 class InferenceEngine {
@@ -85,6 +95,17 @@ class InferenceEngine {
 
   /// Run the full pipeline over accumulated vantage statistics.
   [[nodiscard]] InferenceResult infer(const VantageStats& stats) const;
+
+  /// Steps 1-7 for a single /24, accumulating into `out` — the building
+  /// block shared by infer() and pipeline::parallel_infer().  `volume_cap`
+  /// must come from volume_cap_for() on the *whole* stats object so every
+  /// range partition applies the same day normalisation.
+  void classify_block(net::Block24 block, const BlockObservation& obs, double volume_cap,
+                      InferenceResult& out) const;
+
+  /// The step-6 volume cap for `stats`, in estimated sampled packets over
+  /// the covered window (empty stats clamp to one day).
+  [[nodiscard]] double volume_cap_for(const VantageStats& stats) const noexcept;
 
   [[nodiscard]] const PipelineConfig& config() const noexcept { return config_; }
 

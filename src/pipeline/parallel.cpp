@@ -1,0 +1,128 @@
+#include "pipeline/parallel.hpp"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "pipeline/collector.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mtscope::pipeline {
+
+namespace {
+
+struct DatasetTask {
+  std::size_t ixp = 0;
+  int day = 0;
+};
+
+}  // namespace
+
+ParallelCollector::ParallelCollector(const sim::Simulation& simulation, CollectOptions options)
+    : simulation_(simulation), options_(options) {
+  options_.threads = std::max(1u, options_.threads);
+  options_.shards = std::max(1u, options_.shards);
+}
+
+VantageStats ParallelCollector::collect(std::span<const std::size_t> ixp_indices,
+                                        std::span<const int> days) const {
+  if (options_.threads <= 1 && options_.shards <= 1) {
+    return collect_stats(simulation_, ixp_indices, days);
+  }
+
+  // Same dataset order as the serial path (days outer, IXPs inner); the
+  // round-robin deal below only matters for load balance, never output.
+  std::vector<DatasetTask> tasks;
+  tasks.reserve(days.size() * ixp_indices.size());
+  for (const int day : days) {
+    for (const std::size_t ixp : ixp_indices) tasks.push_back({ixp, day});
+  }
+
+  const unsigned workers = static_cast<unsigned>(
+      std::min<std::size_t>(options_.threads, std::max<std::size_t>(1, tasks.size())));
+  const unsigned shards = options_.shards;
+  const auto mask = simulation_.plan().universe_mask();
+
+  std::vector<std::vector<VantageStats>> local(workers);
+  for (auto& mine : local) {
+    mine.reserve(shards);
+    for (unsigned s = 0; s < shards; ++s) mine.emplace_back(mask);
+  }
+
+  util::ThreadPool pool(workers);
+  {
+    std::vector<std::future<void>> jobs;
+    jobs.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      jobs.push_back(pool.submit([&, w] {
+        std::vector<VantageStats>& mine = local[w];
+        for (std::size_t t = w; t < tasks.size(); t += workers) {
+          const sim::IxpDayData data = simulation_.run_ixp_day(tasks[t].ixp, tasks[t].day);
+          const std::uint32_t rate = simulation_.ixps()[tasks[t].ixp].sampling_rate();
+          mine[0].note_day(tasks[t].day);
+          for (const flow::FlowRecord& r : data.flows) {
+            mine[net::Block24::containing(r.key.dst).index() % shards].add_flow_rx(r, rate);
+            mine[net::Block24::containing(r.key.src).index() % shards].add_flow_tx(r);
+          }
+        }
+      }));
+    }
+    for (auto& job : jobs) job.get();
+  }
+
+  // Tree-merge workers pairwise.  Shard columns are disjoint key spaces
+  // (all entries for a block live in the same column), so each merge round
+  // runs its columns concurrently on the same pool.
+  for (unsigned step = 1; step < workers; step *= 2) {
+    std::vector<std::future<void>> merges;
+    for (unsigned i = 0; i + step < workers; i += 2 * step) {
+      merges.push_back(pool.submit([&, i, step] {
+        for (unsigned s = 0; s < shards; ++s) local[i][s].merge(local[i + step][s]);
+      }));
+    }
+    for (auto& merge : merges) merge.get();
+  }
+
+  VantageStats out = std::move(local[0][0]);
+  for (unsigned s = 1; s < shards; ++s) out.merge(local[0][s]);
+  return out;
+}
+
+InferenceResult parallel_infer(const InferenceEngine& engine, const VantageStats& stats,
+                               unsigned threads) {
+  if (threads <= 1 || stats.blocks().size() < 2) return engine.infer(stats);
+
+  using Entry = const std::pair<const net::Block24, BlockObservation>*;
+  std::vector<Entry> entries;
+  entries.reserve(stats.blocks().size());
+  for (const auto& entry : stats.blocks()) entries.push_back(&entry);
+
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads, entries.size()));
+  const std::size_t chunk = (entries.size() + workers - 1) / workers;
+  const double volume_cap = engine.volume_cap_for(stats);
+
+  std::vector<InferenceResult> partial(workers);
+  {
+    util::ThreadPool pool(workers);
+    std::vector<std::future<void>> jobs;
+    jobs.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      jobs.push_back(pool.submit([&, w] {
+        const std::size_t first = w * chunk;
+        const std::size_t last = std::min(entries.size(), first + chunk);
+        for (std::size_t i = first; i < last; ++i) {
+          engine.classify_block(entries[i]->first, entries[i]->second, volume_cap,
+                                partial[w]);
+        }
+      }));
+    }
+    for (auto& job : jobs) job.get();
+  }
+
+  InferenceResult out = std::move(partial[0]);
+  for (unsigned w = 1; w < workers; ++w) out.merge(partial[w]);
+  return out;
+}
+
+}  // namespace mtscope::pipeline

@@ -1,0 +1,69 @@
+// Sharded parallel collect/infer engine.
+//
+// The paper's deployment digests sampled IPFIX from 14 IXPs covering
+// millions of /24s per day; one thread ingesting vantage-days serially is
+// the scalability wall.  This module fans the work out while keeping the
+// output *bit-identical* to the serial path (tests/test_parallel_pipeline
+// proves it differentially):
+//
+//   collect — vantage-day datasets are dealt round-robin to N workers.
+//     Each worker accumulates into `shards` thread-local VantageStats
+//     keyed by block.index() % shards, so no lock is ever taken on the
+//     hot ingest path.  Workers are then tree-merged pairwise, each shard
+//     column independently (and concurrently: columns are disjoint key
+//     spaces), before the columns fold into one VantageStats.
+//
+//   infer — the block map is snapshotted into an array, split into
+//     contiguous ranges, the seven-step funnel runs per range, and the
+//     partial results reduce (counter sums + Block24Set union).
+//
+// Determinism argument: every per-block quantity is a sum of unsigned
+// counters, a bitwise OR of host bitmaps, or a set union (days, dark
+// blocks) — all commutative and associative (property-tested in
+// tests/test_pipeline_properties), so the assignment of datasets to
+// workers, blocks to shards, and the merge-tree shape cannot change the
+// result.  Nothing in the pipeline reads insertion order.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "pipeline/inference.hpp"
+#include "pipeline/vantage_stats.hpp"
+#include "sim/simulation.hpp"
+
+namespace mtscope::pipeline {
+
+/// Tuning knobs for the sharded parallel collector.
+struct CollectOptions {
+  /// Worker threads; <= 1 selects the serial path.
+  unsigned threads = 1;
+
+  /// Thread-local VantageStats shards per worker (block.index() % shards).
+  /// More shards mean smaller hash maps and a wider (more concurrent)
+  /// merge fan-in; the output never depends on the value.
+  unsigned shards = 1;
+};
+
+/// Fans vantage-day datasets out to a worker pool; see the file comment.
+class ParallelCollector {
+ public:
+  ParallelCollector(const sim::Simulation& simulation, CollectOptions options);
+
+  /// Parallel equivalent of collect_stats(simulation, ixp_indices, days).
+  [[nodiscard]] VantageStats collect(std::span<const std::size_t> ixp_indices,
+                                     std::span<const int> days) const;
+
+ private:
+  const sim::Simulation& simulation_;
+  CollectOptions options_;
+};
+
+/// Runs the seven-step funnel over `stats.blocks()` partitioned into
+/// `threads` contiguous ranges and reduces the partial results.
+/// Bit-identical to engine.infer(stats); threads <= 1 falls through to it.
+[[nodiscard]] InferenceResult parallel_infer(const InferenceEngine& engine,
+                                             const VantageStats& stats, unsigned threads);
+
+}  // namespace mtscope::pipeline

@@ -25,32 +25,38 @@ void BlockObservation::merge(const BlockObservation& other) {
   for (int w = 0; w < 4; ++w) tx_host_bits[w] |= other.tx_host_bits[w];
 }
 
+void VantageStats::note_day(int day) { days_.insert(day); }
+
+void VantageStats::add_flow_rx(const flow::FlowRecord& r, std::uint32_t sampling_rate) {
+  ++flows_;
+  BlockObservation& dst = blocks_[net::Block24::containing(r.key.dst)];
+  dst.rx_packets += r.packets;
+  dst.rx_est_packets += r.packets * sampling_rate;
+  IpRxStats& ip = dst.rx_ip(static_cast<std::uint8_t>(r.key.dst.value() & 0xff));
+  ip.packets += static_cast<std::uint32_t>(r.packets);
+  if (r.key.proto == net::IpProto::kTcp) {
+    dst.rx_tcp_packets += r.packets;
+    dst.rx_tcp_bytes += r.bytes;
+    ip.tcp_packets += static_cast<std::uint32_t>(r.packets);
+    ip.tcp_bytes += r.bytes;
+  }
+}
+
+void VantageStats::add_flow_tx(const flow::FlowRecord& r) {
+  const net::Block24 src_block = net::Block24::containing(r.key.src);
+  if (source_mask_ == nullptr || source_mask_->contains(src_block)) {
+    BlockObservation& src = blocks_[src_block];
+    src.tx_packets += r.packets;
+    src.mark_host_sent(static_cast<std::uint8_t>(r.key.src.value() & 0xff));
+  }
+}
+
 void VantageStats::add_flows(std::span<const flow::FlowRecord> flows,
                              std::uint32_t sampling_rate, int day) {
-  days_.insert(day);
+  note_day(day);
   for (const flow::FlowRecord& r : flows) {
-    ++flows_;
-
-    // Destination side.
-    BlockObservation& dst = blocks_[net::Block24::containing(r.key.dst)];
-    dst.rx_packets += r.packets;
-    dst.rx_est_packets += r.packets * sampling_rate;
-    IpRxStats& ip = dst.rx_ip(static_cast<std::uint8_t>(r.key.dst.value() & 0xff));
-    ip.packets += static_cast<std::uint32_t>(r.packets);
-    if (r.key.proto == net::IpProto::kTcp) {
-      dst.rx_tcp_packets += r.packets;
-      dst.rx_tcp_bytes += r.bytes;
-      ip.tcp_packets += static_cast<std::uint32_t>(r.packets);
-      ip.tcp_bytes += r.bytes;
-    }
-
-    // Source side (subject to the optional universe mask).
-    const net::Block24 src_block = net::Block24::containing(r.key.src);
-    if (source_mask_ == nullptr || source_mask_->contains(src_block)) {
-      BlockObservation& src = blocks_[src_block];
-      src.tx_packets += r.packets;
-      src.mark_host_sent(static_cast<std::uint8_t>(r.key.src.value() & 0xff));
-    }
+    add_flow_rx(r, sampling_rate);
+    add_flow_tx(r);
   }
 }
 

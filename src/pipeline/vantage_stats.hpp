@@ -84,7 +84,24 @@ class VantageStats {
   /// feeds the distinct-day count used for per-day volume averaging.
   void add_flows(std::span<const flow::FlowRecord> flows, std::uint32_t sampling_rate, int day);
 
-  /// Merge another stats object (other vantage points / other days).
+  /// Record coverage of a logical day without ingesting records.  The
+  /// sharded collector calls this once per dataset so the merged union of
+  /// shards covers exactly the days the serial path would.
+  void note_day(int day);
+
+  /// Destination-side accounting for a single record (plus the per-record
+  /// bookkeeping: the ingested-flow counter).  Exposed so the sharded
+  /// collector can route each side of one record to the shard owning its
+  /// block; add_flows() is exactly note_day + add_flow_rx + add_flow_tx.
+  void add_flow_rx(const flow::FlowRecord& record, std::uint32_t sampling_rate);
+
+  /// Source-side accounting for a single record (subject to the source
+  /// mask).  Counterpart of add_flow_rx; counts no flow.
+  void add_flow_tx(const flow::FlowRecord& record);
+
+  /// Merge another stats object (other vantage points / other days /
+  /// another shard).  Commutative and associative (see the pipeline
+  /// property tests) — the invariant the parallel collector relies on.
   void merge(const VantageStats& other);
 
   [[nodiscard]] const std::unordered_map<net::Block24, BlockObservation>& blocks()
@@ -97,10 +114,12 @@ class VantageStats {
     return it == blocks_.end() ? nullptr : &it->second;
   }
 
-  /// Number of distinct logical days covered.
-  [[nodiscard]] int day_count() const noexcept {
-    return static_cast<int>(days_.empty() ? 1 : days_.size());
-  }
+  /// Number of distinct logical days covered; 0 for an object that has
+  /// ingested nothing.  An empty object used to pretend it covered one day,
+  /// which corrupted merge accounting: an empty merge target "owned" a day
+  /// no shard ever recorded.  Callers that divide by days clamp explicitly
+  /// instead (see InferenceEngine::volume_cap_for).
+  [[nodiscard]] int day_count() const noexcept { return static_cast<int>(days_.size()); }
 
   [[nodiscard]] std::uint64_t flows_ingested() const noexcept { return flows_; }
 

@@ -1,0 +1,84 @@
+// Minimal fixed-size worker pool for the parallel pipeline.
+//
+// Deliberately small: a FIFO queue of void() tasks drained by N threads.
+// The parallel collector/inference code partitions its work statically and
+// submits one job per partition, so the pool never needs work stealing,
+// priorities or resizing.  Exceptions thrown by a task are captured into
+// the future returned by submit() (std::packaged_task semantics).
+#pragma once
+
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace mtscope::util {
+
+class ThreadPool {
+ public:
+  /// Spawns max(1, thread_count) workers immediately.
+  explicit ThreadPool(unsigned thread_count) {
+    const unsigned count = thread_count == 0 ? 1 : thread_count;
+    workers_.reserve(count);
+    for (unsigned i = 0; i < count; ++i) {
+      workers_.emplace_back([this] { run(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue (already-submitted tasks still run), then joins.
+  ~ThreadPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    ready_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueue a void() callable.  The future completes when the task has run
+  /// and rethrows whatever the task threw.
+  template <typename Fn>
+  std::future<void> submit(Fn&& fn) {
+    std::packaged_task<void()> task(std::forward<Fn>(fn));
+    std::future<void> future = task.get_future();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push(std::move(task));
+    }
+    ready_.notify_one();
+    return future;
+  }
+
+ private:
+  void run() {
+    for (;;) {
+      std::packaged_task<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping and drained
+        task = std::move(queue_.front());
+        queue_.pop();
+      }
+      task();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::queue<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mtscope::util

@@ -1,0 +1,131 @@
+// Differential suite: the sharded parallel collect/infer engine must be
+// bit-identical to the serial path — same funnel counts, same
+// dark/unclean/gray totals, and the exact same Block24Set membership — for
+// every thread/shard configuration.  Under MTSCOPE_SANITIZE=thread this
+// binary doubles as the ThreadSanitizer smoke test of the collector.
+#include <gtest/gtest.h>
+
+#include <ostream>
+#include <vector>
+
+#include "pipeline/collector.hpp"
+#include "pipeline/inference.hpp"
+#include "pipeline/parallel.hpp"
+#include "pipeline/spoof_tolerance.hpp"
+#include "sim/simulation.hpp"
+
+namespace mtscope {
+namespace {
+
+struct ParallelConfig {
+  unsigned threads;
+  unsigned shards;
+};
+
+void PrintTo(const ParallelConfig& config, std::ostream* os) {
+  *os << config.threads << " thread(s) x " << config.shards << " shard(s)";
+}
+
+// The shared workload: a multi-IXP, multi-day tiny universe, collected and
+// inferred once on the serial path.
+struct SerialBaseline {
+  sim::Simulation simulation{sim::SimConfig::tiny(101)};
+  std::vector<std::size_t> ixps = pipeline::all_ixps(simulation);
+  std::vector<int> days{0, 1, 2};
+  pipeline::VantageStats stats = pipeline::collect_stats(simulation, ixps, days);
+  routing::SpecialPurposeRegistry registry = routing::SpecialPurposeRegistry::standard();
+  pipeline::PipelineConfig config = [this] {
+    pipeline::PipelineConfig c;
+    c.volume_scale = simulation.config().volume_scale;
+    c.spoof_tolerance_pkts =
+        pipeline::compute_spoof_tolerance(stats, simulation.plan().unrouted_slash8s());
+    return c;
+  }();
+  pipeline::InferenceEngine engine{config, simulation.plan().rib(), registry};
+  pipeline::InferenceResult result = engine.infer(stats);
+};
+
+const SerialBaseline& baseline() {
+  static const SerialBaseline shared;
+  return shared;
+}
+
+void expect_identical(const pipeline::InferenceResult& actual,
+                      const pipeline::InferenceResult& expected) {
+  EXPECT_EQ(actual.funnel, expected.funnel);
+  EXPECT_EQ(actual.unclean, expected.unclean);
+  EXPECT_EQ(actual.gray, expected.gray);
+  EXPECT_TRUE(actual.dark == expected.dark);  // full bitmap comparison
+}
+
+class ParallelDifferential : public ::testing::TestWithParam<ParallelConfig> {};
+
+TEST_P(ParallelDifferential, CollectMatchesSerialStats) {
+  const SerialBaseline& serial = baseline();
+  const pipeline::CollectOptions options{GetParam().threads, GetParam().shards};
+  const auto stats =
+      pipeline::collect_stats(serial.simulation, serial.ixps, serial.days, options);
+
+  EXPECT_EQ(stats.flows_ingested(), serial.stats.flows_ingested());
+  EXPECT_EQ(stats.day_count(), serial.stats.day_count());
+  EXPECT_EQ(stats.blocks().size(), serial.stats.blocks().size());
+}
+
+TEST_P(ParallelDifferential, CollectInferMatchesSerialResult) {
+  const SerialBaseline& serial = baseline();
+  const pipeline::CollectOptions options{GetParam().threads, GetParam().shards};
+  const auto stats =
+      pipeline::collect_stats(serial.simulation, serial.ixps, serial.days, options);
+  const auto result = pipeline::parallel_infer(serial.engine, stats, GetParam().threads);
+  expect_identical(result, serial.result);
+}
+
+TEST_P(ParallelDifferential, ParallelInferOverSerialStats) {
+  // Decouples the two halves: the range-partitioned funnel alone must
+  // reproduce the serial result on the serially collected stats.
+  const SerialBaseline& serial = baseline();
+  const auto result =
+      pipeline::parallel_infer(serial.engine, serial.stats, GetParam().threads);
+  expect_identical(result, serial.result);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadShardGrid, ParallelDifferential,
+                         ::testing::Values(ParallelConfig{1, 1}, ParallelConfig{1, 16},
+                                           ParallelConfig{2, 4}, ParallelConfig{3, 5},
+                                           ParallelConfig{4, 1}, ParallelConfig{4, 16},
+                                           ParallelConfig{8, 16}));
+
+TEST(ParallelEdgeCases, NoDatasets) {
+  const SerialBaseline& serial = baseline();
+  const std::vector<std::size_t> no_ixps;
+  const std::vector<int> no_days;
+  const pipeline::CollectOptions options{4, 8};
+  const auto stats =
+      pipeline::collect_stats(serial.simulation, no_ixps, no_days, options);
+  EXPECT_EQ(stats.flows_ingested(), 0u);
+  EXPECT_EQ(stats.day_count(), 0);
+  EXPECT_TRUE(stats.blocks().empty());
+
+  const auto result = pipeline::parallel_infer(serial.engine, stats, 4);
+  EXPECT_EQ(result.funnel.seen, 0u);
+  EXPECT_EQ(result.dark.size(), 0u);
+}
+
+TEST(ParallelEdgeCases, MoreThreadsThanWork) {
+  // 16 threads for 2 datasets / tiny block counts must neither deadlock
+  // nor change the result.
+  const SerialBaseline& serial = baseline();
+  const std::vector<int> one_day{0};
+  const auto serial_stats =
+      pipeline::collect_stats(serial.simulation, serial.ixps, one_day);
+  const pipeline::CollectOptions options{16, 3};
+  const auto stats =
+      pipeline::collect_stats(serial.simulation, serial.ixps, one_day, options);
+  EXPECT_EQ(stats.flows_ingested(), serial_stats.flows_ingested());
+  EXPECT_EQ(stats.blocks().size(), serial_stats.blocks().size());
+  expect_identical(pipeline::parallel_infer(serial.engine, stats, 16),
+                   serial.engine.infer(serial_stats));
+}
+
+}  // namespace
+}  // namespace mtscope

@@ -3,6 +3,9 @@
 // path must conserve packets.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+
 #include "pipeline/collector.hpp"
 #include "pipeline/inference.hpp"
 #include "sim/simulation.hpp"
@@ -44,6 +47,42 @@ pipeline::InferenceResult infer(const pipeline::VantageStats& stats,
   return pipeline::InferenceEngine(config, rib, registry).infer(stats);
 }
 
+// Full structural equality of two stats objects: same day coverage, same
+// block set, and per block the same counters, host bitmap, and per-IP
+// records (rx_ips insertion order is allowed to differ — it carries no
+// meaning and the pipeline never reads it).
+void expect_stats_equal(const pipeline::VantageStats& x, const pipeline::VantageStats& y) {
+  EXPECT_EQ(x.day_count(), y.day_count());
+  EXPECT_EQ(x.flows_ingested(), y.flows_ingested());
+  ASSERT_EQ(x.blocks().size(), y.blocks().size());
+  for (const auto& [block, xo] : x.blocks()) {
+    const pipeline::BlockObservation* yo = y.find(block);
+    ASSERT_NE(yo, nullptr) << block.to_string();
+    EXPECT_EQ(xo.rx_packets, yo->rx_packets) << block.to_string();
+    EXPECT_EQ(xo.rx_tcp_packets, yo->rx_tcp_packets) << block.to_string();
+    EXPECT_EQ(xo.rx_tcp_bytes, yo->rx_tcp_bytes) << block.to_string();
+    EXPECT_EQ(xo.rx_est_packets, yo->rx_est_packets) << block.to_string();
+    EXPECT_EQ(xo.tx_packets, yo->tx_packets) << block.to_string();
+    for (int w = 0; w < 4; ++w) {
+      EXPECT_EQ(xo.tx_host_bits[w], yo->tx_host_bits[w]) << block.to_string();
+    }
+    const auto by_host = [](const pipeline::IpRxStats& a, const pipeline::IpRxStats& b) {
+      return a.host < b.host;
+    };
+    auto xi = xo.rx_ips;
+    auto yi = yo->rx_ips;
+    std::sort(xi.begin(), xi.end(), by_host);
+    std::sort(yi.begin(), yi.end(), by_host);
+    ASSERT_EQ(xi.size(), yi.size()) << block.to_string();
+    for (std::size_t i = 0; i < xi.size(); ++i) {
+      EXPECT_EQ(xi[i].host, yi[i].host) << block.to_string();
+      EXPECT_EQ(xi[i].packets, yi[i].packets) << block.to_string();
+      EXPECT_EQ(xi[i].tcp_packets, yi[i].tcp_packets) << block.to_string();
+      EXPECT_EQ(xi[i].tcp_bytes, yi[i].tcp_bytes) << block.to_string();
+    }
+  }
+}
+
 class PipelineProperties : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(PipelineProperties, MergeIsOrderIndependent) {
@@ -66,6 +105,89 @@ TEST_P(PipelineProperties, MergeIsOrderIndependent) {
   EXPECT_EQ(result_ab.unclean, result_ba.unclean);
   EXPECT_EQ(result_ab.gray, result_ba.gray);
   EXPECT_EQ(result_ab.funnel.seen, result_ba.funnel.seen);
+}
+
+TEST_P(PipelineProperties, MergeIsCommutative) {
+  // merge(A, B) == merge(B, A), structurally — days_ union, rx_est_packets
+  // sums, host bitmaps, everything.  The sharded collector silently relies
+  // on this when the merge tree pairs workers in arbitrary positions.
+  const auto flows_a = random_flows(GetParam(), 3000);
+  const auto flows_b = random_flows(GetParam() ^ 0x5a5a, 3000);
+
+  pipeline::VantageStats ab;
+  ab.add_flows(flows_a, 100, 0);
+  pipeline::VantageStats b;
+  b.add_flows(flows_b, 100, 1);
+  ab.merge(b);
+
+  pipeline::VantageStats ba;
+  ba.add_flows(flows_b, 100, 1);
+  pipeline::VantageStats a;
+  a.add_flows(flows_a, 100, 0);
+  ba.merge(a);
+
+  expect_stats_equal(ab, ba);
+}
+
+TEST_P(PipelineProperties, MergeIsAssociativeAndMatchesSingleIngest) {
+  // Partition one random flow stream into three arbitrary shards:
+  // ((A+B)+C), (A+(B+C)) and ingest-everything-into-one-object must agree
+  // exactly.  Days are reused across partitions so the union dedups.
+  const auto flows = random_flows(GetParam() ^ 0x77, 9000);
+  util::Rng rng(GetParam() * 31 + 7);
+  std::array<std::vector<flow::FlowRecord>, 3> part;
+  for (const flow::FlowRecord& r : flows) {
+    part[rng.uniform(3)].push_back(r);
+  }
+  const std::array<int, 3> day = {0, 1, 0};
+
+  std::array<pipeline::VantageStats, 3> shard;
+  for (std::size_t i = 0; i < 3; ++i) {
+    shard[i].add_flows(part[i], 100, day[i]);
+  }
+
+  pipeline::VantageStats left = shard[0];   // (A + B) + C
+  left.merge(shard[1]);
+  left.merge(shard[2]);
+
+  pipeline::VantageStats bc = shard[1];     // A + (B + C)
+  bc.merge(shard[2]);
+  pipeline::VantageStats right = shard[0];
+  right.merge(bc);
+
+  pipeline::VantageStats whole;             // one object, no merge at all
+  for (std::size_t i = 0; i < 3; ++i) {
+    whole.add_flows(part[i], 100, day[i]);
+  }
+
+  expect_stats_equal(left, right);
+  expect_stats_equal(left, whole);
+  EXPECT_EQ(left.day_count(), 2);  // {0, 1}: the repeated day deduplicated
+
+  // And the algebra carries through inference: identical classification.
+  const auto from_merge = infer(left);
+  const auto from_whole = infer(whole);
+  EXPECT_TRUE(from_merge.dark == from_whole.dark);
+  EXPECT_EQ(from_merge.unclean, from_whole.unclean);
+  EXPECT_EQ(from_merge.gray, from_whole.gray);
+  EXPECT_EQ(from_merge.funnel, from_whole.funnel);
+}
+
+TEST_P(PipelineProperties, MergeWithEmptyIsIdentity) {
+  // An empty stats object is the neutral element in both directions — in
+  // particular it contributes no phantom day (day_count 0, not 1).
+  const auto flows = random_flows(GetParam() ^ 0xfe, 2000);
+  pipeline::VantageStats value;
+  value.add_flows(flows, 100, 4);
+
+  pipeline::VantageStats left;
+  left.merge(value);
+  expect_stats_equal(left, value);
+  EXPECT_EQ(left.day_count(), 1);
+
+  pipeline::VantageStats right = value;
+  right.merge(pipeline::VantageStats{});
+  expect_stats_equal(right, value);
 }
 
 TEST_P(PipelineProperties, InferenceIsDeterministic) {

@@ -70,11 +70,69 @@ TEST(VantageStats, SourceMaskFiltersForeignSources) {
 
 TEST(VantageStats, DayCounting) {
   VantageStats stats;
-  EXPECT_EQ(stats.day_count(), 1);  // empty -> avoid division by zero
+  EXPECT_EQ(stats.day_count(), 0);  // empty covers no days (clamping is the caller's job)
   stats.add_flows({}, 1, 3);
   stats.add_flows({}, 1, 3);
   stats.add_flows({}, 1, 5);
   EXPECT_EQ(stats.day_count(), 2);
+}
+
+TEST(VantageStats, EmptyMergeTargetClaimsNoPhantomDay) {
+  // The old "empty pretends one day" semantics made an empty merge target
+  // double-count: merging a 1-day shard left day_count() at 1, as if the
+  // target's imaginary day and the shard's real day were the same one.
+  VantageStats shard;
+  shard.add_flows({}, 1, 7);
+  ASSERT_EQ(shard.day_count(), 1);
+
+  VantageStats target;
+  target.merge(shard);
+  EXPECT_EQ(target.day_count(), 1);  // exactly the shard's day, nothing else
+
+  VantageStats other_day;
+  other_day.add_flows({}, 1, 8);
+  target.merge(other_day);
+  EXPECT_EQ(target.day_count(), 2);
+}
+
+TEST(VantageStats, NoteDayMatchesAddFlowsDayAccounting) {
+  VantageStats via_note;
+  via_note.note_day(2);
+  via_note.note_day(2);
+  via_note.note_day(9);
+  VantageStats via_add;
+  via_add.add_flows({}, 1, 2);
+  via_add.add_flows({}, 1, 9);
+  EXPECT_EQ(via_note.day_count(), via_add.day_count());
+}
+
+TEST(VantageStats, SplitIngestionMatchesAddFlows) {
+  // note_day + add_flow_rx + add_flow_tx (the sharded collector's path)
+  // must be exactly add_flows.
+  const std::vector<flow::FlowRecord> flows = {
+      record(0x01010101, 0x0a000105, net::IpProto::kTcp, 2, 80),
+      record(0x0a000107, 0x02020202, net::IpProto::kUdp, 3, 300),
+  };
+  VantageStats whole;
+  whole.add_flows(flows, 50, 4);
+
+  VantageStats split;
+  split.note_day(4);
+  for (const flow::FlowRecord& r : flows) {
+    split.add_flow_rx(r, 50);
+    split.add_flow_tx(r);
+  }
+
+  EXPECT_EQ(split.day_count(), whole.day_count());
+  EXPECT_EQ(split.flows_ingested(), whole.flows_ingested());
+  EXPECT_EQ(split.blocks().size(), whole.blocks().size());
+  for (const auto& [block, obs] : whole.blocks()) {
+    const BlockObservation* other = split.find(block);
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(other->rx_packets, obs.rx_packets);
+    EXPECT_EQ(other->rx_est_packets, obs.rx_est_packets);
+    EXPECT_EQ(other->tx_packets, obs.tx_packets);
+  }
 }
 
 TEST(VantageStats, MergeCombines) {

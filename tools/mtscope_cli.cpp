@@ -1,7 +1,8 @@
 // mtscope — command-line front end.
 //
 //   mtscope infer    [--seed N] [--scale tiny|full] [--days K] [--ixps A,B]
-//                    [--no-tolerance] [--csv FILE] [--hilbert OCTET FILE.pgm]
+//                    [--threads N] [--shards M] [--no-tolerance] [--csv FILE]
+//                    [--hilbert OCTET FILE.pgm]
 //   mtscope capture  [--seed N] [--telescope TUS1|TEU1|TEU2] [--day D] --pcap FILE
 //   mtscope datasets [--seed N] [--scale tiny|full] --out-dir DIR
 //   mtscope ports    [--seed N] [--scale tiny|full] [--top K]
@@ -22,6 +23,7 @@
 #include "pipeline/collector.hpp"
 #include "pipeline/evaluation.hpp"
 #include "pipeline/inference.hpp"
+#include "pipeline/parallel.hpp"
 #include "pipeline/spoof_tolerance.hpp"
 #include "sim/simulation.hpp"
 #include "util/csv.hpp"
@@ -38,6 +40,8 @@ struct Options {
   bool tiny = false;
   int days = 1;
   std::string ixps;             // comma-separated codes; empty = all
+  unsigned threads = 1;         // collect/infer worker threads; 1 = serial
+  unsigned shards = 0;          // 0 = pick per thread count
   bool tolerance = true;
   std::string csv_path;
   int hilbert_octet = -1;
@@ -55,6 +59,8 @@ void usage() {
                "  common:  --seed N        simulation seed (default 42)\n"
                "           --scale tiny|full\n"
                "  infer:   --days K --ixps CE1,NA1 --no-tolerance --csv FILE\n"
+               "           --threads N (parallel collect+infer; default 1 = serial)\n"
+               "           --shards M (per-worker stats shards; default: thread count)\n"
                "           --hilbert OCTET FILE.pgm\n"
                "  capture: --telescope TUS1|TEU1|TEU2 --day D --pcap FILE\n"
                "  datasets: --out-dir DIR\n"
@@ -83,6 +89,14 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt.ixps = v;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.shards = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--no-tolerance") {
       opt.tolerance = false;
     } else if (arg == "--csv") {
@@ -145,9 +159,13 @@ int cmd_infer(const Options& opt) {
   std::vector<int> days;
   for (int d = 0; d < std::max(1, opt.days); ++d) days.push_back(d);
 
-  std::fprintf(stderr, "collecting %zu vantage point(s) x %zu day(s)...\n", ixps.size(),
-               days.size());
-  const auto stats = pipeline::collect_stats(simulation, ixps, days);
+  pipeline::CollectOptions collect_options;
+  collect_options.threads = std::max(1u, opt.threads);
+  collect_options.shards = opt.shards > 0 ? opt.shards : collect_options.threads;
+
+  std::fprintf(stderr, "collecting %zu vantage point(s) x %zu day(s) on %u thread(s)...\n",
+               ixps.size(), days.size(), collect_options.threads);
+  const auto stats = pipeline::collect_stats(simulation, ixps, days, collect_options);
 
   std::uint64_t tolerance = 0;
   if (opt.tolerance) {
@@ -159,7 +177,7 @@ int cmd_infer(const Options& opt) {
   config.volume_scale = simulation.config().volume_scale;
   config.spoof_tolerance_pkts = tolerance;
   const pipeline::InferenceEngine engine(config, simulation.plan().rib(), registry);
-  const auto result = engine.infer(stats);
+  const auto result = pipeline::parallel_infer(engine, stats, collect_options.threads);
   const auto eval = pipeline::evaluate_against_ground_truth(result.dark, simulation.plan());
 
   std::printf("seen=%s dark=%s unclean=%s gray=%s tolerance=%llu fp-rate=%s\n",
