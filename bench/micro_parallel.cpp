@@ -13,6 +13,7 @@
 #include <fstream>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "pipeline/collector.hpp"
 #include "pipeline/inference.hpp"
 #include "pipeline/parallel.hpp"
@@ -102,6 +103,22 @@ int main() {
     parallel.push_back(m);
   }
 
+  // One more instrumented run: same workload with a metrics registry
+  // attached, still bit-identical, and its snapshot rides along in the
+  // JSON so the report carries funnel counts and stage timings.
+  obs::MetricsRegistry metrics;
+  const pipeline::CollectOptions instrumented_options{4, 16, &metrics};
+  t0 = now_ms();
+  const auto instrumented_stats =
+      pipeline::collect_stats(simulation, ixps, days, instrumented_options);
+  const auto instrumented_result =
+      pipeline::parallel_infer(engine, instrumented_stats, 4, &metrics);
+  const double instrumented_ms = now_ms() - t0;
+  const bool instrumented_ok = identical(instrumented_result, serial_result);
+  all_identical &= instrumented_ok;
+  std::printf("  instrumented 4/16   collect+infer %9.1f ms  %s\n", instrumented_ms,
+              instrumented_ok ? "bit-identical" : "MISMATCH");
+
   std::ofstream json("BENCH_parallel.json");
   json << "{\n"
        << "  \"workload\": {\"ixps\": " << ixps.size() << ", \"days\": " << day_count
@@ -118,6 +135,9 @@ int main() {
          << (i + 1 < parallel.size() ? ",\n" : "\n");
   }
   json << "  ],\n"
+       << "  \"metrics\": ";
+  metrics.write_json(json, 2);
+  json << ",\n"
        << "  \"bit_identical\": " << (all_identical ? "true" : "false") << "\n"
        << "}\n";
   std::printf("  wrote BENCH_parallel.json\n");

@@ -1,0 +1,69 @@
+# End-to-end check of --metrics-out: run the CLI's infer pipeline on the
+# tiny universe with the parallel engine engaged, then validate that the
+# snapshot it wrote is structurally sound JSON carrying the seven funnel
+# counters (the Figure 2 contract).  Invoked by the metrics_snapshot_check
+# ctest registered in the top-level CMakeLists:
+#   cmake -DCLI=<mtscope_cli> -DOUT_DIR=<scratch dir> -P metrics_snapshot_check.cmake
+if(NOT DEFINED CLI)
+  message(FATAL_ERROR "pass -DCLI=<path to mtscope_cli>")
+endif()
+if(NOT DEFINED OUT_DIR)
+  set(OUT_DIR "${CMAKE_CURRENT_BINARY_DIR}")
+endif()
+
+set(snapshot "${OUT_DIR}/metrics_snapshot_check.json")
+file(REMOVE "${snapshot}")
+
+execute_process(
+  COMMAND "${CLI}" infer --scale tiny --seed 7 --days 1 --threads 2 --shards 4
+          --metrics-out "${snapshot}"
+  RESULT_VARIABLE status
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "mtscope_cli infer failed (${status}):\n${stdout}\n${stderr}")
+endif()
+
+if(NOT EXISTS "${snapshot}")
+  message(FATAL_ERROR "--metrics-out did not create ${snapshot}")
+endif()
+file(READ "${snapshot}" json)
+
+# Structural sanity: an object from first byte to last, braces balanced.
+string(STRIP "${json}" stripped)
+if(NOT stripped MATCHES "^\\{")
+  message(FATAL_ERROR "snapshot does not start with '{':\n${json}")
+endif()
+if(NOT stripped MATCHES "\\}$")
+  message(FATAL_ERROR "snapshot does not end with '}':\n${json}")
+endif()
+string(REGEX MATCHALL "\\{" opens "${stripped}")
+string(REGEX MATCHALL "\\}" closes "${stripped}")
+list(LENGTH opens open_count)
+list(LENGTH closes close_count)
+if(NOT open_count EQUAL close_count)
+  message(FATAL_ERROR
+    "snapshot braces unbalanced ({ x${open_count} vs } x${close_count}):\n${json}")
+endif()
+
+# The three registry sections and the full seven-step funnel must be there.
+foreach(needle
+    "\"counters\""
+    "\"gauges\""
+    "\"timers\""
+    "\"funnel.seen\""
+    "\"funnel.after_tcp\""
+    "\"funnel.after_size\""
+    "\"funnel.after_source\""
+    "\"funnel.after_reserved\""
+    "\"funnel.after_routed\""
+    "\"funnel.after_volume\""
+    "\"collect.flows\""
+    "\"infer.total_us\"")
+  string(FIND "${json}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "snapshot is missing ${needle}:\n${json}")
+  endif()
+endforeach()
+
+message(STATUS "metrics snapshot OK: ${snapshot}")

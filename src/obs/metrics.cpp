@@ -1,0 +1,130 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace mtscope::obs {
+
+namespace {
+
+void write_escaped(std::ostream& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+void write_indent(std::ostream& out, int spaces) {
+  for (int i = 0; i < spaces; ++i) out << ' ';
+}
+
+/// Writes one sorted `"section": { "name": <value>, ... }` block.
+template <typename Map, typename ValueWriter>
+void write_section(std::ostream& out, int indent, std::string_view section, const Map& map,
+                   ValueWriter&& write_value, bool trailing_comma) {
+  write_indent(out, indent + 2);
+  out << '"' << section << "\": {";
+  bool first = true;
+  for (const auto& [name, metric] : map) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    write_indent(out, indent + 4);
+    out << '"';
+    write_escaped(out, name);
+    out << "\": ";
+    write_value(metric);
+  }
+  if (!first) {
+    out << '\n';
+    write_indent(out, indent + 2);
+  }
+  out << '}' << (trailing_comma ? "," : "") << '\n';
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+
+TimingHistogram& MetricsRegistry::timer(std::string_view name) {
+  const auto it = timers_.find(name);
+  if (it != timers_.end()) return it->second;
+  return timers_.emplace(std::string(name), TimingHistogram{}).first->second;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const TimingHistogram* MetricsRegistry::find_timer(std::string_view name) const {
+  const auto it = timers_.find(name);
+  return it == timers_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  const Counter* c = find_counter(name);
+  return c == nullptr ? 0 : c->value();
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counter(name).add(c.value());
+  for (const auto& [name, g] : other.gauges_) gauge(name).max_with(g.value());
+  for (const auto& [name, t] : other.timers_) timer(name).merge(t);
+}
+
+void MetricsRegistry::write_json(std::ostream& out, int indent) const {
+  out << "{\n";
+  write_section(out, indent, "counters", counters_,
+                [&](const Counter& c) { out << c.value(); }, true);
+  write_section(out, indent, "gauges", gauges_, [&](const Gauge& g) { out << g.value(); },
+                true);
+  write_section(
+      out, indent, "timers", timers_,
+      [&](const TimingHistogram& t) {
+        out << "{\"count\": " << t.count() << ", \"total\": " << t.total_us()
+            << ", \"min\": " << t.min_us() << ", \"max\": " << t.max_us()
+            << ", \"mean\": " << t.mean_us() << ", \"p50\": " << t.quantile_us(0.5)
+            << ", \"p99\": " << t.quantile_us(0.99) << "}";
+      },
+      false);
+  write_indent(out, indent);
+  out << '}';
+}
+
+std::string MetricsRegistry::to_json(int indent) const {
+  std::ostringstream out;
+  write_json(out, indent);
+  return out.str();
+}
+
+}  // namespace mtscope::obs

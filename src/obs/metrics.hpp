@@ -1,0 +1,192 @@
+// Pipeline observability: named counters, gauges and timing histograms
+// behind one registry, with deterministic JSON snapshots.
+//
+// The paper's headline artifact is itself an observability product — the
+// Figure 2 funnel counts and the per-IXP coverage tables are what make the
+// meta-telescope trustworthy — so the pipeline exports the same numbers it
+// returns, plus per-stage wall-clock timing and parallel-engine health
+// (task balance, shard skew, merge-tree shape).
+//
+// Conventions:
+//  * Null-object default: every instrumentation site takes a
+//    `MetricsRegistry*` that may be nullptr and must then cost nothing on
+//    the hot path (no clock reads, no lookups).  StageTimer honours this.
+//  * Thread-local registries: parallel workers never share a registry.
+//    Each worker writes its own and the owner merges them in worker-index
+//    order after the join — counter totals are then independent of
+//    scheduling (sums commute), which is what makes snapshots comparable
+//    across thread/shard configurations.
+//  * Merge semantics: counters add, gauges keep the maximum, timing
+//    histograms pool their samples.
+//  * JSON snapshots iterate std::maps, so key order — and therefore the
+//    byte stream for identical contents — is deterministic.
+#pragma once
+
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "telemetry/histogram.hpp"
+
+namespace mtscope::obs {
+
+/// Monotonic event count.  Merge = sum.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written level (worker count, shard size, merge-tree depth).
+/// Merge keeps the maximum — the natural reduction for "how deep / how
+/// skewed did it get" across workers.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { value_ = v; }
+  void max_with(std::int64_t v) noexcept {
+    if (v > value_) value_ = v;
+  }
+  [[nodiscard]] std::int64_t value() const noexcept { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Wall-clock duration distribution in microseconds: exact count / total /
+/// min / max plus a log2-bucketed telemetry::Histogram (bin k holds
+/// durations in [2^k, 2^(k+1)) us) so the tail stays visible in bounded
+/// memory no matter how long a stage runs.
+class TimingHistogram {
+ public:
+  TimingHistogram() : log2_us_(0, 63) {}
+
+  void record_us(std::uint64_t us) {
+    ++count_;
+    total_us_ += us;
+    min_us_ = count_ == 1 ? us : std::min(min_us_, us);
+    max_us_ = std::max(max_us_, us);
+    log2_us_.add(bucket_of(us));
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t total_us() const noexcept { return total_us_; }
+  [[nodiscard]] std::uint64_t min_us() const noexcept { return count_ == 0 ? 0 : min_us_; }
+  [[nodiscard]] std::uint64_t max_us() const noexcept { return max_us_; }
+
+  /// Integer mean (total/count); 0 when empty.
+  [[nodiscard]] std::uint64_t mean_us() const noexcept {
+    return count_ == 0 ? 0 : total_us_ / count_;
+  }
+
+  /// Lower bound of the log2 bucket holding quantile q (0 when empty) —
+  /// an order-of-magnitude answer, which is what timing dashboards need.
+  [[nodiscard]] std::uint64_t quantile_us(double q) const {
+    if (count_ == 0) return 0;
+    const std::uint32_t bucket = log2_us_.quantile(q);
+    return bucket == 0 ? 0 : std::uint64_t{1} << bucket;
+  }
+
+  void merge(const TimingHistogram& other) {
+    if (other.count_ == 0) return;
+    min_us_ = count_ == 0 ? other.min_us_ : std::min(min_us_, other.min_us_);
+    max_us_ = std::max(max_us_, other.max_us_);
+    count_ += other.count_;
+    total_us_ += other.total_us_;
+    log2_us_.merge(other.log2_us_);
+  }
+
+ private:
+  static std::uint32_t bucket_of(std::uint64_t us) noexcept {
+    return us == 0 ? 0 : static_cast<std::uint32_t>(std::bit_width(us) - 1);
+  }
+
+  std::uint64_t count_ = 0;
+  std::uint64_t total_us_ = 0;
+  std::uint64_t min_us_ = 0;
+  std::uint64_t max_us_ = 0;
+  telemetry::Histogram log2_us_;
+};
+
+/// Named metrics, one namespace per kind.  Registration is idempotent:
+/// counter("x") returns the same Counter every call.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  TimingHistogram& timer(std::string_view name);
+
+  [[nodiscard]] const Counter* find_counter(std::string_view name) const;
+  [[nodiscard]] const Gauge* find_gauge(std::string_view name) const;
+  [[nodiscard]] const TimingHistogram* find_timer(std::string_view name) const;
+
+  /// Counter value by name; 0 for an unregistered counter.
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && timers_.empty();
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return counters_.size() + gauges_.size() + timers_.size();
+  }
+
+  /// Fold another registry in: counters add, gauges take the max, timers
+  /// pool samples.  Commutative on counters/gauges/timer totals, so
+  /// merging per-worker registries in any fixed order yields the same
+  /// snapshot for the same work.
+  void merge(const MetricsRegistry& other);
+
+  /// Deterministic JSON snapshot: three sorted sections ("counters",
+  /// "gauges", "timers"), integer values only, no trailing newline.
+  /// `indent` shifts every line but the first — for embedding the object
+  /// inside a larger document.
+  void write_json(std::ostream& out, int indent = 0) const;
+  [[nodiscard]] std::string to_json(int indent = 0) const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, TimingHistogram, std::less<>> timers_;
+};
+
+/// RAII scoped wall-clock measurement: records the elapsed time into
+/// `registry->timer(name)` on destruction (or an early stop()).  A null
+/// registry makes construction and destruction free — no clock is read.
+class StageTimer {
+ public:
+  StageTimer(MetricsRegistry* registry, std::string_view name) : registry_(registry) {
+    if (registry_ != nullptr) {
+      name_ = name;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  ~StageTimer() { stop(); }
+
+  /// Record now instead of at scope exit.  Idempotent.
+  void stop() {
+    if (registry_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    registry_->timer(name_).record_us(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count()));
+    registry_ = nullptr;
+  }
+
+ private:
+  MetricsRegistry* registry_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace mtscope::obs

@@ -4,14 +4,28 @@
 
 namespace mtscope::pipeline {
 
+void record_dataset_metrics(obs::MetricsRegistry& metrics, const sim::Simulation& simulation,
+                            std::size_t ixp_index, const sim::IxpDayData& data) {
+  metrics.counter("collect.datasets").add();
+  metrics.counter("collect.flows").add(data.flows.size());
+  metrics.counter("collect.parse_drops").add(data.ipfix_sets_skipped);
+  const std::string& code = simulation.ixps()[ixp_index].spec().code;
+  metrics.counter("collect.vantage." + code + ".datasets").add();
+  metrics.counter("collect.vantage." + code + ".flows").add(data.flows.size());
+}
+
 VantageStats collect_stats(const sim::Simulation& simulation,
                            std::span<const std::size_t> ixp_indices,
-                           std::span<const int> days) {
+                           std::span<const int> days, obs::MetricsRegistry* metrics) {
+  obs::StageTimer total(metrics, "collect.total_us");
   VantageStats stats(simulation.plan().universe_mask());
   for (const int day : days) {
     for (const std::size_t ixp : ixp_indices) {
+      obs::StageTimer ingest(metrics, "collect.ingest_us");
       const sim::IxpDayData data = simulation.run_ixp_day(ixp, day);
       stats.add_flows(data.flows, simulation.ixps()[ixp].sampling_rate(), day);
+      ingest.stop();
+      if (metrics != nullptr) record_dataset_metrics(*metrics, simulation, ixp, data);
     }
   }
   return stats;

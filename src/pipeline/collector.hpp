@@ -5,6 +5,7 @@
 
 #include <span>
 
+#include "obs/metrics.hpp"
 #include "pipeline/vantage_stats.hpp"
 #include "sim/simulation.hpp"
 
@@ -13,10 +14,13 @@ namespace mtscope::pipeline {
 struct CollectOptions;  // pipeline/parallel.hpp
 
 /// Collect merged stats over a set of vantage points and days.  Applies the
-/// plan's universe mask to bound source-side memory.
+/// plan's universe mask to bound source-side memory.  With a registry
+/// attached, records per-dataset ingest health (flow counts, parse drops,
+/// per-vantage totals, ingest duration); nullptr costs nothing.
 [[nodiscard]] VantageStats collect_stats(const sim::Simulation& simulation,
                                          std::span<const std::size_t> ixp_indices,
-                                         std::span<const int> days);
+                                         std::span<const int> days,
+                                         obs::MetricsRegistry* metrics = nullptr);
 
 /// Same collection through the sharded parallel engine (bit-identical
 /// output; see pipeline/parallel.hpp).  threads=1, shards=1 is the serial
@@ -25,6 +29,14 @@ struct CollectOptions;  // pipeline/parallel.hpp
                                          std::span<const std::size_t> ixp_indices,
                                          std::span<const int> days,
                                          const CollectOptions& options);
+
+/// Per-dataset ingest accounting shared by the serial and sharded
+/// collectors: `collect.datasets` / `collect.flows` / `collect.parse_drops`
+/// totals plus `collect.vantage.<CODE>.{datasets,flows}`.  Totals depend
+/// only on the datasets ingested, never on how they were partitioned —
+/// the invariant the metrics tests pin.
+void record_dataset_metrics(obs::MetricsRegistry& metrics, const sim::Simulation& simulation,
+                            std::size_t ixp_index, const sim::IxpDayData& data);
 
 /// All vantage points of the simulation.
 [[nodiscard]] std::vector<std::size_t> all_ixps(const sim::Simulation& simulation);

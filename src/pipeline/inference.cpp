@@ -1,9 +1,21 @@
 #include "pipeline/inference.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 namespace mtscope::pipeline {
+
+namespace {
+
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 void FunnelCounts::merge(const FunnelCounts& other) noexcept {
   seen += other.seen;
@@ -22,6 +34,42 @@ void InferenceResult::merge(const InferenceResult& other) {
   funnel.merge(other.funnel);
 }
 
+void StepDurations::merge(const StepDurations& other) noexcept {
+  scan_ns += other.scan_ns;
+  reserved_ns += other.reserved_ns;
+  routed_ns += other.routed_ns;
+  volume_ns += other.volume_ns;
+  classify_ns += other.classify_ns;
+}
+
+void StepDurations::record(obs::MetricsRegistry& metrics) const {
+  metrics.timer("infer.step.scan_us").record_us(scan_ns / 1000);
+  metrics.timer("infer.step.reserved_us").record_us(reserved_ns / 1000);
+  metrics.timer("infer.step.routed_us").record_us(routed_ns / 1000);
+  metrics.timer("infer.step.volume_us").record_us(volume_ns / 1000);
+  metrics.timer("infer.step.classify_us").record_us(classify_ns / 1000);
+}
+
+void record_inference_metrics(const InferenceResult& result, obs::MetricsRegistry& metrics) {
+  const FunnelCounts& f = result.funnel;
+  metrics.counter(funnel_metric::kSeen).add(f.seen);
+  metrics.counter(funnel_metric::kAfterTcp).add(f.after_tcp);
+  metrics.counter(funnel_metric::kAfterSize).add(f.after_size);
+  metrics.counter(funnel_metric::kAfterSource).add(f.after_source);
+  metrics.counter(funnel_metric::kAfterReserved).add(f.after_reserved);
+  metrics.counter(funnel_metric::kAfterRouted).add(f.after_routed);
+  metrics.counter(funnel_metric::kAfterVolume).add(f.after_volume);
+  metrics.counter("funnel.eliminated.tcp").add(f.seen - f.after_tcp);
+  metrics.counter("funnel.eliminated.size").add(f.after_tcp - f.after_size);
+  metrics.counter("funnel.eliminated.source").add(f.after_size - f.after_source);
+  metrics.counter("funnel.eliminated.reserved").add(f.after_source - f.after_reserved);
+  metrics.counter("funnel.eliminated.routed").add(f.after_reserved - f.after_routed);
+  metrics.counter("funnel.eliminated.volume").add(f.after_routed - f.after_volume);
+  metrics.counter("infer.dark").add(result.dark.size());
+  metrics.counter("infer.unclean").add(result.unclean);
+  metrics.counter("infer.gray").add(result.gray);
+}
+
 InferenceEngine::InferenceEngine(PipelineConfig config, const routing::Rib& rib,
                                  const routing::SpecialPurposeRegistry& registry)
     : config_(config), rib_(rib), registry_(registry) {
@@ -38,10 +86,15 @@ double InferenceEngine::volume_cap_for(const VantageStats& stats) const noexcept
   return config_.max_rx_pkts_per_day * config_.volume_scale * days;
 }
 
-void InferenceEngine::classify_block(net::Block24 block, const BlockObservation& obs,
-                                     double volume_cap, InferenceResult& out) const {
+template <bool kTimed>
+void InferenceEngine::classify_block_impl(net::Block24 block, const BlockObservation& obs,
+                                          double volume_cap, InferenceResult& out,
+                                          StepDurations* durations) const {
   if (obs.rx_packets == 0) return;  // source-only blocks: not candidates
   ++out.funnel.seen;
+
+  std::uint64_t t0 = 0;
+  if constexpr (kTimed) t0 = now_ns();
 
   // Does the spoofing tolerance forgive this block's outbound activity?
   const bool originates = obs.tx_packets > config_.spoof_tolerance_pkts;
@@ -73,6 +126,12 @@ void InferenceEngine::classify_block(net::Block24 block, const BlockObservation&
     any_liveness |= liveness;
   }
 
+  if constexpr (kTimed) {
+    const std::uint64_t t1 = now_ns();
+    durations->scan_ns += t1 - t0;
+    t0 = t1;
+  }
+
   if (!any_tcp) return;
   ++out.funnel.after_tcp;
   if (!any_size_ok) return;
@@ -81,11 +140,31 @@ void InferenceEngine::classify_block(net::Block24 block, const BlockObservation&
   ++out.funnel.after_source;
 
   // Steps 4-6 are properties of the whole /24.
-  if (registry_.is_reserved(block)) return;
+  const bool reserved = registry_.is_reserved(block);
+  if constexpr (kTimed) {
+    const std::uint64_t t1 = now_ns();
+    durations->reserved_ns += t1 - t0;
+    t0 = t1;
+  }
+  if (reserved) return;
   ++out.funnel.after_reserved;
-  if (!rib_.is_routed(block)) return;
+
+  const bool routed = rib_.is_routed(block);
+  if constexpr (kTimed) {
+    const std::uint64_t t1 = now_ns();
+    durations->routed_ns += t1 - t0;
+    t0 = t1;
+  }
+  if (!routed) return;
   ++out.funnel.after_routed;
-  if (static_cast<double>(obs.rx_est_packets) > volume_cap) return;
+
+  const bool over_volume = static_cast<double>(obs.rx_est_packets) > volume_cap;
+  if constexpr (kTimed) {
+    const std::uint64_t t1 = now_ns();
+    durations->volume_ns += t1 - t0;
+    t0 = t1;
+  }
+  if (over_volume) return;
   ++out.funnel.after_volume;
 
   // Step 7: classify.
@@ -96,14 +175,40 @@ void InferenceEngine::classify_block(net::Block24 block, const BlockObservation&
   } else {
     out.dark.insert(block);
   }
+  if constexpr (kTimed) durations->classify_ns += now_ns() - t0;
 }
 
-InferenceResult InferenceEngine::infer(const VantageStats& stats) const {
+void InferenceEngine::classify_block(net::Block24 block, const BlockObservation& obs,
+                                     double volume_cap, InferenceResult& out) const {
+  classify_block_impl<false>(block, obs, volume_cap, out, nullptr);
+}
+
+void InferenceEngine::classify_block_timed(net::Block24 block, const BlockObservation& obs,
+                                           double volume_cap, InferenceResult& out,
+                                           StepDurations& durations) const {
+  classify_block_impl<true>(block, obs, volume_cap, out, &durations);
+}
+
+InferenceResult InferenceEngine::infer(const VantageStats& stats,
+                                       obs::MetricsRegistry* metrics) const {
   InferenceResult result;
   const double volume_cap = volume_cap_for(stats);
-  for (const auto& [block, obs] : stats.blocks()) {
-    classify_block(block, obs, volume_cap, result);
+  if (metrics == nullptr) {
+    for (const auto& [block, obs] : stats.blocks()) {
+      classify_block(block, obs, volume_cap, result);
+    }
+    return result;
   }
+
+  StepDurations durations;
+  {
+    obs::StageTimer total(metrics, "infer.total_us");
+    for (const auto& [block, obs] : stats.blocks()) {
+      classify_block_timed(block, obs, volume_cap, result, durations);
+    }
+  }
+  durations.record(*metrics);
+  record_inference_metrics(result, *metrics);
   return result;
 }
 

@@ -21,15 +21,29 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "net/ipv4.hpp"
+#include "obs/metrics.hpp"
 #include "pipeline/vantage_stats.hpp"
 #include "routing/rib.hpp"
 #include "routing/special_purpose.hpp"
 #include "trie/block24_set.hpp"
 
 namespace mtscope::pipeline {
+
+/// Canonical metric names for the Figure 2 funnel — shared by the serial
+/// and parallel inference paths, the tests, and the snapshot schema check.
+namespace funnel_metric {
+inline constexpr std::string_view kSeen = "funnel.seen";
+inline constexpr std::string_view kAfterTcp = "funnel.after_tcp";
+inline constexpr std::string_view kAfterSize = "funnel.after_size";
+inline constexpr std::string_view kAfterSource = "funnel.after_source";
+inline constexpr std::string_view kAfterReserved = "funnel.after_reserved";
+inline constexpr std::string_view kAfterRouted = "funnel.after_routed";
+inline constexpr std::string_view kAfterVolume = "funnel.after_volume";
+}  // namespace funnel_metric
 
 struct PipelineConfig {
   /// Average inbound TCP IP-packet-size threshold in bytes (step 2).
@@ -87,14 +101,45 @@ struct InferenceResult {
   void merge(const InferenceResult& other);
 };
 
+/// Wall-clock nanoseconds accumulated per funnel stage.  Steps 1-3 share
+/// one entry because the engine evaluates them in a single fused scan over
+/// the block's addresses — timing them apart would mean running the scan
+/// three times.
+struct StepDurations {
+  std::uint64_t scan_ns = 0;      // steps 1-3: per-address survival scan
+  std::uint64_t reserved_ns = 0;  // step 4: RFC 6890 lookup
+  std::uint64_t routed_ns = 0;    // step 5: RIB lookup
+  std::uint64_t volume_ns = 0;    // step 6: volume cap
+  std::uint64_t classify_ns = 0;  // step 7: classification
+
+  void merge(const StepDurations& other) noexcept;
+
+  /// Record each stage as one sample of the matching `infer.step.*_us`
+  /// timer in `metrics`.
+  void record(obs::MetricsRegistry& metrics) const;
+};
+
+/// Write the Figure 2 funnel of `result` into `metrics`: the seven
+/// per-step survivor counters (funnel_metric::*), the per-step elimination
+/// counts (`funnel.eliminated.*`), and the step-7 classification totals
+/// (`infer.dark` / `infer.unclean` / `infer.gray`).  Counters are set from
+/// the result itself, so every path that records them — serial or
+/// parallel, any thread/shard config — snapshots exactly the values it
+/// returns.
+void record_inference_metrics(const InferenceResult& result, obs::MetricsRegistry& metrics);
+
 class InferenceEngine {
  public:
   /// `rib` and `registry` must outlive the engine.
   InferenceEngine(PipelineConfig config, const routing::Rib& rib,
                   const routing::SpecialPurposeRegistry& registry);
 
-  /// Run the full pipeline over accumulated vantage statistics.
-  [[nodiscard]] InferenceResult infer(const VantageStats& stats) const;
+  /// Run the full pipeline over accumulated vantage statistics.  With a
+  /// registry attached, records the funnel counters, per-stage durations
+  /// and total wall clock; with the default nullptr the hot loop is the
+  /// uninstrumented classify_block path, unchanged.
+  [[nodiscard]] InferenceResult infer(const VantageStats& stats,
+                                      obs::MetricsRegistry* metrics = nullptr) const;
 
   /// Steps 1-7 for a single /24, accumulating into `out` — the building
   /// block shared by infer() and pipeline::parallel_infer().  `volume_cap`
@@ -103,6 +148,13 @@ class InferenceEngine {
   void classify_block(net::Block24 block, const BlockObservation& obs, double volume_cap,
                       InferenceResult& out) const;
 
+  /// classify_block plus per-stage wall-clock accounting into `durations`.
+  /// Same funnel logic — both entry points instantiate one templated
+  /// implementation, so the timed path cannot drift from the fast one.
+  void classify_block_timed(net::Block24 block, const BlockObservation& obs,
+                            double volume_cap, InferenceResult& out,
+                            StepDurations& durations) const;
+
   /// The step-6 volume cap for `stats`, in estimated sampled packets over
   /// the covered window (empty stats clamp to one day).
   [[nodiscard]] double volume_cap_for(const VantageStats& stats) const noexcept;
@@ -110,6 +162,11 @@ class InferenceEngine {
   [[nodiscard]] const PipelineConfig& config() const noexcept { return config_; }
 
  private:
+  template <bool kTimed>
+  void classify_block_impl(net::Block24 block, const BlockObservation& obs,
+                           double volume_cap, InferenceResult& out,
+                           StepDurations* durations) const;
+
   PipelineConfig config_;
   const routing::Rib& rib_;
   const routing::SpecialPurposeRegistry& registry_;

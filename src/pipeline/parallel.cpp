@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <future>
+#include <string>
 #include <utility>
 
 #include "pipeline/collector.hpp"
@@ -27,8 +28,11 @@ ParallelCollector::ParallelCollector(const sim::Simulation& simulation, CollectO
 VantageStats ParallelCollector::collect(std::span<const std::size_t> ixp_indices,
                                         std::span<const int> days) const {
   if (options_.threads <= 1 && options_.shards <= 1) {
-    return collect_stats(simulation_, ixp_indices, days);
+    return collect_stats(simulation_, ixp_indices, days, options_.metrics);
   }
+
+  obs::MetricsRegistry* metrics = options_.metrics;
+  obs::StageTimer total(metrics, "collect.total_us");
 
   // Same dataset order as the serial path (days outer, IXPs inner); the
   // round-robin deal below only matters for load balance, never output.
@@ -49,6 +53,10 @@ VantageStats ParallelCollector::collect(std::span<const std::size_t> ixp_indices
     for (unsigned s = 0; s < shards; ++s) mine.emplace_back(mask);
   }
 
+  // One registry per worker: the ingest path records without sharing, and
+  // the post-join merge below folds them in worker-index order.
+  std::vector<obs::MetricsRegistry> local_metrics(metrics != nullptr ? workers : 0);
+
   util::ThreadPool pool(workers);
   {
     std::vector<std::future<void>> jobs;
@@ -56,7 +64,14 @@ VantageStats ParallelCollector::collect(std::span<const std::size_t> ixp_indices
     for (unsigned w = 0; w < workers; ++w) {
       jobs.push_back(pool.submit([&, w] {
         std::vector<VantageStats>& mine = local[w];
+        obs::MetricsRegistry* my_metrics = metrics != nullptr ? &local_metrics[w] : nullptr;
+        obs::Counter* my_tasks =
+            my_metrics != nullptr
+                ? &my_metrics->counter("parallel.collect.worker." + std::to_string(w) +
+                                       ".tasks")
+                : nullptr;
         for (std::size_t t = w; t < tasks.size(); t += workers) {
+          obs::StageTimer ingest(my_metrics, "collect.ingest_us");
           const sim::IxpDayData data = simulation_.run_ixp_day(tasks[t].ixp, tasks[t].day);
           const std::uint32_t rate = simulation_.ixps()[tasks[t].ixp].sampling_rate();
           mine[0].note_day(tasks[t].day);
@@ -64,16 +79,40 @@ VantageStats ParallelCollector::collect(std::span<const std::size_t> ixp_indices
             mine[net::Block24::containing(r.key.dst).index() % shards].add_flow_rx(r, rate);
             mine[net::Block24::containing(r.key.src).index() % shards].add_flow_tx(r);
           }
+          ingest.stop();
+          if (my_metrics != nullptr) {
+            my_tasks->add();
+            record_dataset_metrics(*my_metrics, simulation_, tasks[t].ixp, data);
+          }
         }
       }));
     }
     for (auto& job : jobs) job.get();
   }
 
+  if (metrics != nullptr) {
+    for (const obs::MetricsRegistry& lm : local_metrics) metrics->merge(lm);
+    metrics->gauge("parallel.collect.workers").max_with(workers);
+    metrics->gauge("parallel.collect.shards").max_with(shards);
+    // Shard balance: blocks per shard column, summed over workers before
+    // the tree merge collapses them (the skew the modulo deal produced).
+    for (unsigned s = 0; s < shards; ++s) {
+      std::int64_t blocks = 0;
+      for (unsigned w = 0; w < workers; ++w) {
+        blocks += static_cast<std::int64_t>(local[w][s].blocks().size());
+      }
+      metrics->gauge("parallel.collect.shard." + std::to_string(s) + ".blocks")
+          .max_with(blocks);
+    }
+  }
+
   // Tree-merge workers pairwise.  Shard columns are disjoint key spaces
   // (all entries for a block live in the same column), so each merge round
   // runs its columns concurrently on the same pool.
+  obs::StageTimer merge_timer(metrics, "parallel.collect.merge_us");
+  std::int64_t merge_depth = 0;
   for (unsigned step = 1; step < workers; step *= 2) {
+    ++merge_depth;
     std::vector<std::future<void>> merges;
     for (unsigned i = 0; i + step < workers; i += 2 * step) {
       merges.push_back(pool.submit([&, i, step] {
@@ -85,12 +124,18 @@ VantageStats ParallelCollector::collect(std::span<const std::size_t> ixp_indices
 
   VantageStats out = std::move(local[0][0]);
   for (unsigned s = 1; s < shards; ++s) out.merge(local[0][s]);
+  merge_timer.stop();
+  if (metrics != nullptr) {
+    metrics->gauge("parallel.collect.merge.depth").max_with(merge_depth);
+  }
   return out;
 }
 
 InferenceResult parallel_infer(const InferenceEngine& engine, const VantageStats& stats,
-                               unsigned threads) {
-  if (threads <= 1 || stats.blocks().size() < 2) return engine.infer(stats);
+                               unsigned threads, obs::MetricsRegistry* metrics) {
+  if (threads <= 1 || stats.blocks().size() < 2) return engine.infer(stats, metrics);
+
+  obs::StageTimer total(metrics, "infer.total_us");
 
   using Entry = const std::pair<const net::Block24, BlockObservation>*;
   std::vector<Entry> entries;
@@ -103,6 +148,8 @@ InferenceResult parallel_infer(const InferenceEngine& engine, const VantageStats
   const double volume_cap = engine.volume_cap_for(stats);
 
   std::vector<InferenceResult> partial(workers);
+  std::vector<obs::MetricsRegistry> local_metrics(metrics != nullptr ? workers : 0);
+  std::vector<StepDurations> local_durations(metrics != nullptr ? workers : 0);
   {
     util::ThreadPool pool(workers);
     std::vector<std::future<void>> jobs;
@@ -111,10 +158,22 @@ InferenceResult parallel_infer(const InferenceEngine& engine, const VantageStats
       jobs.push_back(pool.submit([&, w] {
         const std::size_t first = w * chunk;
         const std::size_t last = std::min(entries.size(), first + chunk);
-        for (std::size_t i = first; i < last; ++i) {
-          engine.classify_block(entries[i]->first, entries[i]->second, volume_cap,
-                                partial[w]);
+        if (metrics == nullptr) {
+          for (std::size_t i = first; i < last; ++i) {
+            engine.classify_block(entries[i]->first, entries[i]->second, volume_cap,
+                                  partial[w]);
+          }
+          return;
         }
+        obs::MetricsRegistry& my_metrics = local_metrics[w];
+        obs::StageTimer range(&my_metrics, "parallel.infer.range_us");
+        for (std::size_t i = first; i < last; ++i) {
+          engine.classify_block_timed(entries[i]->first, entries[i]->second, volume_cap,
+                                      partial[w], local_durations[w]);
+        }
+        range.stop();
+        my_metrics.counter("parallel.infer.worker." + std::to_string(w) + ".blocks")
+            .add(last - first);
       }));
     }
     for (auto& job : jobs) job.get();
@@ -122,6 +181,17 @@ InferenceResult parallel_infer(const InferenceEngine& engine, const VantageStats
 
   InferenceResult out = std::move(partial[0]);
   for (unsigned w = 1; w < workers; ++w) out.merge(partial[w]);
+
+  if (metrics != nullptr) {
+    for (const obs::MetricsRegistry& lm : local_metrics) metrics->merge(lm);
+    metrics->gauge("parallel.infer.workers").max_with(workers);
+    StepDurations durations;
+    for (const StepDurations& d : local_durations) durations.merge(d);
+    durations.record(*metrics);
+    // Recorded from the merged result, exactly like the serial path — the
+    // snapshot can never disagree with the returned FunnelCounts.
+    record_inference_metrics(out, *metrics);
+  }
   return out;
 }
 

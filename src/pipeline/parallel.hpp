@@ -29,6 +29,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "pipeline/inference.hpp"
 #include "pipeline/vantage_stats.hpp"
 #include "sim/simulation.hpp"
@@ -44,6 +45,13 @@ struct CollectOptions {
   /// More shards mean smaller hash maps and a wider (more concurrent)
   /// merge fan-in; the output never depends on the value.
   unsigned shards = 1;
+
+  /// Optional observability sink.  Workers never touch it directly: each
+  /// writes a thread-local registry (per-worker task counts, per-dataset
+  /// ingest accounting) that is merged into *metrics in worker-index
+  /// order after the join, so counter totals are independent of
+  /// scheduling and shard count.  nullptr keeps the engine zero-overhead.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Fans vantage-day datasets out to a worker pool; see the file comment.
@@ -63,7 +71,12 @@ class ParallelCollector {
 /// Runs the seven-step funnel over `stats.blocks()` partitioned into
 /// `threads` contiguous ranges and reduces the partial results.
 /// Bit-identical to engine.infer(stats); threads <= 1 falls through to it.
+/// With a registry attached, workers time their ranges into thread-local
+/// registries (merged in worker order) and the funnel counters are
+/// recorded from the final reduced result — byte-identical to the values
+/// the serial path records.
 [[nodiscard]] InferenceResult parallel_infer(const InferenceEngine& engine,
-                                             const VantageStats& stats, unsigned threads);
+                                             const VantageStats& stats, unsigned threads,
+                                             obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace mtscope::pipeline

@@ -112,6 +112,7 @@ IxpDayData Simulation::run_ixp_day(std::size_t ixp_index, int day) const {
     }
   }
   out.ipfix_messages = messages.size();
+  out.ipfix_sets_skipped = decoder.sets_skipped();
   out.flows = decoder.drain();
   return out;
 }

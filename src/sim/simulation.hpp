@@ -28,6 +28,7 @@ struct IxpDayData {
   std::uint64_t sampled_bytes = 0;
   std::uint64_t ipfix_messages = 0;
   std::uint64_t ipfix_bytes = 0;
+  std::uint64_t ipfix_sets_skipped = 0;  // unknown-set parse drops (RFC 7011 §8)
 };
 
 /// One telescope-day of raw captured packets (full, unsampled).

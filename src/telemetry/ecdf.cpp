@@ -4,20 +4,49 @@
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
 namespace mtscope::telemetry {
 
 Ecdf::Ecdf(std::vector<double> samples) : samples_(std::move(samples)), sorted_(false) {}
 
+Ecdf::Ecdf(const Ecdf& other) {
+  other.ensure_sorted();
+  samples_ = other.samples_;
+}
+
+Ecdf& Ecdf::operator=(const Ecdf& other) {
+  if (this != &other) {
+    other.ensure_sorted();
+    samples_ = other.samples_;
+    sorted_.store(true, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+Ecdf::Ecdf(Ecdf&& other) noexcept
+    : samples_(std::move(other.samples_)),
+      sorted_(other.sorted_.load(std::memory_order_relaxed)) {}
+
+Ecdf& Ecdf::operator=(Ecdf&& other) noexcept {
+  if (this != &other) {
+    samples_ = std::move(other.samples_);
+    sorted_.store(other.sorted_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  }
+  return *this;
+}
+
 void Ecdf::add(double sample) {
   samples_.push_back(sample);
-  sorted_ = false;
+  sorted_.store(false, std::memory_order_release);
 }
 
 void Ecdf::ensure_sorted() const {
-  if (!sorted_) {
+  if (sorted_.load(std::memory_order_acquire)) return;
+  const std::lock_guard<std::mutex> lock(sort_mutex_);
+  if (!sorted_.load(std::memory_order_relaxed)) {
     std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
+    sorted_.store(true, std::memory_order_release);
   }
 }
 
@@ -68,6 +97,7 @@ std::vector<std::pair<double, double>> Ecdf::sample_curve(double lo, double hi,
 }
 
 std::string Ecdf::sparkline(double lo, double hi, std::size_t width) const {
+  if (width < 2) throw std::invalid_argument("Ecdf::sparkline: need width of at least 2");
   static constexpr char kLevels[] = " .:-=+*#%@";
   const std::size_t levels = sizeof(kLevels) - 2;  // exclude NUL, index max
   std::string out;

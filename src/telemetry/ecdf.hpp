@@ -1,8 +1,17 @@
 // Empirical cumulative distribution function over double-valued samples —
 // the representation behind Figures 7, 16 and 17.
+//
+// Thread safety: const accessors are safe to call concurrently on a shared
+// Ecdf (the parallel pipeline's workers do).  The sample vector is sorted
+// lazily — add() stays O(1) amortised so million-sample ECDF builds stay
+// linear — but the deferred sort runs exactly once, under a mutex with a
+// double-checked atomic flag, so concurrent const readers never race on
+// it.  Mutations (add) still require exclusive access, like any container.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -12,6 +21,13 @@ class Ecdf {
  public:
   Ecdf() = default;
   explicit Ecdf(std::vector<double> samples);
+
+  // The sort synchronisation state is not copyable, so copies materialise
+  // the sorted view first (a const read, safe on a shared source).
+  Ecdf(const Ecdf& other);
+  Ecdf& operator=(const Ecdf& other);
+  Ecdf(Ecdf&& other) noexcept;
+  Ecdf& operator=(Ecdf&& other) noexcept;
 
   void add(double sample);
 
@@ -29,17 +45,20 @@ class Ecdf {
   [[nodiscard]] double mean() const;
 
   /// Evaluate at evenly spaced x positions in [lo, hi] — a plottable series.
+  /// Throws std::invalid_argument for points < 2.
   [[nodiscard]] std::vector<std::pair<double, double>> sample_curve(double lo, double hi,
                                                                     std::size_t points) const;
 
   /// ASCII sparkline of the curve over [lo, hi] (for bench harness output).
+  /// Throws std::invalid_argument for width < 2, like sample_curve.
   [[nodiscard]] std::string sparkline(double lo, double hi, std::size_t width = 60) const;
 
  private:
   void ensure_sorted() const;
 
   mutable std::vector<double> samples_;
-  mutable bool sorted_ = true;
+  mutable std::atomic<bool> sorted_{true};
+  mutable std::mutex sort_mutex_;
 };
 
 }  // namespace mtscope::telemetry

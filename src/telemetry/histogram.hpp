@@ -6,6 +6,8 @@
 // on top of each other.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <stdexcept>
 #include <vector>
@@ -38,16 +40,20 @@ class Histogram {
   }
 
   /// Value at quantile q in [0, 1]: the smallest value v such that at least
-  /// ceil(q * total) observations are <= v.  Throws on empty.
+  /// ceil(q * total) observations are <= v (q = 0 yields the smallest
+  /// observed value).  Throws on empty.
   [[nodiscard]] std::uint32_t quantile(double q) const {
     if (total_ == 0) throw std::logic_error("Histogram::quantile on empty histogram");
     if (q < 0.0) q = 0.0;
     if (q > 1.0) q = 1.0;
-    const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1));
+    // The epsilon keeps ceil() exact when q * total is mathematically an
+    // integer but lands an ulp high in floating point (0.1 * 10 > 1.0).
+    const auto need = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total_) - 1e-9)));
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < bins_.size(); ++i) {
       seen += bins_[i];
-      if (seen > rank) return min_ + static_cast<std::uint32_t>(i);
+      if (seen >= need) return min_ + static_cast<std::uint32_t>(i);
     }
     return max_;
   }

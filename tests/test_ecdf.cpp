@@ -70,5 +70,19 @@ TEST(Ecdf, SparklineShape) {
   EXPECT_EQ(line.back(), '@');    // above: fraction 1
 }
 
+TEST(Ecdf, SparklineRejectsDegenerateWidths) {
+  // Regression: width 1 used to divide by (width - 1) == 0 inside
+  // sample_curve and width 0 returned an empty string without complaint.
+  // Both now throw, matching the sample_curve contract.
+  Ecdf e({0.5});
+  EXPECT_THROW((void)e.sparkline(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW((void)e.sparkline(0.0, 1.0, 1), std::invalid_argument);
+
+  const std::string line = e.sparkline(0.0, 1.0, 2);  // smallest legal width
+  EXPECT_EQ(line.size(), 2u);
+  EXPECT_EQ(line.front(), ' ');
+  EXPECT_EQ(line.back(), '@');
+}
+
 }  // namespace
 }  // namespace mtscope::telemetry

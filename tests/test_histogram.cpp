@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -47,8 +48,12 @@ TEST(Histogram, QuantilesAgainstSortedVector) {
   }
   std::sort(values.begin(), values.end());
   for (double q : {0.0, 0.1, 0.25, 0.5, 0.9, 0.999, 1.0}) {
-    const auto rank = static_cast<std::size_t>(q * (values.size() - 1));
-    EXPECT_EQ(h.quantile(q), values[rank]) << "q=" << q;
+    // Documented contract: the smallest v with at least ceil(q*total)
+    // observations <= v, i.e. 0-indexed rank max(1, ceil(q*n)) - 1.
+    const auto need = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(values.size()) - 1e-9)));
+    EXPECT_EQ(h.quantile(q), values[need - 1]) << "q=" << q;
   }
 }
 
@@ -100,10 +105,43 @@ TEST(Histogram, MedianBoundaryBetweenTwoValues) {
   Histogram h(0, 100);
   h.add(40, 50);
   h.add(48, 50);
-  // Even split: rank 49 (0-indexed, q*(n-1)=49.5 floored) lands in the 40s.
+  // Even split: ceil(0.5*100) = 50 observations are <= 40 already.
   EXPECT_EQ(h.median(), 40u);
-  h.add(48);  // tip the balance
+  h.add(48);  // tip the balance: ceil(0.5*101) = 51 needs a 48
   EXPECT_EQ(h.median(), 48u);
+}
+
+TEST(Histogram, QuantileBoundariesAtPacketSizeThresholds) {
+  // Regression for the documented contract (smallest v such that at least
+  // ceil(q*total) observations are <= v).  The old implementation walked to
+  // rank q*(total-1), which under-reports exactly at bin boundaries — the
+  // thresholds the paper's size filter cares about.
+  Histogram h(0, 100);
+  for (const std::uint32_t v : {40, 42, 44, 46}) h.add(v, 4);  // total 16
+
+  EXPECT_EQ(h.quantile(0.0), 40u);    // clamps to the first observation
+  EXPECT_EQ(h.quantile(0.25), 40u);   // need 4, all at 40
+  EXPECT_EQ(h.quantile(0.26), 42u);   // need 5 crosses the boundary
+  EXPECT_EQ(h.quantile(0.5), 42u);
+  EXPECT_EQ(h.quantile(0.75), 44u);
+  EXPECT_EQ(h.quantile(0.76), 46u);   // old formula reported 44 here
+  EXPECT_EQ(h.quantile(1.0), 46u);
+
+  // Two-and-two: q=0.75 needs 3 observations <= v, so the answer is 44;
+  // the old rank-walk returned 40.
+  Histogram pair(0, 100);
+  pair.add(40, 2);
+  pair.add(44, 2);
+  EXPECT_EQ(pair.quantile(0.75), 44u);
+}
+
+TEST(Histogram, QuantileImmuneToFloatingPointNoise) {
+  // 0.1 * 30 is 3.0000000000000004 in doubles; without the epsilon guard
+  // ceil() would demand a 4th observation and skip past the true answer.
+  Histogram h(0, 10);
+  h.add(1, 3);
+  h.add(2, 27);
+  EXPECT_EQ(h.quantile(0.1), 1u);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 // binary doubles as the ThreadSanitizer smoke test of the collector.
 #include <gtest/gtest.h>
 
+#include <future>
 #include <ostream>
 #include <vector>
 
@@ -13,6 +14,8 @@
 #include "pipeline/parallel.hpp"
 #include "pipeline/spoof_tolerance.hpp"
 #include "sim/simulation.hpp"
+#include "telemetry/ecdf.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mtscope {
 namespace {
@@ -125,6 +128,39 @@ TEST(ParallelEdgeCases, MoreThreadsThanWork) {
   EXPECT_EQ(stats.blocks().size(), serial_stats.blocks().size());
   expect_identical(pipeline::parallel_infer(serial.engine, stats, 16),
                    serial.engine.infer(serial_stats));
+}
+
+TEST(ConcurrentEcdfReads, ConstAccessorsAreThreadSafe) {
+  // Regression for the lazy-sort data race: the first const read after an
+  // add() used to sort samples_ without synchronisation, so two threads
+  // querying the same const Ecdf both mutated it.  The accessors now
+  // synchronise (double-checked atomic + mutex), which this test exercises
+  // by hammering a freshly-unsorted Ecdf from every pool thread at once —
+  // under MTSCOPE_SANITIZE=thread (the tsan_parallel_smoke target) TSan
+  // flags any regression.
+  telemetry::Ecdf shared;
+  for (int i = 999; i >= 0; --i) shared.add(static_cast<double>(i));
+  const telemetry::Ecdf& view = shared;
+
+  constexpr unsigned kThreads = 8;
+  util::ThreadPool pool(kThreads);
+  std::vector<double> got(kThreads * 4, -1.0);  // one slot per task, no sharing
+  std::vector<std::future<void>> jobs;
+  jobs.reserve(got.size());
+  for (unsigned t = 0; t < kThreads; ++t) {
+    double* slot = &got[t * 4];
+    jobs.push_back(pool.submit([&view, slot] { slot[0] = view.fraction_at_most(500.0); }));
+    jobs.push_back(pool.submit([&view, slot] { slot[1] = view.quantile(0.25); }));
+    jobs.push_back(pool.submit([&view, slot] { slot[2] = view.min(); }));
+    jobs.push_back(pool.submit([&view, slot] { slot[3] = view.max(); }));
+  }
+  for (auto& job : jobs) job.get();
+  for (unsigned t = 0; t < kThreads; ++t) {
+    EXPECT_DOUBLE_EQ(got[t * 4], 501.0 / 1000.0);
+    EXPECT_DOUBLE_EQ(got[t * 4 + 1], 249.0);
+    EXPECT_DOUBLE_EQ(got[t * 4 + 2], 0.0);
+    EXPECT_DOUBLE_EQ(got[t * 4 + 3], 999.0);
+  }
 }
 
 }  // namespace

@@ -2,7 +2,7 @@
 //
 //   mtscope infer    [--seed N] [--scale tiny|full] [--days K] [--ixps A,B]
 //                    [--threads N] [--shards M] [--no-tolerance] [--csv FILE]
-//                    [--hilbert OCTET FILE.pgm]
+//                    [--hilbert OCTET FILE.pgm] [--metrics-out FILE]
 //   mtscope capture  [--seed N] [--telescope TUS1|TEU1|TEU2] [--day D] --pcap FILE
 //   mtscope datasets [--seed N] [--scale tiny|full] --out-dir DIR
 //   mtscope ports    [--seed N] [--scale tiny|full] [--top K]
@@ -20,6 +20,7 @@
 #include "analysis/ports.hpp"
 #include "analysis/world_map.hpp"
 #include "net/pcap.hpp"
+#include "obs/metrics.hpp"
 #include "pipeline/collector.hpp"
 #include "pipeline/evaluation.hpp"
 #include "pipeline/inference.hpp"
@@ -44,6 +45,7 @@ struct Options {
   unsigned shards = 0;          // 0 = pick per thread count
   bool tolerance = true;
   std::string csv_path;
+  std::string metrics_path;
   int hilbert_octet = -1;
   std::string hilbert_path;
   std::string telescope = "TUS1";
@@ -62,6 +64,7 @@ void usage() {
                "           --threads N (parallel collect+infer; default 1 = serial)\n"
                "           --shards M (per-worker stats shards; default: thread count)\n"
                "           --hilbert OCTET FILE.pgm\n"
+               "           --metrics-out FILE (pipeline metrics JSON snapshot)\n"
                "  capture: --telescope TUS1|TEU1|TEU2 --day D --pcap FILE\n"
                "  datasets: --out-dir DIR\n"
                "  ports:   --top K\n");
@@ -103,6 +106,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt.csv_path = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.metrics_path = v;
     } else if (arg == "--hilbert") {
       const char* octet = next();
       const char* path = next();
@@ -159,9 +166,15 @@ int cmd_infer(const Options& opt) {
   std::vector<int> days;
   for (int d = 0; d < std::max(1, opt.days); ++d) days.push_back(d);
 
+  // Observability is opt-in: without --metrics-out the pipeline runs its
+  // uninstrumented (null-registry) hot paths.
+  obs::MetricsRegistry metrics_registry;
+  obs::MetricsRegistry* metrics = opt.metrics_path.empty() ? nullptr : &metrics_registry;
+
   pipeline::CollectOptions collect_options;
   collect_options.threads = std::max(1u, opt.threads);
   collect_options.shards = opt.shards > 0 ? opt.shards : collect_options.threads;
+  collect_options.metrics = metrics;
 
   std::fprintf(stderr, "collecting %zu vantage point(s) x %zu day(s) on %u thread(s)...\n",
                ixps.size(), days.size(), collect_options.threads);
@@ -169,6 +182,7 @@ int cmd_infer(const Options& opt) {
 
   std::uint64_t tolerance = 0;
   if (opt.tolerance) {
+    obs::StageTimer timer(metrics, "pipeline.tolerance_us");
     tolerance =
         pipeline::compute_spoof_tolerance(stats, simulation.plan().unrouted_slash8s());
   }
@@ -177,7 +191,8 @@ int cmd_infer(const Options& opt) {
   config.volume_scale = simulation.config().volume_scale;
   config.spoof_tolerance_pkts = tolerance;
   const pipeline::InferenceEngine engine(config, simulation.plan().rib(), registry);
-  const auto result = pipeline::parallel_infer(engine, stats, collect_options.threads);
+  const auto result =
+      pipeline::parallel_infer(engine, stats, collect_options.threads, metrics);
   const auto eval = pipeline::evaluate_against_ground_truth(result.dark, simulation.plan());
 
   std::printf("seen=%s dark=%s unclean=%s gray=%s tolerance=%llu fp-rate=%s\n",
@@ -204,6 +219,17 @@ int cmd_infer(const Options& opt) {
                         country.value_or("")});
     });
     std::fprintf(stderr, "wrote %s\n", opt.csv_path.c_str());
+  }
+
+  if (metrics != nullptr) {
+    std::ofstream out(opt.metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", opt.metrics_path.c_str());
+      return 1;
+    }
+    metrics_registry.write_json(out);
+    out << '\n';
+    std::fprintf(stderr, "wrote %s\n", opt.metrics_path.c_str());
   }
 
   if (opt.hilbert_octet >= 0 && opt.hilbert_octet <= 255 && !opt.hilbert_path.empty()) {
