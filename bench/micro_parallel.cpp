@@ -124,6 +124,9 @@ int main() {
        << "  \"workload\": {\"ixps\": " << ixps.size() << ", \"days\": " << day_count
        << ", \"blocks\": " << serial_stats.blocks().size()
        << ", \"flows\": " << serial_stats.flows_ingested() << "},\n"
+       << "  \"store\": {\"memory_bytes\": " << serial_stats.blocks().memory_bytes()
+       << ", \"load_factor\": " << serial_stats.blocks().load_factor()
+       << ", \"arena_spills\": " << serial_stats.blocks().arena_spills() << "},\n"
        << "  \"serial\": {\"collect_ms\": " << serial.collect_ms
        << ", \"infer_ms\": " << serial.infer_ms << "},\n"
        << "  \"parallel\": [\n";

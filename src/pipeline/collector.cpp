@@ -14,6 +14,17 @@ void record_dataset_metrics(obs::MetricsRegistry& metrics, const sim::Simulation
   metrics.counter("collect.vantage." + code + ".flows").add(data.flows.size());
 }
 
+void record_store_metrics(obs::MetricsRegistry& metrics, const VantageStats& stats) {
+  const BlockStatsStore& store = stats.blocks();
+  metrics.gauge("collect.store.blocks").max_with(static_cast<std::int64_t>(store.size()));
+  metrics.gauge("collect.store.bytes")
+      .max_with(static_cast<std::int64_t>(store.memory_bytes()));
+  metrics.gauge("collect.store.load_factor")
+      .max_with(static_cast<std::int64_t>(store.load_factor() * 100.0));
+  metrics.gauge("collect.store.arena_spills")
+      .max_with(static_cast<std::int64_t>(store.arena_spills()));
+}
+
 VantageStats collect_stats(const sim::Simulation& simulation,
                            std::span<const std::size_t> ixp_indices,
                            std::span<const int> days, obs::MetricsRegistry* metrics) {
@@ -28,6 +39,7 @@ VantageStats collect_stats(const sim::Simulation& simulation,
       if (metrics != nullptr) record_dataset_metrics(*metrics, simulation, ixp, data);
     }
   }
+  if (metrics != nullptr) record_store_metrics(*metrics, stats);
   return stats;
 }
 

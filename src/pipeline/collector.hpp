@@ -38,6 +38,15 @@ struct CollectOptions;  // pipeline/parallel.hpp
 void record_dataset_metrics(obs::MetricsRegistry& metrics, const sim::Simulation& simulation,
                             std::size_t ixp_index, const sim::IxpDayData& data);
 
+/// Layout diagnostics of the final per-run store, recorded by both the
+/// serial and sharded collectors once collection finishes:
+/// `collect.store.blocks` (rows), `collect.store.bytes` (heap footprint),
+/// `collect.store.load_factor` (index occupancy, percent), and
+/// `collect.store.arena_spills` (per-IP runs that outgrew the inline
+/// buffer).  Gauges, because they describe the state of one store, not a
+/// running total.
+void record_store_metrics(obs::MetricsRegistry& metrics, const VantageStats& stats);
+
 /// All vantage points of the simulation.
 [[nodiscard]] std::vector<std::size_t> all_ixps(const sim::Simulation& simulation);
 

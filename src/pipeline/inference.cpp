@@ -87,24 +87,26 @@ double InferenceEngine::volume_cap_for(const VantageStats& stats) const noexcept
 }
 
 template <bool kTimed>
-void InferenceEngine::classify_block_impl(net::Block24 block, const BlockObservation& obs,
-                                          double volume_cap, InferenceResult& out,
+void InferenceEngine::classify_block_impl(BlockStatsStore::ConstRow obs, double volume_cap,
+                                          InferenceResult& out,
                                           StepDurations* durations) const {
-  if (obs.rx_packets == 0) return;  // source-only blocks: not candidates
+  // Source-only blocks are not candidates — and with the columnar store
+  // this early return touches exactly one column.
+  if (obs.rx_packets() == 0) return;
   ++out.funnel.seen;
 
   std::uint64_t t0 = 0;
   if constexpr (kTimed) t0 = now_ns();
 
   // Does the spoofing tolerance forgive this block's outbound activity?
-  const bool originates = obs.tx_packets > config_.spoof_tolerance_pkts;
+  const bool originates = obs.tx_packets() > config_.spoof_tolerance_pkts;
 
   // Per-address survival through steps 1-3.
   bool any_tcp = false;        // step 1
   bool any_size_ok = false;    // step 2
   bool any_clean = false;      // step 3
   bool any_liveness = false;   // for classification (step 7)
-  for (const IpRxStats& ip : obs.rx_ips) {
+  for (const IpRxStats& ip : obs.ips()) {
     if (ip.packets == 0) continue;
     const bool tcp = ip.tcp_packets > 0;
     const bool size_ok = tcp && ip.avg_tcp_size() <= config_.avg_size_threshold;
@@ -140,6 +142,7 @@ void InferenceEngine::classify_block_impl(net::Block24 block, const BlockObserva
   ++out.funnel.after_source;
 
   // Steps 4-6 are properties of the whole /24.
+  const net::Block24 block = obs.block();
   const bool reserved = registry_.is_reserved(block);
   if constexpr (kTimed) {
     const std::uint64_t t1 = now_ns();
@@ -158,7 +161,7 @@ void InferenceEngine::classify_block_impl(net::Block24 block, const BlockObserva
   if (!routed) return;
   ++out.funnel.after_routed;
 
-  const bool over_volume = static_cast<double>(obs.rx_est_packets) > volume_cap;
+  const bool over_volume = static_cast<double>(obs.rx_est_packets()) > volume_cap;
   if constexpr (kTimed) {
     const std::uint64_t t1 = now_ns();
     durations->volume_ns += t1 - t0;
@@ -178,15 +181,15 @@ void InferenceEngine::classify_block_impl(net::Block24 block, const BlockObserva
   if constexpr (kTimed) durations->classify_ns += now_ns() - t0;
 }
 
-void InferenceEngine::classify_block(net::Block24 block, const BlockObservation& obs,
-                                     double volume_cap, InferenceResult& out) const {
-  classify_block_impl<false>(block, obs, volume_cap, out, nullptr);
+void InferenceEngine::classify_block(BlockStatsStore::ConstRow obs, double volume_cap,
+                                     InferenceResult& out) const {
+  classify_block_impl<false>(obs, volume_cap, out, nullptr);
 }
 
-void InferenceEngine::classify_block_timed(net::Block24 block, const BlockObservation& obs,
-                                           double volume_cap, InferenceResult& out,
+void InferenceEngine::classify_block_timed(BlockStatsStore::ConstRow obs, double volume_cap,
+                                           InferenceResult& out,
                                            StepDurations& durations) const {
-  classify_block_impl<true>(block, obs, volume_cap, out, &durations);
+  classify_block_impl<true>(obs, volume_cap, out, &durations);
 }
 
 InferenceResult InferenceEngine::infer(const VantageStats& stats,
@@ -194,8 +197,8 @@ InferenceResult InferenceEngine::infer(const VantageStats& stats,
   InferenceResult result;
   const double volume_cap = volume_cap_for(stats);
   if (metrics == nullptr) {
-    for (const auto& [block, obs] : stats.blocks()) {
-      classify_block(block, obs, volume_cap, result);
+    for (const BlockStatsStore::ConstRow obs : stats.blocks()) {
+      classify_block(obs, volume_cap, result);
     }
     return result;
   }
@@ -203,8 +206,8 @@ InferenceResult InferenceEngine::infer(const VantageStats& stats,
   StepDurations durations;
   {
     obs::StageTimer total(metrics, "infer.total_us");
-    for (const auto& [block, obs] : stats.blocks()) {
-      classify_block_timed(block, obs, volume_cap, result, durations);
+    for (const BlockStatsStore::ConstRow obs : stats.blocks()) {
+      classify_block_timed(obs, volume_cap, result, durations);
     }
   }
   durations.record(*metrics);

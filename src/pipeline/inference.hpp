@@ -141,19 +141,19 @@ class InferenceEngine {
   [[nodiscard]] InferenceResult infer(const VantageStats& stats,
                                       obs::MetricsRegistry* metrics = nullptr) const;
 
-  /// Steps 1-7 for a single /24, accumulating into `out` — the building
-  /// block shared by infer() and pipeline::parallel_infer().  `volume_cap`
-  /// must come from volume_cap_for() on the *whole* stats object so every
-  /// range partition applies the same day normalisation.
-  void classify_block(net::Block24 block, const BlockObservation& obs, double volume_cap,
+  /// Steps 1-7 for a single /24 (a row view into the columnar store),
+  /// accumulating into `out` — the building block shared by infer() and
+  /// pipeline::parallel_infer().  `volume_cap` must come from
+  /// volume_cap_for() on the *whole* stats object so every range partition
+  /// applies the same day normalisation.
+  void classify_block(BlockStatsStore::ConstRow obs, double volume_cap,
                       InferenceResult& out) const;
 
   /// classify_block plus per-stage wall-clock accounting into `durations`.
   /// Same funnel logic — both entry points instantiate one templated
   /// implementation, so the timed path cannot drift from the fast one.
-  void classify_block_timed(net::Block24 block, const BlockObservation& obs,
-                            double volume_cap, InferenceResult& out,
-                            StepDurations& durations) const;
+  void classify_block_timed(BlockStatsStore::ConstRow obs, double volume_cap,
+                            InferenceResult& out, StepDurations& durations) const;
 
   /// The step-6 volume cap for `stats`, in estimated sampled packets over
   /// the covered window (empty stats clamp to one day).
@@ -163,9 +163,8 @@ class InferenceEngine {
 
  private:
   template <bool kTimed>
-  void classify_block_impl(net::Block24 block, const BlockObservation& obs,
-                           double volume_cap, InferenceResult& out,
-                           StepDurations* durations) const;
+  void classify_block_impl(BlockStatsStore::ConstRow obs, double volume_cap,
+                           InferenceResult& out, StepDurations* durations) const;
 
   PipelineConfig config_;
   const routing::Rib& rib_;

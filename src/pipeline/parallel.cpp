@@ -127,6 +127,7 @@ VantageStats ParallelCollector::collect(std::span<const std::size_t> ixp_indices
   merge_timer.stop();
   if (metrics != nullptr) {
     metrics->gauge("parallel.collect.merge.depth").max_with(merge_depth);
+    record_store_metrics(*metrics, out);
   }
   return out;
 }
@@ -137,14 +138,13 @@ InferenceResult parallel_infer(const InferenceEngine& engine, const VantageStats
 
   obs::StageTimer total(metrics, "infer.total_us");
 
-  using Entry = const std::pair<const net::Block24, BlockObservation>*;
-  std::vector<Entry> entries;
-  entries.reserve(stats.blocks().size());
-  for (const auto& entry : stats.blocks()) entries.push_back(&entry);
+  // The store is dense: rows are contiguous indices, so range partitioning
+  // needs no pointer snapshot of the table.
+  const BlockStatsStore& store = stats.blocks();
+  const std::size_t rows = store.size();
 
-  const unsigned workers =
-      static_cast<unsigned>(std::min<std::size_t>(threads, entries.size()));
-  const std::size_t chunk = (entries.size() + workers - 1) / workers;
+  const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(threads, rows));
+  const std::size_t chunk = (rows + workers - 1) / workers;
   const double volume_cap = engine.volume_cap_for(stats);
 
   std::vector<InferenceResult> partial(workers);
@@ -157,19 +157,18 @@ InferenceResult parallel_infer(const InferenceEngine& engine, const VantageStats
     for (unsigned w = 0; w < workers; ++w) {
       jobs.push_back(pool.submit([&, w] {
         const std::size_t first = w * chunk;
-        const std::size_t last = std::min(entries.size(), first + chunk);
+        const std::size_t last = std::min(rows, first + chunk);
         if (metrics == nullptr) {
           for (std::size_t i = first; i < last; ++i) {
-            engine.classify_block(entries[i]->first, entries[i]->second, volume_cap,
-                                  partial[w]);
+            engine.classify_block(store.row(i), volume_cap, partial[w]);
           }
           return;
         }
         obs::MetricsRegistry& my_metrics = local_metrics[w];
         obs::StageTimer range(&my_metrics, "parallel.infer.range_us");
         for (std::size_t i = first; i < last; ++i) {
-          engine.classify_block_timed(entries[i]->first, entries[i]->second, volume_cap,
-                                      partial[w], local_durations[w]);
+          engine.classify_block_timed(store.row(i), volume_cap, partial[w],
+                                      local_durations[w]);
         }
         range.stop();
         my_metrics.counter("parallel.infer.worker." + std::to_string(w) + ".blocks")

@@ -12,17 +12,24 @@ std::uint64_t compute_spoof_tolerance(const VantageStats& stats,
   if (unrouted_slash8s.empty()) return 0;
 
   // Collect per-/24 outbound sample counts.  Only blocks present in the
-  // stats map can be non-zero; the remaining blocks of each /8 contribute
+  // store can be non-zero; the remaining blocks of each /8 contribute
   // zeros, which we account for arithmetically instead of materialising.
-  std::vector<std::uint64_t> nonzero;
+  // One pass over the store's rows (O(observed blocks)) replaces the old
+  // 65536 finds per /8; the multiplicity table keeps the semantics for a
+  // base listed more than once (its samples and zero-mass count each time).
+  std::uint64_t multiplicity[256] = {};
   std::uint64_t population = 0;
   for (const std::uint8_t base : unrouted_slash8s) {
     population += 65536;
-    const std::uint32_t first = std::uint32_t{base} << 16;
-    for (std::uint32_t i = 0; i < 65536; ++i) {
-      const BlockObservation* obs = stats.find(net::Block24(first + i));
-      if (obs != nullptr && obs->tx_packets > 0) nonzero.push_back(obs->tx_packets);
-    }
+    ++multiplicity[base];
+  }
+  std::vector<std::uint64_t> nonzero;
+  for (const BlockStatsStore::ConstRow row : stats.blocks()) {
+    const std::uint64_t count = multiplicity[row.block().index() >> 16];
+    if (count == 0) continue;
+    const std::uint64_t tx = row.tx_packets();
+    if (tx == 0) continue;
+    for (std::uint64_t c = 0; c < count; ++c) nonzero.push_back(tx);
   }
   if (nonzero.empty()) return 0;
 

@@ -3,20 +3,40 @@
 namespace mtscope::pipeline {
 
 IpRxStats& BlockObservation::rx_ip(std::uint8_t host) {
-  for (IpRxStats& ip : rx_ips) {
-    if (ip.host == host) return ip;
-  }
-  rx_ips.push_back(IpRxStats{host, 0, 0, 0});
-  return rx_ips.back();
+  // rx_ips is kept sorted by host, so lookup is a binary search and merge
+  // below stays linear (the old linear probe made dense-block merges
+  // quadratic).
+  const auto it = std::lower_bound(
+      rx_ips.begin(), rx_ips.end(), host,
+      [](const IpRxStats& ip, std::uint8_t h) { return ip.host < h; });
+  if (it != rx_ips.end() && it->host == host) return *it;
+  return *rx_ips.insert(it, IpRxStats{host, 0, 0, 0});
 }
 
 void BlockObservation::merge(const BlockObservation& other) {
-  for (const IpRxStats& theirs : other.rx_ips) {
-    IpRxStats& mine = rx_ip(theirs.host);
-    mine.packets += theirs.packets;
-    mine.tcp_packets += theirs.tcp_packets;
-    mine.tcp_bytes += theirs.tcp_bytes;
+  // Linear two-run union over the sorted rx_ips.
+  std::vector<IpRxStats> merged;
+  merged.reserve(rx_ips.size() + other.rx_ips.size());
+  auto mine = rx_ips.begin();
+  auto theirs = other.rx_ips.begin();
+  while (mine != rx_ips.end() && theirs != other.rx_ips.end()) {
+    if (mine->host < theirs->host) {
+      merged.push_back(*mine++);
+    } else if (mine->host > theirs->host) {
+      merged.push_back(*theirs++);
+    } else {
+      IpRxStats combined = *mine++;
+      combined.packets += theirs->packets;
+      combined.tcp_packets += theirs->tcp_packets;
+      combined.tcp_bytes += theirs->tcp_bytes;
+      ++theirs;
+      merged.push_back(combined);
+    }
   }
+  merged.insert(merged.end(), mine, rx_ips.end());
+  merged.insert(merged.end(), theirs, other.rx_ips.end());
+  rx_ips = std::move(merged);
+
   rx_packets += other.rx_packets;
   rx_tcp_packets += other.rx_tcp_packets;
   rx_tcp_bytes += other.rx_tcp_bytes;
@@ -29,25 +49,16 @@ void VantageStats::note_day(int day) { days_.insert(day); }
 
 void VantageStats::add_flow_rx(const flow::FlowRecord& r, std::uint32_t sampling_rate) {
   ++flows_;
-  BlockObservation& dst = blocks_[net::Block24::containing(r.key.dst)];
-  dst.rx_packets += r.packets;
-  dst.rx_est_packets += r.packets * sampling_rate;
-  IpRxStats& ip = dst.rx_ip(static_cast<std::uint8_t>(r.key.dst.value() & 0xff));
-  ip.packets += static_cast<std::uint32_t>(r.packets);
-  if (r.key.proto == net::IpProto::kTcp) {
-    dst.rx_tcp_packets += r.packets;
-    dst.rx_tcp_bytes += r.bytes;
-    ip.tcp_packets += static_cast<std::uint32_t>(r.packets);
-    ip.tcp_bytes += r.bytes;
-  }
+  store_.add_rx(net::Block24::containing(r.key.dst),
+                static_cast<std::uint8_t>(r.key.dst.value() & 0xff), r.packets,
+                r.packets * sampling_rate, r.key.proto == net::IpProto::kTcp, r.bytes);
 }
 
 void VantageStats::add_flow_tx(const flow::FlowRecord& r) {
   const net::Block24 src_block = net::Block24::containing(r.key.src);
   if (source_mask_ == nullptr || source_mask_->contains(src_block)) {
-    BlockObservation& src = blocks_[src_block];
-    src.tx_packets += r.packets;
-    src.mark_host_sent(static_cast<std::uint8_t>(r.key.src.value() & 0xff));
+    store_.add_tx(src_block, static_cast<std::uint8_t>(r.key.src.value() & 0xff),
+                  r.packets);
   }
 }
 
@@ -61,9 +72,7 @@ void VantageStats::add_flows(std::span<const flow::FlowRecord> flows,
 }
 
 void VantageStats::merge(const VantageStats& other) {
-  for (const auto& [block, obs] : other.blocks_) {
-    blocks_[block].merge(obs);
-  }
+  store_.merge(other.store_);
   days_.insert(other.days_.begin(), other.days_.end());
   flows_ += other.flows_;
 }

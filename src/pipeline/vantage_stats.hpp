@@ -8,39 +8,35 @@
 // handful of addresses per block.  Source-side activity is a 256-bit bitmap
 // plus a packet counter per block (a /24 has at most 256 distinct sources).
 //
+// Storage lives in pipeline::BlockStatsStore (open-addressing index over
+// struct-of-arrays columns, per-IP runs in a bump arena — see
+// block_stats_store.hpp and DESIGN.md §9); this class layers the flow
+// semantics on top: sampling-rate scaling, the source mask, the distinct-
+// day set, and the ingested-flow counter.
+//
 // Instances merge, which is how multi-day and multi-vantage-point inference
 // works (§6.1, §7.1): merge the stats, run the same pipeline.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <set>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "flow/record.hpp"
 #include "net/ipv4.hpp"
+#include "pipeline/block_stats_store.hpp"
 #include "trie/block24_set.hpp"
 
 namespace mtscope::pipeline {
 
-/// Destination-side counters for one host address within a block.
-struct IpRxStats {
-  std::uint8_t host = 0;         // last octet
-  std::uint32_t packets = 0;     // sampled
-  std::uint32_t tcp_packets = 0;
-  std::uint64_t tcp_bytes = 0;
-
-  [[nodiscard]] double avg_tcp_size() const noexcept {
-    return tcp_packets == 0 ? 0.0
-                            : static_cast<double>(tcp_bytes) / static_cast<double>(tcp_packets);
-  }
-};
-
-/// All measurement state for one /24.
+/// All measurement state for one /24, as a standalone value.  The live
+/// pipeline keeps this data columnar inside BlockStatsStore; this struct
+/// remains for callers (and tests) that build observations by hand.
 struct BlockObservation {
-  std::vector<IpRxStats> rx_ips;      // sorted insertion not required; small
+  std::vector<IpRxStats> rx_ips;      // kept sorted by host (see rx_ip)
   std::uint64_t rx_packets = 0;       // sampled
   std::uint64_t rx_tcp_packets = 0;
   std::uint64_t rx_tcp_bytes = 0;
@@ -104,14 +100,14 @@ class VantageStats {
   /// property tests) — the invariant the parallel collector relies on.
   void merge(const VantageStats& other);
 
-  [[nodiscard]] const std::unordered_map<net::Block24, BlockObservation>& blocks()
-      const noexcept {
-    return blocks_;
-  }
+  /// The columnar store itself: size()/empty(), row iteration (yielding
+  /// BlockStatsStore::ConstRow views), dense row(i) access, and the
+  /// collect.store.* layout diagnostics.
+  [[nodiscard]] const BlockStatsStore& blocks() const noexcept { return store_; }
 
-  [[nodiscard]] const BlockObservation* find(net::Block24 block) const {
-    const auto it = blocks_.find(block);
-    return it == blocks_.end() ? nullptr : &it->second;
+  /// Falsy row view when the block has never been observed.
+  [[nodiscard]] BlockStatsStore::ConstRow find(net::Block24 block) const noexcept {
+    return store_.find(block);
   }
 
   /// Number of distinct logical days covered; 0 for an object that has
@@ -124,7 +120,7 @@ class VantageStats {
   [[nodiscard]] std::uint64_t flows_ingested() const noexcept { return flows_; }
 
  private:
-  std::unordered_map<net::Block24, BlockObservation> blocks_;
+  BlockStatsStore store_;
   std::shared_ptr<const trie::Block24Set> source_mask_;
   std::set<int> days_;
   std::uint64_t flows_ = 0;

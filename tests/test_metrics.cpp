@@ -420,6 +420,39 @@ TEST(CollectMetrics, TotalsInvariantAcrossPartitions) {
   }
 }
 
+TEST(CollectMetrics, StoreGaugesDescribeTheFinalStore) {
+  // Both collectors record the layout of the store they return —
+  // collect.store.* gauges must match the returned object exactly, on the
+  // serial path and on every parallel partition.
+  const PipelineFixture& fx = fixture();
+  for (const auto& [threads, shards] :
+       std::vector<std::pair<unsigned, unsigned>>{{1, 1}, {2, 4}, {4, 16}}) {
+    MetricsRegistry metrics;
+    pipeline::CollectOptions options{threads, shards, &metrics};
+    const auto stats = pipeline::collect_stats(fx.simulation, fx.ixps, fx.days, options);
+    const pipeline::BlockStatsStore& store = stats.blocks();
+    const std::string tag = std::to_string(threads) + "x" + std::to_string(shards);
+
+    const auto* blocks = metrics.find_gauge("collect.store.blocks");
+    ASSERT_NE(blocks, nullptr) << tag;
+    EXPECT_EQ(blocks->value(), static_cast<std::int64_t>(store.size())) << tag;
+
+    const auto* bytes = metrics.find_gauge("collect.store.bytes");
+    ASSERT_NE(bytes, nullptr) << tag;
+    EXPECT_EQ(bytes->value(), static_cast<std::int64_t>(store.memory_bytes())) << tag;
+
+    const auto* load = metrics.find_gauge("collect.store.load_factor");
+    ASSERT_NE(load, nullptr) << tag;
+    EXPECT_EQ(load->value(), static_cast<std::int64_t>(store.load_factor() * 100.0)) << tag;
+    EXPECT_GT(load->value(), 0) << tag;
+    EXPECT_LE(load->value(), 87) << tag;  // 7/8 max load
+
+    const auto* spills = metrics.find_gauge("collect.store.arena_spills");
+    ASSERT_NE(spills, nullptr) << tag;
+    EXPECT_EQ(spills->value(), static_cast<std::int64_t>(store.arena_spills())) << tag;
+  }
+}
+
 TEST(CollectMetrics, SnapshotOfFullPipelineParsesAsJson) {
   const PipelineFixture& fx = fixture();
   MetricsRegistry metrics;

@@ -49,30 +49,26 @@ pipeline::InferenceResult infer(const pipeline::VantageStats& stats,
 
 // Full structural equality of two stats objects: same day coverage, same
 // block set, and per block the same counters, host bitmap, and per-IP
-// records (rx_ips insertion order is allowed to differ — it carries no
-// meaning and the pipeline never reads it).
+// records (the store keeps those sorted by host, so the runs compare
+// element-wise; row order may differ between the two stores).
 void expect_stats_equal(const pipeline::VantageStats& x, const pipeline::VantageStats& y) {
   EXPECT_EQ(x.day_count(), y.day_count());
   EXPECT_EQ(x.flows_ingested(), y.flows_ingested());
   ASSERT_EQ(x.blocks().size(), y.blocks().size());
-  for (const auto& [block, xo] : x.blocks()) {
-    const pipeline::BlockObservation* yo = y.find(block);
-    ASSERT_NE(yo, nullptr) << block.to_string();
-    EXPECT_EQ(xo.rx_packets, yo->rx_packets) << block.to_string();
-    EXPECT_EQ(xo.rx_tcp_packets, yo->rx_tcp_packets) << block.to_string();
-    EXPECT_EQ(xo.rx_tcp_bytes, yo->rx_tcp_bytes) << block.to_string();
-    EXPECT_EQ(xo.rx_est_packets, yo->rx_est_packets) << block.to_string();
-    EXPECT_EQ(xo.tx_packets, yo->tx_packets) << block.to_string();
+  for (const pipeline::BlockStatsStore::ConstRow xo : x.blocks()) {
+    const net::Block24 block = xo.block();
+    const pipeline::BlockStatsStore::ConstRow yo = y.find(block);
+    ASSERT_TRUE(yo) << block.to_string();
+    EXPECT_EQ(xo.rx_packets(), yo.rx_packets()) << block.to_string();
+    EXPECT_EQ(xo.rx_tcp_packets(), yo.rx_tcp_packets()) << block.to_string();
+    EXPECT_EQ(xo.rx_tcp_bytes(), yo.rx_tcp_bytes()) << block.to_string();
+    EXPECT_EQ(xo.rx_est_packets(), yo.rx_est_packets()) << block.to_string();
+    EXPECT_EQ(xo.tx_packets(), yo.tx_packets()) << block.to_string();
     for (int w = 0; w < 4; ++w) {
-      EXPECT_EQ(xo.tx_host_bits[w], yo->tx_host_bits[w]) << block.to_string();
+      EXPECT_EQ(xo.tx_host_bits()[w], yo.tx_host_bits()[w]) << block.to_string();
     }
-    const auto by_host = [](const pipeline::IpRxStats& a, const pipeline::IpRxStats& b) {
-      return a.host < b.host;
-    };
-    auto xi = xo.rx_ips;
-    auto yi = yo->rx_ips;
-    std::sort(xi.begin(), xi.end(), by_host);
-    std::sort(yi.begin(), yi.end(), by_host);
+    const auto xi = xo.ips();
+    const auto yi = yo.ips();
     ASSERT_EQ(xi.size(), yi.size()) << block.to_string();
     for (std::size_t i = 0; i < xi.size(); ++i) {
       EXPECT_EQ(xi[i].host, yi[i].host) << block.to_string();

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 namespace mtscope::pipeline {
 namespace {
 
@@ -25,17 +27,17 @@ TEST(VantageStats, PerIpAccounting) {
   };
   stats.add_flows(flows, 100, 0);
 
-  const BlockObservation* obs = stats.find(net::Block24(0x0a0001));
-  ASSERT_NE(obs, nullptr);
-  EXPECT_EQ(obs->rx_packets, 6u);
-  EXPECT_EQ(obs->rx_tcp_packets, 3u);
-  EXPECT_EQ(obs->rx_tcp_bytes, 128u);
-  EXPECT_EQ(obs->rx_est_packets, 600u);
-  ASSERT_EQ(obs->rx_ips.size(), 2u);
+  const BlockStatsStore::ConstRow obs = stats.find(net::Block24(0x0a0001));
+  ASSERT_TRUE(obs);
+  EXPECT_EQ(obs.rx_packets(), 6u);
+  EXPECT_EQ(obs.rx_tcp_packets(), 3u);
+  EXPECT_EQ(obs.rx_tcp_bytes(), 128u);
+  EXPECT_EQ(obs.rx_est_packets(), 600u);
+  ASSERT_EQ(obs.ips().size(), 2u);
 
   // Host .5 got both TCP flows.
   bool found5 = false;
-  for (const IpRxStats& ip : obs->rx_ips) {
+  for (const IpRxStats& ip : obs.ips()) {
     if (ip.host == 5) {
       found5 = true;
       EXPECT_EQ(ip.tcp_packets, 3u);
@@ -49,11 +51,11 @@ TEST(VantageStats, PerIpAccounting) {
   EXPECT_TRUE(found5);
 
   // Source side: block of 1.1.1.1 marked as sender.
-  const BlockObservation* src = stats.find(net::Block24(0x010101));
-  ASSERT_NE(src, nullptr);
-  EXPECT_EQ(src->tx_packets, 6u);
-  EXPECT_TRUE(src->host_sent(1));
-  EXPECT_FALSE(src->host_sent(2));
+  const BlockStatsStore::ConstRow src = stats.find(net::Block24(0x010101));
+  ASSERT_TRUE(src);
+  EXPECT_EQ(src.tx_packets(), 6u);
+  EXPECT_TRUE(src.host_sent(1));
+  EXPECT_FALSE(src.host_sent(2));
 }
 
 TEST(VantageStats, SourceMaskFiltersForeignSources) {
@@ -64,8 +66,8 @@ TEST(VantageStats, SourceMaskFiltersForeignSources) {
       record(0x01010101, 0x0a000105, net::IpProto::kTcp, 1, 40),
   };
   stats.add_flows(flows, 1, 0);
-  EXPECT_NE(stats.find(net::Block24(0x0a0001)), nullptr);
-  EXPECT_EQ(stats.find(net::Block24(0x010101)), nullptr);  // masked out
+  EXPECT_TRUE(stats.find(net::Block24(0x0a0001)));
+  EXPECT_FALSE(stats.find(net::Block24(0x010101)));  // masked out
 }
 
 TEST(VantageStats, DayCounting) {
@@ -126,12 +128,12 @@ TEST(VantageStats, SplitIngestionMatchesAddFlows) {
   EXPECT_EQ(split.day_count(), whole.day_count());
   EXPECT_EQ(split.flows_ingested(), whole.flows_ingested());
   EXPECT_EQ(split.blocks().size(), whole.blocks().size());
-  for (const auto& [block, obs] : whole.blocks()) {
-    const BlockObservation* other = split.find(block);
-    ASSERT_NE(other, nullptr);
-    EXPECT_EQ(other->rx_packets, obs.rx_packets);
-    EXPECT_EQ(other->rx_est_packets, obs.rx_est_packets);
-    EXPECT_EQ(other->tx_packets, obs.tx_packets);
+  for (const BlockStatsStore::ConstRow obs : whole.blocks()) {
+    const BlockStatsStore::ConstRow other = split.find(obs.block());
+    ASSERT_TRUE(other);
+    EXPECT_EQ(other.rx_packets(), obs.rx_packets());
+    EXPECT_EQ(other.rx_est_packets(), obs.rx_est_packets());
+    EXPECT_EQ(other.tx_packets(), obs.tx_packets());
   }
 }
 
@@ -149,13 +151,32 @@ TEST(VantageStats, MergeCombines) {
 
   EXPECT_EQ(a.day_count(), 2);
   EXPECT_EQ(a.flows_ingested(), 3u);
-  const BlockObservation* obs = a.find(net::Block24(0x0a0001));
-  ASSERT_NE(obs, nullptr);
-  EXPECT_EQ(obs->rx_packets, 3u);
-  EXPECT_EQ(obs->rx_ips.size(), 1u);  // same host .5 merged
-  EXPECT_EQ(obs->rx_ips[0].tcp_packets, 3u);
-  EXPECT_EQ(obs->tx_packets, 1u);
-  EXPECT_TRUE(obs->host_sent(9));
+  const BlockStatsStore::ConstRow obs = a.find(net::Block24(0x0a0001));
+  ASSERT_TRUE(obs);
+  EXPECT_EQ(obs.rx_packets(), 3u);
+  ASSERT_EQ(obs.ips().size(), 1u);  // same host .5 merged
+  EXPECT_EQ(obs.ips()[0].tcp_packets, 3u);
+  EXPECT_EQ(obs.tx_packets(), 1u);
+  EXPECT_TRUE(obs.host_sent(9));
+}
+
+TEST(VantageStats, StoreIterationYieldsEveryBlockOnce) {
+  VantageStats stats;
+  const std::vector<flow::FlowRecord> flows = {
+      record(0x01010101, 0x0a000105, net::IpProto::kTcp, 1, 40),
+      record(0x01010101, 0x0b000205, net::IpProto::kTcp, 1, 40),
+      record(0x01010101, 0x0c000305, net::IpProto::kTcp, 1, 40),
+  };
+  stats.add_flows(flows, 1, 0);
+
+  std::set<std::uint32_t> seen;
+  for (const BlockStatsStore::ConstRow row : stats.blocks()) {
+    EXPECT_TRUE(seen.insert(row.block().index()).second);
+  }
+  // 3 destination blocks + the source block of 1.1.1.1.
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen.size(), stats.blocks().size());
+  EXPECT_TRUE(seen.contains(0x010101u));
 }
 
 TEST(BlockObservationStruct, HostBitmap) {
@@ -178,6 +199,38 @@ TEST(BlockObservationStruct, AvgTcpSize) {
   obs.rx_tcp_packets = 4;
   obs.rx_tcp_bytes = 180;
   EXPECT_DOUBLE_EQ(obs.avg_tcp_size(), 45.0);
+}
+
+TEST(BlockObservationStruct, RxIpKeepsHostsSorted) {
+  // rx_ip() maintains the sorted-by-host invariant the linear merge relies
+  // on, regardless of insertion order.
+  BlockObservation obs;
+  for (const std::uint8_t host : {200, 5, 120, 5, 0, 255}) {
+    obs.rx_ip(host).packets += 1;
+  }
+  ASSERT_EQ(obs.rx_ips.size(), 5u);
+  for (std::size_t i = 1; i < obs.rx_ips.size(); ++i) {
+    EXPECT_LT(obs.rx_ips[i - 1].host, obs.rx_ips[i].host);
+  }
+  EXPECT_EQ(obs.rx_ip(5).packets, 2u);  // duplicate insert accumulated
+}
+
+TEST(BlockObservationStruct, MergeIsLinearUnionOverSortedRuns) {
+  BlockObservation a;
+  a.rx_ip(1).packets = 10;
+  a.rx_ip(200).packets = 1;
+  BlockObservation b;
+  b.rx_ip(1).packets = 5;
+  b.rx_ip(1).tcp_packets = 5;
+  b.rx_ip(7).packets = 2;
+  a.merge(b);
+
+  ASSERT_EQ(a.rx_ips.size(), 3u);
+  EXPECT_EQ(a.rx_ips[0].host, 1);
+  EXPECT_EQ(a.rx_ips[0].packets, 15u);
+  EXPECT_EQ(a.rx_ips[0].tcp_packets, 5u);
+  EXPECT_EQ(a.rx_ips[1].host, 7);
+  EXPECT_EQ(a.rx_ips[2].host, 200);
 }
 
 }  // namespace
