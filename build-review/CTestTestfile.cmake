@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-review
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(metrics_snapshot_check "/usr/bin/cmake" "-DCLI=/root/repo/build-review/tools/mtscope" "-DOUT_DIR=/root/repo/build-review" "-P" "/root/repo/cmake/metrics_snapshot_check.cmake")
+set_tests_properties(metrics_snapshot_check PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;53;add_test;/root/repo/CMakeLists.txt;0;")
+subdirs("src")
+subdirs("tests")
+subdirs("bench-build")
+subdirs("examples-build")
+subdirs("tools-build")

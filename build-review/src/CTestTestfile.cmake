@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("net")
+subdirs("trie")
+subdirs("flow")
+subdirs("routing")
+subdirs("geo")
+subdirs("telemetry")
+subdirs("obs")
+subdirs("sim")
+subdirs("pipeline")
+subdirs("analysis")
