@@ -1,0 +1,269 @@
+// Micro-benchmarks for the snapshot + serving layer at paper scale: a
+// 500k-flow workload spread over 60.0.0.0/6 (~223k classified /24s, the
+// regime of the paper's meta-telescope map) is inferred once, then the
+// serve path is timed end to end — serialize, parse, file round-trip,
+// index build, and single-threaded lookup throughput on a mixed
+// hit/miss probe stream.  main() writes BENCH_snapshot.json for trend
+// tracking across PRs, then runs the google-benchmark suite.
+// MTSCOPE_BENCH_SCALE=small shrinks the workload for smoke runs.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "pipeline/inference.hpp"
+#include "routing/special_purpose.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/telescope_index.hpp"
+#include "util/rng.hpp"
+
+using namespace mtscope;
+
+namespace {
+
+bool small_scale() {
+  const char* scale = std::getenv("MTSCOPE_BENCH_SCALE");
+  return scale != nullptr && std::strcmp(scale, "small") == 0;
+}
+
+std::size_t workload_flows() { return small_scale() ? 50'000 : 500'000; }
+
+std::vector<flow::FlowRecord> make_flows(std::size_t count, std::uint64_t seed = 23) {
+  util::Rng rng(seed);
+  std::vector<flow::FlowRecord> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    flow::FlowRecord r;
+    r.key.src = net::Ipv4Addr(0x0a000000 + static_cast<std::uint32_t>(rng.uniform(1u << 16)));
+    // Destinations over a /6 (~262k candidate /24s): the paper's regime of
+    // a large sparse map, which is also the worst case for the lookup
+    // directory (many buckets, few entries each).
+    r.key.dst = net::Ipv4Addr((60u << 24) + static_cast<std::uint32_t>(rng.uniform(1u << 26)));
+    r.key.dst_port = 23;
+    r.key.proto = rng.chance(0.9) ? net::IpProto::kTcp : net::IpProto::kUdp;
+    r.packets = 1 + rng.uniform(3);
+    r.bytes = r.packets * (rng.chance(0.8) ? 40 : 1400);
+    r.sampling_rate = 100;
+    out.push_back(r);
+  }
+  return out;
+}
+
+/// 64 /12 announcements carve up 60.0.0.0/6, so the snapshot's prefix
+/// table and per-block prefix ids are exercised, not degenerate.
+routing::Rib make_rib() {
+  routing::Rib rib;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    rib.announce(net::Prefix(net::Ipv4Addr((60u << 24) + (i << 20)), 12),
+                 net::AsNumber(65000 + i));
+  }
+  return rib;
+}
+
+serve::TelescopeSnapshot make_paper_scale_snapshot() {
+  const auto flows = make_flows(workload_flows());
+  pipeline::VantageStats stats;
+  stats.add_flows(flows, 100, 0);
+
+  const routing::Rib rib = make_rib();
+  const auto registry = routing::SpecialPurposeRegistry::standard();
+  const pipeline::InferenceEngine engine(pipeline::PipelineConfig{}, rib, registry);
+  const auto result = engine.infer(stats);
+
+  serve::RunMetadata meta;
+  meta.seed = 23;
+  meta.flows_ingested = flows.size();
+  meta.created_unix_s = 1'700'000'000;
+  meta.source = "bench 60.0.0.0/6";
+  return serve::build_snapshot(result, rib, meta);
+}
+
+const serve::TelescopeSnapshot& shared_snapshot() {
+  static const serve::TelescopeSnapshot snapshot = make_paper_scale_snapshot();
+  return snapshot;
+}
+
+/// Deterministic probe stream: even probes hit a known block (random host
+/// byte), odd probes are uniform over the whole v4 space (mostly misses).
+std::vector<net::Ipv4Addr> make_probes(const serve::TelescopeSnapshot& snapshot,
+                                       std::size_t count) {
+  util::Rng rng(97);
+  std::vector<net::Ipv4Addr> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!snapshot.blocks.empty() && (i & 1u) == 0) {
+      const auto& entry =
+          snapshot.blocks[static_cast<std::size_t>(rng.uniform(snapshot.blocks.size()))];
+      out.push_back(net::Ipv4Addr((entry.block_index() << 8) |
+                                  static_cast<std::uint32_t>(rng.uniform(256))));
+    } else {
+      out.push_back(
+          net::Ipv4Addr(static_cast<std::uint32_t>(rng.uniform(std::uint64_t{1} << 32))));
+    }
+  }
+  return out;
+}
+
+// --- google-benchmark suite ------------------------------------------------
+
+void BM_SnapshotSerialize(benchmark::State& state) {
+  const auto& snapshot = shared_snapshot();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serve::serialize_snapshot(snapshot));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(snapshot.blocks.size()));
+}
+BENCHMARK(BM_SnapshotSerialize);
+
+void BM_SnapshotParse(benchmark::State& state) {
+  const auto bytes = serve::serialize_snapshot(shared_snapshot());
+  for (auto _ : state) {
+    auto parsed = serve::parse_snapshot(bytes);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_SnapshotParse);
+
+void BM_IndexBuild(benchmark::State& state) {
+  const auto& snapshot = shared_snapshot();
+  for (auto _ : state) {
+    serve::TelescopeIndex index{serve::TelescopeSnapshot(snapshot)};
+    benchmark::DoNotOptimize(index.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(snapshot.blocks.size()));
+}
+BENCHMARK(BM_IndexBuild);
+
+void BM_IndexClassify(benchmark::State& state) {
+  const serve::TelescopeIndex index{serve::TelescopeSnapshot(shared_snapshot())};
+  const auto probes = make_probes(index.snapshot(), 1u << 16);
+  std::size_t i = 0;
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    hits += index.classify(probes[i]).has_value() ? 1 : 0;
+    i = (i + 1) & (probes.size() - 1);
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexClassify);
+
+void BM_IndexLookupFullVerdict(benchmark::State& state) {
+  const serve::TelescopeIndex index{serve::TelescopeSnapshot(shared_snapshot())};
+  const auto probes = make_probes(index.snapshot(), 1u << 16);
+  std::size_t i = 0;
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    hits += index.lookup(probes[i]).has_value() ? 1 : 0;
+    i = (i + 1) & (probes.size() - 1);
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexLookupFullVerdict);
+
+// --- BENCH_snapshot.json ---------------------------------------------------
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+template <typename F>
+double best_of_ms(int reps, F&& run) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    const double t0 = now_ms();
+    run();
+    best = std::min(best, now_ms() - t0);
+  }
+  return best;
+}
+
+void write_snapshot_report() {
+  const auto& snapshot = shared_snapshot();
+  const auto bytes = serve::serialize_snapshot(snapshot);
+
+  const double serialize_ms = best_of_ms(3, [&] {
+    benchmark::DoNotOptimize(serve::serialize_snapshot(snapshot));
+  });
+  const double parse_ms = best_of_ms(3, [&] {
+    auto parsed = serve::parse_snapshot(bytes);
+    benchmark::DoNotOptimize(parsed.ok());
+  });
+
+  const char* path = "BENCH_snapshot.tmp.snap";
+  const double write_ms = best_of_ms(3, [&] {
+    benchmark::DoNotOptimize(serve::write_snapshot_file(snapshot, path).ok());
+  });
+  const double load_ms = best_of_ms(3, [&] {
+    auto index = serve::TelescopeIndex::load_file(path);
+    benchmark::DoNotOptimize(index.ok());
+  });
+  std::remove(path);
+
+  const double index_build_ms = best_of_ms(3, [&] {
+    serve::TelescopeIndex index{serve::TelescopeSnapshot(snapshot)};
+    benchmark::DoNotOptimize(index.size());
+  });
+
+  const serve::TelescopeIndex index{serve::TelescopeSnapshot(snapshot)};
+  const std::size_t probe_count = small_scale() ? 1'000'000 : 10'000'000;
+  const auto probes = make_probes(snapshot, probe_count);
+  std::uint64_t hits = 0;
+  const double lookup_ms = best_of_ms(3, [&] {
+    hits = 0;
+    for (const auto addr : probes) {
+      hits += index.classify(addr).has_value() ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(hits);
+  });
+  const double qps = 1e3 * static_cast<double>(probe_count) / lookup_ms;
+  const double hit_rate = static_cast<double>(hits) / static_cast<double>(probe_count);
+
+  std::printf("== snapshot + serving (%zu blocks, %zu prefixes, %zu bytes on disk) ==\n",
+              snapshot.blocks.size(), snapshot.prefixes.size(), bytes.size());
+  std::printf("  serialize %8.2f ms   parse %8.2f ms\n", serialize_ms, parse_ms);
+  std::printf("  write     %8.2f ms   load+index %8.2f ms (build alone %.2f ms)\n",
+              write_ms, load_ms, index_build_ms);
+  std::printf("  classify  %zu probes in %.1f ms -> %.1f M lookups/s (hit-rate %.1f%%, "
+              "index %.1f KiB)\n",
+              probe_count, lookup_ms, qps / 1e6, hit_rate * 100.0,
+              static_cast<double>(index.memory_bytes()) / 1024.0);
+
+  std::ofstream json("BENCH_snapshot.json");
+  json << "{\n"
+       << "  \"workload\": {\"flows\": " << workload_flows()
+       << ", \"blocks\": " << snapshot.blocks.size()
+       << ", \"prefixes\": " << snapshot.prefixes.size()
+       << ", \"file_bytes\": " << bytes.size() << "},\n"
+       << "  \"serialize_ms\": " << serialize_ms << ",\n"
+       << "  \"parse_ms\": " << parse_ms << ",\n"
+       << "  \"write_ms\": " << write_ms << ",\n"
+       << "  \"load_and_index_ms\": " << load_ms << ",\n"
+       << "  \"index_build_ms\": " << index_build_ms << ",\n"
+       << "  \"index_memory_bytes\": " << index.memory_bytes() << ",\n"
+       << "  \"lookup\": {\"probes\": " << probe_count << ", \"hit_rate\": " << hit_rate
+       << ", \"single_thread_qps\": " << qps << "}\n"
+       << "}\n";
+  std::printf("  wrote BENCH_snapshot.json\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  write_snapshot_report();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

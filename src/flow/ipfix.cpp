@@ -2,9 +2,17 @@
 
 #include <unordered_map>
 
+#include "util/bytes.hpp"
+
 namespace mtscope::flow {
 
 namespace {
+
+using util::be_get_u16;
+using util::be_get_u32;
+using util::be_put_u16;
+using util::be_put_u32;
+using util::be_put_u64;
 
 constexpr std::uint16_t kVersion = 10;
 constexpr std::size_t kMessageHeaderSize = 16;
@@ -32,53 +40,30 @@ constexpr FieldSpec kTemplateFields[] = {
 constexpr std::size_t kFieldCount = std::size(kTemplateFields);
 constexpr std::size_t kRecordSize = 4 + 4 + 2 + 2 + 1 + 1 + 8 + 8 + 8 + 8 + 4;
 
-void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v & 0xff));
-}
-
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  put_u16(out, static_cast<std::uint16_t>(v >> 16));
-  put_u16(out, static_cast<std::uint16_t>(v & 0xffff));
-}
-
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  put_u32(out, static_cast<std::uint32_t>(v >> 32));
-  put_u32(out, static_cast<std::uint32_t>(v & 0xffffffff));
-}
-
-[[nodiscard]] std::uint16_t get_u16(std::span<const std::uint8_t> b, std::size_t at) {
-  return static_cast<std::uint16_t>((std::uint16_t{b[at]} << 8) | b[at + 1]);
-}
-
-[[nodiscard]] std::uint32_t get_u32(std::span<const std::uint8_t> b, std::size_t at) {
-  return (std::uint32_t{get_u16(b, at)} << 16) | get_u16(b, at + 2);
-}
-
 /// Append the template set for our record layout.
 void append_template_set(std::vector<std::uint8_t>& out, std::uint16_t template_id) {
-  put_u16(out, kTemplateSetId);
-  put_u16(out, static_cast<std::uint16_t>(kSetHeaderSize + 4 + 4 * kFieldCount));
-  put_u16(out, template_id);
-  put_u16(out, static_cast<std::uint16_t>(kFieldCount));
+  be_put_u16(out, kTemplateSetId);
+  be_put_u16(out, static_cast<std::uint16_t>(kSetHeaderSize + 4 + 4 * kFieldCount));
+  be_put_u16(out, template_id);
+  be_put_u16(out, static_cast<std::uint16_t>(kFieldCount));
   for (const FieldSpec& f : kTemplateFields) {
-    put_u16(out, f.element_id);
-    put_u16(out, f.length);
+    be_put_u16(out, f.element_id);
+    be_put_u16(out, f.length);
   }
 }
 
 void append_record(std::vector<std::uint8_t>& out, const FlowRecord& r) {
-  put_u32(out, r.key.src.value());
-  put_u32(out, r.key.dst.value());
-  put_u16(out, r.key.src_port);
-  put_u16(out, r.key.dst_port);
+  be_put_u32(out, r.key.src.value());
+  be_put_u32(out, r.key.dst.value());
+  be_put_u16(out, r.key.src_port);
+  be_put_u16(out, r.key.dst_port);
   out.push_back(static_cast<std::uint8_t>(r.key.proto));
   out.push_back(r.tcp_flags_or);
-  put_u64(out, r.packets);
-  put_u64(out, r.bytes);
-  put_u64(out, r.first_us);
-  put_u64(out, r.last_us);
-  put_u32(out, r.sampling_rate);
+  be_put_u64(out, r.packets);
+  be_put_u64(out, r.bytes);
+  be_put_u64(out, r.first_us);
+  be_put_u64(out, r.last_us);
+  be_put_u32(out, r.sampling_rate);
 }
 
 }  // namespace
@@ -103,11 +88,11 @@ std::vector<std::vector<std::uint8_t>> IpfixEncoder::encode(std::span<const Flow
   while (index < records.size() || messages.empty()) {
     std::vector<std::uint8_t> msg;
     // Message header placeholder; length patched at the end.
-    put_u16(msg, kVersion);
-    put_u16(msg, 0);
-    put_u32(msg, export_time_s);
-    put_u32(msg, sequence_);
-    put_u32(msg, config_.observation_domain);
+    be_put_u16(msg, kVersion);
+    be_put_u16(msg, 0);
+    be_put_u32(msg, export_time_s);
+    be_put_u32(msg, sequence_);
+    be_put_u32(msg, config_.observation_domain);
 
     if (config_.template_in_every_message || !template_sent) {
       append_template_set(msg, config_.template_id);
@@ -116,8 +101,8 @@ std::vector<std::vector<std::uint8_t>> IpfixEncoder::encode(std::span<const Flow
 
     if (index < records.size()) {
       const std::size_t data_set_start = msg.size();
-      put_u16(msg, config_.template_id);
-      put_u16(msg, 0);  // set length patched below
+      be_put_u16(msg, config_.template_id);
+      be_put_u16(msg, 0);  // set length patched below
       std::size_t count_in_set = 0;
       while (index < records.size() &&
              msg.size() + kRecordSize <= config_.max_message_bytes) {
@@ -145,15 +130,15 @@ util::Result<std::size_t> IpfixDecoder::feed(std::span<const std::uint8_t> messa
   if (message.size() < kMessageHeaderSize) {
     return util::make_error("ipfix.truncated", "message shorter than header");
   }
-  const std::uint16_t version = get_u16(message, 0);
+  const std::uint16_t version = be_get_u16(message, 0);
   if (version != kVersion) {
     return util::make_error("ipfix.version", "unsupported IPFIX version");
   }
-  const std::uint16_t declared_length = get_u16(message, 2);
+  const std::uint16_t declared_length = be_get_u16(message, 2);
   if (declared_length < kMessageHeaderSize || declared_length > message.size()) {
     return util::make_error("ipfix.length", "declared message length invalid");
   }
-  const std::uint32_t domain = get_u32(message, 12);
+  const std::uint32_t domain = be_get_u32(message, 12);
 
   std::size_t decoded_here = 0;
   std::size_t offset = kMessageHeaderSize;
@@ -161,8 +146,8 @@ util::Result<std::size_t> IpfixDecoder::feed(std::span<const std::uint8_t> messa
     if (offset + kSetHeaderSize > declared_length) {
       return util::make_error("ipfix.set", "set header cut short");
     }
-    const std::uint16_t set_id = get_u16(message, offset);
-    const std::uint16_t set_length = get_u16(message, offset + 2);
+    const std::uint16_t set_id = be_get_u16(message, offset);
+    const std::uint16_t set_length = be_get_u16(message, offset + 2);
     if (set_length < kSetHeaderSize || offset + set_length > declared_length) {
       return util::make_error("ipfix.set", "set length invalid");
     }
@@ -193,8 +178,8 @@ util::Result<std::size_t> IpfixDecoder::decode_template_set(std::uint32_t domain
   // A template set may hold several template records; trailing bytes smaller
   // than a minimal record are padding.
   while (offset + 4 <= body.size()) {
-    const std::uint16_t template_id = get_u16(body, offset);
-    const std::uint16_t field_count = get_u16(body, offset + 2);
+    const std::uint16_t template_id = be_get_u16(body, offset);
+    const std::uint16_t field_count = be_get_u16(body, offset + 2);
     if (template_id < 256) {
       return util::make_error("ipfix.template", "template id below 256");
     }
@@ -206,8 +191,8 @@ util::Result<std::size_t> IpfixDecoder::decode_template_set(std::uint32_t domain
     fields.reserve(field_count);
     for (std::uint16_t f = 0; f < field_count; ++f) {
       TemplateField field;
-      field.element_id = get_u16(body, offset);
-      field.length = get_u16(body, offset + 2);
+      field.element_id = be_get_u16(body, offset);
+      field.length = be_get_u16(body, offset + 2);
       if (field.element_id & 0x8000u) {
         return util::make_error("ipfix.template", "enterprise elements not supported");
       }

@@ -1,31 +1,20 @@
 #include "flow/netflow5.hpp"
 
+#include "util/bytes.hpp"
+
 namespace mtscope::flow {
 
 namespace {
+
+using util::be_get_u16;
+using util::be_get_u32;
+using util::be_put_u16;
+using util::be_put_u32;
 
 constexpr std::uint16_t kVersion = 5;
 constexpr std::size_t kHeaderSize = 24;
 constexpr std::size_t kRecordSize = 48;
 constexpr std::size_t kMaxRecords = 30;
-
-void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v & 0xff));
-}
-
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  put_u16(out, static_cast<std::uint16_t>(v >> 16));
-  put_u16(out, static_cast<std::uint16_t>(v & 0xffff));
-}
-
-[[nodiscard]] std::uint16_t get_u16(std::span<const std::uint8_t> b, std::size_t at) {
-  return static_cast<std::uint16_t>((std::uint16_t{b[at]} << 8) | b[at + 1]);
-}
-
-[[nodiscard]] std::uint32_t get_u32(std::span<const std::uint8_t> b, std::size_t at) {
-  return (std::uint32_t{get_u16(b, at)} << 16) | get_u16(b, at + 2);
-}
 
 }  // namespace
 
@@ -48,44 +37,44 @@ std::vector<std::vector<std::uint8_t>> NetflowV5Encoder::encode(
     std::vector<std::uint8_t> dgram;
     dgram.reserve(kHeaderSize + batch * kRecordSize);
 
-    put_u16(dgram, kVersion);
-    put_u16(dgram, static_cast<std::uint16_t>(batch));
-    put_u32(dgram, uptime_ms);
-    put_u32(dgram, unix_secs);
-    put_u32(dgram, 0);  // residual nanoseconds
-    put_u32(dgram, sequence_);
+    be_put_u16(dgram, kVersion);
+    be_put_u16(dgram, static_cast<std::uint16_t>(batch));
+    be_put_u32(dgram, uptime_ms);
+    be_put_u32(dgram, unix_secs);
+    be_put_u32(dgram, 0);  // residual nanoseconds
+    be_put_u32(dgram, sequence_);
     dgram.push_back(config_.engine_type);
     dgram.push_back(config_.engine_id);
     // Sampling mode 01 (packet interval) in the top 2 bits.
-    put_u16(dgram, static_cast<std::uint16_t>((1u << 14) | config_.sampling_interval));
+    be_put_u16(dgram, static_cast<std::uint16_t>((1u << 14) | config_.sampling_interval));
 
     for (std::size_t i = 0; i < batch; ++i) {
       const FlowRecord& r = records[index + i];
-      put_u32(dgram, r.key.src.value());
-      put_u32(dgram, r.key.dst.value());
-      put_u32(dgram, 0);  // nexthop
-      put_u16(dgram, 0);  // input ifindex
-      put_u16(dgram, 0);  // output ifindex
-      put_u32(dgram, static_cast<std::uint32_t>(r.packets));
-      put_u32(dgram, static_cast<std::uint32_t>(r.bytes));
+      be_put_u32(dgram, r.key.src.value());
+      be_put_u32(dgram, r.key.dst.value());
+      be_put_u32(dgram, 0);  // nexthop
+      be_put_u16(dgram, 0);  // input ifindex
+      be_put_u16(dgram, 0);  // output ifindex
+      be_put_u32(dgram, static_cast<std::uint32_t>(r.packets));
+      be_put_u32(dgram, static_cast<std::uint32_t>(r.bytes));
       // First/last as sysuptime offsets in ms; clamp into the uptime window.
       const auto to_uptime = [&](std::uint64_t ts_us) {
         const std::uint64_t ms = ts_us / 1000;
         return static_cast<std::uint32_t>(ms > uptime_ms ? uptime_ms : ms);
       };
-      put_u32(dgram, to_uptime(r.first_us));
-      put_u32(dgram, to_uptime(r.last_us));
-      put_u16(dgram, r.key.src_port);
-      put_u16(dgram, r.key.dst_port);
+      be_put_u32(dgram, to_uptime(r.first_us));
+      be_put_u32(dgram, to_uptime(r.last_us));
+      be_put_u16(dgram, r.key.src_port);
+      be_put_u16(dgram, r.key.dst_port);
       dgram.push_back(0);  // pad1
       dgram.push_back(r.tcp_flags_or);
       dgram.push_back(static_cast<std::uint8_t>(r.key.proto));
       dgram.push_back(0);  // tos
-      put_u16(dgram, 0);   // src AS
-      put_u16(dgram, 0);   // dst AS
+      be_put_u16(dgram, 0);   // src AS
+      be_put_u16(dgram, 0);   // dst AS
       dgram.push_back(24); // src mask (we aggregate at /24)
       dgram.push_back(24); // dst mask
-      put_u16(dgram, 0);   // pad2
+      be_put_u16(dgram, 0);   // pad2
     }
     sequence_ += static_cast<std::uint32_t>(batch);
     datagrams.push_back(std::move(dgram));
@@ -99,19 +88,19 @@ util::Result<std::size_t> NetflowV5Decoder::feed(std::span<const std::uint8_t> d
   if (datagram.size() < kHeaderSize) {
     return util::make_error("netflow5.truncated", "datagram shorter than header");
   }
-  if (get_u16(datagram, 0) != kVersion) {
+  if (be_get_u16(datagram, 0) != kVersion) {
     return util::make_error("netflow5.version", "not a NetFlow v5 datagram");
   }
-  const std::uint16_t count = get_u16(datagram, 2);
+  const std::uint16_t count = be_get_u16(datagram, 2);
   if (count > kMaxRecords) {
     return util::make_error("netflow5.count", "record count exceeds 30");
   }
   if (datagram.size() < kHeaderSize + std::size_t{count} * kRecordSize) {
     return util::make_error("netflow5.truncated", "record area cut short");
   }
-  const std::uint32_t unix_secs = get_u32(datagram, 8);
-  const std::uint32_t uptime_ms = get_u32(datagram, 4);
-  const std::uint16_t sampling = get_u16(datagram, 22);
+  const std::uint32_t unix_secs = be_get_u32(datagram, 8);
+  const std::uint32_t uptime_ms = be_get_u32(datagram, 4);
+  const std::uint16_t sampling = be_get_u16(datagram, 22);
   const std::uint32_t sampling_interval = std::max<std::uint32_t>(1, sampling & 0x3fff);
 
   // Flow timestamps: unix epoch of "uptime 0" is unix_secs - uptime_ms.
@@ -121,14 +110,14 @@ util::Result<std::size_t> NetflowV5Decoder::feed(std::span<const std::uint8_t> d
   for (std::uint16_t i = 0; i < count; ++i) {
     const std::size_t at = kHeaderSize + std::size_t{i} * kRecordSize;
     FlowRecord r;
-    r.key.src = net::Ipv4Addr(get_u32(datagram, at));
-    r.key.dst = net::Ipv4Addr(get_u32(datagram, at + 4));
-    r.packets = get_u32(datagram, at + 16);
-    r.bytes = get_u32(datagram, at + 20);
-    r.first_us = boot_us + std::uint64_t{get_u32(datagram, at + 24)} * 1000;
-    r.last_us = boot_us + std::uint64_t{get_u32(datagram, at + 28)} * 1000;
-    r.key.src_port = get_u16(datagram, at + 32);
-    r.key.dst_port = get_u16(datagram, at + 34);
+    r.key.src = net::Ipv4Addr(be_get_u32(datagram, at));
+    r.key.dst = net::Ipv4Addr(be_get_u32(datagram, at + 4));
+    r.packets = be_get_u32(datagram, at + 16);
+    r.bytes = be_get_u32(datagram, at + 20);
+    r.first_us = boot_us + std::uint64_t{be_get_u32(datagram, at + 24)} * 1000;
+    r.last_us = boot_us + std::uint64_t{be_get_u32(datagram, at + 28)} * 1000;
+    r.key.src_port = be_get_u16(datagram, at + 32);
+    r.key.dst_port = be_get_u16(datagram, at + 34);
     r.tcp_flags_or = datagram[at + 37];
     r.key.proto = static_cast<net::IpProto>(datagram[at + 38]);
     r.sampling_rate = sampling_interval;

@@ -3,31 +3,16 @@
 #include <stdexcept>
 
 #include "net/checksum.hpp"
+#include "util/bytes.hpp"
 
 namespace mtscope::net {
 
 namespace {
 
-void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v & 0xff));
-}
-
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  out.push_back(static_cast<std::uint8_t>(v >> 24));
-  out.push_back(static_cast<std::uint8_t>(v >> 16));
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v & 0xff));
-}
-
-[[nodiscard]] std::uint16_t get_u16(std::span<const std::uint8_t> b, std::size_t at) {
-  return static_cast<std::uint16_t>((std::uint16_t{b[at]} << 8) | b[at + 1]);
-}
-
-[[nodiscard]] std::uint32_t get_u32(std::span<const std::uint8_t> b, std::size_t at) {
-  return (std::uint32_t{b[at]} << 24) | (std::uint32_t{b[at + 1]} << 16) |
-         (std::uint32_t{b[at + 2]} << 8) | std::uint32_t{b[at + 3]};
-}
+using util::be_get_u16;
+using util::be_get_u32;
+using util::be_put_u16;
+using util::be_put_u32;
 
 /// TCP/UDP pseudo-header contribution to the transport checksum.
 void feed_pseudo_header(ChecksumAccumulator& acc, Ipv4Addr src, Ipv4Addr dst, IpProto proto,
@@ -47,14 +32,14 @@ void Ipv4Header::serialize(std::vector<std::uint8_t>& out) const {
   const std::size_t start = out.size();
   out.push_back(static_cast<std::uint8_t>((4u << 4) | ihl));
   out.push_back(dscp_ecn);
-  put_u16(out, total_length);
-  put_u16(out, identification);
-  put_u16(out, flags_fragment);
+  be_put_u16(out, total_length);
+  be_put_u16(out, identification);
+  be_put_u16(out, flags_fragment);
   out.push_back(ttl);
   out.push_back(static_cast<std::uint8_t>(protocol));
-  put_u16(out, 0);  // checksum placeholder
-  put_u32(out, src.value());
-  put_u32(out, dst.value());
+  be_put_u16(out, 0);  // checksum placeholder
+  be_put_u32(out, src.value());
+  be_put_u32(out, dst.value());
   // Zero-fill any option space implied by ihl > 5.
   out.resize(start + std::size_t{ihl} * 4, 0);
   const std::uint16_t sum = internet_checksum(
@@ -77,17 +62,17 @@ util::Result<Ipv4Header> Ipv4Header::parse(std::span<const std::uint8_t> bytes) 
     return util::make_error("ipv4.truncated", "buffer shorter than ihl indicates");
   }
   h.dscp_ecn = bytes[1];
-  h.total_length = get_u16(bytes, 2);
+  h.total_length = be_get_u16(bytes, 2);
   if (h.total_length < header_len) {
     return util::make_error("ipv4.length", "total_length smaller than header");
   }
-  h.identification = get_u16(bytes, 4);
-  h.flags_fragment = get_u16(bytes, 6);
+  h.identification = be_get_u16(bytes, 4);
+  h.flags_fragment = be_get_u16(bytes, 6);
   h.ttl = bytes[8];
   h.protocol = static_cast<IpProto>(bytes[9]);
-  h.checksum = get_u16(bytes, 10);
-  h.src = Ipv4Addr(get_u32(bytes, 12));
-  h.dst = Ipv4Addr(get_u32(bytes, 16));
+  h.checksum = be_get_u16(bytes, 10);
+  h.src = Ipv4Addr(be_get_u32(bytes, 12));
+  h.dst = Ipv4Addr(be_get_u32(bytes, 16));
   if (internet_checksum(bytes.first(header_len)) != 0) {
     return util::make_error("ipv4.checksum", "header checksum mismatch");
   }
@@ -101,15 +86,15 @@ void TcpHeader::serialize(std::vector<std::uint8_t>& out, Ipv4Addr src, Ipv4Addr
   }
   const std::size_t start = out.size();
   const std::size_t header_len = std::size_t{data_offset} * 4;
-  put_u16(out, src_port);
-  put_u16(out, dst_port);
-  put_u32(out, seq);
-  put_u32(out, ack);
+  be_put_u16(out, src_port);
+  be_put_u16(out, dst_port);
+  be_put_u32(out, seq);
+  be_put_u32(out, ack);
   out.push_back(static_cast<std::uint8_t>(data_offset << 4));
   out.push_back(flags);
-  put_u16(out, window);
-  put_u16(out, 0);  // checksum placeholder
-  put_u16(out, urgent);
+  be_put_u16(out, window);
+  be_put_u16(out, 0);  // checksum placeholder
+  be_put_u16(out, urgent);
   out.resize(start + header_len, 0);  // zero option bytes
   out.insert(out.end(), payload.begin(), payload.end());
 
@@ -127,19 +112,19 @@ util::Result<TcpHeader> TcpHeader::parse(std::span<const std::uint8_t> bytes) {
     return util::make_error("tcp.truncated", "buffer shorter than 20 bytes");
   }
   TcpHeader h;
-  h.src_port = get_u16(bytes, 0);
-  h.dst_port = get_u16(bytes, 2);
-  h.seq = get_u32(bytes, 4);
-  h.ack = get_u32(bytes, 8);
+  h.src_port = be_get_u16(bytes, 0);
+  h.dst_port = be_get_u16(bytes, 2);
+  h.seq = be_get_u32(bytes, 4);
+  h.ack = be_get_u32(bytes, 8);
   h.data_offset = bytes[12] >> 4;
   if (h.data_offset < 5) return util::make_error("tcp.offset", "data offset below minimum");
   if (bytes.size() < std::size_t{h.data_offset} * 4) {
     return util::make_error("tcp.truncated", "buffer shorter than data offset indicates");
   }
   h.flags = bytes[13];
-  h.window = get_u16(bytes, 14);
-  h.checksum = get_u16(bytes, 16);
-  h.urgent = get_u16(bytes, 18);
+  h.window = be_get_u16(bytes, 14);
+  h.checksum = be_get_u16(bytes, 16);
+  h.urgent = be_get_u16(bytes, 18);
   return h;
 }
 
@@ -147,10 +132,10 @@ void UdpHeader::serialize(std::vector<std::uint8_t>& out, Ipv4Addr src, Ipv4Addr
                           std::span<const std::uint8_t> payload) const {
   const std::size_t start = out.size();
   const auto total = static_cast<std::uint16_t>(kSize + payload.size());
-  put_u16(out, src_port);
-  put_u16(out, dst_port);
-  put_u16(out, total);
-  put_u16(out, 0);  // checksum placeholder
+  be_put_u16(out, src_port);
+  be_put_u16(out, dst_port);
+  be_put_u16(out, total);
+  be_put_u16(out, 0);  // checksum placeholder
   out.insert(out.end(), payload.begin(), payload.end());
 
   ChecksumAccumulator acc;
@@ -165,11 +150,11 @@ void UdpHeader::serialize(std::vector<std::uint8_t>& out, Ipv4Addr src, Ipv4Addr
 util::Result<UdpHeader> UdpHeader::parse(std::span<const std::uint8_t> bytes) {
   if (bytes.size() < kSize) return util::make_error("udp.truncated", "buffer shorter than 8 bytes");
   UdpHeader h;
-  h.src_port = get_u16(bytes, 0);
-  h.dst_port = get_u16(bytes, 2);
-  h.length = get_u16(bytes, 4);
+  h.src_port = be_get_u16(bytes, 0);
+  h.dst_port = be_get_u16(bytes, 2);
+  h.length = be_get_u16(bytes, 4);
   if (h.length < kSize) return util::make_error("udp.length", "length below header size");
-  h.checksum = get_u16(bytes, 6);
+  h.checksum = be_get_u16(bytes, 6);
   return h;
 }
 
@@ -178,8 +163,8 @@ void IcmpHeader::serialize(std::vector<std::uint8_t>& out,
   const std::size_t start = out.size();
   out.push_back(type);
   out.push_back(code);
-  put_u16(out, 0);  // checksum placeholder
-  put_u32(out, rest);
+  be_put_u16(out, 0);  // checksum placeholder
+  be_put_u32(out, rest);
   out.insert(out.end(), payload.begin(), payload.end());
   const std::uint16_t sum = internet_checksum(
       std::span<const std::uint8_t>(out.data() + start, kSize + payload.size()));
@@ -194,8 +179,8 @@ util::Result<IcmpHeader> IcmpHeader::parse(std::span<const std::uint8_t> bytes) 
   IcmpHeader h;
   h.type = bytes[0];
   h.code = bytes[1];
-  h.checksum = get_u16(bytes, 2);
-  h.rest = get_u32(bytes, 4);
+  h.checksum = be_get_u16(bytes, 2);
+  h.rest = be_get_u32(bytes, 4);
   return h;
 }
 

@@ -29,6 +29,8 @@ void FunnelCounts::merge(const FunnelCounts& other) noexcept {
 
 void InferenceResult::merge(const InferenceResult& other) {
   dark |= other.dark;
+  unclean_blocks |= other.unclean_blocks;
+  gray_blocks |= other.gray_blocks;
   unclean += other.unclean;
   gray += other.gray;
   funnel.merge(other.funnel);
@@ -172,8 +174,10 @@ void InferenceEngine::classify_block_impl(BlockStatsStore::ConstRow obs, double 
 
   // Step 7: classify.
   if (originates) {
+    out.gray_blocks.insert(block);
     ++out.gray;
   } else if (any_liveness) {
+    out.unclean_blocks.insert(block);
     ++out.unclean;
   } else {
     out.dark.insert(block);

@@ -86,11 +86,18 @@ struct FunnelCounts {
   friend bool operator==(const FunnelCounts&, const FunnelCounts&) noexcept = default;
 };
 
-/// Final classification (step 7).
+/// Final classification (step 7).  Every /24 surviving steps 1-6 lands in
+/// exactly one of the three membership sets; `unclean` and `gray` remain
+/// the scalar totals the reporting paths always printed (kept in lockstep
+/// with the sets, so existing output is byte-identical).  The sets are what
+/// the serve layer snapshots: a query server answers "what is this /24?",
+/// not just "how many were gray?".
 struct InferenceResult {
-  trie::Block24Set dark;          // meta-telescope prefixes
-  std::uint64_t unclean = 0;      // unclean darknets
-  std::uint64_t gray = 0;         // graynets
+  trie::Block24Set dark;            // meta-telescope prefixes
+  trie::Block24Set unclean_blocks;  // unclean darknets (liveness evidence)
+  trie::Block24Set gray_blocks;     // graynets (an address sends)
+  std::uint64_t unclean = 0;        // == unclean_blocks.size()
+  std::uint64_t gray = 0;           // == gray_blocks.size()
   FunnelCounts funnel;
 
   [[nodiscard]] std::uint64_t dark_count() const noexcept { return dark.size(); }

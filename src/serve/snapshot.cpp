@@ -1,0 +1,405 @@
+#include "serve/snapshot.hpp"
+
+#include <algorithm>
+#include <array>
+#include <fstream>
+#include <map>
+
+#include "routing/rib.hpp"
+#include "util/bytes.hpp"
+
+namespace mtscope::serve {
+
+namespace {
+
+using util::crc32;
+using util::le_get_u16;
+using util::le_get_u32;
+using util::le_get_u64;
+using util::le_patch_u32;
+using util::le_put_u16;
+using util::le_put_u32;
+using util::le_put_u64;
+
+// "\r\n" in the magic catches text-mode / newline-translating transports
+// the way the PNG signature does.
+constexpr std::array<std::uint8_t, 8> kMagic = {'M', 'T', 'S', 'N', 'A', 'P', '\r', '\n'};
+constexpr std::size_t kHeaderSize = 24;
+constexpr std::size_t kTableEntrySize = 24;
+
+// Section kinds, in the order the writer emits them (readers require it:
+// a fixed order is what makes re-serialization byte-identical).
+enum SectionKind : std::uint32_t {
+  kSectionMeta = 1,
+  kSectionFunnel = 2,
+  kSectionPrefixes = 3,
+  kSectionBlocks = 4,
+};
+constexpr std::array<std::uint32_t, 4> kSectionOrder = {kSectionMeta, kSectionFunnel,
+                                                        kSectionPrefixes, kSectionBlocks};
+
+constexpr std::size_t kMetaFixedSize = 48;     // 4 x u64 + 3 x u32 + source_len u32
+constexpr std::size_t kFunnelSize = 80;        // 10 x u64
+constexpr std::size_t kPrefixEntrySize = 12;   // base u32 + asn u32 + len u8 + pad[3]
+constexpr std::size_t kBlockEntrySize = 8;     // packed u32 + prefix_id u32
+
+util::Error err(std::string code, std::string message) {
+  return util::make_error(std::move(code), std::move(message));
+}
+
+std::vector<std::uint8_t> serialize_meta(const RunMetadata& m) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kMetaFixedSize + m.source.size());
+  le_put_u64(out, m.seed);
+  le_put_u64(out, m.spoof_tolerance_pkts);
+  le_put_u64(out, m.flows_ingested);
+  le_put_u64(out, m.created_unix_s);
+  le_put_u32(out, m.threads);
+  le_put_u32(out, m.shards);
+  le_put_u32(out, m.days);
+  le_put_u32(out, static_cast<std::uint32_t>(m.source.size()));
+  out.insert(out.end(), m.source.begin(), m.source.end());
+  return out;
+}
+
+std::vector<std::uint8_t> serialize_funnel(const TelescopeSnapshot& s) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kFunnelSize);
+  le_put_u64(out, s.funnel.seen);
+  le_put_u64(out, s.funnel.after_tcp);
+  le_put_u64(out, s.funnel.after_size);
+  le_put_u64(out, s.funnel.after_source);
+  le_put_u64(out, s.funnel.after_reserved);
+  le_put_u64(out, s.funnel.after_routed);
+  le_put_u64(out, s.funnel.after_volume);
+  le_put_u64(out, s.dark_count);
+  le_put_u64(out, s.unclean_count);
+  le_put_u64(out, s.gray_count);
+  return out;
+}
+
+std::vector<std::uint8_t> serialize_prefixes(const TelescopeSnapshot& s) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + s.prefixes.size() * kPrefixEntrySize);
+  le_put_u32(out, static_cast<std::uint32_t>(s.prefixes.size()));
+  for (const PrefixEntry& p : s.prefixes) {
+    le_put_u32(out, p.base);
+    le_put_u32(out, p.origin_asn);
+    out.push_back(p.length);
+    out.push_back(0);
+    out.push_back(0);
+    out.push_back(0);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> serialize_blocks(const TelescopeSnapshot& s) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + s.blocks.size() * kBlockEntrySize);
+  le_put_u32(out, static_cast<std::uint32_t>(s.blocks.size()));
+  for (const BlockEntry& b : s.blocks) {
+    le_put_u32(out, b.packed);
+    le_put_u32(out, b.prefix_id);
+  }
+  return out;
+}
+
+util::Result<RunMetadata> parse_meta(std::span<const std::uint8_t> body) {
+  if (body.size() < kMetaFixedSize) {
+    return err("snapshot.bad_section", "META section shorter than its fixed fields");
+  }
+  RunMetadata m;
+  m.seed = le_get_u64(body, 0);
+  m.spoof_tolerance_pkts = le_get_u64(body, 8);
+  m.flows_ingested = le_get_u64(body, 16);
+  m.created_unix_s = le_get_u64(body, 24);
+  m.threads = le_get_u32(body, 32);
+  m.shards = le_get_u32(body, 36);
+  m.days = le_get_u32(body, 40);
+  const std::uint32_t source_len = le_get_u32(body, 44);
+  if (body.size() != kMetaFixedSize + source_len) {
+    return err("snapshot.bad_section", "META source string length mismatch");
+  }
+  m.source.assign(reinterpret_cast<const char*>(body.data()) + kMetaFixedSize, source_len);
+  return m;
+}
+
+util::Result<std::vector<PrefixEntry>> parse_prefixes(std::span<const std::uint8_t> body) {
+  if (body.size() < 4) {
+    return err("snapshot.bad_section", "PREFIXES section shorter than its count field");
+  }
+  const std::uint32_t count = le_get_u32(body, 0);
+  if (body.size() != 4 + std::uint64_t{count} * kPrefixEntrySize) {
+    return err("snapshot.bad_section", "PREFIXES entry count disagrees with section length");
+  }
+  std::vector<PrefixEntry> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t at = 4 + std::size_t{i} * kPrefixEntrySize;
+    PrefixEntry p;
+    p.base = le_get_u32(body, at);
+    p.origin_asn = le_get_u32(body, at + 4);
+    p.length = body[at + 8];
+    if (p.length > 32 || (p.base & ~net::Prefix::mask_for(p.length)) != 0) {
+      return err("snapshot.bad_section", "PREFIXES entry is not a canonical prefix");
+    }
+    if (body[at + 9] != 0 || body[at + 10] != 0 || body[at + 11] != 0) {
+      return err("snapshot.bad_section", "PREFIXES entry has non-zero padding");
+    }
+    if (!out.empty() &&
+        std::pair(out.back().base, out.back().length) >= std::pair(p.base, p.length)) {
+      return err("snapshot.bad_section", "PREFIXES entries are not strictly ascending");
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+util::Result<std::vector<BlockEntry>> parse_blocks(std::span<const std::uint8_t> body,
+                                                   std::size_t prefix_count,
+                                                   std::array<std::uint64_t, 3>& class_totals) {
+  if (body.size() < 4) {
+    return err("snapshot.bad_section", "BLOCKS section shorter than its count field");
+  }
+  const std::uint32_t count = le_get_u32(body, 0);
+  if (body.size() != 4 + std::uint64_t{count} * kBlockEntrySize) {
+    return err("snapshot.bad_section", "BLOCKS entry count disagrees with section length");
+  }
+  std::vector<BlockEntry> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t at = 4 + std::size_t{i} * kBlockEntrySize;
+    BlockEntry b;
+    b.packed = le_get_u32(body, at);
+    b.prefix_id = le_get_u32(body, at + 4);
+    if ((b.packed >> 26) != 0 || ((b.packed >> 24) & 0x3u) > 2) {
+      return err("snapshot.bad_section", "BLOCKS entry has an invalid class");
+    }
+    if (b.prefix_id != BlockEntry::kNoPrefix && b.prefix_id >= prefix_count) {
+      return err("snapshot.bad_section", "BLOCKS entry references a missing prefix");
+    }
+    if (!out.empty() && out.back().block_index() >= b.block_index()) {
+      return err("snapshot.bad_section", "BLOCKS entries are not strictly ascending");
+    }
+    ++class_totals[static_cast<std::size_t>(b.cls())];
+    out.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view to_string(BlockClass cls) noexcept {
+  switch (cls) {
+    case BlockClass::kDark: return "dark";
+    case BlockClass::kUnclean: return "unclean";
+    case BlockClass::kGray: return "gray";
+  }
+  return "invalid";
+}
+
+TelescopeSnapshot build_snapshot(const pipeline::InferenceResult& result,
+                                 const routing::Rib& rib, RunMetadata meta) {
+  TelescopeSnapshot snapshot;
+  snapshot.meta = std::move(meta);
+  snapshot.funnel = result.funnel;
+  snapshot.dark_count = result.dark.size();
+  snapshot.unclean_count = result.unclean;
+  snapshot.gray_count = result.gray;
+
+  // Pass 1: gather every classified block with its covering announcement.
+  struct Classified {
+    net::Block24 block;
+    BlockClass cls;
+    std::optional<std::pair<net::Prefix, routing::Route>> covering;
+  };
+  std::vector<Classified> classified;
+  classified.reserve(static_cast<std::size_t>(snapshot.dark_count + snapshot.unclean_count +
+                                              snapshot.gray_count));
+  std::map<std::pair<std::uint32_t, std::uint8_t>, std::uint32_t> prefix_ids;
+  const auto gather = [&](const trie::Block24Set& set, BlockClass cls) {
+    set.for_each([&](net::Block24 block) {
+      Classified c{block, cls, rib.lookup(block.first_address())};
+      if (c.covering.has_value()) {
+        prefix_ids.emplace(std::pair(c.covering->first.base().value(),
+                                     static_cast<std::uint8_t>(c.covering->first.length())),
+                           0);
+      }
+      classified.push_back(std::move(c));
+    });
+  };
+  gather(result.dark, BlockClass::kDark);
+  gather(result.unclean_blocks, BlockClass::kUnclean);
+  gather(result.gray_blocks, BlockClass::kGray);
+
+  // The three class sets each iterate in ascending order; interleaving
+  // them restores one globally ascending block sequence.
+  std::sort(classified.begin(), classified.end(),
+            [](const Classified& a, const Classified& b) { return a.block < b.block; });
+
+  // Pass 2: number the referenced prefixes in (base, length) order — the
+  // std::map already iterates that way — then emit the block records.
+  snapshot.prefixes.reserve(prefix_ids.size());
+  for (auto& [key, id] : prefix_ids) {
+    id = static_cast<std::uint32_t>(snapshot.prefixes.size());
+    PrefixEntry entry;
+    entry.base = key.first;
+    entry.length = key.second;
+    entry.origin_asn = 0;  // patched below from the covering route
+    snapshot.prefixes.push_back(entry);
+  }
+  snapshot.blocks.reserve(classified.size());
+  for (const Classified& c : classified) {
+    std::uint32_t prefix_id = BlockEntry::kNoPrefix;
+    if (c.covering.has_value()) {
+      const auto key = std::pair(c.covering->first.base().value(),
+                                 static_cast<std::uint8_t>(c.covering->first.length()));
+      prefix_id = prefix_ids.at(key);
+      snapshot.prefixes[prefix_id].origin_asn = c.covering->second.origin.value();
+    }
+    snapshot.blocks.push_back(BlockEntry::make(c.block, c.cls, prefix_id));
+  }
+  return snapshot;
+}
+
+std::vector<std::uint8_t> serialize_snapshot(const TelescopeSnapshot& snapshot) {
+  const std::array<std::vector<std::uint8_t>, 4> payloads = {
+      serialize_meta(snapshot.meta), serialize_funnel(snapshot),
+      serialize_prefixes(snapshot), serialize_blocks(snapshot)};
+
+  const std::size_t table_size = payloads.size() * kTableEntrySize;
+  std::uint64_t file_size = kHeaderSize + table_size + 4;
+  for (const auto& p : payloads) file_size += p.size();
+
+  std::vector<std::uint8_t> out;
+  out.reserve(file_size);
+  // push_back rather than a range insert: GCC 12's -Wstringop-overflow
+  // false-positives on inserting a fixed array into an empty vector.
+  for (const std::uint8_t byte : kMagic) out.push_back(byte);
+  le_put_u16(out, kSnapshotVersion);
+  le_put_u16(out, 0);  // flags
+  le_put_u32(out, static_cast<std::uint32_t>(payloads.size()));
+  le_put_u64(out, file_size);
+
+  std::uint64_t offset = kHeaderSize + table_size + 4;
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    le_put_u32(out, kSectionOrder[i]);
+    le_put_u32(out, crc32(payloads[i]));
+    le_put_u64(out, offset);
+    le_put_u64(out, payloads[i].size());
+    offset += payloads[i].size();
+  }
+  le_put_u32(out, crc32(out));  // table_crc seals header + table
+  for (const auto& p : payloads) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+util::Result<TelescopeSnapshot> parse_snapshot(std::span<const std::uint8_t> data) {
+  if (data.size() < kHeaderSize) {
+    return err("snapshot.truncated", "file shorter than the snapshot header");
+  }
+  if (!std::equal(kMagic.begin(), kMagic.end(), data.begin())) {
+    return err("snapshot.bad_magic", "not a telescope snapshot (magic mismatch)");
+  }
+  const std::uint16_t version = le_get_u16(data, 8);
+  if (version == 0 || version > kSnapshotVersion) {
+    return err("snapshot.unsupported_version",
+               "snapshot version " + std::to_string(version) + " is not supported (max " +
+                   std::to_string(kSnapshotVersion) + ")");
+  }
+  const std::uint32_t section_count = le_get_u32(data, 12);
+  if (section_count != kSectionOrder.size()) {
+    return err("snapshot.bad_section", "version 1 snapshots carry exactly 4 sections");
+  }
+  const std::uint64_t file_size = le_get_u64(data, 16);
+  if (file_size != data.size()) {
+    return err("snapshot.truncated", "file size disagrees with the header (" +
+                                         std::to_string(data.size()) + " bytes on disk, " +
+                                         std::to_string(file_size) + " declared)");
+  }
+  const std::size_t table_end = kHeaderSize + section_count * kTableEntrySize;
+  if (data.size() < table_end + 4) {
+    return err("snapshot.truncated", "file ends inside the section table");
+  }
+  if (le_get_u32(data, table_end) != crc32(data.first(table_end))) {
+    return err("snapshot.bad_crc", "header/table checksum mismatch");
+  }
+
+  std::array<std::span<const std::uint8_t>, 4> sections;
+  for (std::size_t i = 0; i < section_count; ++i) {
+    const std::size_t at = kHeaderSize + i * kTableEntrySize;
+    const std::uint32_t kind = le_get_u32(data, at);
+    const std::uint32_t crc = le_get_u32(data, at + 4);
+    const std::uint64_t offset = le_get_u64(data, at + 8);
+    const std::uint64_t length = le_get_u64(data, at + 16);
+    if (kind != kSectionOrder[i]) {
+      return err("snapshot.bad_section", "unexpected section kind or order");
+    }
+    if (offset < table_end + 4 || offset > data.size() || length > data.size() - offset) {
+      return err("snapshot.truncated", "section extends past the end of the file");
+    }
+    sections[i] = data.subspan(offset, length);
+    if (crc32(sections[i]) != crc) {
+      return err("snapshot.bad_crc", "section " + std::to_string(kind) + " checksum mismatch");
+    }
+  }
+
+  TelescopeSnapshot snapshot;
+  auto meta = parse_meta(sections[0]);
+  if (!meta.ok()) return meta.error();
+  snapshot.meta = std::move(meta).value();
+
+  if (sections[1].size() != kFunnelSize) {
+    return err("snapshot.bad_section", "FUNNEL section has the wrong size");
+  }
+  snapshot.funnel.seen = le_get_u64(sections[1], 0);
+  snapshot.funnel.after_tcp = le_get_u64(sections[1], 8);
+  snapshot.funnel.after_size = le_get_u64(sections[1], 16);
+  snapshot.funnel.after_source = le_get_u64(sections[1], 24);
+  snapshot.funnel.after_reserved = le_get_u64(sections[1], 32);
+  snapshot.funnel.after_routed = le_get_u64(sections[1], 40);
+  snapshot.funnel.after_volume = le_get_u64(sections[1], 48);
+  snapshot.dark_count = le_get_u64(sections[1], 56);
+  snapshot.unclean_count = le_get_u64(sections[1], 64);
+  snapshot.gray_count = le_get_u64(sections[1], 72);
+
+  auto prefixes = parse_prefixes(sections[2]);
+  if (!prefixes.ok()) return prefixes.error();
+  snapshot.prefixes = std::move(prefixes).value();
+
+  std::array<std::uint64_t, 3> class_totals = {0, 0, 0};
+  auto blocks = parse_blocks(sections[3], snapshot.prefixes.size(), class_totals);
+  if (!blocks.ok()) return blocks.error();
+  snapshot.blocks = std::move(blocks).value();
+
+  if (class_totals[0] != snapshot.dark_count || class_totals[1] != snapshot.unclean_count ||
+      class_totals[2] != snapshot.gray_count) {
+    return err("snapshot.bad_section", "class totals disagree with the block records");
+  }
+  return snapshot;
+}
+
+util::Result<std::uint64_t> write_snapshot_file(const TelescopeSnapshot& snapshot,
+                                                const std::string& path) {
+  const std::vector<std::uint8_t> bytes = serialize_snapshot(snapshot);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return err("snapshot.io", "cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) return err("snapshot.io", "short write to " + path);
+  return static_cast<std::uint64_t>(bytes.size());
+}
+
+util::Result<TelescopeSnapshot> read_snapshot_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return err("snapshot.io", "cannot open " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  if (size > 0) in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) return err("snapshot.io", "short read from " + path);
+  return parse_snapshot(bytes);
+}
+
+}  // namespace mtscope::serve

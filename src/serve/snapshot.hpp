@@ -1,0 +1,140 @@
+// Telescope snapshot: the versioned, checksummed on-disk form of one
+// inference run (DESIGN.md §10).
+//
+// The paper's end product is a map from /24 to classification that
+// downstream consumers query ("is traffic to this block IBR?") — the way
+// operational telescope feeds are consumed.  The pipeline produces that
+// map once per run; this module persists it so a serving process can load
+// it in milliseconds and answer lookups at memory speed, instead of
+// re-collecting a week of flow data per question.
+//
+// On-disk layout (all integers little-endian; see util/bytes.hpp):
+//
+//   header   : magic "MTSNAP\r\n" (8) | version u16 | flags u16 |
+//              section_count u32 | file_size u64                   = 24 B
+//   table    : section_count x { kind u32 | crc32 u32 |
+//              offset u64 | length u64 }                           = 24 B each
+//   table_crc: u32 over every byte before it (header + table)
+//   sections : payloads, contiguous, in table order
+//
+// Version 1 carries exactly four sections: META (run provenance), FUNNEL
+// (Figure 2 counters + class totals), PREFIXES (deduplicated covering BGP
+// announcements), BLOCKS (sorted /24 records packing class + prefix id).
+// Readers reject unknown magic, versions from the future, truncation, CRC
+// mismatches and malformed payloads with typed util::Error codes
+// ("snapshot.bad_magic", "snapshot.unsupported_version",
+// "snapshot.truncated", "snapshot.bad_crc", "snapshot.bad_section",
+// "snapshot.io") — never by crashing.  Serialization is deterministic:
+// parse + re-serialize reproduces the input byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+#include "pipeline/inference.hpp"
+#include "util/result.hpp"
+
+namespace mtscope::routing {
+class Rib;
+}
+
+namespace mtscope::serve {
+
+inline constexpr std::uint16_t kSnapshotVersion = 1;
+
+/// Step-7 verdict for one /24 held in a snapshot.
+enum class BlockClass : std::uint8_t { kDark = 0, kUnclean = 1, kGray = 2 };
+
+[[nodiscard]] std::string_view to_string(BlockClass cls) noexcept;
+
+/// Provenance of the inference run a snapshot captures.  Everything here
+/// is written verbatim and read back verbatim — `created_unix_s` is caller
+/// supplied so serialization stays a pure function of the struct.
+struct RunMetadata {
+  std::uint64_t seed = 0;
+  std::uint64_t spoof_tolerance_pkts = 0;
+  std::uint64_t flows_ingested = 0;
+  std::uint64_t created_unix_s = 0;
+  std::uint32_t threads = 1;
+  std::uint32_t shards = 1;
+  std::uint32_t days = 1;
+  std::string source;  // free-form: simulator scale, IXP selection, ...
+
+  friend bool operator==(const RunMetadata&, const RunMetadata&) = default;
+};
+
+/// One deduplicated covering BGP announcement (step 5's witness).
+struct PrefixEntry {
+  std::uint32_t base = 0;        // network address, host order
+  std::uint32_t origin_asn = 0;  // origin AS of the announcement
+  std::uint8_t length = 0;       // prefix length
+
+  [[nodiscard]] net::Prefix prefix() const { return net::Prefix(net::Ipv4Addr(base), length); }
+
+  friend bool operator==(const PrefixEntry&, const PrefixEntry&) = default;
+};
+
+/// One classified /24: block index and class packed into a word, plus the
+/// id of its covering announcement in the prefix table.
+struct BlockEntry {
+  static constexpr std::uint32_t kNoPrefix = 0xffffffffu;
+
+  std::uint32_t packed = 0;              // bits 0..23 block index, 24..25 class
+  std::uint32_t prefix_id = kNoPrefix;   // index into TelescopeSnapshot::prefixes
+
+  [[nodiscard]] static BlockEntry make(net::Block24 block, BlockClass cls,
+                                       std::uint32_t prefix_id) noexcept {
+    return {block.index() | (std::uint32_t{static_cast<std::uint8_t>(cls)} << 24), prefix_id};
+  }
+
+  [[nodiscard]] std::uint32_t block_index() const noexcept { return packed & 0x00ffffffu; }
+  [[nodiscard]] net::Block24 block() const noexcept { return net::Block24(block_index()); }
+  [[nodiscard]] BlockClass cls() const noexcept {
+    return static_cast<BlockClass>((packed >> 24) & 0x3u);
+  }
+
+  friend bool operator==(const BlockEntry&, const BlockEntry&) = default;
+};
+
+/// The in-memory image of one snapshot — what build_snapshot() produces,
+/// serialize_snapshot() writes and parse_snapshot() restores.  `blocks` is
+/// strictly sorted by block index (parse rejects anything else), which is
+/// the invariant TelescopeIndex's lookup structure relies on.
+struct TelescopeSnapshot {
+  RunMetadata meta;
+  pipeline::FunnelCounts funnel;
+  std::uint64_t dark_count = 0;
+  std::uint64_t unclean_count = 0;
+  std::uint64_t gray_count = 0;
+  std::vector<PrefixEntry> prefixes;
+  std::vector<BlockEntry> blocks;
+
+  friend bool operator==(const TelescopeSnapshot&, const TelescopeSnapshot&) = default;
+};
+
+/// Capture `result` (plus each classified block's covering announcement
+/// from `rib`) into a snapshot.  Deterministic: block records ascend by
+/// index, the prefix table ascends by (base, length) and holds only
+/// referenced announcements.
+[[nodiscard]] TelescopeSnapshot build_snapshot(const pipeline::InferenceResult& result,
+                                               const routing::Rib& rib, RunMetadata meta);
+
+/// The exact file bytes for `snapshot` (header, table, checksums, payload).
+[[nodiscard]] std::vector<std::uint8_t> serialize_snapshot(const TelescopeSnapshot& snapshot);
+
+/// Validate and decode file bytes.  Every failure is a typed Error; the
+/// input is never modified and no partial snapshot escapes.
+[[nodiscard]] util::Result<TelescopeSnapshot> parse_snapshot(std::span<const std::uint8_t> data);
+
+/// Streamed-file convenience wrappers around serialize/parse.
+[[nodiscard]] util::Result<std::uint64_t> write_snapshot_file(const TelescopeSnapshot& snapshot,
+                                                              const std::string& path);
+[[nodiscard]] util::Result<TelescopeSnapshot> read_snapshot_file(const std::string& path);
+
+}  // namespace mtscope::serve

@@ -1,0 +1,124 @@
+#include "serve/telescope_index.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mtscope::serve {
+
+TelescopeIndex::TelescopeIndex(TelescopeSnapshot snapshot)
+    : snapshot_(std::move(snapshot)), offsets_(kBuckets + 1, 0) {
+  // Counting pass, then prefix-sum: offsets_[b] ends up as the index of
+  // the first entry whose bucket is >= b.
+  for (const BlockEntry& entry : snapshot_.blocks) {
+    ++offsets_[(entry.block_index() >> 8) + 1];
+  }
+  for (std::size_t b = 1; b <= kBuckets; ++b) offsets_[b] += offsets_[b - 1];
+}
+
+const BlockEntry* TelescopeIndex::find(std::uint32_t block_index) const noexcept {
+  const std::uint32_t bucket = block_index >> 8;
+  const std::uint32_t lo = offsets_[bucket];
+  const std::uint32_t hi = offsets_[bucket + 1];
+  // A bucket holds at most 256 entries and typically a handful; the linear
+  // scan stays inside one or two cache lines and beats binary search.
+  for (std::uint32_t i = lo; i < hi; ++i) {
+    const std::uint32_t index = snapshot_.blocks[i].block_index();
+    if (index == block_index) return &snapshot_.blocks[i];
+    if (index > block_index) break;
+  }
+  return nullptr;
+}
+
+std::optional<TelescopeIndex::Verdict> TelescopeIndex::lookup(net::Ipv4Addr addr) const {
+  const net::Block24 block = net::Block24::containing(addr);
+  const BlockEntry* entry = find(block.index());
+  if (entry == nullptr) return std::nullopt;
+  Verdict v;
+  v.block = block;
+  v.cls = entry->cls();
+  if (entry->prefix_id != BlockEntry::kNoPrefix) {
+    const PrefixEntry& p = snapshot_.prefixes[entry->prefix_id];
+    v.prefix = p.prefix();
+    v.origin = net::AsNumber(p.origin_asn);
+  }
+  return v;
+}
+
+void TelescopeIndex::for_each_in(
+    const net::Prefix& prefix,
+    const std::function<void(net::Block24, BlockClass)>& visit) const {
+  if (prefix.length() > 24) return;
+  const std::uint32_t first = prefix.first_block24().index();
+  const std::uint32_t last = first + static_cast<std::uint32_t>(prefix.block24_count()) - 1;
+  const auto begin = std::lower_bound(
+      snapshot_.blocks.begin(), snapshot_.blocks.end(), first,
+      [](const BlockEntry& e, std::uint32_t v) { return e.block_index() < v; });
+  for (auto it = begin; it != snapshot_.blocks.end() && it->block_index() <= last; ++it) {
+    visit(it->block(), it->cls());
+  }
+}
+
+std::size_t TelescopeIndex::count_in(const net::Prefix& prefix) const noexcept {
+  std::size_t count = 0;
+  for_each_in(prefix, [&](net::Block24, BlockClass) { ++count; });
+  return count;
+}
+
+std::size_t TelescopeIndex::memory_bytes() const noexcept {
+  return snapshot_.blocks.capacity() * sizeof(BlockEntry) +
+         snapshot_.prefixes.capacity() * sizeof(PrefixEntry) +
+         offsets_.capacity() * sizeof(std::uint32_t);
+}
+
+util::Result<std::shared_ptr<const TelescopeIndex>> TelescopeIndex::load_file(
+    const std::string& path, obs::MetricsRegistry* metrics) {
+  obs::StageTimer load_timer(metrics, "serve.snapshot.load_us");
+
+  obs::StageTimer read_timer(metrics, "serve.snapshot.read_us");
+  auto snapshot = read_snapshot_file(path);
+  if (!snapshot.ok()) return snapshot.error();
+  read_timer.stop();
+
+  obs::StageTimer index_timer(metrics, "serve.snapshot.index_us");
+  auto index = std::make_shared<const TelescopeIndex>(std::move(snapshot).value());
+  index_timer.stop();
+
+  if (metrics != nullptr) {
+    metrics->gauge("serve.snapshot.blocks")
+        .set(static_cast<std::int64_t>(index->size()));
+    metrics->gauge("serve.snapshot.prefixes")
+        .set(static_cast<std::int64_t>(index->snapshot().prefixes.size()));
+    metrics->gauge("serve.snapshot.bytes")
+        .set(static_cast<std::int64_t>(index->memory_bytes()));
+  }
+  return index;
+}
+
+std::uint64_t SnapshotManager::install(std::shared_ptr<const TelescopeIndex> next,
+                                       obs::MetricsRegistry* metrics) {
+  obs::StageTimer swap_timer(metrics, "serve.snapshot.swap_us");
+  std::uint64_t epoch = 0;
+  std::shared_ptr<const TelescopeIndex> previous;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    previous = std::exchange(current_, std::move(next));
+    epoch = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+  // `previous` dies here, outside the lock — if the swapper held the last
+  // reference, the old index's arrays are not freed while readers wait.
+  previous.reset();
+  swap_timer.stop();
+  if (metrics != nullptr) {
+    metrics->gauge("serve.snapshot.epoch").set(static_cast<std::int64_t>(epoch));
+  }
+  return epoch;
+}
+
+util::Result<std::uint64_t> SnapshotManager::load_and_install(const std::string& path,
+                                                              obs::MetricsRegistry* metrics) {
+  auto index = TelescopeIndex::load_file(path, metrics);
+  if (!index.ok()) return index.error();
+  return install(std::move(index).value(), metrics);
+}
+
+}  // namespace mtscope::serve

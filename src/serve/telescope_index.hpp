@@ -1,0 +1,139 @@
+// TelescopeIndex: an immutable, memory-speed query structure over one
+// loaded snapshot, plus the SnapshotManager that hot-swaps indexes under
+// concurrent readers.
+//
+// The serving problem is asymmetric: a snapshot is produced once per
+// inference run but queried millions of times ("is traffic to this IP
+// IBR?").  The index therefore spends load time to make lookups nearly
+// free: the snapshot's sorted block array is kept flat, and a rank-style
+// bucket directory — first-entry offset for each of the 2^16 possible
+// /16 "buckets" (256 consecutive /24 indices each) — narrows any lookup
+// to a handful of contiguous entries.  classify() is two dependent cache
+// lines: one into the 256 KiB directory, one into the bucket's entries.
+// O(1) expected, O(log 256) worst case, no hashing, no pointers.
+//
+// Everything is const after construction, so any number of threads may
+// query one index with no synchronization.  Hot reload goes through
+// SnapshotManager: readers grab the current shared_ptr, a swapper
+// publishes a fresh index and bumps the epoch; an in-flight reader keeps
+// its old index alive until it drops the pointer.  Queries never hold the
+// manager's lock — it guards exactly one pointer copy per current() /
+// install(), never a lookup.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+#include "obs/metrics.hpp"
+#include "serve/snapshot.hpp"
+#include "util/result.hpp"
+
+namespace mtscope::serve {
+
+class TelescopeIndex {
+ public:
+  /// Builds the bucket directory over `snapshot.blocks` (already sorted —
+  /// parse_snapshot enforces it; build_snapshot emits it).
+  explicit TelescopeIndex(TelescopeSnapshot snapshot);
+
+  /// Read + parse + index a snapshot file.  With a registry attached,
+  /// records serve.snapshot.read_us / index_us / load_us timers and the
+  /// serve.snapshot.{blocks,prefixes,bytes} gauges.
+  [[nodiscard]] static util::Result<std::shared_ptr<const TelescopeIndex>> load_file(
+      const std::string& path, obs::MetricsRegistry* metrics = nullptr);
+
+  /// Step-7 verdict for a /24; nullopt when the block is not part of the
+  /// meta-telescope map (eliminated by the funnel or never seen).
+  [[nodiscard]] std::optional<BlockClass> classify(net::Block24 block) const noexcept {
+    const BlockEntry* entry = find(block.index());
+    return entry == nullptr ? std::nullopt : std::optional(entry->cls());
+  }
+
+  [[nodiscard]] std::optional<BlockClass> classify(net::Ipv4Addr addr) const noexcept {
+    return classify(net::Block24::containing(addr));
+  }
+
+  /// Full verdict: class plus the covering BGP announcement recorded at
+  /// snapshot time.
+  struct Verdict {
+    net::Block24 block;
+    BlockClass cls = BlockClass::kDark;
+    std::optional<net::Prefix> prefix;
+    std::optional<net::AsNumber> origin;
+  };
+
+  [[nodiscard]] std::optional<Verdict> lookup(net::Ipv4Addr addr) const;
+
+  /// Range query: visit every classified /24 inside `prefix` (length <=
+  /// 24), in ascending block order.  Visits nothing for longer prefixes.
+  void for_each_in(const net::Prefix& prefix,
+                   const std::function<void(net::Block24, BlockClass)>& visit) const;
+
+  /// Number of classified /24s inside `prefix`.
+  [[nodiscard]] std::size_t count_in(const net::Prefix& prefix) const noexcept;
+
+  [[nodiscard]] const TelescopeSnapshot& snapshot() const noexcept { return snapshot_; }
+  [[nodiscard]] const RunMetadata& metadata() const noexcept { return snapshot_.meta; }
+  [[nodiscard]] const pipeline::FunnelCounts& funnel() const noexcept {
+    return snapshot_.funnel;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return snapshot_.blocks.size(); }
+
+  /// Resident footprint: block + prefix arrays plus the bucket directory.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+ private:
+  // 2^16 buckets of 256 /24 indices each; offsets_[b] is the first entry
+  // of bucket b, offsets_[b + 1] its end.
+  static constexpr std::size_t kBuckets = 1u << 16;
+
+  [[nodiscard]] const BlockEntry* find(std::uint32_t block_index) const noexcept;
+
+  TelescopeSnapshot snapshot_;
+  std::vector<std::uint32_t> offsets_;  // kBuckets + 1 entries
+};
+
+/// Epoch-swap holder for the serving process: readers call current() per
+/// query (or batch) and run on an immutable index with no further
+/// synchronization; install() publishes a replacement without disturbing
+/// them.  The handoff is a mutex-guarded shared_ptr copy rather than
+/// std::atomic<shared_ptr>: GCC 12's _Sp_atomic unlocks its reader path
+/// with relaxed ordering (no happens-before to the next writer — a
+/// memory-model defect TSan correctly reports, fixed in later libstdc++),
+/// and a once-per-batch pointer copy is not a contention point.
+class SnapshotManager {
+ public:
+  /// The live index; nullptr before the first install.
+  [[nodiscard]] std::shared_ptr<const TelescopeIndex> current() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return current_;
+  }
+
+  /// Publish `next` and return the new epoch (first install = epoch 1).
+  /// Records serve.snapshot.swap_us and the serve.snapshot.epoch gauge.
+  std::uint64_t install(std::shared_ptr<const TelescopeIndex> next,
+                        obs::MetricsRegistry* metrics = nullptr);
+
+  /// load_file + install in one step.
+  [[nodiscard]] util::Result<std::uint64_t> load_and_install(
+      const std::string& path, obs::MetricsRegistry* metrics = nullptr);
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const TelescopeIndex> current_;
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+}  // namespace mtscope::serve

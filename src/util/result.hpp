@@ -1,5 +1,5 @@
 // Lightweight Result<T> for *expected* failures (wire decoding, text
-// parsing).  API-contract violations still throw; see DESIGN.md §7.
+// parsing).  API-contract violations still throw; see DESIGN.md §11.
 #pragma once
 
 #include <optional>

@@ -1,0 +1,109 @@
+// Byte-order helpers and CRC32: the shared foundation under the IPFIX /
+// NetFlow codecs, packet-header serializers and the telescope snapshot
+// format.  Pins the wire bytes for each width in both endiannesses, the
+// incremental-CRC contract, and the IEEE 802.3 check value.
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace mtscope {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(std::string_view text) {
+  return {text.begin(), text.end()};
+}
+
+TEST(Bytes, BigEndianRoundTripPinsWireOrder) {
+  std::vector<std::uint8_t> out;
+  util::be_put_u16(out, 0x1234);
+  util::be_put_u32(out, 0xdeadbeef);
+  util::be_put_u64(out, 0x0102030405060708ull);
+  const std::vector<std::uint8_t> expected = {0x12, 0x34, 0xde, 0xad, 0xbe, 0xef,
+                                              0x01, 0x02, 0x03, 0x04, 0x05, 0x06,
+                                              0x07, 0x08};
+  EXPECT_EQ(out, expected);
+  EXPECT_EQ(util::be_get_u16(out, 0), 0x1234);
+  EXPECT_EQ(util::be_get_u32(out, 2), 0xdeadbeefu);
+  EXPECT_EQ(util::be_get_u64(out, 6), 0x0102030405060708ull);
+}
+
+TEST(Bytes, LittleEndianRoundTripPinsWireOrder) {
+  std::vector<std::uint8_t> out;
+  util::le_put_u16(out, 0x1234);
+  util::le_put_u32(out, 0xdeadbeef);
+  util::le_put_u64(out, 0x0102030405060708ull);
+  const std::vector<std::uint8_t> expected = {0x34, 0x12, 0xef, 0xbe, 0xad, 0xde,
+                                              0x08, 0x07, 0x06, 0x05, 0x04, 0x03,
+                                              0x02, 0x01};
+  EXPECT_EQ(out, expected);
+  EXPECT_EQ(util::le_get_u16(out, 0), 0x1234);
+  EXPECT_EQ(util::le_get_u32(out, 2), 0xdeadbeefu);
+  EXPECT_EQ(util::le_get_u64(out, 6), 0x0102030405060708ull);
+}
+
+TEST(Bytes, EndiannessesMirrorEachOther) {
+  std::vector<std::uint8_t> be, le;
+  util::be_put_u32(be, 0x11223344);
+  util::le_put_u32(le, 0x11223344);
+  const std::vector<std::uint8_t> reversed(le.rbegin(), le.rend());
+  EXPECT_EQ(be, reversed);
+}
+
+TEST(Bytes, LePatchOverwritesInPlace) {
+  std::vector<std::uint8_t> out;
+  util::le_put_u32(out, 0);          // placeholder
+  util::le_put_u32(out, 0xffffffff); // neighbour must stay untouched
+  util::le_patch_u32(out, 0, 0xcafebabe);
+  EXPECT_EQ(util::le_get_u32(out, 0), 0xcafebabeu);
+  EXPECT_EQ(util::le_get_u32(out, 4), 0xffffffffu);
+}
+
+TEST(Bytes, ExtremeValuesSurvive) {
+  std::vector<std::uint8_t> out;
+  util::le_put_u64(out, 0);
+  util::le_put_u64(out, ~0ull);
+  util::be_put_u64(out, 0);
+  util::be_put_u64(out, ~0ull);
+  EXPECT_EQ(util::le_get_u64(out, 0), 0u);
+  EXPECT_EQ(util::le_get_u64(out, 8), ~0ull);
+  EXPECT_EQ(util::be_get_u64(out, 16), 0u);
+  EXPECT_EQ(util::be_get_u64(out, 24), ~0ull);
+}
+
+TEST(Crc32, IeeeCheckValue) {
+  // The standard check value for the IEEE 802.3 CRC: crc32("123456789").
+  EXPECT_EQ(util::crc32(bytes_of("123456789")), 0xcbf43926u);
+}
+
+TEST(Crc32, EmptyInputIsZero) {
+  EXPECT_EQ(util::crc32({}), 0u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const auto data = bytes_of("the quick brown fox jumps over the lazy dog");
+  const std::uint32_t whole = util::crc32(data);
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    const std::span<const std::uint8_t> all(data);
+    const std::uint32_t head = util::crc32(all.subspan(0, split));
+    EXPECT_EQ(util::crc32(all.subspan(split), head), whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  auto data = bytes_of("MTSNAP payload");
+  const std::uint32_t clean = util::crc32(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[i] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(util::crc32(data), clean) << "byte " << i << " bit " << bit;
+      data[i] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mtscope

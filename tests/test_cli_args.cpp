@@ -1,0 +1,204 @@
+// The CLI argument surface: every accept/reject decision and diagnostic
+// string of cli::parse_args is pinned here, so an accidental change to the
+// option grammar (or an error message a script greps for) fails a test
+// instead of surfacing in someone's cron job.
+#include "cli_options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace mtscope {
+namespace {
+
+struct ParseOutcome {
+  bool ok = false;
+  cli::Options opt;
+  std::string error;
+};
+
+ParseOutcome parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"mtscope"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  ParseOutcome outcome;
+  outcome.ok = cli::parse_args(static_cast<int>(argv.size()), argv.data(), outcome.opt,
+                               outcome.error);
+  return outcome;
+}
+
+// --- command selection ------------------------------------------------------
+
+TEST(CliArgs, MissingCommand) {
+  const auto r = parse({});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "missing command");
+}
+
+TEST(CliArgs, UnknownCommand) {
+  const auto r = parse({"transmogrify"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "unknown command: transmogrify");
+}
+
+TEST(CliArgs, AllCommandsAccepted) {
+  for (const char* cmd : {"infer", "query", "capture", "datasets", "ports"}) {
+    const auto r = parse({cmd});
+    EXPECT_TRUE(r.ok) << cmd << ": " << r.error;
+    EXPECT_EQ(r.opt.command, cmd);
+  }
+}
+
+// --- defaults ---------------------------------------------------------------
+
+TEST(CliArgs, InferDefaults) {
+  const auto r = parse({"infer"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.opt.seed, 42u);
+  EXPECT_FALSE(r.opt.tiny);
+  EXPECT_EQ(r.opt.days, 1);
+  EXPECT_EQ(r.opt.threads, 1u);
+  EXPECT_EQ(r.opt.shards, 0u);
+  EXPECT_TRUE(r.opt.tolerance);
+  EXPECT_TRUE(r.opt.metrics_path.empty());
+  EXPECT_TRUE(r.opt.snapshot_out.empty());
+  EXPECT_FALSE(r.opt.bench);
+  EXPECT_EQ(r.opt.bench_lookups, 2'000'000u);
+}
+
+// --- numeric validation -----------------------------------------------------
+
+TEST(CliArgs, ThreadsParses) {
+  const auto r = parse({"infer", "--threads", "8", "--shards", "16"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.opt.threads, 8u);
+  EXPECT_EQ(r.opt.shards, 16u);
+}
+
+TEST(CliArgs, ThreadsZeroRejected) {
+  const auto r = parse({"infer", "--threads", "0"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "--threads must be >= 1");
+}
+
+TEST(CliArgs, ShardsZeroRejected) {
+  const auto r = parse({"infer", "--shards", "0"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "--shards must be >= 1");
+}
+
+TEST(CliArgs, PartiallyNumericTokenRejected) {
+  const auto r = parse({"infer", "--threads", "4x"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "invalid value for --threads: '4x' (expected a non-negative integer)");
+}
+
+TEST(CliArgs, NegativeSeedRejected) {
+  const auto r = parse({"infer", "--seed", "-1"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "invalid value for --seed: '-1' (expected a non-negative integer)");
+}
+
+TEST(CliArgs, DaysZeroRejected) {
+  const auto r = parse({"infer", "--days", "0"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "--days must be >= 1");
+}
+
+// --- missing values ---------------------------------------------------------
+
+TEST(CliArgs, MissingValueForMetricsOut) {
+  const auto r = parse({"infer", "--metrics-out"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "missing value for --metrics-out");
+}
+
+TEST(CliArgs, MissingValueForSnapshot) {
+  const auto r = parse({"query", "--snapshot"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "missing value for --snapshot");
+}
+
+TEST(CliArgs, MissingValueForThreads) {
+  const auto r = parse({"infer", "--threads"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "missing value for --threads");
+}
+
+// --- unknown options --------------------------------------------------------
+
+TEST(CliArgs, UnknownOptionRejected) {
+  const auto r = parse({"infer", "--frobnicate"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "unknown option: --frobnicate");
+}
+
+// --- enumerated values ------------------------------------------------------
+
+TEST(CliArgs, ScaleValidatesMembers) {
+  EXPECT_TRUE(parse({"infer", "--scale", "tiny"}).opt.tiny);
+  EXPECT_FALSE(parse({"infer", "--scale", "full"}).opt.tiny);
+  const auto r = parse({"infer", "--scale", "medium"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "invalid value for --scale: 'medium' (expected tiny or full)");
+}
+
+// --- hilbert (two-token option) --------------------------------------------
+
+TEST(CliArgs, HilbertTakesOctetAndPath) {
+  const auto r = parse({"infer", "--hilbert", "60", "map.pgm"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.opt.hilbert_octet, 60);
+  EXPECT_EQ(r.opt.hilbert_path, "map.pgm");
+}
+
+TEST(CliArgs, HilbertOctetRangeChecked) {
+  const auto r = parse({"infer", "--hilbert", "256", "map.pgm"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "--hilbert octet must be in [0, 255]");
+}
+
+TEST(CliArgs, HilbertMissingPath) {
+  const auto r = parse({"infer", "--hilbert", "60"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "missing output path for --hilbert");
+}
+
+// --- query surface ----------------------------------------------------------
+
+TEST(CliArgs, QueryOptionsParse) {
+  const auto r = parse({"query", "--snapshot", "run.snap", "--ips", "-", "--bench",
+                        "--lookups", "5000000", "--metrics-out", "m.json"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.opt.snapshot_path, "run.snap");
+  EXPECT_EQ(r.opt.ips_path, "-");
+  EXPECT_TRUE(r.opt.bench);
+  EXPECT_EQ(r.opt.bench_lookups, 5'000'000u);
+  EXPECT_EQ(r.opt.metrics_path, "m.json");
+}
+
+TEST(CliArgs, LookupsZeroRejected) {
+  const auto r = parse({"query", "--lookups", "0"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "--lookups must be >= 1");
+}
+
+// --- snapshot-out + usage text ---------------------------------------------
+
+TEST(CliArgs, SnapshotOutParses) {
+  const auto r = parse({"infer", "--snapshot-out", "run.snap"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.opt.snapshot_out, "run.snap");
+}
+
+TEST(CliArgs, UsageTextMentionsEveryCommand) {
+  const std::string usage = cli::usage_text();
+  for (const char* cmd : {"infer", "query", "capture", "datasets", "ports"}) {
+    EXPECT_NE(usage.find(cmd), std::string::npos) << cmd;
+  }
+  EXPECT_NE(usage.find("--snapshot-out"), std::string::npos);
+  EXPECT_NE(usage.find("--bench"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mtscope

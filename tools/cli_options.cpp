@@ -1,0 +1,177 @@
+#include "cli_options.hpp"
+
+#include <charconv>
+#include <cstring>
+#include <string_view>
+
+namespace mtscope::cli {
+
+namespace {
+
+/// Whole-token unsigned parse: "12" yes, "", "1x", "-1", "0x10" no.
+template <typename T>
+bool parse_uint(std::string_view text, T& out) {
+  if (text.empty()) return false;
+  T value{};
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) return false;
+  out = value;
+  return true;
+}
+
+struct Parser {
+  int argc;
+  const char* const* argv;
+  Options& opt;
+  std::string& error;
+  int i = 2;
+
+  bool fail(std::string message) {
+    error = std::move(message);
+    return false;
+  }
+
+  /// The value token for the flag at argv[i]; null + diagnostic if absent.
+  const char* value_for(const std::string& flag) {
+    if (i + 1 >= argc) {
+      error = "missing value for " + flag;
+      return nullptr;
+    }
+    return argv[++i];
+  }
+
+  template <typename T>
+  bool uint_for(const std::string& flag, T& out, T minimum) {
+    const char* v = value_for(flag);
+    if (v == nullptr) return false;
+    if (!parse_uint(v, out)) {
+      return fail("invalid value for " + flag + ": '" + v + "' (expected a non-negative integer)");
+    }
+    if (out < minimum) {
+      return fail(flag + " must be >= " + std::to_string(minimum));
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+const char* usage_text() noexcept {
+  return
+      "usage: mtscope <infer|query|capture|datasets|ports> [options]\n"
+      "  common:  --seed N        simulation seed (default 42)\n"
+      "           --scale tiny|full\n"
+      "  infer:   --days K --ixps CE1,NA1 --no-tolerance --csv FILE\n"
+      "           --threads N (parallel collect+infer; default 1 = serial)\n"
+      "           --shards M (per-worker stats shards; default: thread count)\n"
+      "           --hilbert OCTET FILE.pgm\n"
+      "           --metrics-out FILE (pipeline metrics JSON snapshot)\n"
+      "           --snapshot-out FILE (persist the run as a telescope snapshot)\n"
+      "  query:   --snapshot FILE (telescope snapshot to serve from)\n"
+      "           --ips FILE|- (classify IPs, one per line; - = stdin)\n"
+      "           --bench [--lookups N] (measure lookup throughput)\n"
+      "           --metrics-out FILE (serve.* metrics JSON snapshot)\n"
+      "  capture: --telescope TUS1|TEU1|TEU2 --day D --pcap FILE\n"
+      "  datasets: --out-dir DIR\n"
+      "  ports:   --top K\n";
+}
+
+bool parse_args(int argc, const char* const* argv, Options& opt, std::string& error) {
+  error.clear();
+  if (argc < 2) {
+    error = "missing command";
+    return false;
+  }
+  opt.command = argv[1];
+  if (opt.command != "infer" && opt.command != "query" && opt.command != "capture" &&
+      opt.command != "datasets" && opt.command != "ports") {
+    error = "unknown command: " + opt.command;
+    return false;
+  }
+
+  Parser p{argc, argv, opt, error};
+  for (; p.i < argc; ++p.i) {
+    const std::string arg = argv[p.i];
+    if (arg == "--seed") {
+      if (!p.uint_for(arg, opt.seed, std::uint64_t{0})) return false;
+    } else if (arg == "--scale") {
+      const char* v = p.value_for(arg);
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "tiny") != 0 && std::strcmp(v, "full") != 0) {
+        return p.fail("invalid value for --scale: '" + std::string(v) +
+                      "' (expected tiny or full)");
+      }
+      opt.tiny = std::strcmp(v, "tiny") == 0;
+    } else if (arg == "--days") {
+      unsigned days = 0;
+      if (!p.uint_for(arg, days, 1u)) return false;
+      opt.days = static_cast<int>(days);
+    } else if (arg == "--ixps") {
+      const char* v = p.value_for(arg);
+      if (v == nullptr) return false;
+      opt.ixps = v;
+    } else if (arg == "--threads") {
+      if (!p.uint_for(arg, opt.threads, 1u)) return false;
+    } else if (arg == "--shards") {
+      if (!p.uint_for(arg, opt.shards, 1u)) return false;
+    } else if (arg == "--no-tolerance") {
+      opt.tolerance = false;
+    } else if (arg == "--csv") {
+      const char* v = p.value_for(arg);
+      if (v == nullptr) return false;
+      opt.csv_path = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = p.value_for(arg);
+      if (v == nullptr) return false;
+      opt.metrics_path = v;
+    } else if (arg == "--snapshot-out") {
+      const char* v = p.value_for(arg);
+      if (v == nullptr) return false;
+      opt.snapshot_out = v;
+    } else if (arg == "--snapshot") {
+      const char* v = p.value_for(arg);
+      if (v == nullptr) return false;
+      opt.snapshot_path = v;
+    } else if (arg == "--ips") {
+      const char* v = p.value_for(arg);
+      if (v == nullptr) return false;
+      opt.ips_path = v;
+    } else if (arg == "--bench") {
+      opt.bench = true;
+    } else if (arg == "--lookups") {
+      if (!p.uint_for(arg, opt.bench_lookups, std::uint64_t{1})) return false;
+    } else if (arg == "--hilbert") {
+      unsigned octet = 0;
+      if (!p.uint_for(arg, octet, 0u)) return false;
+      if (octet > 255) return p.fail("--hilbert octet must be in [0, 255]");
+      const char* path = p.value_for(arg);
+      if (path == nullptr) return p.fail("missing output path for --hilbert");
+      opt.hilbert_octet = static_cast<int>(octet);
+      opt.hilbert_path = path;
+    } else if (arg == "--telescope") {
+      const char* v = p.value_for(arg);
+      if (v == nullptr) return false;
+      opt.telescope = v;
+    } else if (arg == "--day") {
+      unsigned day = 0;
+      if (!p.uint_for(arg, day, 0u)) return false;
+      opt.day = static_cast<int>(day);
+    } else if (arg == "--pcap") {
+      const char* v = p.value_for(arg);
+      if (v == nullptr) return false;
+      opt.pcap_path = v;
+    } else if (arg == "--out-dir") {
+      const char* v = p.value_for(arg);
+      if (v == nullptr) return false;
+      opt.out_dir = v;
+    } else if (arg == "--top") {
+      if (!p.uint_for(arg, opt.top, std::size_t{1})) return false;
+    } else {
+      error = "unknown option: " + arg;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mtscope::cli

@@ -1,0 +1,58 @@
+// mtscope CLI option model + parser, split out of main() so the argument
+// surface is unit-testable: tests/test_cli_args.cpp pins every diagnostic
+// string and the accept/reject decision for each flag.
+//
+// Parsing is strict where the old inline loop was forgiving: numeric
+// values must consume their whole token ("--threads 4x" is an error, not
+// 4), zero is rejected where it would be nonsense (--threads 0), and
+// enumerated values (--scale) must name a known member.  main() maps a
+// false return to exit code 2 after printing `error` and the usage text.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mtscope::cli {
+
+struct Options {
+  std::string command;
+
+  // common
+  std::uint64_t seed = 42;
+  bool tiny = false;
+
+  // infer
+  int days = 1;
+  std::string ixps;              // comma-separated codes; empty = all
+  unsigned threads = 1;          // collect/infer worker threads; 1 = serial
+  unsigned shards = 0;           // 0 = pick per thread count
+  bool tolerance = true;
+  std::string csv_path;
+  std::string metrics_path;
+  std::string snapshot_out;      // persist the run as a telescope snapshot
+  int hilbert_octet = -1;
+  std::string hilbert_path;
+
+  // query
+  std::string snapshot_path;     // --snapshot FILE
+  std::string ips_path;          // --ips FILE, "-" = stdin
+  bool bench = false;            // --bench: measure lookup throughput
+  std::uint64_t bench_lookups = 2'000'000;
+
+  // capture / datasets / ports
+  std::string telescope = "TUS1";
+  int day = 0;
+  std::string pcap_path;
+  std::string out_dir;
+  std::size_t top = 10;
+};
+
+/// Parse argv into `opt`.  Returns false on any malformed input and sets
+/// `error` to a one-line diagnostic; `opt` is then partially filled and
+/// must not be used.
+bool parse_args(int argc, const char* const* argv, Options& opt, std::string& error);
+
+/// The usage text main() prints on parse failure (shared with tests).
+[[nodiscard]] const char* usage_text() noexcept;
+
+}  // namespace mtscope::cli

@@ -3,22 +3,33 @@
 //   mtscope infer    [--seed N] [--scale tiny|full] [--days K] [--ixps A,B]
 //                    [--threads N] [--shards M] [--no-tolerance] [--csv FILE]
 //                    [--hilbert OCTET FILE.pgm] [--metrics-out FILE]
+//                    [--snapshot-out FILE]
+//   mtscope query    --snapshot FILE [--ips FILE|-] [--bench [--lookups N]]
+//                    [--metrics-out FILE]
 //   mtscope capture  [--seed N] [--telescope TUS1|TEU1|TEU2] [--day D] --pcap FILE
 //   mtscope datasets [--seed N] [--scale tiny|full] --out-dir DIR
 //   mtscope ports    [--seed N] [--scale tiny|full] [--top K]
 //
 // `infer` runs the full pipeline over simulated vantage-point data and
-// emits the meta-telescope prefix list; on a real deployment the same code
-// path starts from an IPFIX/NetFlow collector instead of the simulator.
+// emits the meta-telescope prefix list; `--snapshot-out` persists the run
+// as a versioned binary snapshot (DESIGN.md §10).  `query` is the serving
+// side: it loads a snapshot into a TelescopeIndex and answers per-IP
+// classification lookups at memory speed.  On a real deployment the same
+// code paths start from an IPFIX/NetFlow collector instead of the
+// simulator.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "analysis/hilbert_map.hpp"
 #include "analysis/ports.hpp"
 #include "analysis/world_map.hpp"
+#include "cli_options.hpp"
 #include "net/pcap.hpp"
 #include "obs/metrics.hpp"
 #include "pipeline/collector.hpp"
@@ -26,123 +37,18 @@
 #include "pipeline/inference.hpp"
 #include "pipeline/parallel.hpp"
 #include "pipeline/spoof_tolerance.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/telescope_index.hpp"
 #include "sim/simulation.hpp"
 #include "util/csv.hpp"
+#include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
 using namespace mtscope;
+using cli::Options;
 
 namespace {
-
-struct Options {
-  std::string command;
-  std::uint64_t seed = 42;
-  bool tiny = false;
-  int days = 1;
-  std::string ixps;             // comma-separated codes; empty = all
-  unsigned threads = 1;         // collect/infer worker threads; 1 = serial
-  unsigned shards = 0;          // 0 = pick per thread count
-  bool tolerance = true;
-  std::string csv_path;
-  std::string metrics_path;
-  int hilbert_octet = -1;
-  std::string hilbert_path;
-  std::string telescope = "TUS1";
-  int day = 0;
-  std::string pcap_path;
-  std::string out_dir;
-  std::size_t top = 10;
-};
-
-void usage() {
-  std::fprintf(stderr,
-               "usage: mtscope <infer|capture|datasets|ports> [options]\n"
-               "  common:  --seed N        simulation seed (default 42)\n"
-               "           --scale tiny|full\n"
-               "  infer:   --days K --ixps CE1,NA1 --no-tolerance --csv FILE\n"
-               "           --threads N (parallel collect+infer; default 1 = serial)\n"
-               "           --shards M (per-worker stats shards; default: thread count)\n"
-               "           --hilbert OCTET FILE.pgm\n"
-               "           --metrics-out FILE (pipeline metrics JSON snapshot)\n"
-               "  capture: --telescope TUS1|TEU1|TEU2 --day D --pcap FILE\n"
-               "  datasets: --out-dir DIR\n"
-               "  ports:   --top K\n");
-}
-
-bool parse_args(int argc, char** argv, Options& opt) {
-  if (argc < 2) return false;
-  opt.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
-    if (arg == "--seed") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.seed = std::strtoull(v, nullptr, 10);
-    } else if (arg == "--scale") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.tiny = std::strcmp(v, "tiny") == 0;
-    } else if (arg == "--days") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.days = std::atoi(v);
-    } else if (arg == "--ixps") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.ixps = v;
-    } else if (arg == "--threads") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
-    } else if (arg == "--shards") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.shards = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
-    } else if (arg == "--no-tolerance") {
-      opt.tolerance = false;
-    } else if (arg == "--csv") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.csv_path = v;
-    } else if (arg == "--metrics-out") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.metrics_path = v;
-    } else if (arg == "--hilbert") {
-      const char* octet = next();
-      const char* path = next();
-      if (octet == nullptr || path == nullptr) return false;
-      opt.hilbert_octet = std::atoi(octet);
-      opt.hilbert_path = path;
-    } else if (arg == "--telescope") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.telescope = v;
-    } else if (arg == "--day") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.day = std::atoi(v);
-    } else if (arg == "--pcap") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.pcap_path = v;
-    } else if (arg == "--out-dir") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.out_dir = v;
-    } else if (arg == "--top") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.top = static_cast<std::size_t>(std::atoi(v));
-    } else {
-      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-      return false;
-    }
-  }
-  return true;
-}
 
 sim::Simulation make_simulation(const Options& opt) {
   if (opt.tiny) return sim::Simulation(sim::SimConfig::tiny(opt.seed));
@@ -219,6 +125,33 @@ int cmd_infer(const Options& opt) {
                         country.value_or("")});
     });
     std::fprintf(stderr, "wrote %s\n", opt.csv_path.c_str());
+  }
+
+  if (!opt.snapshot_out.empty()) {
+    serve::RunMetadata meta;
+    meta.seed = opt.seed;
+    meta.threads = collect_options.threads;
+    meta.shards = collect_options.shards;
+    meta.days = static_cast<std::uint32_t>(days.size());
+    meta.spoof_tolerance_pkts = tolerance;
+    meta.flows_ingested = stats.flows_ingested();
+    meta.created_unix_s = static_cast<std::uint64_t>(std::time(nullptr));
+    meta.source = std::string("sim scale=") + (opt.tiny ? "tiny" : "full") +
+                  " ixps=" + (opt.ixps.empty() ? "all" : opt.ixps);
+
+    obs::StageTimer build_timer(metrics, "serve.snapshot.build_us");
+    const auto snapshot = serve::build_snapshot(result, simulation.plan().rib(), meta);
+    build_timer.stop();
+    obs::StageTimer write_timer(metrics, "serve.snapshot.write_us");
+    const auto written = serve::write_snapshot_file(snapshot, opt.snapshot_out);
+    write_timer.stop();
+    if (!written.ok()) {
+      std::fprintf(stderr, "cannot write snapshot: %s\n", written.error().to_string().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s (%llu bytes, %zu blocks, %zu prefixes)\n",
+                 opt.snapshot_out.c_str(), static_cast<unsigned long long>(written.value()),
+                 snapshot.blocks.size(), snapshot.prefixes.size());
   }
 
   if (metrics != nullptr) {
@@ -343,18 +276,173 @@ int cmd_ports(const Options& opt) {
   return 0;
 }
 
+/// One verdict line on stdout: "IP CLASS PREFIX ASN" for classified
+/// blocks, "IP none" for everything outside the meta-telescope map.
+void print_verdict(const net::Ipv4Addr addr,
+                   const std::optional<serve::TelescopeIndex::Verdict>& verdict) {
+  if (!verdict.has_value()) {
+    std::printf("%s none\n", addr.to_string().c_str());
+    return;
+  }
+  std::printf("%s %s %s %s\n", addr.to_string().c_str(),
+              std::string(serve::to_string(verdict->cls)).c_str(),
+              verdict->prefix ? verdict->prefix->to_string().c_str() : "-",
+              verdict->origin ? verdict->origin->to_string().c_str() : "-");
+}
+
+/// Classify every IP from `in` (one per line; blank lines and #-comments
+/// skipped), maintaining the serve.lookup.* counters.
+int query_stream(const serve::TelescopeIndex& index, std::istream& in,
+                 obs::MetricsRegistry* metrics) {
+  std::uint64_t total = 0, dark = 0, unclean = 0, gray = 0, miss = 0, invalid = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto token = util::trim(line);
+    if (token.empty() || token.front() == '#') continue;
+    const auto addr = net::Ipv4Addr::parse(token);
+    if (!addr.has_value()) {
+      std::fprintf(stderr, "bad ip: %s\n", std::string(token).c_str());
+      ++invalid;
+      continue;
+    }
+    ++total;
+    const auto verdict = index.lookup(*addr);
+    if (!verdict.has_value()) {
+      ++miss;
+    } else if (verdict->cls == serve::BlockClass::kDark) {
+      ++dark;
+    } else if (verdict->cls == serve::BlockClass::kUnclean) {
+      ++unclean;
+    } else {
+      ++gray;
+    }
+    print_verdict(*addr, verdict);
+  }
+  std::fprintf(stderr,
+               "queried %llu ip(s): dark=%llu unclean=%llu gray=%llu miss=%llu invalid=%llu\n",
+               static_cast<unsigned long long>(total), static_cast<unsigned long long>(dark),
+               static_cast<unsigned long long>(unclean), static_cast<unsigned long long>(gray),
+               static_cast<unsigned long long>(miss),
+               static_cast<unsigned long long>(invalid));
+  if (metrics != nullptr) {
+    metrics->counter("serve.lookup.total").add(total);
+    metrics->counter("serve.lookup.dark").add(dark);
+    metrics->counter("serve.lookup.unclean").add(unclean);
+    metrics->counter("serve.lookup.gray").add(gray);
+    metrics->counter("serve.lookup.miss").add(miss);
+    metrics->counter("serve.lookup.invalid").add(invalid);
+  }
+  return invalid == 0 ? 0 : 1;
+}
+
+/// --bench: time classify() over a deterministic mix of present and
+/// random addresses (roughly half hit when the snapshot is non-empty).
+void bench_lookups(const serve::TelescopeIndex& index, const Options& opt,
+                   obs::MetricsRegistry* metrics) {
+  const std::uint64_t n = opt.bench_lookups;
+  util::Rng rng(opt.seed);
+  std::vector<net::Ipv4Addr> probes;
+  probes.reserve(static_cast<std::size_t>(n));
+  const auto& blocks = index.snapshot().blocks;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (!blocks.empty() && (i & 1u) == 0) {
+      const auto& entry = blocks[static_cast<std::size_t>(rng.uniform(blocks.size()))];
+      probes.push_back(net::Ipv4Addr((entry.block_index() << 8) |
+                                     static_cast<std::uint32_t>(rng.uniform(256))));
+    } else {
+      probes.push_back(net::Ipv4Addr(static_cast<std::uint32_t>(
+          rng.uniform(std::uint64_t{1} << 32))));
+    }
+  }
+
+  std::uint64_t hits = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto addr : probes) {
+    hits += index.classify(addr).has_value() ? 1 : 0;
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(stop - start).count();
+  const double qps = seconds > 0 ? static_cast<double>(n) / seconds : 0.0;
+  std::printf("bench: %llu lookups in %.3f ms, %.1f M lookups/s, hit-rate %s\n",
+              static_cast<unsigned long long>(n), seconds * 1e3, qps / 1e6,
+              util::percent(static_cast<double>(hits) /
+                            std::max<std::uint64_t>(1, n)).c_str());
+  if (metrics != nullptr) {
+    metrics->counter("serve.lookup.total").add(n);
+    metrics->gauge("serve.lookup.qps").set(static_cast<std::int64_t>(qps));
+  }
+}
+
+int cmd_query(const Options& opt) {
+  if (opt.snapshot_path.empty()) {
+    std::fprintf(stderr, "query requires --snapshot FILE\n");
+    return 1;
+  }
+  obs::MetricsRegistry metrics_registry;
+  obs::MetricsRegistry* metrics = opt.metrics_path.empty() ? nullptr : &metrics_registry;
+
+  serve::SnapshotManager manager;
+  const auto installed = manager.load_and_install(opt.snapshot_path, metrics);
+  if (!installed.ok()) {
+    std::fprintf(stderr, "cannot load snapshot: %s\n",
+                 installed.error().to_string().c_str());
+    return 1;
+  }
+  const auto index = manager.current();
+  const auto& meta = index->metadata();
+  std::fprintf(stderr,
+               "loaded %s: %zu block(s), %zu prefix(es), seed=%llu, "
+               "%.1f KiB resident, epoch %llu\n",
+               opt.snapshot_path.c_str(), index->size(), index->snapshot().prefixes.size(),
+               static_cast<unsigned long long>(meta.seed),
+               static_cast<double>(index->memory_bytes()) / 1024.0,
+               static_cast<unsigned long long>(installed.value()));
+
+  int status = 0;
+  if (!opt.ips_path.empty()) {
+    if (opt.ips_path == "-") {
+      status = query_stream(*index, std::cin, metrics);
+    } else {
+      std::ifstream in(opt.ips_path);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", opt.ips_path.c_str());
+        return 1;
+      }
+      status = query_stream(*index, in, metrics);
+    }
+  }
+  if (opt.bench) bench_lookups(*index, opt, metrics);
+  if (opt.ips_path.empty() && !opt.bench) {
+    std::fprintf(stderr, "nothing to do: pass --ips FILE|- and/or --bench\n");
+    status = 1;
+  }
+
+  if (metrics != nullptr) {
+    std::ofstream out(opt.metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", opt.metrics_path.c_str());
+      return 1;
+    }
+    metrics_registry.write_json(out);
+    out << '\n';
+    std::fprintf(stderr, "wrote %s\n", opt.metrics_path.c_str());
+  }
+  return status;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opt;
-  if (!parse_args(argc, argv, opt)) {
-    usage();
+  std::string error;
+  if (!cli::parse_args(argc, argv, opt, error)) {
+    std::fprintf(stderr, "mtscope: %s\n%s", error.c_str(), cli::usage_text());
     return 2;
   }
   if (opt.command == "infer") return cmd_infer(opt);
+  if (opt.command == "query") return cmd_query(opt);
   if (opt.command == "capture") return cmd_capture(opt);
   if (opt.command == "datasets") return cmd_datasets(opt);
   if (opt.command == "ports") return cmd_ports(opt);
-  usage();
-  return 2;
+  return 2;  // unreachable: parse_args validated the command
 }
