@@ -1,0 +1,302 @@
+// Loopback load test for the TCP query server (src/serve/server.hpp): a
+// paper-scale snapshot is served on an ephemeral port and 8 client
+// threads pump pipelined query batches over real sockets, with one hot
+// reload fired mid-run.  Every reply byte is checked against a locally
+// built TelescopeIndex, so the run measures throughput AND proves verdict
+// continuity across the epoch swap (the reload re-serves the same file,
+// so any mismatch is a server bug, not a data change).  main() writes
+// BENCH_serve_net.json for trend tracking across PRs; the acceptance
+// floor is 100k aggregate lookups/s.  MTSCOPE_BENCH_SCALE=small shrinks
+// the workload for CI smoke runs.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pipeline/inference.hpp"
+#include "routing/special_purpose.hpp"
+#include "serve/server.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/telescope_index.hpp"
+#include "util/rng.hpp"
+
+using namespace mtscope;
+
+namespace {
+
+bool small_scale() {
+  const char* scale = std::getenv("MTSCOPE_BENCH_SCALE");
+  return scale != nullptr && std::strcmp(scale, "small") == 0;
+}
+
+constexpr int kClients = 8;
+constexpr std::size_t kBatchQueries = 512;  // pipelining depth per client
+
+std::size_t workload_flows() { return small_scale() ? 50'000 : 500'000; }
+std::size_t queries_per_client() { return small_scale() ? 8'192 : 131'072; }
+
+// Same 60.0.0.0/6 workload as micro_snapshot: ~223k classified /24s at
+// full scale, the regime of the paper's meta-telescope map.
+serve::TelescopeSnapshot make_paper_scale_snapshot() {
+  util::Rng rng(23);
+  std::vector<flow::FlowRecord> flows;
+  flows.reserve(workload_flows());
+  for (std::size_t i = 0; i < workload_flows(); ++i) {
+    flow::FlowRecord r;
+    r.key.src = net::Ipv4Addr(0x0a000000 + static_cast<std::uint32_t>(rng.uniform(1u << 16)));
+    r.key.dst = net::Ipv4Addr((60u << 24) + static_cast<std::uint32_t>(rng.uniform(1u << 26)));
+    r.key.dst_port = 23;
+    r.key.proto = rng.chance(0.9) ? net::IpProto::kTcp : net::IpProto::kUdp;
+    r.packets = 1 + rng.uniform(3);
+    r.bytes = r.packets * (rng.chance(0.8) ? 40 : 1400);
+    r.sampling_rate = 100;
+    flows.push_back(r);
+  }
+  pipeline::VantageStats stats;
+  stats.add_flows(flows, 100, 0);
+
+  routing::Rib rib;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    rib.announce(net::Prefix(net::Ipv4Addr((60u << 24) + (i << 20)), 12),
+                 net::AsNumber(65000 + i));
+  }
+  const auto registry = routing::SpecialPurposeRegistry::standard();
+  const pipeline::InferenceEngine engine(pipeline::PipelineConfig{}, rib, registry);
+  const auto result = engine.infer(stats);
+
+  serve::RunMetadata meta;
+  meta.seed = 23;
+  meta.flows_ingested = flows.size();
+  meta.created_unix_s = 1'700'000'000;
+  meta.source = "bench serve_net 60.0.0.0/6";
+  return serve::build_snapshot(result, rib, meta);
+}
+
+/// One client's whole conversation, precomputed: per-batch request bytes
+/// and the exact reply bytes the server must produce.
+struct ClientScript {
+  std::vector<std::string> requests;
+  std::vector<std::string> expected;
+};
+
+ClientScript make_script(const serve::TelescopeIndex& index, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const auto& blocks = index.snapshot().blocks;
+  ClientScript script;
+  const std::size_t total = queries_per_client();
+  for (std::size_t done = 0; done < total;) {
+    const std::size_t batch = std::min(kBatchQueries, total - done);
+    std::string request;
+    std::string expected;
+    for (std::size_t i = 0; i < batch; ++i) {
+      // Even probes hit a known block, odd probes are uniform v4 (mostly
+      // misses) — the same mix micro_snapshot times in-process.
+      net::Ipv4Addr addr{0};
+      if (!blocks.empty() && (i & 1u) == 0) {
+        const auto& entry =
+            blocks[static_cast<std::size_t>(rng.uniform(blocks.size()))];
+        addr = net::Ipv4Addr((entry.block_index() << 8) |
+                             static_cast<std::uint32_t>(rng.uniform(256)));
+      } else {
+        addr = net::Ipv4Addr(static_cast<std::uint32_t>(rng.uniform(std::uint64_t{1} << 32)));
+      }
+      request += addr.to_string();
+      request += '\n';
+      expected += serve::format_verdict(addr, index.lookup(addr));
+      expected += '\n';
+    }
+    script.requests.push_back(std::move(request));
+    script.expected.push_back(std::move(expected));
+    done += batch;
+  }
+  return script;
+}
+
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  const int enable = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const auto n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Send every batch, read every reply, compare byte-for-byte.  Returns
+/// the number of mismatched batches (0 on a clean run, SIZE_MAX on a
+/// transport failure).
+std::size_t run_client(std::uint16_t port, const ClientScript& script,
+                       std::atomic<std::uint64_t>& completed_queries) {
+  const int fd = connect_loopback(port);
+  if (fd < 0) return SIZE_MAX;
+  std::size_t mismatches = 0;
+  std::string reply;
+  char chunk[64 * 1024];
+  for (std::size_t b = 0; b < script.requests.size(); ++b) {
+    if (!send_all(fd, script.requests[b])) {
+      ::close(fd);
+      return SIZE_MAX;
+    }
+    const std::string& expected = script.expected[b];
+    reply.clear();
+    while (reply.size() < expected.size()) {
+      const auto n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        ::close(fd);
+        return SIZE_MAX;
+      }
+      reply.append(chunk, static_cast<std::size_t>(n));
+    }
+    if (reply != expected) ++mismatches;
+    completed_queries.fetch_add(kBatchQueries, std::memory_order_relaxed);
+  }
+  ::close(fd);
+  return mismatches;
+}
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  const auto snapshot = make_paper_scale_snapshot();
+  const char* snap_path = "BENCH_serve_net.tmp.snap";
+  {
+    const auto written = serve::write_snapshot_file(snapshot, snap_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "snapshot write failed: %s\n",
+                   written.error().to_string().c_str());
+      return 1;
+    }
+  }
+  // The oracle the clients check every reply byte against.
+  const serve::TelescopeIndex index{serve::TelescopeSnapshot(snapshot)};
+
+  serve::ServerConfig config;
+  config.snapshot_path = snap_path;
+  config.port = 0;
+  config.max_conns = kClients + 4;
+  config.max_pending_bytes = 4 * 1024 * 1024;
+  serve::QueryServer server(config);
+  {
+    const auto started = server.start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   started.error().to_string().c_str());
+      return 1;
+    }
+  }
+  std::thread reactor([&server] { server.run(); });
+
+  std::vector<ClientScript> scripts;
+  scripts.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    scripts.push_back(make_script(index, 1000 + static_cast<std::uint64_t>(c)));
+  }
+  const std::uint64_t total_queries =
+      static_cast<std::uint64_t>(kClients) * queries_per_client();
+
+  std::atomic<std::uint64_t> completed{0};
+  std::vector<std::size_t> mismatches(kClients, 0);
+  const double t0 = now_ms();
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      mismatches[static_cast<std::size_t>(c)] =
+          run_client(server.port(), scripts[static_cast<std::size_t>(c)], completed);
+    });
+  }
+
+  // Fire one hot reload mid-run (same file, epoch 1 -> 2): throughput and
+  // reply correctness must be unaffected.
+  while (completed.load(std::memory_order_relaxed) < total_queries / 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.request_reload();
+
+  for (auto& thread : clients) thread.join();
+  const double wall_ms = now_ms() - t0;
+
+  server.request_stop();
+  reactor.join();
+  std::remove(snap_path);
+
+  std::size_t bad_batches = 0;
+  int failed_clients = 0;
+  for (const auto m : mismatches) {
+    if (m == SIZE_MAX) {
+      ++failed_clients;
+    } else {
+      bad_batches += m;
+    }
+  }
+  const auto stats = server.stats();
+  const double qps = 1e3 * static_cast<double>(total_queries) / wall_ms;
+
+  std::printf("== serve_net: %d clients x %zu queries over loopback (%zu blocks) ==\n",
+              kClients, queries_per_client(), snapshot.blocks.size());
+  std::printf("  %llu queries in %.1f ms -> %.1f k lookups/s aggregate\n",
+              static_cast<unsigned long long>(total_queries), wall_ms, qps / 1e3);
+  std::printf("  reloads %llu (failures %llu), server queries %llu, drops %llu, "
+              "mismatched batches %zu, failed clients %d\n",
+              static_cast<unsigned long long>(stats.reloads),
+              static_cast<unsigned long long>(stats.reload_failures),
+              static_cast<unsigned long long>(stats.queries),
+              static_cast<unsigned long long>(stats.drops), bad_batches, failed_clients);
+
+  std::ofstream json("BENCH_serve_net.json");
+  json << "{\n"
+       << "  \"workload\": {\"clients\": " << kClients
+       << ", \"queries_per_client\": " << queries_per_client()
+       << ", \"blocks\": " << snapshot.blocks.size() << "},\n"
+       << "  \"wall_ms\": " << wall_ms << ",\n"
+       << "  \"aggregate_qps\": " << qps << ",\n"
+       << "  \"reloads\": " << stats.reloads << ",\n"
+       << "  \"server_queries\": " << stats.queries << ",\n"
+       << "  \"mismatched_batches\": " << bad_batches << ",\n"
+       << "  \"failed_clients\": " << failed_clients << "\n"
+       << "}\n";
+  std::printf("  wrote BENCH_serve_net.json\n");
+
+  // Correctness is a hard failure; raw qps is hardware-dependent and only
+  // recorded.  The server must have answered every query exactly once.
+  if (failed_clients > 0 || bad_batches > 0 || stats.queries != total_queries ||
+      stats.reloads != 1 || stats.reload_failures != 0) {
+    std::fprintf(stderr, "serve_net FAILED correctness checks\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+# Regression check for the query_stream buffering bug: verdicts go to
+# buffered stdout and the summary to unbuffered stderr, so before the
+# fflush fix a `2>&1` redirection showed the summary *before* the verdicts
+# it summarizes.  This script reproduces exactly that redirection through
+# the shell and asserts the on-disk order.  It doubles as an end-to-end
+# CRLF/whitespace check: the IP list it feeds carries a \r\n line and a
+# padded line that must classify normally, plus a signed address that must
+# be diagnosed as bad.  Invoked by the query_stream_ordering_check ctest:
+#   cmake -DCLI=<mtscope_cli> -DOUT_DIR=<scratch dir> -P query_ordering_check.cmake
+if(NOT DEFINED CLI)
+  message(FATAL_ERROR "pass -DCLI=<path to mtscope_cli>")
+endif()
+if(NOT DEFINED OUT_DIR)
+  set(OUT_DIR "${CMAKE_CURRENT_BINARY_DIR}")
+endif()
+
+find_program(SH_PROGRAM sh)
+if(NOT SH_PROGRAM)
+  message(FATAL_ERROR "query ordering check needs a POSIX sh for 2>&1 redirection")
+endif()
+
+set(snap "${OUT_DIR}/query_ordering_check.snap")
+set(ips "${OUT_DIR}/query_ordering_check.ips")
+set(merged "${OUT_DIR}/query_ordering_check.out")
+file(REMOVE "${snap}" "${ips}" "${merged}")
+
+execute_process(
+  COMMAND "${CLI}" infer --scale tiny --seed 7 --snapshot-out "${snap}"
+  RESULT_VARIABLE status
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "mtscope_cli infer failed (${status}):\n${stdout}\n${stderr}")
+endif()
+
+# CRLF line, padded line, plain line, then garbage: three verdicts and one
+# "bad ip" diagnostic (which makes the expected exit status 1).
+file(WRITE "${ips}" "10.0.0.1\r\n  192.0.2.7  \n8.8.8.8\n+1.2.3.4\n")
+
+execute_process(
+  COMMAND "${SH_PROGRAM}" -c "'${CLI}' query --snapshot '${snap}' --ips '${ips}' > '${merged}' 2>&1"
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 1)
+  message(FATAL_ERROR "expected exit 1 for a list with one bad ip, got ${status}")
+endif()
+
+file(READ "${merged}" out)
+
+foreach(needle "10.0.0.1 " "192.0.2.7 " "8.8.8.8 " "bad ip: +1.2.3.4")
+  string(FIND "${out}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "merged output is missing '${needle}':\n${out}")
+  endif()
+endforeach()
+
+# The ordering pin: the last verdict line must precede the summary.
+string(FIND "${out}" "8.8.8.8 " verdict_at)
+string(FIND "${out}" "queried 3 ip(s)" summary_at)
+if(summary_at EQUAL -1)
+  message(FATAL_ERROR "merged output is missing the summary line:\n${out}")
+endif()
+if(NOT verdict_at LESS summary_at)
+  message(FATAL_ERROR
+    "summary (offset ${summary_at}) printed before the verdicts (offset ${verdict_at}) — "
+    "stdout was not flushed before the stderr summary:\n${out}")
+endif()
+
+message(STATUS "query stream ordering OK: ${merged}")

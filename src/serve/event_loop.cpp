@@ -1,0 +1,68 @@
+#include "serve/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <system_error>
+
+namespace mtscope::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+EventLoop::EventLoop() : epoll_fd_(::epoll_create1(EPOLL_CLOEXEC)) {
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::add(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) throw_errno("epoll_ctl(ADD)");
+}
+
+void EventLoop::modify(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) throw_errno("epoll_ctl(MOD)");
+}
+
+void EventLoop::remove(int fd) {
+  // ENOENT tolerated: a connection torn down twice (e.g. error path after
+  // a drain close) must not abort the server.
+  epoll_event ev{};
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, &ev) != 0 && errno != ENOENT && errno != EBADF) {
+    throw_errno("epoll_ctl(DEL)");
+  }
+}
+
+int EventLoop::wait(std::vector<Event>& out, int timeout_ms) {
+  std::array<epoll_event, 128> ready;
+  out.clear();
+  const int n =
+      ::epoll_wait(epoll_fd_, ready.data(), static_cast<int>(ready.size()), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return 0;  // signal wake; caller re-checks its flags
+    throw_errno("epoll_wait");
+  }
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(Event{ready[static_cast<std::size_t>(i)].data.fd,
+                        ready[static_cast<std::size_t>(i)].events});
+  }
+  return n;
+}
+
+}  // namespace mtscope::serve

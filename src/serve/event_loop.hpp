@@ -1,0 +1,56 @@
+// EventLoop: a thin RAII wrapper over Linux epoll for the query server.
+//
+// Deliberately minimal — the server's reactor needs exactly "tell the
+// kernel which fds I care about, hand me back the ready set" — so this
+// wraps the three epoll_ctl verbs and epoll_wait, nothing more.  Readiness
+// dispatch (fd -> connection) stays in the server, which owns the fd
+// lifetimes; the loop never closes or reads an fd itself.  Level-triggered
+// on purpose: the server reads one bounded chunk per readable event and
+// relies on the kernel re-arming the fd while input remains, which is what
+// bounds per-connection memory under pipelined clients.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mtscope::serve {
+
+class EventLoop {
+ public:
+  /// One ready fd from wait(): `events` is the epoll event mask
+  /// (EPOLLIN / EPOLLOUT / EPOLLHUP / ...).
+  struct Event {
+    int fd = -1;
+    std::uint32_t events = 0;
+  };
+
+  /// Throws std::system_error if epoll_create1 fails (resource exhaustion
+  /// at startup is a precondition violation, not an expected failure).
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Register `fd` with interest mask `events` (EPOLLIN | EPOLLOUT | ...).
+  /// Throws std::system_error on kernel refusal — callers register only
+  /// fds they just created, so failure means a programming error.
+  void add(int fd, std::uint32_t events);
+
+  /// Replace the interest mask of a registered fd.
+  void modify(int fd, std::uint32_t events);
+
+  /// Deregister; must precede close(fd) so the kernel entry never dangles.
+  void remove(int fd);
+
+  /// Block up to `timeout_ms` (-1 = forever, 0 = poll) and fill `out` with
+  /// the ready set.  Returns the number of ready fds; 0 on timeout.  An
+  /// EINTR wakeup returns 0 — the server treats it as a spurious wake and
+  /// re-checks its signal flags, which is exactly what a signal wants.
+  int wait(std::vector<Event>& out, int timeout_ms);
+
+ private:
+  int epoll_fd_ = -1;
+};
+
+}  // namespace mtscope::serve

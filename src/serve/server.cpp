@@ -1,0 +1,478 @@
+#include "serve/server.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace mtscope::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// The one server receiving process signals (install_signal_handlers).
+std::atomic<QueryServer*> g_signal_server{nullptr};
+
+extern "C" void mtscope_serve_signal_handler(int signum) {
+  // Async-signal-safe: one atomic load plus the eventfd write inside the
+  // request_* methods.
+  QueryServer* server = g_signal_server.load(std::memory_order_acquire);
+  if (server == nullptr) return;
+  if (signum == SIGHUP) {
+    server->request_reload();
+  } else {
+    server->request_stop();
+  }
+}
+
+util::Error socket_error(const char* what) {
+  return util::make_error("serve.socket",
+                          std::string(what) + ": " + std::strerror(errno));
+}
+
+/// How much of a garbage request line gets echoed back in the "invalid"
+/// reply — enough to recognize, never enough to amplify.
+constexpr std::size_t kInvalidEchoBytes = 64;
+
+}  // namespace
+
+std::string format_verdict(net::Ipv4Addr addr,
+                           const std::optional<TelescopeIndex::Verdict>& verdict) {
+  if (!verdict.has_value()) return addr.to_string() + " none";
+  std::string out = addr.to_string();
+  out += ' ';
+  out += to_string(verdict->cls);
+  out += ' ';
+  out += verdict->prefix ? verdict->prefix->to_string() : "-";
+  out += ' ';
+  out += verdict->origin ? verdict->origin->to_string() : "-";
+  return out;
+}
+
+/// Per-client state.  `out` is drained from `out_off` so flushing never
+/// memmoves; the string is recycled once empty.
+struct QueryServer::Connection {
+  int fd = -1;
+  std::string in;
+  std::string out;
+  std::size_t out_off = 0;
+  Clock::time_point last_activity{};
+  std::uint32_t interest = 0;
+  bool paused = false;       // back-pressure: reply backlog over the cap
+  bool read_closed = false;  // peer EOF (or drain): no further requests
+  bool fatal = false;        // protocol violation: close once out drains
+
+  [[nodiscard]] std::size_t pending() const noexcept { return out.size() - out_off; }
+};
+
+QueryServer::QueryServer(ServerConfig config, obs::MetricsRegistry* metrics)
+    : config_(std::move(config)), metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    queries_counter_ = &metrics_->counter("serve.server.queries");
+    invalid_counter_ = &metrics_->counter("serve.server.invalid");
+    request_timer_ = &metrics_->timer("serve.server.request_us");
+  }
+}
+
+QueryServer::~QueryServer() {
+  QueryServer* expected = this;
+  g_signal_server.compare_exchange_strong(expected, nullptr);
+  for (auto& [fd, conn] : conns_) {
+    loop_.remove(fd);
+    ::close(fd);
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+}
+
+util::Result<bool> QueryServer::start() {
+  const auto installed = manager_.load_and_install(config_.snapshot_path, metrics_);
+  if (!installed.ok()) return installed.error();
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return socket_error("socket");
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(config_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return socket_error("bind");
+  }
+  if (::listen(listen_fd_, 128) != 0) return socket_error("listen");
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    return socket_error("getsockname");
+  }
+  bound_port_ = ntohs(bound.sin_port);
+
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) return socket_error("eventfd");
+
+  loop_.add(listen_fd_, EPOLLIN);
+  loop_.add(wake_fd_, EPOLLIN);
+  started_ = true;
+  return true;
+}
+
+void QueryServer::request_stop() noexcept {
+  stop_requested_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  if (wake_fd_ >= 0) {
+    [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void QueryServer::request_reload() noexcept {
+  reload_requested_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  if (wake_fd_ >= 0) {
+    [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void QueryServer::install_signal_handlers() {
+  g_signal_server.store(this, std::memory_order_release);
+  struct sigaction action{};
+  action.sa_handler = mtscope_serve_signal_handler;
+  ::sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: epoll_wait returns EINTR and re-checks flags
+  ::sigaction(SIGHUP, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+}
+
+ServerStats QueryServer::stats() const noexcept {
+  ServerStats s;
+  s.connections = connections_.load(std::memory_order_relaxed);
+  s.active = active_.load(std::memory_order_relaxed);
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.invalid = invalid_.load(std::memory_order_relaxed);
+  s.reloads = reloads_.load(std::memory_order_relaxed);
+  s.reload_failures = reload_failures_.load(std::memory_order_relaxed);
+  s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  s.drops = drops_.load(std::memory_order_relaxed);
+  return s;
+}
+
+int QueryServer::run() {
+  if (!started_) return 1;
+  std::vector<EventLoop::Event> events;
+  while (true) {
+    if (draining_) {
+      if (conns_.empty()) break;
+      if (Clock::now() >= drain_deadline_) {
+        for (auto it = conns_.begin(); it != conns_.end();) {
+          const int fd = it->first;
+          ++it;
+          close_connection(fd);
+        }
+        break;
+      }
+    }
+
+    loop_.wait(events, next_timeout_ms());
+    for (const auto& event : events) {
+      if (event.fd == wake_fd_) {
+        handle_wake();
+      } else if (event.fd == listen_fd_) {
+        accept_ready();
+      } else {
+        connection_ready(event.fd, event.events);
+      }
+    }
+    // Signals may land without a consumable wake event (EINTR during
+    // epoll_wait); the flags are the source of truth.
+    if (reload_requested_.load(std::memory_order_acquire) ||
+        stop_requested_.load(std::memory_order_acquire)) {
+      handle_wake();
+    }
+    sweep_idle();
+  }
+  return 0;
+}
+
+int QueryServer::next_timeout_ms() const {
+  if (conns_.empty() && !draining_) return -1;
+  const auto now = Clock::now();
+  std::int64_t timeout_ms = config_.idle_timeout_ms;
+  for (const auto& [fd, conn] : conns_) {
+    const auto idle_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(now - conn->last_activity)
+            .count();
+    timeout_ms = std::min(timeout_ms, std::int64_t{config_.idle_timeout_ms} - idle_ms);
+  }
+  if (draining_) {
+    const auto drain_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(drain_deadline_ - now).count();
+    timeout_ms = std::min(timeout_ms, drain_ms);
+  }
+  // +1 rounds the sub-millisecond remainder up so a deadline poll never
+  // spins hot at timeout 0.
+  return static_cast<int>(std::clamp<std::int64_t>(timeout_ms + 1, 1, 60'000));
+}
+
+void QueryServer::handle_wake() {
+  std::uint64_t drained = 0;
+  [[maybe_unused]] const auto n = ::read(wake_fd_, &drained, sizeof(drained));
+
+  if (reload_requested_.exchange(false, std::memory_order_acq_rel)) {
+    const auto installed = manager_.load_and_install(config_.snapshot_path, metrics_);
+    if (installed.ok()) {
+      reloads_.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_ != nullptr) metrics_->counter("serve.server.reloads").add(1);
+    } else {
+      // The previous epoch keeps serving; operators see the failure in the
+      // stats and the unchanged serve.snapshot.epoch gauge.
+      reload_failures_.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_ != nullptr) metrics_->counter("serve.server.reload_failures").add(1);
+    }
+  }
+  if (stop_requested_.load(std::memory_order_acquire) && !draining_) {
+    begin_drain();
+  }
+}
+
+void QueryServer::begin_drain() {
+  draining_ = true;
+  drain_deadline_ = Clock::now() + std::chrono::milliseconds(config_.drain_timeout_ms);
+  if (listen_fd_ >= 0) {
+    loop_.remove(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Answer everything already received, then let flush_output /
+  // update_interest retire each connection as its backlog empties.  A
+  // connection whose backlog fits the socket buffer right now must be
+  // closed here — with reads off and nothing pending its interest mask is
+  // empty, so no event would ever fire to retire it.
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    Connection& conn = *it->second;
+    ++it;  // close_connection erases the entry
+    conn.read_closed = true;
+    if (!process_input(conn) || !flush_output(conn) || conn.pending() == 0) {
+      close_connection(conn.fd);
+      continue;
+    }
+    update_interest(conn);
+  }
+}
+
+void QueryServer::accept_ready() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure (e.g. ECONNABORTED): keep serving
+    }
+    if (conns_.size() >= static_cast<std::size_t>(config_.max_conns)) {
+      ::close(fd);
+      drops_.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_ != nullptr) metrics_->counter("serve.server.drops").add(1);
+      continue;
+    }
+    const int enable = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->last_activity = Clock::now();
+    conn->interest = EPOLLIN | EPOLLRDHUP;
+    loop_.add(fd, conn->interest);
+    conns_.emplace(fd, std::move(conn));
+    active_.store(conns_.size(), std::memory_order_relaxed);
+
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_ != nullptr) {
+      metrics_->counter("serve.server.connections").add(1);
+      metrics_->gauge("serve.server.active").set(static_cast<std::int64_t>(conns_.size()));
+    }
+  }
+}
+
+void QueryServer::connection_ready(int fd, std::uint32_t events) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;  // closed earlier in this dispatch batch
+  Connection& conn = *it->second;
+
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    close_connection(fd);
+    return;
+  }
+
+  if ((events & (EPOLLIN | EPOLLRDHUP)) != 0 && !conn.read_closed && !conn.fatal) {
+    // One bounded chunk per event: level-triggered epoll re-arms while
+    // input remains, so a pipelining client cannot balloon `in`/`out`
+    // between back-pressure checks.
+    char chunk[16 * 1024];
+    const auto n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      conn.in.append(chunk, static_cast<std::size_t>(n));
+      conn.last_activity = Clock::now();
+      if (!process_input(conn)) {
+        close_connection(fd);
+        return;
+      }
+    } else if (n == 0) {
+      // Peer finished sending (possibly via shutdown(SHUT_WR)); answer
+      // what is buffered, flush, then close.
+      conn.read_closed = true;
+      if (!process_input(conn)) {
+        close_connection(fd);
+        return;
+      }
+    } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      close_connection(fd);
+      return;
+    }
+  }
+
+  if (!flush_output(conn)) {
+    close_connection(fd);
+    return;
+  }
+  if ((conn.read_closed || conn.fatal) && conn.pending() == 0) {
+    close_connection(fd);
+    return;
+  }
+  update_interest(conn);
+}
+
+bool QueryServer::process_input(Connection& conn) {
+  // One index grab per batch: the lock-free reader path.  Everything in
+  // this batch is answered from one consistent epoch even if a reload
+  // lands concurrently with the next batch.
+  const std::shared_ptr<const TelescopeIndex> index = manager_.current();
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t newline = conn.in.find('\n', start);
+    if (newline == std::string::npos) break;
+    answer_line(conn, std::string_view(conn.in).substr(start, newline - start), *index);
+    start = newline + 1;
+  }
+  conn.in.erase(0, start);
+
+  if (conn.in.size() > config_.max_request_bytes) {
+    // A "line" that exceeds the cap without a newline is a protocol
+    // violation, not a slow write: answer once, then hang up.
+    conn.out.append(std::string_view(conn.in).substr(0, kInvalidEchoBytes));
+    conn.out += " invalid\n";
+    conn.in.clear();
+    conn.fatal = true;
+    invalid_.fetch_add(1, std::memory_order_relaxed);
+    drops_.fetch_add(1, std::memory_order_relaxed);
+    if (invalid_counter_ != nullptr) invalid_counter_->add(1);
+    if (metrics_ != nullptr) metrics_->counter("serve.server.drops").add(1);
+  }
+  if (conn.pending() > config_.max_pending_bytes) conn.paused = true;
+  return true;
+}
+
+void QueryServer::answer_line(Connection& conn, std::string_view line,
+                              const TelescopeIndex& index) {
+  const auto token = util::trim(line);  // strips CRLF and padding
+  if (token.empty() || token.front() == '#') return;
+
+  const auto t0 = request_timer_ != nullptr ? Clock::now() : Clock::time_point{};
+  const auto addr = net::Ipv4Addr::parse(token);
+  if (!addr.has_value()) {
+    conn.out.append(token.substr(0, kInvalidEchoBytes));
+    conn.out += " invalid\n";
+    invalid_.fetch_add(1, std::memory_order_relaxed);
+    if (invalid_counter_ != nullptr) invalid_counter_->add(1);
+  } else {
+    conn.out += format_verdict(*addr, index.lookup(*addr));
+    conn.out += '\n';
+  }
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (queries_counter_ != nullptr) queries_counter_->add(1);
+  if (request_timer_ != nullptr) {
+    request_timer_->record_us(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0).count()));
+  }
+}
+
+bool QueryServer::flush_output(Connection& conn) {
+  while (conn.pending() > 0) {
+    const auto n = ::send(conn.fd, conn.out.data() + conn.out_off, conn.pending(),
+                          MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      conn.last_activity = Clock::now();
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;  // EPIPE / ECONNRESET: the peer is gone
+  }
+  if (conn.pending() == 0 && conn.out_off > 0) {
+    conn.out.clear();
+    conn.out_off = 0;
+  }
+  if (conn.paused && conn.pending() < config_.max_pending_bytes / 2) {
+    conn.paused = false;  // back-pressure released
+  }
+  return true;
+}
+
+void QueryServer::update_interest(Connection& conn) {
+  std::uint32_t wanted = 0;
+  if (!conn.paused && !conn.read_closed && !conn.fatal) wanted |= EPOLLIN | EPOLLRDHUP;
+  if (conn.pending() > 0) wanted |= EPOLLOUT;
+  if (wanted != conn.interest) {
+    loop_.modify(conn.fd, wanted);
+    conn.interest = wanted;
+  }
+}
+
+void QueryServer::close_connection(int fd) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  loop_.remove(fd);
+  ::close(fd);
+  conns_.erase(it);
+  active_.store(conns_.size(), std::memory_order_relaxed);
+  if (metrics_ != nullptr) {
+    metrics_->gauge("serve.server.active").set(static_cast<std::int64_t>(conns_.size()));
+  }
+}
+
+void QueryServer::sweep_idle() {
+  if (conns_.empty()) return;
+  const auto now = Clock::now();
+  const auto limit = std::chrono::milliseconds(config_.idle_timeout_ms);
+  std::vector<int> expired;
+  for (const auto& [fd, conn] : conns_) {
+    if (now - conn->last_activity > limit) expired.push_back(fd);
+  }
+  for (const int fd : expired) {
+    // Covers the back-pressured slow reader: paused connections make no
+    // read progress and a full socket buffer blocks write progress, so
+    // their last_activity freezes until this sweep retires them.
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_ != nullptr) metrics_->counter("serve.server.timeouts").add(1);
+    close_connection(fd);
+  }
+}
+
+}  // namespace mtscope::serve

@@ -1,0 +1,180 @@
+// QueryServer: the operated meta-telescope — a concurrent TCP server that
+// answers per-IP classification queries from a loaded snapshot.
+//
+// Protocol (DESIGN.md §12): line-oriented over TCP.  Each request is one
+// IPv4 dotted quad terminated by '\n' (a trailing '\r' and surrounding
+// whitespace are stripped, so CRLF clients and hand-edited IP lists work);
+// blank lines and '#' comments are ignored.  Each reply is one line with
+// the same fields the CLI's query subcommand prints:
+//
+//   <ip> <class> <prefix> <origin-as>\n     classified block
+//   <ip> none\n                             not in the meta-telescope map
+//   <token> invalid\n                        unparseable request line
+//
+// Architecture: a single-threaded epoll reactor (serve/event_loop.hpp)
+// over non-blocking sockets.  "Concurrent" means many simultaneous
+// clients, not many lookup threads — one core already answers tens of
+// millions of classify() calls per second, so the bottleneck is socket
+// I/O, and one reactor thread keeps every mutable structure
+// single-writer.  Lookups run on the SnapshotManager's lock-free reader
+// path: the reactor grabs the current shared_ptr once per input batch and
+// queries the immutable index with no further synchronization.
+//
+// Robustness contract:
+//  * Bounded buffers.  At most one bounded chunk is read per readable
+//    event (level-triggered epoll re-arms while input remains); a request
+//    line longer than max_request_bytes gets one "invalid" reply and the
+//    connection is closed.  Replies queue in a per-connection buffer; past
+//    max_pending_bytes the server stops reading that connection
+//    (back-pressure) until the client drains below half.
+//  * Idle timeout.  A connection making no read or write progress for
+//    idle_timeout_ms is closed (serve.server.timeouts).  This is also how
+//    a back-pressured slow reader eventually gets disconnected.
+//  * Hot reload.  request_reload() (or SIGHUP via
+//    install_signal_handlers()) atomically swaps the snapshot through the
+//    SnapshotManager epoch path.  A failed reload (missing/corrupt file)
+//    keeps the old epoch serving.  In-flight queries are never dropped:
+//    the swap happens between input batches on the reactor thread.
+//  * Graceful drain.  request_stop() (or SIGTERM/SIGINT) closes the
+//    listener, answers every request already received, flushes every
+//    queued reply (up to drain_timeout_ms), then run() returns 0.
+//
+// request_stop() / request_reload() are async-signal-safe and
+// thread-safe: they set an atomic flag and write an eventfd.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "net/ipv4.hpp"
+#include "obs/metrics.hpp"
+#include "serve/event_loop.hpp"
+#include "serve/telescope_index.hpp"
+#include "util/result.hpp"
+
+namespace mtscope::serve {
+
+/// One reply line, exactly as the CLI's print_verdict renders it (without
+/// the trailing newline the server appends): shared so the wire protocol
+/// and `mtscope query` output can never drift apart.
+[[nodiscard]] std::string format_verdict(net::Ipv4Addr addr,
+                                         const std::optional<TelescopeIndex::Verdict>& verdict);
+
+struct ServerConfig {
+  std::string snapshot_path;            // loaded at start() and on each reload
+  std::uint16_t port = 0;               // 0 = kernel-assigned (see port())
+  int max_conns = 1024;                 // accepted beyond this are closed at once
+  int idle_timeout_ms = 30'000;         // no-progress connections are dropped
+  int drain_timeout_ms = 5'000;         // cap on flushing replies after stop
+  std::size_t max_request_bytes = 4096;     // longest accepted request line
+  std::size_t max_pending_bytes = 256 * 1024;  // reply backlog before back-pressure
+};
+
+/// Monotonic server totals, readable from any thread (tests, benches, the
+/// CLI's exit banner).  The obs counters mirror these when a registry is
+/// attached.
+struct ServerStats {
+  std::uint64_t connections = 0;  // accepted, lifetime
+  std::uint64_t active = 0;       // currently open
+  std::uint64_t queries = 0;      // reply lines produced (incl. invalid)
+  std::uint64_t invalid = 0;      // unparseable request lines
+  std::uint64_t reloads = 0;      // successful snapshot swaps
+  std::uint64_t reload_failures = 0;
+  std::uint64_t timeouts = 0;     // idle/no-progress disconnects
+  std::uint64_t drops = 0;        // over-capacity rejects + buffer-overrun kills
+};
+
+class QueryServer {
+ public:
+  /// With a registry, maintains serve.server.{connections,active,queries,
+  /// invalid,reloads,reload_failures,timeouts,drops} plus the
+  /// serve.server.request_us latency histogram.  The registry is touched
+  /// only from the reactor thread; read it after run() returns.
+  explicit QueryServer(ServerConfig config, obs::MetricsRegistry* metrics = nullptr);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Load + install the snapshot, bind + listen.  Expected failures (bad
+  /// snapshot file, port in use) come back as typed errors.
+  [[nodiscard]] util::Result<bool> start();
+
+  /// The bound port — the kernel's pick when config.port was 0.  Valid
+  /// after a successful start().
+  [[nodiscard]] std::uint16_t port() const noexcept { return bound_port_; }
+
+  /// The reactor: blocks until a stop request has fully drained.  Returns
+  /// 0 on a clean drain (the SIGTERM contract), 1 if start() was never
+  /// called successfully.
+  int run();
+
+  /// Begin graceful drain.  Async-signal-safe, idempotent.
+  void request_stop() noexcept;
+
+  /// Swap in config.snapshot_path at the next reactor iteration.
+  /// Async-signal-safe; failures leave the current epoch serving.
+  void request_reload() noexcept;
+
+  /// Route SIGHUP -> request_reload, SIGTERM/SIGINT -> request_stop to
+  /// this instance (one live signal-handling server per process; the
+  /// destructor detaches).
+  void install_signal_handlers();
+
+  [[nodiscard]] const SnapshotManager& manager() const noexcept { return manager_; }
+  [[nodiscard]] ServerStats stats() const noexcept;
+
+ private:
+  struct Connection;
+
+  void accept_ready();
+  void handle_wake();
+  void connection_ready(int fd, std::uint32_t events);
+  bool process_input(Connection& conn);       // false => close the connection
+  void answer_line(Connection& conn, std::string_view line, const TelescopeIndex& index);
+  bool flush_output(Connection& conn);        // false => close the connection
+  void update_interest(Connection& conn);
+  void close_connection(int fd);
+  void sweep_idle();
+  void begin_drain();
+  [[nodiscard]] int next_timeout_ms() const;
+
+  ServerConfig config_;
+  obs::MetricsRegistry* metrics_;
+  SnapshotManager manager_;
+  EventLoop loop_;
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  bool started_ = false;
+  bool draining_ = false;
+  std::chrono::steady_clock::time_point drain_deadline_{};
+  std::unordered_map<int, std::unique_ptr<Connection>> conns_;
+
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> reload_requested_{false};
+
+  // Cross-thread-readable totals; the reactor is the only writer.
+  // active_ mirrors conns_.size() because stats() must not touch the
+  // reactor-owned map from another thread.
+  std::atomic<std::uint64_t> active_{0};
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> invalid_{0};
+  std::atomic<std::uint64_t> reloads_{0};
+  std::atomic<std::uint64_t> reload_failures_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> drops_{0};
+
+  // Registry handles resolved once (map nodes are stable); null without a
+  // registry so the hot path stays free of string lookups.
+  obs::Counter* queries_counter_ = nullptr;
+  obs::Counter* invalid_counter_ = nullptr;
+  obs::TimingHistogram* request_timer_ = nullptr;
+};
+
+}  // namespace mtscope::serve

@@ -5,12 +5,22 @@
 // submits one job per partition, so the pool never needs work stealing,
 // priorities or resizing.  Exceptions thrown by a task are captured into
 // the future returned by submit() (std::packaged_task semantics).
+//
+// Shutdown contract: once shutdown() begins (the destructor calls it),
+// every task already accepted by submit() still runs to completion and its
+// future becomes ready; submit() racing with or following shutdown()
+// throws std::runtime_error instead of accepting the task.  The
+// stopping check and the enqueue happen under one mutex hold, so no task
+// can slip in after a worker has taken the "stopping and drained" exit —
+// the pre-fix race where a late submit() enqueued a task nobody would ever
+// run, leaving its future permanently pending and hanging any .get().
 #pragma once
 
 #include <condition_variable>
 #include <future>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -32,13 +42,20 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Drains the queue (already-submitted tasks still run), then joins.
-  ~ThreadPool() {
+  ~ThreadPool() { shutdown(); }
+
+  /// Stop accepting work, finish everything already queued, join the
+  /// workers.  Idempotent from the owning thread (the destructor calls it
+  /// again harmlessly); like the destructor, it must not race itself.
+  void shutdown() {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       stopping_ = true;
     }
     ready_.notify_all();
-    for (std::thread& worker : workers_) worker.join();
+    for (std::thread& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
   }
 
   [[nodiscard]] unsigned size() const noexcept {
@@ -46,13 +63,18 @@ class ThreadPool {
   }
 
   /// Enqueue a void() callable.  The future completes when the task has run
-  /// and rethrows whatever the task threw.
+  /// and rethrows whatever the task threw.  Throws std::runtime_error once
+  /// shutdown has begun — the task is NOT enqueued, so an accepted submit
+  /// always yields a future that eventually becomes ready.
   template <typename Fn>
   std::future<void> submit(Fn&& fn) {
     std::packaged_task<void()> task(std::forward<Fn>(fn));
     std::future<void> future = task.get_future();
     {
       const std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool::submit after shutdown");
+      }
       queue_.push(std::move(task));
     }
     ready_.notify_one();

@@ -42,7 +42,7 @@ TEST(CliArgs, UnknownCommand) {
 }
 
 TEST(CliArgs, AllCommandsAccepted) {
-  for (const char* cmd : {"infer", "query", "capture", "datasets", "ports"}) {
+  for (const char* cmd : {"infer", "query", "serve", "capture", "datasets", "ports"}) {
     const auto r = parse({cmd});
     EXPECT_TRUE(r.ok) << cmd << ": " << r.error;
     EXPECT_EQ(r.opt.command, cmd);
@@ -183,6 +183,58 @@ TEST(CliArgs, LookupsZeroRejected) {
   EXPECT_EQ(r.error, "--lookups must be >= 1");
 }
 
+// --- serve surface ----------------------------------------------------------
+
+TEST(CliArgs, ServeDefaults) {
+  const auto r = parse({"serve"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.opt.port, -1);  // unset: cmd_serve demands an explicit --port
+  EXPECT_EQ(r.opt.max_conns, 1024u);
+  EXPECT_EQ(r.opt.idle_timeout_ms, 30'000u);
+}
+
+TEST(CliArgs, ServeOptionsParse) {
+  const auto r = parse({"serve", "--snapshot", "run.snap", "--port", "7070",
+                        "--max-conns", "64", "--idle-timeout-ms", "5000",
+                        "--metrics-out", "m.json"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.opt.snapshot_path, "run.snap");
+  EXPECT_EQ(r.opt.port, 7070);
+  EXPECT_EQ(r.opt.max_conns, 64u);
+  EXPECT_EQ(r.opt.idle_timeout_ms, 5000u);
+  EXPECT_EQ(r.opt.metrics_path, "m.json");
+}
+
+TEST(CliArgs, ServePortZeroIsEphemeral) {
+  const auto r = parse({"serve", "--port", "0"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.opt.port, 0);
+}
+
+TEST(CliArgs, ServePortRangeChecked) {
+  const auto r = parse({"serve", "--port", "65536"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "--port must be in [0, 65535]");
+}
+
+TEST(CliArgs, ServeMaxConnsZeroRejected) {
+  const auto r = parse({"serve", "--max-conns", "0"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "--max-conns must be >= 1");
+}
+
+TEST(CliArgs, ServeIdleTimeoutZeroRejected) {
+  const auto r = parse({"serve", "--idle-timeout-ms", "0"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "--idle-timeout-ms must be >= 1");
+}
+
+TEST(CliArgs, MissingValueForPort) {
+  const auto r = parse({"serve", "--port"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "missing value for --port");
+}
+
 // --- snapshot-out + usage text ---------------------------------------------
 
 TEST(CliArgs, SnapshotOutParses) {
@@ -193,11 +245,13 @@ TEST(CliArgs, SnapshotOutParses) {
 
 TEST(CliArgs, UsageTextMentionsEveryCommand) {
   const std::string usage = cli::usage_text();
-  for (const char* cmd : {"infer", "query", "capture", "datasets", "ports"}) {
+  for (const char* cmd : {"infer", "query", "serve", "capture", "datasets", "ports"}) {
     EXPECT_NE(usage.find(cmd), std::string::npos) << cmd;
   }
   EXPECT_NE(usage.find("--snapshot-out"), std::string::npos);
   EXPECT_NE(usage.find("--bench"), std::string::npos);
+  EXPECT_NE(usage.find("--port"), std::string::npos);
+  EXPECT_NE(usage.find("--idle-timeout-ms"), std::string::npos);
 }
 
 }  // namespace

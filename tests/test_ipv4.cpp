@@ -46,6 +46,15 @@ INSTANTIATE_TEST_SUITE_P(
         ParseCase{"1..2.3", false, 0},
         ParseCase{" 1.2.3.4", false, 0},      // leading whitespace
         ParseCase{"1.2.3.4 ", false, 0},      // trailing whitespace
+        ParseCase{" 1.2.3.4 ", false, 0},     // padded both sides (callers must trim)
+        ParseCase{"1.2.3.4\r", false, 0},     // CRLF remnant (callers must trim)
+        ParseCase{"1.2.3.4\n", false, 0},     // stray newline
+        ParseCase{"\t1.2.3.4", false, 0},     // tab padding
+        ParseCase{"+1.2.3.4", false, 0},      // explicit sign
+        ParseCase{"1.2.3.+4", false, 0},      // signed inner octet
+        ParseCase{"-1.2.3.4", false, 0},      // negative octet
+        ParseCase{"1.2.3.4.", false, 0},      // trailing dot
+        ParseCase{".1.2.3.4", false, 0},      // leading dot
         ParseCase{"0001.2.3.4", false, 0}));  // over-long octet
 
 TEST(Ipv4Addr, Ordering) {

@@ -1,0 +1,587 @@
+// The TCP query server end to end over real loopback sockets: protocol
+// correctness (verdict lines byte-identical to the CLI's, CRLF/padding
+// tolerance, invalid-line replies), concurrency (many clients with
+// interleaved partial writes), robustness (slow-reader back-pressure and
+// disconnect, overlong-line rejection, over-capacity rejects), SIGHUP hot
+// reload under load with verdict continuity, and the SIGTERM graceful
+// drain contract (every queued reply flushed, exit 0).  Under
+// MTSCOPE_SANITIZE=thread/address this binary doubles as the
+// tsan_server_smoke / asan_server_smoke sanitizer ctests.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/snapshot.hpp"
+#include "serve/telescope_index.hpp"
+
+namespace mtscope {
+namespace {
+
+using namespace std::chrono_literals;
+using serve::BlockClass;
+using serve::BlockEntry;
+using serve::PrefixEntry;
+using serve::TelescopeSnapshot;
+
+// ---------------------------------------------------------------------------
+// Hand-built snapshots: two variants classifying the same probe blocks
+// differently, so a reload flips observable verdicts.
+
+TelescopeSnapshot make_snapshot(int variant) {
+  TelescopeSnapshot snap;
+  snap.meta.seed = 1;
+  snap.meta.created_unix_s = 1'700'000'000;
+  snap.meta.source = variant == 0 ? "test v1" : "test v2";
+  snap.prefixes.push_back(PrefixEntry{0x0a000000u, 65001, 8});   // 10.0.0.0/8
+  snap.prefixes.push_back(PrefixEntry{0xc0a80000u, 65002, 16});  // 192.168.0.0/16
+
+  const auto block = [](std::uint8_t a, std::uint8_t b, std::uint8_t c) {
+    return net::Block24::containing(net::Ipv4Addr::from_octets(a, b, c, 0));
+  };
+  if (variant == 0) {
+    snap.blocks.push_back(BlockEntry::make(block(10, 0, 0), BlockClass::kDark, 0));
+    snap.blocks.push_back(BlockEntry::make(block(10, 0, 1), BlockClass::kUnclean, 0));
+    snap.blocks.push_back(BlockEntry::make(block(192, 168, 5), BlockClass::kGray, 1));
+    snap.blocks.push_back(
+        BlockEntry::make(block(203, 0, 113), BlockClass::kDark, BlockEntry::kNoPrefix));
+    snap.dark_count = 2;
+    snap.unclean_count = 1;
+    snap.gray_count = 1;
+  } else {
+    // Every shared block flips class; 203.0.113/24 disappears and
+    // 198.51.100/24 appears, so misses flip too.
+    snap.blocks.push_back(BlockEntry::make(block(10, 0, 0), BlockClass::kGray, 0));
+    snap.blocks.push_back(BlockEntry::make(block(10, 0, 1), BlockClass::kDark, 0));
+    snap.blocks.push_back(BlockEntry::make(block(192, 168, 5), BlockClass::kDark, 1));
+    snap.blocks.push_back(
+        BlockEntry::make(block(198, 51, 100), BlockClass::kUnclean, BlockEntry::kNoPrefix));
+    snap.dark_count = 2;
+    snap.unclean_count = 1;
+    snap.gray_count = 1;
+  }
+  return snap;
+}
+
+std::string snapshot_file(const std::string& name, int variant) {
+  const std::string path = ::testing::TempDir() + "serve_" + name + ".snap";
+  const auto written = serve::write_snapshot_file(make_snapshot(variant), path);
+  EXPECT_TRUE(written.ok()) << written.error().to_string();
+  return path;
+}
+
+/// Expected reply line for `ip` under snapshot `variant`, computed with
+/// the same index + formatter the server uses.
+std::string expected_line(const std::string& ip, int variant) {
+  static std::map<int, std::unique_ptr<serve::TelescopeIndex>> cache;
+  auto& index = cache[variant];
+  if (!index) index = std::make_unique<serve::TelescopeIndex>(make_snapshot(variant));
+  const auto addr = net::Ipv4Addr::parse(ip);
+  EXPECT_TRUE(addr.has_value()) << ip;
+  return serve::format_verdict(*addr, index->lookup(*addr));
+}
+
+// ---------------------------------------------------------------------------
+// A blocking loopback client with receive/send timeouts so a server bug
+// fails the test instead of hanging it.
+
+struct Client {
+  int fd = -1;
+
+  explicit Client(std::uint16_t port) {
+    fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return;
+    const timeval timeout{10, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+
+  ~Client() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  [[nodiscard]] bool connected() const { return fd >= 0; }
+
+  /// False on any send failure (EPIPE/ECONNRESET after a server kick).
+  bool send_all(std::string_view data) {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+      const auto n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  void shutdown_write() const { ::shutdown(fd, SHUT_WR); }
+
+  /// Read until `count` newline-terminated lines arrive; stops early on
+  /// EOF/timeout.  Lines come back without the trailing newline.
+  std::vector<std::string> read_lines(std::size_t count) {
+    std::vector<std::string> lines;
+    std::string buffer;
+    char chunk[4096];
+    while (lines.size() < count) {
+      const auto n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t start = 0;
+      for (std::size_t nl; (nl = buffer.find('\n', start)) != std::string::npos;
+           start = nl + 1) {
+        lines.push_back(buffer.substr(start, nl - start));
+      }
+      buffer.erase(0, start);
+    }
+    return lines;
+  }
+
+  /// True if the peer closed (recv 0) or reset the connection.
+  bool reads_eof() {
+    char chunk[4096];
+    for (;;) {
+      const auto n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n == 0) return true;
+      if (n < 0) return errno == ECONNRESET || errno == EPIPE;
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Server-on-a-thread fixture.
+
+struct RunningServer {
+  std::unique_ptr<serve::QueryServer> server;
+  std::thread thread;
+  int exit_code = -1;
+
+  explicit RunningServer(serve::ServerConfig config,
+                         obs::MetricsRegistry* metrics = nullptr) {
+    server = std::make_unique<serve::QueryServer>(std::move(config), metrics);
+    const auto started = server->start();
+    EXPECT_TRUE(started.ok()) << started.error().to_string();
+    if (started.ok()) {
+      thread = std::thread([this] { exit_code = server->run(); });
+    }
+  }
+
+  ~RunningServer() { stop(); }
+
+  [[nodiscard]] std::uint16_t port() const { return server->port(); }
+
+  void stop() {
+    if (thread.joinable()) {
+      server->request_stop();
+      thread.join();
+    }
+  }
+};
+
+bool wait_until(const std::function<bool()>& predicate,
+                std::chrono::milliseconds deadline = 10s) {
+  const auto give_up = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < give_up) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return predicate();
+}
+
+serve::ServerConfig test_config(const std::string& snapshot_path) {
+  serve::ServerConfig config;
+  config.snapshot_path = snapshot_path;
+  config.port = 0;  // kernel-assigned; read back via server.port()
+  config.idle_timeout_ms = 10'000;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol formatting.
+
+TEST(FormatVerdict, MatchesPrintVerdictShape) {
+  const auto addr = *net::Ipv4Addr::parse("10.0.0.7");
+  EXPECT_EQ(serve::format_verdict(addr, std::nullopt), "10.0.0.7 none");
+
+  serve::TelescopeIndex::Verdict verdict;
+  verdict.block = net::Block24::containing(addr);
+  verdict.cls = BlockClass::kDark;
+  verdict.prefix = net::Prefix(net::Ipv4Addr(0x0a000000u), 8);
+  verdict.origin = net::AsNumber(65001);
+  EXPECT_EQ(serve::format_verdict(addr, verdict), "10.0.0.7 dark 10.0.0.0/8 AS65001");
+
+  verdict.prefix.reset();
+  verdict.origin.reset();
+  EXPECT_EQ(serve::format_verdict(addr, verdict), "10.0.0.7 dark - -");
+}
+
+// ---------------------------------------------------------------------------
+// Basic serving: one client, every line shape.
+
+TEST(ServeServer, AnswersVerdictLinesIncludingCrlfAndPadding) {
+  RunningServer rs(test_config(snapshot_file("basic", 0)));
+  Client client(rs.port());
+  ASSERT_TRUE(client.connected());
+
+  // CRLF line, padded line, comment, blank, plain lines, and garbage: the
+  // server must answer 5 request lines and skip the comment/blank.
+  ASSERT_TRUE(client.send_all("10.0.0.7\r\n  192.168.5.9  \n# comment\n\n"
+                              "203.0.113.1\n8.8.8.8\n+1.2.3.4\n"));
+  const auto lines = client.read_lines(5);
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_EQ(lines[0], expected_line("10.0.0.7", 0));
+  EXPECT_EQ(lines[1], expected_line("192.168.5.9", 0));
+  EXPECT_EQ(lines[2], expected_line("203.0.113.1", 0));
+  EXPECT_EQ(lines[3], expected_line("8.8.8.8", 0));
+  EXPECT_EQ(lines[4], "+1.2.3.4 invalid");
+
+  // The fixture classifies for real, not vacuously.
+  EXPECT_EQ(lines[0], "10.0.0.7 dark 10.0.0.0/8 AS65001");
+  EXPECT_EQ(lines[1], "192.168.5.9 gray 192.168.0.0/16 AS65002");
+  EXPECT_EQ(lines[2], "203.0.113.1 dark - -");
+  EXPECT_EQ(lines[3], "8.8.8.8 none");
+
+  const auto stats = rs.server->stats();
+  EXPECT_EQ(stats.queries, 5u);
+  EXPECT_EQ(stats.invalid, 1u);
+  EXPECT_EQ(stats.connections, 1u);
+}
+
+TEST(ServeServer, PeerHalfCloseStillGetsEveryReply) {
+  RunningServer rs(test_config(snapshot_file("halfclose", 0)));
+  Client client(rs.port());
+  ASSERT_TRUE(client.connected());
+  std::string request;
+  for (int i = 0; i < 100; ++i) request += "10.0.0." + std::to_string(i) + "\n";
+  ASSERT_TRUE(client.send_all(request));
+  client.shutdown_write();
+  const auto lines = client.read_lines(100);
+  ASSERT_EQ(lines.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(lines[static_cast<std::size_t>(i)],
+              expected_line("10.0.0." + std::to_string(i), 0));
+  }
+  EXPECT_TRUE(client.reads_eof());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: many clients, interleaved partial writes.
+
+TEST(ServeServer, ManyConcurrentClientsWithPartialWrites) {
+  obs::MetricsRegistry metrics;
+  RunningServer rs(test_config(snapshot_file("concurrent", 0)), &metrics);
+
+  constexpr int kClients = 6;
+  constexpr int kQueries = 200;
+
+  // Precompute every client's request lines and expected replies on the
+  // main thread — expected_line() builds indexes behind a non-thread-safe
+  // cache, and the worker threads must stay pure socket I/O.
+  std::vector<std::vector<std::string>> all_ips(kClients);
+  std::vector<std::vector<std::string>> all_expected(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    for (int q = 0; q < kQueries; ++q) {
+      // A mix of hits, misses and per-client distinct hosts.
+      const std::string host = std::to_string((c * 41 + q) % 256);
+      const std::string ip = q % 3 == 0   ? "10.0.0." + host
+                             : q % 3 == 1 ? "192.168.5." + host
+                                          : "99." + host + ".0.1";  // always a miss
+      all_ips[static_cast<std::size_t>(c)].push_back(ip + "\n");
+      all_expected[static_cast<std::size_t>(c)].push_back(expected_line(ip, 0));
+    }
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client(rs.port());
+      if (!client.connected()) {
+        ++failures;
+        return;
+      }
+      const auto& ips = all_ips[static_cast<std::size_t>(c)];
+      const auto& expected = all_expected[static_cast<std::size_t>(c)];
+      for (std::size_t q = 0; q < ips.size(); ++q) {
+        const auto& line = ips[q];
+        // Interleave partial writes: split every 4th line mid-address so
+        // the server sees arbitrary TCP segmentation.
+        if (q % 4 == 0 && line.size() > 3) {
+          if (!client.send_all(std::string_view(line).substr(0, 3))) ++failures;
+          std::this_thread::yield();
+          if (!client.send_all(std::string_view(line).substr(3))) ++failures;
+        } else if (!client.send_all(line)) {
+          ++failures;
+        }
+      }
+      const auto lines = client.read_lines(expected.size());
+      if (lines.size() != expected.size()) {
+        ++failures;
+        return;
+      }
+      for (std::size_t q = 0; q < expected.size(); ++q) {
+        if (lines[q] != expected[q]) ++failures;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const auto stats = rs.server->stats();
+  EXPECT_EQ(stats.queries, static_cast<std::uint64_t>(kClients) * kQueries);
+  EXPECT_EQ(stats.connections, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(stats.invalid, 0u);
+
+  rs.stop();
+  EXPECT_EQ(metrics.counter_value("serve.server.queries"),
+            static_cast<std::uint64_t>(kClients) * kQueries);
+  EXPECT_EQ(metrics.counter_value("serve.server.connections"),
+            static_cast<std::uint64_t>(kClients));
+  const auto* timer = metrics.find_timer("serve.server.request_us");
+  ASSERT_NE(timer, nullptr);
+  EXPECT_EQ(timer->count(), static_cast<std::uint64_t>(kClients) * kQueries);
+}
+
+// ---------------------------------------------------------------------------
+// Robustness: back-pressure, protocol violations, capacity.
+
+TEST(ServeServer, SlowReaderIsBackpressuredThenDisconnected) {
+  auto config = test_config(snapshot_file("slowreader", 0));
+  config.max_pending_bytes = 8 * 1024;  // back-pressure kicks in early
+  config.idle_timeout_ms = 300;         // and the stalled client dies fast
+  RunningServer rs(std::move(config));
+
+  Client slow(rs.port());
+  ASSERT_TRUE(slow.connected());
+  // ~1.5 MB of queries, never reading a reply: far beyond loopback socket
+  // buffers plus the 8 KiB reply cap, so the server must stop reading and
+  // then time the connection out.  The send may legitimately short-write
+  // once the server pauses; that is the back-pressure being observed.
+  std::string burst;
+  for (int i = 0; i < 4096; ++i) burst += "10.0.0." + std::to_string(i % 256) + "\n";
+  for (int i = 0; i < 32 && slow.send_all(burst); ++i) {
+  }
+  EXPECT_TRUE(wait_until([&] { return rs.server->stats().timeouts >= 1; }))
+      << "slow reader was never disconnected";
+
+  // The server remains healthy for well-behaved clients.
+  Client fine(rs.port());
+  ASSERT_TRUE(fine.connected());
+  ASSERT_TRUE(fine.send_all("10.0.0.7\n"));
+  const auto lines = fine.read_lines(1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], expected_line("10.0.0.7", 0));
+}
+
+TEST(ServeServer, OverlongLineGetsOneInvalidReplyThenClose) {
+  auto config = test_config(snapshot_file("overlong", 0));
+  config.max_request_bytes = 128;
+  RunningServer rs(std::move(config));
+
+  Client client(rs.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_all(std::string(512, 'a')));  // no newline ever
+  const auto lines = client.read_lines(1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], std::string(64, 'a') + " invalid");
+  EXPECT_TRUE(client.reads_eof());
+  EXPECT_TRUE(wait_until([&] { return rs.server->stats().drops >= 1; }));
+}
+
+TEST(ServeServer, ConnectionsBeyondMaxConnsAreDropped) {
+  auto config = test_config(snapshot_file("capacity", 0));
+  config.max_conns = 2;
+  RunningServer rs(std::move(config));
+
+  Client first(rs.port());
+  Client second(rs.port());
+  ASSERT_TRUE(first.connected());
+  ASSERT_TRUE(second.connected());
+  // Confirm both are established server-side before the third knocks.
+  ASSERT_TRUE(first.send_all("10.0.0.1\n"));
+  ASSERT_TRUE(second.send_all("10.0.0.2\n"));
+  ASSERT_EQ(first.read_lines(1).size(), 1u);
+  ASSERT_EQ(second.read_lines(1).size(), 1u);
+
+  Client third(rs.port());
+  ASSERT_TRUE(third.connected());  // accepted by the kernel...
+  EXPECT_TRUE(third.reads_eof());  // ...closed at once by the server
+  EXPECT_TRUE(wait_until([&] { return rs.server->stats().drops >= 1; }));
+  EXPECT_EQ(rs.server->stats().connections, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Hot reload: SIGHUP under load, verdict continuity.
+
+TEST(ServeServer, SighupReloadUnderLoadKeepsEveryVerdictValid) {
+  const std::string path = snapshot_file("reload", 0);
+  RunningServer rs(test_config(path));
+  rs.server->install_signal_handlers();
+
+  // Probes whose verdicts all differ between the two snapshot variants.
+  const std::vector<std::string> probes = {"10.0.0.7", "10.0.1.9", "192.168.5.1",
+                                           "203.0.113.5", "198.51.100.2"};
+  std::vector<std::string> valid_old;
+  std::vector<std::string> valid_new;
+  for (const auto& ip : probes) {
+    valid_old.push_back(expected_line(ip, 0));
+    valid_new.push_back(expected_line(ip, 1));
+    ASSERT_NE(valid_old.back(), valid_new.back()) << ip;
+  }
+
+  std::atomic<bool> reloaded{false};
+  std::atomic<int> failures{0};
+  std::atomic<std::uint64_t> total_replies{0};
+  std::atomic<std::uint64_t> new_epoch_replies{0};
+
+  constexpr int kClients = 4;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      Client client(rs.port());
+      if (!client.connected()) {
+        ++failures;
+        return;
+      }
+      std::string batch;
+      for (const auto& ip : probes) batch += ip + "\n";
+      // Keep querying until the reload has landed, then two more batches
+      // so post-swap traffic is guaranteed to be observed.
+      int after = 0;
+      while (after < 2) {
+        if (reloaded.load()) ++after;
+        if (!client.send_all(batch)) {
+          ++failures;
+          return;
+        }
+        const auto lines = client.read_lines(probes.size());
+        if (lines.size() != probes.size()) {
+          ++failures;
+          return;
+        }
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+          // Continuity: every reply is a complete verdict from either
+          // epoch — never a torn, empty or misrouted line.
+          if (lines[i] == valid_new[i]) {
+            ++new_epoch_replies;
+          } else if (lines[i] != valid_old[i]) {
+            ++failures;
+          }
+          ++total_replies;
+        }
+      }
+    });
+  }
+
+  // Let load build, swap the file, deliver a real SIGHUP.
+  std::this_thread::sleep_for(50ms);
+  {
+    const auto written = serve::write_snapshot_file(make_snapshot(1), path);
+    ASSERT_TRUE(written.ok()) << written.error().to_string();
+  }
+  ASSERT_EQ(::kill(::getpid(), SIGHUP), 0);
+  ASSERT_TRUE(wait_until([&] { return rs.server->manager().epoch() == 2; }))
+      << "SIGHUP did not trigger a reload";
+  reloaded.store(true);
+
+  for (auto& thread : clients) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(total_replies.load(), static_cast<std::uint64_t>(kClients) * probes.size() * 2);
+  // The post-reload batches must answer from the new epoch.
+  EXPECT_GE(new_epoch_replies.load(), static_cast<std::uint64_t>(kClients) * probes.size());
+  EXPECT_EQ(rs.server->stats().reloads, 1u);
+  EXPECT_EQ(rs.server->stats().reload_failures, 0u);
+}
+
+TEST(ServeServer, FailedReloadKeepsTheOldEpochServing) {
+  const std::string path = snapshot_file("badreload", 0);
+  RunningServer rs(test_config(path));
+
+  // Corrupt the file, then ask for a reload: the swap must be refused.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a snapshot", f);
+    std::fclose(f);
+  }
+  rs.server->request_reload();
+  ASSERT_TRUE(wait_until([&] { return rs.server->stats().reload_failures >= 1; }));
+  EXPECT_EQ(rs.server->manager().epoch(), 1u);
+  EXPECT_EQ(rs.server->stats().reloads, 0u);
+
+  Client client(rs.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_all("10.0.0.7\n"));
+  const auto lines = client.read_lines(1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], expected_line("10.0.0.7", 0));
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain: SIGTERM flushes the reply backlog and run() exits 0.
+
+TEST(ServeServer, SigtermDrainsPendingRepliesAndExitsZero) {
+  auto config = test_config(snapshot_file("drain", 0));
+  config.max_pending_bytes = 4 * 1024 * 1024;  // answer everything, queue freely
+  RunningServer rs(std::move(config));
+  rs.server->install_signal_handlers();
+
+  constexpr int kQueries = 20'000;  // ~600 KB of replies, beyond socket buffers
+  Client client(rs.port());
+  ASSERT_TRUE(client.connected());
+  std::string burst;
+  burst.reserve(static_cast<std::size_t>(kQueries) * 12);
+  for (int i = 0; i < kQueries; ++i) {
+    burst += "10.0." + std::to_string(i % 2) + "." + std::to_string(i % 256) + "\n";
+  }
+  ASSERT_TRUE(client.send_all(burst));
+
+  // Wait until the server has answered every request (most replies are
+  // still queued because this client is not reading), then SIGTERM.
+  ASSERT_TRUE(wait_until([&] { return rs.server->stats().queries >= kQueries; }))
+      << "server answered " << rs.server->stats().queries << " of " << kQueries;
+  ASSERT_EQ(::kill(::getpid(), SIGTERM), 0);
+
+  const auto lines = client.read_lines(kQueries);
+  EXPECT_EQ(lines.size(), static_cast<std::size_t>(kQueries));
+  EXPECT_TRUE(client.reads_eof());
+
+  rs.thread.join();
+  EXPECT_EQ(rs.exit_code, 0);
+
+  // The listener is gone: fresh connections are refused.
+  Client late(rs.port());
+  EXPECT_FALSE(late.connected());
+}
+
+}  // namespace
+}  // namespace mtscope

@@ -47,6 +47,17 @@ TEST(Trim, StripsBothEnds) {
   EXPECT_EQ(trim(""), "");
 }
 
+// The query paths (CLI --ips and the TCP server's line parser) rely on
+// trim to absorb Windows CRLF line endings and editor padding before
+// Ipv4Addr::parse sees the token.
+TEST(Trim, StripsCrlfAndControlPadding) {
+  EXPECT_EQ(trim("1.2.3.4\r"), "1.2.3.4");
+  EXPECT_EQ(trim("1.2.3.4\r\n"), "1.2.3.4");
+  EXPECT_EQ(trim("\t 1.2.3.4 \t"), "1.2.3.4");
+  EXPECT_EQ(trim("\r\n"), "");
+  EXPECT_EQ(trim("\f\v1.2.3.4\f\v"), "1.2.3.4");
+}
+
 TEST(StartsWith, Cases) {
   EXPECT_TRUE(starts_with("foobar", "foo"));
   EXPECT_TRUE(starts_with("foo", "foo"));

@@ -1,0 +1,121 @@
+// util::ThreadPool, pinned directly for the first time — above all the
+// shutdown contract: every future an accepted submit() returned must
+// become ready, and a submit() that loses the race with shutdown() must
+// throw rather than enqueue a task nobody will run.  On the pre-fix pool
+// (no stopping check in submit) SubmitAfterShutdownThrows sees no throw
+// and SubmitRacingShutdownNeverStrandsAFuture times out on a stranded
+// future; both pass with the locked check in place.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace mtscope::util {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([&ran] { ran.fetch_add(1); }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  pool.submit([] {}).get();
+}
+
+TEST(ThreadPool, TaskExceptionReachesTheFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([&ran] {
+      std::this_thread::sleep_for(1ms);
+      ran.fetch_add(1);
+    }));
+  }
+  pool.shutdown();
+  EXPECT_EQ(ran.load(), 32);
+  for (auto& future : futures) {
+    ASSERT_EQ(future.wait_for(0s), std::future_status::ready);
+  }
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.submit([] {}).get();
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+  pool.shutdown();  // idempotent
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+// The original race: submitters racing the teardown.  Every submit must
+// either throw (task rejected) or hand back a future that becomes ready —
+// never a silently dropped task.
+TEST(ThreadPool, SubmitRacingShutdownNeverStrandsAFuture) {
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(2);
+    std::atomic<bool> go{false};
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> ran{0};
+    std::atomic<std::uint64_t> rejected{0};
+
+    std::vector<std::thread> submitters;
+    std::vector<std::vector<std::future<void>>> futures(4);
+    for (std::size_t t = 0; t < futures.size(); ++t) {
+      submitters.emplace_back([&, t] {
+        while (!go.load()) {
+        }
+        for (;;) {
+          try {
+            futures[t].push_back(pool.submit([&ran] { ran.fetch_add(1); }));
+            accepted.fetch_add(1);
+          } catch (const std::runtime_error&) {
+            rejected.fetch_add(1);
+            return;
+          }
+        }
+      });
+    }
+
+    go.store(true);
+    std::this_thread::sleep_for(1ms);
+    pool.shutdown();
+    for (auto& thread : submitters) thread.join();
+
+    for (auto& per_thread : futures) {
+      for (auto& future : per_thread) {
+        // Pre-fix, a task enqueued after the workers drained leaves this
+        // future pending forever; 5s is a hang, not a slow machine.
+        ASSERT_EQ(future.wait_for(5s), std::future_status::ready) << "stranded future";
+      }
+    }
+    EXPECT_EQ(ran.load(), accepted.load());
+    EXPECT_GE(rejected.load(), futures.size());  // every submitter saw the throw
+  }
+}
+
+}  // namespace
+}  // namespace mtscope::util

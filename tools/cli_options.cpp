@@ -71,6 +71,10 @@ const char* usage_text() noexcept {
       "           --ips FILE|- (classify IPs, one per line; - = stdin)\n"
       "           --bench [--lookups N] (measure lookup throughput)\n"
       "           --metrics-out FILE (serve.* metrics JSON snapshot)\n"
+      "  serve:   --snapshot FILE --port N (TCP query daemon; 0 = kernel-assigned)\n"
+      "           --max-conns N (default 1024) --idle-timeout-ms N (default 30000)\n"
+      "           --metrics-out FILE (serve.server.* metrics, written on exit)\n"
+      "           SIGHUP reloads --snapshot; SIGTERM/SIGINT drain and exit 0\n"
       "  capture: --telescope TUS1|TEU1|TEU2 --day D --pcap FILE\n"
       "  datasets: --out-dir DIR\n"
       "  ports:   --top K\n";
@@ -83,8 +87,8 @@ bool parse_args(int argc, const char* const* argv, Options& opt, std::string& er
     return false;
   }
   opt.command = argv[1];
-  if (opt.command != "infer" && opt.command != "query" && opt.command != "capture" &&
-      opt.command != "datasets" && opt.command != "ports") {
+  if (opt.command != "infer" && opt.command != "query" && opt.command != "serve" &&
+      opt.command != "capture" && opt.command != "datasets" && opt.command != "ports") {
     error = "unknown command: " + opt.command;
     return false;
   }
@@ -138,6 +142,15 @@ bool parse_args(int argc, const char* const* argv, Options& opt, std::string& er
       opt.ips_path = v;
     } else if (arg == "--bench") {
       opt.bench = true;
+    } else if (arg == "--port") {
+      unsigned port = 0;
+      if (!p.uint_for(arg, port, 0u)) return false;
+      if (port > 65535) return p.fail("--port must be in [0, 65535]");
+      opt.port = static_cast<int>(port);
+    } else if (arg == "--max-conns") {
+      if (!p.uint_for(arg, opt.max_conns, 1u)) return false;
+    } else if (arg == "--idle-timeout-ms") {
+      if (!p.uint_for(arg, opt.idle_timeout_ms, 1u)) return false;
     } else if (arg == "--lookups") {
       if (!p.uint_for(arg, opt.bench_lookups, std::uint64_t{1})) return false;
     } else if (arg == "--hilbert") {

@@ -34,10 +34,15 @@ struct Options {
   std::string hilbert_path;
 
   // query
-  std::string snapshot_path;     // --snapshot FILE
+  std::string snapshot_path;     // --snapshot FILE (shared with serve)
   std::string ips_path;          // --ips FILE, "-" = stdin
   bool bench = false;            // --bench: measure lookup throughput
   std::uint64_t bench_lookups = 2'000'000;
+
+  // serve
+  int port = -1;                 // --port N (required; 0 = kernel-assigned)
+  unsigned max_conns = 1024;     // --max-conns N
+  unsigned idle_timeout_ms = 30'000;  // --idle-timeout-ms N
 
   // capture / datasets / ports
   std::string telescope = "TUS1";

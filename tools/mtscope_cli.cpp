@@ -6,17 +6,21 @@
 //                    [--snapshot-out FILE]
 //   mtscope query    --snapshot FILE [--ips FILE|-] [--bench [--lookups N]]
 //                    [--metrics-out FILE]
+//   mtscope serve    --snapshot FILE --port N [--max-conns N]
+//                    [--idle-timeout-ms N] [--metrics-out FILE]
 //   mtscope capture  [--seed N] [--telescope TUS1|TEU1|TEU2] [--day D] --pcap FILE
 //   mtscope datasets [--seed N] [--scale tiny|full] --out-dir DIR
 //   mtscope ports    [--seed N] [--scale tiny|full] [--top K]
 //
 // `infer` runs the full pipeline over simulated vantage-point data and
 // emits the meta-telescope prefix list; `--snapshot-out` persists the run
-// as a versioned binary snapshot (DESIGN.md §10).  `query` is the serving
-// side: it loads a snapshot into a TelescopeIndex and answers per-IP
-// classification lookups at memory speed.  On a real deployment the same
-// code paths start from an IPFIX/NetFlow collector instead of the
-// simulator.
+// as a versioned binary snapshot (DESIGN.md §10).  `query` is the
+// one-shot serving side: it loads a snapshot into a TelescopeIndex and
+// answers per-IP classification lookups at memory speed.  `serve` is the
+// operated telescope (DESIGN.md §12): a TCP daemon answering the same
+// verdicts over a line protocol, with SIGHUP hot reload and graceful
+// SIGTERM drain.  On a real deployment the same code paths start from an
+// IPFIX/NetFlow collector instead of the simulator.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -37,6 +41,7 @@
 #include "pipeline/inference.hpp"
 #include "pipeline/parallel.hpp"
 #include "pipeline/spoof_tolerance.hpp"
+#include "serve/server.hpp"
 #include "serve/snapshot.hpp"
 #include "serve/telescope_index.hpp"
 #include "sim/simulation.hpp"
@@ -277,17 +282,12 @@ int cmd_ports(const Options& opt) {
 }
 
 /// One verdict line on stdout: "IP CLASS PREFIX ASN" for classified
-/// blocks, "IP none" for everything outside the meta-telescope map.
+/// blocks, "IP none" for everything outside the meta-telescope map —
+/// rendered by the same serve::format_verdict the TCP server speaks, so
+/// the CLI and wire outputs cannot drift apart.
 void print_verdict(const net::Ipv4Addr addr,
                    const std::optional<serve::TelescopeIndex::Verdict>& verdict) {
-  if (!verdict.has_value()) {
-    std::printf("%s none\n", addr.to_string().c_str());
-    return;
-  }
-  std::printf("%s %s %s %s\n", addr.to_string().c_str(),
-              std::string(serve::to_string(verdict->cls)).c_str(),
-              verdict->prefix ? verdict->prefix->to_string().c_str() : "-",
-              verdict->origin ? verdict->origin->to_string().c_str() : "-");
+  std::printf("%s\n", serve::format_verdict(addr, verdict).c_str());
 }
 
 /// Classify every IP from `in` (one per line; blank lines and #-comments
@@ -318,6 +318,10 @@ int query_stream(const serve::TelescopeIndex& index, std::istream& in,
     }
     print_verdict(*addr, verdict);
   }
+  // Verdicts go to buffered stdout, the summary to unbuffered stderr;
+  // without this flush a `2>&1` redirection shows the summary *before*
+  // the verdicts it summarizes.
+  std::fflush(stdout);
   std::fprintf(stderr,
                "queried %llu ip(s): dark=%llu unclean=%llu gray=%llu miss=%llu invalid=%llu\n",
                static_cast<unsigned long long>(total), static_cast<unsigned long long>(dark),
@@ -367,10 +371,74 @@ void bench_lookups(const serve::TelescopeIndex& index, const Options& opt,
               static_cast<unsigned long long>(n), seconds * 1e3, qps / 1e6,
               util::percent(static_cast<double>(hits) /
                             std::max<std::uint64_t>(1, n)).c_str());
+  std::fflush(stdout);  // keep the report ordered against later stderr lines
   if (metrics != nullptr) {
     metrics->counter("serve.lookup.total").add(n);
     metrics->gauge("serve.lookup.qps").set(static_cast<std::int64_t>(qps));
   }
+}
+
+/// The operated telescope: serve verdicts over TCP until SIGTERM/SIGINT
+/// drains us (exit 0).  SIGHUP atomically reloads --snapshot — point the
+/// path at the file `infer --snapshot-out` rewrites and the daemon picks
+/// up each new run without dropping a query.
+int cmd_serve(const Options& opt) {
+  if (opt.snapshot_path.empty()) {
+    std::fprintf(stderr, "serve requires --snapshot FILE\n");
+    return 1;
+  }
+  if (opt.port < 0) {
+    std::fprintf(stderr, "serve requires --port N (0 = kernel-assigned)\n");
+    return 1;
+  }
+  obs::MetricsRegistry metrics_registry;
+  obs::MetricsRegistry* metrics = opt.metrics_path.empty() ? nullptr : &metrics_registry;
+
+  serve::ServerConfig config;
+  config.snapshot_path = opt.snapshot_path;
+  config.port = static_cast<std::uint16_t>(opt.port);
+  config.max_conns = static_cast<int>(opt.max_conns);
+  config.idle_timeout_ms = static_cast<int>(opt.idle_timeout_ms);
+
+  serve::QueryServer server(config, metrics);
+  const auto started = server.start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n", started.error().to_string().c_str());
+    return 1;
+  }
+  server.install_signal_handlers();
+
+  const auto index = server.manager().current();
+  std::fprintf(stderr,
+               "serving %s on port %u: %zu block(s), epoch %llu "
+               "(SIGHUP reloads, SIGTERM/SIGINT drain)\n",
+               opt.snapshot_path.c_str(), server.port(), index->size(),
+               static_cast<unsigned long long>(server.manager().epoch()));
+
+  const int status = server.run();
+
+  const auto stats = server.stats();
+  std::fprintf(stderr,
+               "drained: %llu connection(s), %llu query(ies) (%llu invalid), "
+               "%llu reload(s), %llu timeout(s), %llu drop(s)\n",
+               static_cast<unsigned long long>(stats.connections),
+               static_cast<unsigned long long>(stats.queries),
+               static_cast<unsigned long long>(stats.invalid),
+               static_cast<unsigned long long>(stats.reloads),
+               static_cast<unsigned long long>(stats.timeouts),
+               static_cast<unsigned long long>(stats.drops));
+
+  if (metrics != nullptr) {
+    std::ofstream out(opt.metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", opt.metrics_path.c_str());
+      return 1;
+    }
+    metrics_registry.write_json(out);
+    out << '\n';
+    std::fprintf(stderr, "wrote %s\n", opt.metrics_path.c_str());
+  }
+  return status;
 }
 
 int cmd_query(const Options& opt) {
@@ -441,6 +509,7 @@ int main(int argc, char** argv) {
   }
   if (opt.command == "infer") return cmd_infer(opt);
   if (opt.command == "query") return cmd_query(opt);
+  if (opt.command == "serve") return cmd_serve(opt);
   if (opt.command == "capture") return cmd_capture(opt);
   if (opt.command == "datasets") return cmd_datasets(opt);
   if (opt.command == "ports") return cmd_ports(opt);
