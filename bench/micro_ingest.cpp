@@ -1,0 +1,160 @@
+// End-to-end timing of the streaming ingest path (src/ingest): a tiny-sim
+// flow stream is written to disk, then an IngestDaemon consumes it —
+// per-day sliding window, per-cadence funnel re-run, atomic snapshot
+// publish — exactly the `mtscope stream | mtscope ingest` deployment.
+// Reported: sustained ingest throughput (flows/s over the whole run) and
+// the per-epoch latency split (merge / tolerance / funnel / publish) from
+// the daemon's own ingest.* timers.  main() writes BENCH_ingest.json for
+// trend tracking across PRs.  Correctness is the hard gate — every epoch
+// must publish, the final snapshot must parse — raw throughput is
+// hardware-dependent and only recorded.  MTSCOPE_BENCH_SCALE=small
+// shrinks the workload for CI smoke runs.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "ingest/daemon.hpp"
+#include "ingest/flow_stream.hpp"
+#include "obs/metrics.hpp"
+#include "serve/snapshot.hpp"
+#include "sim/simulation.hpp"
+
+using namespace mtscope;
+
+namespace {
+
+bool small_scale() {
+  const char* scale = std::getenv("MTSCOPE_BENCH_SCALE");
+  return scale != nullptr && std::strcmp(scale, "small") == 0;
+}
+
+int stream_days() { return small_scale() ? 2 : 4; }
+constexpr std::uint64_t kSeed = 42;
+constexpr int kWindowDays = 2;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One timer's summary as a JSON object fragment ({} when it never fired).
+std::string timer_json(const obs::MetricsRegistry& metrics, const char* name) {
+  const auto* timer = metrics.find_timer(name);
+  if (timer == nullptr || timer->count() == 0) return "{}";
+  return "{\"count\": " + std::to_string(timer->count()) +
+         ", \"mean_us\": " + std::to_string(timer->mean_us()) +
+         ", \"max_us\": " + std::to_string(timer->max_us()) + "}";
+}
+
+}  // namespace
+
+int main() {
+  const char* stream_path = "BENCH_ingest.tmp.mtfl";
+  const char* snap_path = "BENCH_ingest.tmp.snap";
+  const int days = stream_days();
+
+  // -- Phase 1: materialise the stream (the `mtscope stream` side). -------
+  const sim::Simulation simulation{sim::SimConfig::tiny(kSeed)};
+  std::uint64_t stream_flows = 0;
+  const double t_stream0 = now_ms();
+  {
+    std::ofstream out(stream_path, std::ios::binary | std::ios::trunc);
+    ingest::FlowStreamWriter writer(out);
+    writer.write_header({kSeed, true});
+    for (int day = 0; day < days; ++day) {
+      for (std::size_t i = 0; i < simulation.ixps().size(); ++i) {
+        const auto data = simulation.run_ixp_day(i, day);
+        writer.write_dataset(day, simulation.ixps()[i].sampling_rate(),
+                             simulation.ixps()[i].spec().code, data.flows);
+        stream_flows += data.flows.size();
+      }
+      writer.write_day_end(day);
+    }
+    writer.write_stream_end();
+    if (!writer.ok()) {
+      std::fprintf(stderr, "stream write failed\n");
+      return 1;
+    }
+  }
+  const double stream_ms = now_ms() - t_stream0;
+
+  // -- Phase 2: consume it (the `mtscope ingest` side). -------------------
+  ingest::IngestConfig config;
+  config.source_path = stream_path;
+  config.snapshot_out = snap_path;
+  config.window_days = kWindowDays;
+  config.cadence_days = 1;
+  config.created_unix_s = 1'700'000'000;
+  obs::MetricsRegistry metrics;
+  ingest::IngestDaemon daemon(std::move(config), &metrics);
+
+  const double t_ingest0 = now_ms();
+  const auto run = daemon.run();
+  const double ingest_ms = now_ms() - t_ingest0;
+  if (!run.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", run.error().to_string().c_str());
+    return 1;
+  }
+  const ingest::IngestTotals totals = run.value();
+
+  // The final epoch must be a loadable snapshot — the watcher's view.
+  std::uint64_t final_blocks = 0;
+  {
+    const auto snapshot = serve::read_snapshot_file(snap_path);
+    if (!snapshot.ok()) {
+      std::fprintf(stderr, "published snapshot unreadable: %s\n",
+                   snapshot.error().to_string().c_str());
+      return 1;
+    }
+    final_blocks = snapshot.value().blocks.size();
+  }
+  std::remove(stream_path);
+  std::remove(snap_path);
+
+  const double flows_per_s = 1e3 * static_cast<double>(totals.flows) / ingest_ms;
+  const auto* publish = metrics.find_timer("ingest.publish_us");
+
+  std::printf("== ingest: %d day(s), window %d, %llu flows ==\n", days, kWindowDays,
+              static_cast<unsigned long long>(totals.flows));
+  std::printf("  stream write: %.1f ms; ingest+publish: %.1f ms -> %.1f k flows/s sustained\n",
+              stream_ms, ingest_ms, flows_per_s / 1e3);
+  std::printf("  epochs %llu (failures %llu), evicted %llu day(s), final snapshot %llu blocks\n",
+              static_cast<unsigned long long>(totals.publishes),
+              static_cast<unsigned long long>(totals.publish_failures),
+              static_cast<unsigned long long>(totals.days_evicted),
+              static_cast<unsigned long long>(final_blocks));
+  if (publish != nullptr && publish->count() > 0) {
+    std::printf("  publish latency: mean %llu us, max %llu us over %llu epoch(s)\n",
+                static_cast<unsigned long long>(publish->mean_us()),
+                static_cast<unsigned long long>(publish->max_us()),
+                static_cast<unsigned long long>(publish->count()));
+  }
+
+  std::ofstream json("BENCH_ingest.json");
+  json << "{\n"
+       << "  \"workload\": {\"days\": " << days << ", \"window_days\": " << kWindowDays
+       << ", \"flows\": " << totals.flows << ", \"datasets\": " << totals.datasets << "},\n"
+       << "  \"stream_write_ms\": " << stream_ms << ",\n"
+       << "  \"ingest_ms\": " << ingest_ms << ",\n"
+       << "  \"flows_per_s\": " << flows_per_s << ",\n"
+       << "  \"epochs\": " << totals.publishes << ",\n"
+       << "  \"publish_failures\": " << totals.publish_failures << ",\n"
+       << "  \"final_snapshot_blocks\": " << final_blocks << ",\n"
+       << "  \"merge\": " << timer_json(metrics, "ingest.merge_us") << ",\n"
+       << "  \"tolerance\": " << timer_json(metrics, "ingest.tolerance_us") << ",\n"
+       << "  \"funnel\": " << timer_json(metrics, "ingest.funnel_us") << ",\n"
+       << "  \"publish\": " << timer_json(metrics, "ingest.publish_us") << "\n"
+       << "}\n";
+  std::printf("  wrote BENCH_ingest.json\n");
+
+  if (totals.publishes != static_cast<std::uint64_t>(days) || totals.publish_failures != 0 ||
+      totals.flows != stream_flows || final_blocks == 0) {
+    std::fprintf(stderr, "ingest FAILED correctness checks\n");
+    return 1;
+  }
+  return 0;
+}

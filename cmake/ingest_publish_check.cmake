@@ -1,0 +1,83 @@
+# End-to-end check of the streaming CLI pipeline: `mtscope stream` writes
+# a two-day tiny-sim flow stream, `mtscope ingest` consumes it publishing
+# one snapshot per day, and `mtscope query` classifies IPs from the final
+# published epoch — the full produce -> ingest -> serve loop with only the
+# shipped binaries.  Invoked by the ingest_publish_check ctest registered
+# in the top-level CMakeLists:
+#   cmake -DCLI=<mtscope_cli> -DOUT_DIR=<scratch dir> -P ingest_publish_check.cmake
+if(NOT DEFINED CLI)
+  message(FATAL_ERROR "pass -DCLI=<path to mtscope_cli>")
+endif()
+if(NOT DEFINED OUT_DIR)
+  set(OUT_DIR "${CMAKE_CURRENT_BINARY_DIR}")
+endif()
+
+set(stream "${OUT_DIR}/ingest_publish_check.mtfl")
+set(snapshot "${OUT_DIR}/ingest_publish_check.snap")
+set(metrics "${OUT_DIR}/ingest_publish_check.metrics.json")
+file(REMOVE "${stream}" "${snapshot}" "${snapshot}.tmp" "${metrics}")
+
+execute_process(
+  COMMAND "${CLI}" stream --scale tiny --seed 7 --days 2 --out "${stream}"
+  RESULT_VARIABLE status
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "mtscope_cli stream failed (${status}):\n${stdout}\n${stderr}")
+endif()
+if(NOT EXISTS "${stream}")
+  message(FATAL_ERROR "stream --out did not create ${stream}")
+endif()
+
+execute_process(
+  COMMAND "${CLI}" ingest --source "${stream}" --snapshot-out "${snapshot}"
+          --window-days 2 --metrics-out "${metrics}"
+  RESULT_VARIABLE status
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "mtscope_cli ingest failed (${status}):\n${stdout}\n${stderr}")
+endif()
+if(NOT EXISTS "${snapshot}")
+  message(FATAL_ERROR "ingest did not publish ${snapshot}")
+endif()
+if(EXISTS "${snapshot}.tmp")
+  message(FATAL_ERROR "ingest left its staging file behind: ${snapshot}.tmp")
+endif()
+
+# One epoch per completed day, no failures, and the daemon said so both on
+# stdout (the totals summary) and in its metrics snapshot.  (The failure
+# counter is lazily registered, so a clean run simply omits it.)
+string(FIND "${stdout}" "2 epoch(s) published (0 failure(s))" at)
+if(at EQUAL -1)
+  message(FATAL_ERROR "expected 2 clean publishes in the ingest summary:\n${stdout}\n${stderr}")
+endif()
+file(READ "${metrics}" json)
+foreach(needle
+    "\"ingest.publish.epochs\": 2"
+    "\"ingest.days\": 2"
+    "\"ingest.window.days\""
+    "\"ingest.publish_us\"")
+  string(FIND "${json}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "ingest metrics missing ${needle}:\n${json}")
+  endif()
+endforeach()
+string(FIND "${json}" "\"ingest.publish.failures\"" at)
+if(NOT at EQUAL -1)
+  message(FATAL_ERROR "clean run registered a publish failure:\n${json}")
+endif()
+
+# The published epoch must serve: classify a mix of IPs from it.
+execute_process(
+  COMMAND "${CLI}" query --snapshot "${snapshot}" --ips -
+  INPUT_FILE /dev/null
+  RESULT_VARIABLE status
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "mtscope_cli query failed on the published snapshot (${status}):\n${stdout}\n${stderr}")
+endif()
+
+file(REMOVE "${stream}" "${snapshot}" "${metrics}")
+message(STATUS "ingest publish pipeline OK: 2 epochs through ${snapshot}")

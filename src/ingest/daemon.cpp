@@ -1,0 +1,162 @@
+#include "ingest/daemon.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "ingest/publish.hpp"
+#include "pipeline/inference.hpp"
+#include "pipeline/parallel.hpp"
+#include "pipeline/spoof_tolerance.hpp"
+#include "routing/special_purpose.hpp"
+#include "sim/simulation.hpp"
+
+namespace mtscope::ingest {
+
+serve::RunMetadata publish_metadata(const StreamHeader& header, int window_days,
+                                    std::span<const int> days, std::uint64_t flows_ingested,
+                                    std::uint64_t spoof_tolerance_pkts,
+                                    std::uint64_t created_unix_s) {
+  serve::RunMetadata meta;
+  meta.seed = header.seed;
+  meta.spoof_tolerance_pkts = spoof_tolerance_pkts;
+  meta.flows_ingested = flows_ingested;
+  meta.created_unix_s = created_unix_s;
+  // Funnel parallelism and shard count never change the published bytes
+  // (the parallel engine's bit-identicality contract), so the metadata
+  // records the canonical serial shape instead of the worker config —
+  // keeping every epoch a pure function of the stream content.
+  meta.threads = 1;
+  meta.shards = 1;
+  meta.days = static_cast<std::uint32_t>(days.size());
+  meta.source = std::string("ingest scale=") + (header.tiny ? "tiny" : "full") +
+                " window=" + std::to_string(window_days) + "d through day " +
+                std::to_string(days.empty() ? -1 : days.back());
+  return meta;
+}
+
+IngestDaemon::IngestDaemon(IngestConfig config, obs::MetricsRegistry* metrics)
+    : config_(std::move(config)), metrics_(metrics) {}
+
+util::Result<IngestTotals> IngestDaemon::run() {
+  std::ifstream in(config_.source_path, std::ios::binary);
+  if (!in) {
+    return util::make_error("ingest.io", "cannot open flow stream " + config_.source_path);
+  }
+  FlowStreamReader reader(in);
+  const auto header_read = reader.read_header();
+  if (!header_read.ok()) return header_read.error();
+  const StreamHeader header = header_read.value();
+
+  // Rebuild the generating plan from the header; this is where a real
+  // deployment would load Route Views and the vantage-point metadata.
+  const sim::Simulation simulation(header.tiny ? sim::SimConfig::tiny(header.seed) : [&] {
+    sim::SimConfig config;
+    config.seed = header.seed;
+    return config;
+  }());
+  const auto registry = routing::SpecialPurposeRegistry::standard();
+
+  SlidingWindow window(config_.window_days, simulation.plan().universe_mask());
+  IngestTotals totals;
+  std::uint64_t completed_days = 0;
+
+  const auto refresh_and_publish = [&] {
+    obs::StageTimer merge_timer(metrics_, "ingest.merge_us");
+    const pipeline::VantageStats stats = window.merged();
+    merge_timer.stop();
+
+    std::uint64_t tolerance = 0;
+    if (config_.tolerance) {
+      obs::StageTimer timer(metrics_, "ingest.tolerance_us");
+      tolerance =
+          pipeline::compute_spoof_tolerance(stats, simulation.plan().unrouted_slash8s());
+    }
+
+    pipeline::PipelineConfig pipeline_config;
+    pipeline_config.volume_scale = simulation.config().volume_scale;
+    pipeline_config.spoof_tolerance_pkts = tolerance;
+    const pipeline::InferenceEngine engine(pipeline_config, simulation.plan().rib(), registry);
+
+    obs::StageTimer funnel_timer(metrics_, "ingest.funnel_us");
+    const auto result = pipeline::parallel_infer(engine, stats, config_.threads);
+    funnel_timer.stop();
+
+    const auto meta = publish_metadata(header, config_.window_days, window.days(),
+                                       stats.flows_ingested(), tolerance,
+                                       config_.created_unix_s);
+    obs::StageTimer build_timer(metrics_, "ingest.snapshot.build_us");
+    const auto snapshot = serve::build_snapshot(result, simulation.plan().rib(), meta);
+    build_timer.stop();
+
+    obs::StageTimer publish_timer(metrics_, "ingest.publish_us");
+    const auto published = publish_snapshot(snapshot, config_.snapshot_out);
+    publish_timer.stop();
+
+    if (metrics_ != nullptr) {
+      metrics_->gauge("ingest.window.days").set(static_cast<std::int64_t>(window.slice_count()));
+      metrics_->gauge("ingest.window.blocks")
+          .set(static_cast<std::int64_t>(stats.blocks().size()));
+      metrics_->gauge("ingest.window.flows")
+          .set(static_cast<std::int64_t>(stats.flows_ingested()));
+    }
+    if (!published.ok()) {
+      totals.publish_failures += 1;
+      if (metrics_ != nullptr) metrics_->counter("ingest.publish.failures").add(1);
+      return;
+    }
+    totals.publishes += 1;
+    if (metrics_ != nullptr) {
+      metrics_->gauge("ingest.publish.epochs").set(static_cast<std::int64_t>(totals.publishes));
+      metrics_->counter("ingest.publish.bytes").add(published.value());
+    }
+    if (on_publish) on_publish(totals.publishes, snapshot);
+  };
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    auto event_read = reader.next();
+    if (!event_read.ok()) return event_read.error();
+    const StreamEvent& event = event_read.value();
+
+    if (event.kind == StreamEvent::Kind::kStreamEnd) break;
+
+    if (event.kind == StreamEvent::Kind::kDataset) {
+      obs::StageTimer ingest_timer(metrics_, "ingest.ingest_us");
+      window.add_flows(event.day, event.flows, event.sampling_rate);
+      ingest_timer.stop();
+      totals.datasets += 1;
+      totals.flows += event.flows.size();
+      if (metrics_ != nullptr) {
+        metrics_->counter("ingest.datasets").add(1);
+        metrics_->counter("ingest.flows").add(event.flows.size());
+      }
+      continue;
+    }
+
+    // Day-end: the day elapsed even if no dataset frame arrived for it
+    // (an outage day still widens the volume normalisation), then the
+    // window slides and — on cadence — the funnel re-runs.
+    window.note_day(event.day);
+    const auto evicted = window.advance_to(event.day);
+    totals.days += 1;
+    totals.days_evicted += static_cast<std::uint64_t>(evicted.days);
+    totals.rows_evicted += evicted.rows;
+    totals.last_day = event.day;
+    completed_days += 1;
+    if (metrics_ != nullptr) {
+      metrics_->counter("ingest.days").add(1);
+      metrics_->counter("ingest.days_evicted").add(static_cast<std::uint64_t>(evicted.days));
+      metrics_->counter("ingest.rows_evicted").add(evicted.rows);
+    }
+
+    if (completed_days % static_cast<std::uint64_t>(std::max(1, config_.cadence_days)) == 0) {
+      refresh_and_publish();
+      if (config_.max_epochs != 0 && totals.publishes >= config_.max_epochs) break;
+    }
+  }
+
+  return totals;
+}
+
+}  // namespace mtscope::ingest

@@ -1,0 +1,107 @@
+// IngestDaemon: continuous telescope operation (DESIGN.md §13).
+//
+// The batch pipeline is collect → infer → snapshot, once.  The daemon is
+// the same pipeline folded into a loop over a flow stream (flow_stream.hpp):
+//
+//   dataset frame  -> route into the day's SlidingWindow slice
+//   day-end frame  -> slide the window, and on every cadence_days-th
+//                     completed day: merge the retained slices, re-derive
+//                     the spoofing tolerance (§7.2 — it is a per-window
+//                     statistic), re-run the seven-step funnel, and
+//                     atomically publish a fresh snapshot over
+//                     `snapshot_out` (publish.hpp)
+//
+// A `mtscope serve --watch-interval-ms` daemon pointed at the same path
+// picks each epoch up without a signal — the zero-touch publish pipeline.
+// Because the publish is an atomic rename, the watcher can never load a
+// torn file; because the window merge is bit-identical to batch (see
+// window.hpp), every published epoch is byte-for-byte the snapshot a
+// batch run over the same days would have written.
+//
+// The stream header carries the simulation seed and scale, from which the
+// daemon rebuilds the generating plan (RIB, universe mask, unrouted /8s,
+// volume scale) — the stand-in for the Route Views feed and IXP metadata
+// a real deployment configures out of band.
+//
+// Observability (`ingest.*`, null-registry convention): per-frame counters
+// (datasets, flows, days, evictions), window gauges (days, blocks, flows
+// retained), per-cadence stage timers (merge, tolerance, funnel, snapshot
+// build, publish) and the publish epoch/failure tallies.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "ingest/flow_stream.hpp"
+#include "ingest/window.hpp"
+#include "obs/metrics.hpp"
+#include "serve/snapshot.hpp"
+#include "util/result.hpp"
+
+namespace mtscope::ingest {
+
+struct IngestConfig {
+  std::string source_path;    // flow stream: regular file or FIFO
+  std::string snapshot_out;   // atomic publish target
+  int window_days = 7;        // paper's multi-day window length
+  int cadence_days = 1;       // funnel + publish every N completed days
+  unsigned threads = 1;       // funnel worker threads (never changes bytes)
+  bool tolerance = true;      // re-derive the §7.2 spoofing tolerance
+  std::uint64_t max_epochs = 0;  // stop after N publishes; 0 = stream end
+
+  /// Stamped into RunMetadata::created_unix_s verbatim.  The CLI passes
+  /// wall-clock time; tests pass a constant so published bytes are a pure
+  /// function of the stream.
+  std::uint64_t created_unix_s = 0;
+};
+
+/// Lifetime totals run() reports (the obs counters mirror them).
+struct IngestTotals {
+  std::uint64_t datasets = 0;
+  std::uint64_t flows = 0;
+  std::uint64_t days = 0;          // day-end frames consumed
+  std::uint64_t days_evicted = 0;
+  std::uint64_t rows_evicted = 0;
+  std::uint64_t publishes = 0;     // successful epochs
+  std::uint64_t publish_failures = 0;
+  int last_day = -1;               // newest completed day; -1 if none
+};
+
+/// The RunMetadata every publish stamps — a pure function of the stream
+/// header and window state, shared with the differential harness so the
+/// batch baseline reconstructs the daemon's bytes exactly.
+[[nodiscard]] serve::RunMetadata publish_metadata(const StreamHeader& header, int window_days,
+                                                  std::span<const int> days,
+                                                  std::uint64_t flows_ingested,
+                                                  std::uint64_t spoof_tolerance_pkts,
+                                                  std::uint64_t created_unix_s);
+
+class IngestDaemon {
+ public:
+  explicit IngestDaemon(IngestConfig config, obs::MetricsRegistry* metrics = nullptr);
+
+  /// Consume the stream until a clean end, max_epochs, or request_stop().
+  /// Blocking (FIFO sources park in read).  Stream decode errors and a
+  /// missing source are typed failures; a *publish* failure is not fatal —
+  /// the previous epoch keeps serving, the failure is counted, and
+  /// ingestion continues (the operational contract).
+  [[nodiscard]] util::Result<IngestTotals> run();
+
+  /// Called after each successful publish, before the next frame is read:
+  /// (epoch ordinal starting at 1, the snapshot just published).  Tests
+  /// use it to gate the producer on a consumer's progress.
+  std::function<void(std::uint64_t, const serve::TelescopeSnapshot&)> on_publish;
+
+  /// Stop after the frame in flight.  Thread-safe.
+  void request_stop() noexcept { stop_.store(true, std::memory_order_release); }
+
+ private:
+  IngestConfig config_;
+  obs::MetricsRegistry* metrics_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace mtscope::ingest

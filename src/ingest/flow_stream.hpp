@@ -1,0 +1,118 @@
+// Flow-stream wire format: the byte stream `mtscope ingest` consumes and
+// `mtscope stream` produces (DESIGN.md §13).
+//
+// A stream is the continuous-operation stand-in for a live IPFIX collector
+// feed: a sequence of per-vantage, per-day datasets with explicit day
+// boundaries, written to a regular file or a FIFO.  The reader blocks on
+// the underlying istream, so a FIFO turns the pair of processes into a
+// genuine producer/consumer pipeline.
+//
+// Layout (all integers little-endian; see util/bytes.hpp):
+//
+//   header : magic "MTFLOW\r\n" (8) | version u16 | flags u16 |
+//            seed u64 | crc32 u32 over the preceding 20 bytes    = 24 B
+//   frame  : kind u8 followed by a kind-specific body:
+//     kDataset   : day u32 | sampling_rate u32 | vantage_len u8 |
+//                  vantage bytes | record_count u32 |
+//                  crc32 u32 over the encoded records | records
+//     kDayEnd    : day u32          (all datasets for `day` delivered)
+//     kStreamEnd : (empty)          (producer finished cleanly)
+//
+// Each flow record encodes fixed-width (kRecordBytes): src u32 | dst u32 |
+// src_port u16 | dst_port u16 | proto u8 | tcp_flags_or u8 | first_us u64 |
+// last_us u64 | packets u64 | bytes u64 | sampling_rate u32.
+//
+// The header carries the simulation seed and scale (flags bit 0 = tiny) so
+// the consumer can rebuild the generating plan — RIB, universe mask,
+// unrouted /8s, volume scale — with zero out-of-band configuration, the
+// role Route Views + IXP contracts play for the paper's real deployment.
+//
+// Readers reject bad magic, future versions, truncation mid-frame and CRC
+// mismatches with typed util::Error codes ("stream.bad_magic",
+// "stream.unsupported_version", "stream.truncated", "stream.bad_crc",
+// "stream.bad_frame") — never by crashing.  EOF exactly on a frame
+// boundary reads as a clean end of stream even without a kStreamEnd frame,
+// so a producer killed between frames loses at most unflushed data.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "flow/record.hpp"
+#include "util/result.hpp"
+
+namespace mtscope::ingest {
+
+inline constexpr std::uint16_t kFlowStreamVersion = 1;
+inline constexpr std::size_t kFlowRecordBytes = 50;
+
+/// Stream-level provenance from the header.
+struct StreamHeader {
+  std::uint64_t seed = 0;
+  bool tiny = false;
+
+  friend bool operator==(const StreamHeader&, const StreamHeader&) = default;
+};
+
+/// One decoded frame.  `day` is meaningful for kDataset and kDayEnd;
+/// `sampling_rate`, `vantage` and `flows` only for kDataset.
+struct StreamEvent {
+  enum class Kind : std::uint8_t {
+    kDataset = 1,
+    kDayEnd = 2,
+    kStreamEnd = 3,
+  };
+
+  Kind kind = Kind::kStreamEnd;
+  int day = 0;
+  std::uint32_t sampling_rate = 1;
+  std::string vantage;
+  std::vector<flow::FlowRecord> flows;
+};
+
+/// Serializer.  Writes are flushed per frame so a FIFO consumer makes
+/// progress while the producer is still generating; io errors latch into
+/// ok() instead of throwing (the POSIX convention of the CLI layer).
+class FlowStreamWriter {
+ public:
+  explicit FlowStreamWriter(std::ostream& out) : out_(out) {}
+
+  void write_header(const StreamHeader& header);
+  void write_dataset(int day, std::uint32_t sampling_rate, std::string_view vantage,
+                     std::span<const flow::FlowRecord> flows);
+  void write_day_end(int day);
+  void write_stream_end();
+
+  [[nodiscard]] bool ok() const noexcept;
+
+ private:
+  void put(std::span<const std::uint8_t> bytes);
+
+  std::ostream& out_;
+};
+
+/// Deserializer over a blocking istream (regular file or FIFO).
+class FlowStreamReader {
+ public:
+  explicit FlowStreamReader(std::istream& in) : in_(in) {}
+
+  /// Must be called once, before next().
+  [[nodiscard]] util::Result<StreamHeader> read_header();
+
+  /// The next frame; blocks until one is available.  Clean EOF (at a frame
+  /// boundary or after kStreamEnd) comes back as a kStreamEnd event.
+  [[nodiscard]] util::Result<StreamEvent> next();
+
+ private:
+  /// Read exactly n bytes into out.  Returns 0 on success, -1 on EOF with
+  /// nothing read, 1 on EOF mid-read (truncation).
+  [[nodiscard]] int read_exact(std::span<std::uint8_t> out);
+
+  std::istream& in_;
+};
+
+}  // namespace mtscope::ingest

@@ -1,0 +1,102 @@
+#include "ingest/publish.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace mtscope::ingest {
+
+namespace {
+
+util::Error io_error(const std::string& what, const std::string& path) {
+  return util::make_error("publish.io", what + " " + path + ": " + std::strerror(errno));
+}
+
+/// write(2) until done, honouring the short-write fault.  Returns bytes
+/// actually written, or -1 on a real io error.
+std::int64_t write_all(int fd, std::span<const std::uint8_t> bytes, std::size_t limit) {
+  std::size_t off = 0;
+  const std::size_t want = std::min(bytes.size(), limit);
+  while (off < want) {
+    const auto n = ::write(fd, bytes.data() + off, want - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return static_cast<std::int64_t>(off);
+}
+
+/// fsync the directory containing `path` so the rename itself is durable.
+void sync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+std::string publish_temp_path(const std::string& path) { return path + ".tmp"; }
+
+util::Result<std::uint64_t> publish_snapshot(const serve::TelescopeSnapshot& snapshot,
+                                             const std::string& path,
+                                             const PublishFaults* faults) {
+  std::vector<std::uint8_t> bytes = serve::serialize_snapshot(snapshot);
+  if (faults != nullptr && faults->corrupt_first_byte && !bytes.empty()) {
+    bytes[0] ^= 0xff;
+  }
+
+  const std::string tmp = publish_temp_path(path);
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return io_error("cannot open", tmp);
+
+  const std::size_t limit =
+      faults != nullptr ? faults->truncate_after_bytes : static_cast<std::size_t>(-1);
+  const std::int64_t written = write_all(fd, bytes, limit);
+  if (written < 0) {
+    const auto error = io_error("cannot write", tmp);
+    ::close(fd);
+    return error;
+  }
+  if (static_cast<std::size_t>(written) < bytes.size()) {
+    // Injected ENOSPC / power cut: the torn temp file stays behind, exactly
+    // as a crash would leave it; the target was never touched.
+    ::close(fd);
+    return util::make_error("publish.torn",
+                            "short write publishing " + path + " (" + std::to_string(written) +
+                                " of " + std::to_string(bytes.size()) + " bytes)");
+  }
+  if (::fsync(fd) != 0) {
+    const auto error = io_error("cannot fsync", tmp);
+    ::close(fd);
+    return error;
+  }
+  if (::close(fd) != 0) return io_error("cannot close", tmp);
+
+  if (faults != nullptr && faults->fail_before_rename) {
+    // Injected crash in the window between a durable temp and the rename:
+    // complete temp on disk, target untouched.
+    return util::make_error("publish.crashed",
+                            "simulated crash before rename of " + tmp + " onto " + path);
+  }
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return io_error("cannot rename " + tmp + " onto", path);
+  }
+  sync_parent_dir(path);
+  return static_cast<std::uint64_t>(bytes.size());
+}
+
+}  // namespace mtscope::ingest

@@ -1,0 +1,60 @@
+// Atomic snapshot publication (DESIGN.md §13): the write side of the
+// zero-touch publish pipeline.
+//
+// serve::write_snapshot_file streams bytes straight into the target path —
+// fine for a one-shot `infer --snapshot-out`, fatal for continuous
+// operation where a `mtscope serve` watcher (or a SIGHUP) may load the
+// path at any instant.  publish_snapshot() instead writes the full image
+// to `<path>.tmp`, fsyncs it, rename(2)s it over the target, and fsyncs
+// the directory.  POSIX rename atomicity guarantees every reader observes
+// either the complete old file or the complete new file — never a torn
+// prefix — and the directory fsync makes the swap durable across a crash.
+//
+// A crash (or injected fault) anywhere before the rename leaves the target
+// untouched and at most a stale `<path>.tmp` behind; the next successful
+// publish overwrites it.  One publisher per target path is the contract
+// (the ingest daemon), which is what makes the fixed temp name safe.
+//
+// PublishFaults is the test seam for the crash windows the fault-injection
+// suite pins (tests/test_snapshot.cpp): a short write (ENOSPC / power
+// cut), a crash after the temp write but before the rename, and silent
+// bit rot that only the snapshot CRCs can catch downstream.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "serve/snapshot.hpp"
+#include "util/result.hpp"
+
+namespace mtscope::ingest {
+
+/// Injectable failures, each simulating a crash point.  Default-constructed
+/// faults are all disabled (the production path).
+struct PublishFaults {
+  /// Stop writing the temp file after this many bytes (simulates ENOSPC or
+  /// a crash mid-write).  SIZE_MAX disables.
+  std::size_t truncate_after_bytes = static_cast<std::size_t>(-1);
+
+  /// Abort after the temp file is complete and fsynced, before rename(2)
+  /// (the narrowest crash window: durable temp, unchanged target).
+  bool fail_before_rename = false;
+
+  /// Flip the first byte of the image before writing (silent corruption;
+  /// the publish "succeeds" and the reader's CRC check must catch it).
+  bool corrupt_first_byte = false;
+};
+
+/// Serialize and atomically publish `snapshot` at `path`.  Returns the
+/// byte count written.  Failures — real io errors ("publish.io") or
+/// injected crashes ("publish.torn", "publish.crashed") — leave the
+/// target path untouched.
+[[nodiscard]] util::Result<std::uint64_t> publish_snapshot(
+    const serve::TelescopeSnapshot& snapshot, const std::string& path,
+    const PublishFaults* faults = nullptr);
+
+/// The temp path publish_snapshot() stages through (shared with tests).
+[[nodiscard]] std::string publish_temp_path(const std::string& path);
+
+}  // namespace mtscope::ingest

@@ -1,0 +1,77 @@
+#include "ingest/window.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mtscope::ingest {
+
+SlidingWindow::SlidingWindow(int window_days,
+                             std::shared_ptr<const trie::Block24Set> source_mask)
+    : window_days_(std::max(1, window_days)), source_mask_(std::move(source_mask)) {}
+
+pipeline::VantageStats& SlidingWindow::slice_for(int day) {
+  // Datasets almost always arrive for the newest day; scan from the back.
+  auto it = slices_.end();
+  while (it != slices_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->day == day) return prev->stats;
+    if (prev->day < day) break;
+    it = prev;
+  }
+  it = slices_.insert(it, DaySlice{day, pipeline::VantageStats(source_mask_)});
+  return it->stats;
+}
+
+void SlidingWindow::add_flows(int day, std::span<const flow::FlowRecord> flows,
+                              std::uint32_t sampling_rate) {
+  slice_for(day).add_flows(flows, sampling_rate, day);
+}
+
+void SlidingWindow::note_day(int day) { slice_for(day).note_day(day); }
+
+SlidingWindow::EvictionReport SlidingWindow::advance_to(int newest_day) {
+  return evict_before(newest_day - window_days_ + 1);
+}
+
+SlidingWindow::EvictionReport SlidingWindow::evict_before(int day) {
+  EvictionReport report;
+  while (!slices_.empty() && slices_.front().day < day) {
+    report.days += 1;
+    report.rows += slices_.front().stats.blocks().size();
+    report.flows += slices_.front().stats.flows_ingested();
+    slices_.pop_front();
+  }
+  return report;
+}
+
+pipeline::VantageStats SlidingWindow::merged() const {
+  if (slices_.empty()) return pipeline::VantageStats(source_mask_);
+
+  // The shard reduction from pipeline/parallel.cpp: pairwise tree merge.
+  // Merge is commutative/associative, so the tree shape is free to pick
+  // for balance; copying the slices keeps them reusable next cadence.
+  std::vector<pipeline::VantageStats> partial;
+  partial.reserve(slices_.size());
+  for (const auto& slice : slices_) partial.push_back(slice.stats);
+  for (std::size_t step = 1; step < partial.size(); step *= 2) {
+    for (std::size_t i = 0; i + step < partial.size(); i += step * 2) {
+      partial[i].merge(partial[i + step]);
+    }
+  }
+  return std::move(partial.front());
+}
+
+std::vector<int> SlidingWindow::days() const {
+  std::vector<int> out;
+  out.reserve(slices_.size());
+  for (const auto& slice : slices_) out.push_back(slice.day);
+  return out;
+}
+
+std::uint64_t SlidingWindow::flows_ingested() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& slice : slices_) total += slice.stats.flows_ingested();
+  return total;
+}
+
+}  // namespace mtscope::ingest

@@ -5,6 +5,7 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -130,6 +131,12 @@ util::Result<bool> QueryServer::start() {
 
   loop_.add(listen_fd_, EPOLLIN);
   loop_.add(wake_fd_, EPOLLIN);
+  if (config_.watch_interval_ms > 0) {
+    // Record the identity of the file just loaded so the first poll only
+    // fires once a publisher actually replaces it.
+    watch_sig_valid_ = stat_snapshot(watch_sig_);
+    next_watch_ = Clock::now() + std::chrono::milliseconds(config_.watch_interval_ms);
+  }
   started_ = true;
   return true;
 }
@@ -207,14 +214,22 @@ int QueryServer::run() {
       handle_wake();
     }
     sweep_idle();
+    check_watch();
   }
   return 0;
 }
 
 int QueryServer::next_timeout_ms() const {
-  if (conns_.empty() && !draining_) return -1;
+  const bool watching = config_.watch_interval_ms > 0 && !draining_;
+  if (conns_.empty() && !draining_ && !watching) return -1;
   const auto now = Clock::now();
   std::int64_t timeout_ms = config_.idle_timeout_ms;
+  if (watching) {
+    // Wake for the next snapshot poll even with zero connections open.
+    const auto watch_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(next_watch_ - now).count();
+    timeout_ms = std::min(timeout_ms, watch_ms);
+  }
   for (const auto& [fd, conn] : conns_) {
     const auto idle_ms =
         std::chrono::duration_cast<std::chrono::milliseconds>(now - conn->last_activity)
@@ -236,20 +251,50 @@ void QueryServer::handle_wake() {
   [[maybe_unused]] const auto n = ::read(wake_fd_, &drained, sizeof(drained));
 
   if (reload_requested_.exchange(false, std::memory_order_acq_rel)) {
-    const auto installed = manager_.load_and_install(config_.snapshot_path, metrics_);
-    if (installed.ok()) {
-      reloads_.fetch_add(1, std::memory_order_relaxed);
-      if (metrics_ != nullptr) metrics_->counter("serve.server.reloads").add(1);
-    } else {
-      // The previous epoch keeps serving; operators see the failure in the
-      // stats and the unchanged serve.snapshot.epoch gauge.
-      reload_failures_.fetch_add(1, std::memory_order_relaxed);
-      if (metrics_ != nullptr) metrics_->counter("serve.server.reload_failures").add(1);
-    }
+    do_reload();
   }
   if (stop_requested_.load(std::memory_order_acquire) && !draining_) {
     begin_drain();
   }
+}
+
+void QueryServer::do_reload() {
+  const auto installed = manager_.load_and_install(config_.snapshot_path, metrics_);
+  if (installed.ok()) {
+    reloads_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_ != nullptr) metrics_->counter("serve.server.reloads").add(1);
+  } else {
+    // The previous epoch keeps serving; operators see the failure in the
+    // stats and the unchanged serve.snapshot.epoch gauge.
+    reload_failures_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_ != nullptr) metrics_->counter("serve.server.reload_failures").add(1);
+  }
+  // Either way the watcher's reference point is what is on disk now: a
+  // failed load must not be re-attempted every poll tick, only once the
+  // publisher replaces the file again.
+  if (config_.watch_interval_ms > 0) watch_sig_valid_ = stat_snapshot(watch_sig_);
+}
+
+bool QueryServer::stat_snapshot(FileSig& out) const noexcept {
+  struct ::stat st{};
+  if (::stat(config_.snapshot_path.c_str(), &st) != 0) return false;
+  out.dev = static_cast<std::uint64_t>(st.st_dev);
+  out.ino = static_cast<std::uint64_t>(st.st_ino);
+  out.size = static_cast<std::int64_t>(st.st_size);
+  out.mtime_s = static_cast<std::int64_t>(st.st_mtim.tv_sec);
+  out.mtime_ns = static_cast<std::int64_t>(st.st_mtim.tv_nsec);
+  return true;
+}
+
+void QueryServer::check_watch() {
+  if (config_.watch_interval_ms <= 0 || draining_) return;
+  const auto now = Clock::now();
+  if (now < next_watch_) return;
+  next_watch_ = now + std::chrono::milliseconds(config_.watch_interval_ms);
+  FileSig sig;
+  if (!stat_snapshot(sig)) return;  // transient (publisher mid-swap?); next tick retries
+  if (watch_sig_valid_ && sig == watch_sig_) return;
+  do_reload();
 }
 
 void QueryServer::begin_drain() {

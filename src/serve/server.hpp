@@ -35,6 +35,14 @@
 //    SnapshotManager epoch path.  A failed reload (missing/corrupt file)
 //    keeps the old epoch serving.  In-flight queries are never dropped:
 //    the swap happens between input batches on the reactor thread.
+//  * Watch mode (zero-touch publish).  With watch_interval_ms > 0 the
+//    reactor polls snapshot_path's identity (dev/inode/size/mtime) on
+//    that cadence and runs the same reload path when it changes — no
+//    signal needed, which is how an ingest daemon's atomic publishes
+//    (ingest/publish.hpp: write-temp + fsync + rename) flow into a live
+//    server.  The rename guarantees the watcher never loads a torn file;
+//    a changed-but-corrupt file fails typed, keeps the old epoch, and is
+//    not retried until the signature changes again.
 //  * Graceful drain.  request_stop() (or SIGTERM/SIGINT) closes the
 //    listener, answers every request already received, flushes every
 //    queued reply (up to drain_timeout_ms), then run() returns 0.
@@ -70,6 +78,7 @@ struct ServerConfig {
   int max_conns = 1024;                 // accepted beyond this are closed at once
   int idle_timeout_ms = 30'000;         // no-progress connections are dropped
   int drain_timeout_ms = 5'000;         // cap on flushing replies after stop
+  int watch_interval_ms = 0;            // poll snapshot_path for replacement; 0 = SIGHUP only
   std::size_t max_request_bytes = 4096;     // longest accepted request line
   std::size_t max_pending_bytes = 256 * 1024;  // reply backlog before back-pressure
 };
@@ -141,7 +150,22 @@ class QueryServer {
   void close_connection(int fd);
   void sweep_idle();
   void begin_drain();
+  void do_reload();     // the swap itself, shared by SIGHUP and the watcher
+  void check_watch();   // watch-mode poll (no-op unless due)
   [[nodiscard]] int next_timeout_ms() const;
+
+  /// File identity for watch mode: a successful atomic publish always
+  /// changes the inode (rename swaps a freshly written temp file in).
+  struct FileSig {
+    std::uint64_t dev = 0;
+    std::uint64_t ino = 0;
+    std::int64_t size = 0;
+    std::int64_t mtime_s = 0;
+    std::int64_t mtime_ns = 0;
+
+    friend bool operator==(const FileSig&, const FileSig&) noexcept = default;
+  };
+  [[nodiscard]] bool stat_snapshot(FileSig& out) const noexcept;
 
   ServerConfig config_;
   obs::MetricsRegistry* metrics_;
@@ -153,6 +177,9 @@ class QueryServer {
   bool started_ = false;
   bool draining_ = false;
   std::chrono::steady_clock::time_point drain_deadline_{};
+  std::chrono::steady_clock::time_point next_watch_{};
+  FileSig watch_sig_{};
+  bool watch_sig_valid_ = false;
   std::unordered_map<int, std::unique_ptr<Connection>> conns_;
 
   std::atomic<bool> stop_requested_{false};

@@ -1,11 +1,14 @@
 // Property tests over the pipeline's algebra: merge order must not matter,
 // inference must be deterministic and monotone in its inputs, and the flow
-// path must conserve packets.
+// path must conserve packets.  The sliding window (src/ingest) is built on
+// the same algebra, so its laws — admit order-independence, evict-then-
+// readmit idempotence, empty-day coverage — are pinned here too.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <array>
 
+#include "ingest/window.hpp"
 #include "pipeline/collector.hpp"
 #include "pipeline/inference.hpp"
 #include "sim/simulation.hpp"
@@ -236,6 +239,138 @@ TEST_P(PipelineProperties, ClassificationPartitionsFunnelSurvivors) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperties, ::testing::Values(11, 23, 47, 91));
+
+// --- Sliding-window laws (src/ingest/window.hpp) ----------------------------
+//
+// The window is per-day VantageStats slices plus a tree-merge; each law
+// below is the window-level restatement of a merge property the suite
+// above already pins, so a failure localises to the slice bookkeeping.
+
+class WindowProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WindowProperties, AdmitOrderDoesNotChangeTheMergedView) {
+  // Datasets routed to days {0,1,2} in three different arrival orders —
+  // forward, reverse, interleaved — must produce identical merged stats.
+  // Streaming sources do not promise day-ordered delivery within a day's
+  // worth of vantages, so admit must commute.
+  const auto d0 = random_flows(GetParam(), 3000);
+  const auto d1 = random_flows(GetParam() ^ 0x1111, 3000);
+  const auto d2 = random_flows(GetParam() ^ 0x2222, 3000);
+
+  ingest::SlidingWindow forward(7);
+  forward.add_flows(0, d0, 100);
+  forward.add_flows(1, d1, 100);
+  forward.add_flows(2, d2, 100);
+
+  ingest::SlidingWindow reverse(7);
+  reverse.add_flows(2, d2, 100);
+  reverse.add_flows(1, d1, 100);
+  reverse.add_flows(0, d0, 100);
+
+  ingest::SlidingWindow interleaved(7);  // day 1 split across two admits
+  interleaved.add_flows(1, std::span(d1).subspan(0, 1500), 100);
+  interleaved.add_flows(0, d0, 100);
+  interleaved.add_flows(2, d2, 100);
+  interleaved.add_flows(1, std::span(d1).subspan(1500), 100);
+
+  const auto want = forward.merged();
+  expect_stats_equal(want, reverse.merged());
+  expect_stats_equal(want, interleaved.merged());
+  EXPECT_EQ(forward.days(), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(reverse.days(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST_P(WindowProperties, MergedMatchesSingleObjectIngest) {
+  // The batch-equivalence contract at the stats layer: a window's merged()
+  // equals one VantageStats fed the same datasets directly.
+  const auto d0 = random_flows(GetParam() ^ 0xa, 4000);
+  const auto d1 = random_flows(GetParam() ^ 0xb, 4000);
+
+  ingest::SlidingWindow window(3);
+  window.add_flows(4, d0, 100);
+  window.add_flows(5, d1, 100);
+
+  pipeline::VantageStats batch;
+  batch.add_flows(d0, 100, 4);
+  batch.add_flows(d1, 100, 5);
+
+  expect_stats_equal(window.merged(), batch);
+  EXPECT_EQ(window.flows_ingested(), batch.flows_ingested());
+}
+
+TEST_P(WindowProperties, EvictThenReadmitIsIdempotent) {
+  // Evicting a day and admitting the identical datasets again must land
+  // the window in exactly the state it had before the eviction — the
+  // replay path after an ingest restart.
+  const auto d0 = random_flows(GetParam() ^ 0xc, 3000);
+  const auto d1 = random_flows(GetParam() ^ 0xd, 3000);
+
+  ingest::SlidingWindow window(7);
+  window.add_flows(0, d0, 100);
+  window.add_flows(1, d1, 100);
+  const auto before = window.merged();
+
+  const auto report = window.evict_before(1);
+  EXPECT_EQ(report.days, 1);
+  EXPECT_GT(report.rows, 0u);
+  EXPECT_EQ(report.flows, d0.size());
+  EXPECT_EQ(window.days(), (std::vector<int>{1}));
+
+  window.add_flows(0, d0, 100);
+  expect_stats_equal(window.merged(), before);
+  EXPECT_EQ(window.days(), (std::vector<int>{0, 1}));
+}
+
+TEST_P(WindowProperties, AdvanceEvictsExactlyTheAgedOutDays) {
+  // advance_to(newest) keeps [newest - W + 1, newest] and reports what it
+  // dropped; re-advancing to the same day is a no-op.
+  ingest::SlidingWindow window(3);
+  for (int day = 0; day < 5; ++day) {
+    window.add_flows(day, random_flows(GetParam() + static_cast<std::uint64_t>(day), 500), 100);
+  }
+  const auto report = window.advance_to(4);  // retain {2,3,4}
+  EXPECT_EQ(report.days, 2);
+  EXPECT_EQ(window.days(), (std::vector<int>{2, 3, 4}));
+
+  const auto again = window.advance_to(4);
+  EXPECT_EQ(again.days, 0);
+  EXPECT_EQ(again.rows, 0u);
+  EXPECT_EQ(window.slice_count(), 3u);
+}
+
+TEST_P(WindowProperties, EmptyDayIsCoveredButContributesNothing) {
+  // note_day admits an outage day: it must widen day coverage (the per-day
+  // volume normalisation divides by it) without touching any block counter,
+  // and it must evict like any other slice.
+  const auto flows = random_flows(GetParam() ^ 0xe, 4000);
+
+  ingest::SlidingWindow with_gap(7);
+  with_gap.add_flows(0, flows, 100);
+  with_gap.note_day(1);
+
+  pipeline::VantageStats batch;  // batch listing the same empty day
+  batch.add_flows(flows, 100, 0);
+  batch.note_day(1);
+
+  const auto merged = with_gap.merged();
+  expect_stats_equal(merged, batch);
+  EXPECT_EQ(merged.day_count(), 2);
+  EXPECT_EQ(with_gap.days(), (std::vector<int>{0, 1}));
+
+  // The empty day changes inference (volume normalisation) but not the
+  // underlying block counters.
+  ingest::SlidingWindow without_gap(7);
+  without_gap.add_flows(0, flows, 100);
+  EXPECT_EQ(merged.blocks().size(), without_gap.merged().blocks().size());
+  EXPECT_EQ(merged.flows_ingested(), without_gap.merged().flows_ingested());
+
+  const auto report = with_gap.advance_to(7);  // 7-day window ending at 7 covers {1..7}
+  EXPECT_EQ(report.days, 1);                   // only day 0 aged out
+  EXPECT_EQ(with_gap.days(), (std::vector<int>{1}));
+  EXPECT_EQ(with_gap.merged().day_count(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WindowProperties, ::testing::Values(11, 23, 47, 91));
 
 TEST(FlowPathConservation, SimulatedDayConservesPackets) {
   // Packets generated == sum of packets in decoded IPFIX flows, across the

@@ -30,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "ingest/publish.hpp"
 #include "serve/snapshot.hpp"
 #include "serve/telescope_index.hpp"
 
@@ -544,6 +545,76 @@ TEST(ServeServer, FailedReloadKeepsTheOldEpochServing) {
   const auto lines = client.read_lines(1);
   ASSERT_EQ(lines.size(), 1u);
   EXPECT_EQ(lines[0], expected_line("10.0.0.7", 0));
+}
+
+// ---------------------------------------------------------------------------
+// Watch mode: the zero-touch publish pipeline's read side.  The watcher
+// must pick up an atomic publish without any signal, refuse a corrupt one
+// exactly once (no retry hot-loop), and never even attempt a reload for a
+// torn publish that left the target untouched.
+
+TEST(ServeServer, WatchModeSurvivesFaultyPublishesAndPicksUpTheGoodOne) {
+  const std::string path = snapshot_file("watchfault", 0);
+  auto config = test_config(path);
+  config.watch_interval_ms = 10;
+  RunningServer rs(std::move(config));
+  ASSERT_EQ(rs.server->manager().epoch(), 1u);
+
+  // A torn publish never touches the target: the watcher must see nothing
+  // to do.  (ingest::publish_snapshot stages through <path>.tmp and the
+  // injected fault aborts before the rename.)
+  {
+    ingest::PublishFaults faults;
+    faults.truncate_after_bytes = 10;
+    const auto torn = ingest::publish_snapshot(make_snapshot(1), path, &faults);
+    ASSERT_FALSE(torn.ok());
+    EXPECT_EQ(torn.error().code, "publish.torn");
+  }
+  std::this_thread::sleep_for(100ms);  // several watch intervals
+  EXPECT_EQ(rs.server->manager().epoch(), 1u);
+  EXPECT_EQ(rs.server->stats().reload_failures, 0u) << "torn publish reached the watcher";
+
+  // A silently corrupted publish does swap the file, so the watcher tries,
+  // the snapshot CRCs refuse it, and the old epoch keeps serving.  The
+  // failure must be counted exactly once: the watcher re-arms on the new
+  // signature instead of retrying the same bad file every interval.
+  {
+    ingest::PublishFaults faults;
+    faults.corrupt_first_byte = true;
+    const auto corrupt = ingest::publish_snapshot(make_snapshot(1), path, &faults);
+    ASSERT_TRUE(corrupt.ok()) << corrupt.error().to_string();
+  }
+  ASSERT_TRUE(wait_until([&] { return rs.server->stats().reload_failures >= 1; }));
+  EXPECT_EQ(rs.server->manager().epoch(), 1u);
+  std::this_thread::sleep_for(100ms);
+  EXPECT_EQ(rs.server->stats().reload_failures, 1u) << "watcher hot-looped on the bad file";
+
+  // Old epoch still answering, byte-for-byte.
+  {
+    Client client(rs.port());
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.send_all("10.0.0.7\n"));
+    const auto lines = client.read_lines(1);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], expected_line("10.0.0.7", 0));
+  }
+
+  // Recovery: a clean atomic publish is picked up with no signal at all.
+  {
+    const auto published = ingest::publish_snapshot(make_snapshot(1), path);
+    ASSERT_TRUE(published.ok()) << published.error().to_string();
+  }
+  ASSERT_TRUE(wait_until([&] { return rs.server->manager().epoch() == 2; }))
+      << "watcher never picked up the clean publish";
+  EXPECT_EQ(rs.server->stats().reloads, 1u);
+  EXPECT_EQ(rs.server->stats().reload_failures, 1u);
+
+  Client client(rs.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_all("10.0.0.7\n"));
+  const auto lines = client.read_lines(1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], expected_line("10.0.0.7", 1));
 }
 
 // ---------------------------------------------------------------------------

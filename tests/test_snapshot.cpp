@@ -3,10 +3,11 @@
 // bytes and survive serialize -> parse -> re-serialize untouched),
 // corruption robustness (truncation, bad magic, future versions, flipped
 // bits -> typed errors, never crashes), TelescopeIndex lookup correctness
-// against the membership sets it was built from, and the SnapshotManager
-// epoch-swap contract under concurrent readers.  Under
-// MTSCOPE_SANITIZE=thread this binary doubles as the serve-layer TSan
-// smoke test.
+// against the membership sets it was built from, the SnapshotManager
+// epoch-swap contract under concurrent readers, and fault injection on
+// the atomic publish path (src/ingest/publish.hpp): every crash window
+// must leave the target file untouched.  Under MTSCOPE_SANITIZE=thread
+// this binary doubles as the serve-layer TSan smoke test.
 #include "serve/snapshot.hpp"
 
 #include <gtest/gtest.h>
@@ -15,6 +16,8 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <map>
 #include <optional>
 #include <span>
@@ -22,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "ingest/publish.hpp"
 #include "pipeline/collector.hpp"
 #include "pipeline/inference.hpp"
 #include "pipeline/parallel.hpp"
@@ -29,6 +33,7 @@
 #include "serve/telescope_index.hpp"
 #include "sim/simulation.hpp"
 #include "util/bytes.hpp"
+#include "util/rng.hpp"
 
 namespace mtscope {
 namespace {
@@ -374,6 +379,26 @@ TEST(SnapshotCorruption, MalformedPayloadsRejected) {
   }
 }
 
+TEST(SnapshotCorruption, SeededSingleByteCorruptionsAllFailTyped) {
+  // CRC32 detects every single-byte error, and the format seals every byte
+  // — header+table under table_crc, each payload under its section crc —
+  // so no single-byte corruption anywhere in the file may parse.  Which
+  // typed error fires depends on the byte hit (magic, version, size field,
+  // crc); all of them must be snapshot.* — never a crash, never success.
+  const auto clean = serve::serialize_snapshot(sample_snapshot());
+  util::Rng rng(0xc0ffee);
+  for (int i = 0; i < 512; ++i) {
+    auto bytes = clean;
+    const std::size_t at = rng.uniform(bytes.size());
+    const auto flip = static_cast<std::uint8_t>(1 + rng.uniform(255));
+    bytes[at] ^= flip;
+    const auto parsed = serve::parse_snapshot(bytes);
+    ASSERT_FALSE(parsed.ok()) << "byte " << at << " ^= " << int{flip} << " parsed clean";
+    EXPECT_TRUE(parsed.error().code.starts_with("snapshot."))
+        << "byte " << at << ": " << parsed.error().to_string();
+  }
+}
+
 TEST(SnapshotFile, WriteReadRoundTrip) {
   const auto sample = sample_snapshot();
   const std::string path = ::testing::TempDir() + "mtscope_test_snapshot.snap";
@@ -390,6 +415,126 @@ TEST(SnapshotFile, MissingFileIsAnIoError) {
   const auto result = serve::read_snapshot_file("/nonexistent/mtscope.snap");
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.error().code, "snapshot.io");
+}
+
+// ---------------------------------------------------------------------------
+// Atomic publish fault injection: every crash window in
+// ingest::publish_snapshot must leave the target path untouched, and the
+// one failure it cannot prevent (silent bit rot) must be caught by the
+// reader's CRCs instead.
+
+std::optional<std::vector<std::uint8_t>> file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+TelescopeSnapshot variant_snapshot() {
+  auto s = sample_snapshot();
+  s.blocks.push_back(
+      BlockEntry::make(net::Block24(0x0c0000), BlockClass::kDark, BlockEntry::kNoPrefix));
+  ++s.dark_count;
+  return s;
+}
+
+struct PublishFixture : ::testing::Test {
+  const std::string path = ::testing::TempDir() + "mtscope_publish_fault.snap";
+  const std::string temp = ingest::publish_temp_path(path);
+
+  void TearDown() override {
+    std::remove(path.c_str());
+    std::remove(temp.c_str());
+  }
+};
+
+TEST_F(PublishFixture, CleanPublishIsCompleteAndLeavesNoTemp) {
+  const auto sample = sample_snapshot();
+  const auto published = ingest::publish_snapshot(sample, path);
+  ASSERT_TRUE(published.ok()) << published.error().to_string();
+  const auto expected = serve::serialize_snapshot(sample);
+  EXPECT_EQ(published.value(), expected.size());
+  EXPECT_EQ(file_bytes(path), expected);
+  EXPECT_FALSE(file_bytes(temp).has_value()) << "temp file left behind";
+}
+
+TEST_F(PublishFixture, TornWriteLeavesTheTargetUntouched) {
+  // ENOSPC / power cut mid-write: the temp file stops short, the rename
+  // never happens, and whatever was being served keeps being served.
+  const auto old = sample_snapshot();
+  ASSERT_TRUE(ingest::publish_snapshot(old, path).ok());
+  const auto old_bytes = file_bytes(path);
+
+  ingest::PublishFaults faults;
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{10}, std::size_t{100}}) {
+    faults.truncate_after_bytes = cut;
+    const auto torn = ingest::publish_snapshot(variant_snapshot(), path, &faults);
+    ASSERT_FALSE(torn.ok()) << "cut at " << cut;
+    EXPECT_EQ(torn.error().code, "publish.torn") << "cut at " << cut;
+    EXPECT_EQ(file_bytes(path), old_bytes) << "cut at " << cut;
+  }
+
+  // Recovery: the next clean publish overwrites the stale temp and swaps.
+  const auto recovered = ingest::publish_snapshot(variant_snapshot(), path);
+  ASSERT_TRUE(recovered.ok()) << recovered.error().to_string();
+  EXPECT_EQ(file_bytes(path), serve::serialize_snapshot(variant_snapshot()));
+}
+
+TEST_F(PublishFixture, TornFirstPublishLeavesNoTargetAtAll) {
+  ingest::PublishFaults faults;
+  faults.truncate_after_bytes = 10;
+  const auto torn = ingest::publish_snapshot(sample_snapshot(), path, &faults);
+  ASSERT_FALSE(torn.ok());
+  EXPECT_EQ(torn.error().code, "publish.torn");
+  EXPECT_FALSE(file_bytes(path).has_value()) << "torn publish materialised the target";
+}
+
+TEST_F(PublishFixture, CrashBeforeRenameLeavesDurableTempAndOldTarget) {
+  // The narrowest window: the image is fully written and fsynced but the
+  // swap has not happened.  The target must be the old file; the temp must
+  // be the complete new image (durable, parseable), and the next publish
+  // must reclaim it.
+  const auto old = sample_snapshot();
+  ASSERT_TRUE(ingest::publish_snapshot(old, path).ok());
+
+  ingest::PublishFaults faults;
+  faults.fail_before_rename = true;
+  const auto crashed = ingest::publish_snapshot(variant_snapshot(), path, &faults);
+  ASSERT_FALSE(crashed.ok());
+  EXPECT_EQ(crashed.error().code, "publish.crashed");
+  EXPECT_EQ(file_bytes(path), serve::serialize_snapshot(old));
+
+  const auto staged = file_bytes(temp);
+  ASSERT_TRUE(staged.has_value());
+  EXPECT_EQ(*staged, serve::serialize_snapshot(variant_snapshot()));
+  const auto parsed = serve::parse_snapshot(*staged);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+
+  const auto recovered = ingest::publish_snapshot(variant_snapshot(), path);
+  ASSERT_TRUE(recovered.ok()) << recovered.error().to_string();
+  EXPECT_EQ(file_bytes(path), serve::serialize_snapshot(variant_snapshot()));
+  EXPECT_FALSE(file_bytes(temp).has_value());
+}
+
+TEST_F(PublishFixture, SilentCorruptionIsCaughtByTheReader) {
+  // Bit rot between serialize and write is the one fault the publish path
+  // cannot see; it "succeeds", and the defence is the reader's checksums.
+  ingest::PublishFaults faults;
+  faults.corrupt_first_byte = true;
+  const auto published = ingest::publish_snapshot(sample_snapshot(), path, &faults);
+  ASSERT_TRUE(published.ok()) << published.error().to_string();
+
+  const auto read = serve::read_snapshot_file(path);
+  ASSERT_FALSE(read.ok()) << "corrupt snapshot parsed clean";
+  EXPECT_TRUE(read.error().code.starts_with("snapshot."))
+      << read.error().to_string();
+}
+
+TEST_F(PublishFixture, UnwritableDirectoryIsATypedIoError) {
+  const auto result =
+      ingest::publish_snapshot(sample_snapshot(), "/nonexistent/dir/mtscope.snap");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "publish.io");
 }
 
 TEST(Snapshot, ClassNamesAreStable) {

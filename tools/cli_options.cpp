@@ -58,7 +58,7 @@ struct Parser {
 
 const char* usage_text() noexcept {
   return
-      "usage: mtscope <infer|query|capture|datasets|ports> [options]\n"
+      "usage: mtscope <infer|query|serve|stream|ingest|capture|datasets|ports> [options]\n"
       "  common:  --seed N        simulation seed (default 42)\n"
       "           --scale tiny|full\n"
       "  infer:   --days K --ixps CE1,NA1 --no-tolerance --csv FILE\n"
@@ -74,7 +74,15 @@ const char* usage_text() noexcept {
       "  serve:   --snapshot FILE --port N (TCP query daemon; 0 = kernel-assigned)\n"
       "           --max-conns N (default 1024) --idle-timeout-ms N (default 30000)\n"
       "           --metrics-out FILE (serve.server.* metrics, written on exit)\n"
+      "           --watch-interval-ms N (poll --snapshot for atomic republish)\n"
       "           SIGHUP reloads --snapshot; SIGTERM/SIGINT drain and exit 0\n"
+      "  stream:  --out FILE (write simulated vantage-days as a flow stream;\n"
+      "           FIFO-friendly) --days K --ixps A,B\n"
+      "  ingest:  --source FILE --snapshot-out FILE (continuous pipeline:\n"
+      "           consume a flow stream, publish snapshots atomically)\n"
+      "           --window-days N (default 7) --cadence-days N (default 1)\n"
+      "           --threads N --no-tolerance --max-epochs N\n"
+      "           --metrics-out FILE (ingest.* metrics, written on exit)\n"
       "  capture: --telescope TUS1|TEU1|TEU2 --day D --pcap FILE\n"
       "  datasets: --out-dir DIR\n"
       "  ports:   --top K\n";
@@ -88,7 +96,8 @@ bool parse_args(int argc, const char* const* argv, Options& opt, std::string& er
   }
   opt.command = argv[1];
   if (opt.command != "infer" && opt.command != "query" && opt.command != "serve" &&
-      opt.command != "capture" && opt.command != "datasets" && opt.command != "ports") {
+      opt.command != "stream" && opt.command != "ingest" && opt.command != "capture" &&
+      opt.command != "datasets" && opt.command != "ports") {
     error = "unknown command: " + opt.command;
     return false;
   }
@@ -151,6 +160,22 @@ bool parse_args(int argc, const char* const* argv, Options& opt, std::string& er
       if (!p.uint_for(arg, opt.max_conns, 1u)) return false;
     } else if (arg == "--idle-timeout-ms") {
       if (!p.uint_for(arg, opt.idle_timeout_ms, 1u)) return false;
+    } else if (arg == "--watch-interval-ms") {
+      if (!p.uint_for(arg, opt.watch_interval_ms, 1u)) return false;
+    } else if (arg == "--out") {
+      const char* v = p.value_for(arg);
+      if (v == nullptr) return false;
+      opt.stream_out = v;
+    } else if (arg == "--source") {
+      const char* v = p.value_for(arg);
+      if (v == nullptr) return false;
+      opt.source_path = v;
+    } else if (arg == "--window-days") {
+      if (!p.uint_for(arg, opt.window_days, 1u)) return false;
+    } else if (arg == "--cadence-days") {
+      if (!p.uint_for(arg, opt.cadence_days, 1u)) return false;
+    } else if (arg == "--max-epochs") {
+      if (!p.uint_for(arg, opt.max_epochs, std::uint64_t{1})) return false;
     } else if (arg == "--lookups") {
       if (!p.uint_for(arg, opt.bench_lookups, std::uint64_t{1})) return false;
     } else if (arg == "--hilbert") {

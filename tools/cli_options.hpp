@@ -43,6 +43,14 @@ struct Options {
   int port = -1;                 // --port N (required; 0 = kernel-assigned)
   unsigned max_conns = 1024;     // --max-conns N
   unsigned idle_timeout_ms = 30'000;  // --idle-timeout-ms N
+  unsigned watch_interval_ms = 0;     // --watch-interval-ms N; 0 = SIGHUP only
+
+  // stream / ingest
+  std::string stream_out;        // --out FILE (stream: flow stream target)
+  std::string source_path;       // --source FILE (ingest: flow stream source)
+  unsigned window_days = 7;      // --window-days N (sliding window length)
+  unsigned cadence_days = 1;     // --cadence-days N (publish every N days)
+  std::uint64_t max_epochs = 0;  // --max-epochs N; 0 = run to stream end
 
   // capture / datasets / ports
   std::string telescope = "TUS1";

@@ -7,7 +7,13 @@
 //   mtscope query    --snapshot FILE [--ips FILE|-] [--bench [--lookups N]]
 //                    [--metrics-out FILE]
 //   mtscope serve    --snapshot FILE --port N [--max-conns N]
-//                    [--idle-timeout-ms N] [--metrics-out FILE]
+//                    [--idle-timeout-ms N] [--watch-interval-ms N]
+//                    [--metrics-out FILE]
+//   mtscope stream   [--seed N] [--scale tiny|full] [--days K] [--ixps A,B]
+//                    --out FILE
+//   mtscope ingest   --source FILE --snapshot-out FILE [--window-days N]
+//                    [--cadence-days N] [--threads N] [--no-tolerance]
+//                    [--max-epochs N] [--metrics-out FILE]
 //   mtscope capture  [--seed N] [--telescope TUS1|TEU1|TEU2] [--day D] --pcap FILE
 //   mtscope datasets [--seed N] [--scale tiny|full] --out-dir DIR
 //   mtscope ports    [--seed N] [--scale tiny|full] [--top K]
@@ -19,8 +25,14 @@
 // answers per-IP classification lookups at memory speed.  `serve` is the
 // operated telescope (DESIGN.md §12): a TCP daemon answering the same
 // verdicts over a line protocol, with SIGHUP hot reload and graceful
-// SIGTERM drain.  On a real deployment the same code paths start from an
-// IPFIX/NetFlow collector instead of the simulator.
+// SIGTERM drain.  `stream` + `ingest` are the continuous-operation pair
+// (DESIGN.md §13): `stream` exports simulated vantage-days as a flow
+// stream (write it to a FIFO for live producer/consumer operation), and
+// `ingest` consumes one, maintains the multi-day window incrementally,
+// and atomically republishes `--snapshot-out` on cadence — which a
+// watching `serve` picks up with zero operator touches.  On a real
+// deployment the same code paths start from an IPFIX/NetFlow collector
+// instead of the simulator.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -34,6 +46,8 @@
 #include "analysis/ports.hpp"
 #include "analysis/world_map.hpp"
 #include "cli_options.hpp"
+#include "ingest/daemon.hpp"
+#include "ingest/flow_stream.hpp"
 #include "net/pcap.hpp"
 #include "obs/metrics.hpp"
 #include "pipeline/collector.hpp"
@@ -179,6 +193,108 @@ int cmd_infer(const Options& opt) {
     std::ofstream out(opt.hilbert_path, std::ios::binary);
     map.write_pgm(out);
     std::fprintf(stderr, "wrote %s\n", opt.hilbert_path.c_str());
+  }
+  return 0;
+}
+
+/// Export simulated vantage-days as a flow stream (ingest's input).  The
+/// target may be a FIFO, in which case the open blocks until an ingest
+/// daemon attaches and frames stream as they are generated.
+int cmd_stream(const Options& opt) {
+  if (opt.stream_out.empty()) {
+    std::fprintf(stderr, "stream requires --out FILE\n");
+    return 1;
+  }
+  const sim::Simulation simulation = make_simulation(opt);
+  const auto ixps = select_ixps(simulation, opt);
+
+  std::ofstream out(opt.stream_out, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", opt.stream_out.c_str());
+    return 1;
+  }
+  ingest::FlowStreamWriter writer(out);
+  writer.write_header({opt.seed, opt.tiny});
+
+  std::uint64_t flows = 0;
+  for (int day = 0; day < std::max(1, opt.days); ++day) {
+    for (const std::size_t ixp : ixps) {
+      const auto data = simulation.run_ixp_day(ixp, day);
+      writer.write_dataset(day, simulation.ixps()[ixp].sampling_rate(),
+                           simulation.ixps()[ixp].spec().code, data.flows);
+      flows += data.flows.size();
+    }
+    writer.write_day_end(day);
+  }
+  writer.write_stream_end();
+  if (!writer.ok()) {
+    std::fprintf(stderr, "write error on %s\n", opt.stream_out.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "streamed %zu vantage point(s) x %d day(s), %llu flow(s) to %s\n",
+               ixps.size(), std::max(1, opt.days), static_cast<unsigned long long>(flows),
+               opt.stream_out.c_str());
+  return 0;
+}
+
+/// The continuous pipeline: consume a flow stream, maintain the sliding
+/// window, republish --snapshot-out atomically on cadence.
+int cmd_ingest(const Options& opt) {
+  if (opt.source_path.empty()) {
+    std::fprintf(stderr, "ingest requires --source FILE\n");
+    return 1;
+  }
+  if (opt.snapshot_out.empty()) {
+    std::fprintf(stderr, "ingest requires --snapshot-out FILE\n");
+    return 1;
+  }
+  obs::MetricsRegistry metrics_registry;
+  obs::MetricsRegistry* metrics = opt.metrics_path.empty() ? nullptr : &metrics_registry;
+
+  ingest::IngestConfig config;
+  config.source_path = opt.source_path;
+  config.snapshot_out = opt.snapshot_out;
+  config.window_days = static_cast<int>(opt.window_days);
+  config.cadence_days = static_cast<int>(opt.cadence_days);
+  config.threads = std::max(1u, opt.threads);
+  config.tolerance = opt.tolerance;
+  config.max_epochs = opt.max_epochs;
+  config.created_unix_s = static_cast<std::uint64_t>(std::time(nullptr));
+
+  ingest::IngestDaemon daemon(config, metrics);
+  daemon.on_publish = [&](std::uint64_t epoch, const serve::TelescopeSnapshot& snapshot) {
+    std::fprintf(stderr, "published epoch %llu: %zu block(s), window of %u day(s)\n",
+                 static_cast<unsigned long long>(epoch), snapshot.blocks.size(),
+                 static_cast<unsigned>(snapshot.meta.days));
+  };
+
+  std::fprintf(stderr, "ingesting %s -> %s (window %d day(s), cadence %d, %u thread(s))\n",
+               opt.source_path.c_str(), opt.snapshot_out.c_str(), config.window_days,
+               config.cadence_days, config.threads);
+  const auto finished = daemon.run();
+  if (!finished.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", finished.error().to_string().c_str());
+    return 1;
+  }
+  const auto& totals = finished.value();
+  std::printf("ingested %llu dataset(s), %llu flow(s), %llu day(s): "
+              "%llu epoch(s) published (%llu failure(s)), %llu day(s) evicted\n",
+              static_cast<unsigned long long>(totals.datasets),
+              static_cast<unsigned long long>(totals.flows),
+              static_cast<unsigned long long>(totals.days),
+              static_cast<unsigned long long>(totals.publishes),
+              static_cast<unsigned long long>(totals.publish_failures),
+              static_cast<unsigned long long>(totals.days_evicted));
+
+  if (metrics != nullptr) {
+    std::ofstream out(opt.metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", opt.metrics_path.c_str());
+      return 1;
+    }
+    metrics_registry.write_json(out);
+    out << '\n';
+    std::fprintf(stderr, "wrote %s\n", opt.metrics_path.c_str());
   }
   return 0;
 }
@@ -399,6 +515,7 @@ int cmd_serve(const Options& opt) {
   config.port = static_cast<std::uint16_t>(opt.port);
   config.max_conns = static_cast<int>(opt.max_conns);
   config.idle_timeout_ms = static_cast<int>(opt.idle_timeout_ms);
+  config.watch_interval_ms = static_cast<int>(opt.watch_interval_ms);
 
   serve::QueryServer server(config, metrics);
   const auto started = server.start();
@@ -510,6 +627,8 @@ int main(int argc, char** argv) {
   if (opt.command == "infer") return cmd_infer(opt);
   if (opt.command == "query") return cmd_query(opt);
   if (opt.command == "serve") return cmd_serve(opt);
+  if (opt.command == "stream") return cmd_stream(opt);
+  if (opt.command == "ingest") return cmd_ingest(opt);
   if (opt.command == "capture") return cmd_capture(opt);
   if (opt.command == "datasets") return cmd_datasets(opt);
   if (opt.command == "ports") return cmd_ports(opt);
