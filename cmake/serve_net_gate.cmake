@@ -1,0 +1,88 @@
+# Perf-regression gate over bench/micro_serve_net's BENCH_serve_net.json:
+# fail CI when the serve plane's measured throughput drops below a floor
+# or the load generator's uncontended p99 latency blows past a ceiling.
+# Correctness fields (mismatches, failed clients, reload count) are
+# re-checked too — the bench enforces them itself, but the gate makes a
+# silently-skipped bench impossible to miss.
+#
+#   cmake -DBENCH_JSON=<path> [-DQPS_FLOOR=50000] [-DP99_CEIL_US=250000] \
+#         -P serve_net_gate.cmake
+#
+# The floor/ceiling defaults are deliberately loose: they catch collapse
+# (an accidental O(n) wakeup, a lost reactor, an event-loop busy spin),
+# not noise.  Tighten them only with pinned CI hardware.
+if(NOT DEFINED BENCH_JSON)
+  message(FATAL_ERROR "pass -DBENCH_JSON=<path to BENCH_serve_net.json>")
+endif()
+if(NOT DEFINED QPS_FLOOR)
+  set(QPS_FLOOR 50000)
+endif()
+if(NOT DEFINED P99_CEIL_US)
+  set(P99_CEIL_US 250000)
+endif()
+
+if(NOT EXISTS "${BENCH_JSON}")
+  message(FATAL_ERROR "bench output missing: ${BENCH_JSON}")
+endif()
+file(READ "${BENCH_JSON}" json)
+
+# cmake's math() is integer-only; qps values are floats, so truncate the
+# fractional part before comparing.
+function(json_int out_var)
+  string(JSON value ERROR_VARIABLE err GET "${json}" ${ARGN})
+  if(err)
+    message(FATAL_ERROR "BENCH_serve_net.json missing ${ARGN}: ${err}")
+  endif()
+  string(REGEX REPLACE "\\..*$" "" value "${value}")
+  set(${out_var} "${value}" PARENT_SCOPE)
+endfunction()
+
+# -- correctness re-check ----------------------------------------------------
+json_int(mismatched mismatched_batches)
+json_int(failed failed_clients)
+json_int(reloads reloads)
+if(NOT mismatched EQUAL 0 OR NOT failed EQUAL 0)
+  message(FATAL_ERROR
+    "serve_net gate: correctness failure recorded "
+    "(mismatched_batches=${mismatched}, failed_clients=${failed})")
+endif()
+if(NOT reloads EQUAL 1)
+  message(FATAL_ERROR
+    "serve_net gate: expected exactly 1 mid-run hot reload, saw ${reloads}")
+endif()
+
+# -- throughput floor --------------------------------------------------------
+json_int(qps aggregate_qps)
+if(qps LESS QPS_FLOOR)
+  message(FATAL_ERROR
+    "serve_net gate: aggregate_qps ${qps} below floor ${QPS_FLOOR} - "
+    "the serve plane regressed")
+endif()
+
+# -- loadgen curve: zero errors everywhere, p99 ceiling on the lightest
+#    step (heavier steps may legitimately queue; the uncontended step is
+#    the stable latency signal) ----------------------------------------------
+string(JSON step_count ERROR_VARIABLE err LENGTH "${json}" loadgen steps)
+if(err OR step_count EQUAL 0)
+  message(FATAL_ERROR "BENCH_serve_net.json has no loadgen steps: ${err}")
+endif()
+math(EXPR last_step "${step_count} - 1")
+foreach(i RANGE ${last_step})
+  json_int(step_errors loadgen steps ${i} errors)
+  if(NOT step_errors EQUAL 0)
+    message(FATAL_ERROR "serve_net gate: loadgen step ${i} recorded ${step_errors} error(s)")
+  endif()
+endforeach()
+json_int(p99 loadgen steps 0 latency_us p99)
+json_int(first_target loadgen steps 0 target)
+if(p99 GREATER P99_CEIL_US)
+  message(FATAL_ERROR
+    "serve_net gate: p99 ${p99}us at the lightest step (${first_target} q/s) "
+    "exceeds ceiling ${P99_CEIL_US}us - serve latency regressed")
+endif()
+
+json_int(ratio_pct_x100 multi_over_single)  # informational only (single-core CI)
+message(STATUS
+  "serve_net gate OK: aggregate_qps=${qps} (floor ${QPS_FLOOR}), "
+  "lightest-step p99=${p99}us (ceiling ${P99_CEIL_US}us), "
+  "${step_count} loadgen step(s) error-free")

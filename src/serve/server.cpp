@@ -6,6 +6,7 @@
 #include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -14,6 +15,8 @@
 #include <csignal>
 #include <cstring>
 #include <string_view>
+#include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -29,7 +32,7 @@ using Clock = std::chrono::steady_clock;
 std::atomic<QueryServer*> g_signal_server{nullptr};
 
 extern "C" void mtscope_serve_signal_handler(int signum) {
-  // Async-signal-safe: one atomic load plus the eventfd write inside the
+  // Async-signal-safe: one atomic load plus the eventfd writes inside the
   // request_* methods.
   QueryServer* server = g_signal_server.load(std::memory_order_acquire);
   if (server == nullptr) return;
@@ -64,8 +67,19 @@ std::string format_verdict(net::Ipv4Addr addr,
   return out;
 }
 
+void append_sanitized_echo(std::string& out, std::string_view token, std::size_t limit) {
+  const std::size_t n = std::min(token.size(), limit);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto byte = static_cast<unsigned char>(token[i]);
+    out += (byte >= 0x20 && byte <= 0x7e) ? token[i] : '.';
+  }
+}
+
 /// Per-client state.  `out` is drained from `out_off` so flushing never
-/// memmoves; the string is recycled once empty.
+/// memmoves; the string is recycled once empty.  Fresh replies for a batch
+/// are built in the reactor's scratch buffer and coalesced with the
+/// leftover `out` bytes into one sendmsg — only what the kernel refuses
+/// (or the fairness cap defers) is copied into `out`.
 struct QueryServer::Connection {
   int fd = -1;
   std::string in;
@@ -80,57 +94,495 @@ struct QueryServer::Connection {
   [[nodiscard]] std::size_t pending() const noexcept { return out.size() - out_off; }
 };
 
+// ---------------------------------------------------------------------------
+// Reactor: one event loop, one SO_REUSEPORT listener, one connection
+// table.  Everything it mutates is thread-confined; it reaches into the
+// parent only for the shared SnapshotManager, the config, and the relaxed
+// monotonic counters.
+
+class QueryServer::Reactor {
+ public:
+  Reactor(QueryServer& server, int index)
+      : server_(server), index_(index) {
+    if (server_.metrics_ != nullptr) {
+      registry_ = std::make_unique<obs::MetricsRegistry>();
+      queries_counter_ = &registry_->counter("serve.server.queries");
+      invalid_counter_ = &registry_->counter("serve.server.invalid");
+      connections_counter_ = &registry_->counter("serve.server.connections");
+      drops_counter_ = &registry_->counter("serve.server.drops");
+      timeouts_counter_ = &registry_->counter("serve.server.timeouts");
+      partial_flush_counter_ = &registry_->counter("serve.server.partial_flushes");
+      active_gauge_ = &registry_->gauge("serve.server.active");
+      request_timer_ = &registry_->timer("serve.server.request_us");
+    }
+  }
+
+  ~Reactor() {
+    for (auto& [fd, conn] : conns_) {
+      loop_.remove(fd);
+      ::close(fd);
+    }
+    conns_.clear();
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+  }
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Bind + listen on `port` (0 = kernel-assigned, first reactor only)
+  /// and create the wake eventfd.  With more than one reactor every
+  /// listener sets SO_REUSEPORT so the kernel spreads accepts.
+  [[nodiscard]] util::Result<std::uint16_t> open(std::uint16_t port) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) return socket_error("socket");
+    const int enable = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+    if (server_.config_.reactors > 1) {
+      if (::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEPORT, &enable, sizeof(enable)) != 0) {
+        return socket_error("setsockopt(SO_REUSEPORT)");
+      }
+    }
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(port);
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      return socket_error("bind");
+    }
+    if (::listen(listen_fd_, 128) != 0) return socket_error("listen");
+
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+      return socket_error("getsockname");
+    }
+
+    wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (wake_fd_ < 0) return socket_error("eventfd");
+
+    loop_.add(listen_fd_, EPOLLIN);
+    loop_.add(wake_fd_, EPOLLIN);
+    return ntohs(bound.sin_port);
+  }
+
+  /// Async-signal-safe: one write(2) on an fd that is set once in open()
+  /// and never changes while the reactor may run.
+  void wake() noexcept {
+    const std::uint64_t one = 1;
+    if (wake_fd_ >= 0) {
+      [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
+    }
+  }
+
+  void run() {
+    std::vector<EventLoop::Event> events;
+    while (true) {
+      if (draining_) {
+        if (conns_.empty()) break;
+        if (Clock::now() >= drain_deadline_) {
+          for (auto it = conns_.begin(); it != conns_.end();) {
+            const int fd = it->first;
+            ++it;
+            close_connection(fd);
+          }
+          break;
+        }
+      }
+
+      loop_.wait(events, next_timeout_ms());
+      for (const auto& event : events) {
+        if (event.fd == wake_fd_) {
+          handle_wake();
+        } else if (event.fd == listen_fd_) {
+          accept_ready();
+        } else {
+          connection_ready(event.fd, event.events);
+        }
+      }
+      // Signals may land without a consumable wake event (EINTR during
+      // epoll_wait); the flags are the source of truth.
+      if (server_.reload_requested_.load(std::memory_order_acquire) ||
+          server_.stop_requested_.load(std::memory_order_acquire)) {
+        handle_wake();
+      }
+      maybe_sweep();
+      if (index_ == 0) server_.check_watch();
+    }
+  }
+
+  [[nodiscard]] std::uint64_t accepted() const noexcept {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const obs::MetricsRegistry* registry() const noexcept {
+    return registry_.get();
+  }
+
+ private:
+  /// The idle sweep runs on a coarse deadline — a quarter of the idle
+  /// timeout — instead of recomputing every connection's deadline on
+  /// every wakeup, which was O(conns) per event.  A connection is retired
+  /// between idle_timeout and idle_timeout + cadence after its last
+  /// progress, which the timeout contract allows (it promises "no sooner
+  /// than", not "exactly at").
+  [[nodiscard]] std::int64_t sweep_cadence_ms() const noexcept {
+    return std::max<std::int64_t>(1, server_.config_.idle_timeout_ms / 4);
+  }
+
+  [[nodiscard]] int next_timeout_ms() const {
+    const bool watching =
+        index_ == 0 && server_.config_.watch_interval_ms > 0 && !draining_;
+    if (conns_.empty() && !draining_ && !watching) return -1;
+    const auto now = Clock::now();
+    std::int64_t timeout_ms = 60'000;
+    const auto until = [&](Clock::time_point deadline) {
+      return std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now).count();
+    };
+    if (!conns_.empty()) timeout_ms = std::min(timeout_ms, until(next_sweep_));
+    if (watching) timeout_ms = std::min(timeout_ms, until(server_.next_watch_));
+    if (draining_) timeout_ms = std::min(timeout_ms, until(drain_deadline_));
+    // +1 rounds the sub-millisecond remainder up so a deadline poll never
+    // spins hot at timeout 0.
+    return static_cast<int>(std::clamp<std::int64_t>(timeout_ms + 1, 1, 60'000));
+  }
+
+  void handle_wake() {
+    std::uint64_t drained = 0;
+    [[maybe_unused]] const auto n = ::read(wake_fd_, &drained, sizeof(drained));
+
+    // Reactor 0 owns the reload: the SnapshotManager install is a single
+    // epoch swap every reactor's next batch observes, so loading once is
+    // both sufficient and what keeps the file read off the other loops.
+    if (index_ == 0 &&
+        server_.reload_requested_.exchange(false, std::memory_order_acq_rel)) {
+      server_.do_reload();
+    }
+    if (server_.stop_requested_.load(std::memory_order_acquire) && !draining_) {
+      begin_drain();
+    }
+  }
+
+  void begin_drain() {
+    draining_ = true;
+    drain_deadline_ =
+        Clock::now() + std::chrono::milliseconds(server_.config_.drain_timeout_ms);
+    if (listen_fd_ >= 0) {
+      loop_.remove(listen_fd_);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    // Answer everything already received, then let flush_output /
+    // update_interest retire each connection as its backlog empties.  A
+    // connection whose backlog fits the socket buffer right now must be
+    // closed here — with reads off and nothing pending its interest mask
+    // is empty, so no event would ever fire to retire it.
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      Connection& conn = *it->second;
+      ++it;  // close_connection erases the entry
+      conn.read_closed = true;
+      batch_.clear();
+      process_input(conn);
+      if (!flush_output(conn, batch_) || conn.pending() == 0) {
+        close_connection(conn.fd);
+        continue;
+      }
+      update_interest(conn);
+    }
+  }
+
+  void accept_ready() {
+    for (;;) {
+      const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        return;  // transient accept failure (e.g. ECONNABORTED): keep serving
+      }
+      // max_conns caps the whole server; with several reactors accepting
+      // concurrently the check is best-effort (a burst can overshoot by
+      // at most reactors-1), which is the usual REUSEPORT trade.
+      if (server_.active_.load(std::memory_order_relaxed) >=
+          static_cast<std::uint64_t>(server_.config_.max_conns)) {
+        ::close(fd);
+        server_.drops_.fetch_add(1, std::memory_order_relaxed);
+        if (drops_counter_ != nullptr) drops_counter_->add(1);
+        continue;
+      }
+      const int enable = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+
+      auto conn = std::make_unique<Connection>();
+      conn->fd = fd;
+      conn->last_activity = Clock::now();
+      conn->interest = EPOLLIN | EPOLLRDHUP;
+      loop_.add(fd, conn->interest);
+      if (conns_.empty()) next_sweep_ = Clock::now() + std::chrono::milliseconds(sweep_cadence_ms());
+      conns_.emplace(fd, std::move(conn));
+      server_.active_.fetch_add(1, std::memory_order_relaxed);
+
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      server_.connections_.fetch_add(1, std::memory_order_relaxed);
+      if (connections_counter_ != nullptr) {
+        connections_counter_->add(1);
+        active_gauge_->set(static_cast<std::int64_t>(conns_.size()));
+      }
+    }
+  }
+
+  void connection_ready(int fd, std::uint32_t events) {
+    const auto it = conns_.find(fd);
+    if (it == conns_.end()) return;  // closed earlier in this dispatch batch
+    Connection& conn = *it->second;
+
+    if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+      close_connection(fd);
+      return;
+    }
+
+    batch_.clear();
+    if ((events & (EPOLLIN | EPOLLRDHUP)) != 0 && !conn.read_closed && !conn.fatal) {
+      // One bounded chunk per event: level-triggered epoll re-arms while
+      // input remains, so a pipelining client cannot balloon `in`/`out`
+      // between back-pressure checks.
+      char chunk[16 * 1024];
+      const auto n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        conn.in.append(chunk, static_cast<std::size_t>(n));
+        conn.last_activity = Clock::now();
+        process_input(conn);
+      } else if (n == 0) {
+        // Peer finished sending (possibly via shutdown(SHUT_WR)); answer
+        // what is buffered, flush, then close.
+        conn.read_closed = true;
+        process_input(conn);
+      } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+        close_connection(fd);
+        return;
+      }
+    }
+
+    if (!flush_output(conn, batch_)) {
+      close_connection(fd);
+      return;
+    }
+    if (conn.pending() > server_.config_.max_pending_bytes) conn.paused = true;
+    if ((conn.read_closed || conn.fatal) && conn.pending() == 0) {
+      close_connection(fd);
+      return;
+    }
+    update_interest(conn);
+  }
+
+  /// Answer every complete line in `conn.in`, appending the verdicts to
+  /// the reactor's scratch batch buffer — the caller coalesces it into
+  /// one sendmsg via flush_output(conn, batch_).
+  void process_input(Connection& conn) {
+    // One index grab per batch: the lock-free reader path.  Everything in
+    // this batch is answered from one consistent epoch even if a reload
+    // lands concurrently with the next batch.
+    const std::shared_ptr<const TelescopeIndex> index = server_.manager_.current();
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t newline = conn.in.find('\n', start);
+      if (newline == std::string::npos) break;
+      answer_line(std::string_view(conn.in).substr(start, newline - start), *index);
+      start = newline + 1;
+    }
+    conn.in.erase(0, start);
+
+    if (conn.in.size() > server_.config_.max_request_bytes) {
+      // A "line" that exceeds the cap without a newline is a protocol
+      // violation, not a slow write: answer once, then hang up.
+      append_sanitized_echo(batch_, conn.in, kInvalidEchoBytes);
+      batch_ += " invalid\n";
+      conn.in.clear();
+      conn.fatal = true;
+      server_.invalid_.fetch_add(1, std::memory_order_relaxed);
+      server_.drops_.fetch_add(1, std::memory_order_relaxed);
+      if (invalid_counter_ != nullptr) invalid_counter_->add(1);
+      if (drops_counter_ != nullptr) drops_counter_->add(1);
+    }
+  }
+
+  void answer_line(std::string_view line, const TelescopeIndex& index) {
+    const auto token = util::trim(line);  // strips CRLF and padding
+    if (token.empty() || token.front() == '#') return;
+
+    const auto t0 = request_timer_ != nullptr ? Clock::now() : Clock::time_point{};
+    const auto addr = net::Ipv4Addr::parse(token);
+    if (!addr.has_value()) {
+      append_sanitized_echo(batch_, token, kInvalidEchoBytes);
+      batch_ += " invalid\n";
+      server_.invalid_.fetch_add(1, std::memory_order_relaxed);
+      if (invalid_counter_ != nullptr) invalid_counter_->add(1);
+    } else {
+      batch_ += format_verdict(*addr, index.lookup(*addr));
+      batch_ += '\n';
+    }
+    server_.queries_.fetch_add(1, std::memory_order_relaxed);
+    if (queries_counter_ != nullptr) queries_counter_->add(1);
+    if (request_timer_ != nullptr) {
+      request_timer_->record_us(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0).count()));
+    }
+  }
+
+  /// Flush the leftover per-connection buffer plus this event's fresh
+  /// batch as one vectored send.  At most max_flush_bytes_per_event bytes
+  /// leave per call — past the cap the remainder stays queued and
+  /// EPOLLOUT re-arms, so a huge backlog on one connection yields the
+  /// reactor to every other ready connection (the fairness contract).
+  /// Returns false when the peer is gone (EPIPE / ECONNRESET).
+  bool flush_output(Connection& conn, std::string_view batch = {}) {
+    std::size_t budget = server_.config_.max_flush_bytes_per_event;
+    std::size_t batch_off = 0;
+    bool peer_gone = false;
+    while (budget > 0 && (conn.pending() > 0 || batch.size() > batch_off)) {
+      iovec iov[2];
+      int iov_count = 0;
+      std::size_t want = 0;
+      if (conn.pending() > 0) {
+        const std::size_t len = std::min(conn.pending(), budget);
+        iov[iov_count++] = {const_cast<char*>(conn.out.data()) + conn.out_off, len};
+        want += len;
+      }
+      if (want < budget && batch.size() > batch_off) {
+        const std::size_t len = std::min(batch.size() - batch_off, budget - want);
+        iov[iov_count++] = {const_cast<char*>(batch.data()) + batch_off, len};
+        want += len;
+      }
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = static_cast<std::size_t>(iov_count);
+      const auto n = ::sendmsg(conn.fd, &msg, MSG_NOSIGNAL);
+      if (n > 0) {
+        std::size_t sent = static_cast<std::size_t>(n);
+        budget -= std::min(budget, sent);
+        const std::size_t from_out = std::min(sent, conn.pending());
+        conn.out_off += from_out;
+        batch_off += sent - from_out;
+        conn.last_activity = Clock::now();
+        continue;
+      }
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) peer_gone = true;
+      break;
+    }
+    if (conn.pending() == 0 && conn.out_off > 0) {
+      conn.out.clear();
+      conn.out_off = 0;
+    }
+    // What the kernel refused (or the cap deferred) queues for EPOLLOUT.
+    if (batch_off < batch.size()) conn.out.append(batch, batch_off, std::string::npos);
+    if (peer_gone) return false;
+    if (budget == 0 && conn.pending() > 0) {
+      server_.partial_flushes_.fetch_add(1, std::memory_order_relaxed);
+      if (partial_flush_counter_ != nullptr) partial_flush_counter_->add(1);
+    }
+    if (conn.paused && conn.pending() < server_.config_.max_pending_bytes / 2) {
+      conn.paused = false;  // back-pressure released
+    }
+    return true;
+  }
+
+  void update_interest(Connection& conn) {
+    std::uint32_t wanted = 0;
+    if (!conn.paused && !conn.read_closed && !conn.fatal) wanted |= EPOLLIN | EPOLLRDHUP;
+    if (conn.pending() > 0) wanted |= EPOLLOUT;
+    if (wanted != conn.interest) {
+      loop_.modify(conn.fd, wanted);
+      conn.interest = wanted;
+    }
+  }
+
+  void close_connection(int fd) {
+    const auto it = conns_.find(fd);
+    if (it == conns_.end()) return;
+    loop_.remove(fd);
+    ::close(fd);
+    conns_.erase(it);
+    server_.active_.fetch_sub(1, std::memory_order_relaxed);
+    if (active_gauge_ != nullptr) {
+      active_gauge_->set(static_cast<std::int64_t>(conns_.size()));
+    }
+  }
+
+  void maybe_sweep() {
+    if (conns_.empty()) return;
+    const auto now = Clock::now();
+    if (now < next_sweep_) return;
+    next_sweep_ = now + std::chrono::milliseconds(sweep_cadence_ms());
+    const auto limit = std::chrono::milliseconds(server_.config_.idle_timeout_ms);
+    std::vector<int> expired;
+    for (const auto& [fd, conn] : conns_) {
+      if (now - conn->last_activity > limit) expired.push_back(fd);
+    }
+    for (const int fd : expired) {
+      // Covers the back-pressured slow reader: paused connections make no
+      // read progress and a full socket buffer blocks write progress, so
+      // their last_activity freezes until this sweep retires them.
+      server_.timeouts_.fetch_add(1, std::memory_order_relaxed);
+      if (timeouts_counter_ != nullptr) timeouts_counter_->add(1);
+      close_connection(fd);
+    }
+  }
+
+  QueryServer& server_;
+  const int index_;
+  EventLoop loop_;
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;
+  bool draining_ = false;
+  Clock::time_point drain_deadline_{};
+  Clock::time_point next_sweep_{};
+  std::unordered_map<int, std::unique_ptr<Connection>> conns_;
+  std::string batch_;  // scratch reply buffer, one event's verdicts
+  std::atomic<std::uint64_t> accepted_{0};
+
+  // Private registry + resolved handles (map nodes are stable); all null
+  // without a parent registry so the hot path stays free of lookups.
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  obs::Counter* queries_counter_ = nullptr;
+  obs::Counter* invalid_counter_ = nullptr;
+  obs::Counter* connections_counter_ = nullptr;
+  obs::Counter* drops_counter_ = nullptr;
+  obs::Counter* timeouts_counter_ = nullptr;
+  obs::Counter* partial_flush_counter_ = nullptr;
+  obs::Gauge* active_gauge_ = nullptr;
+  obs::TimingHistogram* request_timer_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// QueryServer: lifecycle, reactor fan-out, and the shared reload path.
+
 QueryServer::QueryServer(ServerConfig config, obs::MetricsRegistry* metrics)
     : config_(std::move(config)), metrics_(metrics) {
-  if (metrics_ != nullptr) {
-    queries_counter_ = &metrics_->counter("serve.server.queries");
-    invalid_counter_ = &metrics_->counter("serve.server.invalid");
-    request_timer_ = &metrics_->timer("serve.server.request_us");
-  }
+  if (config_.reactors < 1) config_.reactors = 1;
 }
 
 QueryServer::~QueryServer() {
   QueryServer* expected = this;
   g_signal_server.compare_exchange_strong(expected, nullptr);
-  for (auto& [fd, conn] : conns_) {
-    loop_.remove(fd);
-    ::close(fd);
-  }
-  conns_.clear();
-  if (listen_fd_ >= 0) ::close(listen_fd_);
-  if (wake_fd_ >= 0) ::close(wake_fd_);
+  reactors_.clear();
 }
 
 util::Result<bool> QueryServer::start() {
   const auto installed = manager_.load_and_install(config_.snapshot_path, metrics_);
   if (!installed.ok()) return installed.error();
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) return socket_error("socket");
-  const int enable = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_ANY);
-  addr.sin_port = htons(config_.port);
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    return socket_error("bind");
+  reactors_.reserve(static_cast<std::size_t>(config_.reactors));
+  for (int i = 0; i < config_.reactors; ++i) {
+    auto reactor = std::make_unique<Reactor>(*this, i);
+    // Reactor 0 resolves port 0 to the kernel's pick; the rest bind the
+    // same port through SO_REUSEPORT so accepts spread across loops.
+    const auto opened = reactor->open(i == 0 ? config_.port : bound_port_);
+    if (!opened.ok()) return opened.error();
+    if (i == 0) bound_port_ = opened.value();
+    reactors_.push_back(std::move(reactor));
   }
-  if (::listen(listen_fd_, 128) != 0) return socket_error("listen");
 
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
-    return socket_error("getsockname");
-  }
-  bound_port_ = ntohs(bound.sin_port);
-
-  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  if (wake_fd_ < 0) return socket_error("eventfd");
-
-  loop_.add(listen_fd_, EPOLLIN);
-  loop_.add(wake_fd_, EPOLLIN);
   if (config_.watch_interval_ms > 0) {
     // Record the identity of the file just loaded so the first poll only
     // fires once a publisher actually replaces it.
@@ -143,18 +595,12 @@ util::Result<bool> QueryServer::start() {
 
 void QueryServer::request_stop() noexcept {
   stop_requested_.store(true, std::memory_order_release);
-  const std::uint64_t one = 1;
-  if (wake_fd_ >= 0) {
-    [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
-  }
+  for (const auto& reactor : reactors_) reactor->wake();
 }
 
 void QueryServer::request_reload() noexcept {
   reload_requested_.store(true, std::memory_order_release);
-  const std::uint64_t one = 1;
-  if (wake_fd_ >= 0) {
-    [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
-  }
+  if (!reactors_.empty()) reactors_.front()->wake();
 }
 
 void QueryServer::install_signal_handlers() {
@@ -178,84 +624,34 @@ ServerStats QueryServer::stats() const noexcept {
   s.reload_failures = reload_failures_.load(std::memory_order_relaxed);
   s.timeouts = timeouts_.load(std::memory_order_relaxed);
   s.drops = drops_.load(std::memory_order_relaxed);
+  s.partial_flushes = partial_flushes_.load(std::memory_order_relaxed);
   return s;
+}
+
+std::vector<std::uint64_t> QueryServer::reactor_connections() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(reactors_.size());
+  for (const auto& reactor : reactors_) out.push_back(reactor->accepted());
+  return out;
 }
 
 int QueryServer::run() {
   if (!started_) return 1;
-  std::vector<EventLoop::Event> events;
-  while (true) {
-    if (draining_) {
-      if (conns_.empty()) break;
-      if (Clock::now() >= drain_deadline_) {
-        for (auto it = conns_.begin(); it != conns_.end();) {
-          const int fd = it->first;
-          ++it;
-          close_connection(fd);
-        }
-        break;
-      }
-    }
+  std::vector<std::thread> threads;
+  threads.reserve(reactors_.size() - 1);
+  for (std::size_t i = 1; i < reactors_.size(); ++i) {
+    threads.emplace_back([reactor = reactors_[i].get()] { reactor->run(); });
+  }
+  reactors_.front()->run();
+  for (auto& thread : threads) thread.join();
 
-    loop_.wait(events, next_timeout_ms());
-    for (const auto& event : events) {
-      if (event.fd == wake_fd_) {
-        handle_wake();
-      } else if (event.fd == listen_fd_) {
-        accept_ready();
-      } else {
-        connection_ready(event.fd, event.events);
-      }
-    }
-    // Signals may land without a consumable wake event (EINTR during
-    // epoll_wait); the flags are the source of truth.
-    if (reload_requested_.load(std::memory_order_acquire) ||
-        stop_requested_.load(std::memory_order_acquire)) {
-      handle_wake();
-    }
-    sweep_idle();
-    check_watch();
+  // Deterministic metrics handoff: fold every reactor's private registry
+  // into the attached one in reactor-index order (counters add, gauges
+  // max, timers pool) — totals are then independent of scheduling.
+  if (metrics_ != nullptr) {
+    for (const auto& reactor : reactors_) metrics_->merge(*reactor->registry());
   }
   return 0;
-}
-
-int QueryServer::next_timeout_ms() const {
-  const bool watching = config_.watch_interval_ms > 0 && !draining_;
-  if (conns_.empty() && !draining_ && !watching) return -1;
-  const auto now = Clock::now();
-  std::int64_t timeout_ms = config_.idle_timeout_ms;
-  if (watching) {
-    // Wake for the next snapshot poll even with zero connections open.
-    const auto watch_ms =
-        std::chrono::duration_cast<std::chrono::milliseconds>(next_watch_ - now).count();
-    timeout_ms = std::min(timeout_ms, watch_ms);
-  }
-  for (const auto& [fd, conn] : conns_) {
-    const auto idle_ms =
-        std::chrono::duration_cast<std::chrono::milliseconds>(now - conn->last_activity)
-            .count();
-    timeout_ms = std::min(timeout_ms, std::int64_t{config_.idle_timeout_ms} - idle_ms);
-  }
-  if (draining_) {
-    const auto drain_ms =
-        std::chrono::duration_cast<std::chrono::milliseconds>(drain_deadline_ - now).count();
-    timeout_ms = std::min(timeout_ms, drain_ms);
-  }
-  // +1 rounds the sub-millisecond remainder up so a deadline poll never
-  // spins hot at timeout 0.
-  return static_cast<int>(std::clamp<std::int64_t>(timeout_ms + 1, 1, 60'000));
-}
-
-void QueryServer::handle_wake() {
-  std::uint64_t drained = 0;
-  [[maybe_unused]] const auto n = ::read(wake_fd_, &drained, sizeof(drained));
-
-  if (reload_requested_.exchange(false, std::memory_order_acq_rel)) {
-    do_reload();
-  }
-  if (stop_requested_.load(std::memory_order_acquire) && !draining_) {
-    begin_drain();
-  }
 }
 
 void QueryServer::do_reload() {
@@ -287,7 +683,8 @@ bool QueryServer::stat_snapshot(FileSig& out) const noexcept {
 }
 
 void QueryServer::check_watch() {
-  if (config_.watch_interval_ms <= 0 || draining_) return;
+  if (config_.watch_interval_ms <= 0) return;
+  if (stop_requested_.load(std::memory_order_acquire)) return;
   const auto now = Clock::now();
   if (now < next_watch_) return;
   next_watch_ = now + std::chrono::milliseconds(config_.watch_interval_ms);
@@ -295,229 +692,6 @@ void QueryServer::check_watch() {
   if (!stat_snapshot(sig)) return;  // transient (publisher mid-swap?); next tick retries
   if (watch_sig_valid_ && sig == watch_sig_) return;
   do_reload();
-}
-
-void QueryServer::begin_drain() {
-  draining_ = true;
-  drain_deadline_ = Clock::now() + std::chrono::milliseconds(config_.drain_timeout_ms);
-  if (listen_fd_ >= 0) {
-    loop_.remove(listen_fd_);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  // Answer everything already received, then let flush_output /
-  // update_interest retire each connection as its backlog empties.  A
-  // connection whose backlog fits the socket buffer right now must be
-  // closed here — with reads off and nothing pending its interest mask is
-  // empty, so no event would ever fire to retire it.
-  for (auto it = conns_.begin(); it != conns_.end();) {
-    Connection& conn = *it->second;
-    ++it;  // close_connection erases the entry
-    conn.read_closed = true;
-    if (!process_input(conn) || !flush_output(conn) || conn.pending() == 0) {
-      close_connection(conn.fd);
-      continue;
-    }
-    update_interest(conn);
-  }
-}
-
-void QueryServer::accept_ready() {
-  for (;;) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-      if (errno == EINTR) continue;
-      return;  // transient accept failure (e.g. ECONNABORTED): keep serving
-    }
-    if (conns_.size() >= static_cast<std::size_t>(config_.max_conns)) {
-      ::close(fd);
-      drops_.fetch_add(1, std::memory_order_relaxed);
-      if (metrics_ != nullptr) metrics_->counter("serve.server.drops").add(1);
-      continue;
-    }
-    const int enable = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
-
-    auto conn = std::make_unique<Connection>();
-    conn->fd = fd;
-    conn->last_activity = Clock::now();
-    conn->interest = EPOLLIN | EPOLLRDHUP;
-    loop_.add(fd, conn->interest);
-    conns_.emplace(fd, std::move(conn));
-    active_.store(conns_.size(), std::memory_order_relaxed);
-
-    connections_.fetch_add(1, std::memory_order_relaxed);
-    if (metrics_ != nullptr) {
-      metrics_->counter("serve.server.connections").add(1);
-      metrics_->gauge("serve.server.active").set(static_cast<std::int64_t>(conns_.size()));
-    }
-  }
-}
-
-void QueryServer::connection_ready(int fd, std::uint32_t events) {
-  const auto it = conns_.find(fd);
-  if (it == conns_.end()) return;  // closed earlier in this dispatch batch
-  Connection& conn = *it->second;
-
-  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
-    close_connection(fd);
-    return;
-  }
-
-  if ((events & (EPOLLIN | EPOLLRDHUP)) != 0 && !conn.read_closed && !conn.fatal) {
-    // One bounded chunk per event: level-triggered epoll re-arms while
-    // input remains, so a pipelining client cannot balloon `in`/`out`
-    // between back-pressure checks.
-    char chunk[16 * 1024];
-    const auto n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n > 0) {
-      conn.in.append(chunk, static_cast<std::size_t>(n));
-      conn.last_activity = Clock::now();
-      if (!process_input(conn)) {
-        close_connection(fd);
-        return;
-      }
-    } else if (n == 0) {
-      // Peer finished sending (possibly via shutdown(SHUT_WR)); answer
-      // what is buffered, flush, then close.
-      conn.read_closed = true;
-      if (!process_input(conn)) {
-        close_connection(fd);
-        return;
-      }
-    } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
-      close_connection(fd);
-      return;
-    }
-  }
-
-  if (!flush_output(conn)) {
-    close_connection(fd);
-    return;
-  }
-  if ((conn.read_closed || conn.fatal) && conn.pending() == 0) {
-    close_connection(fd);
-    return;
-  }
-  update_interest(conn);
-}
-
-bool QueryServer::process_input(Connection& conn) {
-  // One index grab per batch: the lock-free reader path.  Everything in
-  // this batch is answered from one consistent epoch even if a reload
-  // lands concurrently with the next batch.
-  const std::shared_ptr<const TelescopeIndex> index = manager_.current();
-  std::size_t start = 0;
-  for (;;) {
-    const std::size_t newline = conn.in.find('\n', start);
-    if (newline == std::string::npos) break;
-    answer_line(conn, std::string_view(conn.in).substr(start, newline - start), *index);
-    start = newline + 1;
-  }
-  conn.in.erase(0, start);
-
-  if (conn.in.size() > config_.max_request_bytes) {
-    // A "line" that exceeds the cap without a newline is a protocol
-    // violation, not a slow write: answer once, then hang up.
-    conn.out.append(std::string_view(conn.in).substr(0, kInvalidEchoBytes));
-    conn.out += " invalid\n";
-    conn.in.clear();
-    conn.fatal = true;
-    invalid_.fetch_add(1, std::memory_order_relaxed);
-    drops_.fetch_add(1, std::memory_order_relaxed);
-    if (invalid_counter_ != nullptr) invalid_counter_->add(1);
-    if (metrics_ != nullptr) metrics_->counter("serve.server.drops").add(1);
-  }
-  if (conn.pending() > config_.max_pending_bytes) conn.paused = true;
-  return true;
-}
-
-void QueryServer::answer_line(Connection& conn, std::string_view line,
-                              const TelescopeIndex& index) {
-  const auto token = util::trim(line);  // strips CRLF and padding
-  if (token.empty() || token.front() == '#') return;
-
-  const auto t0 = request_timer_ != nullptr ? Clock::now() : Clock::time_point{};
-  const auto addr = net::Ipv4Addr::parse(token);
-  if (!addr.has_value()) {
-    conn.out.append(token.substr(0, kInvalidEchoBytes));
-    conn.out += " invalid\n";
-    invalid_.fetch_add(1, std::memory_order_relaxed);
-    if (invalid_counter_ != nullptr) invalid_counter_->add(1);
-  } else {
-    conn.out += format_verdict(*addr, index.lookup(*addr));
-    conn.out += '\n';
-  }
-  queries_.fetch_add(1, std::memory_order_relaxed);
-  if (queries_counter_ != nullptr) queries_counter_->add(1);
-  if (request_timer_ != nullptr) {
-    request_timer_->record_us(static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0).count()));
-  }
-}
-
-bool QueryServer::flush_output(Connection& conn) {
-  while (conn.pending() > 0) {
-    const auto n = ::send(conn.fd, conn.out.data() + conn.out_off, conn.pending(),
-                          MSG_NOSIGNAL);
-    if (n > 0) {
-      conn.out_off += static_cast<std::size_t>(n);
-      conn.last_activity = Clock::now();
-      continue;
-    }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    if (errno == EINTR) continue;
-    return false;  // EPIPE / ECONNRESET: the peer is gone
-  }
-  if (conn.pending() == 0 && conn.out_off > 0) {
-    conn.out.clear();
-    conn.out_off = 0;
-  }
-  if (conn.paused && conn.pending() < config_.max_pending_bytes / 2) {
-    conn.paused = false;  // back-pressure released
-  }
-  return true;
-}
-
-void QueryServer::update_interest(Connection& conn) {
-  std::uint32_t wanted = 0;
-  if (!conn.paused && !conn.read_closed && !conn.fatal) wanted |= EPOLLIN | EPOLLRDHUP;
-  if (conn.pending() > 0) wanted |= EPOLLOUT;
-  if (wanted != conn.interest) {
-    loop_.modify(conn.fd, wanted);
-    conn.interest = wanted;
-  }
-}
-
-void QueryServer::close_connection(int fd) {
-  const auto it = conns_.find(fd);
-  if (it == conns_.end()) return;
-  loop_.remove(fd);
-  ::close(fd);
-  conns_.erase(it);
-  active_.store(conns_.size(), std::memory_order_relaxed);
-  if (metrics_ != nullptr) {
-    metrics_->gauge("serve.server.active").set(static_cast<std::int64_t>(conns_.size()));
-  }
-}
-
-void QueryServer::sweep_idle() {
-  if (conns_.empty()) return;
-  const auto now = Clock::now();
-  const auto limit = std::chrono::milliseconds(config_.idle_timeout_ms);
-  std::vector<int> expired;
-  for (const auto& [fd, conn] : conns_) {
-    if (now - conn->last_activity > limit) expired.push_back(fd);
-  }
-  for (const int fd : expired) {
-    // Covers the back-pressured slow reader: paused connections make no
-    // read progress and a full socket buffer blocks write progress, so
-    // their last_activity freezes until this sweep retires them.
-    timeouts_.fetch_add(1, std::memory_order_relaxed);
-    if (metrics_ != nullptr) metrics_->counter("serve.server.timeouts").add(1);
-    close_connection(fd);
-  }
 }
 
 }  // namespace mtscope::serve

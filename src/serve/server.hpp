@@ -11,14 +11,20 @@
 //   <ip> none\n                             not in the meta-telescope map
 //   <token> invalid\n                        unparseable request line
 //
-// Architecture: a single-threaded epoll reactor (serve/event_loop.hpp)
-// over non-blocking sockets.  "Concurrent" means many simultaneous
-// clients, not many lookup threads — one core already answers tens of
-// millions of classify() calls per second, so the bottleneck is socket
-// I/O, and one reactor thread keeps every mutable structure
-// single-writer.  Lookups run on the SnapshotManager's lock-free reader
-// path: the reactor grabs the current shared_ptr once per input batch and
-// queries the immutable index with no further synchronization.
+// The echoed <token> is sanitized: bytes outside printable ASCII are
+// replaced with '.', so binary garbage is never reflected onto the wire.
+//
+// Architecture: N independent epoll reactors (serve/event_loop.hpp), one
+// per core with `--reactors N`, each owning its own SO_REUSEPORT listener,
+// eventfd, and connection table — the kernel load-balances accepts across
+// listeners, and no connection ever migrates between reactors, so every
+// mutable structure stays single-writer and the reactors share nothing
+// but the SnapshotManager epoch and a handful of monotonic counters.
+// Lookups run on the SnapshotManager's lock-free reader path: a reactor
+// grabs the current shared_ptr once per input batch and queries the
+// immutable index with no further synchronization, which is also why a
+// reload needs no cross-reactor coordination — every reactor's next batch
+// simply observes the new epoch.
 //
 // Robustness contract:
 //  * Bounded buffers.  At most one bounded chunk is read per readable
@@ -27,36 +33,48 @@
 //    connection is closed.  Replies queue in a per-connection buffer; past
 //    max_pending_bytes the server stops reading that connection
 //    (back-pressure) until the client drains below half.
+//  * Write fairness.  A flush writes at most max_flush_bytes_per_event
+//    bytes per event (one sendmsg over the drained buffer plus the fresh
+//    batch), then re-arms EPOLLOUT — one connection with a huge reply
+//    backlog cannot monopolize its reactor while other ready connections
+//    starve (serve.server.partial_flushes counts capped flushes).
 //  * Idle timeout.  A connection making no read or write progress for
 //    idle_timeout_ms is closed (serve.server.timeouts).  This is also how
-//    a back-pressured slow reader eventually gets disconnected.
+//    a back-pressured slow reader eventually gets disconnected.  The
+//    sweep runs on a coarse deadline (idle_timeout_ms / 4), not on every
+//    wakeup, so deadline accounting costs O(conns) per sweep period
+//    instead of per event.
 //  * Hot reload.  request_reload() (or SIGHUP via
 //    install_signal_handlers()) atomically swaps the snapshot through the
-//    SnapshotManager epoch path.  A failed reload (missing/corrupt file)
-//    keeps the old epoch serving.  In-flight queries are never dropped:
-//    the swap happens between input batches on the reactor thread.
-//  * Watch mode (zero-touch publish).  With watch_interval_ms > 0 the
-//    reactor polls snapshot_path's identity (dev/inode/size/mtime) on
+//    SnapshotManager epoch path; reactor 0 performs the load, every
+//    reactor picks the new epoch up at its next input batch.  A failed
+//    reload (missing/corrupt file) keeps the old epoch serving.
+//    In-flight queries are never dropped: each batch is answered from
+//    exactly one epoch.
+//  * Watch mode (zero-touch publish).  With watch_interval_ms > 0,
+//    reactor 0 polls snapshot_path's identity (dev/inode/size/mtime) on
 //    that cadence and runs the same reload path when it changes — no
 //    signal needed, which is how an ingest daemon's atomic publishes
 //    (ingest/publish.hpp: write-temp + fsync + rename) flow into a live
 //    server.  The rename guarantees the watcher never loads a torn file;
 //    a changed-but-corrupt file fails typed, keeps the old epoch, and is
 //    not retried until the signature changes again.
-//  * Graceful drain.  request_stop() (or SIGTERM/SIGINT) closes the
-//    listener, answers every request already received, flushes every
-//    queued reply (up to drain_timeout_ms), then run() returns 0.
+//  * Graceful drain.  request_stop() (or SIGTERM/SIGINT) closes every
+//    listener, answers every request already received on every reactor,
+//    flushes every queued reply (up to drain_timeout_ms), then run()
+//    returns 0 once the last reactor has drained.
 //
 // request_stop() / request_reload() are async-signal-safe and
-// thread-safe: they set an atomic flag and write an eventfd.
+// thread-safe: they set an atomic flag and write the reactors' eventfds.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "net/ipv4.hpp"
 #include "obs/metrics.hpp"
@@ -72,20 +90,27 @@ namespace mtscope::serve {
 [[nodiscard]] std::string format_verdict(net::Ipv4Addr addr,
                                          const std::optional<TelescopeIndex::Verdict>& verdict);
 
+/// Copy up to `limit` bytes of `token` into `out`, replacing every byte
+/// outside printable ASCII [0x20, 0x7e] with '.' — the server must never
+/// reflect control characters or raw binary back at a client.
+void append_sanitized_echo(std::string& out, std::string_view token, std::size_t limit);
+
 struct ServerConfig {
   std::string snapshot_path;            // loaded at start() and on each reload
   std::uint16_t port = 0;               // 0 = kernel-assigned (see port())
+  int reactors = 1;                     // event loops, one SO_REUSEPORT listener each
   int max_conns = 1024;                 // accepted beyond this are closed at once
   int idle_timeout_ms = 30'000;         // no-progress connections are dropped
   int drain_timeout_ms = 5'000;         // cap on flushing replies after stop
   int watch_interval_ms = 0;            // poll snapshot_path for replacement; 0 = SIGHUP only
   std::size_t max_request_bytes = 4096;     // longest accepted request line
   std::size_t max_pending_bytes = 256 * 1024;  // reply backlog before back-pressure
+  std::size_t max_flush_bytes_per_event = 256 * 1024;  // write-fairness cap per event
 };
 
 /// Monotonic server totals, readable from any thread (tests, benches, the
-/// CLI's exit banner).  The obs counters mirror these when a registry is
-/// attached.
+/// CLI's exit banner).  Aggregated across every reactor; the obs counters
+/// mirror these when a registry is attached.
 struct ServerStats {
   std::uint64_t connections = 0;  // accepted, lifetime
   std::uint64_t active = 0;       // currently open
@@ -95,37 +120,45 @@ struct ServerStats {
   std::uint64_t reload_failures = 0;
   std::uint64_t timeouts = 0;     // idle/no-progress disconnects
   std::uint64_t drops = 0;        // over-capacity rejects + buffer-overrun kills
+  std::uint64_t partial_flushes = 0;  // flushes capped by max_flush_bytes_per_event
 };
 
 class QueryServer {
  public:
   /// With a registry, maintains serve.server.{connections,active,queries,
-  /// invalid,reloads,reload_failures,timeouts,drops} plus the
-  /// serve.server.request_us latency histogram.  The registry is touched
-  /// only from the reactor thread; read it after run() returns.
+  /// invalid,reloads,reload_failures,timeouts,drops,partial_flushes} plus
+  /// the serve.server.request_us latency histogram.  Each reactor writes
+  /// its own private registry; after run() returns they are merged into
+  /// the attached registry in reactor-index order (counters add, gauges
+  /// keep the max, timers pool), so the snapshot is deterministic for the
+  /// same work regardless of scheduling.  Read it after run() returns.
   explicit QueryServer(ServerConfig config, obs::MetricsRegistry* metrics = nullptr);
   ~QueryServer();
 
   QueryServer(const QueryServer&) = delete;
   QueryServer& operator=(const QueryServer&) = delete;
 
-  /// Load + install the snapshot, bind + listen.  Expected failures (bad
-  /// snapshot file, port in use) come back as typed errors.
+  /// Load + install the snapshot, bind + listen (one SO_REUSEPORT
+  /// listener per reactor).  Expected failures (bad snapshot file, port
+  /// in use) come back as typed errors.
   [[nodiscard]] util::Result<bool> start();
 
-  /// The bound port — the kernel's pick when config.port was 0.  Valid
-  /// after a successful start().
+  /// The bound port — the kernel's pick when config.port was 0.  Every
+  /// reactor's listener shares it.  Valid after a successful start().
   [[nodiscard]] std::uint16_t port() const noexcept { return bound_port_; }
 
-  /// The reactor: blocks until a stop request has fully drained.  Returns
-  /// 0 on a clean drain (the SIGTERM contract), 1 if start() was never
-  /// called successfully.
+  /// Run every reactor (reactor 0 on the calling thread, the rest on
+  /// their own threads) and block until a stop request has fully drained
+  /// all of them.  Returns 0 on a clean drain (the SIGTERM contract), 1
+  /// if start() was never called successfully.
   int run();
 
-  /// Begin graceful drain.  Async-signal-safe, idempotent.
+  /// Begin graceful drain on every reactor.  Async-signal-safe,
+  /// idempotent.
   void request_stop() noexcept;
 
-  /// Swap in config.snapshot_path at the next reactor iteration.
+  /// Swap in config.snapshot_path at reactor 0's next iteration; the
+  /// other reactors observe the new epoch at their next input batch.
   /// Async-signal-safe; failures leave the current epoch serving.
   void request_reload() noexcept;
 
@@ -137,22 +170,17 @@ class QueryServer {
   [[nodiscard]] const SnapshotManager& manager() const noexcept { return manager_; }
   [[nodiscard]] ServerStats stats() const noexcept;
 
+  /// Lifetime accepted-connection count per reactor, for accept-
+  /// distribution checks — SO_REUSEPORT hashes connections across the
+  /// listeners, so under many clients every reactor should see some.
+  [[nodiscard]] std::vector<std::uint64_t> reactor_connections() const;
+
  private:
   struct Connection;
+  class Reactor;
 
-  void accept_ready();
-  void handle_wake();
-  void connection_ready(int fd, std::uint32_t events);
-  bool process_input(Connection& conn);       // false => close the connection
-  void answer_line(Connection& conn, std::string_view line, const TelescopeIndex& index);
-  bool flush_output(Connection& conn);        // false => close the connection
-  void update_interest(Connection& conn);
-  void close_connection(int fd);
-  void sweep_idle();
-  void begin_drain();
-  void do_reload();     // the swap itself, shared by SIGHUP and the watcher
-  void check_watch();   // watch-mode poll (no-op unless due)
-  [[nodiscard]] int next_timeout_ms() const;
+  void do_reload();     // reactor 0's thread only: the swap itself
+  void check_watch();   // reactor 0's thread only: watch-mode poll
 
   /// File identity for watch mode: a successful atomic publish always
   /// changes the inode (rename swaps a freshly written temp file in).
@@ -170,24 +198,22 @@ class QueryServer {
   ServerConfig config_;
   obs::MetricsRegistry* metrics_;
   SnapshotManager manager_;
-  EventLoop loop_;
-  int listen_fd_ = -1;
-  int wake_fd_ = -1;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
   std::uint16_t bound_port_ = 0;
   bool started_ = false;
-  bool draining_ = false;
-  std::chrono::steady_clock::time_point drain_deadline_{};
+
+  // Watch-mode state: touched only by reactor 0's thread after start().
   std::chrono::steady_clock::time_point next_watch_{};
   FileSig watch_sig_{};
   bool watch_sig_valid_ = false;
-  std::unordered_map<int, std::unique_ptr<Connection>> conns_;
 
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> reload_requested_{false};
 
-  // Cross-thread-readable totals; the reactor is the only writer.
-  // active_ mirrors conns_.size() because stats() must not touch the
-  // reactor-owned map from another thread.
+  // Cross-thread-readable totals, shared by every reactor (relaxed
+  // fetch_add — sums commute).  active_ mirrors the live connection count
+  // because stats() must not touch the reactor-owned maps from another
+  // thread; it is also what enforces max_conns across reactors.
   std::atomic<std::uint64_t> active_{0};
   std::atomic<std::uint64_t> connections_{0};
   std::atomic<std::uint64_t> queries_{0};
@@ -196,12 +222,7 @@ class QueryServer {
   std::atomic<std::uint64_t> reload_failures_{0};
   std::atomic<std::uint64_t> timeouts_{0};
   std::atomic<std::uint64_t> drops_{0};
-
-  // Registry handles resolved once (map nodes are stable); null without a
-  // registry so the hot path stays free of string lookups.
-  obs::Counter* queries_counter_ = nullptr;
-  obs::Counter* invalid_counter_ = nullptr;
-  obs::TimingHistogram* request_timer_ = nullptr;
+  std::atomic<std::uint64_t> partial_flushes_{0};
 };
 
 }  // namespace mtscope::serve

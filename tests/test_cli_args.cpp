@@ -42,7 +42,8 @@ TEST(CliArgs, UnknownCommand) {
 }
 
 TEST(CliArgs, AllCommandsAccepted) {
-  for (const char* cmd : {"infer", "query", "serve", "capture", "datasets", "ports"}) {
+  for (const char* cmd :
+       {"infer", "query", "serve", "loadgen", "capture", "datasets", "ports"}) {
     const auto r = parse({cmd});
     EXPECT_TRUE(r.ok) << cmd << ": " << r.error;
     EXPECT_EQ(r.opt.command, cmd);
@@ -235,6 +236,81 @@ TEST(CliArgs, MissingValueForPort) {
   EXPECT_EQ(r.error, "missing value for --port");
 }
 
+TEST(CliArgs, ServeReactorsParses) {
+  const auto r = parse({"serve", "--port", "7070", "--reactors", "4"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.opt.reactors, 4u);
+}
+
+TEST(CliArgs, ServeReactorsDefaultsToOne) {
+  const auto r = parse({"serve", "--port", "7070"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.opt.reactors, 1u);
+}
+
+TEST(CliArgs, ServeReactorsZeroRejected) {
+  const auto r = parse({"serve", "--reactors", "0"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "--reactors must be >= 1");
+}
+
+TEST(CliArgs, ServeReactorsRangeChecked) {
+  const auto r = parse({"serve", "--reactors", "257"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "--reactors must be in [1, 256]");
+}
+
+// --- loadgen surface --------------------------------------------------------
+
+TEST(CliArgs, LoadgenDefaults) {
+  const auto r = parse({"loadgen"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.opt.command, "loadgen");
+  EXPECT_EQ(r.opt.host, "127.0.0.1");
+  EXPECT_EQ(r.opt.load_mode, "open");
+  EXPECT_TRUE(r.opt.steps.empty());  // cmd_loadgen demands explicit --steps
+  EXPECT_EQ(r.opt.conns, 4u);
+  EXPECT_EQ(r.opt.warmup_ms, 200u);
+  EXPECT_EQ(r.opt.measure_ms, 1000u);
+  EXPECT_EQ(r.opt.cooldown_ms, 200u);
+}
+
+TEST(CliArgs, LoadgenOptionsParse) {
+  const auto r = parse({"loadgen", "--port", "7070", "--host", "10.0.0.9",
+                        "--mode", "closed", "--steps", "1000,5000", "--conns", "8",
+                        "--warmup-ms", "50", "--measure-ms", "500",
+                        "--cooldown-ms", "100", "--out", "curve.json"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.opt.port, 7070);
+  EXPECT_EQ(r.opt.host, "10.0.0.9");
+  EXPECT_EQ(r.opt.load_mode, "closed");
+  EXPECT_EQ(r.opt.steps, "1000,5000");
+  EXPECT_EQ(r.opt.conns, 8u);
+  EXPECT_EQ(r.opt.warmup_ms, 50u);
+  EXPECT_EQ(r.opt.measure_ms, 500u);
+  EXPECT_EQ(r.opt.cooldown_ms, 100u);
+  EXPECT_EQ(r.opt.stream_out, "curve.json");
+}
+
+TEST(CliArgs, LoadgenModeValidatesMembers) {
+  const auto r = parse({"loadgen", "--mode", "sideways"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "invalid value for --mode: 'sideways' (expected open or closed)");
+}
+
+TEST(CliArgs, LoadgenMeasureZeroRejected) {
+  const auto r = parse({"loadgen", "--measure-ms", "0"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "--measure-ms must be >= 1");
+}
+
+TEST(CliArgs, LoadgenWarmupZeroAccepted) {
+  const auto r = parse({"loadgen", "--warmup-ms", "0", "--cooldown-ms", "0"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.opt.warmup_ms, 0u);
+  EXPECT_EQ(r.opt.cooldown_ms, 0u);
+}
+
 // --- snapshot-out + usage text ---------------------------------------------
 
 TEST(CliArgs, SnapshotOutParses) {
@@ -245,13 +321,17 @@ TEST(CliArgs, SnapshotOutParses) {
 
 TEST(CliArgs, UsageTextMentionsEveryCommand) {
   const std::string usage = cli::usage_text();
-  for (const char* cmd : {"infer", "query", "serve", "capture", "datasets", "ports"}) {
+  for (const char* cmd :
+       {"infer", "query", "serve", "loadgen", "capture", "datasets", "ports"}) {
     EXPECT_NE(usage.find(cmd), std::string::npos) << cmd;
   }
   EXPECT_NE(usage.find("--snapshot-out"), std::string::npos);
   EXPECT_NE(usage.find("--bench"), std::string::npos);
   EXPECT_NE(usage.find("--port"), std::string::npos);
   EXPECT_NE(usage.find("--idle-timeout-ms"), std::string::npos);
+  EXPECT_NE(usage.find("--reactors"), std::string::npos);
+  EXPECT_NE(usage.find("--steps"), std::string::npos);
+  EXPECT_NE(usage.find("--mode"), std::string::npos);
 }
 
 }  // namespace

@@ -4,7 +4,10 @@
 // interleaved partial writes), robustness (slow-reader back-pressure and
 // disconnect, overlong-line rejection, over-capacity rejects), SIGHUP hot
 // reload under load with verdict continuity, and the SIGTERM graceful
-// drain contract (every queued reply flushed, exit 0).  Under
+// drain contract (every queued reply flushed, exit 0).  The MultiReactor
+// suite covers the SO_REUSEPORT fan-out: accept distribution, epoch swap
+// under cross-reactor load, drain with backlogs on several reactors, and
+// the deterministic per-reactor metrics merge.  Under
 // MTSCOPE_SANITIZE=thread/address this binary doubles as the
 // tsan_server_smoke / asan_server_smoke sanitizer ctests.
 #include "serve/server.hpp"
@@ -652,6 +655,308 @@ TEST(ServeServer, SigtermDrainsPendingRepliesAndExitsZero) {
   // The listener is gone: fresh connections are refused.
   Client late(rs.port());
   EXPECT_FALSE(late.connected());
+}
+
+// ---------------------------------------------------------------------------
+// Invalid-echo sanitization: the server must never reflect raw binary or
+// control characters back onto the wire.
+
+TEST(SanitizedEcho, ReplacesNonPrintableBytesAndTruncates) {
+  std::string out;
+  serve::append_sanitized_echo(out, "plain.token", 64);
+  EXPECT_EQ(out, "plain.token");
+
+  out.clear();
+  serve::append_sanitized_echo(out, std::string_view("\x01\x02 ok \x7f\xff\n\t", 10), 64);
+  EXPECT_EQ(out, ".. ok ....");
+
+  out.clear();  // the limit truncates before sanitizing
+  serve::append_sanitized_echo(out, std::string(100, 'a') + "\x03", 8);
+  EXPECT_EQ(out, "aaaaaaaa");
+
+  out.clear();  // boundary bytes: 0x1f/0x7f masked, 0x20/0x7e kept
+  serve::append_sanitized_echo(out, std::string_view("\x1f\x20\x7e\x7f", 4), 64);
+  EXPECT_EQ(out, ". ~.");
+}
+
+TEST(ServeServer, GarbageRequestLinesAreEchoedSanitized) {
+  RunningServer rs(test_config(snapshot_file("garbage", 0)));
+  Client client(rs.port());
+  ASSERT_TRUE(client.connected());
+
+  // Control characters, high bytes, and an ANSI escape attempt — each an
+  // unparseable line the server answers with a sanitized echo.  The \x1b
+  // would re-style the terminal of anyone eyeballing the stream with nc.
+  ASSERT_TRUE(client.send_all(std::string_view("\x01garbage\x02\n", 10)));
+  ASSERT_TRUE(client.send_all(std::string_view("\x1b[31mred\n", 9)));
+  ASSERT_TRUE(client.send_all(std::string_view("\xde\xad\xbe\xef\n", 5)));
+  const auto lines = client.read_lines(3);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], ".garbage. invalid");
+  EXPECT_EQ(lines[1], ".[31mred invalid");
+  EXPECT_EQ(lines[2], ".... invalid");
+  EXPECT_EQ(rs.server->stats().invalid, 3u);
+}
+
+TEST(ServeServer, OverlongBinaryLineEchoIsSanitized) {
+  auto config = test_config(snapshot_file("overlongbin", 0));
+  config.max_request_bytes = 128;
+  RunningServer rs(std::move(config));
+
+  Client client(rs.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_all(std::string(512, '\x02')));  // no newline ever
+  const auto lines = client.read_lines(1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], std::string(64, '.') + " invalid");
+  EXPECT_TRUE(client.reads_eof());
+}
+
+// ---------------------------------------------------------------------------
+// Write fairness: one connection's reply backlog must not monopolize the
+// reactor.  Every flush is capped at max_flush_bytes_per_event, so other
+// ready connections get service between the backlog's EPOLLOUT rounds.
+
+TEST(ServeServer, BackloggedConnectionDoesNotStarveOthers) {
+  auto config = test_config(snapshot_file("fairness", 0));
+  config.max_pending_bytes = 4 * 1024 * 1024;     // answer everything, queue freely
+  config.max_flush_bytes_per_event = 1024;        // tiny cap: many partial flushes
+  RunningServer rs(std::move(config));
+
+  // ~600 KB of replies into a client that never reads: far beyond the
+  // loopback socket buffers, so a large pending backlog builds up and
+  // every flush toward it hits the cap.
+  constexpr int kBurst = 20'000;
+  Client hog(rs.port());
+  ASSERT_TRUE(hog.connected());
+  std::string burst;
+  burst.reserve(static_cast<std::size_t>(kBurst) * 12);
+  for (int i = 0; i < kBurst; ++i) {
+    burst += "10.0." + std::to_string(i % 2) + "." + std::to_string(i % 256) + "\n";
+  }
+  ASSERT_TRUE(hog.send_all(burst));
+  ASSERT_TRUE(wait_until([&] { return rs.server->stats().queries >= kBurst; }));
+
+  // With the backlog stalled mid-drain, a well-behaved client must still
+  // get prompt answers (pre-fix, flush_output looped to EAGAIN first).
+  const auto t0 = std::chrono::steady_clock::now();
+  Client probe(rs.port());
+  ASSERT_TRUE(probe.connected());
+  ASSERT_TRUE(probe.send_all("10.0.0.7\n"));
+  const auto lines = probe.read_lines(1);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], expected_line("10.0.0.7", 0));
+  EXPECT_LT(elapsed, 2s) << "probe starved behind the backlogged connection";
+  EXPECT_GT(rs.server->stats().partial_flushes, 0u)
+      << "the fairness cap never engaged - the backlog was flushed unbounded";
+
+  // The hog eventually drains fine once it starts reading.
+  const auto drained = hog.read_lines(kBurst);
+  EXPECT_EQ(drained.size(), static_cast<std::size_t>(kBurst));
+}
+
+// ---------------------------------------------------------------------------
+// Coarse idle sweep: deadlines are checked on a sweep cadence
+// (idle_timeout / 4), not per wakeup — a silent connection must still be
+// retired, no sooner than the timeout and not much later than timeout +
+// cadence.
+
+TEST(ServeServer, CoarseSweepRetiresIdleConnectionWithinOneCadence) {
+  auto config = test_config(snapshot_file("coarsesweep", 0));
+  config.idle_timeout_ms = 200;
+  RunningServer rs(std::move(config));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  Client idle(rs.port());
+  ASSERT_TRUE(idle.connected());
+  EXPECT_TRUE(idle.reads_eof()) << "idle connection was never retired";
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_GE(elapsed.count(), 200) << "retired before its idle timeout";
+  EXPECT_LT(elapsed.count(), 5'000) << "sweep cadence missed by an order of magnitude";
+  EXPECT_EQ(rs.server->stats().timeouts, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-reactor integration: accept distribution, hot reload under
+// cross-reactor load, and drain with backlogs on several reactors.
+
+TEST(MultiReactor, AcceptsSpreadAcrossReactors) {
+  auto config = test_config(snapshot_file("spread", 0));
+  config.reactors = 2;
+  RunningServer rs(std::move(config));
+
+  constexpr int kConns = 32;
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int i = 0; i < kConns; ++i) {
+    clients.push_back(std::make_unique<Client>(rs.port()));
+    ASSERT_TRUE(clients.back()->connected());
+  }
+  // Each proves it is established server-side (accept4 has run).
+  for (int i = 0; i < kConns; ++i) {
+    ASSERT_TRUE(clients[static_cast<std::size_t>(i)]->send_all("10.0.0.7\n"));
+    ASSERT_EQ(clients[static_cast<std::size_t>(i)]->read_lines(1).size(), 1u);
+  }
+
+  const auto per_reactor = rs.server->reactor_connections();
+  ASSERT_EQ(per_reactor.size(), 2u);
+  EXPECT_EQ(per_reactor[0] + per_reactor[1], static_cast<std::uint64_t>(kConns));
+  // SO_REUSEPORT hashes the 4-tuple across listeners; 32 connections all
+  // landing on one of two reactors has probability 2^-31.
+  EXPECT_GT(per_reactor[0], 0u);
+  EXPECT_GT(per_reactor[1], 0u);
+  EXPECT_EQ(rs.server->stats().connections, static_cast<std::uint64_t>(kConns));
+}
+
+TEST(MultiReactor, ReloadUnderCrossReactorLoadDropsNothing) {
+  const std::string path = snapshot_file("xreload", 0);
+  auto config = test_config(path);
+  config.reactors = 3;
+  RunningServer rs(std::move(config));
+
+  constexpr int kClients = 6;
+  constexpr int kQueries = 300;
+  // Precomputed on the main thread: expected_line()'s cache is not
+  // thread-safe.
+  const std::string before = expected_line("10.0.0.7", 0);
+  const std::string after = expected_line("10.0.0.7", 1);
+  ASSERT_NE(before, after);
+
+  std::atomic<int> completed{0};
+  std::atomic<int> failures{0};
+  std::atomic<int> saw_new_epoch{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      Client client(rs.port());
+      if (!client.connected()) {
+        ++failures;
+        return;
+      }
+      bool flipped = false;
+      for (int q = 0; q < kQueries; ++q) {
+        if (!client.send_all("10.0.0.7\n")) {
+          ++failures;
+          return;
+        }
+        const auto lines = client.read_lines(1);
+        if (lines.size() != 1) {
+          ++failures;  // a dropped query
+          return;
+        }
+        if (lines[0] == after) {
+          flipped = true;
+        } else if (lines[0] != before || flipped) {
+          // Wrong bytes, or the epoch went backwards on this connection.
+          ++failures;
+        }
+        ++completed;
+      }
+      if (flipped) ++saw_new_epoch;
+    });
+  }
+
+  // Let every reactor serve under load, then swap the snapshot mid-flight.
+  while (completed.load() < kClients * kQueries / 3) std::this_thread::yield();
+  {
+    const auto written = serve::write_snapshot_file(make_snapshot(1), path);
+    ASSERT_TRUE(written.ok()) << written.error().to_string();
+  }
+  rs.server->request_reload();
+
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(completed.load(), kClients * kQueries) << "queries were dropped";
+  EXPECT_EQ(rs.server->manager().epoch(), 2u);
+  EXPECT_EQ(rs.server->stats().reloads, 1u);
+  EXPECT_EQ(rs.server->stats().queries,
+            static_cast<std::uint64_t>(kClients) * kQueries);
+  // The swap landed while clients were mid-conversation on every reactor;
+  // at least one connection must have observed it live (the load pacing
+  // above makes "all finished before the reload" effectively impossible).
+  EXPECT_GT(saw_new_epoch.load(), 0);
+
+  // Post-reload, a fresh connection (hashed to whichever reactor) serves
+  // the new epoch exactly.
+  for (int i = 0; i < 3; ++i) {
+    Client client(rs.port());
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.send_all("10.0.0.7\n"));
+    const auto lines = client.read_lines(1);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], after);
+  }
+}
+
+TEST(MultiReactor, DrainFlushesBacklogsOnEveryReactor) {
+  auto config = test_config(snapshot_file("xdrain", 0));
+  config.reactors = 3;
+  config.max_pending_bytes = 4 * 1024 * 1024;  // answer everything, queue freely
+  RunningServer rs(std::move(config));
+
+  // Six bursty clients spread across the three listeners, none reading:
+  // every reactor ends up with queued reply backlogs when the stop lands.
+  constexpr int kClients = 6;
+  constexpr int kQueries = 5'000;  // ~150 KB of replies per client
+  std::vector<std::unique_ptr<Client>> clients;
+  std::string burst;
+  burst.reserve(static_cast<std::size_t>(kQueries) * 12);
+  for (int i = 0; i < kQueries; ++i) {
+    burst += "10.0." + std::to_string(i % 2) + "." + std::to_string(i % 256) + "\n";
+  }
+  for (int c = 0; c < kClients; ++c) {
+    clients.push_back(std::make_unique<Client>(rs.port()));
+    ASSERT_TRUE(clients.back()->connected());
+    ASSERT_TRUE(clients.back()->send_all(burst));
+  }
+  ASSERT_TRUE(wait_until([&] {
+    return rs.server->stats().queries >=
+           static_cast<std::uint64_t>(kClients) * kQueries;
+  })) << "server answered " << rs.server->stats().queries << " queries";
+
+  rs.server->request_stop();
+  for (auto& client : clients) {
+    const auto lines = client->read_lines(kQueries);
+    EXPECT_EQ(lines.size(), static_cast<std::size_t>(kQueries));
+    EXPECT_TRUE(client->reads_eof());
+  }
+  rs.thread.join();
+  EXPECT_EQ(rs.exit_code, 0);
+
+  const auto per_reactor = rs.server->reactor_connections();
+  std::uint64_t total = 0;
+  for (const auto n : per_reactor) total += n;
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kClients));
+}
+
+TEST(MultiReactor, MetricsMergeDeterministicallyAcrossReactors) {
+  obs::MetricsRegistry metrics;
+  auto config = test_config(snapshot_file("xmetrics", 0));
+  config.reactors = 2;
+  RunningServer rs(std::move(config), &metrics);
+
+  constexpr int kClients = 8;
+  constexpr int kQueries = 50;
+  for (int c = 0; c < kClients; ++c) {
+    Client client(rs.port());
+    ASSERT_TRUE(client.connected());
+    for (int q = 0; q < kQueries; ++q) {
+      ASSERT_TRUE(client.send_all("10.0.0.7\n"));
+      ASSERT_EQ(client.read_lines(1).size(), 1u);
+    }
+  }
+
+  rs.stop();
+  // Totals are exact regardless of how REUSEPORT split the work.
+  EXPECT_EQ(metrics.counter_value("serve.server.queries"),
+            static_cast<std::uint64_t>(kClients) * kQueries);
+  EXPECT_EQ(metrics.counter_value("serve.server.connections"),
+            static_cast<std::uint64_t>(kClients));
+  const auto* timer = metrics.find_timer("serve.server.request_us");
+  ASSERT_NE(timer, nullptr);
+  EXPECT_EQ(timer->count(), static_cast<std::uint64_t>(kClients) * kQueries);
 }
 
 }  // namespace

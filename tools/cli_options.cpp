@@ -58,7 +58,7 @@ struct Parser {
 
 const char* usage_text() noexcept {
   return
-      "usage: mtscope <infer|query|serve|stream|ingest|capture|datasets|ports> [options]\n"
+      "usage: mtscope <infer|query|serve|loadgen|stream|ingest|capture|datasets|ports> [options]\n"
       "  common:  --seed N        simulation seed (default 42)\n"
       "           --scale tiny|full\n"
       "  infer:   --days K --ixps CE1,NA1 --no-tolerance --csv FILE\n"
@@ -72,10 +72,17 @@ const char* usage_text() noexcept {
       "           --bench [--lookups N] (measure lookup throughput)\n"
       "           --metrics-out FILE (serve.* metrics JSON snapshot)\n"
       "  serve:   --snapshot FILE --port N (TCP query daemon; 0 = kernel-assigned)\n"
+      "           --reactors N (event loops w/ SO_REUSEPORT listeners; default 1)\n"
       "           --max-conns N (default 1024) --idle-timeout-ms N (default 30000)\n"
       "           --metrics-out FILE (serve.server.* metrics, written on exit)\n"
       "           --watch-interval-ms N (poll --snapshot for atomic republish)\n"
       "           SIGHUP reloads --snapshot; SIGTERM/SIGINT drain and exit 0\n"
+      "  loadgen: --port N [--host IP] (drive a running serve instance)\n"
+      "           --steps N,N,... (offered qps per step; closed: depth/conn)\n"
+      "           --mode open|closed (default open) --conns N (default 4)\n"
+      "           --warmup-ms/--measure-ms/--cooldown-ms (200/1000/200)\n"
+      "           --out FILE (latency-vs-throughput JSON; default\n"
+      "           BENCH_serve_net.json)\n"
       "  stream:  --out FILE (write simulated vantage-days as a flow stream;\n"
       "           FIFO-friendly) --days K --ixps A,B\n"
       "  ingest:  --source FILE --snapshot-out FILE (continuous pipeline:\n"
@@ -96,8 +103,8 @@ bool parse_args(int argc, const char* const* argv, Options& opt, std::string& er
   }
   opt.command = argv[1];
   if (opt.command != "infer" && opt.command != "query" && opt.command != "serve" &&
-      opt.command != "stream" && opt.command != "ingest" && opt.command != "capture" &&
-      opt.command != "datasets" && opt.command != "ports") {
+      opt.command != "loadgen" && opt.command != "stream" && opt.command != "ingest" &&
+      opt.command != "capture" && opt.command != "datasets" && opt.command != "ports") {
     error = "unknown command: " + opt.command;
     return false;
   }
@@ -156,6 +163,9 @@ bool parse_args(int argc, const char* const* argv, Options& opt, std::string& er
       if (!p.uint_for(arg, port, 0u)) return false;
       if (port > 65535) return p.fail("--port must be in [0, 65535]");
       opt.port = static_cast<int>(port);
+    } else if (arg == "--reactors") {
+      if (!p.uint_for(arg, opt.reactors, 1u)) return false;
+      if (opt.reactors > 256) return p.fail("--reactors must be in [1, 256]");
     } else if (arg == "--max-conns") {
       if (!p.uint_for(arg, opt.max_conns, 1u)) return false;
     } else if (arg == "--idle-timeout-ms") {
@@ -176,6 +186,30 @@ bool parse_args(int argc, const char* const* argv, Options& opt, std::string& er
       if (!p.uint_for(arg, opt.cadence_days, 1u)) return false;
     } else if (arg == "--max-epochs") {
       if (!p.uint_for(arg, opt.max_epochs, std::uint64_t{1})) return false;
+    } else if (arg == "--host") {
+      const char* v = p.value_for(arg);
+      if (v == nullptr) return false;
+      opt.host = v;
+    } else if (arg == "--mode") {
+      const char* v = p.value_for(arg);
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "open") != 0 && std::strcmp(v, "closed") != 0) {
+        return p.fail("invalid value for --mode: '" + std::string(v) +
+                      "' (expected open or closed)");
+      }
+      opt.load_mode = v;
+    } else if (arg == "--steps") {
+      const char* v = p.value_for(arg);
+      if (v == nullptr) return false;
+      opt.steps = v;
+    } else if (arg == "--conns") {
+      if (!p.uint_for(arg, opt.conns, 1u)) return false;
+    } else if (arg == "--warmup-ms") {
+      if (!p.uint_for(arg, opt.warmup_ms, 0u)) return false;
+    } else if (arg == "--measure-ms") {
+      if (!p.uint_for(arg, opt.measure_ms, 1u)) return false;
+    } else if (arg == "--cooldown-ms") {
+      if (!p.uint_for(arg, opt.cooldown_ms, 0u)) return false;
     } else if (arg == "--lookups") {
       if (!p.uint_for(arg, opt.bench_lookups, std::uint64_t{1})) return false;
     } else if (arg == "--hilbert") {

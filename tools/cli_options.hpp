@@ -41,9 +41,19 @@ struct Options {
 
   // serve
   int port = -1;                 // --port N (required; 0 = kernel-assigned)
+  unsigned reactors = 1;         // --reactors N (event loops, one listener each)
   unsigned max_conns = 1024;     // --max-conns N
   unsigned idle_timeout_ms = 30'000;  // --idle-timeout-ms N
   unsigned watch_interval_ms = 0;     // --watch-interval-ms N; 0 = SIGHUP only
+
+  // loadgen (shares --port with serve, --out with stream)
+  std::string host = "127.0.0.1";  // --host IP (dotted quad)
+  std::string load_mode = "open";  // --mode open|closed
+  std::string steps;               // --steps N,N,... (rate or depth per step)
+  unsigned conns = 4;              // --conns N (concurrent connections)
+  unsigned warmup_ms = 200;        // --warmup-ms N
+  unsigned measure_ms = 1000;      // --measure-ms N
+  unsigned cooldown_ms = 200;      // --cooldown-ms N
 
   // stream / ingest
   std::string stream_out;        // --out FILE (stream: flow stream target)

@@ -55,6 +55,7 @@
 #include "pipeline/inference.hpp"
 #include "pipeline/parallel.hpp"
 #include "pipeline/spoof_tolerance.hpp"
+#include "serve/loadgen.hpp"
 #include "serve/server.hpp"
 #include "serve/snapshot.hpp"
 #include "serve/telescope_index.hpp"
@@ -513,6 +514,7 @@ int cmd_serve(const Options& opt) {
   serve::ServerConfig config;
   config.snapshot_path = opt.snapshot_path;
   config.port = static_cast<std::uint16_t>(opt.port);
+  config.reactors = static_cast<int>(opt.reactors);
   config.max_conns = static_cast<int>(opt.max_conns);
   config.idle_timeout_ms = static_cast<int>(opt.idle_timeout_ms);
   config.watch_interval_ms = static_cast<int>(opt.watch_interval_ms);
@@ -527,10 +529,10 @@ int cmd_serve(const Options& opt) {
 
   const auto index = server.manager().current();
   std::fprintf(stderr,
-               "serving %s on port %u: %zu block(s), epoch %llu "
+               "serving %s on port %u: %zu block(s), epoch %llu, %u reactor(s) "
                "(SIGHUP reloads, SIGTERM/SIGINT drain)\n",
                opt.snapshot_path.c_str(), server.port(), index->size(),
-               static_cast<unsigned long long>(server.manager().epoch()));
+               static_cast<unsigned long long>(server.manager().epoch()), opt.reactors);
 
   const int status = server.run();
 
@@ -556,6 +558,64 @@ int cmd_serve(const Options& opt) {
     std::fprintf(stderr, "wrote %s\n", opt.metrics_path.c_str());
   }
   return status;
+}
+
+/// Drive a running serve instance through a stepped load sweep and write
+/// the latency-vs-throughput curve as JSON — the honest companion to the
+/// server's aggregate QPS counters.
+int cmd_loadgen(const Options& opt) {
+  if (opt.port <= 0) {
+    std::fprintf(stderr, "loadgen requires --port N (a running serve instance)\n");
+    return 1;
+  }
+  if (opt.steps.empty()) {
+    std::fprintf(stderr, "loadgen requires --steps N,N,... (offered qps per step)\n");
+    return 1;
+  }
+  const auto steps = serve::parse_step_list(opt.steps);
+  if (!steps.ok()) {
+    std::fprintf(stderr, "loadgen: %s\n", steps.error().to_string().c_str());
+    return 1;
+  }
+
+  serve::LoadgenConfig config;
+  config.host = opt.host;
+  config.port = static_cast<std::uint16_t>(opt.port);
+  config.mode = opt.load_mode == "closed" ? serve::LoadMode::kClosed : serve::LoadMode::kOpen;
+  config.connections = static_cast<int>(opt.conns);
+  config.steps = steps.value();
+  config.warmup_ms = static_cast<int>(opt.warmup_ms);
+  config.measure_ms = static_cast<int>(opt.measure_ms);
+  config.cooldown_ms = static_cast<int>(opt.cooldown_ms);
+  config.seed = opt.seed;
+
+  std::fprintf(stderr, "loadgen: %s:%u, %s loop, %u connection(s), %zu step(s)\n",
+               config.host.c_str(), config.port, serve::to_string(config.mode), opt.conns,
+               config.steps.size());
+  const auto results = serve::run_loadgen(config);
+  if (!results.ok()) {
+    std::fprintf(stderr, "loadgen failed: %s\n", results.error().to_string().c_str());
+    return 1;
+  }
+  for (const auto& step : results.value()) {
+    std::fprintf(stderr,
+                 "  step %llu: offered %.0f q/s, achieved %.0f q/s, "
+                 "p50 %llu us, p99 %llu us, %llu error(s)\n",
+                 static_cast<unsigned long long>(step.target), step.offered_qps,
+                 step.achieved_qps, static_cast<unsigned long long>(step.p50_us),
+                 static_cast<unsigned long long>(step.p99_us),
+                 static_cast<unsigned long long>(step.errors));
+  }
+
+  const std::string out_path = opt.stream_out.empty() ? "BENCH_serve_net.json" : opt.stream_out;
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  serve::write_loadgen_json(out, config, results.value());
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  return 0;
 }
 
 int cmd_query(const Options& opt) {
@@ -627,6 +687,7 @@ int main(int argc, char** argv) {
   if (opt.command == "infer") return cmd_infer(opt);
   if (opt.command == "query") return cmd_query(opt);
   if (opt.command == "serve") return cmd_serve(opt);
+  if (opt.command == "loadgen") return cmd_loadgen(opt);
   if (opt.command == "stream") return cmd_stream(opt);
   if (opt.command == "ingest") return cmd_ingest(opt);
   if (opt.command == "capture") return cmd_capture(opt);
