@@ -1,9 +1,72 @@
 #include "bench_common.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <ostream>
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#include <unistd.h>
+#endif
 
 namespace mtscope::benchx {
+
+unsigned HardwareContext::effective_cores() const noexcept {
+  unsigned cores = cpus_allowed != 0 ? cpus_allowed : cpus_online;
+  if (cores == 0) cores = hardware_concurrency;
+  if (cpu_quota_cores > 0.0 && cpu_quota_cores < static_cast<double>(cores)) {
+    cores = static_cast<unsigned>(cpu_quota_cores);
+  }
+  return std::max(1u, cores);
+}
+
+HardwareContext hardware_context() {
+  HardwareContext ctx;
+  ctx.hardware_concurrency = std::thread::hardware_concurrency();
+#if defined(__linux__)
+  const long online = sysconf(_SC_NPROCESSORS_ONLN);
+  if (online > 0) ctx.cpus_online = static_cast<unsigned>(online);
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    ctx.cpus_allowed = static_cast<unsigned>(CPU_COUNT(&set));
+  }
+  // cgroup v2 ("<quota|max> <period>"), then v1 (quota/period in separate
+  // files, quota -1 when unlimited).
+  if (std::ifstream v2("/sys/fs/cgroup/cpu.max"); v2) {
+    std::string quota;
+    long long period = 0;
+    if ((v2 >> quota >> period) && period > 0 && quota != "max") {
+      ctx.cpu_quota_cores =
+          static_cast<double>(std::strtoll(quota.c_str(), nullptr, 10)) /
+          static_cast<double>(period);
+    }
+  } else {
+    std::ifstream quota_file("/sys/fs/cgroup/cpu/cpu.cfs_quota_us");
+    std::ifstream period_file("/sys/fs/cgroup/cpu/cpu.cfs_period_us");
+    long long quota = 0;
+    long long period = 0;
+    if ((quota_file >> quota) && (period_file >> period) && quota > 0 && period > 0) {
+      ctx.cpu_quota_cores = static_cast<double>(quota) / static_cast<double>(period);
+    }
+  }
+#endif
+  return ctx;
+}
+
+void write_meta_json(std::ostream& out) {
+  const HardwareContext ctx = hardware_context();
+  const char* scale = std::getenv("MTSCOPE_BENCH_SCALE");
+  out << "{\"scale\": \"" << (scale != nullptr ? scale : "default")
+      << "\", \"cpus_online\": " << ctx.cpus_online
+      << ", \"cpus_allowed\": " << ctx.cpus_allowed
+      << ", \"hardware_concurrency\": " << ctx.hardware_concurrency
+      << ", \"cpu_quota_cores\": " << ctx.cpu_quota_cores
+      << ", \"effective_cores\": " << ctx.effective_cores() << "}";
+}
 
 sim::SimConfig bench_config() {
   const char* scale = std::getenv("MTSCOPE_BENCH_SCALE");

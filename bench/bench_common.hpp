@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdio>
+#include <iosfwd>
 #include <string>
 
 #include "pipeline/collector.hpp"
@@ -15,6 +16,31 @@
 #include "sim/simulation.hpp"
 
 namespace mtscope::benchx {
+
+/// Host execution context of a bench run.  BENCH_*.json numbers are only
+/// comparable across runs on comparable hardware, and perf gates must not
+/// demand multicore speedups from a single-core container — so every
+/// bench records where it ran and cmake/parallel_gate.cmake reads this
+/// block to decide which assertions the numbers can support.
+struct HardwareContext {
+  unsigned cpus_online = 0;           ///< sysconf(_SC_NPROCESSORS_ONLN)
+  unsigned cpus_allowed = 0;          ///< popcount of sched_getaffinity mask
+  unsigned hardware_concurrency = 0;  ///< std::thread::hardware_concurrency()
+  double cpu_quota_cores = 0.0;       ///< cgroup cpu limit in cores; 0 = none found
+
+  /// Cores a parallel speedup claim may assume: the affinity mask (the
+  /// strictest kernel-enforced bound available), clamped by any cgroup
+  /// quota (containers commonly show every host CPU in the mask while
+  /// metering the actual cycles).  Never less than 1.
+  [[nodiscard]] unsigned effective_cores() const noexcept;
+};
+
+/// Probes the context once per call; cheap enough to call per report.
+[[nodiscard]] HardwareContext hardware_context();
+
+/// Writes the shared `"meta"` JSON object (scale + HardwareContext fields)
+/// every BENCH_*.json carries, on one line with no trailing newline.
+void write_meta_json(std::ostream& out);
 
 /// The bench-scale simulation configuration.  MTSCOPE_BENCH_SCALE=small in
 /// the environment shrinks the universe for quick iteration.

@@ -16,6 +16,7 @@
 #include <fstream>
 #include <string>
 
+#include "bench_common.hpp"
 #include "ingest/daemon.hpp"
 #include "ingest/flow_stream.hpp"
 #include "obs/metrics.hpp"
@@ -136,6 +137,9 @@ int main() {
 
   std::ofstream json("BENCH_ingest.json");
   json << "{\n"
+       << "  \"meta\": ";
+  benchx::write_meta_json(json);
+  json << ",\n"
        << "  \"workload\": {\"days\": " << days << ", \"window_days\": " << kWindowDays
        << ", \"flows\": " << totals.flows << ", \"datasets\": " << totals.datasets << "},\n"
        << "  \"stream_write_ms\": " << stream_ms << ",\n"

@@ -1,8 +1,21 @@
 // Serial vs sharded-parallel collect+infer throughput on a simulated
 // multi-IXP week (the paper's deployment shape: 14 vantage points x 7
 // days).  Verifies bit-identical output while timing, prints a comparison
-// table, and writes BENCH_parallel.json so later PRs can track the
-// speedup trajectory.
+// table with the per-stage split (sim / parse / insert / merge from
+// pipeline::CollectProfile), and writes BENCH_parallel.json so later PRs
+// can track the speedup trajectory and a regression localizes to a stage
+// instead of one collect lump.
+//
+// Thread grid: 1 (the batched engine vs the record-at-a-time reference —
+// isolates the parse/insert refactor with no pool in the picture), then
+// 2 and 4.  Counts beyond the host's core budget only measure scheduler
+// thrash, so the old 8-thread row is gone; the recorded meta block says
+// how many cores the numbers were taken on and cmake/parallel_gate.cmake
+// only enforces a speedup floor when that context supports one.
+//
+// Every configuration is timed best-of-N: the container's CPU budget
+// jitters by ~10% run to run, and the minimum is the standard estimator
+// for "what the code costs" under external interference.
 //
 // MTSCOPE_BENCH_SCALE=small shrinks the workload (2 days) for quick
 // iteration, matching the convention of the other bench binaries.
@@ -13,6 +26,7 @@
 #include <fstream>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "obs/metrics.hpp"
 #include "pipeline/collector.hpp"
 #include "pipeline/inference.hpp"
@@ -35,6 +49,7 @@ struct Measurement {
   unsigned shards = 1;
   double collect_ms = 0.0;
   double infer_ms = 0.0;
+  pipeline::CollectProfile stages;  // from the best (kept) repetition
 
   [[nodiscard]] double total_ms() const { return collect_ms + infer_ms; }
 };
@@ -42,6 +57,17 @@ struct Measurement {
 bool identical(const pipeline::InferenceResult& a, const pipeline::InferenceResult& b) {
   return a.funnel == b.funnel && a.unclean == b.unclean && a.gray == b.gray &&
          a.dark == b.dark;
+}
+
+void print_row(const char* label, const Measurement& m, double serial_total_ms,
+               bool show_speedup, const char* verdict) {
+  std::printf(
+      "  %-19s collect %8.1f ms  [sim %6.1f parse %5.1f insert %6.1f merge %5.1f]"
+      "  infer %6.1f ms",
+      label, m.collect_ms, m.stages.sim_ms, m.stages.parse_ms, m.stages.insert_ms,
+      m.stages.merge_ms, m.infer_ms);
+  if (show_speedup) std::printf("  speedup %5.2fx", serial_total_ms / m.total_ms());
+  std::printf("  %s\n", verdict);
 }
 
 }  // namespace
@@ -52,7 +78,11 @@ int main() {
   sim::SimConfig config = sim::SimConfig::tiny(42);
   config.ixps = sim::SimConfig::default_ixps();
   const char* scale = std::getenv("MTSCOPE_BENCH_SCALE");
-  const int day_count = (scale != nullptr && std::strcmp(scale, "small") == 0) ? 2 : 7;
+  const bool small = scale != nullptr && std::strcmp(scale, "small") == 0;
+  const int day_count = small ? 2 : 7;
+  // Best-of-N beats the shared-container timing noise (±10% run to run);
+  // the small CI scale affords more reps than the full 7-day universe.
+  const int reps = small ? 5 : 3;
 
   const sim::Simulation simulation(config);
   const auto ixps = pipeline::all_ixps(simulation);
@@ -65,41 +95,64 @@ int main() {
   const pipeline::InferenceEngine engine(pipeline_config, simulation.plan().rib(),
                                          registry);
 
-  std::printf("== micro_parallel: %zu IXPs x %d days, serial vs sharded parallel ==\n",
-              ixps.size(), day_count);
+  std::printf(
+      "== micro_parallel: %zu IXPs x %d days, serial vs sharded parallel "
+      "(best of %d) ==\n",
+      ixps.size(), day_count, reps);
 
-  // Serial baseline.
+  // Serial reference: record-at-a-time, one store — the oracle the
+  // differential tests pin every batched configuration against.
   Measurement serial;
-  double t0 = now_ms();
-  const auto serial_stats = pipeline::collect_stats(simulation, ixps, days);
-  serial.collect_ms = now_ms() - t0;
-  t0 = now_ms();
-  const auto serial_result = engine.infer(serial_stats);
-  serial.infer_ms = now_ms() - t0;
-  std::printf("  serial              collect %9.1f ms  infer %7.1f ms  (dark=%llu blocks=%zu)\n",
-              serial.collect_ms, serial.infer_ms,
+  pipeline::VantageStats serial_stats;
+  pipeline::InferenceResult serial_result;
+  for (int rep = 0; rep < reps; ++rep) {
+    double t0 = now_ms();
+    auto stats = pipeline::collect_stats(simulation, ixps, days);
+    const double collect_ms = now_ms() - t0;
+    t0 = now_ms();
+    auto result = engine.infer(stats);
+    const double infer_ms = now_ms() - t0;
+    if (rep == 0 || collect_ms + infer_ms < serial.total_ms()) {
+      serial.collect_ms = collect_ms;
+      serial.infer_ms = infer_ms;
+    }
+    serial_stats = std::move(stats);
+    serial_result = std::move(result);
+  }
+  std::printf("  %-19s collect %8.1f ms  infer %6.1f ms  (dark=%llu blocks=%zu)\n",
+              "serial", serial.collect_ms, serial.infer_ms,
               static_cast<unsigned long long>(serial_result.dark.size()),
               serial_stats.blocks().size());
 
   std::vector<Measurement> parallel;
   bool all_identical = true;
-  for (const unsigned threads : {2u, 4u, 8u}) {
+  for (const unsigned threads : {1u, 2u, 4u}) {
     Measurement m;
     m.threads = threads;
     m.shards = 16;
-    const pipeline::CollectOptions options{m.threads, m.shards};
-    t0 = now_ms();
-    const auto stats = pipeline::collect_stats(simulation, ixps, days, options);
-    m.collect_ms = now_ms() - t0;
-    t0 = now_ms();
-    const auto result = pipeline::parallel_infer(engine, stats, threads);
-    m.infer_ms = now_ms() - t0;
-
-    const bool ok = identical(result, serial_result);
+    bool ok = true;
+    for (int rep = 0; rep < reps; ++rep) {
+      pipeline::CollectProfile profile;
+      const pipeline::CollectOptions options{m.threads, m.shards, nullptr, 0, &profile};
+      double t0 = now_ms();
+      const auto stats = pipeline::collect_stats(simulation, ixps, days, options);
+      const double collect_ms = now_ms() - t0;
+      t0 = now_ms();
+      const auto result = pipeline::parallel_infer(engine, stats, threads);
+      const double infer_ms = now_ms() - t0;
+      ok &= identical(result, serial_result) &&
+            stats.blocks().size() == serial_stats.blocks().size();
+      if (rep == 0 || collect_ms + infer_ms < m.total_ms()) {
+        m.collect_ms = collect_ms;
+        m.infer_ms = infer_ms;
+        m.stages = profile;
+      }
+    }
     all_identical &= ok;
-    std::printf("  %u threads/%2u shards collect %9.1f ms  infer %7.1f ms  speedup %5.2fx  %s\n",
-                m.threads, m.shards, m.collect_ms, m.infer_ms,
-                serial.total_ms() / m.total_ms(), ok ? "bit-identical" : "MISMATCH");
+    char label[64];
+    std::snprintf(label, sizeof(label), "%u thread%s/%u shards", m.threads,
+                  m.threads == 1 ? " " : "s", m.shards);
+    print_row(label, m, serial.total_ms(), true, ok ? "bit-identical" : "MISMATCH");
     parallel.push_back(m);
   }
 
@@ -108,7 +161,7 @@ int main() {
   // JSON so the report carries funnel counts and stage timings.
   obs::MetricsRegistry metrics;
   const pipeline::CollectOptions instrumented_options{4, 16, &metrics};
-  t0 = now_ms();
+  double t0 = now_ms();
   const auto instrumented_stats =
       pipeline::collect_stats(simulation, ixps, days, instrumented_options);
   const auto instrumented_result =
@@ -121,6 +174,9 @@ int main() {
 
   std::ofstream json("BENCH_parallel.json");
   json << "{\n"
+       << "  \"meta\": ";
+  benchx::write_meta_json(json);
+  json << ",\n"
        << "  \"workload\": {\"ixps\": " << ixps.size() << ", \"days\": " << day_count
        << ", \"blocks\": " << serial_stats.blocks().size()
        << ", \"flows\": " << serial_stats.flows_ingested() << "},\n"
@@ -134,7 +190,11 @@ int main() {
     const Measurement& m = parallel[i];
     json << "    {\"threads\": " << m.threads << ", \"shards\": " << m.shards
          << ", \"collect_ms\": " << m.collect_ms << ", \"infer_ms\": " << m.infer_ms
-         << ", \"speedup\": " << serial.total_ms() / m.total_ms() << "}"
+         << ", \"speedup\": " << serial.total_ms() / m.total_ms()
+         << ",\n     \"stages\": {\"sim_ms\": " << m.stages.sim_ms
+         << ", \"parse_ms\": " << m.stages.parse_ms
+         << ", \"insert_ms\": " << m.stages.insert_ms
+         << ", \"merge_ms\": " << m.stages.merge_ms << "}}"
          << (i + 1 < parallel.size() ? ",\n" : "\n");
   }
   json << "  ],\n"

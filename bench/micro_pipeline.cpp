@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "obs/metrics.hpp"
 #include "pipeline/inference.hpp"
 #include "routing/special_purpose.hpp"
@@ -305,6 +306,9 @@ void write_store_report() {
 
   std::ofstream json("BENCH_store.json");
   json << "{\n"
+       << "  \"meta\": ";
+  benchx::write_meta_json(json);
+  json << ",\n"
        << "  \"workload\": {\"flows\": " << kFlows << ", \"blocks\": " << blocks
        << ", \"merge_other_flows\": " << flows_b.size() << "},\n"
        << "  \"store\": {\"add_flows_ms\": " << store_ingest_ms

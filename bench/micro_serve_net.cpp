@@ -38,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "pipeline/inference.hpp"
 #include "routing/special_purpose.hpp"
 #include "serve/loadgen.hpp"
@@ -383,6 +384,9 @@ int main() {
   const double speedup = multi.qps / std::max(1.0, single.qps);
   std::ofstream json("BENCH_serve_net.json");
   json << "{\n"
+       << "  \"meta\": ";
+  benchx::write_meta_json(json);
+  json << ",\n"
        << "  \"workload\": {\"clients\": " << kClients
        << ", \"queries_per_client\": " << queries_per_client()
        << ", \"blocks\": " << snapshot.blocks.size() << "},\n"

@@ -15,6 +15,7 @@
 #include <fstream>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "pipeline/inference.hpp"
 #include "routing/special_purpose.hpp"
 #include "serve/snapshot.hpp"
@@ -241,6 +242,9 @@ void write_snapshot_report() {
 
   std::ofstream json("BENCH_snapshot.json");
   json << "{\n"
+       << "  \"meta\": ";
+  benchx::write_meta_json(json);
+  json << ",\n"
        << "  \"workload\": {\"flows\": " << workload_flows()
        << ", \"blocks\": " << snapshot.blocks.size()
        << ", \"prefixes\": " << snapshot.prefixes.size()

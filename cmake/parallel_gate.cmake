@@ -1,0 +1,131 @@
+# Perf-regression gate over bench/micro_parallel's BENCH_parallel.json.
+#
+# Two tiers, because the two claims need different hardware to support
+# them:
+#
+#   * Correctness + coverage gate, always on: bit_identical must be true,
+#     the workload must actually have ingested flows and produced blocks,
+#     and every parallel row must carry a positive measurement — a
+#     silently-skipped or degenerate bench fails loudly.
+#   * Speedup floor, context-gated: parallel rows with threads >= 2 must
+#     reach SPEEDUP_FLOOR_PCT (percent of the serial reference, default
+#     100 = parity) — but only when the recorded meta block says the bench
+#     ran with at least MIN_CORES_FOR_RATIO effective cores.  A single-core
+#     container cannot be asked for multicore speedups; demanding them
+#     there would gate on scheduler weather, not regressions.  The
+#     single-worker batched row (threads == 1) is exempt from the floor on
+#     any hardware: it shares the serial row's core budget, so its ratio
+#     is informative but noise-bound.
+#
+#   cmake -DBENCH_JSON=<path> [-DSPEEDUP_FLOOR_PCT=100] \
+#         [-DMIN_CORES_FOR_RATIO=2] -P parallel_gate.cmake
+#
+# The floor is deliberately parity, not a target speedup: it catches the
+# parallel path losing to serial (the regression this PR's refactor
+# removed), not runner noise.  Tighten only with pinned CI hardware.
+if(NOT DEFINED BENCH_JSON)
+  message(FATAL_ERROR "pass -DBENCH_JSON=<path to BENCH_parallel.json>")
+endif()
+if(NOT DEFINED SPEEDUP_FLOOR_PCT)
+  set(SPEEDUP_FLOOR_PCT 100)
+endif()
+if(NOT DEFINED MIN_CORES_FOR_RATIO)
+  set(MIN_CORES_FOR_RATIO 2)
+endif()
+
+if(NOT EXISTS "${BENCH_JSON}")
+  message(FATAL_ERROR "bench output missing: ${BENCH_JSON}")
+endif()
+file(READ "${BENCH_JSON}" json)
+
+# cmake's math() is integer-only; truncate fractional parts when a whole
+# number is all the comparison needs.
+function(json_int out_var)
+  string(JSON value ERROR_VARIABLE err GET "${json}" ${ARGN})
+  if(err)
+    message(FATAL_ERROR "BENCH_parallel.json missing ${ARGN}: ${err}")
+  endif()
+  string(REGEX REPLACE "\\..*$" "" value "${value}")
+  set(${out_var} "${value}" PARENT_SCOPE)
+endfunction()
+
+# Ratios need the fractional part (1.02x vs 0.98x is the whole question),
+# so read them as integer percent: "1.07" -> 107, "0.89" -> 89, "2" -> 200.
+function(json_pct out_var)
+  string(JSON value ERROR_VARIABLE err GET "${json}" ${ARGN})
+  if(err)
+    message(FATAL_ERROR "BENCH_parallel.json missing ${ARGN}: ${err}")
+  endif()
+  if(value MATCHES "^([0-9]+)\\.([0-9]+)")
+    set(int_part "${CMAKE_MATCH_1}")
+    string(SUBSTRING "${CMAKE_MATCH_2}00" 0 2 frac)
+    string(REGEX REPLACE "^0+" "" frac "${frac}")
+    if(frac STREQUAL "")
+      set(frac 0)
+    endif()
+    math(EXPR pct "(${int_part} * 100) + ${frac}")
+  elseif(value MATCHES "^[0-9]+$")
+    math(EXPR pct "${value} * 100")
+  else()
+    message(FATAL_ERROR "BENCH_parallel.json ${ARGN} is not a number: ${value}")
+  endif()
+  set(${out_var} "${pct}" PARENT_SCOPE)
+endfunction()
+
+# -- correctness + coverage gate (always on) ---------------------------------
+string(JSON bit_identical ERROR_VARIABLE err GET "${json}" bit_identical)
+if(err)
+  message(FATAL_ERROR "BENCH_parallel.json missing bit_identical: ${err}")
+endif()
+if(NOT bit_identical STREQUAL "ON" AND NOT bit_identical STREQUAL "true")
+  message(FATAL_ERROR
+    "parallel gate: bit_identical=${bit_identical} - a parallel configuration "
+    "diverged from the serial reference output")
+endif()
+
+json_int(flows workload flows)
+json_int(blocks workload blocks)
+if(flows LESS_EQUAL 0 OR blocks LESS_EQUAL 0)
+  message(FATAL_ERROR
+    "parallel gate: degenerate workload (flows=${flows}, blocks=${blocks}) - "
+    "the bench did not actually collect anything")
+endif()
+
+string(JSON row_count ERROR_VARIABLE err LENGTH "${json}" parallel)
+if(err OR row_count EQUAL 0)
+  message(FATAL_ERROR "BENCH_parallel.json has no parallel rows: ${err}")
+endif()
+
+# -- speedup floor (only when the hardware context supports the claim) -------
+json_int(cores meta effective_cores)
+math(EXPR last_row "${row_count} - 1")
+set(enforced 0)
+foreach(i RANGE ${last_row})
+  json_int(threads parallel ${i} threads)
+  json_int(collect_ms parallel ${i} collect_ms)
+  if(collect_ms LESS_EQUAL 0)
+    message(FATAL_ERROR
+      "parallel gate: parallel row ${i} (threads=${threads}) recorded "
+      "collect_ms=${collect_ms} - the measurement is degenerate")
+  endif()
+  json_pct(speedup_pct parallel ${i} speedup)
+  if(threads GREATER_EQUAL 2 AND cores GREATER_EQUAL MIN_CORES_FOR_RATIO)
+    if(speedup_pct LESS SPEEDUP_FLOOR_PCT)
+      message(FATAL_ERROR
+        "parallel gate: threads=${threads} speedup ${speedup_pct}% below floor "
+        "${SPEEDUP_FLOOR_PCT}% on a ${cores}-core host - parallel collect "
+        "regressed below the serial path")
+    endif()
+    math(EXPR enforced "${enforced} + 1")
+  else()
+    message(STATUS
+      "parallel gate: threads=${threads} speedup ${speedup_pct}% recorded "
+      "(floor not enforced: cores=${cores}, need >= ${MIN_CORES_FOR_RATIO} "
+      "and threads >= 2)")
+  endif()
+endforeach()
+
+message(STATUS
+  "parallel gate OK: bit_identical, flows=${flows}, blocks=${blocks}, "
+  "${row_count} parallel row(s), speedup floor enforced on ${enforced} "
+  "row(s) (cores=${cores})")

@@ -47,18 +47,18 @@ SlidingWindow::EvictionReport SlidingWindow::evict_before(int day) {
 pipeline::VantageStats SlidingWindow::merged() const {
   if (slices_.empty()) return pipeline::VantageStats(source_mask_);
 
-  // The shard reduction from pipeline/parallel.cpp: pairwise tree merge.
-  // Merge is commutative/associative, so the tree shape is free to pick
-  // for balance; copying the slices keeps them reusable next cadence.
-  std::vector<pipeline::VantageStats> partial;
-  partial.reserve(slices_.size());
-  for (const auto& slice : slices_) partial.push_back(slice.stats);
-  for (std::size_t step = 1; step < partial.size(); step *= 2) {
-    for (std::size_t i = 0; i + step < partial.size(); i += step * 2) {
-      partial[i].merge(partial[i + step]);
-    }
-  }
-  return std::move(partial.front());
+  // The parallel collector's merge primitive (pipeline::merge_stats):
+  // merge is commutative/associative, so the fold shape is free and the
+  // result is bit-identical to any batch collect over the same days.  Only
+  // the first slice is copied (the fold target); the rest merge in from
+  // const views, so a publish no longer duplicates the whole window — the
+  // slices stay untouched for the next cadence.
+  auto it = slices_.begin();
+  pipeline::VantageStats first = it->stats;
+  std::vector<const pipeline::VantageStats*> rest;
+  rest.reserve(slices_.size() - 1);
+  for (++it; it != slices_.end(); ++it) rest.push_back(&it->stats);
+  return pipeline::merge_stats(std::move(first), rest);
 }
 
 std::vector<int> SlidingWindow::days() const {

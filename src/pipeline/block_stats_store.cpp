@@ -10,14 +10,6 @@ namespace {
 
 constexpr std::uint32_t kNoRow = std::numeric_limits<std::uint32_t>::max();
 
-/// Fibonacci hashing: the golden-ratio multiply smears the 24-bit block id
-/// over the full word and the top bits index the table, which keeps linear
-/// probe runs short even for the sequential block ids dense /8s produce.
-inline std::uint32_t probe_start(std::uint32_t key, std::size_t capacity) noexcept {
-  const std::uint32_t h = key * 0x9E3779B9u;
-  return h >> (std::countl_zero(static_cast<std::uint32_t>(capacity)) + 1);
-}
-
 inline std::uint64_t pack_slot(std::uint32_t key, std::uint32_t row) noexcept {
   return (static_cast<std::uint64_t>(key) << 32) | (row + 1);
 }
@@ -126,6 +118,15 @@ void BlockStatsStore::rehash(std::size_t new_capacity) {
   tx_packets_.reserve(max_rows);
   tx_idx_.reserve(max_rows);
   ip_slots_.reserve(max_rows);
+}
+
+void BlockStatsStore::reserve_rows(std::size_t rows) {
+  // Same growth predicate as find_or_insert: capacity is enough when
+  // rows <= 7/8 of it.
+  if (rows * 8 <= slots_.size() * 7) return;
+  std::size_t capacity = std::max<std::size_t>(16, slots_.size() * 2);
+  while (rows * 8 > capacity * 7) capacity *= 2;
+  rehash(capacity);
 }
 
 std::uint32_t BlockStatsStore::find_or_insert(net::Block24 block) {
@@ -300,6 +301,52 @@ void BlockStatsStore::add_rx(net::Block24 block, std::uint8_t host, std::uint64_
   }
 }
 
+void BlockStatsStore::add_rx_rows(std::span<const std::uint32_t> rows,
+                                  std::span<const std::uint32_t> keys,
+                                  std::span<const std::uint8_t> hosts,
+                                  std::span<const std::uint64_t> packets,
+                                  std::span<const std::uint64_t> est_packets,
+                                  std::span<const std::uint8_t> tcp,
+                                  std::span<const std::uint64_t> tcp_bytes) {
+  constexpr std::size_t kProbeAhead = 16;
+  constexpr std::size_t kUpdateAhead = 8;
+
+  // Pass 1: resolve every key to its dense row (creating first-seen rows
+  // exactly where the interleaved loop would), slot lines pulled ahead.
+  row_scratch_.resize(rows.size());
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    if (k + kProbeAhead < rows.size()) {
+      prefetch_block(net::Block24(keys[rows[k + kProbeAhead]]));
+    }
+    row_scratch_[k] = find_or_insert(net::Block24(keys[rows[k]]));
+  }
+
+  // Pass 2: commutative column sums against known rows; the hot counter
+  // and per-IP-run lines of upcoming rows load while this one retires.
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+#if defined(__GNUC__) || defined(__clang__)
+    if (k + kUpdateAhead < rows.size()) {
+      const std::uint32_t ahead = row_scratch_[k + kUpdateAhead];
+      __builtin_prefetch(&rx_packets_[ahead], 1);
+      __builtin_prefetch(&rx_est_packets_[ahead], 1);
+      __builtin_prefetch(&ip_slots_[ahead], 1);
+    }
+#endif
+    const std::uint32_t row = row_scratch_[k];
+    const std::uint32_t i = rows[k];
+    rx_packets_[row] += packets[i];
+    rx_est_packets_[row] += est_packets[i];
+    IpRxStats& ip = upsert_ip(row, hosts[i]);
+    ip.packets += static_cast<std::uint32_t>(packets[i]);
+    if (tcp[i] != 0) {
+      rx_tcp_packets_[row] += packets[i];
+      rx_tcp_bytes_[row] += tcp_bytes[i];
+      ip.tcp_packets += static_cast<std::uint32_t>(packets[i]);
+      ip.tcp_bytes += tcp_bytes[i];
+    }
+  }
+}
+
 void BlockStatsStore::add_tx(net::Block24 block, std::uint8_t host, std::uint64_t packets) {
   const std::uint32_t row = find_or_insert(block);
   tx_packets_[row] += packets;
@@ -307,7 +354,13 @@ void BlockStatsStore::add_tx(net::Block24 block, std::uint8_t host, std::uint64_
 }
 
 void BlockStatsStore::merge(const BlockStatsStore& other) {
+  // Their key column is a sequential read, so the fold knows every probe
+  // in advance — same look-ahead trick as the batched ingest loop.
+  constexpr std::uint32_t kPrefetchAhead = 16;
   for (std::uint32_t theirs = 0; theirs < other.keys_.size(); ++theirs) {
+    if (theirs + kPrefetchAhead < other.keys_.size()) {
+      prefetch_block(net::Block24(other.keys_[theirs + kPrefetchAhead]));
+    }
     const std::size_t rows_before = keys_.size();
     const std::uint32_t row = find_or_insert(net::Block24(other.keys_[theirs]));
     const IpSlot& their_slot = other.ip_slots_[theirs];
@@ -356,7 +409,8 @@ std::size_t BlockStatsStore::memory_bytes() const noexcept {
          tx_packets_.capacity() * sizeof(std::uint64_t) +
          tx_idx_.capacity() * sizeof(std::uint32_t) +
          tx_bits_.capacity() * sizeof(std::array<std::uint64_t, 4>) +
-         ip_slots_.capacity() * sizeof(IpSlot) + arena_bytes;
+         ip_slots_.capacity() * sizeof(IpSlot) +
+         row_scratch_.capacity() * sizeof(std::uint32_t) + arena_bytes;
 }
 
 }  // namespace mtscope::pipeline

@@ -38,6 +38,7 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -175,10 +176,49 @@ class BlockStatsStore {
   /// Falsy view when the block has never been observed.
   [[nodiscard]] ConstRow find(net::Block24 block) const noexcept;
 
+  /// Pre-size the index (and, in lockstep, the columns) for at least
+  /// `rows` rows, so inserts up to that count never rehash.  The sharded
+  /// collector calls this with batch statistics before each insert run and
+  /// with the exact disjoint row total before the shard fold — growing a
+  /// six-figure store through the doubling schedule rebuilds the index
+  /// log2(rows) times; one reserve rebuilds it once.  No-op when the store
+  /// already has the capacity.
+  void reserve_rows(std::size_t rows);
+
+  /// Hint that `block` is about to be probed (add_rx/add_tx/find/merge).
+  /// Pulls the slot cache line the probe will start at.  The batched
+  /// ingest path knows its keys a whole FlowBatch ahead, so it issues
+  /// these ~16 rows early and the index misses overlap instead of
+  /// serializing — the memory-level parallelism a record-at-a-time
+  /// caller structurally cannot express.  Pure hint: no effect on
+  /// results, safe at any load factor.
+  void prefetch_block(net::Block24 block) const noexcept {
+    if (slots_.empty()) return;
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(slots_.data() + probe_start(block.index(), slots_.size()));
+#endif
+  }
+
   /// Destination-side accounting for one flow record's worth of traffic
   /// toward `host` inside `block`.
   void add_rx(net::Block24 block, std::uint8_t host, std::uint64_t packets,
               std::uint64_t est_packets, bool tcp, std::uint64_t tcp_bytes);
+
+  /// Batched add_rx over a routed run: `rows` indexes into the parallel
+  /// column spans (a FlowBatch's SoA layout).  Runs in two passes — probe
+  /// every key into a row scratch first, then apply the column updates —
+  /// so the index misses of upcoming probes and the column/ip-run misses
+  /// of upcoming updates are both in flight while the current row
+  /// retires.  Exactly equivalent to calling add_rx once per row in
+  /// order: pass one creates rows at first occurrence just like the
+  /// interleaved loop, pass two adds commutative sums.
+  void add_rx_rows(std::span<const std::uint32_t> rows,
+                   std::span<const std::uint32_t> keys,
+                   std::span<const std::uint8_t> hosts,
+                   std::span<const std::uint64_t> packets,
+                   std::span<const std::uint64_t> est_packets,
+                   std::span<const std::uint8_t> tcp,
+                   std::span<const std::uint64_t> tcp_bytes);
 
   /// Source-side accounting: `host` inside `block` sent `packets`.
   void add_tx(net::Block24 block, std::uint8_t host, std::uint64_t packets);
@@ -268,6 +308,16 @@ class BlockStatsStore {
     void retire(IpRxStats* run, std::uint32_t cls);
   };
 
+  /// Fibonacci hashing: the golden-ratio multiply smears the 24-bit block
+  /// id over the full word and the top bits index the table, which keeps
+  /// linear probe runs short even for the sequential block ids dense /8s
+  /// produce.
+  [[nodiscard]] static std::uint32_t probe_start(std::uint32_t key,
+                                                 std::size_t capacity) noexcept {
+    const std::uint32_t h = key * 0x9E3779B9u;
+    return h >> (std::countl_zero(static_cast<std::uint32_t>(capacity)) + 1);
+  }
+
   [[nodiscard]] std::uint32_t find_row(net::Block24 block) const noexcept;
   std::uint32_t find_or_insert(net::Block24 block);
   void rehash(std::size_t new_capacity);
@@ -308,6 +358,11 @@ class BlockStatsStore {
   std::vector<std::array<std::uint64_t, 4>> tx_bits_;
 
   IpArena arena_;
+
+  // Probe-phase output of add_rx_rows, kept across batches so the batched
+  // path never allocates per batch.  Pure scratch: not copied, not part
+  // of the store's logical state.
+  std::vector<std::uint32_t> row_scratch_;
 };
 
 }  // namespace mtscope::pipeline

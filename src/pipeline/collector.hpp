@@ -17,14 +17,21 @@ struct CollectOptions;  // pipeline/parallel.hpp
 /// plan's universe mask to bound source-side memory.  With a registry
 /// attached, records per-dataset ingest health (flow counts, parse drops,
 /// per-vantage totals, ingest duration); nullptr costs nothing.
+///
+/// This is the *reference* ingestion path: one store, one record at a
+/// time, no batching — the semantic oracle every batched/sharded
+/// configuration is proven bit-identical against (the differential grids
+/// in tests/test_parallel_pipeline and tests/test_ingest_window compare
+/// to this function's output).  Production collection goes through the
+/// overload below.
 [[nodiscard]] VantageStats collect_stats(const sim::Simulation& simulation,
                                          std::span<const std::size_t> ixp_indices,
                                          std::span<const int> days,
                                          obs::MetricsRegistry* metrics = nullptr);
 
-/// Same collection through the sharded parallel engine (bit-identical
-/// output; see pipeline/parallel.hpp).  threads=1, shards=1 is the serial
-/// path above.
+/// Same collection through the staged batched engine (bit-identical
+/// output; see pipeline/parallel.hpp).  threads=1 runs the batched
+/// single-worker path inline — still batched, just without a pool.
 [[nodiscard]] VantageStats collect_stats(const sim::Simulation& simulation,
                                          std::span<const std::size_t> ixp_indices,
                                          std::span<const int> days,

@@ -4,25 +4,36 @@
 // millions of /24s per day; one thread ingesting vantage-days serially is
 // the scalability wall.  This module fans the work out while keeping the
 // output *bit-identical* to the serial path (tests/test_parallel_pipeline
-// proves it differentially):
+// proves it differentially, down to batch size 1):
 //
 //   collect — vantage-day datasets are dealt round-robin to N workers.
-//     Each worker accumulates into `shards` thread-local VantageStats
-//     keyed by block.index() % shards, so no lock is ever taken on the
-//     hot ingest path.  Workers are then tree-merged pairwise, each shard
-//     column independently (and concurrently: columns are disjoint key
-//     spaces), before the columns fold into one VantageStats.
+//     Each worker runs the ingestion pipeline in stages (DESIGN.md §14):
 //
-//   infer — the block map is snapshotted into an array, split into
-//     contiguous ranges, the seven-step funnel runs per range, and the
-//     partial results reduce (counter sums + Block24Set union).
+//       parse  — flow::FlowBatch decodes the hot record fields into flat
+//                SoA columns and pipeline::ShardRouter counting-sorts the
+//                batch rows by Block24 % shards, once per batch;
+//       insert — each routed run lands in the worker's shard-affine
+//                VantageStats (stores pre-partitioned by the same
+//                Block24 % shards key the rows were dealt by, pre-sized
+//                from the batch statistics), so a store's index stays
+//                cache-hot for a whole run and no lock is ever taken;
+//       merge  — shard columns are disjoint key spaces by construction,
+//                so the cross-worker reduction is one fold task per shard
+//                on the same pool (no locks, no cross-shard traffic, no
+//                barrier rounds), and the final cross-shard fold rides
+//                pipeline::merge_stats with the exact row total — the
+//                same primitive ingest::SlidingWindow publishes through.
+//
+//   infer — the block store is dense, so rows split into contiguous
+//     ranges, the seven-step funnel runs per range, and the partial
+//     results reduce (counter sums + Block24Set union).
 //
 // Determinism argument: every per-block quantity is a sum of unsigned
 // counters, a bitwise OR of host bitmaps, or a set union (days, dark
 // blocks) — all commutative and associative (property-tested in
 // tests/test_pipeline_properties), so the assignment of datasets to
-// workers, blocks to shards, and the merge-tree shape cannot change the
-// result.  Nothing in the pipeline reads insertion order.
+// workers, rows to batches and shards, and the merge-fold shape cannot
+// change the result.  Nothing in the pipeline reads insertion order.
 #pragma once
 
 #include <cstddef>
@@ -36,14 +47,30 @@
 
 namespace mtscope::pipeline {
 
+/// Per-stage accounting of one ParallelCollector::collect() call, filled
+/// when CollectOptions::profile points at one.  sim/parse/insert are
+/// summed across workers — CPU time, so they can exceed wall clock on real
+/// multicore hardware — while merge and total are wall clock on the
+/// calling thread.  bench/micro_parallel reports these so a regression
+/// localizes to a stage instead of one collect lump.
+struct CollectProfile {
+  double sim_ms = 0.0;     // run_ixp_day: synthesis, export, IPFIX decode
+  double parse_ms = 0.0;   // FlowBatch::decode + ShardRouter::route
+  double insert_ms = 0.0;  // add_batch_rx / add_batch_tx into shard stores
+  double merge_ms = 0.0;   // per-shard-column folds + final disjoint fold
+  double total_ms = 0.0;   // wall clock of the whole collect()
+};
+
 /// Tuning knobs for the sharded parallel collector.
 struct CollectOptions {
-  /// Worker threads; <= 1 selects the serial path.
+  /// Worker threads; <= 1 runs the batched engine inline on the calling
+  /// thread (no pool).
   unsigned threads = 1;
 
-  /// Thread-local VantageStats shards per worker (block.index() % shards).
-  /// More shards mean smaller hash maps and a wider (more concurrent)
-  /// merge fan-in; the output never depends on the value.
+  /// Shard-affine VantageStats per worker (key: block.index() % shards).
+  /// More shards mean smaller, cache-warmer stores and a wider
+  /// (more concurrent) merge fan-out; the output never depends on the
+  /// value.
   unsigned shards = 1;
 
   /// Optional observability sink.  Workers never touch it directly: each
@@ -52,6 +79,15 @@ struct CollectOptions {
   /// order after the join, so counter totals are independent of
   /// scheduling and shard count.  nullptr keeps the engine zero-overhead.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Records per FlowBatch handed to the parse stage; 0 selects
+  /// flow::FlowBatch::kDefaultRecords.  The output never depends on it
+  /// (the batched differential grid pins sizes 1, 64 and 4096).
+  unsigned batch_records = 0;
+
+  /// Optional per-stage timing sink; nullptr skips nothing but the final
+  /// stores.  See CollectProfile.
+  CollectProfile* profile = nullptr;
 };
 
 /// Fans vantage-day datasets out to a worker pool; see the file comment.

@@ -1,0 +1,34 @@
+#include "pipeline/shard_router.hpp"
+
+#include <numeric>
+
+namespace mtscope::pipeline {
+
+void ShardRouter::bucket(std::span<const std::uint32_t> blocks, unsigned shards,
+                         std::vector<std::uint32_t>& order,
+                         std::vector<std::uint32_t>& offsets) {
+  const std::uint32_t n = static_cast<std::uint32_t>(blocks.size());
+  order.resize(n);
+  offsets.assign(shards + 1, 0);
+  if (shards == 1) {
+    std::iota(order.begin(), order.end(), 0u);
+    offsets[1] = n;
+    return;
+  }
+
+  // Counting sort: histogram, exclusive prefix sum, stable scatter.
+  for (const std::uint32_t block : blocks) ++offsets[block % shards + 1];
+  for (unsigned s = 1; s <= shards; ++s) offsets[s] += offsets[s - 1];
+  cursor_.assign(offsets.begin(), offsets.end() - 1);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    order[cursor_[blocks[i] % shards]++] = i;
+  }
+}
+
+void ShardRouter::route(const flow::FlowBatch& batch, unsigned shards) {
+  shards_ = shards == 0 ? 1 : shards;
+  bucket(batch.dst_block(), shards_, rx_order_, rx_offsets_);
+  bucket(batch.src_block(), shards_, tx_order_, tx_offsets_);
+}
+
+}  // namespace mtscope::pipeline

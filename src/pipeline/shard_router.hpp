@@ -1,0 +1,70 @@
+// ShardRouter: deal one FlowBatch's rows to shard-affine stores.
+//
+// The sharded collector keys every store touch by Block24 % shards — the
+// same partition BlockStatsStore rows end up in — so a worker holding one
+// store per shard must route each record twice: destination side by the
+// dst block, source side by the src block.  Doing that per record means the
+// insert loop bounces between `shards` stores in whatever order the
+// exporter emitted flows, evicting each store's index from cache between
+// touches.
+//
+// The router instead buckets a whole batch up front with a counting sort
+// over the block-id columns: one pass counts rows per shard, a prefix sum
+// carves the order array into per-shard segments, a scatter pass fills
+// them.  Insertion then walks each shard's rows as one contiguous run, so
+// a store's index and columns stay hot for the whole run and each store is
+// touched exactly twice per batch (rx run + tx run).  The scatter is
+// stable (ascending row order within a shard) — irrelevant to the output,
+// which is order-independent by the merge laws, but it keeps replays
+// deterministic to the byte for debugging.
+//
+// Scratch arrays are retained across route() calls; a reused router
+// allocates only on its first (largest) batch.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "flow/flow_batch.hpp"
+
+namespace mtscope::pipeline {
+
+class ShardRouter {
+ public:
+  /// Bucket `batch`'s rows: destination side by dst_block() % shards,
+  /// source side by src_block() % shards.  shards == 1 short-circuits to
+  /// one identity segment over all rows.
+  void route(const flow::FlowBatch& batch, unsigned shards);
+
+  /// Batch row indices whose destination /24 lands in `shard`, ascending.
+  [[nodiscard]] std::span<const std::uint32_t> rx_rows(unsigned shard) const noexcept {
+    return segment(rx_order_, rx_offsets_, shard);
+  }
+
+  /// Batch row indices whose source /24 lands in `shard`, ascending.
+  [[nodiscard]] std::span<const std::uint32_t> tx_rows(unsigned shard) const noexcept {
+    return segment(tx_order_, tx_offsets_, shard);
+  }
+
+  [[nodiscard]] unsigned shards() const noexcept { return shards_; }
+
+ private:
+  static std::span<const std::uint32_t> segment(const std::vector<std::uint32_t>& order,
+                                                const std::vector<std::uint32_t>& offsets,
+                                                unsigned shard) noexcept {
+    return {order.data() + offsets[shard], offsets[shard + 1] - offsets[shard]};
+  }
+
+  void bucket(std::span<const std::uint32_t> blocks, unsigned shards,
+              std::vector<std::uint32_t>& order, std::vector<std::uint32_t>& offsets);
+
+  unsigned shards_ = 0;
+  std::vector<std::uint32_t> rx_order_;
+  std::vector<std::uint32_t> tx_order_;
+  std::vector<std::uint32_t> rx_offsets_;  // shards + 1 entries
+  std::vector<std::uint32_t> tx_offsets_;
+  std::vector<std::uint32_t> cursor_;  // scatter scratch, reused per batch
+};
+
+}  // namespace mtscope::pipeline

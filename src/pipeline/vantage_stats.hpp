@@ -25,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "flow/flow_batch.hpp"
 #include "flow/record.hpp"
 #include "net/ipv4.hpp"
 #include "pipeline/block_stats_store.hpp"
@@ -95,6 +96,23 @@ class VantageStats {
   /// mask).  Counterpart of add_flow_rx; counts no flow.
   void add_flow_tx(const flow::FlowRecord& record);
 
+  /// Batched destination-side ingest: add_flow_rx for every batch row in
+  /// `rows`, reading the pre-decoded columns instead of FlowRecords.  The
+  /// sharded collector passes each shard's routed run (see
+  /// pipeline/shard_router.hpp) so one call touches one store
+  /// contiguously; `rows` spanning the whole batch reproduces the serial
+  /// per-record order.  Bit-identical to the per-record calls by
+  /// construction — same values, same insertion sequence.
+  void add_batch_rx(const flow::FlowBatch& batch, std::span<const std::uint32_t> rows);
+
+  /// Batched source-side ingest, the add_flow_tx counterpart of
+  /// add_batch_rx (subject to the source mask; counts no flow).
+  void add_batch_tx(const flow::FlowBatch& batch, std::span<const std::uint32_t> rows);
+
+  /// Pre-size the underlying store for `blocks` rows (see
+  /// BlockStatsStore::reserve_rows).
+  void reserve_blocks(std::size_t blocks) { store_.reserve_rows(blocks); }
+
   /// Merge another stats object (other vantage points / other days /
   /// another shard).  Commutative and associative (see the pipeline
   /// property tests) — the invariant the parallel collector relies on.
@@ -125,5 +143,18 @@ class VantageStats {
   std::set<int> days_;
   std::uint64_t flows_ = 0;
 };
+
+/// The shared merge primitive: fold `rest` into `first` in index order and
+/// return the result.  This is the one reduction both consumers of
+/// many-way stats merges ride — the parallel collector folds its disjoint
+/// shard columns through it (passing the exact row total so the store
+/// index is built once), and ingest::SlidingWindow::merged() folds its
+/// per-day slices through it (copying only the first slice instead of all
+/// of them).  Merge is commutative and associative (property-tested in
+/// tests/test_pipeline_properties), so the fold order is a pure
+/// implementation choice; any shape yields bit-identical output.
+[[nodiscard]] VantageStats merge_stats(VantageStats first,
+                                       std::span<const VantageStats* const> rest,
+                                       std::size_t reserve_rows = 0);
 
 }  // namespace mtscope::pipeline

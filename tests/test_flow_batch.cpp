@@ -1,0 +1,117 @@
+// FlowBatch is pure projection: every column must equal the value the
+// per-record ingest path computes from the same FlowRecord.  These tests
+// pin that equivalence field by field (the batched differential grid in
+// test_parallel_pipeline then pins the whole pipeline), plus the reuse
+// contract — a decode replaces previous contents entirely.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "flow/flow_batch.hpp"
+#include "flow/record.hpp"
+#include "net/ipv4.hpp"
+#include "util/rng.hpp"
+
+namespace mtscope {
+namespace {
+
+std::vector<flow::FlowRecord> make_records(std::size_t count, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<flow::FlowRecord> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    flow::FlowRecord r;
+    r.key.src = net::Ipv4Addr(static_cast<std::uint32_t>(rng.uniform(std::uint64_t{1} << 32)));
+    r.key.dst = net::Ipv4Addr(static_cast<std::uint32_t>(rng.uniform(std::uint64_t{1} << 32)));
+    r.key.dst_port = static_cast<std::uint16_t>(rng.uniform(65536));
+    r.key.proto = rng.chance(0.7) ? net::IpProto::kTcp
+                                  : (rng.chance(0.5) ? net::IpProto::kUdp
+                                                     : net::IpProto::kIcmp);
+    r.packets = 1 + rng.uniform(1000);
+    r.bytes = r.packets * (40 + rng.uniform(1400));
+    r.sampling_rate = 1000;
+    out.push_back(r);
+  }
+  return out;
+}
+
+void expect_matches_records(const flow::FlowBatch& batch,
+                            std::span<const flow::FlowRecord> records,
+                            std::uint32_t sampling_rate) {
+  ASSERT_EQ(batch.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const flow::FlowRecord& r = records[i];
+    // Same arithmetic the per-record path runs inside add_flow_rx/tx.
+    EXPECT_EQ(batch.dst_block()[i], net::Block24::containing(r.key.dst).index()) << i;
+    EXPECT_EQ(batch.dst_host()[i], static_cast<std::uint8_t>(r.key.dst.value() & 0xff))
+        << i;
+    EXPECT_EQ(batch.src_block()[i], net::Block24::containing(r.key.src).index()) << i;
+    EXPECT_EQ(batch.src_host()[i], static_cast<std::uint8_t>(r.key.src.value() & 0xff))
+        << i;
+    EXPECT_EQ(batch.packets()[i], r.packets) << i;
+    EXPECT_EQ(batch.est_packets()[i], r.packets * sampling_rate) << i;
+    EXPECT_EQ(batch.bytes()[i], r.bytes) << i;
+    EXPECT_EQ(batch.tcp()[i], r.key.proto == net::IpProto::kTcp ? 1 : 0) << i;
+  }
+}
+
+TEST(FlowBatch, DecodeProjectsEveryHotField) {
+  const auto records = make_records(513, 7);
+  flow::FlowBatch batch;
+  batch.decode(records, 1000);
+  expect_matches_records(batch, records, 1000);
+}
+
+TEST(FlowBatch, EmptyDecode) {
+  flow::FlowBatch batch;
+  batch.decode({}, 100);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.size(), 0u);
+}
+
+TEST(FlowBatch, SingleRecord) {
+  const auto records = make_records(1, 11);
+  flow::FlowBatch batch;
+  batch.decode(records, 64);
+  expect_matches_records(batch, records, 64);
+}
+
+TEST(FlowBatch, ReuseReplacesPreviousContents) {
+  // The collector reuses one batch per worker across thousands of chunks;
+  // a decode after a larger decode must not leak stale rows.
+  const auto big = make_records(1000, 13);
+  const auto small = make_records(37, 17);
+  flow::FlowBatch batch;
+  batch.decode(big, 100);
+  ASSERT_EQ(batch.size(), big.size());
+  batch.decode(small, 250);
+  expect_matches_records(batch, small, 250);
+}
+
+TEST(FlowBatch, ClearEmptiesColumns) {
+  flow::FlowBatch batch;
+  batch.decode(make_records(64, 19), 100);
+  batch.clear();
+  EXPECT_TRUE(batch.empty());
+  EXPECT_TRUE(batch.dst_block().empty());
+  EXPECT_TRUE(batch.tcp().empty());
+}
+
+TEST(FlowBatch, ChunkedDecodeCoversWholeSpan) {
+  // The worker loop slices a dataset into subspans; decoded chunks
+  // concatenated must cover exactly the records of the whole span.
+  const auto records = make_records(300, 23);
+  const std::span<const flow::FlowRecord> all(records);
+  flow::FlowBatch batch;
+  std::size_t covered = 0;
+  for (std::size_t first = 0; first < all.size(); first += 128) {
+    const std::size_t count = std::min<std::size_t>(128, all.size() - first);
+    batch.decode(all.subspan(first, count), 500);
+    expect_matches_records(batch, all.subspan(first, count), 500);
+    covered += batch.size();
+  }
+  EXPECT_EQ(covered, records.size());
+}
+
+}  // namespace
+}  // namespace mtscope

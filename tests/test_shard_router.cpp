@@ -1,0 +1,142 @@
+// ShardRouter property suite: the routed segments must be a *stable
+// partition* of the batch — every row in exactly one shard segment, the
+// shard chosen by the same Block24 % shards key the stores are laid out
+// by, ascending row order within a segment.  The partition property is
+// what makes the per-shard merge disjoint (no block can land in two
+// shards), so these tests are the foundation the contention-free merge's
+// correctness argument stands on.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "flow/flow_batch.hpp"
+#include "net/ipv4.hpp"
+#include "pipeline/shard_router.hpp"
+#include "util/rng.hpp"
+
+namespace mtscope {
+namespace {
+
+flow::FlowBatch make_batch(std::size_t rows, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<flow::FlowRecord> records;
+  records.reserve(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    flow::FlowRecord r;
+    r.key.src = net::Ipv4Addr(static_cast<std::uint32_t>(rng.uniform(std::uint64_t{1} << 32)));
+    r.key.dst = net::Ipv4Addr(static_cast<std::uint32_t>(rng.uniform(std::uint64_t{1} << 32)));
+    r.key.proto = rng.chance(0.5) ? net::IpProto::kTcp : net::IpProto::kUdp;
+    r.packets = 1 + rng.uniform(10);
+    r.bytes = 40 * r.packets;
+    records.push_back(r);
+  }
+  flow::FlowBatch batch;
+  batch.decode(records, 100);
+  return batch;
+}
+
+/// The partition laws for one side (rx or tx): correct shard for every
+/// routed row, each batch row routed exactly once, ascending (stable)
+/// order within each segment.
+void expect_stable_partition(const flow::FlowBatch& batch,
+                             std::span<const std::uint32_t> blocks,
+                             const pipeline::ShardRouter& router, unsigned shards,
+                             bool rx_side) {
+  std::vector<unsigned> seen(batch.size(), 0);
+  for (unsigned s = 0; s < shards; ++s) {
+    const auto rows = rx_side ? router.rx_rows(s) : router.tx_rows(s);
+    std::uint32_t prev = 0;
+    bool first = true;
+    for (const std::uint32_t i : rows) {
+      ASSERT_LT(i, batch.size());
+      EXPECT_EQ(blocks[i] % shards, s) << "row " << i << " dealt to wrong shard";
+      if (!first) EXPECT_LT(prev, i) << "segment " << s << " not ascending";
+      prev = i;
+      first = false;
+      seen[i] += 1;
+    }
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], 1u) << "row " << i << " routed " << seen[i] << " times";
+  }
+}
+
+class ShardRouterPartition : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ShardRouterPartition, RxAndTxAreStablePartitions) {
+  const unsigned shards = GetParam();
+  const flow::FlowBatch batch = make_batch(997, 41);
+  pipeline::ShardRouter router;
+  router.route(batch, shards);
+  EXPECT_EQ(router.shards(), shards);
+  expect_stable_partition(batch, batch.dst_block(), router, shards, /*rx_side=*/true);
+  expect_stable_partition(batch, batch.src_block(), router, shards, /*rx_side=*/false);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardRouterPartition,
+                         ::testing::Values(1u, 2u, 3u, 4u, 16u, 64u));
+
+TEST(ShardRouter, SingleShardIsIdentity) {
+  const flow::FlowBatch batch = make_batch(256, 43);
+  pipeline::ShardRouter router;
+  router.route(batch, 1);
+  const auto rows = router.rx_rows(0);
+  ASSERT_EQ(rows.size(), batch.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i], static_cast<std::uint32_t>(i));
+  }
+}
+
+TEST(ShardRouter, EmptyBatch) {
+  flow::FlowBatch batch;
+  batch.decode({}, 100);
+  pipeline::ShardRouter router;
+  router.route(batch, 8);
+  for (unsigned s = 0; s < 8; ++s) {
+    EXPECT_TRUE(router.rx_rows(s).empty());
+    EXPECT_TRUE(router.tx_rows(s).empty());
+  }
+}
+
+TEST(ShardRouter, ReuseAcrossBatchesAndShardCounts) {
+  // The worker loop reuses one router for every chunk; routing a smaller
+  // batch (or different shard count) after a larger one must not leak
+  // stale segments.
+  pipeline::ShardRouter router;
+  const flow::FlowBatch big = make_batch(2048, 47);
+  router.route(big, 16);
+  const flow::FlowBatch small = make_batch(100, 53);
+  router.route(small, 4);
+  expect_stable_partition(small, small.dst_block(), router, 4, /*rx_side=*/true);
+  expect_stable_partition(small, small.src_block(), router, 4, /*rx_side=*/false);
+  std::size_t total = 0;
+  for (unsigned s = 0; s < 4; ++s) total += router.rx_rows(s).size();
+  EXPECT_EQ(total, small.size());
+}
+
+TEST(ShardRouter, SkewedKeysStillPartition) {
+  // All destinations in one /24: every rx row must land in the single
+  // shard that block maps to, the rest must be empty.
+  std::vector<flow::FlowRecord> records;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    flow::FlowRecord r;
+    r.key.src = net::Ipv4Addr(0x0a000000u + i);
+    r.key.dst = net::Ipv4Addr(0xc0a80100u + i);  // 192.168.1.0/24
+    r.key.proto = net::IpProto::kTcp;
+    r.packets = 1;
+    r.bytes = 40;
+    records.push_back(r);
+  }
+  flow::FlowBatch batch;
+  batch.decode(records, 10);
+  pipeline::ShardRouter router;
+  router.route(batch, 16);
+  const unsigned home = batch.dst_block()[0] % 16;
+  for (unsigned s = 0; s < 16; ++s) {
+    EXPECT_EQ(router.rx_rows(s).size(), s == home ? batch.size() : 0u);
+  }
+}
+
+}  // namespace
+}  // namespace mtscope
