@@ -1,0 +1,146 @@
+#include "analytics/ibr_matrix.hpp"
+
+#include <algorithm>
+
+namespace mtscope::analytics {
+
+namespace {
+
+constexpr std::size_t kInitialCapacity = 1024;  // power of two
+
+/// splitmix64 finalizer: full-avalanche mix so packed keys (which differ
+/// only in low bits for adjacent ports/days) spread across the table.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::size_t CounterTable::slot_for(std::uint64_t key) const noexcept {
+  const std::size_t mask = keys_.size() - 1;
+  std::size_t slot = static_cast<std::size_t>(mix(key)) & mask;
+  while (used_[slot] != 0 && keys_[slot] != key) slot = (slot + 1) & mask;
+  return slot;
+}
+
+void CounterTable::grow(std::size_t min_capacity) {
+  std::size_t capacity = keys_.empty() ? kInitialCapacity : keys_.size() * 2;
+  while (capacity < min_capacity) capacity *= 2;
+
+  std::vector<std::uint64_t> old_keys = std::move(keys_);
+  std::vector<std::uint64_t> old_values = std::move(values_);
+  std::vector<std::uint8_t> old_used = std::move(used_);
+  keys_.assign(capacity, 0);
+  values_.assign(capacity, 0);
+  used_.assign(capacity, 0);
+  for (std::size_t i = 0; i < old_keys.size(); ++i) {
+    if (old_used[i] == 0) continue;
+    const std::size_t slot = slot_for(old_keys[i]);
+    keys_[slot] = old_keys[i];
+    values_[slot] = old_values[i];
+    used_[slot] = 1;
+  }
+}
+
+void CounterTable::add(std::uint64_t key, std::uint64_t delta) {
+  // Grow at ~0.7 load so probe chains stay short.
+  if (keys_.empty() || size_ * 10 >= keys_.size() * 7) grow(keys_.size() + 1);
+  const std::size_t slot = slot_for(key);
+  if (used_[slot] == 0) {
+    keys_[slot] = key;
+    used_[slot] = 1;
+    ++size_;
+  }
+  values_[slot] += delta;
+}
+
+std::uint64_t CounterTable::find(std::uint64_t key) const noexcept {
+  if (keys_.empty()) return 0;
+  const std::size_t slot = slot_for(key);
+  return used_[slot] != 0 ? values_[slot] : 0;
+}
+
+void CounterTable::merge(const CounterTable& other) {
+  for (std::size_t i = 0; i < other.keys_.size(); ++i) {
+    if (other.used_[i] != 0) add(other.keys_[i], other.values_[i]);
+  }
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> CounterTable::sorted() const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (used_[i] != 0) out.emplace_back(keys_[i], values_[i]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void IbrMatrix::add_flow(std::uint32_t src_block, std::uint32_t dst_block,
+                         std::uint16_t dst_port, int day, std::uint64_t est_packets) {
+  if (!enabled_) return;
+  first_day_ = std::min(first_day_, day);
+  last_day_ = std::max(last_day_, day);
+  const std::uint64_t day16 = static_cast<std::uint64_t>(day) & 0xffffu;
+  rx_.add((std::uint64_t{dst_block} << 32) | (std::uint64_t{dst_port} << 16) | day16,
+          est_packets);
+  src_ports_.add((std::uint64_t{src_block} << 16) | dst_port, est_packets);
+  src_touch_.add((std::uint64_t{src_block} << 24) | dst_block, est_packets);
+}
+
+void IbrMatrix::add_batch(const flow::FlowBatch& batch, std::span<const std::uint32_t> rows,
+                          int day) {
+  if (!enabled_ || rows.empty()) return;
+  const std::span<const std::uint32_t> src = batch.src_block();
+  const std::span<const std::uint32_t> dst = batch.dst_block();
+  const std::span<const std::uint16_t> port = batch.dst_port();
+  const std::span<const std::uint64_t> est = batch.est_packets();
+  for (const std::uint32_t i : rows) {
+    add_flow(src[i], dst[i], port[i], day, est[i]);
+  }
+}
+
+void IbrMatrix::merge(const IbrMatrix& other) {
+  enabled_ = enabled_ || other.enabled_;
+  first_day_ = std::min(first_day_, other.first_day_);
+  last_day_ = std::max(last_day_, other.last_day_);
+  rx_.merge(other.rx_);
+  src_ports_.merge(other.src_ports_);
+  src_touch_.merge(other.src_touch_);
+}
+
+std::vector<IbrMatrix::RxCell> IbrMatrix::rx_cells() const {
+  std::vector<RxCell> out;
+  out.reserve(rx_.size());
+  for (const auto& [key, value] : rx_.sorted()) {
+    out.push_back({static_cast<std::uint32_t>(key >> 32),
+                   static_cast<std::uint16_t>((key >> 16) & 0xffffu),
+                   static_cast<std::uint16_t>(key & 0xffffu), value});
+  }
+  return out;
+}
+
+std::vector<IbrMatrix::SrcPort> IbrMatrix::src_ports() const {
+  std::vector<SrcPort> out;
+  out.reserve(src_ports_.size());
+  for (const auto& [key, value] : src_ports_.sorted()) {
+    out.push_back({static_cast<std::uint32_t>(key >> 16),
+                   static_cast<std::uint16_t>(key & 0xffffu), value});
+  }
+  return out;
+}
+
+std::vector<IbrMatrix::SrcTouch> IbrMatrix::src_touches() const {
+  std::vector<SrcTouch> out;
+  out.reserve(src_touch_.size());
+  for (const auto& [key, value] : src_touch_.sorted()) {
+    out.push_back({static_cast<std::uint32_t>(key >> 24),
+                   static_cast<std::uint32_t>(key & 0xffffffu), value});
+  }
+  return out;
+}
+
+}  // namespace mtscope::analytics

@@ -1,0 +1,149 @@
+// IbrMatrix: compressed-sparse spatio-temporal store of the telescope's
+// IBR signal — time-binned per-/24 x per-port traffic counts, in the
+// spirit of Kepner et al.'s sparse darkspace matrices.
+//
+// The classification pipeline reduces each /24 to a verdict; the analytics
+// workloads (Chocolatine-style outage detection, scanner/IoT insight) need
+// the signal *behind* the verdict: who sent how much, to which block, on
+// which port, on which day.  Materialising a dense (block x port x day)
+// cube is hopeless — 2^24 x 2^16 x 7 cells — but the observed IBR is
+// extremely sparse: sampled IXP data touches a few ports per block per
+// day.  So the matrix is three open-addressing counter tables over packed
+// integer keys:
+//
+//   rx        (dst_block, dst_port, day)  -> estimated packets
+//   src_ports (src_block, dst_port)       -> estimated packets (port breadth)
+//   src_touch (src_block, dst_block)      -> estimated packets (fan-out)
+//
+// Population is a batched tap beside the FlowBatch insert path
+// (VantageStats::add_analytics_batch): every rx-routed row adds one cell
+// update, so the matrix rides the collector's existing shard partition.
+// No filtering happens at collect time — block classification does not
+// exist yet; serve::build_analytics intersects the matrix with the
+// published map when the snapshot is built.
+//
+// Merge contract: every table value is a sum of unsigned counters and the
+// day bounds fold through min/max, so merge() is commutative and
+// associative exactly like VantageStats::merge — the sliding window and
+// the parallel workers fold matrices bit-identically to a from-scratch
+// batch build (tests/test_analytics pins this differentially).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "flow/flow_batch.hpp"
+
+namespace mtscope::analytics {
+
+/// Open-addressing u64 -> u64 counter map (linear probing, power-of-two
+/// capacity).  Key 0 is reachable (block 0, port 0, day 0), so occupancy
+/// lives in a separate byte vector instead of a sentinel key.
+class CounterTable {
+ public:
+  void add(std::uint64_t key, std::uint64_t delta);
+
+  /// Current value for `key`; 0 when absent (indistinguishable from an
+  /// explicit zero, which the add path never stores).
+  [[nodiscard]] std::uint64_t find(std::uint64_t key) const noexcept;
+
+  /// Fold `other` into this table: per-key counter sums.
+  void merge(const CounterTable& other);
+
+  /// All (key, value) pairs sorted by key ascending — the deterministic
+  /// export order every consumer iterates in.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return keys_.capacity() * sizeof(std::uint64_t) +
+           values_.capacity() * sizeof(std::uint64_t) + used_.capacity();
+  }
+
+ private:
+  void grow(std::size_t min_capacity);
+  [[nodiscard]] std::size_t slot_for(std::uint64_t key) const noexcept;
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint64_t> values_;
+  std::vector<std::uint8_t> used_;
+  std::size_t size_ = 0;
+};
+
+class IbrMatrix {
+ public:
+  /// A default-constructed matrix is disabled: every add is a no-op and no
+  /// table allocates, so the non-analytics pipeline pays one branch.
+  IbrMatrix() = default;
+  explicit IbrMatrix(bool enabled) : enabled_(enabled) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// One destination-side record: `est_packets` is the sampled count times
+  /// the exporter sampling rate (the same volume estimate the funnel
+  /// thresholds).  `day` is the logical time bin.
+  void add_flow(std::uint32_t src_block, std::uint32_t dst_block, std::uint16_t dst_port,
+                int day, std::uint64_t est_packets);
+
+  /// Batched tap: add_flow for every batch row in `rows` (the collector
+  /// passes each shard's rx-routed run, which partitions the batch — every
+  /// record lands in exactly one shard's matrix).
+  void add_batch(const flow::FlowBatch& batch, std::span<const std::uint32_t> rows, int day);
+
+  /// Commutative, associative fold — the same contract as
+  /// VantageStats::merge, which carries this matrix through merge_stats.
+  void merge(const IbrMatrix& other);
+
+  // --- deterministic exports (sorted by packed key) ----------------------
+
+  struct RxCell {
+    std::uint32_t block = 0;
+    std::uint16_t port = 0;
+    std::uint16_t day = 0;
+    std::uint64_t packets = 0;
+  };
+  /// (block, port, day) cells sorted by (block, port, day).
+  [[nodiscard]] std::vector<RxCell> rx_cells() const;
+
+  struct SrcPort {
+    std::uint32_t src_block = 0;
+    std::uint16_t port = 0;
+    std::uint64_t packets = 0;
+  };
+  /// (src_block, port) pairs sorted by (src_block, port).
+  [[nodiscard]] std::vector<SrcPort> src_ports() const;
+
+  struct SrcTouch {
+    std::uint32_t src_block = 0;
+    std::uint32_t dst_block = 0;
+    std::uint64_t packets = 0;
+  };
+  /// (src_block, dst_block) pairs sorted by (src_block, dst_block).
+  [[nodiscard]] std::vector<SrcTouch> src_touches() const;
+
+  /// Day-bin bounds over everything added; meaningless when empty().
+  [[nodiscard]] int first_day() const noexcept { return first_day_; }
+  [[nodiscard]] int last_day() const noexcept { return last_day_; }
+  [[nodiscard]] bool empty() const noexcept { return rx_.empty(); }
+
+  [[nodiscard]] std::size_t rx_cell_count() const noexcept { return rx_.size(); }
+  [[nodiscard]] std::size_t src_port_count() const noexcept { return src_ports_.size(); }
+  [[nodiscard]] std::size_t src_touch_count() const noexcept { return src_touch_.size(); }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return rx_.memory_bytes() + src_ports_.memory_bytes() + src_touch_.memory_bytes();
+  }
+
+ private:
+  bool enabled_ = false;
+  int first_day_ = std::numeric_limits<int>::max();
+  int last_day_ = std::numeric_limits<int>::min();
+  CounterTable rx_;         // key: block<<32 | port<<16 | day
+  CounterTable src_ports_;  // key: src_block<<16 | port
+  CounterTable src_touch_;  // key: src_block<<24 | dst_block
+};
+
+}  // namespace mtscope::analytics

@@ -1,0 +1,77 @@
+#include "analytics/outage.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mtscope::analytics {
+
+namespace {
+
+/// Median of a scratch copy (the caller's order is preserved).
+double median_of(std::vector<double> values) {
+  const std::size_t n = values.size();
+  const std::size_t mid = n / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid),
+                   values.end());
+  const double upper = values[mid];
+  if (n % 2 == 1) return upper;
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid) - 1,
+                   values.begin() + static_cast<std::ptrdiff_t>(mid));
+  return (values[mid - 1] + upper) / 2.0;
+}
+
+}  // namespace
+
+std::vector<OutageEvent> detect_outages(std::span<const PrefixDaySeries> series,
+                                        std::uint32_t first_day, const OutageConfig& config) {
+  std::vector<OutageEvent> events;
+  std::vector<double> obs;
+  std::vector<double> deviations;
+
+  for (const PrefixDaySeries& s : series) {
+    const std::size_t days = s.packets.size();
+    if (static_cast<int>(days) < config.min_days) continue;
+
+    obs.assign(s.packets.begin(), s.packets.end());
+    const double baseline = median_of(obs);
+    if (baseline < static_cast<double>(config.min_baseline)) continue;
+
+    deviations.clear();
+    deviations.reserve(days);
+    for (const double v : obs) deviations.push_back(std::abs(v - baseline));
+    const double mad = median_of(deviations);
+
+    // Both gates: a deep relative drop that is also far outside the
+    // series' own robust spread.
+    const double floor = std::min(config.ratio * baseline, baseline - config.mad_k * mad);
+    OutageEvent open;
+    bool in_event = false;
+    for (std::size_t d = 0; d < days; ++d) {
+      const double v = obs[d];
+      const bool flagged = v < floor;
+      if (flagged && !in_event) {
+        in_event = true;
+        open = OutageEvent{};
+        open.prefix_id = s.prefix_id;
+        open.start_day = first_day + static_cast<std::uint32_t>(d);
+        open.end_day = open.start_day;
+        open.baseline = static_cast<std::uint64_t>(baseline);
+        open.observed = s.packets[d];
+      } else if (flagged) {
+        open.end_day = first_day + static_cast<std::uint32_t>(d);
+        open.observed = std::min(open.observed, s.packets[d]);
+      }
+      if ((!flagged || d + 1 == days) && in_event) {
+        in_event = false;
+        const double worst = static_cast<double>(open.observed);
+        const double severity = 100.0 - 100.0 * worst / baseline;
+        open.severity_pct =
+            static_cast<std::uint32_t>(std::clamp(severity, 0.0, 100.0) + 0.5);
+        events.push_back(open);
+      }
+    }
+  }
+  return events;
+}
+
+}  // namespace mtscope::analytics

@@ -1,0 +1,75 @@
+// Chocolatine-style outage detection on the IBR signal (Guillot et al.):
+// a prefix that normally attracts background radiation and suddenly goes
+// quiet has (most likely) lost connectivity — the absence of unsolicited
+// traffic is itself a connectivity signal.
+//
+// Model, per announced prefix in the published map:
+//
+//   baseline  — the median of the prefix's per-day estimated packet
+//               counts over the analysis window.  The median is the
+//               seasonal-robust forecast: a few outage days cannot drag
+//               it down the way a mean would be dragged.
+//   spread    — the median absolute deviation (MAD) around that median,
+//               the robust counterpart of the standard deviation.
+//   anomaly   — day d is flagged when the observation drops below
+//               ratio x baseline AND below baseline - k x MAD, with the
+//               baseline itself above min_baseline (tiny prefixes carry
+//               too little IBR to judge).  Both gates must fire: the
+//               ratio test rejects ordinary day-of-week modulation, the
+//               MAD test rejects prefixes whose signal is noisy enough
+//               that a deep dip is still in-distribution.
+//
+// Consecutive flagged days coalesce into one OutageEvent carrying the
+// baseline, the worst observation and a severity percentage.  The
+// detector is a pure function of the per-prefix series, so it runs
+// identically on a live ingest epoch and on a from-scratch batch build.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mtscope::analytics {
+
+struct OutageConfig {
+  /// MAD multiplier for the robust z-test gate.
+  double mad_k = 4.0;
+  /// A flagged day must fall below this fraction of the baseline.
+  double ratio = 0.35;
+  /// Prefixes whose median daily volume is below this carry too little
+  /// IBR for a drop to mean anything; they are never flagged.
+  std::uint64_t min_baseline = 5'000;
+  /// A series needs at least this many day bins before any day is judged
+  /// (a 1-2 day window has no history to forecast from).
+  int min_days = 4;
+};
+
+/// One detected outage: `prefix_id` indexes the published snapshot's
+/// prefix table; days are inclusive logical day bins.
+struct OutageEvent {
+  std::uint32_t prefix_id = 0;
+  std::uint32_t start_day = 0;
+  std::uint32_t end_day = 0;
+  /// 100 - 100 x worst_observation / baseline, clamped to [0, 100].
+  std::uint32_t severity_pct = 0;
+  std::uint64_t baseline = 0;  // median daily estimated packets
+  std::uint64_t observed = 0;  // worst (minimum) flagged-day observation
+
+  bool operator==(const OutageEvent&) const = default;
+};
+
+/// One prefix's dense per-day series: packets[i] is the estimated packet
+/// count on day first_day + i.  Days with no observed traffic are zeros —
+/// a silent day is exactly the signal the detector exists to catch.
+struct PrefixDaySeries {
+  std::uint32_t prefix_id = 0;
+  std::vector<std::uint64_t> packets;
+};
+
+/// Run the detector over every series.  Events are emitted in input order
+/// (series order), coalesced per prefix; deterministic for a given input.
+[[nodiscard]] std::vector<OutageEvent> detect_outages(std::span<const PrefixDaySeries> series,
+                                                      std::uint32_t first_day,
+                                                      const OutageConfig& config = {});
+
+}  // namespace mtscope::analytics

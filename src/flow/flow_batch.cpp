@@ -11,6 +11,7 @@ void FlowBatch::clear() noexcept {
   est_packets_.clear();
   bytes_.clear();
   tcp_.clear();
+  dst_port_.clear();
 }
 
 void FlowBatch::decode(std::span<const FlowRecord> records, std::uint32_t sampling_rate) {
@@ -24,6 +25,7 @@ void FlowBatch::decode(std::span<const FlowRecord> records, std::uint32_t sampli
   est_packets_.reserve(n);
   bytes_.reserve(n);
   tcp_.reserve(n);
+  dst_port_.reserve(n);
 
   for (const FlowRecord& r : records) {
     // The exact arithmetic of the per-record path (VantageStats::
@@ -37,6 +39,7 @@ void FlowBatch::decode(std::span<const FlowRecord> records, std::uint32_t sampli
     est_packets_.push_back(r.packets * sampling_rate);
     bytes_.push_back(r.bytes);
     tcp_.push_back(r.key.proto == net::IpProto::kTcp ? 1 : 0);
+    dst_port_.push_back(r.key.dst_port);
   }
 }
 

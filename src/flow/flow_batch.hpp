@@ -78,6 +78,10 @@ class FlowBatch {
   [[nodiscard]] std::span<const std::uint64_t> bytes() const noexcept { return bytes_; }
   /// 1 when the record's protocol is TCP, else 0.
   [[nodiscard]] std::span<const std::uint8_t> tcp() const noexcept { return tcp_; }
+  /// Destination port (read by the analytics matrix tap).
+  [[nodiscard]] std::span<const std::uint16_t> dst_port() const noexcept {
+    return dst_port_;
+  }
 
  private:
   std::vector<std::uint32_t> dst_block_;
@@ -88,6 +92,7 @@ class FlowBatch {
   std::vector<std::uint64_t> est_packets_;
   std::vector<std::uint64_t> bytes_;
   std::vector<std::uint8_t> tcp_;
+  std::vector<std::uint16_t> dst_port_;
 };
 
 }  // namespace mtscope::flow

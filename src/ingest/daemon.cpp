@@ -36,6 +36,26 @@ serve::RunMetadata publish_metadata(const StreamHeader& header, int window_days,
   return meta;
 }
 
+serve::BlockLabeler plan_labeler(const sim::AddressPlan& plan) {
+  return [&plan](net::Block24 block) {
+    serve::BlockLabel label;
+    if (const auto country = plan.geodb().country_of(block);
+        country.has_value() && country->size() == 2) {
+      label.country[0] = (*country)[0];
+      label.country[1] = (*country)[1];
+    }
+    label.continent = static_cast<std::uint8_t>(plan.geodb().continent_of(block));
+    if (const auto covering = plan.rib().lookup(block.first_address());
+        covering.has_value()) {
+      if (const auto type = plan.nettypes().resolve(covering->second.origin);
+          type.has_value()) {
+        label.net_type = static_cast<std::uint8_t>(*type);
+      }
+    }
+    return label;
+  };
+}
+
 IngestDaemon::IngestDaemon(IngestConfig config, obs::MetricsRegistry* metrics)
     : config_(std::move(config)), metrics_(metrics) {}
 
@@ -58,7 +78,9 @@ util::Result<IngestTotals> IngestDaemon::run() {
   }());
   const auto registry = routing::SpecialPurposeRegistry::standard();
 
-  SlidingWindow window(config_.window_days, simulation.plan().universe_mask());
+  SlidingWindow window(config_.window_days, simulation.plan().universe_mask(),
+                       config_.analytics);
+  const serve::BlockLabeler labeler = plan_labeler(simulation.plan());
   IngestTotals totals;
   std::uint64_t completed_days = 0;
 
@@ -87,8 +109,25 @@ util::Result<IngestTotals> IngestDaemon::run() {
                                        stats.flows_ingested(), tolerance,
                                        config_.created_unix_s);
     obs::StageTimer build_timer(metrics_, "ingest.snapshot.build_us");
-    const auto snapshot = serve::build_snapshot(result, simulation.plan().rib(), meta);
+    auto snapshot = serve::build_snapshot(result, simulation.plan().rib(), meta);
     build_timer.stop();
+
+    if (config_.analytics) {
+      // Every cadence republishes fresh analytics derived from the same
+      // merged window the verdicts came from — the matrix merge is
+      // bit-identical to batch, so the section is too.
+      obs::StageTimer analytics_timer(metrics_, "ingest.analytics.build_us");
+      snapshot.analytics = serve::build_analytics(stats.ibr(), snapshot, labeler);
+      analytics_timer.stop();
+      if (metrics_ != nullptr) {
+        metrics_->gauge("ingest.analytics.cells")
+            .set(static_cast<std::int64_t>(snapshot.analytics->cells.size()));
+        metrics_->gauge("ingest.analytics.outages")
+            .set(static_cast<std::int64_t>(snapshot.analytics->outages.size()));
+        metrics_->gauge("ingest.analytics.scanners")
+            .set(static_cast<std::int64_t>(snapshot.analytics->scanners.size()));
+      }
+    }
 
     obs::StageTimer publish_timer(metrics_, "ingest.publish_us");
     const auto published = publish_snapshot(snapshot, config_.snapshot_out);

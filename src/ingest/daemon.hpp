@@ -38,8 +38,13 @@
 #include "ingest/flow_stream.hpp"
 #include "ingest/window.hpp"
 #include "obs/metrics.hpp"
+#include "serve/analytics_format.hpp"
 #include "serve/snapshot.hpp"
 #include "util/result.hpp"
+
+namespace mtscope::sim {
+class AddressPlan;
+}
 
 namespace mtscope::ingest {
 
@@ -50,6 +55,7 @@ struct IngestConfig {
   int cadence_days = 1;       // funnel + publish every N completed days
   unsigned threads = 1;       // funnel worker threads (never changes bytes)
   bool tolerance = true;      // re-derive the §7.2 spoofing tolerance
+  bool analytics = true;      // maintain the IBR matrix, publish ANALYTICS
   std::uint64_t max_epochs = 0;  // stop after N publishes; 0 = stream end
 
   /// Stamped into RunMetadata::created_unix_s verbatim.  The CLI passes
@@ -78,6 +84,13 @@ struct IngestTotals {
                                                   std::uint64_t flows_ingested,
                                                   std::uint64_t spoof_tolerance_pkts,
                                                   std::uint64_t created_unix_s);
+
+/// The labeler the daemon (and the batch CLI) hands to build_analytics:
+/// country + continent from the plan's GeoDb, network type by resolving
+/// the block's covering announcement through the plan's NetTypeDb — the
+/// simulator's stand-ins for GeoLite2 and IPinfo.  Captures `plan` by
+/// reference; the plan must outlive the labeler.
+[[nodiscard]] serve::BlockLabeler plan_labeler(const sim::AddressPlan& plan);
 
 class IngestDaemon {
  public:

@@ -6,8 +6,11 @@
 namespace mtscope::ingest {
 
 SlidingWindow::SlidingWindow(int window_days,
-                             std::shared_ptr<const trie::Block24Set> source_mask)
-    : window_days_(std::max(1, window_days)), source_mask_(std::move(source_mask)) {}
+                             std::shared_ptr<const trie::Block24Set> source_mask,
+                             bool analytics)
+    : window_days_(std::max(1, window_days)),
+      source_mask_(std::move(source_mask)),
+      analytics_(analytics) {}
 
 pipeline::VantageStats& SlidingWindow::slice_for(int day) {
   // Datasets almost always arrive for the newest day; scan from the back.
@@ -18,7 +21,7 @@ pipeline::VantageStats& SlidingWindow::slice_for(int day) {
     if (prev->day < day) break;
     it = prev;
   }
-  it = slices_.insert(it, DaySlice{day, pipeline::VantageStats(source_mask_)});
+  it = slices_.insert(it, DaySlice{day, pipeline::VantageStats(source_mask_, analytics_)});
   return it->stats;
 }
 
@@ -45,7 +48,7 @@ SlidingWindow::EvictionReport SlidingWindow::evict_before(int day) {
 }
 
 pipeline::VantageStats SlidingWindow::merged() const {
-  if (slices_.empty()) return pipeline::VantageStats(source_mask_);
+  if (slices_.empty()) return pipeline::VantageStats(source_mask_, analytics_);
 
   // The parallel collector's merge primitive (pipeline::merge_stats):
   // merge is commutative/associative, so the fold shape is free and the

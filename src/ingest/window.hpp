@@ -43,9 +43,14 @@ class SlidingWindow {
  public:
   /// A window spans `window_days` consecutive logical days.  `source_mask`
   /// is forwarded to every per-day slice (see VantageStats: it bounds
-  /// source-side memory against spoofed scatter).
+  /// source-side memory against spoofed scatter).  With `analytics` set,
+  /// each slice also maintains its day's IBR analytics matrix, and
+  /// merged() folds the matrices with the same commutative merge as the
+  /// stores — so every published epoch's matrix is bit-identical to a
+  /// from-scratch batch build over the retained days.
   explicit SlidingWindow(int window_days,
-                         std::shared_ptr<const trie::Block24Set> source_mask = nullptr);
+                         std::shared_ptr<const trie::Block24Set> source_mask = nullptr,
+                         bool analytics = false);
 
   /// Ingest one dataset into its day's slice, creating the slice if this
   /// is the day's first dataset.  Days may arrive interleaved; only
@@ -92,6 +97,7 @@ class SlidingWindow {
 
   int window_days_;
   std::shared_ptr<const trie::Block24Set> source_mask_;
+  bool analytics_ = false;
 
   struct DaySlice {
     int day = 0;

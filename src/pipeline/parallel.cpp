@@ -69,7 +69,7 @@ VantageStats ParallelCollector::collect(std::span<const std::size_t> ixp_indices
   std::vector<std::vector<VantageStats>> local(workers);
   for (auto& mine : local) {
     mine.reserve(shards);
-    for (unsigned s = 0; s < shards; ++s) mine.emplace_back(mask);
+    for (unsigned s = 0; s < shards; ++s) mine.emplace_back(mask, options_.analytics);
   }
 
   // One registry per worker: the ingest path records without sharing, and
@@ -109,6 +109,9 @@ VantageStats ParallelCollector::collect(std::span<const std::size_t> ixp_indices
         for (unsigned s = 0; s < shards; ++s) {
           mine[s].add_batch_rx(batch, router.rx_rows(s));
           mine[s].add_batch_tx(batch, router.tx_rows(s));
+          // The rx-routed runs partition the batch, so the analytics tap
+          // sees every record exactly once across the shard matrices.
+          mine[s].add_analytics_batch(batch, router.rx_rows(s), tasks[t].day);
         }
         times.insert += now_ms() - t1;
       }
@@ -188,6 +191,14 @@ VantageStats ParallelCollector::collect(std::span<const std::size_t> ixp_indices
         .max_with(static_cast<std::int64_t>(workers - 1) +
                   static_cast<std::int64_t>(shards - 1));
     record_store_metrics(*metrics, out);
+    if (options_.analytics) {
+      metrics->gauge("analytics.matrix.rx_cells")
+          .max_with(static_cast<std::int64_t>(out.ibr().rx_cell_count()));
+      metrics->gauge("analytics.matrix.sources")
+          .max_with(static_cast<std::int64_t>(out.ibr().src_touch_count()));
+      metrics->gauge("analytics.matrix.memory_bytes")
+          .max_with(static_cast<std::int64_t>(out.ibr().memory_bytes()));
+    }
   }
   if (options_.profile != nullptr) {
     CollectProfile& profile = *options_.profile;

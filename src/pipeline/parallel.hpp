@@ -88,6 +88,12 @@ struct CollectOptions {
   /// Optional per-stage timing sink; nullptr skips nothing but the final
   /// stores.  See CollectProfile.
   CollectProfile* profile = nullptr;
+
+  /// Populate the IBR analytics matrix (analytics/ibr_matrix.hpp) while
+  /// collecting: every rx-routed batch row also lands one cell update in
+  /// its shard's matrix, and the matrices fold through the same disjoint
+  /// merge as the stores.  Never changes the classification output.
+  bool analytics = false;
 };
 
 /// Fans vantage-day datasets out to a worker pool; see the file comment.

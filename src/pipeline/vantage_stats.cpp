@@ -69,6 +69,16 @@ void VantageStats::add_flows(std::span<const flow::FlowRecord> flows,
     add_flow_rx(r, sampling_rate);
     add_flow_tx(r);
   }
+  if (ibr_.enabled()) {
+    // Per-record analytics tap — the serial twin of add_analytics_batch
+    // (same values per record, commutative sums, so both paths fold to
+    // bit-identical matrices).
+    for (const flow::FlowRecord& r : flows) {
+      ibr_.add_flow(net::Block24::containing(r.key.src).index(),
+                    net::Block24::containing(r.key.dst).index(), r.key.dst_port, day,
+                    r.packets * sampling_rate);
+    }
+  }
 }
 
 void VantageStats::add_batch_rx(const flow::FlowBatch& batch,
@@ -105,6 +115,7 @@ void VantageStats::merge(const VantageStats& other) {
   store_.merge(other.store_);
   days_.insert(other.days_.begin(), other.days_.end());
   flows_ += other.flows_;
+  ibr_.merge(other.ibr_);
 }
 
 VantageStats merge_stats(VantageStats first, std::span<const VantageStats* const> rest,

@@ -25,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "analytics/ibr_matrix.hpp"
 #include "flow/flow_batch.hpp"
 #include "flow/record.hpp"
 #include "net/ipv4.hpp"
@@ -76,6 +77,13 @@ class VantageStats {
   explicit VantageStats(std::shared_ptr<const trie::Block24Set> source_mask)
       : source_mask_(std::move(source_mask)) {}
 
+  /// With `analytics` set, destination-side ingest additionally populates
+  /// the IBR analytics matrix (see analytics/ibr_matrix.hpp) — a per-day
+  /// per-port tap beside the store insert.  Off by default: the
+  /// classification-only pipeline pays one branch per record.
+  VantageStats(std::shared_ptr<const trie::Block24Set> source_mask, bool analytics)
+      : source_mask_(std::move(source_mask)), ibr_(analytics) {}
+
   /// Ingest one dataset: decoded flow records from one vantage point for
   /// one logical day.  `sampling_rate` scales the volume estimates; `day`
   /// feeds the distinct-day count used for per-day volume averaging.
@@ -109,6 +117,17 @@ class VantageStats {
   /// add_batch_rx (subject to the source mask; counts no flow).
   void add_batch_tx(const flow::FlowBatch& batch, std::span<const std::uint32_t> rows);
 
+  /// Batched analytics tap: fold every batch row in `rows` into the IBR
+  /// matrix under day bin `day`.  The sharded collector passes each
+  /// shard's rx-routed run — the same partition add_batch_rx consumes, so
+  /// every record lands in exactly one shard's matrix and the disjoint
+  /// merge reproduces the serial tap bit-identically.  No-op unless the
+  /// analytics constructor flag was set.
+  void add_analytics_batch(const flow::FlowBatch& batch, std::span<const std::uint32_t> rows,
+                           int day) {
+    ibr_.add_batch(batch, rows, day);
+  }
+
   /// Pre-size the underlying store for `blocks` rows (see
   /// BlockStatsStore::reserve_rows).
   void reserve_blocks(std::size_t blocks) { store_.reserve_rows(blocks); }
@@ -137,11 +156,17 @@ class VantageStats {
 
   [[nodiscard]] std::uint64_t flows_ingested() const noexcept { return flows_; }
 
+  /// The IBR analytics matrix (empty and disabled unless the analytics
+  /// constructor flag was set).  Merged through merge()/merge_stats with
+  /// the same commutative fold as the store.
+  [[nodiscard]] const analytics::IbrMatrix& ibr() const noexcept { return ibr_; }
+
  private:
   BlockStatsStore store_;
   std::shared_ptr<const trie::Block24Set> source_mask_;
   std::set<int> days_;
   std::uint64_t flows_ = 0;
+  analytics::IbrMatrix ibr_;
 };
 
 /// The shared merge primitive: fold `rest` into `first` in index order and

@@ -1,0 +1,66 @@
+// Analytics snapshot assembly and the shared query formatter
+// (DESIGN.md §15).
+//
+// build_analytics() is the bridge between the collector's raw IBR matrix
+// and the published map: it intersects the matrix's rx cells with the
+// snapshot's classified blocks (the meta-telescope filter — collection is
+// unfiltered because classification does not exist yet at collect time),
+// labels every published block with geography and network type, runs the
+// outage detector over the dark-class per-prefix day series, and ranks
+// services and scanners.  It is a pure function of deterministic sorted
+// inputs, so the ANALYTICS section it fills is bit-identical whether the
+// matrix came from a batch build, a thread/shard grid, or the sliding
+// window — the differential tests pin exactly that.
+//
+// answer_analytics_query() is the one formatter both consumers share: the
+// line-protocol server routes `top-ports` / `outages` / `scanners` verbs
+// through it (server.cpp), and `mtscope analyze` prints the same strings,
+// so the wire protocol and the CLI can never drift apart.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "analytics/ibr_matrix.hpp"
+#include "analytics/outage.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/telescope_index.hpp"
+
+namespace mtscope::serve {
+
+/// Supplies the geography / network-type label for one published block.
+/// The ingest daemon closes over its GeoDb + NetTypeDb (plan_labeler);
+/// tests stub whatever fixture they need.
+using BlockLabeler = std::function<BlockLabel(net::Block24)>;
+
+/// Derive the ANALYTICS payload for `snapshot` from a collected matrix:
+/// block labels, per-block top-port cells, dark-prefix day series, outage
+/// events, service rankings and scanner profiles.  Deterministic for a
+/// given (matrix contents, snapshot, labeler) regardless of how the
+/// matrix was folded together.
+[[nodiscard]] AnalyticsData build_analytics(const analytics::IbrMatrix& matrix,
+                                            const TelescopeSnapshot& snapshot,
+                                            const BlockLabeler& labeler,
+                                            const analytics::OutageConfig& config = {});
+
+/// True when `line`'s first token is an analytics verb (`top-ports`,
+/// `outages`, `scanners`) — the server's dispatch test, cheap enough to
+/// run on every request line before the IPv4 fast path.
+[[nodiscard]] bool is_analytics_verb(std::string_view line);
+
+/// Answer one analytics request line from the loaded snapshot.  Returns
+/// the complete reply line without a trailing newline:
+///
+///   top-ports [<prefix>|<asn>|<cc>]  ->  "top-ports <scope> blocks=<n> <port>:<pkts> ..."
+///   outages [<since-day>]            ->  "outages n=<k> <prefix>:d<s>-d<e>:-<sev>% ..."
+///   scanners [<n>]                   ->  "scanners n=<k> <src>:pkts=<p>:blocks=<b>:ports=<q> ..."
+///
+/// A snapshot without analytics answers "<verb> unavailable"; malformed
+/// arguments echo back sanitized with " invalid" appended, exactly like
+/// the server's IPv4 path.
+[[nodiscard]] std::string answer_analytics_query(const TelescopeIndex& index,
+                                                 std::string_view line, std::size_t top = 5);
+
+}  // namespace mtscope::serve

@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "serve/analytics_format.hpp"
 #include "util/strings.hpp"
 
 namespace mtscope::serve {
@@ -409,6 +410,23 @@ class QueryServer::Reactor {
   void answer_line(std::string_view line, const TelescopeIndex& index) {
     const auto token = util::trim(line);  // strips CRLF and padding
     if (token.empty() || token.front() == '#') return;
+
+    // Analytics verbs (top-ports / outages / scanners) share one
+    // formatter with `mtscope analyze`, so the wire and the CLI can never
+    // drift; everything else stays on the IPv4 fast path below.
+    if (is_analytics_verb(token)) {
+      const auto verb_t0 = request_timer_ != nullptr ? Clock::now() : Clock::time_point{};
+      batch_ += answer_analytics_query(index, token);
+      batch_ += '\n';
+      server_.queries_.fetch_add(1, std::memory_order_relaxed);
+      if (queries_counter_ != nullptr) queries_counter_->add(1);
+      if (request_timer_ != nullptr) {
+        request_timer_->record_us(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - verb_t0)
+                .count()));
+      }
+      return;
+    }
 
     const auto t0 = request_timer_ != nullptr ? Clock::now() : Clock::time_point{};
     const auto addr = net::Ipv4Addr::parse(token);

@@ -34,14 +34,28 @@ enum SectionKind : std::uint32_t {
   kSectionFunnel = 2,
   kSectionPrefixes = 3,
   kSectionBlocks = 4,
+  kSectionAnalytics = 5,  // version >= 2 only
 };
-constexpr std::array<std::uint32_t, 4> kSectionOrder = {kSectionMeta, kSectionFunnel,
-                                                        kSectionPrefixes, kSectionBlocks};
+constexpr std::array<std::uint32_t, 5> kSectionOrder = {
+    kSectionMeta, kSectionFunnel, kSectionPrefixes, kSectionBlocks, kSectionAnalytics};
 
 constexpr std::size_t kMetaFixedSize = 48;     // 4 x u64 + 3 x u32 + source_len u32
 constexpr std::size_t kFunnelSize = 80;        // 10 x u64
 constexpr std::size_t kPrefixEntrySize = 12;   // base u32 + asn u32 + len u8 + pad[3]
 constexpr std::size_t kBlockEntrySize = 8;     // packed u32 + prefix_id u32
+
+constexpr std::size_t kAnalyticsFixedSize = 32;  // 8 x u32 header
+constexpr std::size_t kLabelSize = 4;            // country[2] + continent u8 + net_type u8
+constexpr std::size_t kCellSize = 16;            // block u32 + port u16 + pad u16 + packets u64
+constexpr std::size_t kSeriesPointSize = 16;     // prefix_id u32 + day u32 + packets u64
+constexpr std::size_t kOutageSize = 32;          // 4 x u32 + 2 x u64
+constexpr std::size_t kServiceSize = 16;         // u8 x2 + u16 + rank u32 + packets u64
+constexpr std::size_t kScannerSize = 24;         // 3 x u32 + pad u32 + packets u64
+
+// Ordinal ceilings for label validation: geo::Continent has seven values
+// (kNorthAmerica..kInternational) and geo::NetType four.
+constexpr std::uint8_t kMaxContinent = 6;
+constexpr std::uint8_t kMaxNetType = 3;
 
 util::Error err(std::string code, std::string message) {
   return util::make_error(std::move(code), std::move(message));
@@ -102,6 +116,201 @@ std::vector<std::uint8_t> serialize_blocks(const TelescopeSnapshot& s) {
     le_put_u32(out, b.prefix_id);
   }
   return out;
+}
+
+std::vector<std::uint8_t> serialize_analytics(const AnalyticsData& a) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kAnalyticsFixedSize + a.labels.size() * kLabelSize + a.cells.size() * kCellSize +
+              a.series.size() * kSeriesPointSize + a.outages.size() * kOutageSize +
+              a.services.size() * kServiceSize + a.scanners.size() * kScannerSize);
+  le_put_u32(out, a.first_day);
+  le_put_u32(out, a.window_days);
+  le_put_u32(out, static_cast<std::uint32_t>(a.labels.size()));
+  le_put_u32(out, static_cast<std::uint32_t>(a.cells.size()));
+  le_put_u32(out, static_cast<std::uint32_t>(a.series.size()));
+  le_put_u32(out, static_cast<std::uint32_t>(a.outages.size()));
+  le_put_u32(out, static_cast<std::uint32_t>(a.services.size()));
+  le_put_u32(out, static_cast<std::uint32_t>(a.scanners.size()));
+  for (const BlockLabel& l : a.labels) {
+    out.push_back(static_cast<std::uint8_t>(l.country[0]));
+    out.push_back(static_cast<std::uint8_t>(l.country[1]));
+    out.push_back(l.continent);
+    out.push_back(l.net_type);
+  }
+  for (const PortCell& c : a.cells) {
+    le_put_u32(out, c.block);
+    le_put_u16(out, c.port);
+    le_put_u16(out, 0);
+    le_put_u64(out, c.packets);
+  }
+  for (const SeriesPoint& p : a.series) {
+    le_put_u32(out, p.prefix_id);
+    le_put_u32(out, p.day);
+    le_put_u64(out, p.packets);
+  }
+  for (const analytics::OutageEvent& o : a.outages) {
+    le_put_u32(out, o.prefix_id);
+    le_put_u32(out, o.start_day);
+    le_put_u32(out, o.end_day);
+    le_put_u32(out, o.severity_pct);
+    le_put_u64(out, o.baseline);
+    le_put_u64(out, o.observed);
+  }
+  for (const analytics::ServicePortStat& s : a.services) {
+    out.push_back(s.continent);
+    out.push_back(s.net_type);
+    le_put_u16(out, s.port);
+    le_put_u32(out, s.rank);
+    le_put_u64(out, s.packets);
+  }
+  for (const analytics::ScannerProfile& s : a.scanners) {
+    le_put_u32(out, s.src_block);
+    le_put_u32(out, s.blocks_touched);
+    le_put_u32(out, s.ports_touched);
+    le_put_u32(out, 0);
+    le_put_u64(out, s.est_packets);
+  }
+  return out;
+}
+
+util::Result<AnalyticsData> parse_analytics(std::span<const std::uint8_t> body,
+                                            std::size_t block_count,
+                                            std::size_t prefix_count) {
+  if (body.size() < kAnalyticsFixedSize) {
+    return err("snapshot.bad_section", "ANALYTICS section shorter than its header");
+  }
+  AnalyticsData a;
+  a.first_day = le_get_u32(body, 0);
+  a.window_days = le_get_u32(body, 4);
+  const std::uint32_t label_count = le_get_u32(body, 8);
+  const std::uint32_t cell_count = le_get_u32(body, 12);
+  const std::uint32_t series_count = le_get_u32(body, 16);
+  const std::uint32_t outage_count = le_get_u32(body, 20);
+  const std::uint32_t service_count = le_get_u32(body, 24);
+  const std::uint32_t scanner_count = le_get_u32(body, 28);
+  const std::uint64_t expected =
+      kAnalyticsFixedSize + std::uint64_t{label_count} * kLabelSize +
+      std::uint64_t{cell_count} * kCellSize + std::uint64_t{series_count} * kSeriesPointSize +
+      std::uint64_t{outage_count} * kOutageSize + std::uint64_t{service_count} * kServiceSize +
+      std::uint64_t{scanner_count} * kScannerSize;
+  if (body.size() != expected) {
+    return err("snapshot.bad_section", "ANALYTICS record counts disagree with section length");
+  }
+  if (label_count != block_count) {
+    return err("snapshot.bad_section", "ANALYTICS label count disagrees with the block table");
+  }
+  std::size_t at = kAnalyticsFixedSize;
+
+  a.labels.reserve(label_count);
+  for (std::uint32_t i = 0; i < label_count; ++i, at += kLabelSize) {
+    BlockLabel l;
+    l.country[0] = static_cast<char>(body[at]);
+    l.country[1] = static_cast<char>(body[at + 1]);
+    l.continent = body[at + 2];
+    l.net_type = body[at + 3];
+    if (l.continent > kMaxContinent || l.net_type > kMaxNetType) {
+      return err("snapshot.bad_section", "ANALYTICS label has an out-of-range ordinal");
+    }
+    a.labels.push_back(l);
+  }
+
+  a.cells.reserve(cell_count);
+  for (std::uint32_t i = 0; i < cell_count; ++i, at += kCellSize) {
+    PortCell c;
+    c.block = le_get_u32(body, at);
+    c.port = le_get_u16(body, at + 4);
+    if (le_get_u16(body, at + 6) != 0) {
+      return err("snapshot.bad_section", "ANALYTICS cell has non-zero padding");
+    }
+    c.packets = le_get_u64(body, at + 8);
+    if (!a.cells.empty() && std::pair(a.cells.back().block, a.cells.back().port) >=
+                                std::pair(c.block, c.port)) {
+      return err("snapshot.bad_section", "ANALYTICS cells are not strictly ascending");
+    }
+    a.cells.push_back(c);
+  }
+
+  a.series.reserve(series_count);
+  for (std::uint32_t i = 0; i < series_count; ++i, at += kSeriesPointSize) {
+    SeriesPoint p;
+    p.prefix_id = le_get_u32(body, at);
+    p.day = le_get_u32(body, at + 4);
+    p.packets = le_get_u64(body, at + 8);
+    if (p.prefix_id >= prefix_count) {
+      return err("snapshot.bad_section", "ANALYTICS series references a missing prefix");
+    }
+    if (p.day < a.first_day || p.day - a.first_day >= a.window_days) {
+      return err("snapshot.bad_section", "ANALYTICS series day falls outside the window");
+    }
+    if (p.packets == 0) {
+      return err("snapshot.bad_section", "ANALYTICS series stores an explicit zero");
+    }
+    if (!a.series.empty() && std::pair(a.series.back().prefix_id, a.series.back().day) >=
+                                 std::pair(p.prefix_id, p.day)) {
+      return err("snapshot.bad_section", "ANALYTICS series points are not strictly ascending");
+    }
+    a.series.push_back(p);
+  }
+
+  a.outages.reserve(outage_count);
+  for (std::uint32_t i = 0; i < outage_count; ++i, at += kOutageSize) {
+    analytics::OutageEvent o;
+    o.prefix_id = le_get_u32(body, at);
+    o.start_day = le_get_u32(body, at + 4);
+    o.end_day = le_get_u32(body, at + 8);
+    o.severity_pct = le_get_u32(body, at + 12);
+    o.baseline = le_get_u64(body, at + 16);
+    o.observed = le_get_u64(body, at + 24);
+    if (o.prefix_id >= prefix_count) {
+      return err("snapshot.bad_section", "ANALYTICS outage references a missing prefix");
+    }
+    if (o.start_day > o.end_day || o.severity_pct > 100) {
+      return err("snapshot.bad_section", "ANALYTICS outage event is malformed");
+    }
+    a.outages.push_back(o);
+  }
+
+  a.services.reserve(service_count);
+  for (std::uint32_t i = 0; i < service_count; ++i, at += kServiceSize) {
+    analytics::ServicePortStat s;
+    s.continent = body[at];
+    s.net_type = body[at + 1];
+    s.port = le_get_u16(body, at + 2);
+    s.rank = le_get_u32(body, at + 4);
+    s.packets = le_get_u64(body, at + 8);
+    if (s.continent > kMaxContinent || s.net_type > kMaxNetType) {
+      return err("snapshot.bad_section", "ANALYTICS service has an out-of-range ordinal");
+    }
+    if (!a.services.empty()) {
+      const auto& prev = a.services.back();
+      if (std::tuple(prev.continent, prev.net_type, prev.rank) >=
+          std::tuple(s.continent, s.net_type, s.rank)) {
+        return err("snapshot.bad_section", "ANALYTICS services are not strictly ascending");
+      }
+    }
+    a.services.push_back(s);
+  }
+
+  a.scanners.reserve(scanner_count);
+  for (std::uint32_t i = 0; i < scanner_count; ++i, at += kScannerSize) {
+    analytics::ScannerProfile s;
+    s.src_block = le_get_u32(body, at);
+    s.blocks_touched = le_get_u32(body, at + 4);
+    s.ports_touched = le_get_u32(body, at + 8);
+    if (le_get_u32(body, at + 12) != 0) {
+      return err("snapshot.bad_section", "ANALYTICS scanner has non-zero padding");
+    }
+    s.est_packets = le_get_u64(body, at + 16);
+    if (!a.scanners.empty()) {
+      const auto& prev = a.scanners.back();
+      if (std::pair(prev.est_packets, s.src_block) <= std::pair(s.est_packets, prev.src_block)) {
+        return err("snapshot.bad_section",
+                   "ANALYTICS scanners are not sorted by volume desc, source asc");
+      }
+    }
+    a.scanners.push_back(s);
+  }
+  return a;
 }
 
 util::Result<RunMetadata> parse_meta(std::span<const std::uint8_t> body) {
@@ -263,9 +472,19 @@ TelescopeSnapshot build_snapshot(const pipeline::InferenceResult& result,
 }
 
 std::vector<std::uint8_t> serialize_snapshot(const TelescopeSnapshot& snapshot) {
-  const std::array<std::vector<std::uint8_t>, 4> payloads = {
-      serialize_meta(snapshot.meta), serialize_funnel(snapshot),
-      serialize_prefixes(snapshot), serialize_blocks(snapshot)};
+  // Analytics-free snapshots stay on the version-1 wire form — the bytes a
+  // v1 writer produced — so pre-analytics readers and golden files are
+  // unaffected.  Analytics selects version 2 with the fifth section.
+  const std::uint16_t version = snapshot.analytics.has_value() ? 2 : 1;
+  std::vector<std::vector<std::uint8_t>> payloads;
+  payloads.reserve(kSectionOrder.size());
+  payloads.push_back(serialize_meta(snapshot.meta));
+  payloads.push_back(serialize_funnel(snapshot));
+  payloads.push_back(serialize_prefixes(snapshot));
+  payloads.push_back(serialize_blocks(snapshot));
+  if (snapshot.analytics.has_value()) {
+    payloads.push_back(serialize_analytics(*snapshot.analytics));
+  }
 
   const std::size_t table_size = payloads.size() * kTableEntrySize;
   std::uint64_t file_size = kHeaderSize + table_size + 4;
@@ -276,7 +495,7 @@ std::vector<std::uint8_t> serialize_snapshot(const TelescopeSnapshot& snapshot) 
   // push_back rather than a range insert: GCC 12's -Wstringop-overflow
   // false-positives on inserting a fixed array into an empty vector.
   for (const std::uint8_t byte : kMagic) out.push_back(byte);
-  le_put_u16(out, kSnapshotVersion);
+  le_put_u16(out, version);
   le_put_u16(out, 0);  // flags
   le_put_u32(out, static_cast<std::uint32_t>(payloads.size()));
   le_put_u64(out, file_size);
@@ -308,8 +527,11 @@ util::Result<TelescopeSnapshot> parse_snapshot(std::span<const std::uint8_t> dat
                    std::to_string(kSnapshotVersion) + ")");
   }
   const std::uint32_t section_count = le_get_u32(data, 12);
-  if (section_count != kSectionOrder.size()) {
-    return err("snapshot.bad_section", "version 1 snapshots carry exactly 4 sections");
+  const std::uint32_t expected_sections = version >= 2 ? 5 : 4;
+  if (section_count != expected_sections) {
+    return err("snapshot.bad_section",
+               "version " + std::to_string(version) + " snapshots carry exactly " +
+                   std::to_string(expected_sections) + " sections");
   }
   const std::uint64_t file_size = le_get_u64(data, 16);
   if (file_size != data.size()) {
@@ -325,7 +547,7 @@ util::Result<TelescopeSnapshot> parse_snapshot(std::span<const std::uint8_t> dat
     return err("snapshot.bad_crc", "header/table checksum mismatch");
   }
 
-  std::array<std::span<const std::uint8_t>, 4> sections;
+  std::array<std::span<const std::uint8_t>, 5> sections;
   for (std::size_t i = 0; i < section_count; ++i) {
     const std::size_t at = kHeaderSize + i * kTableEntrySize;
     const std::uint32_t kind = le_get_u32(data, at);
@@ -375,6 +597,13 @@ util::Result<TelescopeSnapshot> parse_snapshot(std::span<const std::uint8_t> dat
   if (class_totals[0] != snapshot.dark_count || class_totals[1] != snapshot.unclean_count ||
       class_totals[2] != snapshot.gray_count) {
     return err("snapshot.bad_section", "class totals disagree with the block records");
+  }
+
+  if (section_count == 5) {
+    auto analytics =
+        parse_analytics(sections[4], snapshot.blocks.size(), snapshot.prefixes.size());
+    if (!analytics.ok()) return analytics.error();
+    snapshot.analytics = std::move(analytics).value();
   }
   return snapshot;
 }

@@ -20,6 +20,12 @@
 // Version 1 carries exactly four sections: META (run provenance), FUNNEL
 // (Figure 2 counters + class totals), PREFIXES (deduplicated covering BGP
 // announcements), BLOCKS (sorted /24 records packing class + prefix id).
+// Version 2 appends a fifth ANALYTICS section (block labels, top-port
+// cells, per-prefix day series, outage events, service rankings, scanner
+// profiles — DESIGN.md §15).  The writer emits version 1 when a snapshot
+// carries no analytics, so analytics-free snapshots are byte-identical to
+// what a v1 writer produced; with analytics attached it emits version 2
+// with all five sections.  Readers accept both.
 // Readers reject unknown magic, versions from the future, truncation, CRC
 // mismatches and malformed payloads with typed util::Error codes
 // ("snapshot.bad_magic", "snapshot.unsupported_version",
@@ -35,6 +41,8 @@
 #include <string_view>
 #include <vector>
 
+#include "analytics/outage.hpp"
+#include "analytics/scanner.hpp"
 #include "net/ipv4.hpp"
 #include "net/prefix.hpp"
 #include "pipeline/inference.hpp"
@@ -46,7 +54,7 @@ class Rib;
 
 namespace mtscope::serve {
 
-inline constexpr std::uint16_t kSnapshotVersion = 1;
+inline constexpr std::uint16_t kSnapshotVersion = 2;
 
 /// Step-7 verdict for one /24 held in a snapshot.
 enum class BlockClass : std::uint8_t { kDark = 0, kUnclean = 1, kGray = 2 };
@@ -102,6 +110,55 @@ struct BlockEntry {
   friend bool operator==(const BlockEntry&, const BlockEntry&) = default;
 };
 
+/// Geography / network-type label for one published block, index-aligned
+/// with TelescopeSnapshot::blocks.  `country` is an ISO 3166 alpha-2 code
+/// ("--" when unknown); `continent` and `net_type` are geo::Continent and
+/// geo::NetType ordinals.
+struct BlockLabel {
+  char country[2] = {'-', '-'};
+  std::uint8_t continent = 0;
+  std::uint8_t net_type = 0;
+
+  friend bool operator==(const BlockLabel&, const BlockLabel&) = default;
+};
+
+/// One (block, destination port) aggregate over the analysis window — the
+/// snapshot keeps each published block's top ports, not the full matrix.
+struct PortCell {
+  std::uint32_t block = 0;
+  std::uint16_t port = 0;
+  std::uint64_t packets = 0;
+
+  friend bool operator==(const PortCell&, const PortCell&) = default;
+};
+
+/// One nonzero day bin of a prefix's IBR series (prefix_id indexes
+/// TelescopeSnapshot::prefixes); silent days are implicit zeros.
+struct SeriesPoint {
+  std::uint32_t prefix_id = 0;
+  std::uint32_t day = 0;
+  std::uint64_t packets = 0;
+
+  friend bool operator==(const SeriesPoint&, const SeriesPoint&) = default;
+};
+
+/// The ANALYTICS section payload: everything the analytics verbs and the
+/// `analyze` command answer from, derived from the IBR matrix when the
+/// snapshot is built (serve/analytics_format.hpp) and persisted so a
+/// serving process never needs the matrix itself.
+struct AnalyticsData {
+  std::uint32_t first_day = 0;    // earliest day bin in the window
+  std::uint32_t window_days = 0;  // day bins spanned (0 only when empty)
+  std::vector<BlockLabel> labels;               // aligned with blocks
+  std::vector<PortCell> cells;                  // sorted (block, port)
+  std::vector<SeriesPoint> series;              // sorted (prefix_id, day)
+  std::vector<analytics::OutageEvent> outages;  // detector output order
+  std::vector<analytics::ServicePortStat> services;  // (continent, net_type, rank)
+  std::vector<analytics::ScannerProfile> scanners;   // packets desc, src asc
+
+  friend bool operator==(const AnalyticsData&, const AnalyticsData&) = default;
+};
+
 /// The in-memory image of one snapshot — what build_snapshot() produces,
 /// serialize_snapshot() writes and parse_snapshot() restores.  `blocks` is
 /// strictly sorted by block index (parse rejects anything else), which is
@@ -114,6 +171,9 @@ struct TelescopeSnapshot {
   std::uint64_t gray_count = 0;
   std::vector<PrefixEntry> prefixes;
   std::vector<BlockEntry> blocks;
+  /// Engaged iff the snapshot was built with analytics; selects the wire
+  /// version (1 absent, 2 present).
+  std::optional<AnalyticsData> analytics;
 
   friend bool operator==(const TelescopeSnapshot&, const TelescopeSnapshot&) = default;
 };

@@ -412,6 +412,7 @@ void AddressPlan::build_legacy_slash8(Slash8Layout& layout, util::Rng& rng) {
   nettypes_.add(l14.asn, l14.type);
   const net::Prefix dark14 = net::Prefix::canonical(
       net::Ipv4Addr((std::uint32_t{layout.base} << 24) | (20480u << 8)), 14);
+  outage_prefix_ = dark14;
   l14.allocated.push_back(dark14);
   l14.announced.push_back(dark14);
   rib_.announce(dark14, l14.asn);

@@ -125,6 +125,16 @@ class AddressPlan {
   /// The legacy /8's first octet (Figure 5's Hilbert map subject).
   [[nodiscard]] std::uint8_t legacy_slash8() const noexcept { return legacy_slash8_; }
 
+  /// The announced dark /14 inside the legacy /8 — the subject of the
+  /// scripted outage scenario (SimConfig::outage).
+  [[nodiscard]] const net::Prefix& outage_prefix() const noexcept { return outage_prefix_; }
+
+  /// True when the scripted outage silences `block`'s IBR on `day`: the
+  /// block lies inside outage_prefix() and the day is within the spec.
+  [[nodiscard]] bool in_outage(net::Block24 block, int day) const noexcept {
+    return config_.outage.active(day) && outage_prefix_.contains(block);
+  }
+
   /// The telescope /8's first octet (Figure 6's Hilbert map subject).
   [[nodiscard]] std::uint8_t telescope_slash8() const noexcept { return telescope_slash8_; }
 
@@ -169,6 +179,8 @@ class AddressPlan {
   std::vector<std::uint8_t> unrouted_slash8s_;
   std::uint8_t legacy_slash8_ = 0;
   std::uint8_t telescope_slash8_ = 0;
+  // /32 until build_legacy_slash8 sets the dark /14 (a /32 contains no /24).
+  net::Prefix outage_prefix_{net::Ipv4Addr(0), 32};
   std::size_t teu2_as_ = 0;
   std::size_t teu1_as_ = 0;
   std::size_t legacy9_as_ = 0;

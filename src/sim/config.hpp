@@ -75,6 +75,21 @@ struct TelescopeSpec {
   std::uint32_t capture_window_24s = 32; // how many /24s get full packet capture
 };
 
+/// A scripted connectivity outage for detector evaluation: the legacy
+/// /8's announced dark /14 (AddressPlan::outage_prefix()) stops emitting
+/// IBR for `duration_days` days starting at `start_day` — ground truth
+/// the outage-detection tests score precision/recall against.  The
+/// suppression consumes every RNG draw it would have emitted, so traffic
+/// everywhere else is bit-identical to the same seed without the outage.
+struct OutageSpec {
+  int start_day = 0;
+  int duration_days = 0;  // 0 disables the scenario
+
+  [[nodiscard]] bool active(int day) const noexcept {
+    return duration_days > 0 && day >= start_day && day < start_day + duration_days;
+  }
+};
+
 struct SimConfig {
   std::uint64_t seed = 42;
 
@@ -102,6 +117,9 @@ struct SimConfig {
 
   /// The telescope fleet; defaults to scaled TUS1/TEU1/TEU2.
   std::vector<TelescopeSpec> telescopes = default_telescopes();
+
+  /// Scripted outage scenario; disabled by default.
+  OutageSpec outage;
 
   [[nodiscard]] static std::vector<IxpSpec> default_ixps();
   [[nodiscard]] static std::vector<TelescopeSpec> default_telescopes();

@@ -108,6 +108,13 @@ void IxpTrafficGenerator::emit_block_traffic(const Ixp& ixp, int day, std::size_
     return net::Ipv4Addr((block.index() << 8) | static_cast<std::uint32_t>(rng.uniform(254) + 1));
   };
 
+  // Scripted outage (SimConfig::outage): the block's inbound IBR is
+  // generated and then dropped — every RNG draw still happens, so traffic
+  // everywhere else in the universe is bit-identical to a run without the
+  // outage.  Only the push into `out` is suppressed, the way a prefix
+  // withdrawal silences the radiation without changing anyone else's day.
+  const bool suppressed = plan_.in_outage(block, day);
+
   if (routed) {
     // --- Scanning (random + botnet), the core of IBR ---
     // TEU2 draws ~20% more background radiation than the average block
@@ -124,7 +131,7 @@ void IxpTrafficGenerator::emit_block_traffic(const Ixp& ixp, int day, std::size_
         flow::PacketMeta p = flow::make_syn(
             ts(rng, day), random_active_ip(rng), dst_ip(), random_ephemeral_port(rng),
             ports_.scan_port(rng, as_info.continent, as_info.type), draw_scan_size(rng, share40));
-        out.push_back(p);
+        if (!suppressed) out.push_back(p);
       }
     }
 
@@ -142,7 +149,7 @@ void IxpTrafficGenerator::emit_block_traffic(const Ixp& ixp, int day, std::size_
       p.ip_length = rng.chance(0.8) ? 40 : 44;
       p.tcp_flags = rng.chance(0.6) ? (net::TcpFlags::kSyn | net::TcpFlags::kAck)
                                     : net::TcpFlags::kRst;
-      out.push_back(p);
+      if (!suppressed) out.push_back(p);
     }
 
     // --- Misconfiguration noise (mostly UDP, odd sizes) ---
@@ -157,7 +164,7 @@ void IxpTrafficGenerator::emit_block_traffic(const Ixp& ixp, int day, std::size_
       p.src_port = random_ephemeral_port(rng);
       p.dst_port = rng.chance(0.5) ? 53 : random_service_port(rng);
       p.ip_length = static_cast<std::uint16_t>(80 + rng.uniform(400));
-      out.push_back(p);
+      if (!suppressed) out.push_back(p);
     }
   }
 

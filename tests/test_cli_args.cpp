@@ -42,8 +42,8 @@ TEST(CliArgs, UnknownCommand) {
 }
 
 TEST(CliArgs, AllCommandsAccepted) {
-  for (const char* cmd :
-       {"infer", "query", "serve", "loadgen", "capture", "datasets", "ports"}) {
+  for (const char* cmd : {"infer", "query", "serve", "loadgen", "stream", "ingest", "analyze",
+                          "capture", "datasets", "ports"}) {
     const auto r = parse({cmd});
     EXPECT_TRUE(r.ok) << cmd << ": " << r.error;
     EXPECT_EQ(r.opt.command, cmd);
@@ -321,8 +321,8 @@ TEST(CliArgs, SnapshotOutParses) {
 
 TEST(CliArgs, UsageTextMentionsEveryCommand) {
   const std::string usage = cli::usage_text();
-  for (const char* cmd :
-       {"infer", "query", "serve", "loadgen", "capture", "datasets", "ports"}) {
+  for (const char* cmd : {"infer", "query", "serve", "loadgen", "stream", "ingest", "analyze",
+                          "capture", "datasets", "ports"}) {
     EXPECT_NE(usage.find(cmd), std::string::npos) << cmd;
   }
   EXPECT_NE(usage.find("--snapshot-out"), std::string::npos);
@@ -332,6 +332,41 @@ TEST(CliArgs, UsageTextMentionsEveryCommand) {
   EXPECT_NE(usage.find("--reactors"), std::string::npos);
   EXPECT_NE(usage.find("--steps"), std::string::npos);
   EXPECT_NE(usage.find("--mode"), std::string::npos);
+  EXPECT_NE(usage.find("--analytics"), std::string::npos);
+  EXPECT_NE(usage.find("--query"), std::string::npos);
+}
+
+// --- analyze ----------------------------------------------------------------
+
+TEST(CliArgs, AnalyzeDefaults) {
+  const auto r = parse({"analyze"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.opt.snapshot_path.empty());
+  EXPECT_TRUE(r.opt.analyze_query.empty());
+  EXPECT_EQ(r.opt.top, 10u);
+  EXPECT_FALSE(r.opt.analytics);
+}
+
+TEST(CliArgs, AnalyzeOptionsParse) {
+  const auto r = parse(
+      {"analyze", "--snapshot", "epoch.snap", "--query", "top-ports 10.0.0.0/8", "--top", "3"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.opt.snapshot_path, "epoch.snap");
+  EXPECT_EQ(r.opt.analyze_query, "top-ports 10.0.0.0/8");
+  EXPECT_EQ(r.opt.top, 3u);
+}
+
+TEST(CliArgs, AnalyzeQueryRequiresValue) {
+  const auto r = parse({"analyze", "--query"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "missing value for --query");
+}
+
+TEST(CliArgs, InferAnalyticsFlagParses) {
+  const auto r = parse({"infer", "--analytics", "--snapshot-out", "run.snap"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.opt.analytics);
+  EXPECT_EQ(r.opt.snapshot_out, "run.snap");
 }
 
 }  // namespace

@@ -297,8 +297,12 @@ TEST(IngestDaemon, EveryPublishedEpochIsByteIdenticalToBatch) {
     for (int d = std::max(0, newest - kWindow + 1); d <= newest; ++d) days.push_back(d);
 
     // From-scratch batch pipeline over this epoch's window, exactly as a
-    // one-shot `mtscope infer` over those days would run it.
-    const auto stats = pipeline::collect_stats(simulation, ixps, days);
+    // one-shot `mtscope infer --analytics` over those days would run it —
+    // the daemon attaches the ANALYTICS section by default, so the batch
+    // side must carry the matrix too for the bytes to have a chance.
+    pipeline::CollectOptions collect_options;
+    collect_options.analytics = true;
+    const auto stats = pipeline::collect_stats(simulation, ixps, days, collect_options);
     const std::uint64_t tolerance =
         pipeline::compute_spoof_tolerance(stats, simulation.plan().unrouted_slash8s());
     pipeline::PipelineConfig pipeline_config;
@@ -309,8 +313,10 @@ TEST(IngestDaemon, EveryPublishedEpochIsByteIdenticalToBatch) {
     const auto meta = ingest::publish_metadata({kSeed, true}, kWindow, days,
                                                stats.flows_ingested(), tolerance,
                                                config.created_unix_s);
-    const auto batch_bytes =
-        serve::serialize_snapshot(serve::build_snapshot(result, simulation.plan().rib(), meta));
+    auto batch_snapshot = serve::build_snapshot(result, simulation.plan().rib(), meta);
+    batch_snapshot.analytics = serve::build_analytics(
+        stats.ibr(), batch_snapshot, ingest::plan_labeler(simulation.plan()));
+    const auto batch_bytes = serve::serialize_snapshot(batch_snapshot);
 
     EXPECT_EQ(published_bytes[epoch - 1], batch_bytes) << "epoch " << epoch;
     EXPECT_EQ(file_bytes[epoch - 1], batch_bytes) << "epoch " << epoch << " (on disk)";

@@ -58,7 +58,8 @@ struct Parser {
 
 const char* usage_text() noexcept {
   return
-      "usage: mtscope <infer|query|serve|loadgen|stream|ingest|capture|datasets|ports> [options]\n"
+      "usage: mtscope <infer|query|serve|loadgen|stream|ingest|analyze|capture|datasets|ports>"
+      " [options]\n"
       "  common:  --seed N        simulation seed (default 42)\n"
       "           --scale tiny|full\n"
       "  infer:   --days K --ixps CE1,NA1 --no-tolerance --csv FILE\n"
@@ -67,6 +68,7 @@ const char* usage_text() noexcept {
       "           --hilbert OCTET FILE.pgm\n"
       "           --metrics-out FILE (pipeline metrics JSON snapshot)\n"
       "           --snapshot-out FILE (persist the run as a telescope snapshot)\n"
+      "           --analytics (attach the IBR analytics section to the snapshot)\n"
       "  query:   --snapshot FILE (telescope snapshot to serve from)\n"
       "           --ips FILE|- (classify IPs, one per line; - = stdin)\n"
       "           --bench [--lookups N] (measure lookup throughput)\n"
@@ -90,6 +92,9 @@ const char* usage_text() noexcept {
       "           --window-days N (default 7) --cadence-days N (default 1)\n"
       "           --threads N --no-tolerance --max-epochs N\n"
       "           --metrics-out FILE (ingest.* metrics, written on exit)\n"
+      "  analyze: --snapshot FILE (answer analytics queries from a snapshot)\n"
+      "           --query 'top-ports [P|ASN|CC] | outages [SINCE] | scanners [N]'\n"
+      "           --top K (ranking depth; default 10); no --query = full report\n"
       "  capture: --telescope TUS1|TEU1|TEU2 --day D --pcap FILE\n"
       "  datasets: --out-dir DIR\n"
       "  ports:   --top K\n";
@@ -104,7 +109,8 @@ bool parse_args(int argc, const char* const* argv, Options& opt, std::string& er
   opt.command = argv[1];
   if (opt.command != "infer" && opt.command != "query" && opt.command != "serve" &&
       opt.command != "loadgen" && opt.command != "stream" && opt.command != "ingest" &&
-      opt.command != "capture" && opt.command != "datasets" && opt.command != "ports") {
+      opt.command != "analyze" && opt.command != "capture" && opt.command != "datasets" &&
+      opt.command != "ports") {
     error = "unknown command: " + opt.command;
     return false;
   }
@@ -136,6 +142,12 @@ bool parse_args(int argc, const char* const* argv, Options& opt, std::string& er
       if (!p.uint_for(arg, opt.shards, 1u)) return false;
     } else if (arg == "--no-tolerance") {
       opt.tolerance = false;
+    } else if (arg == "--analytics") {
+      opt.analytics = true;
+    } else if (arg == "--query") {
+      const char* v = p.value_for(arg);
+      if (v == nullptr) return false;
+      opt.analyze_query = v;
     } else if (arg == "--csv") {
       const char* v = p.value_for(arg);
       if (v == nullptr) return false;

@@ -27,11 +27,15 @@ struct Options {
   unsigned threads = 1;          // collect/infer worker threads; 1 = serial
   unsigned shards = 0;           // 0 = pick per thread count
   bool tolerance = true;
+  bool analytics = false;        // --analytics: build + persist the IBR analytics
   std::string csv_path;
   std::string metrics_path;
   std::string snapshot_out;      // persist the run as a telescope snapshot
   int hilbert_octet = -1;
   std::string hilbert_path;
+
+  // analyze
+  std::string analyze_query;     // --query LINE; empty = summary report
 
   // query
   std::string snapshot_path;     // --snapshot FILE (shared with serve)

@@ -3,7 +3,7 @@
 //   mtscope infer    [--seed N] [--scale tiny|full] [--days K] [--ixps A,B]
 //                    [--threads N] [--shards M] [--no-tolerance] [--csv FILE]
 //                    [--hilbert OCTET FILE.pgm] [--metrics-out FILE]
-//                    [--snapshot-out FILE]
+//                    [--snapshot-out FILE] [--analytics]
 //   mtscope query    --snapshot FILE [--ips FILE|-] [--bench [--lookups N]]
 //                    [--metrics-out FILE]
 //   mtscope serve    --snapshot FILE --port N [--max-conns N]
@@ -14,6 +14,7 @@
 //   mtscope ingest   --source FILE --snapshot-out FILE [--window-days N]
 //                    [--cadence-days N] [--threads N] [--no-tolerance]
 //                    [--max-epochs N] [--metrics-out FILE]
+//   mtscope analyze  --snapshot FILE [--query LINE] [--top K]
 //   mtscope capture  [--seed N] [--telescope TUS1|TEU1|TEU2] [--day D] --pcap FILE
 //   mtscope datasets [--seed N] [--scale tiny|full] --out-dir DIR
 //   mtscope ports    [--seed N] [--scale tiny|full] [--top K]
@@ -32,7 +33,11 @@
 // and atomically republishes `--snapshot-out` on cadence — which a
 // watching `serve` picks up with zero operator touches.  On a real
 // deployment the same code paths start from an IPFIX/NetFlow collector
-// instead of the simulator.
+// instead of the simulator.  `analyze` reads the ANALYTICS section of a
+// snapshot built with `--analytics` (or by `ingest`, which attaches it by
+// default) and answers the same `top-ports` / `outages` / `scanners`
+// queries the TCP server speaks — one formatter, two front ends
+// (DESIGN.md §15).
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -55,6 +60,7 @@
 #include "pipeline/inference.hpp"
 #include "pipeline/parallel.hpp"
 #include "pipeline/spoof_tolerance.hpp"
+#include "serve/analytics_format.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/server.hpp"
 #include "serve/snapshot.hpp"
@@ -101,6 +107,7 @@ int cmd_infer(const Options& opt) {
   collect_options.threads = std::max(1u, opt.threads);
   collect_options.shards = opt.shards > 0 ? opt.shards : collect_options.threads;
   collect_options.metrics = metrics;
+  collect_options.analytics = opt.analytics;
 
   std::fprintf(stderr, "collecting %zu vantage point(s) x %zu day(s) on %u thread(s)...\n",
                ixps.size(), days.size(), collect_options.threads);
@@ -160,7 +167,11 @@ int cmd_infer(const Options& opt) {
                   " ixps=" + (opt.ixps.empty() ? "all" : opt.ixps);
 
     obs::StageTimer build_timer(metrics, "serve.snapshot.build_us");
-    const auto snapshot = serve::build_snapshot(result, simulation.plan().rib(), meta);
+    auto snapshot = serve::build_snapshot(result, simulation.plan().rib(), meta);
+    if (opt.analytics) {
+      snapshot.analytics = serve::build_analytics(stats.ibr(), snapshot,
+                                                  ingest::plan_labeler(simulation.plan()));
+    }
     build_timer.stop();
     obs::StageTimer write_timer(metrics, "serve.snapshot.write_us");
     const auto written = serve::write_snapshot_file(snapshot, opt.snapshot_out);
@@ -675,6 +686,52 @@ int cmd_query(const Options& opt) {
   return status;
 }
 
+/// Offline analytics front end: answer one --query line, or print the
+/// three summary reports, from a snapshot's ANALYTICS section.  Every
+/// reply is rendered by serve::answer_analytics_query — the exact
+/// formatter behind the TCP server's analytics verbs.
+int cmd_analyze(const Options& opt) {
+  if (opt.snapshot_path.empty()) {
+    std::fprintf(stderr, "analyze requires --snapshot FILE\n");
+    return 1;
+  }
+  serve::SnapshotManager manager;
+  const auto installed = manager.load_and_install(opt.snapshot_path, nullptr);
+  if (!installed.ok()) {
+    std::fprintf(stderr, "cannot load snapshot: %s\n",
+                 installed.error().to_string().c_str());
+    return 1;
+  }
+  const auto index = manager.current();
+  const auto& analytics = index->snapshot().analytics;
+  if (!analytics.has_value()) {
+    std::fprintf(stderr,
+                 "%s carries no ANALYTICS section (build it with `infer --analytics` "
+                 "or `ingest`)\n",
+                 opt.snapshot_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "loaded %s: %zu block(s), window day %u+%u, %zu cell(s), "
+               "%zu outage(s), %zu scanner(s)\n",
+               opt.snapshot_path.c_str(), index->size(), analytics->first_day,
+               analytics->window_days, analytics->cells.size(),
+               analytics->outages.size(), analytics->scanners.size());
+
+  const auto answer = [&](std::string_view line) {
+    std::printf("%s\n", serve::answer_analytics_query(*index, line, opt.top).c_str());
+  };
+  if (!opt.analyze_query.empty()) {
+    answer(opt.analyze_query);
+  } else {
+    answer("top-ports");
+    answer("outages");
+    answer("scanners");
+  }
+  std::fflush(stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -690,6 +747,7 @@ int main(int argc, char** argv) {
   if (opt.command == "loadgen") return cmd_loadgen(opt);
   if (opt.command == "stream") return cmd_stream(opt);
   if (opt.command == "ingest") return cmd_ingest(opt);
+  if (opt.command == "analyze") return cmd_analyze(opt);
   if (opt.command == "capture") return cmd_capture(opt);
   if (opt.command == "datasets") return cmd_datasets(opt);
   if (opt.command == "ports") return cmd_ports(opt);
