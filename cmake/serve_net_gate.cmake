@@ -1,12 +1,15 @@
 # Perf-regression gate over bench/micro_serve_net's BENCH_serve_net.json:
-# fail CI when the serve plane's measured throughput drops below a floor
-# or the load generator's uncontended p99 latency blows past a ceiling.
+# fail CI when the serve plane's measured throughput drops below a floor,
+# the load generator's uncontended p99 latency blows past a ceiling on
+# either protocol curve, or the MTBIN binary protocol loses its pipelined
+# single-reactor duel against the line protocol (binary exists to shed
+# per-request text parsing; losing to it means the codec regressed).
 # Correctness fields (mismatches, failed clients, reload count) are
 # re-checked too — the bench enforces them itself, but the gate makes a
 # silently-skipped bench impossible to miss.
 #
 #   cmake -DBENCH_JSON=<path> [-DQPS_FLOOR=50000] [-DP99_CEIL_US=250000] \
-#         -P serve_net_gate.cmake
+#         [-DBIN_RATIO_PCT_FLOOR=100] -P serve_net_gate.cmake
 #
 # The floor/ceiling defaults are deliberately loose: they catch collapse
 # (an accidental O(n) wakeup, a lost reactor, an event-loop busy spin),
@@ -19,6 +22,10 @@ if(NOT DEFINED QPS_FLOOR)
 endif()
 if(NOT DEFINED P99_CEIL_US)
   set(P99_CEIL_US 250000)
+endif()
+if(NOT DEFINED BIN_RATIO_PCT_FLOOR)
+  # binary >= 1.0x line at the uncontended pipelined duel (best-of reps).
+  set(BIN_RATIO_PCT_FLOOR 100)
 endif()
 
 if(NOT EXISTS "${BENCH_JSON}")
@@ -59,30 +66,44 @@ if(qps LESS QPS_FLOOR)
     "the serve plane regressed")
 endif()
 
-# -- loadgen curve: zero errors everywhere, p99 ceiling on the lightest
-#    step (heavier steps may legitimately queue; the uncontended step is
-#    the stable latency signal) ----------------------------------------------
-string(JSON step_count ERROR_VARIABLE err LENGTH "${json}" loadgen steps)
-if(err OR step_count EQUAL 0)
-  message(FATAL_ERROR "BENCH_serve_net.json has no loadgen steps: ${err}")
-endif()
-math(EXPR last_step "${step_count} - 1")
-foreach(i RANGE ${last_step})
-  json_int(step_errors loadgen steps ${i} errors)
-  if(NOT step_errors EQUAL 0)
-    message(FATAL_ERROR "serve_net gate: loadgen step ${i} recorded ${step_errors} error(s)")
-  endif()
-endforeach()
-json_int(p99 loadgen steps 0 latency_us p99)
-json_int(first_target loadgen steps 0 target)
-if(p99 GREATER P99_CEIL_US)
+# -- protocol duel: binary must hold >= BIN_RATIO_PCT_FLOOR% of line qps
+#    at the uncontended pipelined single-reactor stage ------------------------
+json_int(bin_ratio_pct binary_over_line_pct)
+if(bin_ratio_pct LESS BIN_RATIO_PCT_FLOOR)
   message(FATAL_ERROR
-    "serve_net gate: p99 ${p99}us at the lightest step (${first_target} q/s) "
-    "exceeds ceiling ${P99_CEIL_US}us - serve latency regressed")
+    "serve_net gate: binary_over_line ${bin_ratio_pct}% below floor "
+    "${BIN_RATIO_PCT_FLOOR}% - the MTBIN pipeline regressed against the line protocol")
 endif()
+
+# -- loadgen curves (one per protocol): zero errors everywhere, p99 ceiling
+#    on the lightest step (heavier steps may legitimately queue; the
+#    uncontended step is the stable latency signal) ---------------------------
+set(p99_report "")
+foreach(curve loadgen loadgen_binary)
+  string(JSON step_count ERROR_VARIABLE err LENGTH "${json}" ${curve} steps)
+  if(err OR step_count EQUAL 0)
+    message(FATAL_ERROR "BENCH_serve_net.json has no ${curve} steps: ${err}")
+  endif()
+  math(EXPR last_step "${step_count} - 1")
+  foreach(i RANGE ${last_step})
+    json_int(step_errors ${curve} steps ${i} errors)
+    if(NOT step_errors EQUAL 0)
+      message(FATAL_ERROR
+        "serve_net gate: ${curve} step ${i} recorded ${step_errors} error(s)")
+    endif()
+  endforeach()
+  json_int(p99 ${curve} steps 0 latency_us p99)
+  json_int(first_target ${curve} steps 0 target)
+  if(p99 GREATER P99_CEIL_US)
+    message(FATAL_ERROR
+      "serve_net gate: ${curve} p99 ${p99}us at the lightest step (${first_target} q/s) "
+      "exceeds ceiling ${P99_CEIL_US}us - serve latency regressed")
+  endif()
+  string(APPEND p99_report "${curve} p99=${p99}us ")
+endforeach()
 
 json_int(ratio_pct_x100 multi_over_single)  # informational only (single-core CI)
 message(STATUS
   "serve_net gate OK: aggregate_qps=${qps} (floor ${QPS_FLOOR}), "
-  "lightest-step p99=${p99}us (ceiling ${P99_CEIL_US}us), "
-  "${step_count} loadgen step(s) error-free")
+  "binary_over_line=${bin_ratio_pct}% (floor ${BIN_RATIO_PCT_FLOOR}%), "
+  "lightest-step ${p99_report}(ceiling ${P99_CEIL_US}us)")

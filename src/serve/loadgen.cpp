@@ -22,6 +22,7 @@
 #include <thread>
 
 #include "net/ipv4.hpp"
+#include "serve/wire.hpp"
 
 namespace mtscope::serve {
 
@@ -52,8 +53,22 @@ struct ConnState {
   std::uint64_t sent_in_window = 0;      // sender-owned
   std::uint64_t received_in_window = 0;  // receiver-owned
   std::uint64_t errors = 0;
+  std::size_t rx_carry = 0;               // receiver-owned: partial-frame bytes
   std::vector<std::uint64_t> samples_us;  // receiver-owned
 };
+
+/// Replies completed by this received chunk.  Line protocol: newline
+/// count.  Binary: whole 20-byte frames, carrying partial-frame bytes
+/// across chunks in conn.rx_carry (TCP segments frames arbitrarily).
+std::size_t count_replies(ConnState& conn, WireProtocol proto, const char* chunk,
+                          std::size_t n) {
+  if (proto == WireProtocol::kLine) {
+    return static_cast<std::size_t>(std::count(chunk, chunk + n, '\n'));
+  }
+  const std::size_t total = conn.rx_carry + n;
+  conn.rx_carry = total % wire::kResponseSize;
+  return total / wire::kResponseSize;
+}
 
 [[nodiscard]] std::uint64_t us_between(Clock::time_point from, Clock::time_point to) {
   return static_cast<std::uint64_t>(
@@ -101,26 +116,35 @@ bool send_all(int fd, const char* data, std::size_t size) {
 /// which snapshot the server carries.
 class AddrStream {
  public:
-  explicit AddrStream(std::uint64_t seed) : rng_(seed) {}
+  AddrStream(std::uint64_t seed, WireProtocol proto) : rng_(seed), proto_(proto) {}
 
   void append_request(std::string& out) {
     const std::uint64_t draw = rng_();
     std::uint32_t value = static_cast<std::uint32_t>(draw);
     if ((draw & 1) != 0) value = 0x3C00'0000u | (value & 0x03FF'FFFFu);
+    // Same draw -> same address in both protocols, so a line and a binary
+    // run with equal seeds offer the identical query stream.
+    if (proto_ == WireProtocol::kBinary) {
+      wire::Request request;
+      request.addr = net::Ipv4Addr(value);
+      wire::append_request(out, request);
+      return;
+    }
     out += net::Ipv4Addr(value).to_string();
     out += '\n';
   }
 
  private:
   std::mt19937_64 rng_;
+  WireProtocol proto_;
 };
 
 /// Open-loop sender: paced absolute-deadline sends, batched so the wakeup
 /// cadence never drops below ~100us even at very high per-connection
 /// rates (at that point per-request sleeps are noise anyway).
 void run_open_sender(ConnState& conn, const Phases& phases, std::uint64_t rate_qps,
-                     std::uint64_t seed) {
-  AddrStream addrs(seed);
+                     std::uint64_t seed, WireProtocol proto) {
+  AddrStream addrs(seed, proto);
   const auto interval = std::chrono::nanoseconds(
       std::max<std::uint64_t>(1, 1'000'000'000ull / std::max<std::uint64_t>(1, rate_qps)));
   const std::size_t batch =
@@ -161,10 +185,11 @@ void run_open_sender(ConnState& conn, const Phases& phases, std::uint64_t rate_q
   ::shutdown(conn.fd, SHUT_WR);
 }
 
-/// Shared receiver: count reply lines, match each to its send timestamp,
-/// sample the ones sent inside the measure window.  Runs until the server
-/// half-closes back (EOF after our SHUT_WR drains) or errors.
-void run_receiver(ConnState& conn, const Phases& phases) {
+/// Shared receiver: count completed replies (lines or frames), match each
+/// to its send timestamp, sample the ones sent inside the measure window.
+/// Runs until the server half-closes back (EOF after our SHUT_WR drains)
+/// or errors.
+void run_receiver(ConnState& conn, const Phases& phases, WireProtocol proto) {
   char chunk[16 * 1024];
   while (true) {
     const auto n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
@@ -182,8 +207,7 @@ void run_receiver(ConnState& conn, const Phases& phases) {
       break;
     }
     const auto now = Clock::now();
-    const auto lines = static_cast<std::size_t>(
-        std::count(chunk, chunk + n, '\n'));
+    const auto lines = count_replies(conn, proto, chunk, static_cast<std::size_t>(n));
     if (lines == 0) continue;
     const std::lock_guard<std::mutex> lock(conn.mutex);
     for (std::size_t i = 0; i < lines && !conn.in_flight.empty(); ++i) {
@@ -202,8 +226,8 @@ void run_receiver(ConnState& conn, const Phases& phases) {
 /// Closed-loop connection: keep `depth` requests outstanding, replenish
 /// one per reply, stop replenishing at the end of cool-down and drain.
 void run_closed_conn(ConnState& conn, const Phases& phases, std::uint64_t depth,
-                     std::uint64_t seed) {
-  AddrStream addrs(seed);
+                     std::uint64_t seed, WireProtocol proto) {
+  AddrStream addrs(seed, proto);
   std::string wire;
   const auto send_n = [&](std::size_t count) {
     wire.clear();
@@ -237,7 +261,7 @@ void run_closed_conn(ConnState& conn, const Phases& phases, std::uint64_t depth,
       break;
     }
     const auto now = Clock::now();
-    const auto lines = static_cast<std::size_t>(std::count(chunk, chunk + n, '\n'));
+    const auto lines = count_replies(conn, proto, chunk, static_cast<std::size_t>(n));
     for (std::size_t i = 0; i < lines && !conn.in_flight.empty(); ++i) {
       const auto stamp = conn.in_flight.front();
       conn.in_flight.pop_front();
@@ -273,20 +297,17 @@ StepResult summarize(std::uint64_t target, int measure_ms,
   result.achieved_qps = static_cast<double>(result.received) / seconds;
   result.samples = samples.size();
   if (!samples.empty()) {
+    // One sort serves every percentile — percentile_us reads sorted data
+    // rather than copying and re-sorting the vector per quantile.
     std::sort(samples.begin(), samples.end());
     result.min_us = samples.front();
     result.max_us = samples.back();
     double total = 0.0;
     for (const auto s : samples) total += static_cast<double>(s);
     result.mean_us = total / static_cast<double>(samples.size());
-    const auto rank = [&](double q) {
-      const auto index = static_cast<std::size_t>(
-          std::ceil(q / 100.0 * static_cast<double>(samples.size())));
-      return samples[std::min(samples.size() - 1, std::max<std::size_t>(1, index) - 1)];
-    };
-    result.p50_us = rank(50.0);
-    result.p90_us = rank(90.0);
-    result.p99_us = rank(99.0);
+    result.p50_us = percentile_us(samples, 50.0);
+    result.p90_us = percentile_us(samples, 90.0);
+    result.p99_us = percentile_us(samples, 99.0);
   }
   return result;
 }
@@ -298,7 +319,12 @@ util::Result<StepResult> run_step(const LoadgenConfig& config, std::uint64_t tar
   for (int i = 0; i < config.connections; ++i) {
     auto conn = std::make_unique<ConnState>();
     conn->fd = connect_to(config.host, config.port);
-    if (conn->fd < 0) {
+    // The binary preamble goes out before any sender thread exists, so
+    // the first request frame can never race ahead of the negotiation.
+    if (conn->fd < 0 ||
+        (config.proto == WireProtocol::kBinary &&
+         !send_all(conn->fd, wire::kPreamble.data(), wire::kPreamble.size()))) {
+      if (conn->fd >= 0) ::close(conn->fd);
       for (const auto& open : conns) ::close(open->fd);
       return util::make_error("loadgen.socket",
                               "connect to " + config.host + ":" + std::to_string(config.port) +
@@ -327,12 +353,16 @@ util::Result<StepResult> run_step(const LoadgenConfig& config, std::uint64_t tar
                                            target % static_cast<std::uint64_t>(config.connections)
                                        ? 1
                                        : 0);
-      threads.emplace_back(
-          [&conn, phases, share, seed] { run_open_sender(conn, phases, share, seed); });
-      threads.emplace_back([&conn, phases] { run_receiver(conn, phases); });
+      threads.emplace_back([&conn, phases, share, seed, proto = config.proto] {
+        run_open_sender(conn, phases, share, seed, proto);
+      });
+      threads.emplace_back([&conn, phases, proto = config.proto] {
+        run_receiver(conn, phases, proto);
+      });
     } else {
-      threads.emplace_back(
-          [&conn, phases, target, seed] { run_closed_conn(conn, phases, target, seed); });
+      threads.emplace_back([&conn, phases, target, seed, proto = config.proto] {
+        run_closed_conn(conn, phases, target, seed, proto);
+      });
     }
   }
   for (auto& thread : threads) thread.join();
@@ -353,12 +383,16 @@ const char* to_string(LoadMode mode) noexcept {
   return mode == LoadMode::kOpen ? "open" : "closed";
 }
 
-std::uint64_t percentile_us(std::vector<std::uint64_t> samples, double q) {
-  if (samples.empty()) return 0;
-  std::sort(samples.begin(), samples.end());
+const char* to_string(WireProtocol proto) noexcept {
+  return proto == WireProtocol::kLine ? "line" : "binary";
+}
+
+std::uint64_t percentile_us(std::span<const std::uint64_t> sorted_samples, double q) {
+  if (sorted_samples.empty()) return 0;  // a cool-down-only step measures nothing
   const auto index = static_cast<std::size_t>(
-      std::ceil(q / 100.0 * static_cast<double>(samples.size())));
-  return samples[std::min(samples.size() - 1, std::max<std::size_t>(1, index) - 1)];
+      std::ceil(q / 100.0 * static_cast<double>(sorted_samples.size())));
+  return sorted_samples[std::min(sorted_samples.size() - 1,
+                                 std::max<std::size_t>(1, index) - 1)];
 }
 
 util::Result<std::vector<std::uint64_t>> parse_step_list(std::string_view text) {
@@ -409,6 +443,7 @@ void write_loadgen_json(std::ostream& out, const LoadgenConfig& config,
   text += "  \"host\": \"" + config.host + "\",\n";
   text += "  \"port\": " + std::to_string(config.port) + ",\n";
   text += "  \"mode\": \"" + std::string(to_string(config.mode)) + "\",\n";
+  text += "  \"proto\": \"" + std::string(to_string(config.proto)) + "\",\n";
   text += "  \"connections\": " + std::to_string(config.connections) + ",\n";
   text += "  \"warmup_ms\": " + std::to_string(config.warmup_ms) + ",\n";
   text += "  \"measure_ms\": " + std::to_string(config.measure_ms) + ",\n";

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -40,10 +41,21 @@ enum class LoadMode {
 
 [[nodiscard]] const char* to_string(LoadMode mode) noexcept;
 
+/// Which wire protocol the generator speaks: the text line protocol or
+/// the fixed-width MTBIN frames (serve/wire.hpp), negotiated by sending
+/// the preamble right after connect.
+enum class WireProtocol {
+  kLine,
+  kBinary,
+};
+
+[[nodiscard]] const char* to_string(WireProtocol proto) noexcept;
+
 struct LoadgenConfig {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
   LoadMode mode = LoadMode::kOpen;
+  WireProtocol proto = WireProtocol::kLine;
   int connections = 4;
   std::vector<std::uint64_t> steps;  // rate (open) or depth (closed) per step
   int warmup_ms = 200;
@@ -69,9 +81,13 @@ struct StepResult {
   std::uint64_t max_us = 0;
 };
 
-/// Nearest-rank percentile (q in (0, 100]): the ceil(q/100 * n)-th smallest
-/// sample.  Copies + sorts; zero samples yield 0.
-[[nodiscard]] std::uint64_t percentile_us(std::vector<std::uint64_t> samples, double q);
+/// Nearest-rank percentile (q in (0, 100]) over ascending-sorted samples:
+/// the ceil(q/100 * n)-th smallest.  The caller sorts once per step and
+/// reads every percentile from the same sorted data (summarize does) —
+/// the old by-value signature copied and re-sorted the full sample vector
+/// per percentile.  Zero samples yield 0.
+[[nodiscard]] std::uint64_t percentile_us(std::span<const std::uint64_t> sorted_samples,
+                                          double q);
 
 /// Parse a comma-separated step list ("1000,5000,20000") into positive
 /// integers.  Typed loadgen.steps error on empty lists, empty elements,

@@ -14,6 +14,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstring>
+#include <span>
 #include <string_view>
 #include <thread>
 #include <unordered_map>
@@ -21,6 +22,8 @@
 #include <vector>
 
 #include "serve/analytics_format.hpp"
+#include "serve/wire.hpp"
+#include "util/bytes.hpp"
 #include "util/strings.hpp"
 
 namespace mtscope::serve {
@@ -82,12 +85,19 @@ void append_sanitized_echo(std::string& out, std::string_view token, std::size_t
 /// leftover `out` bytes into one sendmsg — only what the kernel refuses
 /// (or the fairness cap defers) is copied into `out`.
 struct QueryServer::Connection {
+  /// Decided by the first bytes: exactly the MTBIN preamble switches to
+  /// fixed-width binary frames, anything else locks in the line protocol.
+  /// Undecided only while the received bytes are a strict prefix of the
+  /// preamble.
+  enum class Proto : std::uint8_t { kUndecided, kLine, kBinary };
+
   int fd = -1;
   std::string in;
   std::string out;
   std::size_t out_off = 0;
   Clock::time_point last_activity{};
   std::uint32_t interest = 0;
+  Proto proto = Proto::kUndecided;
   bool paused = false;       // back-pressure: reply backlog over the cap
   bool read_closed = false;  // peer EOF (or drain): no further requests
   bool fatal = false;        // protocol violation: close once out drains
@@ -348,7 +358,18 @@ class QueryServer::Reactor {
       // input remains, so a pipelining client cannot balloon `in`/`out`
       // between back-pressure checks.
       char chunk[16 * 1024];
-      const auto n = ::recv(fd, chunk, sizeof(chunk), 0);
+      std::size_t want = sizeof(chunk);
+      if (conn.proto != Connection::Proto::kBinary && !conn.in.empty()) {
+        // A partial line (or preamble prefix) is already buffered: cap the
+        // read so `in` can never grow past max_request_bytes plus the one
+        // byte that proves the violation — previously a client could park
+        // max_request_bytes + 16KiB - 1 unanswered bytes here.  Binary
+        // mode is exempt: frames are fixed-width, so the residual after
+        // process_input is always shorter than one frame.
+        const std::size_t cap = server_.config_.max_request_bytes + 1;
+        want = std::min(want, cap > conn.in.size() ? cap - conn.in.size() : std::size_t{1});
+      }
+      const auto n = ::recv(fd, chunk, want, 0);
       if (n > 0) {
         conn.in.append(chunk, static_cast<std::size_t>(n));
         conn.last_activity = Clock::now();
@@ -376,34 +397,128 @@ class QueryServer::Reactor {
     update_interest(conn);
   }
 
-  /// Answer every complete line in `conn.in`, appending the verdicts to
-  /// the reactor's scratch batch buffer — the caller coalesces it into
-  /// one sendmsg via flush_output(conn, batch_).
+  /// Answer every complete request in `conn.in` — lines or MTBIN frames,
+  /// per the negotiated protocol — appending the replies to the reactor's
+  /// scratch batch buffer; the caller coalesces it into one sendmsg via
+  /// flush_output(conn, batch_).
   void process_input(Connection& conn) {
+    if (conn.proto == Connection::Proto::kUndecided && !negotiate(conn)) return;
+
     // One index grab per batch: the lock-free reader path.  Everything in
     // this batch is answered from one consistent epoch even if a reload
     // lands concurrently with the next batch.
     const std::shared_ptr<const TelescopeIndex> index = server_.manager_.current();
+    if (conn.proto == Connection::Proto::kBinary) {
+      process_binary(conn, *index);
+      return;
+    }
+
     std::size_t start = 0;
     for (;;) {
       const std::size_t newline = conn.in.find('\n', start);
       if (newline == std::string::npos) break;
+      if (newline - start > server_.config_.max_request_bytes) {
+        kill_overlong(conn, std::string_view(conn.in).substr(start, newline - start));
+        return;
+      }
       answer_line(std::string_view(conn.in).substr(start, newline - start), *index);
       start = newline + 1;
     }
     conn.in.erase(0, start);
 
     if (conn.in.size() > server_.config_.max_request_bytes) {
-      // A "line" that exceeds the cap without a newline is a protocol
-      // violation, not a slow write: answer once, then hang up.
-      append_sanitized_echo(batch_, conn.in, kInvalidEchoBytes);
-      batch_ += " invalid\n";
-      conn.in.clear();
-      conn.fatal = true;
+      kill_overlong(conn, conn.in);
+    }
+  }
+
+  /// First bytes decide the protocol.  Exactly the MTBIN preamble flips
+  /// the connection to binary frames; any divergence — which includes
+  /// every line-protocol opener, since no dotted quad, comment or verb
+  /// starts with "MTBIN/1\n" — locks in line mode with all bytes kept.
+  /// A strict prefix of the preamble waits for more input, unless the
+  /// peer already half-closed (then it is a line-mode leftover).
+  /// Returns false while still undecided.
+  bool negotiate(Connection& conn) {
+    const std::size_t probe = std::min(conn.in.size(), wire::kPreamble.size());
+    if (conn.in.compare(0, probe, wire::kPreamble.data(), probe) != 0) {
+      conn.proto = Connection::Proto::kLine;
+      return true;
+    }
+    if (probe == wire::kPreamble.size()) {
+      conn.proto = Connection::Proto::kBinary;
+      conn.in.erase(0, wire::kPreamble.size());
+      return true;
+    }
+    if (conn.read_closed) {
+      conn.proto = Connection::Proto::kLine;
+      return true;
+    }
+    return false;
+  }
+
+  /// A request line past the cap — complete or still unterminated — is a
+  /// protocol violation, not a slow write: one sanitized "invalid" reply,
+  /// then hang up.  Per the counting contract it is a produced reply
+  /// (queries) that was invalid (invalid) and killed the connection
+  /// (drops).
+  void kill_overlong(Connection& conn, std::string_view line) {
+    append_sanitized_echo(batch_, line, kInvalidEchoBytes);
+    batch_ += " invalid\n";
+    conn.in.clear();
+    conn.fatal = true;
+    server_.queries_.fetch_add(1, std::memory_order_relaxed);
+    server_.invalid_.fetch_add(1, std::memory_order_relaxed);
+    server_.drops_.fetch_add(1, std::memory_order_relaxed);
+    if (queries_counter_ != nullptr) queries_counter_->add(1);
+    if (invalid_counter_ != nullptr) invalid_counter_->add(1);
+    if (drops_counter_ != nullptr) drops_counter_->add(1);
+  }
+
+  /// Answer every complete fixed-width MTBIN frame.  A malformed frame
+  /// gets one invalid-frame response and decoding resumes at the next
+  /// 12-byte boundary — fixed widths mean a corrupt frame can never
+  /// desync the stream, so the connection stays up.
+  void process_binary(Connection& conn, const TelescopeIndex& index) {
+    const std::span<const std::uint8_t> bytes(
+        reinterpret_cast<const std::uint8_t*>(conn.in.data()), conn.in.size());
+    std::size_t consumed = 0;
+    while (bytes.size() - consumed >= wire::kRequestSize) {
+      answer_frame(bytes.subspan(consumed, wire::kRequestSize), index);
+      consumed += wire::kRequestSize;
+    }
+    conn.in.erase(0, consumed);
+  }
+
+  void answer_frame(std::span<const std::uint8_t> frame, const TelescopeIndex& index) {
+    const auto t0 = request_timer_ != nullptr ? Clock::now() : Clock::time_point{};
+    const auto decoded = wire::decode_request(frame);
+    if (!decoded.ok()) {
+      // The addr field is echoed only when the frame's seal held; after a
+      // CRC failure no field is trustworthy, so the reply carries 0.
+      const auto reason = wire::invalid_reason(decoded.error().code);
+      const net::Ipv4Addr addr = reason == wire::InvalidReason::kBadCrc
+                                     ? net::Ipv4Addr(0)
+                                     : net::Ipv4Addr(util::le_get_u32(frame, 4));
+      wire::append_response(batch_, wire::make_invalid_response(addr, reason));
       server_.invalid_.fetch_add(1, std::memory_order_relaxed);
-      server_.drops_.fetch_add(1, std::memory_order_relaxed);
       if (invalid_counter_ != nullptr) invalid_counter_->add(1);
-      if (drops_counter_ != nullptr) drops_counter_->add(1);
+    } else if (decoded.value().verb == wire::Verb::kLookup) {
+      const net::Ipv4Addr addr = decoded.value().addr;
+      wire::append_response(batch_, wire::make_verdict_response(addr, index.lookup(addr)));
+    } else {
+      // count-in canonicalizes the base (host bits masked off) and echoes
+      // the canonical form, mirroring what the index actually counted.
+      const auto prefix =
+          net::Prefix::canonical(decoded.value().addr, decoded.value().plen);
+      wire::append_response(
+          batch_, wire::make_count_response(prefix.base(), decoded.value().plen,
+                                            index.count_in(prefix)));
+    }
+    server_.queries_.fetch_add(1, std::memory_order_relaxed);
+    if (queries_counter_ != nullptr) queries_counter_->add(1);
+    if (request_timer_ != nullptr) {
+      request_timer_->record_us(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0).count()));
     }
   }
 

@@ -14,6 +14,23 @@
 // The echoed <token> is sanitized: bytes outside printable ASCII are
 // replaced with '.', so binary garbage is never reflected onto the wire.
 //
+// Binary protocol (MTBIN, serve/wire.hpp): a connection whose first bytes
+// are exactly the 8-byte preamble "MTBIN/1\n" switches to fixed-width
+// CRC32-sealed frames — 12-byte requests (lookup / count-in), 20-byte
+// responses — with no per-request text parsing or formatting.  Both
+// protocols share one port, one reactor loop, the same sendmsg reply
+// coalescing, and the same back-pressure/fairness caps; a line client is
+// never affected because no line-protocol opener matches the preamble.
+// A malformed frame gets one invalid-frame response and the stream
+// resumes at the next frame boundary (fixed widths cannot desync), so
+// corruption is answered, never crashed on.
+//
+// Counting contract (every protocol, every path): each produced reply
+// increments `queries`; replies reporting a malformed request (bad IP
+// line, overlong line, malformed frame) also increment `invalid`; and
+// when the violation kills the connection (only the overlong line cap)
+// `drops` is incremented as well.
+//
 // Architecture: N independent epoll reactors (serve/event_loop.hpp), one
 // per core with `--reactors N`, each owning its own SO_REUSEPORT listener,
 // eventfd, and connection table — the kernel load-balances accepts across
@@ -29,8 +46,11 @@
 // Robustness contract:
 //  * Bounded buffers.  At most one bounded chunk is read per readable
 //    event (level-triggered epoll re-arms while input remains); a request
-//    line longer than max_request_bytes gets one "invalid" reply and the
-//    connection is closed.  Replies queue in a per-connection buffer; past
+//    line longer than max_request_bytes — whether it arrived complete or
+//    is still unterminated — gets one "invalid" reply and the connection
+//    is closed.  The cap is exact: with a partial line pending, reads are
+//    clamped so the input buffer never exceeds max_request_bytes + 1.
+//    Replies queue in a per-connection buffer; past
 //    max_pending_bytes the server stops reading that connection
 //    (back-pressure) until the client drains below half.
 //  * Write fairness.  A flush writes at most max_flush_bytes_per_event
@@ -114,8 +134,8 @@ struct ServerConfig {
 struct ServerStats {
   std::uint64_t connections = 0;  // accepted, lifetime
   std::uint64_t active = 0;       // currently open
-  std::uint64_t queries = 0;      // reply lines produced (incl. invalid)
-  std::uint64_t invalid = 0;      // unparseable request lines
+  std::uint64_t queries = 0;      // replies produced, lines or frames (incl. invalid)
+  std::uint64_t invalid = 0;      // malformed requests (bad lines, bad frames)
   std::uint64_t reloads = 0;      // successful snapshot swaps
   std::uint64_t reload_failures = 0;
   std::uint64_t timeouts = 0;     // idle/no-progress disconnects

@@ -83,13 +83,22 @@ inline void le_put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
   return std::uint64_t{le_get_u32(b, at)} | (std::uint64_t{le_get_u32(b, at + 4)} << 32);
 }
 
-/// Overwrite an already-emitted little-endian u32 in place (for length /
-/// checksum fields patched after their section is serialized).
-inline void le_patch_u32(std::span<std::uint8_t> b, std::size_t at, std::uint32_t v) {
+/// Overwrite already-emitted little-endian fields in place — for length /
+/// checksum fields patched after their section is serialized, and for
+/// writing into fixed-width frames held in stack arrays (serve/wire.hpp).
+inline void le_patch_u16(std::span<std::uint8_t> b, std::size_t at, std::uint16_t v) {
   b[at] = static_cast<std::uint8_t>(v & 0xff);
   b[at + 1] = static_cast<std::uint8_t>(v >> 8);
-  b[at + 2] = static_cast<std::uint8_t>(v >> 16);
-  b[at + 3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+inline void le_patch_u32(std::span<std::uint8_t> b, std::size_t at, std::uint32_t v) {
+  le_patch_u16(b, at, static_cast<std::uint16_t>(v & 0xffff));
+  le_patch_u16(b, at + 2, static_cast<std::uint16_t>(v >> 16));
+}
+
+inline void le_patch_u64(std::span<std::uint8_t> b, std::size_t at, std::uint64_t v) {
+  le_patch_u32(b, at, static_cast<std::uint32_t>(v & 0xffffffff));
+  le_patch_u32(b, at + 4, static_cast<std::uint32_t>(v >> 32));
 }
 
 // --- CRC32 (IEEE 802.3) ---------------------------------------------------

@@ -62,6 +62,22 @@ TEST(Bytes, LePatchOverwritesInPlace) {
   EXPECT_EQ(util::le_get_u32(out, 4), 0xffffffffu);
 }
 
+TEST(Bytes, LePatchEveryWidthMatchesLePut) {
+  // The patch family writes into pre-sized frames (serve/wire.hpp); each
+  // width must produce exactly the bytes le_put_* appends.
+  std::vector<std::uint8_t> put;
+  util::le_put_u16(put, 0xbeef);
+  util::le_put_u32(put, 0x11223344);
+  util::le_put_u64(put, 0x0102030405060708ull);
+  std::vector<std::uint8_t> patched(put.size(), 0xaa);
+  util::le_patch_u16(patched, 0, 0xbeef);
+  util::le_patch_u32(patched, 2, 0x11223344);
+  util::le_patch_u64(patched, 6, 0x0102030405060708ull);
+  EXPECT_EQ(patched, put);
+  EXPECT_EQ(util::le_get_u16(patched, 0), 0xbeefu);
+  EXPECT_EQ(util::le_get_u64(patched, 6), 0x0102030405060708ull);
+}
+
 TEST(Bytes, ExtremeValuesSurvive) {
   std::vector<std::uint8_t> out;
   util::le_put_u64(out, 0);

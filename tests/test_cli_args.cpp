@@ -298,6 +298,26 @@ TEST(CliArgs, LoadgenModeValidatesMembers) {
   EXPECT_EQ(r.error, "invalid value for --mode: 'sideways' (expected open or closed)");
 }
 
+TEST(CliArgs, ProtoDefaultsToLineAndValidatesMembers) {
+  const auto defaulted = parse({"loadgen"});
+  ASSERT_TRUE(defaulted.ok) << defaulted.error;
+  EXPECT_EQ(defaulted.opt.proto, "line");
+
+  const auto binary = parse({"loadgen", "--proto", "binary"});
+  ASSERT_TRUE(binary.ok) << binary.error;
+  EXPECT_EQ(binary.opt.proto, "binary");
+
+  // Shared with query --bench: the same flag selects the measured codec.
+  const auto bench = parse({"query", "--bench", "--proto", "binary"});
+  ASSERT_TRUE(bench.ok) << bench.error;
+  EXPECT_TRUE(bench.opt.bench);
+  EXPECT_EQ(bench.opt.proto, "binary");
+
+  const auto bad = parse({"loadgen", "--proto", "mtbin"});
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.error, "invalid value for --proto: 'mtbin' (expected line or binary)");
+}
+
 TEST(CliArgs, LoadgenMeasureZeroRejected) {
   const auto r = parse({"loadgen", "--measure-ms", "0"});
   EXPECT_FALSE(r.ok);
@@ -332,6 +352,7 @@ TEST(CliArgs, UsageTextMentionsEveryCommand) {
   EXPECT_NE(usage.find("--reactors"), std::string::npos);
   EXPECT_NE(usage.find("--steps"), std::string::npos);
   EXPECT_NE(usage.find("--mode"), std::string::npos);
+  EXPECT_NE(usage.find("--proto line|binary"), std::string::npos);
   EXPECT_NE(usage.find("--analytics"), std::string::npos);
   EXPECT_NE(usage.find("--query"), std::string::npos);
 }

@@ -7,13 +7,23 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
 #include <cctype>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "pipeline/collector.hpp"
 #include "pipeline/inference.hpp"
 #include "pipeline/parallel.hpp"
+#include "serve/server.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/wire.hpp"
 #include "sim/simulation.hpp"
 
 namespace mtscope {
@@ -460,6 +470,91 @@ TEST(CollectMetrics, SnapshotOfFullPipelineParsesAsJson) {
   const auto stats = pipeline::collect_stats(fx.simulation, fx.ixps, fx.days, options);
   (void)pipeline::parallel_infer(fx.engine, stats, 2, &metrics);
   EXPECT_TRUE(JsonChecker(metrics.to_json()).valid());
+}
+
+// ---------------------------------------------------------------------------
+// The serve counting contract (DESIGN.md §12) as exported through the
+// registry: serve.server.queries counts every reply produced — valid
+// verdicts, invalid-line echoes, invalid MTBIN frames, AND the one reply
+// an overlong line gets before the kill (the pre-fix code skipped that
+// bump); serve.server.invalid counts the malformed subset;
+// serve.server.drops counts only connection-killing violations.
+
+TEST(ServeMetrics, CountingContractAcrossBothProtocols) {
+  serve::TelescopeSnapshot snap;
+  snap.meta.seed = 3;
+  snap.meta.created_unix_s = 1'700'000'000;
+  snap.meta.source = "metrics contract";
+  snap.prefixes.push_back(serve::PrefixEntry{0x0a000000u, 65001, 8});
+  snap.blocks.push_back(serve::BlockEntry::make(
+      net::Block24::containing(net::Ipv4Addr::from_octets(10, 0, 0, 0)),
+      serve::BlockClass::kDark, 0));
+  snap.dark_count = 1;
+  const std::string path = ::testing::TempDir() + "metrics_contract.snap";
+  ASSERT_TRUE(serve::write_snapshot_file(snap, path).ok());
+
+  MetricsRegistry metrics;
+  serve::ServerConfig config;
+  config.snapshot_path = path;
+  config.port = 0;
+  config.max_request_bytes = 64;
+  serve::QueryServer server(std::move(config), &metrics);
+  ASSERT_TRUE(server.start().ok());
+  std::thread runner([&server] { server.run(); });
+
+  const auto talk = [&server](const std::string& payload, std::size_t reply_bytes) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    ASSERT_GE(fd, 0);
+    const timeval timeout{10, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(server.port());
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+    ASSERT_EQ(::send(fd, payload.data(), payload.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(payload.size()));
+    ::shutdown(fd, SHUT_WR);
+    std::string got;
+    char chunk[4096];
+    for (ssize_t n; (n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0;) {
+      got.append(chunk, static_cast<std::size_t>(n));
+    }
+    EXPECT_GE(got.size(), reply_bytes);
+    ::close(fd);
+  };
+
+  // Line client: 2 verdicts + 1 invalid line = 3 queries, 1 invalid.
+  talk("10.0.0.1\n8.8.8.8\nnot-an-ip\n", 3);
+  // Overlong line client: 1 query, 1 invalid, 1 drop.
+  talk(std::string(80, 'x') + "\n", 1);
+  // Binary client: preamble + 2 valid lookups + 1 corrupted frame
+  // = 3 queries, 1 invalid, 0 drops.
+  {
+    std::string payload{serve::wire::kPreamble};
+    serve::wire::Request request;
+    request.addr = net::Ipv4Addr::from_octets(10, 0, 0, 9);
+    serve::wire::append_request(payload, request);
+    std::string corrupt;
+    serve::wire::append_request(corrupt, request);
+    corrupt[6] = static_cast<char>(corrupt[6] ^ 0x10);
+    payload += corrupt;
+    serve::wire::append_request(payload, request);
+    talk(payload, 3 * serve::wire::kResponseSize);
+  }
+
+  server.request_stop();
+  runner.join();
+
+  EXPECT_EQ(metrics.counter_value("serve.server.queries"), 7u);
+  EXPECT_EQ(metrics.counter_value("serve.server.invalid"), 3u);
+  EXPECT_EQ(metrics.counter_value("serve.server.drops"), 1u);
+  EXPECT_EQ(metrics.counter_value("serve.server.connections"), 3u);
+  const auto* timer = metrics.find_timer("serve.server.request_us");
+  ASSERT_NE(timer, nullptr);
+  // Every produced reply is timed — valid or invalid, line or frame —
+  // except the overlong kill, which never reaches the request path.
+  EXPECT_EQ(timer->count(), 6u);
 }
 
 }  // namespace

@@ -26,15 +26,18 @@ namespace {
 // Nearest-rank percentiles.
 
 TEST(LoadgenPercentile, NearestRankContract) {
-  const std::vector<std::uint64_t> samples{50, 10, 40, 20, 30};  // unsorted on purpose
-  EXPECT_EQ(serve::percentile_us(samples, 50.0), 30u);   // ceil(0.5*5)=3rd
-  EXPECT_EQ(serve::percentile_us(samples, 90.0), 50u);   // ceil(0.9*5)=5th
-  EXPECT_EQ(serve::percentile_us(samples, 99.0), 50u);
-  EXPECT_EQ(serve::percentile_us(samples, 100.0), 50u);
-  EXPECT_EQ(serve::percentile_us(samples, 20.0), 10u);   // ceil(0.2*5)=1st
-  EXPECT_EQ(serve::percentile_us(samples, 1.0), 10u);    // clamps to the 1st
-  EXPECT_EQ(serve::percentile_us({7}, 99.0), 7u);
-  EXPECT_EQ(serve::percentile_us({}, 50.0), 0u);
+  // The caller sorts once and reads every percentile from the same span —
+  // the old by-value signature copied and re-sorted per call.
+  const std::vector<std::uint64_t> sorted{10, 20, 30, 40, 50};
+  EXPECT_EQ(serve::percentile_us(sorted, 50.0), 30u);   // ceil(0.5*5)=3rd
+  EXPECT_EQ(serve::percentile_us(sorted, 90.0), 50u);   // ceil(0.9*5)=5th
+  EXPECT_EQ(serve::percentile_us(sorted, 99.0), 50u);
+  EXPECT_EQ(serve::percentile_us(sorted, 100.0), 50u);
+  EXPECT_EQ(serve::percentile_us(sorted, 20.0), 10u);   // ceil(0.2*5)=1st
+  EXPECT_EQ(serve::percentile_us(sorted, 1.0), 10u);    // clamps to the 1st
+  const std::vector<std::uint64_t> one{7};
+  EXPECT_EQ(serve::percentile_us(one, 99.0), 7u);
+  EXPECT_EQ(serve::percentile_us({}, 50.0), 0u);  // zero samples must not UB
 }
 
 // ---------------------------------------------------------------------------
@@ -209,6 +212,42 @@ TEST(LoadgenRun, OpenLoopSweepAgainstMultiReactorServer) {
   // allow generous slack but reject an order-of-magnitude miss.
   EXPECT_GT(run.value()[0].offered_qps, 200.0);
   EXPECT_GT(run.value()[1].offered_qps, run.value()[0].offered_qps);
+}
+
+TEST(LoadgenRun, BinaryProtocolOpenLoopSweep) {
+  LoadgenServer target(2);
+  serve::LoadgenConfig config;
+  config.port = target.server->port();
+  config.mode = serve::LoadMode::kOpen;
+  config.proto = serve::WireProtocol::kBinary;
+  config.connections = 2;
+  config.steps = {2'000, 10'000};
+  config.warmup_ms = 50;
+  config.measure_ms = 200;
+  config.cooldown_ms = 50;
+  const auto run = serve::run_loadgen(config);
+  ASSERT_TRUE(run.ok()) << run.error().to_string();
+  expect_clean_steps(run.value(), 2);
+  // Every reply the server produced over MTBIN was a well-formed frame:
+  // a framing error (bad CRC, short read) would surface as errors > 0 or
+  // a sent/samples mismatch, both rejected by expect_clean_steps.
+}
+
+TEST(LoadgenRun, BinaryClosedLoopDepthSweep) {
+  LoadgenServer target(1);
+  serve::LoadgenConfig config;
+  config.port = target.server->port();
+  config.mode = serve::LoadMode::kClosed;
+  config.proto = serve::WireProtocol::kBinary;
+  config.connections = 2;
+  config.steps = {1, 8};
+  config.warmup_ms = 50;
+  config.measure_ms = 200;
+  config.cooldown_ms = 50;
+  const auto run = serve::run_loadgen(config);
+  ASSERT_TRUE(run.ok()) << run.error().to_string();
+  expect_clean_steps(run.value(), 2);
+  EXPECT_GT(run.value()[1].received, run.value()[0].received);
 }
 
 TEST(LoadgenRun, ClosedLoopDepthSweep) {

@@ -29,6 +29,8 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -36,6 +38,9 @@
 #include "ingest/publish.hpp"
 #include "serve/snapshot.hpp"
 #include "serve/telescope_index.hpp"
+#include "serve/wire.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
 
 namespace mtscope {
 namespace {
@@ -418,6 +423,62 @@ TEST(ServeServer, OverlongLineGetsOneInvalidReplyThenClose) {
   EXPECT_EQ(lines[0], std::string(64, 'a') + " invalid");
   EXPECT_TRUE(client.reads_eof());
   EXPECT_TRUE(wait_until([&] { return rs.server->stats().drops >= 1; }));
+
+  // Counting contract (DESIGN.md §12): the one invalid reply produced for
+  // the overlong line counts as a query AND an invalid AND a drop — the
+  // pre-fix code skipped the query bump on this path.
+  const auto stats = rs.server->stats();
+  EXPECT_EQ(stats.queries, 1u);
+  EXPECT_EQ(stats.invalid, 1u);
+  EXPECT_EQ(stats.drops, 1u);
+}
+
+TEST(ServeServer, RequestBytesCapIsExactAtTheBoundary) {
+  auto config = test_config(snapshot_file("capboundary", 0));
+  config.max_request_bytes = 64;
+  RunningServer rs(std::move(config));
+
+  // A line of exactly max_request_bytes (before the newline) is legal:
+  // leading padding is trimmed by the parser, so this answers normally.
+  {
+    Client client(rs.port());
+    ASSERT_TRUE(client.connected());
+    std::string line(64 - 8, ' ');
+    line += "10.0.0.7";  // 64 bytes exactly, then the terminator
+    ASSERT_TRUE(client.send_all(line + "\n"));
+    const auto lines = client.read_lines(1);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], expected_line("10.0.0.7", 0));
+  }
+
+  // Exactly max_request_bytes buffered with no newline yet must NOT be
+  // killed — the limit is on the line, and the line may still terminate.
+  // The pre-fix cap let a client sit at max + 16 KiB - 1 instead.
+  {
+    Client client(rs.port());
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.send_all(std::string(64 - 8, ' ')));
+    std::this_thread::sleep_for(20ms);
+    ASSERT_TRUE(client.send_all("10.0.0.7\n"));
+    const auto lines = client.read_lines(1);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], expected_line("10.0.0.7", 0));
+  }
+
+  // One byte over — with or without a newline — is rejected and closed,
+  // even when the whole overlong line arrives in a single chunk (the
+  // pre-fix per-chunk check missed a complete line with its newline).
+  {
+    Client client(rs.port());
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.send_all(std::string(65, 'b') + "\n"));
+    const auto lines = client.read_lines(1);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], std::string(64, 'b') + " invalid");
+    EXPECT_TRUE(client.reads_eof());
+  }
+  EXPECT_TRUE(wait_until([&] { return rs.server->stats().drops >= 1; }));
+  EXPECT_EQ(rs.server->stats().drops, 1u);
 }
 
 TEST(ServeServer, ConnectionsBeyondMaxConnsAreDropped) {
@@ -957,6 +1018,352 @@ TEST(MultiReactor, MetricsMergeDeterministicallyAcrossReactors) {
   const auto* timer = metrics.find_timer("serve.server.request_us");
   ASSERT_NE(timer, nullptr);
   EXPECT_EQ(timer->count(), static_cast<std::uint64_t>(kClients) * kQueries);
+}
+
+// ---------------------------------------------------------------------------
+// MTBIN: the binary protocol negotiated by preamble on the same port
+// (DESIGN.md §12).  Framing, negotiation edge cases, the counting
+// contract, live corruption robustness, and the line/binary differential.
+
+namespace wire = serve::wire;
+
+/// Read exactly `want` bytes (or until EOF/timeout).
+std::string read_exact(Client& client, std::size_t want) {
+  std::string data;
+  char chunk[4096];
+  while (data.size() < want) {
+    const auto n =
+        ::recv(client.fd, chunk, std::min(sizeof(chunk), want - data.size()), 0);
+    if (n <= 0) break;
+    data.append(chunk, static_cast<std::size_t>(n));
+  }
+  return data;
+}
+
+/// Read and decode `count` response frames; stops early on EOF/timeout or
+/// an undecodable frame.
+std::vector<wire::Response> read_frames(Client& client, std::size_t count) {
+  const auto data = read_exact(client, count * wire::kResponseSize);
+  std::vector<wire::Response> frames;
+  std::span<const std::uint8_t> bytes(reinterpret_cast<const std::uint8_t*>(data.data()),
+                                      data.size());
+  while (bytes.size() >= wire::kResponseSize) {
+    const auto decoded = wire::decode_response(bytes);
+    EXPECT_TRUE(decoded.ok()) << decoded.error().to_string();
+    if (!decoded.ok()) break;
+    frames.push_back(decoded.value());
+    bytes = bytes.subspan(wire::kResponseSize);
+  }
+  return frames;
+}
+
+std::string lookup_frame(const std::string& ip) {
+  wire::Request request;
+  request.verb = wire::Verb::kLookup;
+  request.addr = *net::Ipv4Addr::parse(ip);
+  std::string out;
+  wire::append_request(out, request);
+  return out;
+}
+
+TEST(MtbinServer, NegotiatesAndMatchesTheIndexExactly) {
+  RunningServer rs(test_config(snapshot_file("mtbin_basic", 0)));
+  Client client(rs.port());
+  ASSERT_TRUE(client.connected());
+
+  const std::vector<std::string> probes = {"10.0.0.7", "192.168.5.9", "203.0.113.1",
+                                           "8.8.8.8"};
+  std::string request{wire::kPreamble};
+  for (const auto& ip : probes) request += lookup_frame(ip);
+  ASSERT_TRUE(client.send_all(request));
+
+  const auto frames = read_frames(client, probes.size());
+  ASSERT_EQ(frames.size(), probes.size());
+  const serve::TelescopeIndex index(make_snapshot(0));
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const auto addr = *net::Ipv4Addr::parse(probes[i]);
+    EXPECT_EQ(frames[i], wire::make_verdict_response(addr, index.lookup(addr)))
+        << probes[i];
+  }
+  // Dark hit, gray hit, prefixless hit, miss — the probe set is not vacuous.
+  EXPECT_EQ(frames[0].cls, 0u);
+  EXPECT_TRUE(frames[0].has_prefix);
+  EXPECT_EQ(frames[0].origin_asn, 65001u);
+  EXPECT_EQ(frames[2].cls, 0u);
+  EXPECT_FALSE(frames[2].has_prefix);
+  EXPECT_EQ(frames[3].cls, wire::kClassNone);
+
+  const auto stats = rs.server->stats();
+  EXPECT_EQ(stats.queries, probes.size());
+  EXPECT_EQ(stats.invalid, 0u);
+}
+
+TEST(MtbinServer, SplitPreambleAndSplitFramesStillNegotiate) {
+  RunningServer rs(test_config(snapshot_file("mtbin_split", 0)));
+  Client client(rs.port());
+  ASSERT_TRUE(client.connected());
+
+  // The preamble split mid-token, then a frame split mid-field: the
+  // negotiator must wait for more bytes instead of misreading the prefix
+  // as a line, and the frame decoder must wait for the full 12 bytes.
+  const std::string frame = lookup_frame("10.0.0.7");
+  ASSERT_TRUE(client.send_all(std::string_view{wire::kPreamble}.substr(0, 3)));
+  std::this_thread::sleep_for(20ms);
+  ASSERT_TRUE(client.send_all(std::string{wire::kPreamble.substr(3)} + frame.substr(0, 5)));
+  std::this_thread::sleep_for(20ms);
+  ASSERT_TRUE(client.send_all(frame.substr(5) + lookup_frame("8.8.8.8")));
+
+  const auto frames = read_frames(client, 2);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].addr, *net::Ipv4Addr::parse("10.0.0.7"));
+  EXPECT_EQ(frames[0].cls, 0u);
+  EXPECT_EQ(frames[1].addr, *net::Ipv4Addr::parse("8.8.8.8"));
+  EXPECT_EQ(frames[1].cls, wire::kClassNone);
+}
+
+TEST(MtbinServer, PreambleDivergenceStaysOnTheLineProtocol) {
+  RunningServer rs(test_config(snapshot_file("mtbin_diverge", 0)));
+
+  // Shares 5 bytes with the preamble, then diverges: a line client whose
+  // first token happens to start with "MTBIN" keeps the line protocol.
+  Client almost(rs.port());
+  ASSERT_TRUE(almost.connected());
+  ASSERT_TRUE(almost.send_all("MTBINGO\n10.0.0.7\n"));
+  const auto lines = almost.read_lines(2);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "MTBINGO invalid");
+  EXPECT_EQ(lines[1], expected_line("10.0.0.7", 0));
+
+  // An ordinary first line is line protocol from byte one.
+  Client plain(rs.port());
+  ASSERT_TRUE(plain.connected());
+  ASSERT_TRUE(plain.send_all("10.0.0.7\n"));
+  EXPECT_EQ(plain.read_lines(1), std::vector<std::string>{expected_line("10.0.0.7", 0)});
+}
+
+TEST(MtbinServer, CountInCanonicalizesAndCounts) {
+  RunningServer rs(test_config(snapshot_file("mtbin_count", 0)));
+  Client client(rs.port());
+  ASSERT_TRUE(client.connected());
+
+  const auto count_frame = [](const std::string& ip, std::uint8_t plen) {
+    wire::Request request;
+    request.verb = wire::Verb::kCountIn;
+    request.plen = plen;
+    request.addr = *net::Ipv4Addr::parse(ip);
+    std::string out;
+    wire::append_request(out, request);
+    return out;
+  };
+
+  // Variant 0 classifies 10.0.0/24 + 10.0.1/24 (in 10/8), 192.168.5/24,
+  // and 203.0.113/24 — four blocks total.  A non-canonical base must be
+  // masked to the prefix and echoed canonical.
+  std::string request{wire::kPreamble};
+  request += count_frame("10.0.1.7", 8);       // canonical base 10.0.0.0
+  request += count_frame("192.168.0.0", 16);
+  request += count_frame("0.0.0.0", 0);        // the whole v4 space
+  request += count_frame("10.0.0.0", 24);
+  ASSERT_TRUE(client.send_all(request));
+
+  const auto frames = read_frames(client, 4);
+  ASSERT_EQ(frames.size(), 4u);
+  for (const auto& frame : frames) EXPECT_EQ(frame.status, wire::Status::kCount);
+  EXPECT_EQ(frames[0].count, 2u);
+  EXPECT_EQ(frames[0].addr, *net::Ipv4Addr::parse("10.0.0.0")) << "echo not canonical";
+  EXPECT_EQ(frames[0].plen, 8u);
+  EXPECT_EQ(frames[1].count, 1u);
+  EXPECT_EQ(frames[2].count, 4u);
+  EXPECT_EQ(frames[3].count, 1u);
+}
+
+TEST(MtbinServer, MalformedFramesGetTypedRepliesAndKeepTheConnection) {
+  RunningServer rs(test_config(snapshot_file("mtbin_invalid", 0)));
+  Client client(rs.port());
+  ASSERT_TRUE(client.connected());
+
+  const auto resealed = [](std::size_t at, std::uint8_t value) {
+    std::string out = lookup_frame("10.0.0.7");
+    out[at] = static_cast<char>(value);
+    std::array<std::uint8_t, wire::kRequestSize> bytes{};
+    std::memcpy(bytes.data(), out.data(), out.size());
+    util::le_patch_u32(bytes, 8, util::crc32(std::span(bytes).first(8)));
+    return std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  };
+
+  std::string request{wire::kPreamble};
+  request += resealed(0, 9);      // bad verb
+  request += resealed(2, 1);      // bad reserved
+  request += resealed(1, 25);     // bad plen (lookup with plen != 0)
+  std::string crc = lookup_frame("10.0.0.7");
+  crc[4] = static_cast<char>(crc[4] ^ 0x40);  // corrupt without resealing
+  request += crc;
+  request += lookup_frame("10.0.0.7");  // and the stream carries on
+  ASSERT_TRUE(client.send_all(request));
+
+  const auto frames = read_frames(client, 5);
+  ASSERT_EQ(frames.size(), 5u);
+  EXPECT_EQ(frames[0].status, wire::Status::kInvalid);
+  EXPECT_EQ(frames[0].cls, static_cast<std::uint8_t>(wire::InvalidReason::kBadVerb));
+  EXPECT_EQ(frames[1].status, wire::Status::kInvalid);
+  EXPECT_EQ(frames[1].cls, static_cast<std::uint8_t>(wire::InvalidReason::kBadReserved));
+  EXPECT_EQ(frames[2].status, wire::Status::kInvalid);
+  EXPECT_EQ(frames[2].cls, static_cast<std::uint8_t>(wire::InvalidReason::kBadPlen));
+  EXPECT_EQ(frames[3].status, wire::Status::kInvalid);
+  EXPECT_EQ(frames[3].cls, static_cast<std::uint8_t>(wire::InvalidReason::kBadCrc));
+  EXPECT_EQ(frames[4].status, wire::Status::kVerdict);
+  EXPECT_EQ(frames[4].cls, 0u);
+
+  // Counting contract: every frame produced a reply (queries), the four
+  // malformed ones were invalid, and none killed the connection (drops).
+  const auto stats = rs.server->stats();
+  EXPECT_EQ(stats.queries, 5u);
+  EXPECT_EQ(stats.invalid, 4u);
+  EXPECT_EQ(stats.drops, 0u);
+}
+
+TEST(MtbinServer, LiveCorruptionSweepNeverDesyncs) {
+  RunningServer rs(test_config(snapshot_file("mtbin_corrupt", 0)));
+  Client client(rs.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_all(std::string{wire::kPreamble}));
+
+  // 256 rounds of (one corrupted frame, one clean frame) down a single
+  // connection — test_snapshot's seeded flip idiom, live.  CRC32 catches
+  // every single-byte flip, so each round must yield exactly one bad_crc
+  // invalid reply followed by the clean frame's verdict: the stream never
+  // desyncs, the connection never dies.
+  util::Rng rng(0xc0ffee);
+  constexpr int kRounds = 256;
+  for (int i = 0; i < kRounds; ++i) {
+    const std::string ip = "10.0." + std::to_string(i % 2) + "." + std::to_string(i % 256);
+    std::string corrupted = lookup_frame(ip);
+    const auto at = static_cast<std::size_t>(rng.uniform(corrupted.size()));
+    const auto flip = static_cast<std::uint8_t>(1 + rng.uniform(255));
+    corrupted[at] = static_cast<char>(static_cast<std::uint8_t>(corrupted[at]) ^ flip);
+    ASSERT_TRUE(client.send_all(corrupted + lookup_frame(ip)));
+
+    const auto frames = read_frames(client, 2);
+    ASSERT_EQ(frames.size(), 2u) << "round " << i << " desynced";
+    EXPECT_EQ(frames[0].status, wire::Status::kInvalid) << "round " << i;
+    EXPECT_EQ(frames[0].cls, static_cast<std::uint8_t>(wire::InvalidReason::kBadCrc));
+    EXPECT_EQ(frames[1].status, wire::Status::kVerdict) << "round " << i;
+    EXPECT_EQ(frames[1].addr, *net::Ipv4Addr::parse(ip)) << "round " << i;
+  }
+
+  const auto stats = rs.server->stats();
+  EXPECT_EQ(stats.queries, 2u * kRounds);
+  EXPECT_EQ(stats.invalid, static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(stats.drops, 0u);
+  EXPECT_EQ(stats.connections, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// The differential: both protocols must answer every probe with the same
+// (class, prefix, origin-AS) triple, pinned over live loopback against a
+// paper-scale snapshot (thousands of classified /24s under real prefixes).
+
+TelescopeSnapshot paper_snapshot() {
+  TelescopeSnapshot snap;
+  snap.meta.seed = 7;
+  snap.meta.created_unix_s = 1'700'000'000;
+  snap.meta.source = "differential paper-scale";
+  snap.prefixes.push_back(PrefixEntry{0x0a000000u, 65001, 8});   // 10.0.0.0/8
+  snap.prefixes.push_back(PrefixEntry{0xac100000u, 64900, 12});  // 172.16.0.0/12
+  snap.prefixes.push_back(PrefixEntry{0xc0a80000u, 65002, 16});  // 192.168.0.0/16
+  std::uint64_t per_class[3] = {0, 0, 0};
+  const auto add = [&](std::uint8_t a, std::uint8_t b, std::uint8_t c, int cls_index,
+                       std::uint32_t prefix_index) {
+    snap.blocks.push_back(BlockEntry::make(
+        net::Block24::containing(net::Ipv4Addr::from_octets(a, b, c, 0)),
+        static_cast<BlockClass>(cls_index), prefix_index));
+    ++per_class[cls_index];
+  };
+  // Ascending block order, classes cycling: 1024 blocks under 10/8, 64
+  // under 172.16/12, 128 under 192.168/16, one prefixless straggler.
+  for (int b = 0; b < 4; ++b) {
+    for (int c = 0; c < 256; ++c) add(10, std::uint8_t(b), std::uint8_t(c), (b + c) % 3, 0);
+  }
+  for (int c = 0; c < 64; ++c) add(172, 16, std::uint8_t(c), c % 3, 1);
+  for (int c = 0; c < 256; c += 2) add(192, 168, std::uint8_t(c), c % 3, 2);
+  add(203, 0, 113, 0, BlockEntry::kNoPrefix);
+  snap.dark_count = per_class[0];
+  snap.unclean_count = per_class[1];
+  snap.gray_count = per_class[2];
+  return snap;
+}
+
+/// Rebuild the line-protocol reply from a decoded binary verdict — the
+/// cross-protocol bridge the differential compares through.
+std::string line_from_binary(const wire::Response& response) {
+  std::string line = response.addr.to_string();
+  if (response.cls == wire::kClassNone) return line + " none";
+  line += ' ';
+  line += serve::to_string(static_cast<BlockClass>(response.cls));
+  line += ' ';
+  line += response.has_prefix
+              ? net::Prefix(net::Ipv4Addr(response.prefix_base), response.plen).to_string()
+              : "-";
+  line += ' ';
+  line += response.has_origin ? "AS" + std::to_string(response.origin_asn) : "-";
+  return line;
+}
+
+TEST(MtbinServer, DifferentialLineVsBinaryOnPaperScaleSnapshot) {
+  const std::string path = ::testing::TempDir() + "serve_differential.snap";
+  {
+    const auto written = serve::write_snapshot_file(paper_snapshot(), path);
+    ASSERT_TRUE(written.ok()) << written.error().to_string();
+  }
+  RunningServer rs(test_config(path));
+
+  // Probes spanning every population: hits in each prefix family, the
+  // prefixless block, edge /24s, and misses just outside each range.
+  std::vector<std::string> probes;
+  for (int i = 0; i < 500; ++i) {
+    probes.push_back("10." + std::to_string(i % 5) + "." + std::to_string((i * 7) % 256) +
+                     "." + std::to_string(i % 256));
+  }
+  for (int i = 0; i < 200; ++i) {
+    probes.push_back("172.16." + std::to_string((i * 3) % 96) + "." + std::to_string(i % 256));
+  }
+  for (int i = 0; i < 200; ++i) {
+    probes.push_back("192.168." + std::to_string((i * 5) % 256) + "." + std::to_string(i));
+  }
+  for (int i = 0; i < 100; ++i) {
+    probes.push_back(std::to_string(20 + i) + ".1.2.3");  // misses
+  }
+  probes.insert(probes.end(), {"10.3.255.255", "10.4.0.0", "172.16.63.255", "172.16.64.0",
+                               "203.0.113.9", "203.0.114.0", "0.0.0.0", "255.255.255.255"});
+
+  // One line client, one binary client, same probe order.
+  Client line_client(rs.port());
+  Client bin_client(rs.port());
+  ASSERT_TRUE(line_client.connected());
+  ASSERT_TRUE(bin_client.connected());
+  std::string line_request;
+  std::string bin_request{wire::kPreamble};
+  for (const auto& ip : probes) {
+    line_request += ip + "\n";
+    bin_request += lookup_frame(ip);
+  }
+  ASSERT_TRUE(line_client.send_all(line_request));
+  ASSERT_TRUE(bin_client.send_all(bin_request));
+
+  const auto lines = line_client.read_lines(probes.size());
+  const auto frames = read_frames(bin_client, probes.size());
+  ASSERT_EQ(lines.size(), probes.size());
+  ASSERT_EQ(frames.size(), probes.size());
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(frames[i].addr, *net::Ipv4Addr::parse(probes[i])) << probes[i];
+    EXPECT_EQ(lines[i], line_from_binary(frames[i])) << probes[i];
+    if (frames[i].cls != wire::kClassNone) ++hits;
+  }
+  // The sweep exercised real classifications, not a wall of "none".
+  EXPECT_GT(hits, probes.size() / 2);
+  EXPECT_EQ(rs.server->stats().queries, 2 * probes.size());
+  EXPECT_EQ(rs.server->stats().invalid, 0u);
 }
 
 }  // namespace

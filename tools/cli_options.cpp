@@ -71,7 +71,8 @@ const char* usage_text() noexcept {
       "           --analytics (attach the IBR analytics section to the snapshot)\n"
       "  query:   --snapshot FILE (telescope snapshot to serve from)\n"
       "           --ips FILE|- (classify IPs, one per line; - = stdin)\n"
-      "           --bench [--lookups N] (measure lookup throughput)\n"
+      "           --bench [--lookups N] [--proto line|binary]\n"
+      "           (measure the per-request protocol pipeline throughput)\n"
       "           --metrics-out FILE (serve.* metrics JSON snapshot)\n"
       "  serve:   --snapshot FILE --port N (TCP query daemon; 0 = kernel-assigned)\n"
       "           --reactors N (event loops w/ SO_REUSEPORT listeners; default 1)\n"
@@ -82,6 +83,7 @@ const char* usage_text() noexcept {
       "  loadgen: --port N [--host IP] (drive a running serve instance)\n"
       "           --steps N,N,... (offered qps per step; closed: depth/conn)\n"
       "           --mode open|closed (default open) --conns N (default 4)\n"
+      "           --proto line|binary (wire protocol; default line)\n"
       "           --warmup-ms/--measure-ms/--cooldown-ms (200/1000/200)\n"
       "           --out FILE (latency-vs-throughput JSON; default\n"
       "           BENCH_serve_net.json)\n"
@@ -210,6 +212,14 @@ bool parse_args(int argc, const char* const* argv, Options& opt, std::string& er
                       "' (expected open or closed)");
       }
       opt.load_mode = v;
+    } else if (arg == "--proto") {
+      const char* v = p.value_for(arg);
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "line") != 0 && std::strcmp(v, "binary") != 0) {
+        return p.fail("invalid value for --proto: '" + std::string(v) +
+                      "' (expected line or binary)");
+      }
+      opt.proto = v;
     } else if (arg == "--steps") {
       const char* v = p.value_for(arg);
       if (v == nullptr) return false;

@@ -50,9 +50,11 @@ struct Options {
   unsigned idle_timeout_ms = 30'000;  // --idle-timeout-ms N
   unsigned watch_interval_ms = 0;     // --watch-interval-ms N; 0 = SIGHUP only
 
-  // loadgen (shares --port with serve, --out with stream)
+  // loadgen (shares --port with serve, --out with stream; --proto is
+  // shared with query --bench)
   std::string host = "127.0.0.1";  // --host IP (dotted quad)
   std::string load_mode = "open";  // --mode open|closed
+  std::string proto = "line";      // --proto line|binary (MTBIN frames)
   std::string steps;               // --steps N,N,... (rate or depth per step)
   unsigned conns = 4;              // --conns N (concurrent connections)
   unsigned warmup_ms = 200;        // --warmup-ms N

@@ -44,6 +44,7 @@
 #include <ctime>
 #include <fstream>
 #include <iostream>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,7 @@
 #include "serve/server.hpp"
 #include "serve/snapshot.hpp"
 #include "serve/telescope_index.hpp"
+#include "serve/wire.hpp"
 #include "sim/simulation.hpp"
 #include "util/csv.hpp"
 #include "util/rng.hpp"
@@ -499,10 +501,69 @@ void bench_lookups(const serve::TelescopeIndex& index, const Options& opt,
               static_cast<unsigned long long>(n), seconds * 1e3, qps / 1e6,
               util::percent(static_cast<double>(hits) /
                             std::max<std::uint64_t>(1, n)).c_str());
+
+  // Protocol-pipeline leg: the per-request CPU the server spends on the
+  // selected wire protocol — request parse/decode + lookup + reply
+  // format/encode — with no socket in the way.  This is the line-vs-MTBIN
+  // comparison the serve plane's binary protocol exists for.
+  const bool binary = opt.proto == "binary";
+  std::string requests;
+  for (const auto addr : probes) {
+    if (binary) {
+      serve::wire::Request request;
+      request.addr = addr;
+      serve::wire::append_request(requests, request);
+    } else {
+      requests += addr.to_string();
+      requests += '\n';
+    }
+  }
+  std::string replies;
+  std::uint64_t answered = 0;
+  const auto p0 = std::chrono::steady_clock::now();
+  if (binary) {
+    const std::span<const std::uint8_t> bytes(
+        reinterpret_cast<const std::uint8_t*>(requests.data()), requests.size());
+    for (std::size_t off = 0; off + serve::wire::kRequestSize <= bytes.size();
+         off += serve::wire::kRequestSize) {
+      const auto decoded =
+          serve::wire::decode_request(bytes.subspan(off, serve::wire::kRequestSize));
+      if (decoded.ok()) {
+        const auto addr = decoded.value().addr;
+        serve::wire::append_response(replies,
+                                     serve::wire::make_verdict_response(addr, index.lookup(addr)));
+        ++answered;
+      }
+      if (replies.size() > (1u << 24)) replies.clear();  // bound the reply scratch
+    }
+  } else {
+    std::size_t at = 0;
+    for (;;) {
+      const std::size_t newline = requests.find('\n', at);
+      if (newline == std::string::npos) break;
+      const auto token = util::trim(std::string_view(requests).substr(at, newline - at));
+      at = newline + 1;
+      const auto addr = net::Ipv4Addr::parse(token);
+      if (addr.has_value()) {
+        replies += serve::format_verdict(*addr, index.lookup(*addr));
+        replies += '\n';
+        ++answered;
+      }
+      if (replies.size() > (1u << 24)) replies.clear();
+    }
+  }
+  const auto p1 = std::chrono::steady_clock::now();
+  const double proto_seconds = std::chrono::duration<double>(p1 - p0).count();
+  const double proto_qps =
+      proto_seconds > 0 ? static_cast<double>(answered) / proto_seconds : 0.0;
+  std::printf("bench: %s protocol pipeline: %llu requests in %.3f ms, %.1f M req/s\n",
+              opt.proto.c_str(), static_cast<unsigned long long>(answered),
+              proto_seconds * 1e3, proto_qps / 1e6);
   std::fflush(stdout);  // keep the report ordered against later stderr lines
   if (metrics != nullptr) {
     metrics->counter("serve.lookup.total").add(n);
     metrics->gauge("serve.lookup.qps").set(static_cast<std::int64_t>(qps));
+    metrics->gauge("serve.lookup.proto_qps").set(static_cast<std::int64_t>(proto_qps));
   }
 }
 
@@ -593,6 +654,8 @@ int cmd_loadgen(const Options& opt) {
   config.host = opt.host;
   config.port = static_cast<std::uint16_t>(opt.port);
   config.mode = opt.load_mode == "closed" ? serve::LoadMode::kClosed : serve::LoadMode::kOpen;
+  config.proto = opt.proto == "binary" ? serve::WireProtocol::kBinary
+                                       : serve::WireProtocol::kLine;
   config.connections = static_cast<int>(opt.conns);
   config.steps = steps.value();
   config.warmup_ms = static_cast<int>(opt.warmup_ms);
@@ -600,9 +663,9 @@ int cmd_loadgen(const Options& opt) {
   config.cooldown_ms = static_cast<int>(opt.cooldown_ms);
   config.seed = opt.seed;
 
-  std::fprintf(stderr, "loadgen: %s:%u, %s loop, %u connection(s), %zu step(s)\n",
-               config.host.c_str(), config.port, serve::to_string(config.mode), opt.conns,
-               config.steps.size());
+  std::fprintf(stderr, "loadgen: %s:%u, %s loop, %s protocol, %u connection(s), %zu step(s)\n",
+               config.host.c_str(), config.port, serve::to_string(config.mode),
+               serve::to_string(config.proto), opt.conns, config.steps.size());
   const auto results = serve::run_loadgen(config);
   if (!results.ok()) {
     std::fprintf(stderr, "loadgen failed: %s\n", results.error().to_string().c_str());
